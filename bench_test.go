@@ -1,0 +1,159 @@
+package crowdsense
+
+// One benchmark per table and figure of the paper's evaluation (§IV). Each
+// benchmark regenerates the corresponding artifact through the harnesses in
+// internal/experiments against a shared downsized environment; run
+// cmd/benchfig -scale full for the paper-scale sweep.
+
+import (
+	"sync"
+	"testing"
+
+	"crowdsense/internal/experiments"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = experiments.NewEnv(experiments.TestConfig())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// runArtifact benches one harness and records a headline metric from its
+// first series so regressions in output shape are visible alongside timing.
+func runArtifact(b *testing.B, run func() (*experiments.Result, error)) {
+	b.Helper()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if last != nil && len(last.Series) > 0 && len(last.Series[0].Y) > 0 {
+		b.ReportMetric(last.Series[0].Y[len(last.Series[0].Y)-1], "lastY")
+	}
+}
+
+func BenchmarkTable2Defaults(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunTable2)
+}
+
+func BenchmarkTable3Settings(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunTable3)
+}
+
+func BenchmarkFig3PredictionAccuracy(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunFig3)
+}
+
+func BenchmarkFig4PoSPDF(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunFig4)
+}
+
+func BenchmarkFig5aSingleTaskSocialCost(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunFig5a)
+}
+
+func BenchmarkFig5bMultiTaskUsers(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunFig5b)
+}
+
+func BenchmarkFig5cMultiTaskTasks(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunFig5c)
+}
+
+func BenchmarkFig6UtilityCDF(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunFig6)
+}
+
+func BenchmarkFig7AchievedPoS(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunFig7)
+}
+
+func BenchmarkFig8SelectedUsers(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunFig8)
+}
+
+func BenchmarkFig9SocialCost(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunFig9)
+}
+
+func BenchmarkStrategyproofSweep(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunStrategyproofness)
+}
+
+// Ablation benches beyond the paper's own artifacts (see DESIGN.md).
+
+func BenchmarkAblationEpsilon(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunAblationEpsilon)
+}
+
+func BenchmarkAblationHorizon(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunAblationHorizon)
+}
+
+func BenchmarkAblationCriticalBid(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunAblationCriticalBid)
+}
+
+func BenchmarkAblationSmoothing(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunAblationSmoothing)
+}
+
+func BenchmarkPaymentOverhead(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunPaymentOverhead)
+}
+
+func BenchmarkCostVerification(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunCostVerification)
+}
+
+func BenchmarkAblationOrder2(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunAblationOrder2)
+}
+
+func BenchmarkRobustness(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunRobustness)
+}
+
+func BenchmarkStrategicRegret(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunStrategicRegret)
+}
+
+func BenchmarkReputation(b *testing.B) {
+	e := env(b)
+	runArtifact(b, e.RunReputation)
+}

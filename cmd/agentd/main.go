@@ -1,0 +1,191 @@
+// Command agentd runs one mobile-user agent (or a fleet of them) against a
+// platformd server: register, bid, and — if selected — simulate execution
+// and collect the execution-contingent reward.
+//
+// Explicit type (bid PoS 0.7 on task 1 at cost 3):
+//
+//	agentd -addr 127.0.0.1:7373 -user 1 -cost 3 -pos 1=0.7
+//
+// Fleet mode (ten agents with random types over the published tasks):
+//
+//	agentd -addr 127.0.0.1:7373 -fleet 10 -seed 42
+//
+// Mobility mode (derive the type from a serialized mobility model; task IDs
+// must be grid cells, as produced by the workload samplers):
+//
+//	agentd -addr 127.0.0.1:7373 -user 5 -model model.json -horizon 12
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"crowdsense/internal/agent"
+	"crowdsense/internal/auction"
+	"crowdsense/internal/mobility"
+	"crowdsense/internal/stats"
+	"crowdsense/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "agentd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7373", "platform address")
+		user    = flag.Int("user", 1, "user ID (fleet mode: first ID)")
+		cost    = flag.Float64("cost", 15, "cost to perform the task set")
+		pos     = flag.String("pos", "", "per-task PoS, e.g. 1=0.7,2=0.4 (empty = fleet/auto mode)")
+		fleet   = flag.Int("fleet", 0, "run this many agents with random auto types")
+		seed    = flag.Int64("seed", 1, "random seed (execution and auto types)")
+		model   = flag.String("model", "", "derive the type from this serialized mobility model (JSON)")
+		horizon = flag.Int("horizon", 12, "campaign horizon for -model mode")
+		setSize = flag.Int("taskset", 15, "task-set size for -model mode")
+	)
+	flag.Parse()
+
+	if *fleet > 0 {
+		return runFleet(*addr, *user, *fleet, *seed)
+	}
+	if *model != "" {
+		return runFromModel(*addr, *user, *model, *cost, *horizon, *setSize, *seed)
+	}
+	if *pos == "" {
+		return fmt.Errorf("one of -pos, -model, or -fleet is required")
+	}
+	posMap, tasks, err := parsePoS(*pos)
+	if err != nil {
+		return err
+	}
+	res, err := agent.Run(context.Background(), agent.Config{
+		Addr:    *addr,
+		User:    auction.UserID(*user),
+		TrueBid: auction.NewBid(auction.UserID(*user), tasks, *cost, posMap),
+		Seed:    *seed,
+	})
+	if err != nil {
+		return err
+	}
+	printResult(*user, res)
+	return nil
+}
+
+func parsePoS(s string) (map[auction.TaskID]float64, []auction.TaskID, error) {
+	posMap := make(map[auction.TaskID]float64)
+	var tasks []auction.TaskID
+	for _, pair := range strings.Split(s, ",") {
+		parts := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+		if len(parts) != 2 {
+			return nil, nil, fmt.Errorf("bad -pos entry %q (want id=prob)", pair)
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad task id %q: %v", parts[0], err)
+		}
+		p, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad PoS %q: %v", parts[1], err)
+		}
+		posMap[auction.TaskID(id)] = p
+		tasks = append(tasks, auction.TaskID(id))
+	}
+	return posMap, tasks, nil
+}
+
+// runFromModel loads a serialized mobility model and bids the way the
+// evaluation workload does: top-k predicted cells at the campaign horizon.
+func runFromModel(addr string, user int, path string, cost float64, horizon, setSize int, seed int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var m mobility.Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	rng := stats.NewRand(seed)
+	bid := agent.BidFromModel(rng, auction.UserID(user), &m, setSize, horizon, cost)
+	res, err := agent.Run(context.Background(), agent.Config{
+		Addr:    addr,
+		User:    auction.UserID(user),
+		TrueBid: bid,
+		Seed:    seed,
+	})
+	if err != nil {
+		return err
+	}
+	printResult(user, res)
+	return nil
+}
+
+func runFleet(addr string, firstUser, n int, seed int64) error {
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := auction.UserID(firstUser + i)
+			rng := stats.NewRand(seed + int64(i))
+			res, err := agent.Run(context.Background(), agent.Config{
+				Addr: addr,
+				User: id,
+				AutoType: func(tasks []wire.TaskSpec) auction.Bid {
+					ids := make([]auction.TaskID, 0, len(tasks))
+					posMap := make(map[auction.TaskID]float64, len(tasks))
+					for _, spec := range tasks {
+						// Bid on each published task with probability 0.7.
+						if rng.Float64() > 0.7 && len(tasks) > 1 {
+							continue
+						}
+						ids = append(ids, auction.TaskID(spec.ID))
+						posMap[auction.TaskID(spec.ID)] = stats.Uniform(rng, 0.1, 0.6)
+					}
+					if len(ids) == 0 {
+						ids = append(ids, auction.TaskID(tasks[0].ID))
+						posMap[auction.TaskID(tasks[0].ID)] = stats.Uniform(rng, 0.1, 0.6)
+					}
+					return auction.NewBid(id, ids, stats.NormalPositive(rng, 15, 2.2, 1), posMap)
+				},
+				Seed: seed + int64(i),
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			printResult(int(id), res)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("agent %d: %w", firstUser+i, err)
+		}
+	}
+	return nil
+}
+
+func printResult(user int, res agent.Result) {
+	if !res.Selected {
+		fmt.Printf("user %d: not selected\n", user)
+		return
+	}
+	succeeded := 0
+	for _, ok := range res.Attempt {
+		if ok {
+			succeeded++
+		}
+	}
+	fmt.Printf("user %d: selected (critical PoS %.3f), %d/%d tasks done, reward %.2f, utility %+.2f\n",
+		user, res.Award.CriticalPoS, succeeded, len(res.Attempt), res.Settle.Reward, res.Settle.Utility)
+}

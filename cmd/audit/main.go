@@ -1,0 +1,57 @@
+// Command audit replays a platformd round journal and cross-checks the
+// platform's arithmetic: settlements against the recorded EC contracts,
+// social cost against winners' bids, and the α reward-gap invariant. Exit
+// status 1 means inconsistencies were found.
+//
+//	platformd -journal rounds.jsonl -rounds 10 ...
+//	audit rounds.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crowdsense/internal/platform"
+)
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "audit:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return 0, fmt.Errorf("usage: audit <journal.jsonl>")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	entries, err := platform.ReadJournal(f)
+	if err != nil {
+		return 0, err
+	}
+
+	s := platform.Summarize(entries)
+	fmt.Printf("rounds: %d (%d void), bids: %d\n", s.Rounds, s.VoidRounds, s.TotalBids)
+	fmt.Printf("social cost: %.2f, total paid: %.2f, winner success rate: %.2f\n",
+		s.SocialCost, s.TotalPaid, s.SuccessRate)
+
+	findings := platform.Audit(entries)
+	if len(findings) == 0 {
+		fmt.Println("audit: clean")
+		return 0, nil
+	}
+	fmt.Printf("audit: %d inconsistencies\n", len(findings))
+	for _, finding := range findings {
+		fmt.Println(" ", finding)
+	}
+	return 1, nil
+}

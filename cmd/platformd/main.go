@@ -1,0 +1,117 @@
+// Command platformd runs the crowdsensing platform server for one auction
+// round: it publishes tasks, collects sealed bids from agentd processes,
+// runs the fault-tolerant mechanism, and settles execution-contingent
+// rewards.
+//
+// Example (single task, three bidders):
+//
+//	platformd -addr 127.0.0.1:7373 -tasks 1 -requirement 0.9 -bidders 3
+//
+// Example (five tasks, ten bidders, 30 s bid window):
+//
+//	platformd -tasks 5 -bidders 10 -window 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/platform"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "platformd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7373", "listen address")
+		tasks       = flag.Int("tasks", 1, "number of tasks to publish (IDs 1..n)")
+		requirement = flag.Float64("requirement", 0.8, "PoS requirement per task")
+		bidders     = flag.Int("bidders", 3, "bids to collect before running the auction")
+		alpha       = flag.Float64("alpha", mechanism.DefaultAlpha, "reward scaling factor")
+		epsilon     = flag.Float64("epsilon", 0.5, "FPTAS parameter (single task)")
+		window      = flag.Duration("window", 0, "bid window after the first bid (0 = wait for all)")
+		rounds      = flag.Int("rounds", 1, "auction rounds to serve before exiting")
+		journal     = flag.String("journal", "", "append one JSON line per round to this file")
+	)
+	flag.Parse()
+
+	specs := make([]auction.Task, *tasks)
+	for i := range specs {
+		specs[i] = auction.Task{ID: auction.TaskID(i + 1), Requirement: *requirement}
+	}
+	cfg := platform.Config{
+		Tasks:           specs,
+		ExpectedBidders: *bidders,
+		BidWindow:       *window,
+		Alpha:           *alpha,
+		Epsilon:         *epsilon,
+	}
+
+	var journalFile *os.File
+	if *journal != "" {
+		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		journalFile = f
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+	_, err := platform.RunRounds(ctx, cfg, platform.RoundsOptions{
+		Addr:   *addr,
+		Rounds: *rounds,
+		OnReady: func(bound string) {
+			fmt.Printf("platformd listening on %s: %d task(s), requirement %.2f, expecting %d bidders\n",
+				bound, *tasks, *requirement, *bidders)
+		},
+		OnRound: func(round int, result platform.RoundResult) {
+			printRound(round, result, time.Since(start))
+			if journalFile != nil {
+				entry := platform.NewJournalEntry(round, specs, result)
+				if err := platform.WriteJournal(journalFile, entry); err != nil {
+					fmt.Fprintln(os.Stderr, "platformd: journal:", err)
+				}
+			}
+		},
+	})
+	return err
+}
+
+// printRound summarizes one completed auction round.
+func printRound(round int, result platform.RoundResult, elapsed time.Duration) {
+	fmt.Printf("\nround %d complete at %s\n", round, elapsed.Round(time.Millisecond))
+	if result.Err != nil {
+		fmt.Printf("round void: %v\n", result.Err)
+		return
+	}
+	fmt.Printf("mechanism: %s\n", result.Outcome.Mechanism)
+	fmt.Printf("bids: %d, winners: %d, social cost: %.2f\n",
+		len(result.Bids), len(result.Outcome.Selected), result.Outcome.SocialCost)
+	for _, aw := range result.Outcome.Awards {
+		settle, reported := result.Settlements[aw.User]
+		status := "no report"
+		if reported {
+			if settle.Success {
+				status = fmt.Sprintf("success, paid %.2f", settle.Reward)
+			} else {
+				status = fmt.Sprintf("failed, paid %.2f", settle.Reward)
+			}
+		}
+		fmt.Printf("  user %-5d critical PoS %.3f  %s\n", aw.User, aw.CriticalPoS, status)
+	}
+}

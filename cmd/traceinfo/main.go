@@ -1,0 +1,206 @@
+// Command traceinfo generates or inspects taxi trace logs: it prints
+// population statistics, fits the per-taxi Markov mobility models, and
+// reports the prediction-accuracy curve, predictability (entropy), and the
+// predicted-PoS distribution — the diagnostics behind the paper's Figs. 3
+// and 4.
+//
+// Generate a synthetic trace and inspect it in one go:
+//
+//	traceinfo -taxis 300 -days 14
+//
+// Write a trace to CSV, then inspect that file later:
+//
+//	traceinfo -taxis 300 -out trace.csv
+//	traceinfo -in trace.csv -rows 30 -cols 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"crowdsense/internal/geo"
+	"crowdsense/internal/mobility"
+	"crowdsense/internal/stats"
+	"crowdsense/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in        = flag.String("in", "", "read events from this CSV instead of generating")
+		out       = flag.String("out", "", "write generated events to this CSV")
+		rows      = flag.Int("rows", 12, "grid rows (generation, and for -in context)")
+		cols      = flag.Int("cols", 12, "grid columns")
+		taxis     = flag.Int("taxis", 220, "taxis to generate")
+		days      = flag.Int("days", 14, "days to generate")
+		seed      = flag.Int64("seed", 1, "random seed")
+		holdout   = flag.Float64("holdout", 0.15, "held-out fraction for the accuracy curve")
+		smoothing = flag.Float64("smoothing", 1, "Laplace pseudo-count")
+	)
+	flag.Parse()
+
+	var events []trace.Event
+	grid, err := geo.NewGrid(*rows, *cols, geo.DefaultCellKm)
+	if err != nil {
+		return err
+	}
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events, err = trace.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("read %d events from %s\n", len(events), *in)
+	} else {
+		cfg := trace.DefaultConfig()
+		cfg.Rows, cfg.Cols = *rows, *cols
+		cfg.Taxis = *taxis
+		cfg.Days = *days
+		cfg.TerritorySize = 20
+		cfg.Hotspots = 25
+		gen, err := trace.NewGenerator(cfg)
+		if err != nil {
+			return err
+		}
+		log, err := gen.Generate(stats.NewRand(*seed))
+		if err != nil {
+			return err
+		}
+		events = log.Events
+		grid = log.Grid
+		fmt.Printf("generated %d events for %d taxis on a %s\n", len(events), log.Taxis(), grid)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			if err := trace.WriteCSV(f, events); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("no events to analyze")
+	}
+
+	// Rebuild a Log-like grouping: events sorted by (taxi, time).
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].TaxiID != events[j].TaxiID {
+			return events[i].TaxiID < events[j].TaxiID
+		}
+		return events[i].Time.Before(events[j].Time)
+	})
+	byTaxi := map[int][]trace.Event{}
+	for _, e := range events {
+		byTaxi[e.TaxiID] = append(byTaxi[e.TaxiID], e)
+	}
+	fmt.Printf("taxis: %d, events per taxi: %.1f\n",
+		len(byTaxi), float64(len(events))/float64(len(byTaxi)))
+
+	// Fit models and summarize.
+	var (
+		locAcc     stats.Accumulator
+		entAcc     stats.Accumulator
+		models     = map[int]*mobility.Model{}
+		posHist, _ = stats.NewHistogram(0, 1, 10)
+	)
+	for id, evs := range byTaxi {
+		m, err := mobility.Fit(evs, *smoothing)
+		if err != nil {
+			continue
+		}
+		models[id] = m
+		locAcc.Add(float64(m.Locations()))
+		entAcc.Add(m.MeanEntropy())
+		for _, from := range m.Cells() {
+			for _, to := range m.Predict(from, 15) {
+				posHist.Add(m.Prob(from, to))
+			}
+		}
+	}
+	if len(models) == 0 {
+		return fmt.Errorf("no taxi had enough data to fit a model")
+	}
+	fmt.Printf("fitted models: %d\n", len(models))
+	fmt.Printf("locations per taxi: mean %.1f ± %.1f\n", locAcc.Mean(), locAcc.Std())
+	fmt.Printf("mean row entropy: %.2f bits\n", entAcc.Mean())
+
+	hourHist := trace.HourHistogram(events)
+	maxHour := 1
+	for _, c := range hourHist {
+		if c > maxHour {
+			maxHour = c
+		}
+	}
+	fmt.Println("\npickups per hour of day:")
+	for h, c := range hourHist {
+		bar := ""
+		for j := 0; j < c*40/maxHour; j++ {
+			bar += "#"
+		}
+		fmt.Printf("  %02d:00 %7d %s\n", h, c, bar)
+	}
+
+	fmt.Println("\npredicted PoS distribution (Fig. 4 diagnostic):")
+	centers := posHist.BinCenters()
+	for i, f := range posHist.Fractions() {
+		bar := ""
+		for j := 0; j < int(f*60); j++ {
+			bar += "#"
+		}
+		fmt.Printf("  %.2f %6.3f %s\n", centers[i], f, bar)
+	}
+
+	// Accuracy curve (Fig. 3 diagnostic) over the grouped log.
+	log := regroup(grid, byTaxi)
+	trains, test, err := mobility.Split(log, *holdout)
+	if err != nil {
+		return fmt.Errorf("accuracy split: %w", err)
+	}
+	ks := []int{1, 3, 5, 7, 9, 11, 13, 15}
+	curve, err := mobility.AccuracyCurve(trains, test, ks, *smoothing)
+	if err != nil {
+		return fmt.Errorf("accuracy curve: %w", err)
+	}
+	fmt.Println("\ntop-k prediction accuracy (Fig. 3 diagnostic):")
+	for i, k := range ks {
+		fmt.Printf("  k=%-3d %.3f\n", k, curve[i])
+	}
+	return nil
+}
+
+// regroup assembles a trace.Log from grouped events so the mobility
+// splitting helpers can consume file-loaded traces. Taxi IDs are renumbered
+// densely.
+func regroup(grid *geo.Grid, byTaxi map[int][]trace.Event) *trace.Log {
+	ids := make([]int, 0, len(byTaxi))
+	for id := range byTaxi {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var events []trace.Event
+	for dense, id := range ids {
+		for _, e := range byTaxi[id] {
+			e.TaxiID = dense
+			events = append(events, e)
+		}
+	}
+	return &trace.Log{Grid: grid, Events: events, Kernels: make([]*trace.Kernel, len(ids))}
+}

@@ -1,0 +1,69 @@
+// Quickstart: run the paper's worked example (§III-A) through the
+// single-task mechanism — four users bidding on one sensing task that must
+// be completed with probability at least 0.9 — then simulate execution and
+// settle the execution-contingent rewards.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/execution"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/stats"
+)
+
+func main() {
+	// One task: PoS requirement 0.9.
+	tasks := []auction.Task{{ID: 1, Requirement: 0.9}}
+
+	// Four users with (cost, PoS) = (3, 0.7), (2, 0.7), (1, 0.5), (4, 0.8).
+	bids := []auction.Bid{
+		auction.NewBid(1, []auction.TaskID{1}, 3, map[auction.TaskID]float64{1: 0.7}),
+		auction.NewBid(2, []auction.TaskID{1}, 2, map[auction.TaskID]float64{1: 0.7}),
+		auction.NewBid(3, []auction.TaskID{1}, 1, map[auction.TaskID]float64{1: 0.5}),
+		auction.NewBid(4, []auction.TaskID{1}, 4, map[auction.TaskID]float64{1: 0.8}),
+	}
+	a, err := auction.New(tasks, bids)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the strategy-proof single-task mechanism (FPTAS winner
+	// determination + critical-bid execution-contingent rewards).
+	m := &mechanism.SingleTask{Epsilon: 0.1, Alpha: 10}
+	out, err := m.Run(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", out.Mechanism)
+	fmt.Printf("winners (social cost %.2f):\n", out.SocialCost)
+	for _, aw := range out.Awards {
+		fmt.Printf("  user %d: critical PoS %.3f, reward %.2f on success / %.2f on failure, E[utility] %.3f\n",
+			aw.User, aw.CriticalPoS, aw.RewardOnSuccess, aw.RewardOnFailure, aw.ExpectedUtility)
+	}
+
+	// Simulate execution with the users' true PoS and settle.
+	rng := stats.NewRand(42)
+	attempts, err := execution.Simulate(rng, a.Bids, out.Selected)
+	if err != nil {
+		log.Fatal(err)
+	}
+	settlements, err := execution.Settle(out, attempts, a.Bids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after execution:")
+	for _, s := range settlements {
+		fmt.Printf("  user %d: success=%v, paid %.2f, realized utility %+.2f\n",
+			s.User, s.Success, s.Reward, s.Utility)
+	}
+
+	// The platform's guarantee: the task completes with probability ≥ 0.9.
+	achieved, err := execution.AchievedPoS(a.Tasks, a.Bids, out.Selected)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("achieved PoS: %.4f (required %.2f)\n", achieved[1], tasks[0].Requirement)
+}

@@ -1,0 +1,121 @@
+// Single-task pipeline: learn mobility models from synthetic taxi traces,
+// sample a single-task auction per the paper's Table II workload, compare
+// the FPTAS winner determination against the exact optimum and the
+// Min-Greedy baseline, then run the full strategy-proof mechanism and show
+// that the achieved PoS meets the requirement while every truthful winner
+// has non-negative expected utility.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/execution"
+	"crowdsense/internal/knapsack"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/stats"
+	"crowdsense/internal/trace"
+	"crowdsense/internal/workload"
+)
+
+func main() {
+	// Synthetic city + mobility population (downsized for a quick demo;
+	// the experiments use the paper-scale configuration).
+	cfg := trace.DefaultConfig()
+	cfg.Rows, cfg.Cols = 12, 12
+	cfg.Taxis = 220
+	cfg.Days = 14
+	cfg.TerritorySize = 20
+	cfg.Hotspots = 25
+	gen, err := trace.NewGenerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := stats.NewRand(7)
+	tlog, err := gen.Generate(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pop, err := workload.BuildPopulation(tlog, 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("population: %d users with learned mobility models\n", pop.Size())
+
+	// Sample the paper's default single-task workload with 60 users.
+	params := workload.DefaultSingleTaskParams()
+	a, err := pop.SampleSingleTask(rng, params, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auction: task %d, requirement %.2f, %d bidders\n\n",
+		a.Tasks[0].ID, a.Tasks[0].Requirement, len(a.Bids))
+
+	// Compare the three allocation algorithms of Fig. 5(a).
+	in, err := knapsackInstance(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := knapsack.SolveBnB(in, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, eps := range []float64{0.1, 0.5} {
+		sol, err := knapsack.SolveFPTAS(in, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("FPTAS(ε=%.1f): cost %.2f  (%.2f×OPT, %d winners)\n",
+			eps, sol.Cost, sol.Cost/opt.Cost, len(sol.Selected))
+	}
+	greedy, err := knapsack.SolveGreedy(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Min-Greedy:   cost %.2f  (%.2f×OPT, %d winners)\n",
+		greedy.Cost, greedy.Cost/opt.Cost, len(greedy.Selected))
+	fmt.Printf("OPT:          cost %.2f  (%d winners)\n\n", opt.Cost, len(opt.Selected))
+
+	// Run the full mechanism: allocation + critical-bid EC rewards.
+	m := &mechanism.SingleTask{Epsilon: 0.5, Alpha: 10}
+	out, err := m.Run(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d winners, social cost %.2f\n", out.Mechanism, len(out.Selected), out.SocialCost)
+	for _, aw := range out.Awards {
+		declared := a.Bids[aw.BidIndex].PoS[a.Tasks[0].ID]
+		fmt.Printf("  user %-5d declared PoS %.3f  critical %.3f  E[utility] %.3f\n",
+			aw.User, declared, aw.CriticalPoS, aw.ExpectedUtility)
+		if aw.ExpectedUtility < 0 {
+			log.Fatalf("individual rationality violated for user %d", aw.User)
+		}
+	}
+
+	achieved, err := execution.AchievedPoS(a.Tasks, a.Bids, out.Selected)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nachieved PoS %.4f ≥ required %.2f\n", achieved[a.Tasks[0].ID], params.Requirement)
+
+	// Monte-Carlo cross-check of the analytic PoS.
+	empirical, err := execution.EmpiricalPoS(rng, a.Tasks, a.Bids, out.Selected, 20000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("empirical PoS %.4f over 20000 simulated campaigns\n", empirical[a.Tasks[0].ID])
+}
+
+// knapsackInstance projects the single-task auction onto the knapsack
+// solvers' input.
+func knapsackInstance(a *auction.Auction) (*knapsack.Instance, error) {
+	task := a.Tasks[0]
+	costs := make([]float64, len(a.Bids))
+	contribs := make([]float64, len(a.Bids))
+	for i, bid := range a.Bids {
+		costs[i] = bid.Cost
+		contribs[i] = bid.Contribution(task.ID)
+	}
+	return knapsack.NewInstance(costs, contribs, task.RequiredContribution())
+}

@@ -1,0 +1,3 @@
+module crowdsense
+
+go 1.22

@@ -1,0 +1,185 @@
+// Package agent implements a mobile-user client for the crowdsensing
+// platform: it registers, receives the published tasks, composes a sealed
+// bid from the user's (private) type — optionally derived from her mobility
+// model — submits it, and, if selected, simulates task execution with her
+// TRUE probabilities of success and reports the results for settlement.
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"time"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/mobility"
+	"crowdsense/internal/stats"
+	"crowdsense/internal/wire"
+)
+
+// Config parameterizes one agent.
+type Config struct {
+	Addr string // platform address
+
+	User auction.UserID
+
+	// TrueBid is the agent's true type: task set, cost, and true PoS. The
+	// agent bids on the intersection of TrueBid.Tasks with the published
+	// tasks.
+	TrueBid auction.Bid
+
+	// AutoType, when set, derives the agent's true type from the published
+	// tasks instead of TrueBid — used by fleet tooling where types are
+	// sampled per round.
+	AutoType func(tasks []wire.TaskSpec) auction.Bid
+
+	// DeclaredPoS optionally overrides the declared PoS per task to model
+	// strategic misreporting; nil means truthful.
+	DeclaredPoS map[auction.TaskID]float64
+
+	// Seed drives the execution simulation.
+	Seed int64
+
+	// Timeout bounds each I/O step; zero means 30 seconds.
+	Timeout time.Duration
+}
+
+func (c Config) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.Timeout
+}
+
+// Result is the agent's view of a completed round.
+type Result struct {
+	Selected bool
+	Award    wire.Award
+	Settle   wire.Settle
+	Attempt  map[auction.TaskID]bool // execution outcomes (winners only)
+}
+
+// BidFromModel derives a user's true type from her mobility model the way
+// the evaluation workload does: task set = top-k predicted next locations
+// from the current cell, PoS = predicted transition probability lifted to
+// the campaign horizon.
+func BidFromModel(rng *rand.Rand, user auction.UserID, m *mobility.Model, taskSetSize int, horizon int, cost float64) auction.Bid {
+	current := m.SampleCurrent(rng)
+	predicted := m.Predict(current, taskSetSize)
+	tasks := make([]auction.TaskID, 0, len(predicted))
+	pos := make(map[auction.TaskID]float64, len(predicted))
+	for _, c := range predicted {
+		p := m.Prob(current, c)
+		if horizon > 1 {
+			p = 1 - math.Pow(1-p, float64(horizon))
+		}
+		id := auction.TaskID(c)
+		tasks = append(tasks, id)
+		pos[id] = p
+	}
+	return auction.NewBid(user, tasks, cost, pos)
+}
+
+// Run executes one auction round against the platform.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	dialer := net.Dialer{Timeout: cfg.timeout()}
+	conn, err := dialer.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return Result{}, fmt.Errorf("agent %d: dial: %w", cfg.User, err)
+	}
+	defer conn.Close()
+	// Honour context cancellation by closing the connection.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	codec := wire.NewCodec(conn)
+	setDeadline := func() { _ = conn.SetDeadline(time.Now().Add(cfg.timeout())) }
+
+	setDeadline()
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeRegister,
+		Register: &wire.Register{User: int(cfg.User)}}); err != nil {
+		return Result{}, fmt.Errorf("agent %d: register: %w", cfg.User, err)
+	}
+
+	setDeadline()
+	env, err := codec.Expect(wire.TypeTasks)
+	if err != nil {
+		return Result{}, fmt.Errorf("agent %d: tasks: %w", cfg.User, err)
+	}
+	published := make(map[auction.TaskID]bool, len(env.Tasks.Tasks))
+	for _, spec := range env.Tasks.Tasks {
+		published[auction.TaskID(spec.ID)] = true
+	}
+	if cfg.AutoType != nil {
+		cfg.TrueBid = cfg.AutoType(env.Tasks.Tasks)
+	}
+
+	// Compose the sealed bid on the intersection with the published tasks.
+	var taskIDs []int
+	pos := make(map[int]float64)
+	for _, id := range cfg.TrueBid.Tasks {
+		if !published[id] {
+			continue
+		}
+		p := cfg.TrueBid.PoS[id]
+		if declared, ok := cfg.DeclaredPoS[id]; ok {
+			p = declared
+		}
+		taskIDs = append(taskIDs, int(id))
+		pos[int(id)] = p
+	}
+	if len(taskIDs) == 0 {
+		return Result{}, errors.New("agent: no published task intersects the user's task set")
+	}
+	setDeadline()
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeBid, Bid: &wire.Bid{
+		User:  int(cfg.User),
+		Tasks: taskIDs,
+		Cost:  cfg.TrueBid.Cost,
+		PoS:   pos,
+	}}); err != nil {
+		return Result{}, fmt.Errorf("agent %d: bid: %w", cfg.User, err)
+	}
+
+	// Await the award. The platform may take a while to gather all bids,
+	// so this step uses a generous deadline.
+	_ = conn.SetDeadline(time.Now().Add(10 * cfg.timeout()))
+	env, err = codec.Expect(wire.TypeAward)
+	if err != nil {
+		return Result{}, fmt.Errorf("agent %d: award: %w", cfg.User, err)
+	}
+	res := Result{Award: *env.Award, Selected: env.Award.Selected}
+	if !res.Selected {
+		return res, nil
+	}
+
+	// Execute: attempt every task in the TRUE task set that was bid on,
+	// succeeding with the TRUE PoS.
+	rng := stats.NewRand(cfg.Seed)
+	attempt := make(map[auction.TaskID]bool, len(taskIDs))
+	succeeded := make(map[int]bool, len(taskIDs))
+	for _, id := range taskIDs {
+		ok := stats.Bernoulli(rng, cfg.TrueBid.PoS[auction.TaskID(id)])
+		attempt[auction.TaskID(id)] = ok
+		succeeded[id] = ok
+	}
+	res.Attempt = attempt
+	setDeadline()
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeReport, Report: &wire.Report{
+		User:      int(cfg.User),
+		Succeeded: succeeded,
+	}}); err != nil {
+		return res, fmt.Errorf("agent %d: report: %w", cfg.User, err)
+	}
+
+	setDeadline()
+	env, err = codec.Expect(wire.TypeSettle)
+	if err != nil {
+		return res, fmt.Errorf("agent %d: settle: %w", cfg.User, err)
+	}
+	res.Settle = *env.Settle
+	return res, nil
+}

@@ -1,0 +1,74 @@
+package agent
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/geo"
+	"crowdsense/internal/mobility"
+	"crowdsense/internal/stats"
+)
+
+func TestBidFromModel(t *testing.T) {
+	walk := []geo.Cell{1, 2, 1, 3, 1, 2, 1, 2}
+	m, err := mobility.FitWalk(walk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(5)
+	bid := BidFromModel(rng, 9, m, 2, 1, 12.5)
+	if bid.User != 9 || bid.Cost != 12.5 {
+		t.Errorf("bid = %+v", bid)
+	}
+	if len(bid.Tasks) != 2 {
+		t.Fatalf("task set size = %d, want 2", len(bid.Tasks))
+	}
+	for _, id := range bid.Tasks {
+		p := bid.PoS[id]
+		if p < 0 || p >= 1 {
+			t.Errorf("PoS %g out of range", p)
+		}
+	}
+}
+
+func TestBidFromModelHorizonLiftsPoS(t *testing.T) {
+	walk := []geo.Cell{1, 2, 1, 2, 1}
+	m, err := mobility.FitWalk(walk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := BidFromModel(stats.NewRand(3), 1, m, 1, 1, 5)
+	long := BidFromModel(stats.NewRand(3), 1, m, 1, 8, 5)
+	if len(short.Tasks) != 1 || len(long.Tasks) != 1 {
+		t.Fatal("unexpected task sets")
+	}
+	if long.PoS[long.Tasks[0]] <= short.PoS[short.Tasks[0]] {
+		t.Errorf("horizon did not lift PoS: %g vs %g",
+			long.PoS[long.Tasks[0]], short.PoS[short.Tasks[0]])
+	}
+}
+
+func TestRunFailsFastOnDeadAddress(t *testing.T) {
+	_, err := Run(context.Background(), Config{
+		Addr:    "127.0.0.1:1", // nothing listens there
+		User:    1,
+		TrueBid: auction.NewBid(1, []auction.TaskID{1}, 2, map[auction.TaskID]float64{1: 0.5}),
+		Timeout: 500 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("dial to dead address should fail")
+	}
+}
+
+func TestConfigTimeoutDefault(t *testing.T) {
+	var c Config
+	if c.timeout() != 30*time.Second {
+		t.Errorf("default timeout = %v", c.timeout())
+	}
+	c.Timeout = time.Second
+	if c.timeout() != time.Second {
+		t.Errorf("explicit timeout = %v", c.timeout())
+	}
+}

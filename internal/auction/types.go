@@ -1,0 +1,302 @@
+// Package auction defines the domain types of the paper's reverse auction:
+// location-aware sensing tasks with probability-of-success (PoS)
+// requirements, user bids (task set, cost, per-task PoS), and the
+// log-domain contribution transform that turns the multiplicative PoS
+// constraint into an additive covering constraint:
+//
+//	q = −ln(1−p),  Q = −ln(1−T),
+//	1 − Π(1−p_i) ≥ T  ⇔  Σ q_i ≥ Q.
+//
+// All allocation algorithms in internal/knapsack, internal/setcover and
+// internal/mechanism operate on these types.
+package auction
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TaskID identifies a sensing task.
+type TaskID int
+
+// UserID identifies a mobile user.
+type UserID int
+
+// Sentinel validation errors, matched by callers with errors.Is.
+var (
+	ErrNoTasks        = errors.New("auction: no tasks")
+	ErrNoBids         = errors.New("auction: no bids")
+	ErrBadRequirement = errors.New("auction: task PoS requirement outside (0, 1)")
+	ErrBadPoS         = errors.New("auction: PoS outside [0, 1)")
+	ErrBadCost        = errors.New("auction: cost not positive")
+	ErrEmptyTaskSet   = errors.New("auction: bid has empty task set")
+	ErrUnknownTask    = errors.New("auction: bid references unknown task")
+	ErrDuplicateID    = errors.New("auction: duplicate identifier")
+	ErrMissingPoS     = errors.New("auction: bid missing PoS for a task in its set")
+)
+
+// Contribution converts a PoS p ∈ [0, 1) to the additive contribution
+// q = −ln(1−p). Contribution(0) is 0; p → 1 diverges, which is why p = 1 is
+// rejected at validation.
+func Contribution(p float64) float64 {
+	return -math.Log1p(-p)
+}
+
+// PoS converts a contribution q ≥ 0 back to a probability p = 1 − e^(−q).
+func PoS(q float64) float64 {
+	return -math.Expm1(-q)
+}
+
+// Task is one location-aware sensing task with a PoS requirement T ∈ (0, 1):
+// the platform requires the task to be completed with probability at least T.
+type Task struct {
+	ID          TaskID
+	Requirement float64 // T_j
+}
+
+// RequiredContribution returns Q_j = −ln(1−T_j).
+func (t Task) RequiredContribution() float64 {
+	return Contribution(t.Requirement)
+}
+
+// Bid is a user's declared type θ_i = (S_i, c_i, {p_i^j}): the set of tasks
+// she is willing to perform, her (verified) cost to perform all of them, and
+// her declared PoS for each.
+type Bid struct {
+	User  UserID
+	Tasks []TaskID           // S_i, sorted ascending with no duplicates
+	Cost  float64            // c_i > 0, incurred whether or not tasks succeed
+	PoS   map[TaskID]float64 // p_i^j ∈ [0, 1) for each j ∈ S_i
+}
+
+// NewBid builds a bid with a normalized (sorted, deduplicated) task set. The
+// PoS map is copied. Validation happens when the bid enters an Auction.
+func NewBid(user UserID, tasks []TaskID, cost float64, pos map[TaskID]float64) Bid {
+	normalized := append([]TaskID(nil), tasks...)
+	sort.Slice(normalized, func(i, j int) bool { return normalized[i] < normalized[j] })
+	normalized = dedupeTaskIDs(normalized)
+	copied := make(map[TaskID]float64, len(pos))
+	for k, v := range pos {
+		copied[k] = v
+	}
+	return Bid{User: user, Tasks: normalized, Cost: cost, PoS: copied}
+}
+
+func dedupeTaskIDs(sorted []TaskID) []TaskID {
+	if len(sorted) == 0 {
+		return sorted
+	}
+	out := sorted[:1]
+	for _, id := range sorted[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Has reports whether task j is in the bid's task set.
+func (b Bid) Has(j TaskID) bool {
+	idx := sort.Search(len(b.Tasks), func(i int) bool { return b.Tasks[i] >= j })
+	return idx < len(b.Tasks) && b.Tasks[idx] == j
+}
+
+// Contribution returns q_i^j = −ln(1−p_i^j) for task j, or 0 if j is not in
+// the bid's task set.
+func (b Bid) Contribution(j TaskID) float64 {
+	if !b.Has(j) {
+		return 0
+	}
+	return Contribution(b.PoS[j])
+}
+
+// TotalContribution returns Σ_{j∈S_i} q_i^j.
+func (b Bid) TotalContribution() float64 {
+	total := 0.0
+	for _, j := range b.Tasks {
+		total += Contribution(b.PoS[j])
+	}
+	return total
+}
+
+// CombinedPoS returns the probability the user completes at least one task
+// of her set, 1 − Π_{j∈S_i}(1−p_i^j) = 1 − e^(−Σ q_i^j). This drives the
+// multi-task execution-contingent reward (Theorem 4).
+func (b Bid) CombinedPoS() float64 {
+	return PoS(b.TotalContribution())
+}
+
+// Clone returns a deep copy of the bid, so mechanisms can perturb declared
+// types without aliasing the caller's data.
+func (b Bid) Clone() Bid {
+	return NewBid(b.User, b.Tasks, b.Cost, b.PoS)
+}
+
+// Auction is a validated auction instance: the platform's tasks and the
+// users' (declared) bids. Construct with New; a constructed Auction's data
+// is consistent and safe for the allocation algorithms.
+type Auction struct {
+	Tasks []Task
+	Bids  []Bid
+
+	taskIndex map[TaskID]int
+}
+
+// New validates tasks and bids and assembles an auction instance. The
+// slices are copied shallowly; bids' internals are treated as immutable
+// afterwards.
+func New(tasks []Task, bids []Bid) (*Auction, error) {
+	if len(tasks) == 0 {
+		return nil, ErrNoTasks
+	}
+	if len(bids) == 0 {
+		return nil, ErrNoBids
+	}
+	taskIndex := make(map[TaskID]int, len(tasks))
+	for i, task := range tasks {
+		if task.Requirement <= 0 || task.Requirement >= 1 {
+			return nil, fmt.Errorf("%w: task %d requirement %g", ErrBadRequirement, task.ID, task.Requirement)
+		}
+		if _, dup := taskIndex[task.ID]; dup {
+			return nil, fmt.Errorf("%w: task %d", ErrDuplicateID, task.ID)
+		}
+		taskIndex[task.ID] = i
+	}
+	seenUsers := make(map[UserID]bool, len(bids))
+	for _, bid := range bids {
+		if seenUsers[bid.User] {
+			return nil, fmt.Errorf("%w: user %d", ErrDuplicateID, bid.User)
+		}
+		seenUsers[bid.User] = true
+		if err := validateBid(bid, taskIndex); err != nil {
+			return nil, err
+		}
+	}
+	return &Auction{
+		Tasks:     append([]Task(nil), tasks...),
+		Bids:      append([]Bid(nil), bids...),
+		taskIndex: taskIndex,
+	}, nil
+}
+
+func validateBid(bid Bid, taskIndex map[TaskID]int) error {
+	if len(bid.Tasks) == 0 {
+		return fmt.Errorf("%w: user %d", ErrEmptyTaskSet, bid.User)
+	}
+	if bid.Cost <= 0 || math.IsInf(bid.Cost, 0) || math.IsNaN(bid.Cost) {
+		return fmt.Errorf("%w: user %d cost %g", ErrBadCost, bid.User, bid.Cost)
+	}
+	for i, j := range bid.Tasks {
+		if i > 0 && bid.Tasks[i-1] >= j {
+			return fmt.Errorf("auction: user %d task set not sorted/deduplicated", bid.User)
+		}
+		if _, ok := taskIndex[j]; !ok {
+			return fmt.Errorf("%w: user %d task %d", ErrUnknownTask, bid.User, j)
+		}
+		p, ok := bid.PoS[j]
+		if !ok {
+			return fmt.Errorf("%w: user %d task %d", ErrMissingPoS, bid.User, j)
+		}
+		if p < 0 || p >= 1 || math.IsNaN(p) {
+			return fmt.Errorf("%w: user %d task %d PoS %g", ErrBadPoS, bid.User, j, p)
+		}
+	}
+	return nil
+}
+
+// Task returns the task with the given ID.
+func (a *Auction) Task(id TaskID) (Task, bool) {
+	i, ok := a.taskIndex[id]
+	if !ok {
+		return Task{}, false
+	}
+	return a.Tasks[i], true
+}
+
+// Requirements returns Q_j for every task, keyed by task ID.
+func (a *Auction) Requirements() map[TaskID]float64 {
+	reqs := make(map[TaskID]float64, len(a.Tasks))
+	for _, task := range a.Tasks {
+		reqs[task.ID] = task.RequiredContribution()
+	}
+	return reqs
+}
+
+// Feasible reports whether selecting every user satisfies every task's
+// contribution requirement — a necessary condition for any allocation
+// algorithm to succeed. tol absorbs floating-point slack (pass 0 for exact).
+func (a *Auction) Feasible(tol float64) bool {
+	remaining := a.Requirements()
+	for _, bid := range a.Bids {
+		for _, j := range bid.Tasks {
+			remaining[j] -= bid.Contribution(j)
+		}
+	}
+	for _, r := range remaining {
+		if r > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// CoveredBy reports whether the given selection of bid indices satisfies
+// every task's contribution requirement within tol.
+func (a *Auction) CoveredBy(selected []int, tol float64) bool {
+	remaining := a.Requirements()
+	for _, idx := range selected {
+		bid := a.Bids[idx]
+		for _, j := range bid.Tasks {
+			remaining[j] -= bid.Contribution(j)
+		}
+	}
+	for _, r := range remaining {
+		if r > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// SocialCost sums the costs of the selected bid indices.
+func (a *Auction) SocialCost(selected []int) float64 {
+	total := 0.0
+	for _, idx := range selected {
+		total += a.Bids[idx].Cost
+	}
+	return total
+}
+
+// SingleTask reports whether the auction has exactly one task, the setting
+// of the paper's §III-B mechanism.
+func (a *Auction) SingleTask() bool { return len(a.Tasks) == 1 }
+
+// WithoutBid returns a copy of the auction with bid index i removed, used
+// by reward schemes that rerun allocation without one user. It fails if the
+// auction would have no bids left.
+func (a *Auction) WithoutBid(i int) (*Auction, error) {
+	if i < 0 || i >= len(a.Bids) {
+		return nil, fmt.Errorf("auction: bid index %d out of range", i)
+	}
+	rest := make([]Bid, 0, len(a.Bids)-1)
+	rest = append(rest, a.Bids[:i]...)
+	rest = append(rest, a.Bids[i+1:]...)
+	if len(rest) == 0 {
+		return nil, ErrNoBids
+	}
+	return New(a.Tasks, rest)
+}
+
+// WithBid returns a copy of the auction with bid index i replaced by the
+// given bid (same user, possibly different declaration), used to evaluate
+// misreports.
+func (a *Auction) WithBid(i int, bid Bid) (*Auction, error) {
+	if i < 0 || i >= len(a.Bids) {
+		return nil, fmt.Errorf("auction: bid index %d out of range", i)
+	}
+	bids := append([]Bid(nil), a.Bids...)
+	bids[i] = bid
+	return New(a.Tasks, bids)
+}

@@ -1,0 +1,309 @@
+package auction
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func singleTask(req float64) []Task {
+	return []Task{{ID: 1, Requirement: req}}
+}
+
+func bid(user UserID, cost float64, pos float64) Bid {
+	return NewBid(user, []TaskID{1}, cost, map[TaskID]float64{1: pos})
+}
+
+func TestContributionRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Abs(raw)
+		p -= math.Floor(p) // p in [0, 1)
+		q := Contribution(p)
+		if q < 0 {
+			return false
+		}
+		return math.Abs(PoS(q)-p) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContributionKnownValues(t *testing.T) {
+	if Contribution(0) != 0 {
+		t.Errorf("Contribution(0) = %g", Contribution(0))
+	}
+	if got := Contribution(1 - 1/math.E); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Contribution(1-1/e) = %g, want 1", got)
+	}
+	if got := PoS(0); got != 0 {
+		t.Errorf("PoS(0) = %g", got)
+	}
+	if !math.IsInf(Contribution(1), 1) {
+		t.Error("Contribution(1) should be +Inf")
+	}
+}
+
+func TestContributionAdditivity(t *testing.T) {
+	// 1 - (1-p1)(1-p2) == PoS(q1 + q2): the whole point of the transform.
+	p1, p2 := 0.7, 0.5
+	combined := 1 - (1-p1)*(1-p2)
+	if got := PoS(Contribution(p1) + Contribution(p2)); math.Abs(got-combined) > 1e-12 {
+		t.Errorf("additivity: got %g, want %g", got, combined)
+	}
+}
+
+func TestTaskRequiredContribution(t *testing.T) {
+	task := Task{ID: 1, Requirement: 0.8}
+	if got := task.RequiredContribution(); math.Abs(got-Contribution(0.8)) > 1e-15 {
+		t.Errorf("RequiredContribution = %g", got)
+	}
+}
+
+func TestNewBidNormalizes(t *testing.T) {
+	b := NewBid(1, []TaskID{3, 1, 3, 2, 1}, 5, map[TaskID]float64{1: 0.1, 2: 0.2, 3: 0.3})
+	want := []TaskID{1, 2, 3}
+	if len(b.Tasks) != len(want) {
+		t.Fatalf("tasks = %v", b.Tasks)
+	}
+	for i := range want {
+		if b.Tasks[i] != want[i] {
+			t.Fatalf("tasks = %v, want %v", b.Tasks, want)
+		}
+	}
+}
+
+func TestNewBidCopiesPoS(t *testing.T) {
+	pos := map[TaskID]float64{1: 0.5}
+	b := NewBid(1, []TaskID{1}, 5, pos)
+	pos[1] = 0.9
+	if b.PoS[1] != 0.5 {
+		t.Error("NewBid did not copy the PoS map")
+	}
+}
+
+func TestBidHas(t *testing.T) {
+	b := NewBid(1, []TaskID{2, 5, 9}, 1, map[TaskID]float64{2: 0.1, 5: 0.1, 9: 0.1})
+	for _, j := range []TaskID{2, 5, 9} {
+		if !b.Has(j) {
+			t.Errorf("Has(%d) = false", j)
+		}
+	}
+	for _, j := range []TaskID{1, 3, 10} {
+		if b.Has(j) {
+			t.Errorf("Has(%d) = true", j)
+		}
+	}
+}
+
+func TestBidContributionAndTotals(t *testing.T) {
+	b := NewBid(1, []TaskID{1, 2}, 1, map[TaskID]float64{1: 0.5, 2: 0.75})
+	if got := b.Contribution(1); math.Abs(got-Contribution(0.5)) > 1e-15 {
+		t.Errorf("Contribution(1) = %g", got)
+	}
+	if got := b.Contribution(99); got != 0 {
+		t.Errorf("Contribution(unknown) = %g, want 0", got)
+	}
+	wantTotal := Contribution(0.5) + Contribution(0.75)
+	if got := b.TotalContribution(); math.Abs(got-wantTotal) > 1e-12 {
+		t.Errorf("TotalContribution = %g, want %g", got, wantTotal)
+	}
+	wantCombined := 1 - 0.5*0.25
+	if got := b.CombinedPoS(); math.Abs(got-wantCombined) > 1e-12 {
+		t.Errorf("CombinedPoS = %g, want %g", got, wantCombined)
+	}
+}
+
+func TestBidClone(t *testing.T) {
+	b := NewBid(1, []TaskID{1}, 1, map[TaskID]float64{1: 0.5})
+	c := b.Clone()
+	c.PoS[1] = 0.9
+	if b.PoS[1] != 0.5 {
+		t.Error("Clone aliases PoS map")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	valid := singleTask(0.8)
+	okBid := bid(1, 5, 0.5)
+	cases := []struct {
+		name  string
+		tasks []Task
+		bids  []Bid
+		want  error
+	}{
+		{"no tasks", nil, []Bid{okBid}, ErrNoTasks},
+		{"no bids", valid, nil, ErrNoBids},
+		{"requirement 0", singleTask(0), []Bid{okBid}, ErrBadRequirement},
+		{"requirement 1", singleTask(1), []Bid{okBid}, ErrBadRequirement},
+		{"dup task", []Task{{ID: 1, Requirement: 0.5}, {ID: 1, Requirement: 0.6}}, []Bid{okBid}, ErrDuplicateID},
+		{"dup user", valid, []Bid{okBid, bid(1, 3, 0.4)}, ErrDuplicateID},
+		{"empty task set", valid, []Bid{{User: 1, Cost: 5}}, ErrEmptyTaskSet},
+		{"zero cost", valid, []Bid{bid(1, 0, 0.5)}, ErrBadCost},
+		{"negative cost", valid, []Bid{bid(1, -2, 0.5)}, ErrBadCost},
+		{"nan cost", valid, []Bid{bid(1, math.NaN(), 0.5)}, ErrBadCost},
+		{"unknown task", valid, []Bid{NewBid(1, []TaskID{7}, 5, map[TaskID]float64{7: 0.5})}, ErrUnknownTask},
+		{"missing pos", valid, []Bid{{User: 1, Tasks: []TaskID{1}, Cost: 5, PoS: map[TaskID]float64{}}}, ErrMissingPoS},
+		{"pos 1", valid, []Bid{bid(1, 5, 1)}, ErrBadPoS},
+		{"pos negative", valid, []Bid{bid(1, 5, -0.1)}, ErrBadPoS},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := New(c.tasks, c.bids)
+			if !errors.Is(err, c.want) {
+				t.Errorf("error = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestNewRejectsUnsortedTasks(t *testing.T) {
+	b := Bid{User: 1, Tasks: []TaskID{2, 1}, Cost: 5,
+		PoS: map[TaskID]float64{1: 0.5, 2: 0.5}}
+	tasks := []Task{{ID: 1, Requirement: 0.5}, {ID: 2, Requirement: 0.5}}
+	if _, err := New(tasks, []Bid{b}); err == nil {
+		t.Error("unsorted task set should be rejected")
+	}
+}
+
+func TestAuctionTaskLookup(t *testing.T) {
+	a, err := New(singleTask(0.8), []Bid{bid(1, 5, 0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, ok := a.Task(1)
+	if !ok || task.Requirement != 0.8 {
+		t.Errorf("Task(1) = %+v, %v", task, ok)
+	}
+	if _, ok := a.Task(9); ok {
+		t.Error("Task(9) should not exist")
+	}
+}
+
+func TestRequirements(t *testing.T) {
+	tasks := []Task{{ID: 1, Requirement: 0.8}, {ID: 2, Requirement: 0.5}}
+	bids := []Bid{NewBid(1, []TaskID{1, 2}, 5, map[TaskID]float64{1: 0.9, 2: 0.9})}
+	a, err := New(tasks, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := a.Requirements()
+	if len(reqs) != 2 {
+		t.Fatalf("requirements = %v", reqs)
+	}
+	if math.Abs(reqs[1]-Contribution(0.8)) > 1e-15 || math.Abs(reqs[2]-Contribution(0.5)) > 1e-15 {
+		t.Errorf("requirements = %v", reqs)
+	}
+}
+
+func TestFeasibleAndCoveredBy(t *testing.T) {
+	// Two users with PoS 0.7 jointly give 1-(0.3)^2 = 0.91 ≥ 0.9; one alone
+	// gives 0.7 < 0.9.
+	a, err := New(singleTask(0.9), []Bid{bid(1, 3, 0.7), bid(2, 2, 0.7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Feasible(1e-9) {
+		t.Error("auction should be feasible with both users")
+	}
+	if !a.CoveredBy([]int{0, 1}, 1e-9) {
+		t.Error("both users should cover")
+	}
+	if a.CoveredBy([]int{0}, 1e-9) {
+		t.Error("one user should not cover")
+	}
+	if a.CoveredBy(nil, 1e-9) {
+		t.Error("empty selection should not cover")
+	}
+
+	infeasible, err := New(singleTask(0.99), []Bid{bid(1, 3, 0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infeasible.Feasible(1e-9) {
+		t.Error("auction should be infeasible")
+	}
+}
+
+func TestSocialCost(t *testing.T) {
+	a, err := New(singleTask(0.5), []Bid{bid(1, 3, 0.7), bid(2, 2, 0.7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.SocialCost([]int{0, 1}); got != 5 {
+		t.Errorf("social cost = %g, want 5", got)
+	}
+	if got := a.SocialCost(nil); got != 0 {
+		t.Errorf("empty social cost = %g", got)
+	}
+}
+
+func TestSingleTaskPredicate(t *testing.T) {
+	a, err := New(singleTask(0.5), []Bid{bid(1, 3, 0.7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.SingleTask() {
+		t.Error("SingleTask() = false for one task")
+	}
+	tasks := []Task{{ID: 1, Requirement: 0.5}, {ID: 2, Requirement: 0.5}}
+	multi, err := New(tasks, []Bid{NewBid(1, []TaskID{1, 2}, 3, map[TaskID]float64{1: 0.7, 2: 0.7})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.SingleTask() {
+		t.Error("SingleTask() = true for two tasks")
+	}
+}
+
+func TestWithoutBid(t *testing.T) {
+	a, err := New(singleTask(0.5), []Bid{bid(1, 3, 0.7), bid(2, 2, 0.6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.WithoutBid(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Bids) != 1 || b.Bids[0].User != 2 {
+		t.Errorf("remaining bids = %+v", b.Bids)
+	}
+	if len(a.Bids) != 2 {
+		t.Error("WithoutBid mutated the original")
+	}
+	if _, err := a.WithoutBid(5); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	solo, err := New(singleTask(0.5), []Bid{bid(1, 3, 0.7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solo.WithoutBid(0); !errors.Is(err, ErrNoBids) {
+		t.Errorf("removing the only bid: error = %v, want ErrNoBids", err)
+	}
+}
+
+func TestWithBid(t *testing.T) {
+	a, err := New(singleTask(0.5), []Bid{bid(1, 3, 0.7), bid(2, 2, 0.6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replaced, err := a.WithBid(1, bid(2, 2, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replaced.Bids[1].PoS[1] != 0.9 {
+		t.Errorf("replacement not applied: %+v", replaced.Bids[1])
+	}
+	if a.Bids[1].PoS[1] != 0.6 {
+		t.Error("WithBid mutated the original")
+	}
+	if _, err := a.WithBid(9, bid(2, 2, 0.9)); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	// Replacing with an invalid bid must fail validation.
+	if _, err := a.WithBid(1, bid(2, -1, 0.9)); err == nil {
+		t.Error("invalid replacement should fail")
+	}
+}

@@ -1,0 +1,154 @@
+package execution
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/stats"
+)
+
+// The paper attributes execution failures to several causes — "the
+// uncertainty of mobility pattern, poor network connection during data
+// transmission, or sensor hardware failure" (§I) — and lists modelling them
+// as future work (§VI). This file implements that decomposition: a task
+// succeeds only if the user reaches the location AND the network holds AND
+// the sensor works, so the end-to-end PoS factorizes as
+//
+//	p = p_mobility · p_network · p_sensor,
+//
+// and simulated failures carry their cause, enabling the platform to audit
+// *why* tasks fail (e.g. a sensor cohort problem vs ordinary mobility
+// noise).
+
+// Cause labels one failure factor. Enums start at 1; CauseNone marks
+// success.
+type Cause int
+
+// Failure causes.
+const (
+	CauseNone Cause = iota
+	CauseMobility
+	CauseNetwork
+	CauseSensor
+)
+
+// String renders the cause.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseMobility:
+		return "mobility"
+	case CauseNetwork:
+		return "network"
+	case CauseSensor:
+		return "sensor"
+	default:
+		return fmt.Sprintf("Cause(%d)", int(c))
+	}
+}
+
+// Reliability is a user's non-mobility success factors, assumed constant
+// across her tasks (device-level properties).
+type Reliability struct {
+	Network float64 // P(transmission succeeds) ∈ (0, 1]
+	Sensor  float64 // P(sensor reading valid) ∈ (0, 1]
+}
+
+// Validate checks the factors.
+func (r Reliability) Validate() error {
+	if r.Network <= 0 || r.Network > 1 {
+		return fmt.Errorf("execution: network reliability %g outside (0, 1]", r.Network)
+	}
+	if r.Sensor <= 0 || r.Sensor > 1 {
+		return fmt.Errorf("execution: sensor reliability %g outside (0, 1]", r.Sensor)
+	}
+	return nil
+}
+
+// PerfectReliability is the paper's base model: all failures come from
+// mobility.
+var PerfectReliability = Reliability{Network: 1, Sensor: 1}
+
+// ComposePoS returns the end-to-end PoS of a task whose mobility-only
+// success probability is pMobility under the given reliability.
+func ComposePoS(pMobility float64, r Reliability) float64 {
+	return pMobility * r.Network * r.Sensor
+}
+
+// CausalAttempt is one winner's realized execution with per-task causes.
+type CausalAttempt struct {
+	BidIndex int
+	Outcome  map[auction.TaskID]Cause // CauseNone = succeeded
+}
+
+// AnySuccess reports whether at least one task succeeded.
+func (at CausalAttempt) AnySuccess() bool {
+	for _, c := range at.Outcome {
+		if c == CauseNone {
+			return true
+		}
+	}
+	return false
+}
+
+// Attempt flattens the causal record into the cause-less Attempt consumed
+// by Settle.
+func (at CausalAttempt) Attempt() Attempt {
+	succeeded := make(map[auction.TaskID]bool, len(at.Outcome))
+	for j, c := range at.Outcome {
+		succeeded[j] = c == CauseNone
+	}
+	return Attempt{BidIndex: at.BidIndex, Succeeded: succeeded}
+}
+
+// SimulateCausal draws execution outcomes with failure attribution. The
+// bids' PoS values are interpreted as MOBILITY-only probabilities; each
+// user's device reliability multiplies in. reliability maps bid index to
+// the user's factors; missing entries default to PerfectReliability, which
+// reduces the model to the paper's.
+func SimulateCausal(rng *rand.Rand, trueBids []auction.Bid, selected []int, reliability map[int]Reliability) ([]CausalAttempt, error) {
+	attempts := make([]CausalAttempt, 0, len(selected))
+	for _, idx := range selected {
+		if idx < 0 || idx >= len(trueBids) {
+			return nil, fmt.Errorf("execution: selected index %d out of range", idx)
+		}
+		rel, ok := reliability[idx]
+		if !ok {
+			rel = PerfectReliability
+		}
+		if err := rel.Validate(); err != nil {
+			return nil, err
+		}
+		bid := trueBids[idx]
+		outcome := make(map[auction.TaskID]Cause, len(bid.Tasks))
+		for _, j := range bid.Tasks {
+			switch {
+			case !stats.Bernoulli(rng, bid.PoS[j]):
+				outcome[j] = CauseMobility
+			case !stats.Bernoulli(rng, rel.Network):
+				outcome[j] = CauseNetwork
+			case !stats.Bernoulli(rng, rel.Sensor):
+				outcome[j] = CauseSensor
+			default:
+				outcome[j] = CauseNone
+			}
+		}
+		attempts = append(attempts, CausalAttempt{BidIndex: idx, Outcome: outcome})
+	}
+	return attempts, nil
+}
+
+// CauseBreakdown tallies failure causes across attempts — the audit a
+// platform operator would run to distinguish a sensor cohort problem from
+// ordinary mobility churn.
+func CauseBreakdown(attempts []CausalAttempt) map[Cause]int {
+	counts := make(map[Cause]int)
+	for _, at := range attempts {
+		for _, c := range at.Outcome {
+			counts[c]++
+		}
+	}
+	return counts
+}

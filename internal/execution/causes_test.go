@@ -1,0 +1,148 @@
+package execution
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/stats"
+)
+
+func TestCauseString(t *testing.T) {
+	cases := map[Cause]string{
+		CauseNone: "none", CauseMobility: "mobility",
+		CauseNetwork: "network", CauseSensor: "sensor",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if !strings.Contains(Cause(99).String(), "Cause") {
+		t.Error("unknown cause string")
+	}
+}
+
+func TestReliabilityValidate(t *testing.T) {
+	bad := []Reliability{
+		{Network: 0, Sensor: 1},
+		{Network: 1.5, Sensor: 1},
+		{Network: 1, Sensor: 0},
+		{Network: 1, Sensor: -0.5},
+	}
+	for _, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", r)
+		}
+	}
+	if err := PerfectReliability.Validate(); err != nil {
+		t.Errorf("perfect reliability invalid: %v", err)
+	}
+}
+
+func TestComposePoS(t *testing.T) {
+	r := Reliability{Network: 0.9, Sensor: 0.8}
+	if got := ComposePoS(0.5, r); math.Abs(got-0.36) > 1e-12 {
+		t.Errorf("composed PoS = %g, want 0.36", got)
+	}
+	if got := ComposePoS(0.5, PerfectReliability); got != 0.5 {
+		t.Errorf("perfect reliability changed PoS: %g", got)
+	}
+}
+
+func TestSimulateCausalFrequencies(t *testing.T) {
+	a := twoTaskAuction(t)
+	rng := stats.NewRand(20)
+	rel := map[int]Reliability{1: {Network: 0.7, Sensor: 0.9}}
+	// User 2 (bid index 1) has mobility PoS 0.8 on task 1; end-to-end
+	// success = 0.8·0.7·0.9 = 0.504.
+	const trials = 60000
+	counts := map[Cause]int{}
+	for i := 0; i < trials; i++ {
+		attempts, err := SimulateCausal(rng, a.Bids, []int{1}, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[attempts[0].Outcome[1]]++
+	}
+	freq := func(c Cause) float64 { return float64(counts[c]) / trials }
+	wants := map[Cause]float64{
+		CauseNone:     0.8 * 0.7 * 0.9,
+		CauseMobility: 0.2,
+		CauseNetwork:  0.8 * 0.3,
+		CauseSensor:   0.8 * 0.7 * 0.1,
+	}
+	for c, want := range wants {
+		if math.Abs(freq(c)-want) > 0.01 {
+			t.Errorf("%s frequency %g, want ≈ %g", c, freq(c), want)
+		}
+	}
+}
+
+func TestSimulateCausalDefaultsToPerfect(t *testing.T) {
+	a := twoTaskAuction(t)
+	rng := stats.NewRand(21)
+	const trials = 40000
+	success := 0
+	for i := 0; i < trials; i++ {
+		attempts, err := SimulateCausal(rng, a.Bids, []int{1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attempts[0].Outcome[1] == CauseNone {
+			success++
+		}
+		// Perfect reliability can only fail via mobility.
+		if c := attempts[0].Outcome[1]; c == CauseNetwork || c == CauseSensor {
+			t.Fatalf("device failure %s under perfect reliability", c)
+		}
+	}
+	if f := float64(success) / trials; math.Abs(f-0.8) > 0.01 {
+		t.Errorf("success frequency %g, want ≈ 0.8", f)
+	}
+}
+
+func TestSimulateCausalErrors(t *testing.T) {
+	a := twoTaskAuction(t)
+	rng := stats.NewRand(22)
+	if _, err := SimulateCausal(rng, a.Bids, []int{9}, nil); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	bad := map[int]Reliability{0: {Network: 0, Sensor: 1}}
+	if _, err := SimulateCausal(rng, a.Bids, []int{0}, bad); err == nil {
+		t.Error("invalid reliability should fail")
+	}
+}
+
+func TestCausalAttemptBridgesToSettle(t *testing.T) {
+	at := CausalAttempt{
+		BidIndex: 0,
+		Outcome: map[auction.TaskID]Cause{
+			1: CauseNone,
+			2: CauseNetwork,
+		},
+	}
+	if !at.AnySuccess() {
+		t.Error("AnySuccess false despite a success")
+	}
+	flat := at.Attempt()
+	if !flat.Succeeded[1] || flat.Succeeded[2] {
+		t.Errorf("flattened attempt = %+v", flat)
+	}
+	allFail := CausalAttempt{Outcome: map[auction.TaskID]Cause{1: CauseSensor}}
+	if allFail.AnySuccess() {
+		t.Error("AnySuccess true with only failures")
+	}
+}
+
+func TestCauseBreakdown(t *testing.T) {
+	attempts := []CausalAttempt{
+		{Outcome: map[auction.TaskID]Cause{1: CauseNone, 2: CauseMobility}},
+		{Outcome: map[auction.TaskID]Cause{3: CauseMobility, 4: CauseSensor}},
+	}
+	counts := CauseBreakdown(attempts)
+	if counts[CauseNone] != 1 || counts[CauseMobility] != 2 || counts[CauseSensor] != 1 {
+		t.Errorf("breakdown = %v", counts)
+	}
+}

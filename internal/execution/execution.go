@@ -1,0 +1,171 @@
+// Package execution simulates task execution after an auction: each winner
+// attempts her tasks and succeeds per-task with her TRUE probability of
+// success, rewards are settled under the execution-contingent scheme, and
+// the achieved per-task PoS is audited against the platform's requirement —
+// the quantities behind the paper's Figs. 6 and 7.
+package execution
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/stats"
+)
+
+// Attempt is one winner's realized execution: which of her tasks succeeded.
+type Attempt struct {
+	BidIndex  int
+	Succeeded map[auction.TaskID]bool
+}
+
+// AnySuccess reports whether at least one task of the attempt succeeded —
+// the multi-task EC reward trigger.
+func (at Attempt) AnySuccess() bool {
+	for _, ok := range at.Succeeded {
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Simulate draws execution outcomes for the selected winners. trueBids
+// supply the TRUE types (the declared types in the auction may differ when
+// studying manipulation); trueBids must be indexed like the auction's bid
+// slice.
+func Simulate(rng *rand.Rand, trueBids []auction.Bid, selected []int) ([]Attempt, error) {
+	attempts := make([]Attempt, 0, len(selected))
+	for _, idx := range selected {
+		if idx < 0 || idx >= len(trueBids) {
+			return nil, fmt.Errorf("execution: selected index %d out of range", idx)
+		}
+		bid := trueBids[idx]
+		succeeded := make(map[auction.TaskID]bool, len(bid.Tasks))
+		for _, j := range bid.Tasks {
+			succeeded[j] = stats.Bernoulli(rng, bid.PoS[j])
+		}
+		attempts = append(attempts, Attempt{BidIndex: idx, Succeeded: succeeded})
+	}
+	return attempts, nil
+}
+
+// Settlement is one winner's realized reward and utility after execution.
+type Settlement struct {
+	BidIndex int
+	User     auction.UserID
+	Success  bool    // the EC trigger: task done (single) / any task done (multi)
+	Reward   float64 // realized reward under the EC contract
+	Utility  float64 // reward − cost
+}
+
+// Settle applies the execution-contingent contracts of an outcome to
+// realized attempts. Single-task success means the (single) task was done;
+// multi-task success means any task of the user's set was done — exactly
+// the triggers of Algorithms 3 and 5.
+func Settle(out *mechanism.Outcome, attempts []Attempt, trueBids []auction.Bid) ([]Settlement, error) {
+	settlements := make([]Settlement, 0, len(attempts))
+	for _, at := range attempts {
+		aw, ok := out.AwardFor(at.BidIndex)
+		if !ok {
+			return nil, fmt.Errorf("execution: attempt for non-winner bid %d", at.BidIndex)
+		}
+		if at.BidIndex >= len(trueBids) {
+			return nil, fmt.Errorf("execution: attempt index %d out of range", at.BidIndex)
+		}
+		success := at.AnySuccess()
+		reward := aw.RewardOnFailure
+		if success {
+			reward = aw.RewardOnSuccess
+		}
+		cost := trueBids[at.BidIndex].Cost
+		settlements = append(settlements, Settlement{
+			BidIndex: at.BidIndex,
+			User:     aw.User,
+			Success:  success,
+			Reward:   reward,
+			Utility:  reward - cost,
+		})
+	}
+	return settlements, nil
+}
+
+// AchievedPoS computes, analytically from the TRUE types, the probability
+// that each task is completed by at least one selected user:
+// 1 − Π_{i∈I, j∈S_i}(1−p_i^j). This is the curve the paper's Fig. 7 plots
+// against the requirement.
+func AchievedPoS(tasks []auction.Task, trueBids []auction.Bid, selected []int) (map[auction.TaskID]float64, error) {
+	missProb := make(map[auction.TaskID]float64, len(tasks))
+	for _, task := range tasks {
+		missProb[task.ID] = 1
+	}
+	for _, idx := range selected {
+		if idx < 0 || idx >= len(trueBids) {
+			return nil, fmt.Errorf("execution: selected index %d out of range", idx)
+		}
+		bid := trueBids[idx]
+		for _, j := range bid.Tasks {
+			if _, ok := missProb[j]; !ok {
+				continue
+			}
+			missProb[j] *= 1 - bid.PoS[j]
+		}
+	}
+	achieved := make(map[auction.TaskID]float64, len(missProb))
+	for id, miss := range missProb {
+		achieved[id] = 1 - miss
+	}
+	return achieved, nil
+}
+
+// MeanAchievedPoS averages AchievedPoS over tasks — the paper reports the
+// average in the multi-task setting.
+func MeanAchievedPoS(tasks []auction.Task, trueBids []auction.Bid, selected []int) (float64, error) {
+	perTask, err := AchievedPoS(tasks, trueBids, selected)
+	if err != nil {
+		return 0, err
+	}
+	if len(perTask) == 0 {
+		return 0, fmt.Errorf("execution: no tasks")
+	}
+	total := 0.0
+	for _, p := range perTask {
+		total += p
+	}
+	return total / float64(len(perTask)), nil
+}
+
+// EmpiricalPoS estimates each task's completion probability by Monte-Carlo
+// simulation over the given number of trials, as a cross-check of the
+// analytic AchievedPoS.
+func EmpiricalPoS(rng *rand.Rand, tasks []auction.Task, trueBids []auction.Bid, selected []int, trials int) (map[auction.TaskID]float64, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("execution: trials must be positive, got %d", trials)
+	}
+	completions := make(map[auction.TaskID]int, len(tasks))
+	for trial := 0; trial < trials; trial++ {
+		attempts, err := Simulate(rng, trueBids, selected)
+		if err != nil {
+			return nil, err
+		}
+		done := make(map[auction.TaskID]bool)
+		for _, at := range attempts {
+			for j, ok := range at.Succeeded {
+				if ok {
+					done[j] = true
+				}
+			}
+		}
+		for _, task := range tasks {
+			if done[task.ID] {
+				completions[task.ID]++
+			}
+		}
+	}
+	freq := make(map[auction.TaskID]float64, len(tasks))
+	for _, task := range tasks {
+		freq[task.ID] = float64(completions[task.ID]) / float64(trials)
+	}
+	return freq, nil
+}

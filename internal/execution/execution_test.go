@@ -1,0 +1,234 @@
+package execution
+
+import (
+	"math"
+	"testing"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/stats"
+)
+
+func twoTaskAuction(t *testing.T) *auction.Auction {
+	t.Helper()
+	tasks := []auction.Task{
+		{ID: 1, Requirement: 0.8},
+		{ID: 2, Requirement: 0.8},
+	}
+	bids := []auction.Bid{
+		auction.NewBid(1, []auction.TaskID{1, 2}, 5, map[auction.TaskID]float64{1: 0.6, 2: 0.7}),
+		auction.NewBid(2, []auction.TaskID{1}, 3, map[auction.TaskID]float64{1: 0.8}),
+		auction.NewBid(3, []auction.TaskID{2}, 4, map[auction.TaskID]float64{2: 0.9}),
+	}
+	a, err := auction.New(tasks, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSimulateShape(t *testing.T) {
+	a := twoTaskAuction(t)
+	rng := stats.NewRand(1)
+	attempts, err := Simulate(rng, a.Bids, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attempts) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(attempts))
+	}
+	if attempts[0].BidIndex != 0 || attempts[1].BidIndex != 2 {
+		t.Errorf("bid indices %d, %d", attempts[0].BidIndex, attempts[1].BidIndex)
+	}
+	if len(attempts[0].Succeeded) != 2 {
+		t.Errorf("user 1 should attempt both her tasks")
+	}
+	if len(attempts[1].Succeeded) != 1 {
+		t.Errorf("user 3 should attempt one task")
+	}
+}
+
+func TestSimulateOutOfRange(t *testing.T) {
+	a := twoTaskAuction(t)
+	rng := stats.NewRand(2)
+	if _, err := Simulate(rng, a.Bids, []int{7}); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+}
+
+func TestSimulateFrequencies(t *testing.T) {
+	a := twoTaskAuction(t)
+	rng := stats.NewRand(3)
+	hits := 0
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		attempts, err := Simulate(rng, a.Bids, []int{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attempts[0].Succeeded[1] {
+			hits++
+		}
+	}
+	if f := float64(hits) / trials; math.Abs(f-0.8) > 0.01 {
+		t.Errorf("success frequency %g, want ≈ 0.8", f)
+	}
+}
+
+func TestAnySuccess(t *testing.T) {
+	at := Attempt{Succeeded: map[auction.TaskID]bool{1: false, 2: false}}
+	if at.AnySuccess() {
+		t.Error("all-failed attempt reports success")
+	}
+	at.Succeeded[2] = true
+	if !at.AnySuccess() {
+		t.Error("one success not detected")
+	}
+	empty := Attempt{Succeeded: map[auction.TaskID]bool{}}
+	if empty.AnySuccess() {
+		t.Error("empty attempt reports success")
+	}
+}
+
+func TestSettleAppliesECContract(t *testing.T) {
+	a := twoTaskAuction(t)
+	out := &mechanism.Outcome{
+		Selected: []int{0},
+		Awards: []mechanism.Award{{
+			BidIndex:        0,
+			User:            1,
+			RewardOnSuccess: 12,
+			RewardOnFailure: -2,
+		}},
+	}
+	success := []Attempt{{BidIndex: 0, Succeeded: map[auction.TaskID]bool{1: true, 2: false}}}
+	settlements, err := Settle(out, success, a.Bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := settlements[0]
+	if !s.Success || s.Reward != 12 || s.Utility != 7 {
+		t.Errorf("success settlement = %+v", s)
+	}
+
+	failure := []Attempt{{BidIndex: 0, Succeeded: map[auction.TaskID]bool{1: false, 2: false}}}
+	settlements, err = Settle(out, failure, a.Bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = settlements[0]
+	if s.Success || s.Reward != -2 || s.Utility != -7 {
+		t.Errorf("failure settlement = %+v", s)
+	}
+}
+
+func TestSettleRejectsNonWinner(t *testing.T) {
+	a := twoTaskAuction(t)
+	out := &mechanism.Outcome{Selected: []int{0}, Awards: []mechanism.Award{{BidIndex: 0}}}
+	attempts := []Attempt{{BidIndex: 2, Succeeded: map[auction.TaskID]bool{2: true}}}
+	if _, err := Settle(out, attempts, a.Bids); err == nil {
+		t.Error("settling a non-winner should fail")
+	}
+}
+
+func TestAchievedPoS(t *testing.T) {
+	a := twoTaskAuction(t)
+	achieved, err := AchievedPoS(a.Tasks, a.Bids, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task 1: users 1 (0.6) and 2 (0.8): 1 − 0.4·0.2 = 0.92.
+	if math.Abs(achieved[1]-0.92) > 1e-12 {
+		t.Errorf("task 1 achieved = %g, want 0.92", achieved[1])
+	}
+	// Task 2: users 1 (0.7) and 3 (0.9): 1 − 0.3·0.1 = 0.97.
+	if math.Abs(achieved[2]-0.97) > 1e-12 {
+		t.Errorf("task 2 achieved = %g, want 0.97", achieved[2])
+	}
+
+	// With only user 2 selected, task 2 is uncovered.
+	achieved, err = AchievedPoS(a.Tasks, a.Bids, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if achieved[2] != 0 {
+		t.Errorf("uncovered task achieved = %g, want 0", achieved[2])
+	}
+	if _, err := AchievedPoS(a.Tasks, a.Bids, []int{9}); err == nil {
+		t.Error("out-of-range selection should fail")
+	}
+}
+
+func TestMeanAchievedPoS(t *testing.T) {
+	a := twoTaskAuction(t)
+	mean, err := MeanAchievedPoS(a.Tasks, a.Bids, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-(0.92+0.97)/2) > 1e-12 {
+		t.Errorf("mean achieved = %g", mean)
+	}
+	if _, err := MeanAchievedPoS(nil, a.Bids, nil); err == nil {
+		t.Error("no tasks should fail")
+	}
+}
+
+func TestEmpiricalMatchesAnalytic(t *testing.T) {
+	a := twoTaskAuction(t)
+	rng := stats.NewRand(4)
+	analytic, err := AchievedPoS(a.Tasks, a.Bids, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empirical, err := EmpiricalPoS(rng, a.Tasks, a.Bids, []int{0, 1, 2}, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range a.Tasks {
+		if math.Abs(analytic[task.ID]-empirical[task.ID]) > 0.01 {
+			t.Errorf("task %d: analytic %g vs empirical %g",
+				task.ID, analytic[task.ID], empirical[task.ID])
+		}
+	}
+	if _, err := EmpiricalPoS(rng, a.Tasks, a.Bids, []int{0}, 0); err == nil {
+		t.Error("zero trials should fail")
+	}
+}
+
+func TestEndToEndMechanismExecutionIR(t *testing.T) {
+	// Run the real multi-task mechanism, simulate many executions, and
+	// check the empirical mean utility of each winner approximates her
+	// declared expected utility (truthful bids ⇒ the two must agree).
+	a := twoTaskAuction(t)
+	m := &mechanism.MultiTask{Alpha: 10}
+	out, err := m.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(5)
+	sums := map[int]float64{}
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		attempts, err := Simulate(rng, a.Bids, out.Selected)
+		if err != nil {
+			t.Fatal(err)
+		}
+		settlements, err := Settle(out, attempts, a.Bids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range settlements {
+			sums[s.BidIndex] += s.Utility
+		}
+	}
+	for _, aw := range out.Awards {
+		mean := sums[aw.BidIndex] / trials
+		if math.Abs(mean-aw.ExpectedUtility) > 0.08 {
+			t.Errorf("winner %d empirical utility %g vs expected %g",
+				aw.BidIndex, mean, aw.ExpectedUtility)
+		}
+		if aw.ExpectedUtility < -1e-9 {
+			t.Errorf("winner %d negative expected utility", aw.BidIndex)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"crowdsense/internal/knapsack"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/mobility"
+	"crowdsense/internal/stats"
+	"crowdsense/internal/workload"
+)
+
+// This file holds ablation studies beyond the paper's own figures: they
+// isolate the design choices DESIGN.md calls out (the FPTAS approximation
+// parameter, the campaign-horizon PoS lift, the critical-bid computation,
+// and the Laplace smoothing pseudo-count) and one economic metric the paper
+// leaves implicit (payment overhead relative to social cost).
+
+// RunAblationEpsilon sweeps the FPTAS ε and reports the cost ratio to the
+// exact optimum together with the winner-determination runtime — the
+// approximation/time trade-off behind Theorems 2 and 3.
+func (e *Env) RunAblationEpsilon() (*Result, error) {
+	epsilons := []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0}
+	params := workload.DefaultSingleTaskParams()
+	rng := e.rng(101)
+
+	// A fixed pool of instances so every ε sees identical workloads.
+	var instances []*knapsack.Instance
+	for rep := 0; rep < e.Config.Repetitions*2; rep++ {
+		a, err := e.Population.SampleSingleTask(rng, params, 60)
+		if err != nil {
+			continue
+		}
+		in, err := singleTaskInstance(a)
+		if err != nil {
+			return nil, err
+		}
+		instances = append(instances, in)
+	}
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("experiments: ablation-eps: no feasible instances")
+	}
+	optCosts := make([]float64, len(instances))
+	for i, in := range instances {
+		sol, err := knapsack.SolveBnB(in, e.Config.nodeBudget())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation-eps OPT: %w", err)
+		}
+		optCosts[i] = sol.Cost
+	}
+
+	xs := make([]float64, len(epsilons))
+	ratios := make([]float64, len(epsilons))
+	runtimes := make([]float64, len(epsilons))
+	for k, eps := range epsilons {
+		xs[k] = eps
+		var ratioAcc stats.Accumulator
+		start := time.Now()
+		for i, in := range instances {
+			sol, err := knapsack.SolveFPTAS(in, eps)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ablation-eps fptas(%g): %w", eps, err)
+			}
+			ratioAcc.Add(sol.Cost / optCosts[i])
+		}
+		runtimes[k] = float64(time.Since(start).Microseconds()) / float64(len(instances)) / 1000
+		ratios[k] = ratioAcc.Mean()
+	}
+	return &Result{
+		ID:     "ablation-eps",
+		Title:  "FPTAS ε: approximation vs runtime",
+		XLabel: "epsilon",
+		YLabel: "cost ratio to OPT / runtime (ms)",
+		Series: []Series{
+			{Label: "cost / OPT", X: xs, Y: ratios},
+			{Label: "runtime ms", X: xs, Y: runtimes},
+		},
+	}, nil
+}
+
+// RunAblationHorizon sweeps the campaign horizon — this repository's
+// documented extension over the paper's single-slot PoS — and reports, for
+// a 60-user single-task auction, how many winners the mechanism needs and
+// what it costs. Short horizons force heavy redundancy; long horizons make
+// individual users reliable enough that one or two suffice.
+func (e *Env) RunAblationHorizon() (*Result, error) {
+	horizons := []int{1, 2, 4, 6, 9, 12, 18}
+	rng := e.rng(102)
+	xs := make([]float64, len(horizons))
+	winners := make([]float64, len(horizons))
+	costs := make([]float64, len(horizons))
+	feasible := make([]float64, len(horizons))
+	for i, h := range horizons {
+		xs[i] = float64(h)
+		params := workload.DefaultSingleTaskParams()
+		params.Horizon = h
+		var winAcc, costAcc stats.Accumulator
+		ok := 0
+		tries := e.Config.Repetitions * 2
+		for rep := 0; rep < tries; rep++ {
+			a, err := e.Population.SampleSingleTask(rng, params, 60)
+			if err != nil {
+				continue
+			}
+			sol, err := knapsackSolve(a)
+			if err != nil {
+				continue
+			}
+			ok++
+			winAcc.Add(float64(sol.winners))
+			costAcc.Add(sol.cost)
+		}
+		feasible[i] = float64(ok) / float64(tries)
+		winners[i] = meanOrNaN(winAcc)
+		costs[i] = meanOrNaN(costAcc)
+	}
+	return &Result{
+		ID:     "ablation-horizon",
+		Title:  "Campaign horizon: redundancy vs reliability",
+		XLabel: "horizon (time slots)",
+		YLabel: "winners / social cost / feasible fraction",
+		Series: []Series{
+			{Label: "winners", X: xs, Y: winners},
+			{Label: "social cost", X: xs, Y: costs},
+			{Label: "feasible fraction", X: xs, Y: feasible},
+		},
+	}, nil
+}
+
+// RunAblationCriticalBid compares the printed Algorithm 5 critical bid with
+// the exact scaled-threshold variant on identical multi-task instances:
+// mean critical contribution, mean winner expected utility, and total
+// platform payment. The paper variant's optimistic thresholds translate
+// into higher utilities (and payments) — the price of its
+// strategy-proofness gap.
+func (e *Env) RunAblationCriticalBid() (*Result, error) {
+	params := workload.DefaultParams()
+	rng := e.rng(103)
+	modes := []struct {
+		label string
+		mode  mechanism.CriticalBidMode
+	}{
+		{"Algorithm 5 (paper)", mechanism.CriticalBidPaper},
+		{"scaled threshold", mechanism.CriticalBidScaled},
+	}
+	criticalMeans := make([]float64, len(modes))
+	utilityMeans := make([]float64, len(modes))
+	payments := make([]float64, len(modes))
+	count := 0
+	for rep := 0; rep < e.Config.Repetitions; rep++ {
+		a, err := e.Population.SampleMultiTask(rng, params, 60, 15)
+		if err != nil {
+			continue
+		}
+		count++
+		for k, mode := range modes {
+			m := &mechanism.MultiTask{Alpha: mechanism.DefaultAlpha, CriticalBid: mode.mode}
+			out, err := m.Run(a)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ablation-critical %s: %w", mode.label, err)
+			}
+			var cAcc, uAcc stats.Accumulator
+			pay := 0.0
+			for _, aw := range out.Awards {
+				cAcc.Add(aw.CriticalContribution)
+				uAcc.Add(aw.ExpectedUtility)
+				// Expected payment under the declared PoS.
+				pAny := a.Bids[aw.BidIndex].CombinedPoS()
+				pay += pAny*aw.RewardOnSuccess + (1-pAny)*aw.RewardOnFailure
+			}
+			criticalMeans[k] += cAcc.Mean()
+			utilityMeans[k] += uAcc.Mean()
+			payments[k] += pay
+		}
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("experiments: ablation-critical: no feasible instances")
+	}
+	xs := []float64{1, 2}
+	for k := range modes {
+		criticalMeans[k] /= float64(count)
+		utilityMeans[k] /= float64(count)
+		payments[k] /= float64(count)
+	}
+	return &Result{
+		ID:     "ablation-critical",
+		Title:  "Critical-bid computation: Algorithm 5 vs exact scaled threshold",
+		XLabel: "mode (1 = paper, 2 = scaled)",
+		YLabel: "mean critical q / mean utility / expected payment",
+		Series: []Series{
+			{Label: "mean critical contribution", X: xs, Y: criticalMeans},
+			{Label: "mean winner utility", X: xs, Y: utilityMeans},
+			{Label: "expected total payment", X: xs, Y: payments},
+		},
+	}, nil
+}
+
+// RunAblationSmoothing sweeps the Laplace pseudo-count of the mobility
+// learner and reports the mean held-out log-likelihood (bits per
+// transition). Top-k ranking is invariant to symmetric smoothing, but the
+// probability estimates — hence the PoS values the auctions consume — are
+// not: too little smoothing overfits sparse rows, too much washes the
+// signal out.
+func (e *Env) RunAblationSmoothing() (*Result, error) {
+	smoothings := []float64{0.1, 0.25, 0.5, 1, 2, 5}
+	trains, test, err := mobility.Split(e.Log, 0.15)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, len(smoothings))
+	ys := make([]float64, len(smoothings))
+	for i, s := range smoothings {
+		xs[i] = s
+		models := make([]*mobility.Model, len(trains))
+		for id, walk := range trains {
+			if len(walk) < 2 {
+				continue
+			}
+			m, err := mobility.FitWalk(walk, s)
+			if err != nil {
+				return nil, err
+			}
+			models[id] = m
+		}
+		total, scored := 0.0, 0
+		for _, tr := range test {
+			m := models[tr.TaxiID]
+			if m == nil || !m.Knows(tr.From) || !m.Knows(tr.To) {
+				continue
+			}
+			p := m.Prob(tr.From, tr.To)
+			if p <= 0 {
+				continue
+			}
+			total += math.Log2(p)
+			scored++
+		}
+		if scored == 0 {
+			return nil, fmt.Errorf("experiments: ablation-smoothing: nothing scorable at s=%g", s)
+		}
+		ys[i] = total / float64(scored)
+	}
+	return &Result{
+		ID:     "ablation-smoothing",
+		Title:  "Laplace pseudo-count vs held-out log-likelihood",
+		XLabel: "pseudo-count",
+		YLabel: "mean log2 P(next) per held-out transition",
+		Series: []Series{{Label: "log-likelihood", X: xs, Y: ys}},
+	}, nil
+}
+
+// RunPaymentOverhead measures frugality: the ratio of the platform's
+// expected total payment to the social cost for both mechanisms. Critical-
+// bid payments necessarily overpay relative to cost; this quantifies by how
+// much under the default workloads.
+func (e *Env) RunPaymentOverhead() (*Result, error) {
+	rng := e.rng(104)
+	singleParams := workload.DefaultSingleTaskParams()
+	multiParams := workload.DefaultParams()
+
+	singleRatio, err := meanOf(e.Config.Repetitions, func(int) (float64, error) {
+		a, err := e.Population.SampleSingleTask(rng, singleParams, 60)
+		if err != nil {
+			return 0, err
+		}
+		out, err := (&mechanism.SingleTask{Epsilon: 0.5, Alpha: mechanism.DefaultAlpha}).Run(a)
+		if err != nil {
+			return 0, err
+		}
+		taskID := a.Tasks[0].ID
+		pay := 0.0
+		for _, aw := range out.Awards {
+			p := a.Bids[aw.BidIndex].PoS[taskID]
+			pay += p*aw.RewardOnSuccess + (1-p)*aw.RewardOnFailure
+		}
+		return pay / out.SocialCost, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: payment overhead single: %w", err)
+	}
+	multiRatio, err := meanOf(e.Config.Repetitions, func(int) (float64, error) {
+		a, err := e.Population.SampleMultiTask(rng, multiParams, 60, 15)
+		if err != nil {
+			return 0, err
+		}
+		out, err := (&mechanism.MultiTask{Alpha: mechanism.DefaultAlpha}).Run(a)
+		if err != nil {
+			return 0, err
+		}
+		pay := 0.0
+		for _, aw := range out.Awards {
+			pAny := a.Bids[aw.BidIndex].CombinedPoS()
+			pay += pAny*aw.RewardOnSuccess + (1-pAny)*aw.RewardOnFailure
+		}
+		return pay / out.SocialCost, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: payment overhead multi: %w", err)
+	}
+	if math.IsNaN(singleRatio) || math.IsNaN(multiRatio) {
+		return nil, fmt.Errorf("experiments: payment overhead produced NaN")
+	}
+	x := []float64{1}
+	return &Result{
+		ID:     "ext-payment",
+		Title:  "Payment overhead: expected payment / social cost",
+		XLabel: "default workload",
+		YLabel: "payment ratio",
+		Series: []Series{
+			{Label: "single task", X: x, Y: []float64{singleRatio}},
+			{Label: "multi task", X: x, Y: []float64{multiRatio}},
+		},
+	}, nil
+}

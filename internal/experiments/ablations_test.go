@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunAblationEpsilon(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunAblationEpsilon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 2)
+	ratios := seriesByLabel(t, r, "cost / OPT")
+	for i, ratio := range ratios.Y {
+		eps := ratios.X[i]
+		if ratio < 1-1e-9 {
+			t.Errorf("ε=%g: ratio %g below 1 (beat OPT?)", eps, ratio)
+		}
+		if ratio > 1+eps+1e-9 {
+			t.Errorf("ε=%g: ratio %g above the (1+ε) guarantee", eps, ratio)
+		}
+	}
+	times := seriesByLabel(t, r, "runtime ms")
+	for _, ms := range times.Y {
+		if ms <= 0 {
+			t.Errorf("non-positive runtime %g", ms)
+		}
+	}
+}
+
+func TestRunAblationHorizon(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunAblationHorizon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 3)
+	winners := seriesByLabel(t, r, "winners")
+	// Longer campaigns need fewer (or equal) winners: compare the first and
+	// last feasible points.
+	firstValid, lastValid := math.NaN(), math.NaN()
+	for _, y := range winners.Y {
+		if math.IsNaN(y) {
+			continue
+		}
+		if math.IsNaN(firstValid) {
+			firstValid = y
+		}
+		lastValid = y
+	}
+	if math.IsNaN(lastValid) {
+		t.Fatal("no feasible horizon point")
+	}
+	if lastValid > firstValid+1e-9 {
+		t.Errorf("winners grew with horizon: %v", winners.Y)
+	}
+	feas := seriesByLabel(t, r, "feasible fraction")
+	if last := feas.Y[len(feas.Y)-1]; last < 0.5 {
+		t.Errorf("long-horizon feasibility %g too low", last)
+	}
+}
+
+func TestRunAblationCriticalBid(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunAblationCriticalBid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 3)
+	critical := seriesByLabel(t, r, "mean critical contribution")
+	// The paper's optimistic threshold is (weakly) below the exact one.
+	if critical.Y[0] > critical.Y[1]+1e-6 {
+		t.Errorf("paper critical %g above exact %g", critical.Y[0], critical.Y[1])
+	}
+	utility := seriesByLabel(t, r, "mean winner utility")
+	for i, u := range utility.Y {
+		if u < -1e-6 {
+			t.Errorf("mode %d mean utility %g negative", i+1, u)
+		}
+	}
+}
+
+func TestRunAblationSmoothing(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunAblationSmoothing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 1)
+	distinct := map[float64]bool{}
+	for i, ll := range r.Series[0].Y {
+		if ll >= 0 {
+			t.Errorf("pseudo-count %g: log-likelihood %g not negative", r.Series[0].X[i], ll)
+		}
+		distinct[ll] = true
+	}
+	// The metric must actually move with the pseudo-count (unlike top-k
+	// accuracy, which is smoothing-invariant).
+	if len(distinct) < 2 {
+		t.Error("log-likelihood did not vary with smoothing")
+	}
+}
+
+func TestRunPaymentOverhead(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunPaymentOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 2)
+	for _, s := range r.Series {
+		// Critical-bid payments cover at least the winners' costs in
+		// expectation (IR), so the ratio is ≥ 1 up to simulation noise.
+		if s.Y[0] < 0.99 {
+			t.Errorf("%s payment ratio %g below 1", s.Label, s.Y[0])
+		}
+		if s.Y[0] > 10 {
+			t.Errorf("%s payment ratio %g implausibly high", s.Label, s.Y[0])
+		}
+	}
+}
+
+func TestRunCostVerification(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunCostVerification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 2)
+	raw := seriesByLabel(t, r, "no verification")
+	ver := seriesByLabel(t, r, "with verification")
+	// At the truthful point (factor 1) the two settle identically: honest
+	// declarations are never fined under the default calibration.
+	if math.Abs(raw.Y[0]-ver.Y[0]) > 1e-9 {
+		t.Errorf("truthful utilities differ: %g vs %g", raw.Y[0], ver.Y[0])
+	}
+	// Gross inflation (last factor, 2.5×) either prices the user out (both
+	// zero) or is strictly punished under verification.
+	last := len(raw.Y) - 1
+	if raw.Y[last] != 0 && ver.Y[last] >= raw.Y[last] {
+		t.Errorf("verification did not punish 2.5× inflation: raw %g, verified %g",
+			raw.Y[last], ver.Y[last])
+	}
+	// Verified utility is maximized at (or tied with) the truthful point.
+	for i := range ver.Y {
+		if ver.Y[i] > ver.Y[0]+0.35 { // small slack for execution noise
+			t.Errorf("factor %g: verified utility %g above truthful %g",
+				ver.X[i], ver.Y[i], ver.Y[0])
+		}
+	}
+}
+
+func TestRunAblationOrder2(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunAblationOrder2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 2)
+	o1 := seriesByLabel(t, r, "order 1 (paper)")
+	o2 := seriesByLabel(t, r, "order 2")
+	for i := range o1.Y {
+		if o1.Y[i] < 0 || o1.Y[i] > 1 || o2.Y[i] < 0 || o2.Y[i] > 1 {
+			t.Fatalf("accuracy out of range at point %d", i)
+		}
+		// Order-2 with first-order fallback must not collapse far below
+		// order-1 even on memoryless traces.
+		if o2.Y[i] < o1.Y[i]-0.1 {
+			t.Errorf("point %d: order-2 %g far below order-1 %g", i, o2.Y[i], o1.Y[i])
+		}
+	}
+}
+
+func TestRunRobustness(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunRobustness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 2)
+	achieved := seriesByLabel(t, r, "achieved (multi task)")
+	// Achieved PoS degrades monotonically (within noise) as reliability
+	// falls, and starts above the requirement at full reliability.
+	required := seriesByLabel(t, r, "required").Y[0]
+	if achieved.Y[0] < required-0.05 {
+		t.Errorf("full-reliability achieved %g below requirement %g", achieved.Y[0], required)
+	}
+	if last := achieved.Y[len(achieved.Y)-1]; last > achieved.Y[0] {
+		t.Errorf("achieved PoS rose under degradation: %v", achieved.Y)
+	}
+}
+
+func TestRunStrategicRegret(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunStrategicRegret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 2)
+	mean := seriesByLabel(t, r, "mean regret")
+	max := seriesByLabel(t, r, "max regret")
+	// Ours (x = 1) is strategy-proof: regret vanishes.
+	if mean.Y[0] > 1e-3 || max.Y[0] > 1e-3 {
+		t.Errorf("our mechanism leaks regret: mean %g, max %g", mean.Y[0], max.Y[0])
+	}
+	// The naive baseline (x = 2) pays rent.
+	if max.Y[1] <= max.Y[0] {
+		t.Errorf("naive baseline max regret %g not above ours %g", max.Y[1], max.Y[0])
+	}
+}
+
+func TestRunReputation(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunReputation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 3)
+	honest := seriesByLabel(t, r, "honest reliability")
+	over := seriesByLabel(t, r, "over-claimer reliability")
+	last := len(honest.Y) - 1
+	if last < 10 {
+		t.Fatalf("only %d rounds completed", last+1)
+	}
+	// The estimates must separate: over-claimers end well below honest
+	// users. The gap is bounded by an equilibrium — once discounted, an
+	// over-claimer rarely wins, so her evidence accrues slowly — hence the
+	// moderate threshold.
+	if over.Y[last] > honest.Y[last]-0.15 {
+		t.Errorf("cohorts did not separate: honest %g, over-claimer %g",
+			honest.Y[last], over.Y[last])
+	}
+	if honest.Y[last] < 0.8 {
+		t.Errorf("honest reliability fell to %g", honest.Y[last])
+	}
+	// Coverage recovers: the last third of rounds achieves at least as
+	// much PoS on average as the first third.
+	achieved := seriesByLabel(t, r, "achieved task PoS")
+	third := len(achieved.Y) / 3
+	early, late := 0.0, 0.0
+	for i := 0; i < third; i++ {
+		early += achieved.Y[i]
+		late += achieved.Y[len(achieved.Y)-1-i]
+	}
+	if late < early-0.05*float64(third) {
+		t.Errorf("achieved PoS did not recover: early mean %g, late mean %g",
+			early/float64(third), late/float64(third))
+	}
+}

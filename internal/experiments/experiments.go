@@ -1,0 +1,270 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV). Each RunFigN/RunTableN function builds the workload the
+// paper describes, runs the mechanisms and baselines, and returns labelled
+// series ready to print or plot; cmd/benchfig drives them all and
+// bench_test.go wraps each in a testing.B benchmark.
+//
+// Absolute numbers differ from the paper — the substrate is a synthetic
+// trace generator, not the authors' Shanghai data set — but each harness is
+// built to reproduce the paper's qualitative shapes, which EXPERIMENTS.md
+// records side by side.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"crowdsense/internal/stats"
+	"crowdsense/internal/trace"
+	"crowdsense/internal/workload"
+)
+
+// Series is one labelled curve: Y[i] corresponds to X[i].
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Result is a completed experiment: an identifier (e.g. "fig5a"), a title,
+// axis labels, and one or more series.
+type Result struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render formats the result as an aligned text table, one row per x value.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "# x = %s, y = %s\n", r.XLabel, r.YLabel)
+	fmt.Fprintf(&b, "%-12s", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%-22s", s.Label)
+	}
+	b.WriteString("\n")
+	if len(r.Series) == 0 {
+		return b.String()
+	}
+	for i := range r.Series[0].X {
+		fmt.Fprintf(&b, "%-12.4g", r.Series[0].X[i])
+		for _, s := range r.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%-22.6g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, "%-22s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders the result as comma-separated rows with a header.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(r.XLabel))
+	for _, s := range r.Series {
+		b.WriteString(",")
+		b.WriteString(csvEscape(s.Label))
+	}
+	b.WriteString("\n")
+	if len(r.Series) == 0 {
+		return b.String()
+	}
+	for i := range r.Series[0].X {
+		fmt.Fprintf(&b, "%g", r.Series[0].X[i])
+		for _, s := range r.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, ",%g", s.Y[i])
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Config holds the shared experimental environment: the synthetic city
+// trace, the learned population, the repetition count used to average
+// stochastic sweeps, and the sweep grids (defaulted to the paper's when
+// empty).
+type Config struct {
+	TraceConfig trace.Config
+	Smoothing   float64
+	Repetitions int   // averaging repetitions per sweep point
+	Seed        int64 //
+	NodeBudget  int   // branch-and-bound budget for the OPT baselines
+
+	// Sweep overrides; empty slices use the paper's grids.
+	SingleTaskUsers  []int     // Fig. 5(a): default 20..100 step 10
+	MultiTaskUsers   []int     // Fig. 5(b): default 10..100 step 10
+	MultiTaskTasks   []int     // Fig. 5(c): default 10..50 step 10
+	RequirementSweep []float64 // Figs. 8–9: default 0.5..0.9 step 0.05
+	PredictionKs     []int     // Fig. 3: default 3..15
+}
+
+// DefaultConfig is the full paper-scale environment (1692 taxis, a month
+// of trips). Building it takes a few seconds; tests use TestConfig.
+func DefaultConfig() Config {
+	return Config{
+		TraceConfig: trace.DefaultConfig(),
+		Smoothing:   1,
+		Repetitions: 10,
+		Seed:        1,
+		NodeBudget:  2_000_000,
+	}
+}
+
+// TestConfig is a downsized environment for unit tests and quick smoke
+// runs: a denser, smaller city so paper-scale instance sizes stay feasible
+// with two orders of magnitude fewer events.
+func TestConfig() Config {
+	cfg := trace.DefaultConfig()
+	cfg.Rows, cfg.Cols = 12, 12
+	cfg.Taxis = 220
+	cfg.Days = 14
+	cfg.TerritorySize = 20
+	cfg.Hotspots = 25
+	return Config{
+		TraceConfig:      cfg,
+		Smoothing:        1,
+		Repetitions:      2,
+		Seed:             1,
+		NodeBudget:       200_000,
+		SingleTaskUsers:  []int{20, 60, 100},
+		MultiTaskUsers:   []int{10, 50, 100},
+		MultiTaskTasks:   []int{10, 30, 50},
+		RequirementSweep: []float64{0.5, 0.7, 0.9},
+		PredictionKs:     []int{3, 9, 15},
+	}
+}
+
+// sweep helpers fill in the paper's grids when a Config leaves them empty.
+
+func (c Config) singleTaskUsers() []int {
+	if len(c.SingleTaskUsers) > 0 {
+		return c.SingleTaskUsers
+	}
+	return intRange(20, 100, 10)
+}
+
+func (c Config) multiTaskUsers() []int {
+	if len(c.MultiTaskUsers) > 0 {
+		return c.MultiTaskUsers
+	}
+	return intRange(10, 100, 10)
+}
+
+func (c Config) multiTaskTasks() []int {
+	if len(c.MultiTaskTasks) > 0 {
+		return c.MultiTaskTasks
+	}
+	return intRange(10, 50, 10)
+}
+
+func (c Config) requirementSweep() []float64 {
+	if len(c.RequirementSweep) > 0 {
+		return c.RequirementSweep
+	}
+	var ts []float64
+	for t := 0.5; t <= 0.9+1e-9; t += 0.05 {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+func (c Config) predictionKs() []int {
+	if len(c.PredictionKs) > 0 {
+		return c.PredictionKs
+	}
+	return intRange(3, 15, 1)
+}
+
+func (c Config) nodeBudget() int {
+	if c.NodeBudget > 0 {
+		return c.NodeBudget
+	}
+	return 2_000_000
+}
+
+func intRange(lo, hi, step int) []int {
+	var out []int
+	for v := lo; v <= hi; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Env is the materialized environment shared by the harnesses.
+type Env struct {
+	Config     Config
+	Log        *trace.Log
+	Population *workload.Population
+}
+
+// NewEnv generates the trace and learns the population.
+func NewEnv(cfg Config) (*Env, error) {
+	gen, err := trace.NewGenerator(cfg.TraceConfig)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: trace generator: %w", err)
+	}
+	log, err := gen.Generate(stats.NewRand(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generate trace: %w", err)
+	}
+	pop, err := workload.BuildPopulation(log, cfg.Smoothing, 2)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build population: %w", err)
+	}
+	if cfg.Repetitions < 1 {
+		cfg.Repetitions = 1
+	}
+	return &Env{Config: cfg, Log: log, Population: pop}, nil
+}
+
+// rng derives a deterministic per-purpose random source so harnesses do not
+// perturb each other's streams.
+func (e *Env) rng(salt int64) *rand.Rand {
+	return stats.NewRand(e.Config.Seed*1_000_003 + salt)
+}
+
+// meanOf runs fn reps times and averages the values it reports. Runs that
+// fail (for example an infeasible sample at an extreme sweep point) are
+// skipped; an error is returned only if every run fails.
+func meanOf(reps int, fn func(rep int) (float64, error)) (float64, error) {
+	var acc stats.Accumulator
+	var lastErr error
+	for rep := 0; rep < reps; rep++ {
+		v, err := fn(rep)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		acc.Add(v)
+	}
+	if acc.N() == 0 {
+		return 0, fmt.Errorf("experiments: all %d repetitions failed: %w", reps, lastErr)
+	}
+	return acc.Mean(), nil
+}
+
+// sortedCopy returns a sorted copy of xs.
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}

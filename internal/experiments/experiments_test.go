@@ -1,0 +1,359 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedEnv builds the test environment once; harness tests reuse it.
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = NewEnv(TestConfig())
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func checkResult(t *testing.T, r *Result, wantSeries int) {
+	t.Helper()
+	if r.ID == "" || r.Title == "" || r.XLabel == "" || r.YLabel == "" {
+		t.Errorf("%s: incomplete metadata: %+v", r.ID, r)
+	}
+	if len(r.Series) != wantSeries {
+		t.Fatalf("%s: %d series, want %d", r.ID, len(r.Series), wantSeries)
+	}
+	for _, s := range r.Series {
+		if s.Label == "" {
+			t.Errorf("%s: unlabeled series", r.ID)
+		}
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			t.Errorf("%s/%s: lengths X=%d Y=%d", r.ID, s.Label, len(s.X), len(s.Y))
+		}
+	}
+	if out := r.Render(); !strings.Contains(out, r.ID) {
+		t.Errorf("%s: Render missing ID", r.ID)
+	}
+	if out := r.CSV(); !strings.Contains(out, "\n") {
+		t.Errorf("%s: CSV produced no rows", r.ID)
+	}
+}
+
+func seriesByLabel(t *testing.T, r *Result, label string) Series {
+	t.Helper()
+	for _, s := range r.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("%s: no series %q", r.ID, label)
+	return Series{}
+}
+
+func TestRunFig3Shape(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 1)
+	ys := r.Series[0].Y
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1]-1e-9 {
+			t.Errorf("accuracy not monotone in k: %v", ys)
+		}
+	}
+	// Paper shape: high accuracy once k reaches ~9.
+	if last := ys[len(ys)-1]; last < 0.6 {
+		t.Errorf("top-%g accuracy %g too low", r.Series[0].X[len(ys)-1], last)
+	}
+}
+
+func TestRunFig4Shape(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 1)
+	// Mass concentrated at low PoS (paper: most in [0, 0.2] → first four
+	// bins of twenty).
+	low := 0.0
+	total := 0.0
+	for i, y := range r.Series[0].Y {
+		total += y
+		if r.Series[0].X[i] <= 0.2 {
+			low += y
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("fractions sum to %g", total)
+	}
+	if low < 0.5 {
+		t.Errorf("low-PoS mass = %g, want the Fig. 4 concentration", low)
+	}
+}
+
+func TestRunFig5aShape(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunFig5a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 4)
+	opt := seriesByLabel(t, r, "OPT")
+	fptas01 := seriesByLabel(t, r, "FPTAS eps=0.1")
+	fptas05 := seriesByLabel(t, r, "FPTAS eps=0.5")
+	greedy := seriesByLabel(t, r, "Min-Greedy")
+	for i := range opt.X {
+		if math.IsNaN(opt.Y[i]) {
+			continue
+		}
+		// OPT lower-bounds everything; FPTAS within its guarantee.
+		if fptas01.Y[i] < opt.Y[i]-1e-6 || fptas05.Y[i] < opt.Y[i]-1e-6 || greedy.Y[i] < opt.Y[i]-1e-6 {
+			t.Errorf("point %d: a heuristic beat OPT: opt=%g f01=%g f05=%g greedy=%g",
+				i, opt.Y[i], fptas01.Y[i], fptas05.Y[i], greedy.Y[i])
+		}
+		if fptas01.Y[i] > 1.1*opt.Y[i]+1e-6 {
+			t.Errorf("point %d: FPTAS(0.1) %g above 1.1×OPT %g", i, fptas01.Y[i], opt.Y[i])
+		}
+		if fptas05.Y[i] > 1.5*opt.Y[i]+1e-6 {
+			t.Errorf("point %d: FPTAS(0.5) %g above 1.5×OPT %g", i, fptas05.Y[i], opt.Y[i])
+		}
+	}
+}
+
+func TestRunFig5bShape(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunFig5b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 2)
+	greedy := seriesByLabel(t, r, "greedy (ours)")
+	opt := seriesByLabel(t, r, "OPT")
+	for i := range greedy.X {
+		if math.IsNaN(greedy.Y[i]) || math.IsNaN(opt.Y[i]) {
+			continue
+		}
+		if opt.Y[i] > greedy.Y[i]+1e-6 {
+			t.Errorf("point %d: OPT %g above greedy %g", i, opt.Y[i], greedy.Y[i])
+		}
+	}
+	// Social cost falls (or at least does not grow) as the market deepens
+	// from the smallest to the largest n.
+	first, last := greedy.Y[0], greedy.Y[len(greedy.Y)-1]
+	if !math.IsNaN(first) && !math.IsNaN(last) && last > first*1.25 {
+		t.Errorf("greedy cost grew with users: %g -> %g", first, last)
+	}
+}
+
+func TestRunFig5cShape(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunFig5c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 2)
+	greedy := seriesByLabel(t, r, "greedy (ours)")
+	// Cost grows with the number of tasks.
+	first, last := greedy.Y[0], greedy.Y[len(greedy.Y)-1]
+	if !math.IsNaN(first) && !math.IsNaN(last) && last < first {
+		t.Errorf("greedy cost fell with more tasks: %g -> %g", first, last)
+	}
+}
+
+func TestRunFig6Shape(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunFig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 2)
+	for _, s := range r.Series {
+		prev := -1.0
+		for _, y := range s.Y {
+			if y < prev-1e-12 || y < 0 || y > 1 {
+				t.Fatalf("%s: CDF not monotone in [0,1]: %v", s.Label, s.Y)
+			}
+			prev = y
+		}
+		if s.Y[len(s.Y)-1] != 1 {
+			t.Errorf("%s: CDF does not reach 1", s.Label)
+		}
+	}
+	// All utilities non-negative: CDF at 0⁻ must be 0; our grid starts at
+	// 0 where a point mass is allowed, so just check the first x is 0.
+	if r.Series[0].X[0] != 0 {
+		t.Errorf("utility grid starts at %g", r.Series[0].X[0])
+	}
+}
+
+func TestRunFig7Shape(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 5)
+	ours1 := seriesByLabel(t, r, "single task (ours)").Y[0]
+	vcg1 := seriesByLabel(t, r, "ST-VCG").Y[0]
+	ours2 := seriesByLabel(t, r, "multi task (ours)").Y[0]
+	vcg2 := seriesByLabel(t, r, "MT-VCG").Y[0]
+	required := seriesByLabel(t, r, "required").Y[0]
+	if ours1 < required-1e-6 {
+		t.Errorf("single-task achieved %g below requirement %g", ours1, required)
+	}
+	if ours2 < required-1e-6 {
+		t.Errorf("multi-task achieved %g below requirement %g", ours2, required)
+	}
+	if vcg1 >= ours1 {
+		t.Errorf("ST-VCG %g not below ours %g", vcg1, ours1)
+	}
+	if vcg2 >= ours2 {
+		t.Errorf("MT-VCG %g not below ours %g", vcg2, ours2)
+	}
+}
+
+func TestRunFig8Fig9Shapes(t *testing.T) {
+	env := testEnv(t)
+	r8, err := env.RunFig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r8, 2)
+	r9, err := env.RunFig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r9, 2)
+	// Requirement up → more selected users and more cost (allow NaN gaps at
+	// extreme points).
+	for _, r := range []*Result{r8, r9} {
+		for _, s := range r.Series {
+			firstValid, lastValid := math.NaN(), math.NaN()
+			for _, y := range s.Y {
+				if !math.IsNaN(y) {
+					if math.IsNaN(firstValid) {
+						firstValid = y
+					}
+					lastValid = y
+				}
+			}
+			if math.IsNaN(firstValid) {
+				t.Fatalf("%s/%s: all points NaN", r.ID, s.Label)
+			}
+			if lastValid < firstValid {
+				t.Errorf("%s/%s: metric fell as requirement rose: %v", r.ID, s.Label, s.Y)
+			}
+		}
+	}
+}
+
+func TestRunStrategyproofness(t *testing.T) {
+	env := testEnv(t)
+	r, err := env.RunStrategyproofness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, 2)
+	sweep := seriesByLabel(t, r, "misreport sweep")
+	truthful := seriesByLabel(t, r, "truthful")
+	maxY := math.Inf(-1)
+	for _, y := range sweep.Y {
+		if y > maxY {
+			maxY = y
+		}
+	}
+	if truthful.Y[0] < maxY-1e-4 {
+		t.Errorf("truthful utility %g below best misreport %g", truthful.Y[0], maxY)
+	}
+	if truthful.Y[0] < -1e-9 {
+		t.Errorf("truthful utility %g negative", truthful.Y[0])
+	}
+}
+
+func TestRunTables(t *testing.T) {
+	env := testEnv(t)
+	r2, err := env.RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r2, 8)
+	if got := seriesByLabel(t, r2, "PoS requirement T").Y[0]; got != 0.8 {
+		t.Errorf("requirement = %g, want 0.8", got)
+	}
+	if got := seriesByLabel(t, r2, "measured social cost (single task, n=100)").Y[0]; got <= 0 {
+		t.Errorf("measured social cost = %g", got)
+	}
+
+	r3, err := env.RunTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r3, 5)
+	costs := seriesByLabel(t, r3, "measured greedy social cost")
+	for i, c := range costs.Y {
+		if c <= 0 {
+			t.Errorf("setting %d social cost = %g", i+1, c)
+		}
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	r := &Result{
+		ID: "x", Title: "T", XLabel: "n", YLabel: "cost",
+		Series: []Series{
+			{Label: "a,b", X: []float64{1, 2}, Y: []float64{3, 4}},
+			{Label: "c", X: []float64{1, 2}, Y: []float64{5}},
+		},
+	}
+	out := r.Render()
+	if !strings.Contains(out, "a,b") || !strings.Contains(out, "-") {
+		t.Errorf("render output:\n%s", out)
+	}
+	csv := r.CSV()
+	if !strings.Contains(csv, `"a,b"`) {
+		t.Errorf("csv did not escape label:\n%s", csv)
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Errorf("csv lines = %d, want 3", len(lines))
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	v, err := meanOf(4, func(rep int) (float64, error) { return float64(rep), nil })
+	if err != nil || v != 1.5 {
+		t.Errorf("meanOf = %g, %v", v, err)
+	}
+	_, err = meanOf(3, func(int) (float64, error) { return 0, errFake })
+	if err == nil {
+		t.Error("all-failing meanOf should error")
+	}
+	v, err = meanOf(3, func(rep int) (float64, error) {
+		if rep == 1 {
+			return 0, errFake
+		}
+		return 2, nil
+	})
+	if err != nil || v != 2 {
+		t.Errorf("partial meanOf = %g, %v", v, err)
+	}
+}
+
+var errFake = &fakeError{}
+
+type fakeError struct{}
+
+func (*fakeError) Error() string { return "fake" }

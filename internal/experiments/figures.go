@@ -1,0 +1,544 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/execution"
+	"crowdsense/internal/knapsack"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/mobility"
+	"crowdsense/internal/setcover"
+	"crowdsense/internal/stats"
+	"crowdsense/internal/workload"
+)
+
+// multiTaskHorizonLargeT is the campaign horizon used by sweeps that push
+// the task count to 50 (Table III setting 2 and Figs. 8–9 multi-task):
+// covering that many tasks with few low-PoS users needs a longer campaign.
+// See the workload package comment and DESIGN.md.
+const multiTaskHorizonLargeT = 18
+
+// RunFig3 reproduces Fig. 3: top-k next-location prediction accuracy of the
+// per-taxi Markov models for k = 3..15.
+func (e *Env) RunFig3() (*Result, error) {
+	trains, test, err := mobility.Split(e.Log, 0.15)
+	if err != nil {
+		return nil, err
+	}
+	ks := e.Config.predictionKs()
+	curve, err := mobility.AccuracyCurve(trains, test, ks, e.Config.Smoothing)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, len(ks))
+	for i, k := range ks {
+		xs[i] = float64(k)
+	}
+	return &Result{
+		ID:     "fig3",
+		Title:  "Location prediction accuracy",
+		XLabel: "predicted locations k",
+		YLabel: "correct prediction fraction",
+		Series: []Series{{Label: "Markov model", X: xs, Y: curve}},
+	}, nil
+}
+
+// RunFig4 reproduces Fig. 4: the empirical PDF of users' predicted
+// single-slot PoS values.
+func (e *Env) RunFig4() (*Result, error) {
+	params := workload.DefaultParams()
+	values, err := e.Population.PredictedPoSSample(e.rng(4), params, 500)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := stats.NewHistogram(0, 1, 20)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range values {
+		hist.Add(v)
+	}
+	return &Result{
+		ID:     "fig4",
+		Title:  "PDF of predicted PoS",
+		XLabel: "predicted PoS",
+		YLabel: "fraction of users",
+		Series: []Series{{Label: "empirical PDF", X: hist.BinCenters(), Y: hist.Fractions()}},
+	}, nil
+}
+
+// singleTaskInstance projects a single-task auction onto a knapsack
+// instance for the allocation-only comparisons of Fig. 5(a).
+func singleTaskInstance(a *auction.Auction) (*knapsack.Instance, error) {
+	task := a.Tasks[0]
+	costs := make([]float64, len(a.Bids))
+	contribs := make([]float64, len(a.Bids))
+	for i, bid := range a.Bids {
+		costs[i] = bid.Cost
+		contribs[i] = bid.Contribution(task.ID)
+	}
+	return knapsack.NewInstance(costs, contribs, task.RequiredContribution())
+}
+
+// RunFig5a reproduces Fig. 5(a): single-task social cost versus the number
+// of users for the FPTAS (ε = 0.1 and 0.5), the optimal allocation, and
+// the Min-Greedy baseline.
+func (e *Env) RunFig5a() (*Result, error) {
+	ns := e.Config.singleTaskUsers()
+	params := workload.DefaultSingleTaskParams()
+	rng := e.rng(50)
+
+	solvers := []struct {
+		label string
+		solve func(in *knapsack.Instance) (knapsack.Solution, error)
+	}{
+		{"FPTAS eps=0.1", func(in *knapsack.Instance) (knapsack.Solution, error) {
+			return knapsack.SolveFPTAS(in, 0.1)
+		}},
+		{"FPTAS eps=0.5", func(in *knapsack.Instance) (knapsack.Solution, error) {
+			return knapsack.SolveFPTAS(in, 0.5)
+		}},
+		{"OPT", func(in *knapsack.Instance) (knapsack.Solution, error) {
+			return knapsack.SolveBnB(in, e.Config.nodeBudget())
+		}},
+		{"Min-Greedy", knapsack.SolveGreedy},
+	}
+
+	xs := make([]float64, len(ns))
+	ys := make([][]float64, len(solvers))
+	for s := range ys {
+		ys[s] = make([]float64, len(ns))
+	}
+	for i, n := range ns {
+		xs[i] = float64(n)
+		// All solvers see the same sampled instances.
+		instances := make([]*knapsack.Instance, 0, e.Config.Repetitions)
+		for rep := 0; rep < e.Config.Repetitions; rep++ {
+			a, err := e.Population.SampleSingleTask(rng, params, n)
+			if err != nil {
+				continue
+			}
+			in, err := singleTaskInstance(a)
+			if err != nil {
+				return nil, err
+			}
+			instances = append(instances, in)
+		}
+		if len(instances) == 0 {
+			return nil, fmt.Errorf("experiments: fig5a: no feasible instance at n=%d", n)
+		}
+		for s, solver := range solvers {
+			var acc stats.Accumulator
+			for _, in := range instances {
+				sol, err := solver.solve(in)
+				if err != nil {
+					if errors.Is(err, knapsack.ErrNodeBudget) {
+						continue // OPT gave up on this instance
+					}
+					return nil, fmt.Errorf("experiments: fig5a %s: %w", solver.label, err)
+				}
+				acc.Add(sol.Cost)
+			}
+			if acc.N() == 0 {
+				ys[s][i] = math.NaN()
+			} else {
+				ys[s][i] = acc.Mean()
+			}
+		}
+	}
+	res := &Result{
+		ID:     "fig5a",
+		Title:  "Social cost of single-task mechanisms",
+		XLabel: "number of users",
+		YLabel: "social cost",
+	}
+	for s, solver := range solvers {
+		res.Series = append(res.Series, Series{Label: solver.label, X: xs, Y: ys[s]})
+	}
+	return res, nil
+}
+
+// RunFig5b reproduces Fig. 5(b): multi-task social cost versus the number
+// of users (Table III setting 1: 15 tasks), greedy against OPT.
+func (e *Env) RunFig5b() (*Result, error) {
+	return e.multiTaskCostSweep("fig5b", "Social cost with different numbers of users",
+		"number of users", e.Config.multiTaskUsers(), func(n int) (int, int) { return n, 15 },
+		workload.DefaultParams())
+}
+
+// RunFig5c reproduces Fig. 5(c): multi-task social cost versus the number
+// of tasks (Table III setting 2: 30 users).
+func (e *Env) RunFig5c() (*Result, error) {
+	params := workload.DefaultParams()
+	params.Horizon = multiTaskHorizonLargeT
+	return e.multiTaskCostSweep("fig5c", "Social cost with various numbers of tasks",
+		"number of tasks", e.Config.multiTaskTasks(), func(t int) (int, int) { return 30, t },
+		params)
+}
+
+// multiTaskCostSweep runs greedy and OPT over a sweep of (n, t) points.
+func (e *Env) multiTaskCostSweep(id, title, xlabel string, sweep []int, nt func(v int) (n, t int), params workload.Params) (*Result, error) {
+	rng := e.rng(51)
+	xs := make([]float64, len(sweep))
+	greedyY := make([]float64, len(sweep))
+	optY := make([]float64, len(sweep))
+	for i, v := range sweep {
+		xs[i] = float64(v)
+		n, t := nt(v)
+		var greedyAcc, optAcc stats.Accumulator
+		for rep := 0; rep < e.Config.Repetitions; rep++ {
+			a, err := e.Population.SampleMultiTask(rng, params, n, t)
+			if err != nil {
+				continue
+			}
+			gSol, err := setcover.Greedy(a)
+			if err != nil {
+				continue
+			}
+			greedyAcc.Add(gSol.Cost)
+			res, err := setcover.BnB(a, e.Config.nodeBudget())
+			if err == nil {
+				optAcc.Add(res.Solution.Cost)
+			}
+		}
+		greedyY[i] = meanOrNaN(greedyAcc)
+		optY[i] = meanOrNaN(optAcc)
+	}
+	return &Result{
+		ID:     id,
+		Title:  title,
+		XLabel: xlabel,
+		YLabel: "social cost",
+		Series: []Series{
+			{Label: "greedy (ours)", X: xs, Y: greedyY},
+			{Label: "OPT", X: xs, Y: optY},
+		},
+	}, nil
+}
+
+func meanOrNaN(acc stats.Accumulator) float64 {
+	if acc.N() == 0 {
+		return math.NaN()
+	}
+	return acc.Mean()
+}
+
+// RunFig6 reproduces Fig. 6: the empirical CDF of winners' expected
+// utilities under the single-task and multi-task mechanisms (α = 10).
+func (e *Env) RunFig6() (*Result, error) {
+	params := workload.DefaultParams()
+	singleParams := workload.DefaultSingleTaskParams()
+	rng := e.rng(6)
+
+	var singleU, multiU []float64
+	for rep := 0; rep < e.Config.Repetitions; rep++ {
+		if a, err := e.Population.SampleSingleTask(rng, singleParams, 100); err == nil {
+			m := &mechanism.SingleTask{Epsilon: 0.5, Alpha: mechanism.DefaultAlpha}
+			if out, err := m.Run(a); err == nil {
+				for _, aw := range out.Awards {
+					singleU = append(singleU, aw.ExpectedUtility)
+				}
+			}
+		}
+		if a, err := e.Population.SampleMultiTask(rng, params, 100, 15); err == nil {
+			m := &mechanism.MultiTask{Alpha: mechanism.DefaultAlpha}
+			if out, err := m.Run(a); err == nil {
+				for _, aw := range out.Awards {
+					multiU = append(multiU, aw.ExpectedUtility)
+				}
+			}
+		}
+	}
+	if len(singleU) == 0 || len(multiU) == 0 {
+		return nil, errors.New("experiments: fig6: no winner utilities collected")
+	}
+	singleCDF, err := stats.NewECDF(singleU)
+	if err != nil {
+		return nil, err
+	}
+	multiCDF, err := stats.NewECDF(multiU)
+	if err != nil {
+		return nil, err
+	}
+	maxU := math.Max(sortedCopy(singleU)[len(singleU)-1], sortedCopy(multiU)[len(multiU)-1])
+	const points = 41
+	xs := make([]float64, points)
+	ys1 := make([]float64, points)
+	ys2 := make([]float64, points)
+	for i := 0; i < points; i++ {
+		x := maxU * float64(i) / float64(points-1)
+		xs[i] = x
+		ys1[i] = singleCDF.At(x)
+		ys2[i] = multiCDF.At(x)
+	}
+	return &Result{
+		ID:     "fig6",
+		Title:  "Empirical CDF of users' utilities",
+		XLabel: "expected utility",
+		YLabel: "CDF",
+		Series: []Series{
+			{Label: "single task", X: xs, Y: ys1},
+			{Label: "multi task", X: xs, Y: ys2},
+		},
+	}, nil
+}
+
+// RunFig7 reproduces Fig. 7: the achieved PoS of tasks under our
+// mechanisms compared with the ST-VCG / MT-VCG baselines and the
+// requirement.
+func (e *Env) RunFig7() (*Result, error) {
+	params := workload.DefaultParams()
+	rng := e.rng(7)
+	reps := e.Config.Repetitions
+
+	singleParams := workload.DefaultSingleTaskParams()
+	singleOurs, err := meanOf(reps, func(int) (float64, error) {
+		a, err := e.Population.SampleSingleTask(rng, singleParams, 100)
+		if err != nil {
+			return 0, err
+		}
+		out, err := (&mechanism.SingleTask{Epsilon: 0.5, Alpha: mechanism.DefaultAlpha}).Run(a)
+		if err != nil {
+			return 0, err
+		}
+		return execution.MeanAchievedPoS(a.Tasks, a.Bids, out.Selected)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig7 single ours: %w", err)
+	}
+	singleVCG, err := meanOf(reps, func(int) (float64, error) {
+		a, err := e.Population.SampleSingleTask(rng, singleParams, 100)
+		if err != nil {
+			return 0, err
+		}
+		out, err := (mechanism.STVCG{}).Run(a)
+		if err != nil {
+			return 0, err
+		}
+		return execution.MeanAchievedPoS(a.Tasks, a.Bids, out.Selected)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig7 ST-VCG: %w", err)
+	}
+	multiOurs, err := meanOf(reps, func(int) (float64, error) {
+		a, err := e.Population.SampleMultiTask(rng, params, 100, 15)
+		if err != nil {
+			return 0, err
+		}
+		out, err := (&mechanism.MultiTask{Alpha: mechanism.DefaultAlpha}).Run(a)
+		if err != nil {
+			return 0, err
+		}
+		return execution.MeanAchievedPoS(a.Tasks, a.Bids, out.Selected)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig7 multi ours: %w", err)
+	}
+	multiVCG, err := meanOf(reps, func(int) (float64, error) {
+		a, err := e.Population.SampleMultiTask(rng, params, 100, 15)
+		if err != nil {
+			return 0, err
+		}
+		out, err := (mechanism.MTVCG{}).Run(a)
+		if err != nil {
+			return 0, err
+		}
+		return execution.MeanAchievedPoS(a.Tasks, a.Bids, out.Selected)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig7 MT-VCG: %w", err)
+	}
+
+	x := []float64{params.Requirement}
+	return &Result{
+		ID:     "fig7",
+		Title:  "Average achieved PoS of tasks",
+		XLabel: "required PoS",
+		YLabel: "achieved PoS",
+		Series: []Series{
+			{Label: "single task (ours)", X: x, Y: []float64{singleOurs}},
+			{Label: "ST-VCG", X: x, Y: []float64{singleVCG}},
+			{Label: "multi task (ours)", X: x, Y: []float64{multiOurs}},
+			{Label: "MT-VCG", X: x, Y: []float64{multiVCG}},
+			{Label: "required", X: x, Y: []float64{params.Requirement}},
+		},
+	}, nil
+}
+
+// RunFig8 reproduces Fig. 8: the number of selected users versus the PoS
+// requirement (100 users; 50 tasks in the multi-task setting).
+func (e *Env) RunFig8() (*Result, error) {
+	return e.requirementSweep("fig8", "Number of selected users with PoS requirement",
+		"number of selected users",
+		func(out allocationStats) float64 { return float64(out.winners) })
+}
+
+// RunFig9 reproduces Fig. 9: social cost versus the PoS requirement.
+func (e *Env) RunFig9() (*Result, error) {
+	return e.requirementSweep("fig9", "Social cost with PoS requirement",
+		"social cost",
+		func(out allocationStats) float64 { return out.cost })
+}
+
+type allocationStats struct {
+	winners int
+	cost    float64
+}
+
+// requirementSweep runs the single- and multi-task allocations over the
+// requirement grid and summarizes each outcome through pick.
+func (e *Env) requirementSweep(id, title, ylabel string, pick func(allocationStats) float64) (*Result, error) {
+	ts := e.Config.requirementSweep()
+	rng := e.rng(89)
+	xs := make([]float64, len(ts))
+	singleY := make([]float64, len(ts))
+	multiY := make([]float64, len(ts))
+	for i, t := range ts {
+		xs[i] = t
+		singleParams := workload.DefaultSingleTaskParams()
+		singleParams.Requirement = t
+		v, err := meanOf(e.Config.Repetitions, func(int) (float64, error) {
+			a, err := e.Population.SampleSingleTask(rng, singleParams, 100)
+			if err != nil {
+				return 0, err
+			}
+			sol, err := knapsackSolve(a)
+			if err != nil {
+				return 0, err
+			}
+			return pick(sol), nil
+		})
+		if err != nil {
+			v = math.NaN()
+		}
+		singleY[i] = v
+
+		multiParams := workload.DefaultParams()
+		multiParams.Requirement = t
+		multiParams.Horizon = multiTaskHorizonLargeT
+		v, err = meanOf(e.Config.Repetitions, func(int) (float64, error) {
+			a, err := e.Population.SampleMultiTask(rng, multiParams, 100, 50)
+			if err != nil {
+				return 0, err
+			}
+			sol, err := setcover.Greedy(a)
+			if err != nil {
+				return 0, err
+			}
+			return pick(allocationStats{winners: len(sol.Selected), cost: sol.Cost}), nil
+		})
+		if err != nil {
+			v = math.NaN()
+		}
+		multiY[i] = v
+	}
+	return &Result{
+		ID:     id,
+		Title:  title,
+		XLabel: "PoS requirement",
+		YLabel: ylabel,
+		Series: []Series{
+			{Label: "single task", X: xs, Y: singleY},
+			{Label: "multi task", X: xs, Y: multiY},
+		},
+	}, nil
+}
+
+// knapsackSolve runs the FPTAS allocation on a single-task auction and
+// summarizes it.
+func knapsackSolve(a *auction.Auction) (allocationStats, error) {
+	in, err := singleTaskInstance(a)
+	if err != nil {
+		return allocationStats{}, err
+	}
+	sol, err := knapsack.SolveFPTAS(in, 0.5)
+	if err != nil {
+		return allocationStats{}, err
+	}
+	return allocationStats{winners: len(sol.Selected), cost: sol.Cost}, nil
+}
+
+// RunStrategyproofness sweeps one user's declared PoS across a grid and
+// reports her TRUE expected utility at each declaration, demonstrating that
+// truthful reporting maximizes utility (§IV, "resist the strategic
+// behaviours of users").
+func (e *Env) RunStrategyproofness() (*Result, error) {
+	params := workload.DefaultSingleTaskParams()
+	rng := e.rng(90)
+	a, err := e.Population.SampleSingleTask(rng, params, 30)
+	if err != nil {
+		return nil, err
+	}
+	m := &mechanism.SingleTask{Epsilon: 0.5, Alpha: mechanism.DefaultAlpha}
+	taskID := a.Tasks[0].ID
+
+	// Prefer a truthful winner as the target — her sweep shows the full
+	// structure (zero below the critical bid, the constant (p−p̄)α above).
+	// Fall back to the median-PoS user when there are no winners.
+	target := -1
+	if out, err := m.Run(a); err == nil && len(out.Selected) > 0 {
+		target = out.Selected[0]
+	}
+	if target < 0 {
+		type userPoS struct {
+			idx int
+			p   float64
+		}
+		users := make([]userPoS, len(a.Bids))
+		for i, bid := range a.Bids {
+			users[i] = userPoS{idx: i, p: bid.PoS[taskID]}
+		}
+		mid := len(users) / 2
+		for i := range users {
+			for j := i + 1; j < len(users); j++ {
+				if users[j].p < users[i].p {
+					users[i], users[j] = users[j], users[i]
+				}
+			}
+		}
+		target = users[mid].idx
+	}
+	trueBid := a.Bids[target]
+	truePoS := trueBid.PoS[taskID]
+
+	var xs, ys []float64
+	for declared := 0.02; declared < 0.99; declared += 0.02 {
+		misA, err := a.WithBid(target, auction.NewBid(trueBid.User, trueBid.Tasks, trueBid.Cost,
+			map[auction.TaskID]float64{taskID: declared}))
+		if err != nil {
+			return nil, err
+		}
+		utility := 0.0
+		out, err := m.Run(misA)
+		if err == nil {
+			if aw, ok := out.AwardFor(target); ok {
+				utility = truePoS*aw.RewardOnSuccess + (1-truePoS)*aw.RewardOnFailure - trueBid.Cost
+			}
+		} else if !errors.Is(err, mechanism.ErrInfeasible) {
+			return nil, err
+		}
+		xs = append(xs, declared)
+		ys = append(ys, utility)
+	}
+
+	// Truthful point for reference.
+	truthfulUtility := 0.0
+	if out, err := m.Run(a); err == nil {
+		if aw, ok := out.AwardFor(target); ok {
+			truthfulUtility = truePoS*aw.RewardOnSuccess + (1-truePoS)*aw.RewardOnFailure - trueBid.Cost
+		}
+	}
+	return &Result{
+		ID:     "sp",
+		Title:  "Utility under misreported PoS (truthful declaration marked)",
+		XLabel: "declared PoS",
+		YLabel: "true expected utility",
+		Series: []Series{
+			{Label: "misreport sweep", X: xs, Y: ys},
+			{Label: "truthful", X: []float64{truePoS}, Y: []float64{truthfulUtility}},
+		},
+	}, nil
+}

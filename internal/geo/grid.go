@@ -1,0 +1,126 @@
+// Package geo models the city as a rectangular grid of square cells, the way
+// the paper discretizes Shanghai into 2 km × 2 km grids: each cell is one
+// location at which sensing tasks can be performed, and taxi mobility is a
+// process over cells.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultCellKm is the paper's cell edge length (2 km × 2 km grids).
+const DefaultCellKm = 2.0
+
+// Cell identifies one grid cell by dense index in [0, Grid.Cells()).
+type Cell int
+
+// Invalid is the sentinel for "no cell".
+const Invalid Cell = -1
+
+// Grid is an immutable Rows × Cols city grid with square cells of edge
+// CellKm kilometres. The zero value is not usable; construct with NewGrid.
+type Grid struct {
+	rows, cols int
+	cellKm     float64
+}
+
+// NewGrid builds a grid with the given dimensions and cell edge length in
+// kilometres.
+func NewGrid(rows, cols int, cellKm float64) (*Grid, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("geo: grid dimensions must be positive, got %dx%d", rows, cols)
+	}
+	if cellKm <= 0 {
+		return nil, fmt.Errorf("geo: cell size must be positive, got %g km", cellKm)
+	}
+	return &Grid{rows: rows, cols: cols, cellKm: cellKm}, nil
+}
+
+// Rows reports the number of grid rows.
+func (g *Grid) Rows() int { return g.rows }
+
+// Cols reports the number of grid columns.
+func (g *Grid) Cols() int { return g.cols }
+
+// CellKm reports the cell edge length in kilometres.
+func (g *Grid) CellKm() float64 { return g.cellKm }
+
+// Cells reports the total number of cells.
+func (g *Grid) Cells() int { return g.rows * g.cols }
+
+// CellAt returns the cell at (row, col), or Invalid if out of bounds.
+func (g *Grid) CellAt(row, col int) Cell {
+	if row < 0 || row >= g.rows || col < 0 || col >= g.cols {
+		return Invalid
+	}
+	return Cell(row*g.cols + col)
+}
+
+// Valid reports whether c is a cell of this grid.
+func (g *Grid) Valid(c Cell) bool {
+	return c >= 0 && int(c) < g.Cells()
+}
+
+// RowCol returns the (row, col) coordinates of c. It panics if c is not a
+// valid cell of this grid; callers index with cells previously produced by
+// the same grid.
+func (g *Grid) RowCol(c Cell) (row, col int) {
+	if !g.Valid(c) {
+		panic(fmt.Sprintf("geo: cell %d outside %dx%d grid", c, g.rows, g.cols))
+	}
+	return int(c) / g.cols, int(c) % g.cols
+}
+
+// Center returns the (x, y) kilometre coordinates of the cell center, with
+// the origin at the grid's north-west corner: x grows with column, y with
+// row.
+func (g *Grid) Center(c Cell) (x, y float64) {
+	row, col := g.RowCol(c)
+	return (float64(col) + 0.5) * g.cellKm, (float64(row) + 0.5) * g.cellKm
+}
+
+// ManhattanKm returns the Manhattan (taxicab) distance between cell centers
+// in kilometres — the natural metric for street travel.
+func (g *Grid) ManhattanKm(a, b Cell) float64 {
+	ar, ac := g.RowCol(a)
+	br, bc := g.RowCol(b)
+	return (math.Abs(float64(ar-br)) + math.Abs(float64(ac-bc))) * g.cellKm
+}
+
+// EuclideanKm returns the straight-line distance between cell centers in
+// kilometres.
+func (g *Grid) EuclideanKm(a, b Cell) float64 {
+	ar, ac := g.RowCol(a)
+	br, bc := g.RowCol(b)
+	dr := float64(ar-br) * g.cellKm
+	dc := float64(ac-bc) * g.cellKm
+	return math.Hypot(dr, dc)
+}
+
+// Neighbors returns the cells within the given Chebyshev radius of c
+// (excluding c itself), in row-major order. Radius 1 is the Moore
+// neighbourhood.
+func (g *Grid) Neighbors(c Cell, radius int) []Cell {
+	if radius <= 0 {
+		return nil
+	}
+	row, col := g.RowCol(c)
+	out := make([]Cell, 0, (2*radius+1)*(2*radius+1)-1)
+	for r := row - radius; r <= row+radius; r++ {
+		for cc := col - radius; cc <= col+radius; cc++ {
+			if r == row && cc == col {
+				continue
+			}
+			if n := g.CellAt(r, cc); n != Invalid {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the grid dimensions for logs.
+func (g *Grid) String() string {
+	return fmt.Sprintf("grid %dx%d @ %gkm", g.rows, g.cols, g.cellKm)
+}

@@ -1,0 +1,166 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustGrid(t *testing.T, rows, cols int, cellKm float64) *Grid {
+	t.Helper()
+	g, err := NewGrid(rows, cols, cellKm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGridValidation(t *testing.T) {
+	cases := []struct {
+		rows, cols int
+		cellKm     float64
+	}{
+		{0, 5, 2}, {5, 0, 2}, {-1, 5, 2}, {5, 5, 0}, {5, 5, -2},
+	}
+	for _, c := range cases {
+		if _, err := NewGrid(c.rows, c.cols, c.cellKm); err == nil {
+			t.Errorf("NewGrid(%d, %d, %g) should fail", c.rows, c.cols, c.cellKm)
+		}
+	}
+}
+
+func TestGridAccessors(t *testing.T) {
+	g := mustGrid(t, 3, 4, 2)
+	if g.Rows() != 3 || g.Cols() != 4 || g.CellKm() != 2 || g.Cells() != 12 {
+		t.Errorf("accessors: %d %d %g %d", g.Rows(), g.Cols(), g.CellKm(), g.Cells())
+	}
+	if g.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestCellAtAndRowCol(t *testing.T) {
+	g := mustGrid(t, 3, 4, 2)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			cell := g.CellAt(r, c)
+			if cell == Invalid {
+				t.Fatalf("CellAt(%d, %d) invalid", r, c)
+			}
+			gr, gc := g.RowCol(cell)
+			if gr != r || gc != c {
+				t.Errorf("round trip (%d, %d) -> %d -> (%d, %d)", r, c, cell, gr, gc)
+			}
+		}
+	}
+	outOfBounds := [][2]int{{-1, 0}, {0, -1}, {3, 0}, {0, 4}}
+	for _, rc := range outOfBounds {
+		if g.CellAt(rc[0], rc[1]) != Invalid {
+			t.Errorf("CellAt(%d, %d) should be Invalid", rc[0], rc[1])
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	g := mustGrid(t, 2, 2, 1)
+	if g.Valid(Invalid) {
+		t.Error("Invalid reported valid")
+	}
+	if g.Valid(Cell(4)) {
+		t.Error("cell 4 of 2x2 grid reported valid")
+	}
+	if !g.Valid(Cell(0)) || !g.Valid(Cell(3)) {
+		t.Error("valid cells reported invalid")
+	}
+}
+
+func TestRowColPanicsOnInvalid(t *testing.T) {
+	g := mustGrid(t, 2, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("RowCol(Invalid) did not panic")
+		}
+	}()
+	g.RowCol(Invalid)
+}
+
+func TestCenter(t *testing.T) {
+	g := mustGrid(t, 2, 2, 2)
+	x, y := g.Center(g.CellAt(0, 0))
+	if x != 1 || y != 1 {
+		t.Errorf("center of (0,0) = (%g, %g), want (1, 1)", x, y)
+	}
+	x, y = g.Center(g.CellAt(1, 1))
+	if x != 3 || y != 3 {
+		t.Errorf("center of (1,1) = (%g, %g), want (3, 3)", x, y)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	g := mustGrid(t, 5, 5, 2)
+	a, b := g.CellAt(0, 0), g.CellAt(3, 4)
+	if d := g.ManhattanKm(a, b); d != 14 {
+		t.Errorf("Manhattan = %g, want 14", d)
+	}
+	if d := g.EuclideanKm(a, b); math.Abs(d-10) > 1e-12 {
+		t.Errorf("Euclidean = %g, want 10", d)
+	}
+	if d := g.ManhattanKm(a, a); d != 0 {
+		t.Errorf("self Manhattan = %g", d)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	g := mustGrid(t, 8, 8, 1.5)
+	f := func(ai, bi, ci uint8) bool {
+		a := Cell(int(ai) % g.Cells())
+		b := Cell(int(bi) % g.Cells())
+		c := Cell(int(ci) % g.Cells())
+		// Symmetry, non-negativity, triangle inequality for both metrics.
+		for _, dist := range []func(x, y Cell) float64{g.ManhattanKm, g.EuclideanKm} {
+			if dist(a, b) < 0 {
+				return false
+			}
+			if math.Abs(dist(a, b)-dist(b, a)) > 1e-12 {
+				return false
+			}
+			if dist(a, c) > dist(a, b)+dist(b, c)+1e-12 {
+				return false
+			}
+		}
+		// Euclidean never exceeds Manhattan.
+		return g.EuclideanKm(a, b) <= g.ManhattanKm(a, b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := mustGrid(t, 3, 3, 1)
+	center := g.CellAt(1, 1)
+	n := g.Neighbors(center, 1)
+	if len(n) != 8 {
+		t.Errorf("center Moore neighbourhood size = %d, want 8", len(n))
+	}
+	corner := g.CellAt(0, 0)
+	n = g.Neighbors(corner, 1)
+	if len(n) != 3 {
+		t.Errorf("corner neighbourhood size = %d, want 3", len(n))
+	}
+	for _, c := range n {
+		if !g.Valid(c) {
+			t.Errorf("invalid neighbour %d", c)
+		}
+		if c == corner {
+			t.Error("neighbourhood includes the cell itself")
+		}
+	}
+	if g.Neighbors(center, 0) != nil {
+		t.Error("radius 0 should return nil")
+	}
+	// Radius 2 from center of 3x3 covers everything else.
+	if n = g.Neighbors(center, 2); len(n) != 8 {
+		t.Errorf("radius-2 neighbourhood size = %d, want 8", len(n))
+	}
+}

@@ -1,0 +1,70 @@
+package knapsack
+
+import (
+	"fmt"
+	"testing"
+
+	"crowdsense/internal/stats"
+)
+
+func benchInstance(n int, seed int64) *Instance {
+	return randomInstance(stats.NewRand(seed), n)
+}
+
+func BenchmarkSolveFPTAS(b *testing.B) {
+	for _, n := range []int{20, 50, 100} {
+		for _, eps := range []float64{0.1, 0.5} {
+			in := benchInstance(n, int64(n))
+			b.Run(fmt.Sprintf("n=%d/eps=%g", n, eps), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := SolveFPTAS(in, eps); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSolveGreedy(b *testing.B) {
+	for _, n := range []int{20, 100, 500} {
+		in := benchInstance(n, int64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveGreedy(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolveBnB(b *testing.B) {
+	for _, n := range []int{20, 50, 100} {
+		in := benchInstance(n, int64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveBnB(in, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolveExactDP(b *testing.B) {
+	for _, n := range []int{10, 16, 22} {
+		in := benchInstance(n, int64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveExactDP(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

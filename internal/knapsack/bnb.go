@@ -1,0 +1,156 @@
+package knapsack
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// DefaultNodeBudget bounds the branch-and-bound search. Random instances of
+// the sizes used in the paper's evaluation solve in far fewer nodes; the
+// budget is a safety valve against adversarial inputs.
+const DefaultNodeBudget = 50_000_000
+
+// ErrNodeBudget is returned when branch-and-bound exhausts its node budget
+// before proving optimality.
+var ErrNodeBudget = errors.New("knapsack: branch-and-bound node budget exhausted")
+
+// SolveBnB solves minimum knapsack exactly by depth-first branch and bound
+// with a fractional-relaxation lower bound, serving as the paper's OPT
+// baseline on instances too large for exhaustive search. A non-positive
+// nodeBudget uses DefaultNodeBudget. If the budget is exhausted the search
+// aborts with ErrNodeBudget rather than returning a possibly suboptimal
+// answer.
+func SolveBnB(in *Instance, nodeBudget int) (Solution, error) {
+	if nodeBudget <= 0 {
+		nodeBudget = DefaultNodeBudget
+	}
+	if !in.Feasible() {
+		return Solution{}, ErrInfeasible
+	}
+
+	// Ratio order (cheapest contribution first) makes the fractional bound
+	// tight and drives the search toward good solutions early.
+	order := make([]int, 0, in.N())
+	for i := 0; i < in.N(); i++ {
+		if in.Contribs[i] > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra := in.Costs[order[a]] / in.Contribs[order[a]]
+		rb := in.Costs[order[b]] / in.Contribs[order[b]]
+		return ra < rb
+	})
+
+	costs := make([]float64, len(order))
+	contribs := make([]float64, len(order))
+	for rank, idx := range order {
+		costs[rank] = in.Costs[idx]
+		contribs[rank] = in.Contribs[idx]
+	}
+	// suffixContrib[i] = total contribution of users i.. , for infeasibility
+	// pruning.
+	suffixContrib := make([]float64, len(order)+1)
+	for i := len(order) - 1; i >= 0; i-- {
+		suffixContrib[i] = suffixContrib[i+1] + contribs[i]
+	}
+
+	// Seed the incumbent with the greedy solution so pruning bites
+	// immediately.
+	greedy, err := SolveGreedy(in)
+	if err != nil {
+		return Solution{}, err
+	}
+	s := &bnbSearch{
+		costs:         costs,
+		contribs:      contribs,
+		suffixContrib: suffixContrib,
+		require:       in.Require,
+		bestCost:      greedy.Cost,
+		budget:        nodeBudget,
+	}
+	inGreedy := make(map[int]bool, len(greedy.Selected))
+	for _, idx := range greedy.Selected {
+		inGreedy[idx] = true
+	}
+	s.bestSel = make([]int, 0, len(greedy.Selected))
+	for rank, idx := range order {
+		if inGreedy[idx] {
+			s.bestSel = append(s.bestSel, rank)
+		}
+	}
+
+	if !s.walk(0, 0, 0, nil) {
+		return Solution{}, ErrNodeBudget
+	}
+
+	selected := make([]int, len(s.bestSel))
+	for i, rank := range s.bestSel {
+		selected[i] = order[rank]
+	}
+	sort.Ints(selected)
+	return Solution{Selected: selected, Cost: in.Cost(selected)}, nil
+}
+
+type bnbSearch struct {
+	costs, contribs []float64
+	suffixContrib   []float64
+	require         float64
+	bestCost        float64
+	bestSel         []int
+	budget          int
+}
+
+// walk explores decisions for users rank.. given the partial selection.
+// It returns false when the node budget is exhausted.
+func (s *bnbSearch) walk(rank int, cost, contrib float64, chosen []int) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+
+	if contrib >= s.require-FeasibilityTol {
+		if cost < s.bestCost {
+			s.bestCost = cost
+			s.bestSel = append([]int(nil), chosen...)
+		}
+		return true // adding more users only raises cost
+	}
+	if rank == len(s.costs) {
+		return true
+	}
+	if contrib+s.suffixContrib[rank] < s.require-FeasibilityTol {
+		return true // infeasible branch
+	}
+	if cost+s.fractionalBound(rank, contrib) >= s.bestCost {
+		return true // cannot beat the incumbent
+	}
+
+	// Include rank first: ratio order means inclusion usually leads to the
+	// optimum fastest.
+	if !s.walk(rank+1, cost+s.costs[rank], contrib+s.contribs[rank], append(chosen, rank)) {
+		return false
+	}
+	return s.walk(rank+1, cost, contrib, chosen)
+}
+
+// fractionalBound returns the cost of fractionally completing the remaining
+// requirement with users rank.. in ratio order — a valid lower bound on any
+// integral completion.
+func (s *bnbSearch) fractionalBound(rank int, contrib float64) float64 {
+	needed := s.require - contrib
+	bound := 0.0
+	for i := rank; i < len(s.costs) && needed > FeasibilityTol; i++ {
+		if s.contribs[i] >= needed {
+			bound += s.costs[i] * needed / s.contribs[i]
+			return bound
+		}
+		bound += s.costs[i]
+		needed -= s.contribs[i]
+	}
+	if needed > FeasibilityTol {
+		return math.Inf(1) // cannot complete at all
+	}
+	return bound
+}

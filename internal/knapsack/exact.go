@@ -1,0 +1,144 @@
+package knapsack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// state is one Pareto-undominated tuple (I, Q, C) of Algorithm 1: a user set
+// with its exact total contribution and cost. Sets are stored as parent
+// pointers to keep the state list compact.
+type state struct {
+	contrib float64
+	cost    float64
+	user    int    // user added to form this state, -1 for the empty state
+	parent  *state // state this one extends
+}
+
+func (s *state) selection() []int {
+	var sel []int
+	for cur := s; cur != nil && cur.user >= 0; cur = cur.parent {
+		sel = append(sel, cur.user)
+	}
+	sort.Ints(sel)
+	return sel
+}
+
+// SolveExactDP is the paper's Algorithm 1: dynamic programming over
+// Pareto-undominated (contribution, cost) states with dominance pruning,
+// followed by picking the feasible state of minimum cost. It is exact but
+// exponential in the worst case (the state list can grow with every user),
+// so it serves as the OPT oracle for small instances and for cross-checks;
+// use SolveBnB for larger exact solves.
+func SolveExactDP(in *Instance) (Solution, error) {
+	if !in.Feasible() {
+		return Solution{}, ErrInfeasible
+	}
+	// The frontier is kept sorted by cost ascending with contributions
+	// strictly increasing — any state breaking that order is dominated.
+	frontier := []*state{{contrib: 0, cost: 0, user: -1}}
+	for j := 0; j < in.N(); j++ {
+		extended := make([]*state, len(frontier))
+		for i, s := range frontier {
+			extended[i] = &state{
+				contrib: s.contrib + in.Contribs[j],
+				cost:    s.cost + in.Costs[j],
+				user:    j,
+				parent:  s,
+			}
+		}
+		frontier = mergePareto(frontier, extended)
+	}
+	best := (*state)(nil)
+	for _, s := range frontier {
+		if s.contrib >= in.Require-FeasibilityTol {
+			// The frontier is cost-ascending, so the first feasible state
+			// is the cheapest.
+			best = s
+			break
+		}
+	}
+	if best == nil {
+		return Solution{}, ErrInfeasible
+	}
+	sel := best.selection()
+	return Solution{Selected: sel, Cost: in.Cost(sel)}, nil
+}
+
+// mergePareto merges two cost-sorted state lists and removes dominated
+// states: state a dominates b when a.cost ≤ b.cost and a.contrib ≥
+// b.contrib. The result is cost-ascending with strictly increasing
+// contributions.
+func mergePareto(a, b []*state) []*state {
+	merged := make([]*state, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var next *state
+		switch {
+		case i == len(a):
+			next = b[j]
+			j++
+		case j == len(b):
+			next = a[i]
+			i++
+		case a[i].cost <= b[j].cost:
+			next = a[i]
+			i++
+		default:
+			next = b[j]
+			j++
+		}
+		if len(merged) > 0 && merged[len(merged)-1].contrib >= next.contrib {
+			continue // dominated by an equal-or-cheaper state
+		}
+		merged = append(merged, next)
+	}
+	return merged
+}
+
+// SolveExhaustive enumerates all 2^n subsets. It is the ground-truth oracle
+// for tests and refuses instances with more than 24 users.
+func SolveExhaustive(in *Instance) (Solution, error) {
+	const maxN = 24
+	if in.N() > maxN {
+		return Solution{}, &TooLargeError{N: in.N(), Max: maxN}
+	}
+	if !in.Feasible() {
+		return Solution{}, ErrInfeasible
+	}
+	bestCost := math.Inf(1)
+	bestMask := uint32(0)
+	for mask := uint32(1); mask < 1<<in.N(); mask++ {
+		cost, contrib := 0.0, 0.0
+		for i := 0; i < in.N(); i++ {
+			if mask&(1<<i) != 0 {
+				cost += in.Costs[i]
+				contrib += in.Contribs[i]
+			}
+		}
+		if contrib >= in.Require-FeasibilityTol && cost < bestCost {
+			bestCost = cost
+			bestMask = mask
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return Solution{}, ErrInfeasible
+	}
+	var sel []int
+	for i := 0; i < in.N(); i++ {
+		if bestMask&(1<<i) != 0 {
+			sel = append(sel, i)
+		}
+	}
+	return Solution{Selected: sel, Cost: bestCost}, nil
+}
+
+// TooLargeError reports an instance too large for exhaustive enumeration.
+type TooLargeError struct {
+	N, Max int
+}
+
+func (e *TooLargeError) Error() string {
+	return fmt.Sprintf("knapsack: instance with %d users exceeds exhaustive limit %d", e.N, e.Max)
+}

@@ -1,0 +1,84 @@
+package knapsack
+
+import (
+	"math"
+	"sort"
+)
+
+// SolveGreedy is the Min-Greedy baseline the paper compares against
+// (Güntzer & Jungnickel's approximate minimization algorithm, a
+// 2-approximation for minimum knapsack). Users are taken in ascending order
+// of cost-per-contribution until the requirement is met; the prefix
+// solution is then compared against the cheapest single user who alone
+// meets the requirement, and redundant members are pruned from whichever
+// wins.
+func SolveGreedy(in *Instance) (Solution, error) {
+	if !in.Feasible() {
+		return Solution{}, ErrInfeasible
+	}
+
+	// Ratio order over users with positive contribution; zero contributors
+	// can never help.
+	order := make([]int, 0, in.N())
+	for i := 0; i < in.N(); i++ {
+		if in.Contribs[i] > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra := in.Costs[order[a]] / in.Contribs[order[a]]
+		rb := in.Costs[order[b]] / in.Contribs[order[b]]
+		return ra < rb
+	})
+
+	var prefix []int
+	total := 0.0
+	for _, i := range order {
+		prefix = append(prefix, i)
+		total += in.Contribs[i]
+		if total >= in.Require-FeasibilityTol {
+			break
+		}
+	}
+	if total < in.Require-FeasibilityTol {
+		return Solution{}, ErrInfeasible
+	}
+	best := prune(in, prefix)
+
+	// The classical fix-up: a single heavy user can beat a long cheap
+	// prefix.
+	soloCost := math.Inf(1)
+	solo := -1
+	for i := 0; i < in.N(); i++ {
+		if in.Contribs[i] >= in.Require-FeasibilityTol && in.Costs[i] < soloCost {
+			soloCost = in.Costs[i]
+			solo = i
+		}
+	}
+	if solo >= 0 && soloCost < in.Cost(best) {
+		best = []int{solo}
+	}
+
+	sort.Ints(best)
+	return Solution{Selected: best, Cost: in.Cost(best)}, nil
+}
+
+// prune removes users whose contribution is no longer needed, scanning from
+// the most expensive member down, and returns the reduced selection.
+func prune(in *Instance, selected []int) []int {
+	kept := append([]int(nil), selected...)
+	sort.SliceStable(kept, func(a, b int) bool { return in.Costs[kept[a]] > in.Costs[kept[b]] })
+	total := 0.0
+	for _, i := range kept {
+		total += in.Contribs[i]
+	}
+	out := kept[:0]
+	for _, i := range kept {
+		if total-in.Contribs[i] >= in.Require-FeasibilityTol {
+			total -= in.Contribs[i] // drop: the rest still covers
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+// Package knapsack implements the minimum-knapsack solvers behind the
+// paper's single-task mechanism (§III-B): the exact Pareto-state dynamic
+// program of Algorithm 1, the FPTAS of Algorithm 2 (dynamic programming
+// plus cost scaling over n subproblems, (1+ε)-approximate in O(n⁴/ε)), the
+// Min-Greedy 2-approximation baseline of Güntzer & Jungnickel used as the
+// paper's "Greedy" comparator, a branch-and-bound exact solver used as the
+// OPT baseline on larger instances, and an exhaustive solver for
+// cross-checking in tests.
+//
+// The problem: given users with costs c_i > 0 and contributions q_i ≥ 0,
+// select I minimizing Σ_{i∈I} c_i subject to Σ_{i∈I} q_i ≥ Q.
+package knapsack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// FeasibilityTol absorbs floating-point slack when comparing accumulated
+// contributions against the requirement.
+const FeasibilityTol = 1e-9
+
+// ErrInfeasible is returned when even selecting every user cannot meet the
+// contribution requirement.
+var ErrInfeasible = errors.New("knapsack: requirement unreachable even with all users")
+
+// Instance is one minimum-knapsack instance. Construct with NewInstance,
+// which validates the inputs; solvers assume a validated instance.
+type Instance struct {
+	Costs    []float64 // c_i > 0
+	Contribs []float64 // q_i ≥ 0
+	Require  float64   // Q > 0
+}
+
+// NewInstance validates and assembles an instance. Slices are copied.
+func NewInstance(costs, contribs []float64, require float64) (*Instance, error) {
+	if len(costs) == 0 {
+		return nil, errors.New("knapsack: no users")
+	}
+	if len(costs) != len(contribs) {
+		return nil, fmt.Errorf("knapsack: %d costs but %d contributions", len(costs), len(contribs))
+	}
+	if require <= 0 || math.IsInf(require, 0) || math.IsNaN(require) {
+		return nil, fmt.Errorf("knapsack: requirement must be positive and finite, got %g", require)
+	}
+	for i, c := range costs {
+		if c <= 0 || math.IsInf(c, 0) || math.IsNaN(c) {
+			return nil, fmt.Errorf("knapsack: user %d cost %g must be positive and finite", i, c)
+		}
+	}
+	for i, q := range contribs {
+		if q < 0 || math.IsInf(q, 0) || math.IsNaN(q) {
+			return nil, fmt.Errorf("knapsack: user %d contribution %g must be non-negative and finite", i, q)
+		}
+	}
+	return &Instance{
+		Costs:    append([]float64(nil), costs...),
+		Contribs: append([]float64(nil), contribs...),
+		Require:  require,
+	}, nil
+}
+
+// N reports the number of users.
+func (in *Instance) N() int { return len(in.Costs) }
+
+// Feasible reports whether selecting everyone meets the requirement.
+func (in *Instance) Feasible() bool {
+	total := 0.0
+	for _, q := range in.Contribs {
+		total += q
+	}
+	return total >= in.Require-FeasibilityTol
+}
+
+// Covered reports whether the selection meets the requirement.
+func (in *Instance) Covered(selected []int) bool {
+	total := 0.0
+	for _, i := range selected {
+		total += in.Contribs[i]
+	}
+	return total >= in.Require-FeasibilityTol
+}
+
+// Cost sums the costs of the selected users.
+func (in *Instance) Cost(selected []int) float64 {
+	total := 0.0
+	for _, i := range selected {
+		total += in.Costs[i]
+	}
+	return total
+}
+
+// WithContribution returns a copy of the instance with user i's
+// contribution replaced, used by critical-bid searches.
+func (in *Instance) WithContribution(i int, q float64) (*Instance, error) {
+	if i < 0 || i >= in.N() {
+		return nil, fmt.Errorf("knapsack: user index %d out of range", i)
+	}
+	contribs := append([]float64(nil), in.Contribs...)
+	contribs[i] = q
+	return NewInstance(in.Costs, contribs, in.Require)
+}
+
+// Solution is a solver's output: the selected user indices (sorted
+// ascending) and their total true cost.
+type Solution struct {
+	Selected []int
+	Cost     float64
+}
+
+// contains reports whether the sorted selection includes user i.
+func (s Solution) Contains(i int) bool {
+	for _, idx := range s.Selected {
+		if idx == i {
+			return true
+		}
+		if idx > i {
+			return false
+		}
+	}
+	return false
+}

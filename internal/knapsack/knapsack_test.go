@@ -1,0 +1,428 @@
+package knapsack
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crowdsense/internal/stats"
+)
+
+func mustInstance(t *testing.T, costs, contribs []float64, require float64) *Instance {
+	t.Helper()
+	in, err := NewInstance(costs, contribs, require)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// randomInstance builds a feasible random instance shaped like the paper's
+// workloads: small per-user contributions, normal costs.
+func randomInstance(rng *rand.Rand, n int) *Instance {
+	costs := make([]float64, n)
+	contribs := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		costs[i] = stats.NormalPositive(rng, 15, math.Sqrt(5), 0.5)
+		contribs[i] = stats.Uniform(rng, 0.01, 0.4)
+		total += contribs[i]
+	}
+	require := total * (0.2 + 0.5*rng.Float64()) // comfortably feasible
+	in, err := NewInstance(costs, contribs, require)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		costs    []float64
+		contribs []float64
+		require  float64
+	}{
+		{"empty", nil, nil, 1},
+		{"length mismatch", []float64{1}, []float64{1, 2}, 1},
+		{"zero require", []float64{1}, []float64{1}, 0},
+		{"inf require", []float64{1}, []float64{1}, math.Inf(1)},
+		{"nan require", []float64{1}, []float64{1}, math.NaN()},
+		{"zero cost", []float64{0}, []float64{1}, 1},
+		{"negative cost", []float64{-1}, []float64{1}, 1},
+		{"inf cost", []float64{math.Inf(1)}, []float64{1}, 1},
+		{"negative contrib", []float64{1}, []float64{-0.1}, 1},
+		{"nan contrib", []float64{1}, []float64{math.NaN()}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewInstance(c.costs, c.contribs, c.require); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestInstanceHelpers(t *testing.T) {
+	in := mustInstance(t, []float64{3, 2, 1}, []float64{0.5, 0.7, 0.2}, 1.0)
+	if in.N() != 3 {
+		t.Errorf("N = %d", in.N())
+	}
+	if !in.Feasible() {
+		t.Error("instance should be feasible")
+	}
+	if !in.Covered([]int{0, 1}) {
+		t.Error("users {0, 1} should cover (0.5 + 0.7 ≥ 1)")
+	}
+	if in.Covered([]int{0, 2}) {
+		t.Error("users {0, 2} should not cover (0.7 < 1)")
+	}
+	if got := in.Cost([]int{0, 2}); got != 4 {
+		t.Errorf("cost = %g, want 4", got)
+	}
+	mod, err := in.WithContribution(2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Contribs[2] != 0.9 || in.Contribs[2] != 0.2 {
+		t.Error("WithContribution wrong or mutated original")
+	}
+	if _, err := in.WithContribution(9, 0.5); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+}
+
+func TestSolutionContains(t *testing.T) {
+	s := Solution{Selected: []int{1, 3, 5}}
+	for _, i := range []int{1, 3, 5} {
+		if !s.Contains(i) {
+			t.Errorf("Contains(%d) = false", i)
+		}
+	}
+	for _, i := range []int{0, 2, 4, 6} {
+		if s.Contains(i) {
+			t.Errorf("Contains(%d) = true", i)
+		}
+	}
+}
+
+func TestAllSolversRejectInfeasible(t *testing.T) {
+	in := mustInstance(t, []float64{1, 1}, []float64{0.1, 0.1}, 1.0)
+	solvers := map[string]func(*Instance) (Solution, error){
+		"exactDP":    SolveExactDP,
+		"exhaustive": SolveExhaustive,
+		"greedy":     SolveGreedy,
+		"fptas":      func(i *Instance) (Solution, error) { return SolveFPTAS(i, 0.5) },
+		"bnb":        func(i *Instance) (Solution, error) { return SolveBnB(i, 0) },
+	}
+	for name, solve := range solvers {
+		t.Run(name, func(t *testing.T) {
+			if _, err := solve(in); !errors.Is(err, ErrInfeasible) {
+				t.Errorf("error = %v, want ErrInfeasible", err)
+			}
+		})
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// §III-A: four users (cost, PoS) = (3,0.7), (2,0.7), (1,0.5), (4,0.8),
+	// requirement T = 0.9. The paper says the optimum selects users 1 and 2
+	// at cost 5; note {3, 4} ties exactly (0.5 and 0.8 jointly give PoS
+	// exactly 0.9 at cost 1+4 = 5), so any exact solver may return either.
+	q := func(p float64) float64 { return -math.Log1p(-p) }
+	in := mustInstance(t,
+		[]float64{3, 2, 1, 4},
+		[]float64{q(0.7), q(0.7), q(0.5), q(0.8)},
+		q(0.9))
+	for name, solve := range map[string]func(*Instance) (Solution, error){
+		"exactDP":    SolveExactDP,
+		"exhaustive": SolveExhaustive,
+		"bnb":        func(i *Instance) (Solution, error) { return SolveBnB(i, 0) },
+	} {
+		sol, err := solve(in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !in.Covered(sol.Selected) {
+			t.Errorf("%s solution %v not feasible", name, sol.Selected)
+		}
+		if sol.Cost != 5 {
+			t.Errorf("%s cost = %g, want 5", name, sol.Cost)
+		}
+	}
+}
+
+func TestExactDPSingleUser(t *testing.T) {
+	in := mustInstance(t, []float64{2}, []float64{1}, 0.5)
+	sol, err := SolveExactDP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Selected) != 1 || sol.Cost != 2 {
+		t.Errorf("solution = %+v", sol)
+	}
+}
+
+func TestExactDPMatchesExhaustive(t *testing.T) {
+	rng := stats.NewRand(20)
+	for trial := 0; trial < 200; trial++ {
+		in := randomInstance(rng, 2+rng.Intn(11))
+		dp, err := SolveExactDP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := SolveExhaustive(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dp.Cost-ex.Cost) > 1e-9 {
+			t.Fatalf("trial %d: DP cost %g != exhaustive %g", trial, dp.Cost, ex.Cost)
+		}
+		if !in.Covered(dp.Selected) {
+			t.Fatalf("trial %d: DP solution not feasible", trial)
+		}
+	}
+}
+
+func TestBnBMatchesExhaustive(t *testing.T) {
+	rng := stats.NewRand(21)
+	for trial := 0; trial < 200; trial++ {
+		in := randomInstance(rng, 2+rng.Intn(14))
+		bnb, err := SolveBnB(in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := SolveExhaustive(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(bnb.Cost-ex.Cost) > 1e-9 {
+			t.Fatalf("trial %d: BnB cost %g != exhaustive %g", trial, bnb.Cost, ex.Cost)
+		}
+		if !in.Covered(bnb.Selected) {
+			t.Fatalf("trial %d: BnB solution not feasible", trial)
+		}
+	}
+}
+
+func TestBnBNodeBudget(t *testing.T) {
+	rng := stats.NewRand(22)
+	in := randomInstance(rng, 40)
+	if _, err := SolveBnB(in, 3); !errors.Is(err, ErrNodeBudget) {
+		t.Errorf("error = %v, want ErrNodeBudget", err)
+	}
+}
+
+func TestBnBLargeInstance(t *testing.T) {
+	rng := stats.NewRand(23)
+	in := randomInstance(rng, 100)
+	sol, err := SolveBnB(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Covered(sol.Selected) {
+		t.Error("solution not feasible")
+	}
+	// Sanity: no better than the fractional bound of the whole problem.
+	greedy, err := SolveGreedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost > greedy.Cost+1e-9 {
+		t.Errorf("BnB cost %g worse than greedy %g", sol.Cost, greedy.Cost)
+	}
+}
+
+func TestExhaustiveRefusesLarge(t *testing.T) {
+	rng := stats.NewRand(24)
+	in := randomInstance(rng, 30)
+	var tooLarge *TooLargeError
+	if _, err := SolveExhaustive(in); !errors.As(err, &tooLarge) {
+		t.Errorf("error = %v, want TooLargeError", err)
+	}
+}
+
+func TestGreedyFeasibleAndPruned(t *testing.T) {
+	rng := stats.NewRand(25)
+	for trial := 0; trial < 100; trial++ {
+		in := randomInstance(rng, 2+rng.Intn(30))
+		sol, err := SolveGreedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !in.Covered(sol.Selected) {
+			t.Fatalf("trial %d: greedy infeasible", trial)
+		}
+		// Minimality: removing any one member must break coverage.
+		for k, drop := range sol.Selected {
+			rest := make([]int, 0, len(sol.Selected)-1)
+			rest = append(rest, sol.Selected[:k]...)
+			rest = append(rest, sol.Selected[k+1:]...)
+			if in.Covered(rest) {
+				t.Fatalf("trial %d: greedy selection not minimal (user %d redundant)", trial, drop)
+			}
+		}
+	}
+}
+
+func TestGreedyTwoApproximation(t *testing.T) {
+	rng := stats.NewRand(26)
+	for trial := 0; trial < 100; trial++ {
+		in := randomInstance(rng, 2+rng.Intn(12))
+		greedy, err := SolveGreedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := SolveExhaustive(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.Cost > 2*opt.Cost+1e-9 {
+			t.Fatalf("trial %d: greedy %g > 2×OPT %g", trial, greedy.Cost, opt.Cost)
+		}
+	}
+}
+
+func TestGreedySoloBeatsPrefix(t *testing.T) {
+	// A single user covering everything at cost 3 beats a cheap-ratio
+	// prefix costing 4.
+	in := mustInstance(t,
+		[]float64{1, 1, 1, 1, 3},
+		[]float64{0.25, 0.25, 0.25, 0.25, 1.0},
+		1.0)
+	sol, err := SolveGreedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Selected) != 1 || sol.Selected[0] != 4 {
+		t.Errorf("selected %v, want [4]", sol.Selected)
+	}
+}
+
+func TestFPTASApproximationBound(t *testing.T) {
+	rng := stats.NewRand(27)
+	for _, eps := range []float64{0.1, 0.3, 0.5, 1.0} {
+		for trial := 0; trial < 50; trial++ {
+			in := randomInstance(rng, 2+rng.Intn(12))
+			sol, err := SolveFPTAS(in, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !in.Covered(sol.Selected) {
+				t.Fatalf("eps %g trial %d: FPTAS infeasible", eps, trial)
+			}
+			opt, err := SolveExhaustive(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Cost > (1+eps)*opt.Cost+1e-9 {
+				t.Fatalf("eps %g trial %d: FPTAS %g > (1+ε)·OPT %g",
+					eps, trial, sol.Cost, (1+eps)*opt.Cost)
+			}
+		}
+	}
+}
+
+func TestFPTASDefaultEpsilon(t *testing.T) {
+	rng := stats.NewRand(28)
+	in := randomInstance(rng, 10)
+	sol, err := SolveFPTAS(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Covered(sol.Selected) {
+		t.Error("default-ε FPTAS infeasible")
+	}
+}
+
+func TestFPTASPropertyBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRand(seed)
+		in := randomInstance(rng, 2+rng.Intn(10))
+		sol, err := SolveFPTAS(in, 0.25)
+		if err != nil {
+			return false
+		}
+		if !in.Covered(sol.Selected) {
+			return false
+		}
+		opt, err := SolveExhaustive(in)
+		if err != nil {
+			return false
+		}
+		return sol.Cost <= 1.25*opt.Cost+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFPTASMonotoneInContribution(t *testing.T) {
+	// Lemma 1: a winner who raises her contribution stays a winner.
+	rng := stats.NewRand(29)
+	for trial := 0; trial < 80; trial++ {
+		in := randomInstance(rng, 3+rng.Intn(12))
+		sol, err := SolveFPTAS(in, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, winner := range sol.Selected {
+			raised, err := in.WithContribution(winner, in.Contribs[winner]*(1.1+rng.Float64()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol2, err := SolveFPTAS(raised, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sol2.Contains(winner) {
+				t.Fatalf("trial %d: winner %d dropped after raising contribution", trial, winner)
+			}
+		}
+	}
+}
+
+func TestFPTASZeroScaledCostItems(t *testing.T) {
+	// Items far cheaper than c_k scale to zero cost; the DP must still
+	// terminate and produce a feasible solution.
+	in := mustInstance(t,
+		[]float64{0.001, 0.001, 100},
+		[]float64{0.3, 0.3, 0.5},
+		1.0)
+	sol, err := SolveFPTAS(in, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Covered(sol.Selected) {
+		t.Error("solution infeasible")
+	}
+	// All three are needed here (0.3+0.3+0.5 = 1.1, any two < 1).
+	if len(sol.Selected) != 3 {
+		t.Errorf("selected %v, want all three users", sol.Selected)
+	}
+}
+
+func TestSolversAgreeOnTightInstance(t *testing.T) {
+	// Requirement exactly equals the sum: everyone must be selected.
+	in := mustInstance(t, []float64{5, 7, 3}, []float64{0.2, 0.3, 0.1}, 0.6)
+	for name, solve := range map[string]func(*Instance) (Solution, error){
+		"exactDP":    SolveExactDP,
+		"exhaustive": SolveExhaustive,
+		"greedy":     SolveGreedy,
+		"fptas":      func(i *Instance) (Solution, error) { return SolveFPTAS(i, 0.5) },
+		"bnb":        func(i *Instance) (Solution, error) { return SolveBnB(i, 0) },
+	} {
+		sol, err := solve(in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(sol.Selected) != 3 {
+			t.Errorf("%s selected %v, want all users", name, sol.Selected)
+		}
+		if math.Abs(sol.Cost-15) > 1e-9 {
+			t.Errorf("%s cost = %g, want 15", name, sol.Cost)
+		}
+	}
+}

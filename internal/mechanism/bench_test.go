@@ -1,0 +1,63 @@
+package mechanism
+
+import (
+	"fmt"
+	"testing"
+
+	"crowdsense/internal/stats"
+)
+
+func BenchmarkSingleTaskRun(b *testing.B) {
+	for _, n := range []int{20, 50, 100} {
+		a := randomSingleAuction(stats.NewRand(int64(n)), n, 0.8)
+		m := &SingleTask{Epsilon: 0.5, Alpha: 10}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMultiTaskRun(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mode CriticalBidMode
+	}{
+		{"paper", CriticalBidPaper},
+		{"scaled", CriticalBidScaled},
+	} {
+		a := randomMultiAuction(stats.NewRand(3), 50, 15, 0.8)
+		m := &MultiTask{Alpha: 10, CriticalBid: mode.mode}
+		b.Run(fmt.Sprintf("n=50/t=15/%s", mode.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkVCGBaselines(b *testing.B) {
+	single := randomSingleAuction(stats.NewRand(4), 100, 0.8)
+	multi := randomMultiAuction(stats.NewRand(5), 100, 15, 0.8)
+	b.Run("ST-VCG", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (STVCG{}).Run(single); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MT-VCG", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (MTVCG{}).Run(multi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

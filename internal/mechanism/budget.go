@@ -1,0 +1,82 @@
+package mechanism
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotRepriceable marks outcomes whose award structure is not an
+// execution-contingent α-contract (the VCG-like baselines).
+var ErrNotRepriceable = errors.New("mechanism: outcome has no α-scaled EC contracts")
+
+// The paper notes that "α is a reward scaling factor that can be adjusted
+// according to the budget constraint of the platform" (§III-B). This file
+// makes that operational: the platform's worst-case liability is every
+// winner succeeding, Σ_i [(1−p̄_i)·α + c_i], which is affine in α, so the
+// largest budget-feasible α has a closed form, and a priced outcome can be
+// re-priced to any α without re-running winner determination (critical bids
+// do not depend on α).
+
+// WorstCasePayment returns the platform's maximum total payout for the
+// outcome: the sum of on-success rewards.
+func (o *Outcome) WorstCasePayment() float64 {
+	total := 0.0
+	for _, aw := range o.Awards {
+		total += aw.RewardOnSuccess
+	}
+	return total
+}
+
+// AlphaForBudget returns the largest α whose worst-case payment fits the
+// budget: α = (budget − Σc) / Σ(1−p̄). It fails if the budget cannot even
+// cover the winners' costs (no α ≥ 0 works). When every winner has critical
+// PoS 1 the payment does not grow with α and any α fits; +Inf is returned.
+func (o *Outcome) AlphaForBudget(budget float64) (float64, error) {
+	if o.Alpha <= 0 {
+		return 0, ErrNotRepriceable
+	}
+	sumCost := 0.0
+	sumSlack := 0.0 // Σ(1−p̄)
+	for _, aw := range o.Awards {
+		cost := aw.RewardOnSuccess - (1-aw.CriticalPoS)*o.Alpha
+		sumCost += cost
+		sumSlack += 1 - aw.CriticalPoS
+	}
+	if budget < sumCost {
+		return 0, fmt.Errorf("mechanism: budget %g below winners' cost floor %g", budget, sumCost)
+	}
+	if sumSlack <= 0 {
+		return math.Inf(1), nil
+	}
+	return (budget - sumCost) / sumSlack, nil
+}
+
+// Reprice returns a copy of the outcome with every EC contract re-scaled to
+// newAlpha. Allocation and critical bids are α-independent, so the repriced
+// outcome retains strategy-proofness and individual rationality (Theorem 1
+// and 4 hold for any α > 0).
+func (o *Outcome) Reprice(newAlpha float64) (*Outcome, error) {
+	if o.Alpha <= 0 {
+		return nil, ErrNotRepriceable
+	}
+	if newAlpha <= 0 {
+		return nil, fmt.Errorf("mechanism: new α %g must be positive", newAlpha)
+	}
+	out := &Outcome{
+		Mechanism:  o.Mechanism,
+		Selected:   append([]int(nil), o.Selected...),
+		SocialCost: o.SocialCost,
+		Awards:     make([]Award, len(o.Awards)),
+		Alpha:      newAlpha,
+	}
+	for i, aw := range o.Awards {
+		cost := aw.RewardOnSuccess - (1-aw.CriticalPoS)*o.Alpha
+		scaled := aw
+		scaled.RewardOnSuccess = (1-aw.CriticalPoS)*newAlpha + cost
+		scaled.RewardOnFailure = -aw.CriticalPoS*newAlpha + cost
+		scaled.ExpectedUtility = aw.ExpectedUtility / o.Alpha * newAlpha
+		out.Awards[i] = scaled
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package mechanism
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"crowdsense/internal/stats"
+)
+
+func ecOutcome(t *testing.T) *Outcome {
+	t.Helper()
+	rng := stats.NewRand(70)
+	a := randomSingleAuction(rng, 15, 0.8)
+	out, err := (&SingleTask{Epsilon: 0.5, Alpha: 10}).Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Awards) == 0 {
+		t.Fatal("no awards")
+	}
+	return out
+}
+
+func TestWorstCasePayment(t *testing.T) {
+	out := ecOutcome(t)
+	want := 0.0
+	for _, aw := range out.Awards {
+		want += aw.RewardOnSuccess
+	}
+	if got := out.WorstCasePayment(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("worst case payment = %g, want %g", got, want)
+	}
+}
+
+func TestRepriceScalesContracts(t *testing.T) {
+	out := ecOutcome(t)
+	re, err := out.Reprice(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Alpha != 25 {
+		t.Errorf("repriced alpha = %g", re.Alpha)
+	}
+	if len(re.Awards) != len(out.Awards) {
+		t.Fatal("award count changed")
+	}
+	for i, aw := range re.Awards {
+		old := out.Awards[i]
+		// Critical bid and allocation unchanged.
+		if aw.CriticalPoS != old.CriticalPoS || aw.BidIndex != old.BidIndex {
+			t.Errorf("award %d identity changed", i)
+		}
+		// Contract structure holds at the new α: the success/failure gap is
+		// exactly α.
+		if math.Abs((aw.RewardOnSuccess-aw.RewardOnFailure)-25) > 1e-9 {
+			t.Errorf("award %d: reward gap %g, want 25", i, aw.RewardOnSuccess-aw.RewardOnFailure)
+		}
+		// The embedded cost is preserved: failure reward + p̄·α.
+		oldCost := old.RewardOnFailure + old.CriticalPoS*out.Alpha
+		newCost := aw.RewardOnFailure + aw.CriticalPoS*25
+		if math.Abs(oldCost-newCost) > 1e-9 {
+			t.Errorf("award %d: cost changed %g -> %g", i, oldCost, newCost)
+		}
+		// Expected utility scales linearly with α.
+		if math.Abs(aw.ExpectedUtility-old.ExpectedUtility*2.5) > 1e-9 {
+			t.Errorf("award %d: utility %g, want %g", i, aw.ExpectedUtility, old.ExpectedUtility*2.5)
+		}
+	}
+	// Original untouched.
+	if out.Alpha != 10 {
+		t.Error("Reprice mutated the original")
+	}
+}
+
+func TestRepriceRejects(t *testing.T) {
+	out := ecOutcome(t)
+	if _, err := out.Reprice(0); err == nil {
+		t.Error("α = 0 should fail")
+	}
+	if _, err := out.Reprice(-5); err == nil {
+		t.Error("negative α should fail")
+	}
+	vcg := &Outcome{Alpha: 0}
+	if _, err := vcg.Reprice(10); !errors.Is(err, ErrNotRepriceable) {
+		t.Errorf("error = %v, want ErrNotRepriceable", err)
+	}
+	if _, err := vcg.AlphaForBudget(100); !errors.Is(err, ErrNotRepriceable) {
+		t.Errorf("error = %v, want ErrNotRepriceable", err)
+	}
+}
+
+func TestAlphaForBudgetTight(t *testing.T) {
+	out := ecOutcome(t)
+	budget := out.WorstCasePayment() * 1.5
+	alpha, err := out.AlphaForBudget(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha <= 0 {
+		t.Fatalf("alpha = %g", alpha)
+	}
+	re, err := out.Reprice(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.WorstCasePayment(); math.Abs(got-budget) > 1e-6 {
+		t.Errorf("repriced worst case %g, want the budget %g", got, budget)
+	}
+}
+
+func TestAlphaForBudgetBelowCostFloor(t *testing.T) {
+	out := ecOutcome(t)
+	sumCost := 0.0
+	for _, aw := range out.Awards {
+		sumCost += aw.RewardOnSuccess - (1-aw.CriticalPoS)*out.Alpha
+	}
+	if _, err := out.AlphaForBudget(sumCost * 0.5); err == nil {
+		t.Error("budget below the cost floor should fail")
+	}
+}
+
+func TestAlphaForBudgetAllCritical(t *testing.T) {
+	out := &Outcome{
+		Alpha: 10,
+		Awards: []Award{
+			{CriticalPoS: 1, RewardOnSuccess: 0*10 + 5, RewardOnFailure: -10 + 5},
+		},
+	}
+	alpha, err := out.AlphaForBudget(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(alpha, 1) {
+		t.Errorf("alpha = %g, want +Inf when payment is α-independent", alpha)
+	}
+}

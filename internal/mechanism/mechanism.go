@@ -1,0 +1,121 @@
+// Package mechanism implements the paper's strategy-proof incentive
+// mechanisms for mobile crowdsensing with execution uncertainty:
+//
+//   - SingleTask (§III-B): FPTAS winner determination for minimum knapsack
+//     (Algorithm 2) with a binary-search critical bid and execution-
+//     contingent reward (Algorithm 3);
+//   - MultiTask (§III-C): greedy submodular set-cover winner determination
+//     (Algorithm 4) with a min-over-iterations critical bid and execution-
+//     contingent reward (Algorithm 5);
+//   - STVCG / MTVCG (§IV-E): the naive VCG-like baselines that trust
+//     declared PoS, used to demonstrate why ignoring execution uncertainty
+//     under-provisions tasks.
+//
+// Every mechanism consumes a validated *auction.Auction of declared types
+// and produces an Outcome: the selected users, the social cost, and one
+// Award per winner carrying the critical PoS p̄ and the two
+// execution-contingent reward levels
+//
+//	success: (1−p̄)·α + c,   failure: −p̄·α + c,
+//
+// so a truthful winner's expected utility is (p − p̄)·α ≥ 0 (Theorems 1
+// and 4).
+package mechanism
+
+import (
+	"errors"
+	"fmt"
+
+	"crowdsense/internal/auction"
+)
+
+// Sentinel errors.
+var (
+	// ErrNotSingleTask is returned when a single-task mechanism receives a
+	// multi-task auction.
+	ErrNotSingleTask = errors.New("mechanism: auction is not single-task")
+	// ErrInfeasible is returned when no selection of users can satisfy the
+	// task requirements.
+	ErrInfeasible = errors.New("mechanism: task requirements unreachable")
+)
+
+// DefaultAlpha is the paper's default reward scaling factor (Table II).
+const DefaultAlpha = 10.0
+
+// Award is a winner's reward contract under the execution-contingent
+// scheme.
+type Award struct {
+	BidIndex int            // index into the auction's bid slice
+	User     auction.UserID // the winner
+
+	CriticalContribution float64 // q̄: minimum total contribution to win
+	CriticalPoS          float64 // p̄ = 1 − e^(−q̄)
+
+	RewardOnSuccess float64 // (1−p̄)·α + c
+	RewardOnFailure float64 // −p̄·α + c
+
+	// ExpectedUtility is the winner's expected utility under her declared
+	// type: (p − p̄)·α in the single-task setting and
+	// (e^(−q̄) − e^(−Σq))·α in the multi-task setting (Equation 6). For
+	// truthful users this is the true expected utility and must be ≥ 0.
+	ExpectedUtility float64
+}
+
+// Outcome is a mechanism's full result.
+type Outcome struct {
+	Mechanism  string  // name of the mechanism that produced the outcome
+	Selected   []int   // winning bid indices, ascending
+	SocialCost float64 // Σ costs of winners
+	Awards     []Award // one per winner, same order as Selected
+	Alpha      float64 // EC reward scale the awards were priced at (0 = not an EC outcome)
+}
+
+// AwardFor returns the award of the given bid index.
+func (o *Outcome) AwardFor(bidIndex int) (Award, bool) {
+	for _, aw := range o.Awards {
+		if aw.BidIndex == bidIndex {
+			return aw, true
+		}
+	}
+	return Award{}, false
+}
+
+// Winner reports whether the bid index won.
+func (o *Outcome) Winner(bidIndex int) bool {
+	_, ok := o.AwardFor(bidIndex)
+	return ok
+}
+
+// Mechanism is a complete auction mechanism: allocation plus rewards.
+type Mechanism interface {
+	// Name identifies the mechanism in experiment output.
+	Name() string
+	// Run executes the mechanism on declared types.
+	Run(a *auction.Auction) (*Outcome, error)
+}
+
+// ecAward assembles an execution-contingent award from a critical
+// contribution.
+func ecAward(bidIndex int, bid auction.Bid, criticalQ, declaredTotalQ, alpha float64) Award {
+	criticalPoS := auction.PoS(criticalQ)
+	return Award{
+		BidIndex:             bidIndex,
+		User:                 bid.User,
+		CriticalContribution: criticalQ,
+		CriticalPoS:          criticalPoS,
+		RewardOnSuccess:      (1-criticalPoS)*alpha + bid.Cost,
+		RewardOnFailure:      -criticalPoS*alpha + bid.Cost,
+		ExpectedUtility:      (auction.PoS(declaredTotalQ) - criticalPoS) * alpha,
+	}
+}
+
+// requireAlpha normalizes a reward scale.
+func requireAlpha(alpha float64) (float64, error) {
+	if alpha == 0 {
+		return DefaultAlpha, nil
+	}
+	if alpha < 0 {
+		return 0, fmt.Errorf("mechanism: reward scale must be positive, got %g", alpha)
+	}
+	return alpha, nil
+}

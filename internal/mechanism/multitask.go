@@ -1,0 +1,234 @@
+package mechanism
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/setcover"
+)
+
+// CriticalBidMode selects how the multi-task critical bid is computed.
+type CriticalBidMode int
+
+const (
+	// CriticalBidPaper is Algorithm 5 as printed: rerun the allocation
+	// without the user and take the minimum over iterations of
+	// (c_i/c_k)·Σ_j min{Q̄_j, q_k^j}. The threshold is priced against
+	// EFFECTIVE contributions, so it can underestimate the total
+	// contribution a user actually needs to win: Theorem 4's proof assumes
+	// a truthful loser fails already in the first iteration, which does not
+	// hold on every instance, and on such instances a loser can profitably
+	// inflate her declaration. See DESIGN.md ("Algorithm 5 gap").
+	CriticalBidPaper CriticalBidMode = iota + 1
+	// CriticalBidScaled closes that gap for scaled deviations: it binary-
+	// searches the minimal factor s such that declaring s·(q_i^j)_j still
+	// wins (monotone by Lemma 2) and prices the reward at q̄ = s*·Σ_j q_i^j.
+	// Within the family of scaled misreports the mechanism is then exactly
+	// strategy-proof: winning utility (e^(−q̄) − e^(−Σq))·α is independent
+	// of the declaration and non-negative exactly when truthful bidding
+	// wins.
+	CriticalBidScaled
+)
+
+// MultiTask is the paper's multi-task, single-minded mechanism (§III-C):
+// greedy submodular set-cover winner determination (Algorithm 4) and
+// critical-bid rewards with execution-contingent payments (Algorithm 5, or
+// the exact scaled-threshold variant — see CriticalBidMode).
+type MultiTask struct {
+	// Alpha is the reward scaling factor; zero uses DefaultAlpha.
+	Alpha float64
+	// CriticalBid selects the critical-bid computation; zero means
+	// CriticalBidPaper.
+	CriticalBid CriticalBidMode
+}
+
+var _ Mechanism = (*MultiTask)(nil)
+
+// Name implements Mechanism.
+func (m *MultiTask) Name() string { return "multi-task greedy" }
+
+// Run executes winner determination and reward calculation.
+func (m *MultiTask) Run(a *auction.Auction) (*Outcome, error) {
+	alpha, err := requireAlpha(m.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := setcover.Greedy(a)
+	if err != nil {
+		if errors.Is(err, setcover.ErrInfeasible) {
+			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return nil, err
+	}
+	out := &Outcome{
+		Mechanism:  m.Name(),
+		Selected:   sol.Selected,
+		SocialCost: sol.Cost,
+		Awards:     make([]Award, len(sol.Selected)),
+		Alpha:      alpha,
+	}
+	for slot, winner := range sol.Selected {
+		var criticalQ float64
+		switch m.CriticalBid {
+		case CriticalBidScaled:
+			criticalQ, err = criticalContributionScaled(a, winner)
+		case CriticalBidPaper, 0:
+			criticalQ, err = criticalContributionMulti(a, winner)
+		default:
+			err = fmt.Errorf("mechanism: unknown critical bid mode %d", m.CriticalBid)
+		}
+		if err != nil {
+			return nil, err
+		}
+		bid := a.Bids[winner]
+		out.Awards[slot] = ecAward(winner, bid, criticalQ, bid.TotalContribution(), alpha)
+	}
+	return out, nil
+}
+
+// criticalContributionScaled binary-searches the minimal scale s ∈ [0, 1]
+// such that user i still wins when declaring s·(q_i^j)_j with everyone
+// else fixed, and returns q̄ = s*·Σ_j q_i^j. Greedy selection is monotone
+// in every contribution (Lemma 2), hence monotone in s, so the threshold is
+// well defined. The search runs in the PoS domain: scaling contribution by
+// s maps p to 1−(1−p)^s.
+func criticalContributionScaled(a *auction.Auction, i int) (float64, error) {
+	total := a.Bids[i].TotalContribution()
+	if total <= 0 {
+		return 0, nil
+	}
+	lo, hi := 0.0, 1.0 // lo loses (zero contribution), hi wins (declared)
+	const tol = 1e-9
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		wins, err := winsWithScale(a, i, mid)
+		if err != nil {
+			return 0, err
+		}
+		if wins {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi * total, nil
+}
+
+// winsWithScale reports whether bid i is selected by the greedy allocation
+// when its contributions are scaled by s.
+func winsWithScale(a *auction.Auction, i int, s float64) (bool, error) {
+	orig := a.Bids[i]
+	scaled := make(map[auction.TaskID]float64, len(orig.PoS))
+	for id, p := range orig.PoS {
+		// contribution s·q corresponds to PoS 1−(1−p)^s.
+		scaled[id] = auction.PoS(s * auction.Contribution(p))
+	}
+	mod, err := a.WithBid(i, auction.NewBid(orig.User, orig.Tasks, orig.Cost, scaled))
+	if err != nil {
+		return false, err
+	}
+	sol, err := setcover.Greedy(mod)
+	if err != nil {
+		if errors.Is(err, setcover.ErrInfeasible) {
+			return false, nil
+		}
+		return false, err
+	}
+	return sol.Contains(i), nil
+}
+
+// criticalContributionMulti is Algorithm 5's critical bid for winner i: the
+// allocation is re-run without user i, and in each iteration — where user k
+// wins against the remaining requirements Q̄ — user i would have needed a
+// total effective contribution of at least (c_i/c_k)·Σ_j min{Q̄_j, q_k^j}
+// to be picked instead. The critical bid is the minimum of those
+// thresholds.
+//
+// If the instance is infeasible without user i, she is pivotal: the greedy
+// loop must eventually select her no matter how small her declared
+// contribution, so her critical bid is the infimum 0 (any threshold
+// observed before the rerun stalls still applies and is used if smaller —
+// it cannot be, since 0 is minimal). The paper assumes a competitive market
+// where this does not arise; see DESIGN.md.
+func criticalContributionMulti(a *auction.Auction, i int) (float64, error) {
+	rest, err := a.WithoutBid(i)
+	if err != nil {
+		if errors.Is(err, auction.ErrNoBids) {
+			return 0, nil // only bidder: pivotal
+		}
+		return 0, err
+	}
+	sol, err := setcover.Greedy(rest)
+	if err != nil {
+		if errors.Is(err, setcover.ErrInfeasible) {
+			return 0, nil // pivotal: wins with any positive declaration
+		}
+		return 0, err
+	}
+	ci := a.Bids[i].Cost
+	critical := math.Inf(1)
+	for _, it := range sol.Iterations {
+		// Bid indices in `rest` at or above i shifted down by one.
+		kRest := it.Winner
+		k := kRest
+		if kRest >= i {
+			k = kRest + 1
+		}
+		ck := a.Bids[k].Cost
+		threshold := ci / ck * it.Effective
+		if threshold < critical {
+			critical = threshold
+		}
+	}
+	if math.IsInf(critical, 1) {
+		// No iterations means the requirements were already satisfied with
+		// no users — impossible for validated auctions with positive
+		// requirements.
+		return 0, fmt.Errorf("mechanism: empty rerun trace for winner %d", i)
+	}
+	return critical, nil
+}
+
+// MultiTaskOPT pairs the exact branch-and-bound cover with EC rewards
+// priced by the greedy critical bids. It exists purely as a social-cost
+// baseline for the evaluation — the exact allocation is NOT monotone-proven
+// and its rewards are not certified strategy-proof.
+type MultiTaskOPT struct {
+	Alpha      float64
+	NodeBudget int
+}
+
+var _ Mechanism = (*MultiTaskOPT)(nil)
+
+// Name implements Mechanism.
+func (m *MultiTaskOPT) Name() string { return "multi-task OPT" }
+
+// Run executes exact (or best-found within the node budget) winner
+// determination. Awards carry zero critical bids: the OPT baseline is used
+// only for social-cost comparisons.
+func (m *MultiTaskOPT) Run(a *auction.Auction) (*Outcome, error) {
+	res, err := BnBCover(a, m.NodeBudget)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Mechanism:  m.Name(),
+		Selected:   res.Solution.Selected,
+		SocialCost: res.Solution.Cost,
+	}
+	return out, nil
+}
+
+// BnBCover exposes the exact cover search with mechanism error mapping.
+func BnBCover(a *auction.Auction, nodeBudget int) (setcover.BnBResult, error) {
+	res, err := setcover.BnB(a, nodeBudget)
+	if err != nil {
+		if errors.Is(err, setcover.ErrInfeasible) {
+			return setcover.BnBResult{}, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return setcover.BnBResult{}, err
+	}
+	return res, nil
+}

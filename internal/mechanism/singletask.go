@@ -1,0 +1,257 @@
+package mechanism
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/knapsack"
+)
+
+// CriticalBidTol is the absolute tolerance of the binary search for the
+// single-task critical contribution.
+const CriticalBidTol = 1e-9
+
+// SingleTask is the paper's single-task mechanism (§III-B): winner
+// determination by the minimum-knapsack FPTAS (Algorithm 2) and rewards by
+// binary-search critical bids with execution-contingent payments
+// (Algorithm 3).
+type SingleTask struct {
+	// Epsilon is the FPTAS approximation parameter; non-positive values use
+	// knapsack.DefaultEpsilon.
+	Epsilon float64
+	// Alpha is the reward scaling factor; zero uses DefaultAlpha.
+	Alpha float64
+	// Parallelism bounds the goroutines used for per-winner critical-bid
+	// searches; non-positive uses GOMAXPROCS.
+	Parallelism int
+}
+
+var _ Mechanism = (*SingleTask)(nil)
+
+// Name implements Mechanism.
+func (m *SingleTask) Name() string {
+	return fmt.Sprintf("single-task FPTAS(ε=%g)", m.epsilon())
+}
+
+func (m *SingleTask) epsilon() float64 {
+	if m.Epsilon <= 0 {
+		return knapsack.DefaultEpsilon
+	}
+	return m.Epsilon
+}
+
+// Run executes winner determination and reward calculation. The auction
+// must have exactly one task.
+func (m *SingleTask) Run(a *auction.Auction) (*Outcome, error) {
+	alpha, err := requireAlpha(m.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	in, taskID, err := singleTaskInstance(a)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := knapsack.SolveFPTAS(in, m.epsilon())
+	if err != nil {
+		if errors.Is(err, knapsack.ErrInfeasible) {
+			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return nil, err
+	}
+
+	out := &Outcome{
+		Mechanism:  m.Name(),
+		Selected:   sol.Selected,
+		SocialCost: sol.Cost,
+		Awards:     make([]Award, len(sol.Selected)),
+		Alpha:      alpha,
+	}
+	// Critical-bid searches are independent per winner; fan out.
+	par := m.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for slot, winner := range sol.Selected {
+		wg.Add(1)
+		go func(slot, winner int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			criticalQ, err := m.criticalContribution(in, winner)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			bid := a.Bids[winner]
+			out.Awards[slot] = ecAward(winner, bid, criticalQ, bid.Contribution(taskID), alpha)
+		}(slot, winner)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// criticalContribution binary-searches the minimum declared contribution q̄
+// with which user i still wins (Algorithm 3, line 1). Monotonicity of the
+// winner determination in the contribution (Lemma 1) guarantees the search
+// is well defined. The search runs over [0, q_i]: the user wins at her
+// declaration, and the critical bid can never exceed it.
+func (m *SingleTask) criticalContribution(in *knapsack.Instance, i int) (float64, error) {
+	wins, err := m.winsWith(in, i, in.Contribs[i])
+	if err != nil {
+		return 0, err
+	}
+	if !wins {
+		// Defensive: the declared contribution produced this winner, so it
+		// must win on re-run (the solver is deterministic).
+		return 0, fmt.Errorf("mechanism: winner %d does not win at declared contribution", i)
+	}
+	lo, hi := 0.0, in.Contribs[i]
+	// At q = 0 a user contributes nothing and is never selected.
+	for hi-lo > CriticalBidTol {
+		mid := (lo + hi) / 2
+		wins, err := m.winsWith(in, i, mid)
+		if err != nil {
+			return 0, err
+		}
+		if wins {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// winsWith reports whether user i is selected when declaring contribution q
+// while everyone else's declarations stay fixed.
+func (m *SingleTask) winsWith(in *knapsack.Instance, i int, q float64) (bool, error) {
+	mod, err := in.WithContribution(i, q)
+	if err != nil {
+		return false, err
+	}
+	sol, err := knapsack.SolveFPTAS(mod, m.epsilon())
+	if err != nil {
+		if errors.Is(err, knapsack.ErrInfeasible) {
+			// Lowering i's declaration made the whole instance infeasible;
+			// in that regime no one (in particular not i) is selected.
+			return false, nil
+		}
+		return false, err
+	}
+	return sol.Contains(i), nil
+}
+
+// singleTaskInstance projects a single-task auction onto a knapsack
+// instance.
+func singleTaskInstance(a *auction.Auction) (*knapsack.Instance, auction.TaskID, error) {
+	if !a.SingleTask() {
+		return nil, 0, ErrNotSingleTask
+	}
+	task := a.Tasks[0]
+	costs := make([]float64, len(a.Bids))
+	contribs := make([]float64, len(a.Bids))
+	for i, bid := range a.Bids {
+		costs[i] = bid.Cost
+		contribs[i] = bid.Contribution(task.ID)
+	}
+	in, err := knapsack.NewInstance(costs, contribs, task.RequiredContribution())
+	if err != nil {
+		return nil, 0, err
+	}
+	return in, task.ID, nil
+}
+
+// SingleTaskOPT runs the exact (branch-and-bound) allocation with the same
+// critical-bid EC reward scheme. It is exponential in the worst case and
+// exists as the paper's OPT baseline; Run fails with knapsack.ErrNodeBudget
+// if the search exceeds its node budget.
+type SingleTaskOPT struct {
+	Alpha      float64
+	NodeBudget int
+}
+
+var _ Mechanism = (*SingleTaskOPT)(nil)
+
+// Name implements Mechanism.
+func (m *SingleTaskOPT) Name() string { return "single-task OPT" }
+
+// Run executes exact winner determination. Rewards use the same EC scheme
+// with critical bids searched against the exact allocation.
+func (m *SingleTaskOPT) Run(a *auction.Auction) (*Outcome, error) {
+	alpha, err := requireAlpha(m.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	in, taskID, err := singleTaskInstance(a)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := knapsack.SolveBnB(in, m.NodeBudget)
+	if err != nil {
+		if errors.Is(err, knapsack.ErrInfeasible) {
+			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return nil, err
+	}
+	out := &Outcome{
+		Mechanism:  m.Name(),
+		Selected:   sol.Selected,
+		SocialCost: sol.Cost,
+		Awards:     make([]Award, len(sol.Selected)),
+		Alpha:      alpha,
+	}
+	for slot, winner := range sol.Selected {
+		criticalQ, err := m.criticalContribution(in, winner)
+		if err != nil {
+			return nil, err
+		}
+		bid := a.Bids[winner]
+		out.Awards[slot] = ecAward(winner, bid, criticalQ, bid.Contribution(taskID), alpha)
+	}
+	return out, nil
+}
+
+func (m *SingleTaskOPT) criticalContribution(in *knapsack.Instance, i int) (float64, error) {
+	lo, hi := 0.0, in.Contribs[i]
+	for hi-lo > CriticalBidTol {
+		mid := (lo + hi) / 2
+		mod, err := in.WithContribution(i, mid)
+		if err != nil {
+			return 0, err
+		}
+		sol, err := knapsack.SolveBnB(mod, m.NodeBudget)
+		switch {
+		case errors.Is(err, knapsack.ErrInfeasible):
+			lo = mid
+			continue
+		case err != nil:
+			return 0, err
+		}
+		if sol.Contains(i) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	if math.IsNaN(hi) {
+		return 0, fmt.Errorf("mechanism: critical bid search diverged for user %d", i)
+	}
+	return hi, nil
+}

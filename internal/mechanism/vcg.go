@@ -1,0 +1,137 @@
+package mechanism
+
+import (
+	"math"
+	"sort"
+
+	"crowdsense/internal/auction"
+)
+
+// STVCG is the paper's single-task VCG-like baseline (§IV-E): because a
+// classical VCG payment ignores the PoS, every rational user inflates her
+// declared PoS to 1, so the mechanism effectively selects the single
+// lowest-cost user to "cover" the task and pays her the second-lowest cost
+// (the VCG/second-price payment). The achieved PoS is then whatever that
+// one user's true PoS happens to be — typically far below the requirement,
+// which is the failure mode Fig. 7 demonstrates.
+type STVCG struct{}
+
+var _ Mechanism = (*STVCG)(nil)
+
+// Name implements Mechanism.
+func (STVCG) Name() string { return "ST-VCG" }
+
+// Run selects the lowest-cost bidder regardless of declared PoS. The award
+// reward levels are both the VCG payment (the second-lowest cost, or the
+// winner's own cost if she is alone): the baseline is not execution
+// contingent.
+func (STVCG) Run(a *auction.Auction) (*Outcome, error) {
+	if !a.SingleTask() {
+		return nil, ErrNotSingleTask
+	}
+	winner, second := -1, -1
+	for i, bid := range a.Bids {
+		switch {
+		case winner < 0 || bid.Cost < a.Bids[winner].Cost:
+			second = winner
+			winner = i
+		case second < 0 || bid.Cost < a.Bids[second].Cost:
+			second = i
+		}
+	}
+	payment := a.Bids[winner].Cost
+	if second >= 0 {
+		payment = a.Bids[second].Cost
+	}
+	bid := a.Bids[winner]
+	return &Outcome{
+		Mechanism:  STVCG{}.Name(),
+		Selected:   []int{winner},
+		SocialCost: bid.Cost,
+		Awards: []Award{{
+			BidIndex:        winner,
+			User:            bid.User,
+			RewardOnSuccess: payment,
+			RewardOnFailure: payment,
+			ExpectedUtility: payment - bid.Cost,
+		}},
+	}, nil
+}
+
+// MTVCG is the multi-task VCG-like baseline (§IV-E): with every user
+// declaring PoS 1, a task counts as covered as soon as one selected user
+// has it in her set, so the platform solves a plain weighted set cover on
+// costs. The classic greedy (most newly covered tasks per unit cost) stands
+// in for the cost-minimizing allocation; payments are the users' costs
+// (utilities zero), since the baseline exists only to show the achieved
+// PoS shortfall.
+type MTVCG struct{}
+
+var _ Mechanism = (*MTVCG)(nil)
+
+// Name implements Mechanism.
+func (MTVCG) Name() string { return "MT-VCG" }
+
+// Run greedily covers every task with the cheapest users per newly covered
+// task, trusting declared PoS = 1.
+func (MTVCG) Run(a *auction.Auction) (*Outcome, error) {
+	uncovered := make(map[auction.TaskID]bool, len(a.Tasks))
+	coverable := make(map[auction.TaskID]bool, len(a.Tasks))
+	for _, task := range a.Tasks {
+		uncovered[task.ID] = true
+	}
+	for _, bid := range a.Bids {
+		for _, j := range bid.Tasks {
+			coverable[j] = true
+		}
+	}
+	for id := range uncovered {
+		if !coverable[id] {
+			return nil, ErrInfeasible
+		}
+	}
+
+	selected := make([]bool, len(a.Bids))
+	out := &Outcome{Mechanism: MTVCG{}.Name()}
+	for len(uncovered) > 0 {
+		bestIdx := -1
+		bestRatio := math.Inf(1) // cost per newly covered task
+		for i, bid := range a.Bids {
+			if selected[i] {
+				continue
+			}
+			newly := 0
+			for _, j := range bid.Tasks {
+				if uncovered[j] {
+					newly++
+				}
+			}
+			if newly == 0 {
+				continue
+			}
+			if ratio := bid.Cost / float64(newly); ratio < bestRatio {
+				bestRatio = ratio
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			return nil, ErrInfeasible
+		}
+		selected[bestIdx] = true
+		bid := a.Bids[bestIdx]
+		out.Selected = append(out.Selected, bestIdx)
+		out.SocialCost += bid.Cost
+		out.Awards = append(out.Awards, Award{
+			BidIndex:        bestIdx,
+			User:            bid.User,
+			RewardOnSuccess: bid.Cost,
+			RewardOnFailure: bid.Cost,
+		})
+		for _, j := range bid.Tasks {
+			delete(uncovered, j)
+		}
+	}
+	sort.Ints(out.Selected)
+	sort.Slice(out.Awards, func(x, y int) bool { return out.Awards[x].BidIndex < out.Awards[y].BidIndex })
+	return out, nil
+}

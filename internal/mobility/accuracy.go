@@ -1,0 +1,114 @@
+package mobility
+
+import (
+	"fmt"
+
+	"crowdsense/internal/geo"
+	"crowdsense/internal/trace"
+)
+
+// Transition is one held-out observation: the taxi moved from From to To.
+type Transition struct {
+	TaxiID   int
+	From, To geo.Cell
+}
+
+// Split divides each taxi's walk into a training prefix and held-out test
+// transitions. holdout in (0, 1) is the fraction of each walk reserved for
+// testing (the chronological tail, matching the paper's "take a snapshot of
+// the taxi trace ... predict the next time slot" protocol).
+func Split(log *trace.Log, holdout float64) (trainWalks [][]geo.Cell, test []Transition, err error) {
+	if holdout <= 0 || holdout >= 1 {
+		return nil, nil, fmt.Errorf("mobility: holdout fraction must be in (0, 1), got %g", holdout)
+	}
+	trainWalks = make([][]geo.Cell, log.Taxis())
+	for id := 0; id < log.Taxis(); id++ {
+		walk := Walk(log.TaxiEvents(id))
+		if len(walk) < 4 {
+			trainWalks[id] = walk
+			continue
+		}
+		cut := int(float64(len(walk)) * (1 - holdout))
+		if cut < 2 {
+			cut = 2
+		}
+		if cut > len(walk)-1 {
+			cut = len(walk) - 1
+		}
+		trainWalks[id] = walk[:cut]
+		// Held-out transitions start from the last training location so the
+		// first prediction is conditioned on known state.
+		for i := cut; i < len(walk); i++ {
+			test = append(test, Transition{TaxiID: id, From: walk[i-1], To: walk[i]})
+		}
+	}
+	return trainWalks, test, nil
+}
+
+// AccuracyCurve fits per-taxi models on the training walks and reports, for
+// each k in ks, the fraction of held-out transitions whose true destination
+// is within the model's top-k predicted next locations — the quantity
+// plotted in the paper's Fig. 3.
+func AccuracyCurve(trainWalks [][]geo.Cell, test []Transition, ks []int, smoothing float64) ([]float64, error) {
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("mobility: no k values given")
+	}
+	if len(test) == 0 {
+		return nil, fmt.Errorf("mobility: no held-out transitions")
+	}
+	models := make([]*Model, len(trainWalks))
+	for id, walk := range trainWalks {
+		if len(walk) < 2 {
+			continue
+		}
+		m, err := FitWalk(walk, smoothing)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: fit taxi %d: %w", id, err)
+		}
+		models[id] = m
+	}
+
+	maxK := 0
+	for _, k := range ks {
+		if k <= 0 {
+			return nil, fmt.Errorf("mobility: k must be positive, got %d", k)
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+
+	hits := make([]int, len(ks))
+	scored := 0
+	for _, tr := range test {
+		m := models[tr.TaxiID]
+		if m == nil || !m.Knows(tr.From) {
+			continue
+		}
+		scored++
+		predicted := m.Predict(tr.From, maxK)
+		rank := -1
+		for i, c := range predicted {
+			if c == tr.To {
+				rank = i
+				break
+			}
+		}
+		if rank < 0 {
+			continue
+		}
+		for i, k := range ks {
+			if rank < k {
+				hits[i]++
+			}
+		}
+	}
+	if scored == 0 {
+		return nil, fmt.Errorf("mobility: no scorable held-out transitions")
+	}
+	curve := make([]float64, len(ks))
+	for i := range ks {
+		curve[i] = float64(hits[i]) / float64(scored)
+	}
+	return curve, nil
+}

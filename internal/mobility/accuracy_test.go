@@ -1,0 +1,139 @@
+package mobility
+
+import (
+	"sort"
+	"testing"
+
+	"crowdsense/internal/stats"
+	"crowdsense/internal/trace"
+)
+
+func generateLog(t *testing.T, taxis, days int, seed int64) *trace.Log {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.Rows, cfg.Cols = 12, 12
+	cfg.Taxis = taxis
+	cfg.Days = days
+	cfg.TerritorySize = 15
+	cfg.Hotspots = 20
+	gen, err := trace.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := gen.Generate(stats.NewRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func TestSplitValidation(t *testing.T) {
+	log := generateLog(t, 2, 2, 1)
+	for _, h := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := Split(log, h); err == nil {
+			t.Errorf("holdout %g should be rejected", h)
+		}
+	}
+}
+
+func TestSplitPartitionsWalks(t *testing.T) {
+	log := generateLog(t, 5, 5, 2)
+	trains, test, err := Split(log, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trains) != log.Taxis() {
+		t.Fatalf("train walks = %d, want %d", len(trains), log.Taxis())
+	}
+	if len(test) == 0 {
+		t.Fatal("no held-out transitions")
+	}
+	// Each test transition's taxi exists and the full walk contains the
+	// training prefix.
+	for _, tr := range test {
+		if tr.TaxiID < 0 || tr.TaxiID >= log.Taxis() {
+			t.Fatalf("test transition for unknown taxi %d", tr.TaxiID)
+		}
+	}
+	for id, train := range trains {
+		full := Walk(log.TaxiEvents(id))
+		if len(train) > len(full) {
+			t.Fatalf("taxi %d training walk longer than full walk", id)
+		}
+		for i := range train {
+			if train[i] != full[i] {
+				t.Fatalf("taxi %d training walk diverges at %d", id, i)
+			}
+		}
+	}
+	// Count of held-out transitions must equal sum over taxis of
+	// len(full) - len(train).
+	wantTest := 0
+	for id, train := range trains {
+		full := Walk(log.TaxiEvents(id))
+		if len(full) >= 4 {
+			wantTest += len(full) - len(train)
+		}
+	}
+	if len(test) != wantTest {
+		t.Errorf("held-out transitions = %d, want %d", len(test), wantTest)
+	}
+}
+
+func TestAccuracyCurveValidation(t *testing.T) {
+	log := generateLog(t, 3, 3, 3)
+	trains, test, err := Split(log, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AccuracyCurve(trains, test, nil, 1); err == nil {
+		t.Error("empty ks should fail")
+	}
+	if _, err := AccuracyCurve(trains, nil, []int{3}, 1); err == nil {
+		t.Error("empty test set should fail")
+	}
+	if _, err := AccuracyCurve(trains, test, []int{0}, 1); err == nil {
+		t.Error("k = 0 should fail")
+	}
+}
+
+func TestAccuracyCurveMonotoneInK(t *testing.T) {
+	log := generateLog(t, 30, 20, 4)
+	trains, test, err := Split(log, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := []int{1, 3, 5, 7, 9, 11, 13, 15}
+	curve, err := AccuracyCurve(trains, test, ks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != len(ks) {
+		t.Fatalf("curve length = %d, want %d", len(curve), len(ks))
+	}
+	if !sort.Float64sAreSorted(curve) {
+		t.Errorf("accuracy not monotone in k: %v", curve)
+	}
+	for _, a := range curve {
+		if a < 0 || a > 1 {
+			t.Fatalf("accuracy %g out of [0, 1]", a)
+		}
+	}
+}
+
+func TestAccuracyReachesPaperShape(t *testing.T) {
+	// Fig. 3: with k around 9 of ~15-25 locations, accuracy should be high
+	// (the paper reports ≈ 0.9). Allow slack for the synthetic substrate.
+	log := generateLog(t, 60, 31, 5)
+	trains, test, err := Split(log, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := AccuracyCurve(trains, test, []int{9}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve[0] < 0.7 {
+		t.Errorf("top-9 accuracy = %g, want ≥ 0.7", curve[0])
+	}
+}

@@ -1,0 +1,103 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"crowdsense/internal/geo"
+)
+
+// Stationary computes the model's stationary distribution π (πP = π) by
+// power iteration over the smoothed transition matrix. Smoothing makes the
+// chain irreducible and aperiodic, so the iteration converges for every
+// fitted model. The result maps each location to its long-run visit
+// frequency — useful for ranking a user's haunts and for task placement.
+func (m *Model) Stationary(maxIter int, tol float64) (map[geo.Cell]float64, error) {
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	l := len(m.cells)
+	cur := make([]float64, l)
+	next := make([]float64, l)
+	for i := range cur {
+		cur[i] = 1 / float64(l)
+	}
+	// Precompute the smoothed rows once.
+	rows := make([][]float64, l)
+	for i, c := range m.cells {
+		_, probs := m.Row(c)
+		rows[i] = probs
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := range rows {
+			pi := cur[i]
+			if pi == 0 {
+				continue
+			}
+			for j, p := range rows[i] {
+				next[j] += pi * p
+			}
+		}
+		diff := 0.0
+		for j := range next {
+			diff += math.Abs(next[j] - cur[j])
+		}
+		cur, next = next, cur
+		if diff < tol {
+			out := make(map[geo.Cell]float64, l)
+			for i, c := range m.cells {
+				out[c] = cur[i]
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("mobility: stationary distribution did not converge in %d iterations", maxIter)
+}
+
+// RowEntropy returns the Shannon entropy (in bits) of the smoothed
+// next-location distribution out of the given cell — a measure of how
+// predictable the user is from there (0 = deterministic, log2(l) =
+// uniform). It returns an error for unknown cells.
+func (m *Model) RowEntropy(from geo.Cell) (float64, error) {
+	_, probs := m.Row(from)
+	if probs == nil {
+		return 0, fmt.Errorf("mobility: cell %d not in model", from)
+	}
+	h := 0.0
+	for _, p := range probs {
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h, nil
+}
+
+// MeanEntropy averages RowEntropy over the model's locations weighted by
+// observed visits (rows never observed get weight from smoothing alone and
+// are skipped), summarizing the user's overall predictability.
+func (m *Model) MeanEntropy() float64 {
+	totalWeight := 0.0
+	sum := 0.0
+	for i, c := range m.cells {
+		w := float64(m.rowTotals[i])
+		if w == 0 {
+			continue
+		}
+		h, err := m.RowEntropy(c)
+		if err != nil {
+			continue
+		}
+		sum += w * h
+		totalWeight += w
+	}
+	if totalWeight == 0 {
+		return 0
+	}
+	return sum / totalWeight
+}

@@ -1,0 +1,171 @@
+package mobility
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"crowdsense/internal/geo"
+	"crowdsense/internal/stats"
+)
+
+func fitted(t *testing.T, walk []geo.Cell) *Model {
+	t.Helper()
+	m, err := FitWalk(walk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStationarySumsToOne(t *testing.T) {
+	m := fitted(t, []geo.Cell{1, 2, 3, 1, 2, 1, 3, 2, 1})
+	pi, err := m.Stationary(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for c, p := range pi {
+		if p < 0 {
+			t.Errorf("negative stationary mass at %d", c)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("stationary mass sums to %g", sum)
+	}
+}
+
+func TestStationaryIsFixedPoint(t *testing.T) {
+	rng := stats.NewRand(9)
+	walk := make([]geo.Cell, 400)
+	for i := range walk {
+		walk[i] = geo.Cell(rng.Intn(6))
+	}
+	m := fitted(t, walk)
+	pi, err := m.Stationary(2000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply one more step of the chain: the distribution must not move.
+	next := make(map[geo.Cell]float64, len(pi))
+	for _, from := range m.Cells() {
+		cells, probs := m.Row(from)
+		for j, to := range cells {
+			next[to] += pi[from] * probs[j]
+		}
+	}
+	for c := range pi {
+		if math.Abs(next[c]-pi[c]) > 1e-8 {
+			t.Errorf("cell %d: π %g moved to %g", c, pi[c], next[c])
+		}
+	}
+}
+
+func TestStationaryIterationBudget(t *testing.T) {
+	m := fitted(t, []geo.Cell{1, 2, 1, 2})
+	if _, err := m.Stationary(1, 1e-300); err == nil {
+		t.Error("one iteration with absurd tolerance should not converge")
+	}
+}
+
+func TestRowEntropy(t *testing.T) {
+	// Nearly deterministic row: entropy close to 0 (smoothing adds a bit).
+	det := make([]geo.Cell, 0, 80)
+	for i := 0; i < 40; i++ {
+		det = append(det, 1, 2)
+	}
+	m := fitted(t, det)
+	h, err := m.RowEntropy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h > 0.3 {
+		t.Errorf("near-deterministic entropy %g too high", h)
+	}
+	if _, err := m.RowEntropy(99); err == nil {
+		t.Error("unknown cell should fail")
+	}
+	// An unobserved row is uniform under smoothing: entropy = log2(l).
+	walk := []geo.Cell{1, 2, 3} // row 3 unobserved
+	m2 := fitted(t, walk)
+	h3, err := m2.RowEntropy(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h3-math.Log2(3)) > 1e-9 {
+		t.Errorf("uniform-row entropy %g, want log2(3)", h3)
+	}
+}
+
+func TestMeanEntropyBounds(t *testing.T) {
+	rng := stats.NewRand(10)
+	walk := make([]geo.Cell, 300)
+	for i := range walk {
+		walk[i] = geo.Cell(rng.Intn(8))
+	}
+	m := fitted(t, walk)
+	h := m.MeanEntropy()
+	if h <= 0 || h > math.Log2(float64(m.Locations()))+1e-9 {
+		t.Errorf("mean entropy %g outside (0, log2(l)]", h)
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	rng := stats.NewRand(11)
+	walk := make([]geo.Cell, 200)
+	for i := range walk {
+		walk[i] = geo.Cell(rng.Intn(7))
+	}
+	m := fitted(t, walk)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Locations() != m.Locations() || back.Transitions() != m.Transitions() {
+		t.Fatalf("round trip shape: %d/%d vs %d/%d",
+			back.Locations(), back.Transitions(), m.Locations(), m.Transitions())
+	}
+	for _, from := range m.Cells() {
+		for _, to := range m.Cells() {
+			if math.Abs(back.Prob(from, to)-m.Prob(from, to)) > 1e-15 {
+				t.Fatalf("prob(%d, %d) changed across round trip", from, to)
+			}
+		}
+		// Predictions survive too.
+		a, b := m.Predict(from, 3), back.Predict(from, 3)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("prediction %d from %d changed", i, from)
+			}
+		}
+	}
+}
+
+func TestModelUnmarshalRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"not json", `{{`},
+		{"no cells", `{"cells":[],"counts":[],"smoothing":1}`},
+		{"unsorted cells", `{"cells":[2,1],"counts":[[0,0],[0,0]],"smoothing":1}`},
+		{"duplicate cells", `{"cells":[1,1],"counts":[[0,0],[0,0]],"smoothing":1}`},
+		{"row count mismatch", `{"cells":[1,2],"counts":[[0,0]],"smoothing":1}`},
+		{"column mismatch", `{"cells":[1,2],"counts":[[0],[0,0]],"smoothing":1}`},
+		{"negative count", `{"cells":[1,2],"counts":[[0,-1],[0,0]],"smoothing":1}`},
+		{"zero smoothing", `{"cells":[1,2],"counts":[[0,0],[0,0]],"smoothing":0}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var m Model
+			if err := json.Unmarshal([]byte(c.body), &m); err == nil {
+				t.Errorf("payload %q should fail", c.body)
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package mobility
+
+import (
+	"testing"
+
+	"crowdsense/internal/geo"
+	"crowdsense/internal/stats"
+)
+
+func benchWalk(n, cells int, seed int64) []geo.Cell {
+	rng := stats.NewRand(seed)
+	walk := make([]geo.Cell, n)
+	for i := range walk {
+		walk[i] = geo.Cell(rng.Intn(cells))
+	}
+	return walk
+}
+
+func BenchmarkFitWalk(b *testing.B) {
+	walk := benchWalk(2000, 25, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitWalk(walk, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	m, err := FitWalk(benchWalk(2000, 25, 2), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	from := m.Cells()[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Predict(from, 15)
+	}
+}
+
+func BenchmarkStationary(b *testing.B) {
+	m, err := FitWalk(benchWalk(2000, 25, 3), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Stationary(0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

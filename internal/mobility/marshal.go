@@ -1,0 +1,76 @@
+package mobility
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"crowdsense/internal/geo"
+)
+
+// modelJSON is the stable interchange form of a Model: the observed
+// transition counts plus the smoothing pseudo-count. Probabilities are
+// derived, not stored, so round-tripping is exact.
+type modelJSON struct {
+	Cells     []geo.Cell `json:"cells"`
+	Counts    [][]int    `json:"counts"`
+	Smoothing float64    `json:"smoothing"`
+}
+
+// MarshalJSON encodes the model for storage or transmission (agents can
+// persist their learned models and reload them across sessions).
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelJSON{
+		Cells:     m.cells,
+		Counts:    m.counts,
+		Smoothing: m.smoothing,
+	})
+}
+
+// UnmarshalJSON decodes a model previously encoded with MarshalJSON,
+// rebuilding the derived indexes and validating the payload.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var raw modelJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("mobility: decode model: %w", err)
+	}
+	if len(raw.Cells) == 0 {
+		return fmt.Errorf("mobility: decoded model has no cells")
+	}
+	if !sort.SliceIsSorted(raw.Cells, func(i, j int) bool { return raw.Cells[i] < raw.Cells[j] }) {
+		return fmt.Errorf("mobility: decoded cells not sorted")
+	}
+	for i := 1; i < len(raw.Cells); i++ {
+		if raw.Cells[i] == raw.Cells[i-1] {
+			return fmt.Errorf("mobility: duplicate cell %d", raw.Cells[i])
+		}
+	}
+	if len(raw.Counts) != len(raw.Cells) {
+		return fmt.Errorf("mobility: counts have %d rows for %d cells", len(raw.Counts), len(raw.Cells))
+	}
+	if raw.Smoothing <= 0 {
+		return fmt.Errorf("mobility: smoothing %g must be positive", raw.Smoothing)
+	}
+	index := make(map[geo.Cell]int, len(raw.Cells))
+	for i, c := range raw.Cells {
+		index[c] = i
+	}
+	rowTotals := make([]int, len(raw.Cells))
+	for i, row := range raw.Counts {
+		if len(row) != len(raw.Cells) {
+			return fmt.Errorf("mobility: row %d has %d columns for %d cells", i, len(row), len(raw.Cells))
+		}
+		for j, c := range row {
+			if c < 0 {
+				return fmt.Errorf("mobility: negative count at (%d, %d)", i, j)
+			}
+			rowTotals[i] += c
+		}
+	}
+	m.cells = raw.Cells
+	m.index = index
+	m.counts = raw.Counts
+	m.rowTotals = rowTotals
+	m.smoothing = raw.Smoothing
+	return nil
+}

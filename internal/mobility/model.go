@@ -1,0 +1,235 @@
+// Package mobility learns per-taxi Markov mobility models from trace event
+// logs, the way the paper's evaluation (§IV-B) does: for each user the
+// transition matrix over the l locations she visits is estimated by maximum
+// likelihood with Laplace smoothing, and the model predicts the locations
+// she will most likely reach in the next time slot. Those next-location
+// probabilities are the user's probabilities of success (PoS) for sensing
+// tasks at those locations.
+//
+// The paper prints the smoothed estimate as P_ij = x_ij/(x_i + l); as
+// written the rows do not sum to one, so this package implements the
+// conventional add-one numerator, P_ij = (x_ij + s)/(x_i + s·l) with
+// pseudo-count s (default 1), which reduces to the paper's denominator at
+// s = 1. See DESIGN.md.
+package mobility
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"crowdsense/internal/geo"
+	"crowdsense/internal/trace"
+)
+
+// DefaultSmoothing is the Laplace pseudo-count used when none is given.
+const DefaultSmoothing = 1.0
+
+// Model is one user's learned Markov mobility model over the locations she
+// was observed to visit. Models are immutable after Fit.
+type Model struct {
+	cells     []geo.Cell // observed locations, sorted ascending
+	index     map[geo.Cell]int
+	counts    [][]int // counts[i][j] = observed transitions cells[i] -> cells[j]
+	rowTotals []int   // rowTotals[i] = Σ_j counts[i][j]
+	smoothing float64
+}
+
+// Walk extracts a taxi's chronological location sequence from its events:
+// the first pickup cell followed by every drop-off cell. Consecutive trips
+// chain (a trip starts where the previous one ended), so consecutive
+// elements of the walk are exactly the location transitions of the taxi.
+func Walk(events []trace.Event) []geo.Cell {
+	if len(events) == 0 {
+		return nil
+	}
+	walk := make([]geo.Cell, 0, len(events)/2+1)
+	for _, e := range events {
+		switch e.Kind {
+		case trace.Pickup:
+			if len(walk) == 0 {
+				walk = append(walk, e.Cell)
+			} else if walk[len(walk)-1] != e.Cell {
+				// The taxi cruised to a new pickup location between trips;
+				// that movement is a transition too.
+				walk = append(walk, e.Cell)
+			}
+		case trace.Dropoff:
+			walk = append(walk, e.Cell)
+		}
+	}
+	return walk
+}
+
+// FitWalk estimates a model from a location sequence. The sequence must
+// contain at least two locations (one transition). A non-positive smoothing
+// falls back to DefaultSmoothing.
+func FitWalk(walk []geo.Cell, smoothing float64) (*Model, error) {
+	if len(walk) < 2 {
+		return nil, fmt.Errorf("mobility: walk has %d locations, need at least 2", len(walk))
+	}
+	if smoothing <= 0 {
+		smoothing = DefaultSmoothing
+	}
+
+	distinct := map[geo.Cell]bool{}
+	for _, c := range walk {
+		distinct[c] = true
+	}
+	cells := make([]geo.Cell, 0, len(distinct))
+	for c := range distinct {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+	index := make(map[geo.Cell]int, len(cells))
+	for i, c := range cells {
+		index[c] = i
+	}
+
+	counts := make([][]int, len(cells))
+	for i := range counts {
+		counts[i] = make([]int, len(cells))
+	}
+	rowTotals := make([]int, len(cells))
+	for i := 1; i < len(walk); i++ {
+		from, to := index[walk[i-1]], index[walk[i]]
+		counts[from][to]++
+		rowTotals[from]++
+	}
+	return &Model{
+		cells:     cells,
+		index:     index,
+		counts:    counts,
+		rowTotals: rowTotals,
+		smoothing: smoothing,
+	}, nil
+}
+
+// Fit estimates a model from a taxi's chronological events.
+func Fit(events []trace.Event, smoothing float64) (*Model, error) {
+	return FitWalk(Walk(events), smoothing)
+}
+
+// FitAll fits one model per taxi in the log. Taxis whose trace is too short
+// to fit (fewer than two locations) yield a nil entry.
+func FitAll(log *trace.Log, smoothing float64) []*Model {
+	models := make([]*Model, log.Taxis())
+	for id := range models {
+		m, err := Fit(log.TaxiEvents(id), smoothing)
+		if err != nil {
+			continue // too little data for this taxi; leave nil
+		}
+		models[id] = m
+	}
+	return models
+}
+
+// Locations reports l, the number of distinct locations in the model.
+func (m *Model) Locations() int { return len(m.cells) }
+
+// Cells returns a copy of the model's location set, sorted ascending.
+func (m *Model) Cells() []geo.Cell {
+	return append([]geo.Cell(nil), m.cells...)
+}
+
+// Knows reports whether the model has observed the cell.
+func (m *Model) Knows(c geo.Cell) bool {
+	_, ok := m.index[c]
+	return ok
+}
+
+// Prob returns the smoothed estimate of P(next = to | current = from):
+// (x_ij + s) / (x_i + s·l). It is 0 when either cell is outside the model's
+// location set.
+func (m *Model) Prob(from, to geo.Cell) float64 {
+	i, ok := m.index[from]
+	if !ok {
+		return 0
+	}
+	j, ok := m.index[to]
+	if !ok {
+		return 0
+	}
+	l := float64(len(m.cells))
+	return (float64(m.counts[i][j]) + m.smoothing) /
+		(float64(m.rowTotals[i]) + m.smoothing*l)
+}
+
+// Row returns the model's cells together with the full smoothed transition
+// distribution out of from. The probabilities sum to 1. It returns nil
+// slices when from is unknown.
+func (m *Model) Row(from geo.Cell) ([]geo.Cell, []float64) {
+	i, ok := m.index[from]
+	if !ok {
+		return nil, nil
+	}
+	probs := make([]float64, len(m.cells))
+	l := float64(len(m.cells))
+	denom := float64(m.rowTotals[i]) + m.smoothing*l
+	for j := range probs {
+		probs[j] = (float64(m.counts[i][j]) + m.smoothing) / denom
+	}
+	return m.Cells(), probs
+}
+
+// Predict returns the k most probable next locations from the current cell,
+// most probable first (ties broken by cell index for determinism). It
+// returns nil when the current cell is unknown or k ≤ 0.
+func (m *Model) Predict(from geo.Cell, k int) []geo.Cell {
+	i, ok := m.index[from]
+	if !ok || k <= 0 {
+		return nil
+	}
+	type cellCount struct {
+		cell  geo.Cell
+		count int
+	}
+	ranked := make([]cellCount, len(m.cells))
+	for j, c := range m.cells {
+		ranked[j] = cellCount{cell: c, count: m.counts[i][j]}
+	}
+	// With uniform smoothing, ranking by raw count equals ranking by
+	// smoothed probability.
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].count != ranked[b].count {
+			return ranked[a].count > ranked[b].count
+		}
+		return ranked[a].cell < ranked[b].cell
+	})
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]geo.Cell, k)
+	for j := 0; j < k; j++ {
+		out[j] = ranked[j].cell
+	}
+	return out
+}
+
+// SampleCurrent picks a uniformly random location of the model, used by the
+// evaluation to assign each user a starting location ("we randomly assign
+// each taxi a starting location").
+func (m *Model) SampleCurrent(rng *rand.Rand) geo.Cell {
+	return m.cells[rng.Intn(len(m.cells))]
+}
+
+// ObservedFrom reports how many transitions were observed out of the given
+// cell (x_i in the paper's notation), or 0 for unknown cells. Rows with few
+// observations carry high estimation variance; callers weighing estimate
+// quality should consult this.
+func (m *Model) ObservedFrom(c geo.Cell) int {
+	i, ok := m.index[c]
+	if !ok {
+		return 0
+	}
+	return m.rowTotals[i]
+}
+
+// Transitions reports the total number of observed transitions.
+func (m *Model) Transitions() int {
+	total := 0
+	for _, t := range m.rowTotals {
+		total += t
+	}
+	return total
+}

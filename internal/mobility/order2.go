@@ -1,0 +1,208 @@
+package mobility
+
+import (
+	"fmt"
+	"sort"
+
+	"crowdsense/internal/geo"
+)
+
+// Model2 is a second-order Markov mobility model: the next location is
+// predicted from the (previous, current) location pair, falling back to the
+// first-order model when a pair was never observed. Taxi movement has
+// strong directional persistence, so conditioning on the previous cell
+// sharpens predictions — an extension beyond the paper's first-order model,
+// compared against it in the ablation harness.
+type Model2 struct {
+	base  *Model                       // first-order fallback (and smoothing source)
+	pairs map[pairKey]map[geo.Cell]int // (prev, cur) -> next -> count
+}
+
+type pairKey struct {
+	prev, cur geo.Cell
+}
+
+// FitWalk2 estimates a second-order model from a location sequence of at
+// least three locations (one second-order transition).
+func FitWalk2(walk []geo.Cell, smoothing float64) (*Model2, error) {
+	if len(walk) < 3 {
+		return nil, fmt.Errorf("mobility: walk has %d locations, need at least 3 for order 2", len(walk))
+	}
+	base, err := FitWalk(walk, smoothing)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make(map[pairKey]map[geo.Cell]int)
+	for i := 2; i < len(walk); i++ {
+		key := pairKey{prev: walk[i-2], cur: walk[i-1]}
+		next := pairs[key]
+		if next == nil {
+			next = make(map[geo.Cell]int)
+			pairs[key] = next
+		}
+		next[walk[i]]++
+	}
+	return &Model2{base: base, pairs: pairs}, nil
+}
+
+// Base returns the embedded first-order model.
+func (m *Model2) Base() *Model { return m.base }
+
+// KnownPairs reports how many (prev, cur) contexts were observed.
+func (m *Model2) KnownPairs() int { return len(m.pairs) }
+
+// Predict returns the k most probable next locations given the (prev, cur)
+// context. Observed next cells of the pair are ranked first by count; the
+// remainder of the top-k is filled from the first-order prediction out of
+// cur (skipping duplicates). An unseen pair degrades to pure first-order
+// prediction.
+func (m *Model2) Predict(prev, cur geo.Cell, k int) []geo.Cell {
+	if k <= 0 {
+		return nil
+	}
+	next := m.pairs[pairKey{prev: prev, cur: cur}]
+	type cellCount struct {
+		cell  geo.Cell
+		count int
+	}
+	ranked := make([]cellCount, 0, len(next))
+	for c, n := range next {
+		ranked = append(ranked, cellCount{cell: c, count: n})
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].count != ranked[b].count {
+			return ranked[a].count > ranked[b].count
+		}
+		return ranked[a].cell < ranked[b].cell
+	})
+	out := make([]geo.Cell, 0, k)
+	seen := make(map[geo.Cell]bool, k)
+	for _, cc := range ranked {
+		if len(out) == k {
+			return out
+		}
+		out = append(out, cc.cell)
+		seen[cc.cell] = true
+	}
+	for _, c := range m.base.Predict(cur, k+len(out)) {
+		if len(out) == k {
+			break
+		}
+		if !seen[c] {
+			out = append(out, c)
+			seen[c] = true
+		}
+	}
+	return out
+}
+
+// AccuracyCurve2 scores order-1 and order-2 models side by side on held-out
+// transitions: for each k it returns the fraction of test transitions whose
+// true destination is in the model's top-k. The order-2 model conditions on
+// the test transition's predecessor within the training walk's tail.
+func AccuracyCurve2(trainWalks [][]geo.Cell, test []Transition2, ks []int, smoothing float64) (order1, order2 []float64, err error) {
+	if len(ks) == 0 {
+		return nil, nil, fmt.Errorf("mobility: no k values given")
+	}
+	if len(test) == 0 {
+		return nil, nil, fmt.Errorf("mobility: no held-out transitions")
+	}
+	m1 := make([]*Model, len(trainWalks))
+	m2 := make([]*Model2, len(trainWalks))
+	for id, walk := range trainWalks {
+		if len(walk) < 3 {
+			continue
+		}
+		model2, err := FitWalk2(walk, smoothing)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mobility: fit2 taxi %d: %w", id, err)
+		}
+		m2[id] = model2
+		m1[id] = model2.Base()
+	}
+	maxK := 0
+	for _, k := range ks {
+		if k <= 0 {
+			return nil, nil, fmt.Errorf("mobility: k must be positive, got %d", k)
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	hits1 := make([]int, len(ks))
+	hits2 := make([]int, len(ks))
+	scored := 0
+	for _, tr := range test {
+		if m1[tr.TaxiID] == nil || !m1[tr.TaxiID].Knows(tr.From) {
+			continue
+		}
+		scored++
+		rank := func(predicted []geo.Cell) int {
+			for i, c := range predicted {
+				if c == tr.To {
+					return i
+				}
+			}
+			return -1
+		}
+		r1 := rank(m1[tr.TaxiID].Predict(tr.From, maxK))
+		r2 := rank(m2[tr.TaxiID].Predict(tr.Prev, tr.From, maxK))
+		for i, k := range ks {
+			if r1 >= 0 && r1 < k {
+				hits1[i]++
+			}
+			if r2 >= 0 && r2 < k {
+				hits2[i]++
+			}
+		}
+	}
+	if scored == 0 {
+		return nil, nil, fmt.Errorf("mobility: no scorable held-out transitions")
+	}
+	order1 = make([]float64, len(ks))
+	order2 = make([]float64, len(ks))
+	for i := range ks {
+		order1[i] = float64(hits1[i]) / float64(scored)
+		order2[i] = float64(hits2[i]) / float64(scored)
+	}
+	return order1, order2, nil
+}
+
+// Transition2 is a held-out second-order observation: the taxi was at Prev,
+// then From, and moved to To.
+type Transition2 struct {
+	TaxiID         int
+	Prev, From, To geo.Cell
+}
+
+// SplitOrder2 divides walks like Split but emits second-order test
+// transitions (requiring two predecessors inside the walk).
+func SplitOrder2(walks [][]geo.Cell, holdout float64) (trainWalks [][]geo.Cell, test []Transition2, err error) {
+	if holdout <= 0 || holdout >= 1 {
+		return nil, nil, fmt.Errorf("mobility: holdout fraction must be in (0, 1), got %g", holdout)
+	}
+	trainWalks = make([][]geo.Cell, len(walks))
+	for id, walk := range walks {
+		if len(walk) < 6 {
+			trainWalks[id] = walk
+			continue
+		}
+		cut := int(float64(len(walk)) * (1 - holdout))
+		if cut < 3 {
+			cut = 3
+		}
+		if cut > len(walk)-1 {
+			cut = len(walk) - 1
+		}
+		trainWalks[id] = walk[:cut]
+		for i := cut; i < len(walk); i++ {
+			test = append(test, Transition2{
+				TaxiID: id,
+				Prev:   walk[i-2],
+				From:   walk[i-1],
+				To:     walk[i],
+			})
+		}
+	}
+	return trainWalks, test, nil
+}

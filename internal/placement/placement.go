@@ -1,0 +1,191 @@
+// Package placement chooses WHERE to publish sensing tasks. The paper
+// takes the task set as given (the platform "divides the request into a
+// number of location-aware tasks"); in practice the platform often has
+// discretion over which of many candidate locations to cover with a
+// limited task budget. Placement formalizes that step: given the sampled
+// user base's achievable contribution per cell, select k cells maximizing
+// the covered contribution volume
+//
+//	g(S) = Σ_{c∈S} min{achievable(c), required}
+//
+// — a monotone submodular objective, so the greedy algorithm used here is
+// (1 − 1/e)-optimal (Nemhauser et al.), and on this separable objective it
+// is in fact exactly optimal (the harness's exhaustive cross-check in the
+// tests verifies both claims).
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/geo"
+	"crowdsense/internal/mobility"
+)
+
+// Candidate is one cell the platform could publish a task at, with the
+// total contribution the sampled users can offer there.
+type Candidate struct {
+	Cell       geo.Cell
+	Achievable float64 // Σ over users of q = −ln(1−PoS) toward this cell
+	Supporters int     // users able to contribute at all
+}
+
+// ErrNoCandidates is returned when the user sample offers no coverage.
+var ErrNoCandidates = errors.New("placement: no candidate cells")
+
+// Candidates tallies the achievable contribution per cell for a set of
+// users described by (model, current location) pairs, looking horizon time
+// slots ahead and considering each user's top predictionLimit cells.
+func Candidates(models []*mobility.Model, currents []geo.Cell, predictionLimit, horizon int) ([]Candidate, error) {
+	if len(models) != len(currents) {
+		return nil, fmt.Errorf("placement: %d models but %d current locations", len(models), len(currents))
+	}
+	if predictionLimit < 1 {
+		return nil, fmt.Errorf("placement: prediction limit %d must be positive", predictionLimit)
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("placement: horizon %d must be positive", horizon)
+	}
+	achievable := make(map[geo.Cell]float64)
+	supporters := make(map[geo.Cell]int)
+	for i, m := range models {
+		if m == nil {
+			continue
+		}
+		for _, c := range m.Predict(currents[i], predictionLimit) {
+			p := m.Prob(currents[i], c)
+			if horizon > 1 {
+				p = 1 - math.Pow(1-p, float64(horizon))
+			}
+			if p <= 0 {
+				continue
+			}
+			achievable[c] += auction.Contribution(p)
+			supporters[c]++
+		}
+	}
+	if len(achievable) == 0 {
+		return nil, ErrNoCandidates
+	}
+	out := make([]Candidate, 0, len(achievable))
+	for c, q := range achievable {
+		out = append(out, Candidate{Cell: c, Achievable: q, Supporters: supporters[c]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cell < out[j].Cell })
+	return out, nil
+}
+
+// Plan is a chosen task placement.
+type Plan struct {
+	Cells   []geo.Cell // chosen cells, in selection order
+	Covered float64    // g(S): total covered contribution volume
+}
+
+// Value evaluates the placement objective for an arbitrary cell subset:
+// each cell contributes min{achievable, required}.
+func Value(candidates []Candidate, chosen []geo.Cell, required float64) float64 {
+	byCell := make(map[geo.Cell]float64, len(candidates))
+	for _, c := range candidates {
+		byCell[c.Cell] = c.Achievable
+	}
+	total := 0.0
+	seen := make(map[geo.Cell]bool, len(chosen))
+	for _, c := range chosen {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		total += math.Min(byCell[c], required)
+	}
+	return total
+}
+
+// Greedy selects up to k cells maximizing the covered volume. required is
+// the per-task contribution requirement Q = −ln(1−T); cells whose
+// achievable contribution falls below feasibleFloor·required are skipped
+// entirely (publishing a task nobody can complete helps no one). Pass
+// feasibleFloor = 1 to demand full coverage, 0 to accept any positive
+// contribution.
+func Greedy(candidates []Candidate, k int, required, feasibleFloor float64) (Plan, error) {
+	if k < 1 {
+		return Plan{}, fmt.Errorf("placement: task budget %d must be positive", k)
+	}
+	if required <= 0 {
+		return Plan{}, fmt.Errorf("placement: requirement %g must be positive", required)
+	}
+	if feasibleFloor < 0 || feasibleFloor > 1 {
+		return Plan{}, fmt.Errorf("placement: feasibility floor %g outside [0, 1]", feasibleFloor)
+	}
+	// The objective is separable across cells, so greedy = take the k
+	// largest min{achievable, required} values among eligible cells.
+	type gain struct {
+		cell geo.Cell
+		v    float64
+	}
+	gains := make([]gain, 0, len(candidates))
+	for _, c := range candidates {
+		if c.Achievable < feasibleFloor*required {
+			continue
+		}
+		gains = append(gains, gain{cell: c.Cell, v: math.Min(c.Achievable, required)})
+	}
+	if len(gains) == 0 {
+		return Plan{}, ErrNoCandidates
+	}
+	sort.Slice(gains, func(i, j int) bool {
+		if gains[i].v != gains[j].v {
+			return gains[i].v > gains[j].v
+		}
+		return gains[i].cell < gains[j].cell
+	})
+	if k > len(gains) {
+		k = len(gains)
+	}
+	plan := Plan{Cells: make([]geo.Cell, 0, k)}
+	for _, g := range gains[:k] {
+		plan.Cells = append(plan.Cells, g.cell)
+		plan.Covered += g.v
+	}
+	return plan, nil
+}
+
+// Exhaustive finds the optimal placement by enumeration, for tests and
+// small instances (at most 20 candidates).
+func Exhaustive(candidates []Candidate, k int, required, feasibleFloor float64) (Plan, error) {
+	const maxN = 20
+	if len(candidates) > maxN {
+		return Plan{}, fmt.Errorf("placement: %d candidates exceeds exhaustive limit %d", len(candidates), maxN)
+	}
+	if k < 1 {
+		return Plan{}, fmt.Errorf("placement: task budget %d must be positive", k)
+	}
+	eligible := make([]Candidate, 0, len(candidates))
+	for _, c := range candidates {
+		if c.Achievable >= feasibleFloor*required {
+			eligible = append(eligible, c)
+		}
+	}
+	if len(eligible) == 0 {
+		return Plan{}, ErrNoCandidates
+	}
+	best := Plan{Covered: -1}
+	n := len(eligible)
+	for mask := 1; mask < 1<<n; mask++ {
+		var cells []geo.Cell
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				cells = append(cells, eligible[i].Cell)
+			}
+		}
+		if len(cells) > k {
+			continue
+		}
+		if v := Value(candidates, cells, required); v > best.Covered {
+			best = Plan{Cells: cells, Covered: v}
+		}
+	}
+	return best, nil
+}

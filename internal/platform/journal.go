@@ -1,0 +1,238 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"crowdsense/internal/auction"
+)
+
+// JournalEntry is the durable record of one auction round, written as one
+// JSON line. It captures everything needed to audit the round offline:
+// tasks, every bid, the outcome with all EC contracts, and the settlements.
+type JournalEntry struct {
+	Round       int             `json:"round"`
+	Mechanism   string          `json:"mechanism,omitempty"`
+	Tasks       []journalTask   `json:"tasks"`
+	Bids        []journalBid    `json:"bids"`
+	Winners     []journalAward  `json:"winners,omitempty"`
+	Settlements []journalSettle `json:"settlements,omitempty"`
+	SocialCost  float64         `json:"social_cost"`
+	Alpha       float64         `json:"alpha,omitempty"`
+	Error       string          `json:"error,omitempty"`
+}
+
+type journalTask struct {
+	ID          int     `json:"id"`
+	Requirement float64 `json:"requirement"`
+}
+
+type journalBid struct {
+	User  int             `json:"user"`
+	Cost  float64         `json:"cost"`
+	Tasks []int           `json:"tasks"`
+	PoS   map[int]float64 `json:"pos"`
+}
+
+type journalAward struct {
+	User            int     `json:"user"`
+	CriticalPoS     float64 `json:"critical_pos"`
+	RewardOnSuccess float64 `json:"reward_on_success"`
+	RewardOnFailure float64 `json:"reward_on_failure"`
+}
+
+type journalSettle struct {
+	User    int     `json:"user"`
+	Success bool    `json:"success"`
+	Reward  float64 `json:"reward"`
+	Utility float64 `json:"utility"`
+}
+
+// NewJournalEntry converts a completed round into its durable form.
+func NewJournalEntry(round int, tasks []auction.Task, result RoundResult) JournalEntry {
+	entry := JournalEntry{Round: round}
+	for _, t := range tasks {
+		entry.Tasks = append(entry.Tasks, journalTask{ID: int(t.ID), Requirement: t.Requirement})
+	}
+	for _, b := range result.Bids {
+		jb := journalBid{User: int(b.User), Cost: b.Cost, PoS: make(map[int]float64, len(b.PoS))}
+		for _, id := range b.Tasks {
+			jb.Tasks = append(jb.Tasks, int(id))
+			jb.PoS[int(id)] = b.PoS[id]
+		}
+		entry.Bids = append(entry.Bids, jb)
+	}
+	if result.Err != nil {
+		entry.Error = result.Err.Error()
+		return entry
+	}
+	if out := result.Outcome; out != nil {
+		entry.Mechanism = out.Mechanism
+		entry.SocialCost = out.SocialCost
+		entry.Alpha = out.Alpha
+		for _, aw := range out.Awards {
+			entry.Winners = append(entry.Winners, journalAward{
+				User:            int(aw.User),
+				CriticalPoS:     aw.CriticalPoS,
+				RewardOnSuccess: aw.RewardOnSuccess,
+				RewardOnFailure: aw.RewardOnFailure,
+			})
+		}
+	}
+	for user, s := range result.Settlements {
+		entry.Settlements = append(entry.Settlements, journalSettle{
+			User: int(user), Success: s.Success, Reward: s.Reward, Utility: s.Utility,
+		})
+	}
+	return entry
+}
+
+// WriteJournal appends entries to w, one JSON line each.
+func WriteJournal(w io.Writer, entries ...JournalEntry) error {
+	enc := json.NewEncoder(w)
+	for i := range entries {
+		if err := enc.Encode(&entries[i]); err != nil {
+			return fmt.Errorf("platform: write journal entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadJournal decodes every entry from r.
+func ReadJournal(r io.Reader) ([]JournalEntry, error) {
+	dec := json.NewDecoder(r)
+	var entries []JournalEntry
+	for {
+		var e JournalEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			return entries, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("platform: read journal entry %d: %w", len(entries), err)
+		}
+		entries = append(entries, e)
+	}
+}
+
+// AuditFinding is one inconsistency discovered while replaying a journal.
+type AuditFinding struct {
+	Round   int
+	User    int
+	Problem string
+}
+
+func (f AuditFinding) String() string {
+	return fmt.Sprintf("round %d user %d: %s", f.Round, f.User, f.Problem)
+}
+
+// Audit replays journal entries and cross-checks the platform's own
+// arithmetic: every settlement must match the winner's recorded EC
+// contract, social cost must equal the winners' bid costs, and — for EC
+// outcomes — the success/failure reward gap must equal α. It returns the
+// inconsistencies found (none for a healthy journal).
+func Audit(entries []JournalEntry) []AuditFinding {
+	var findings []AuditFinding
+	const tol = 1e-6
+	for _, e := range entries {
+		if e.Error != "" {
+			continue // void round: nothing to check
+		}
+		costs := make(map[int]float64, len(e.Bids))
+		for _, b := range e.Bids {
+			costs[b.User] = b.Cost
+		}
+		awards := make(map[int]journalAward, len(e.Winners))
+		totalCost := 0.0
+		for _, w := range e.Winners {
+			awards[w.User] = w
+			totalCost += costs[w.User]
+			if e.Alpha > 0 {
+				gap := w.RewardOnSuccess - w.RewardOnFailure
+				if abs(gap-e.Alpha) > tol {
+					findings = append(findings, AuditFinding{
+						Round: e.Round, User: w.User,
+						Problem: fmt.Sprintf("EC reward gap %g mismatches α %g", gap, e.Alpha),
+					})
+				}
+			}
+		}
+		if abs(totalCost-e.SocialCost) > tol {
+			findings = append(findings, AuditFinding{
+				Round: e.Round,
+				Problem: fmt.Sprintf("social cost %g mismatches winners' bid costs %g",
+					e.SocialCost, totalCost),
+			})
+		}
+		for _, s := range e.Settlements {
+			aw, ok := awards[s.User]
+			if !ok {
+				findings = append(findings, AuditFinding{
+					Round: e.Round, User: s.User,
+					Problem: "settlement for a non-winner",
+				})
+				continue
+			}
+			want := aw.RewardOnFailure
+			if s.Success {
+				want = aw.RewardOnSuccess
+			}
+			if abs(s.Reward-want) > tol {
+				findings = append(findings, AuditFinding{
+					Round: e.Round, User: s.User,
+					Problem: fmt.Sprintf("paid %g, contract says %g", s.Reward, want),
+				})
+			}
+			if abs(s.Utility-(s.Reward-costs[s.User])) > tol {
+				findings = append(findings, AuditFinding{
+					Round: e.Round, User: s.User,
+					Problem: fmt.Sprintf("utility %g mismatches reward %g − cost %g",
+						s.Utility, s.Reward, costs[s.User]),
+				})
+			}
+		}
+	}
+	return findings
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// JournalSummary aggregates a journal for reporting.
+type JournalSummary struct {
+	Rounds      int
+	VoidRounds  int
+	TotalBids   int
+	TotalPaid   float64
+	SocialCost  float64
+	SuccessRate float64 // fraction of settled winners whose EC trigger fired
+}
+
+// Summarize computes aggregate statistics over a journal.
+func Summarize(entries []JournalEntry) JournalSummary {
+	var s JournalSummary
+	settled, succeeded := 0, 0
+	for _, e := range entries {
+		s.Rounds++
+		if e.Error != "" {
+			s.VoidRounds++
+			continue
+		}
+		s.TotalBids += len(e.Bids)
+		s.SocialCost += e.SocialCost
+		for _, st := range e.Settlements {
+			s.TotalPaid += st.Reward
+			settled++
+			if st.Success {
+				succeeded++
+			}
+		}
+	}
+	if settled > 0 {
+		s.SuccessRate = float64(succeeded) / float64(settled)
+	}
+	return s
+}

@@ -1,0 +1,406 @@
+// Package platform implements the crowdsensing platform as a network
+// server: it publishes tasks to connecting agents, collects sealed bids,
+// runs the fault-tolerant auction mechanism, sends each agent her award
+// (with the execution-contingent reward contract), collects winners'
+// execution reports, and settles rewards — steps 2 through 6 of the
+// paper's Fig. 1, as an actual wire protocol.
+//
+// A Server runs one auction round: it waits until the expected number of
+// agents have bid (or the bid window closes), computes the outcome, and
+// settles every session. It is safe for concurrent agent connections; each
+// connection is served by its own goroutine with context-based shutdown.
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/wire"
+)
+
+// Config parameterizes a platform server.
+type Config struct {
+	Tasks []auction.Task // the tasks to publish; single task selects the single-task mechanism
+
+	// ExpectedBidders is how many bids to collect before running the
+	// auction.
+	ExpectedBidders int
+
+	// BidWindow bounds how long the platform waits for the expected
+	// bidders once the first agent registers; on expiry the auction runs
+	// with the bids at hand. Zero means wait indefinitely.
+	BidWindow time.Duration
+
+	// Alpha is the EC reward scale (default mechanism.DefaultAlpha).
+	Alpha float64
+	// Epsilon is the single-task FPTAS parameter (default knapsack's).
+	Epsilon float64
+
+	// ConnTimeout bounds per-message I/O with one agent. Zero means
+	// 30 seconds.
+	ConnTimeout time.Duration
+}
+
+func (c Config) connTimeout() time.Duration {
+	if c.ConnTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.ConnTimeout
+}
+
+// RoundResult summarizes a completed auction round. A round whose bidders
+// could not jointly meet the task requirements has a nil Outcome and a
+// non-nil Err (multi-round service keeps going; see RunRounds).
+type RoundResult struct {
+	Outcome     *mechanism.Outcome
+	Bids        []auction.Bid
+	Settlements map[auction.UserID]wire.Settle
+	Err         error
+}
+
+// Server is a one-round auction platform.
+type Server struct {
+	cfg Config
+
+	listener net.Listener
+
+	mu       sync.Mutex
+	bids     []auction.Bid
+	bidders  map[auction.UserID]bool
+	started  bool
+	deadline *time.Timer
+
+	auctionDone chan struct{} // closed when the outcome is ready
+	outcome     *mechanism.Outcome
+	outcomeErr  error
+	bidOrder    map[auction.UserID]int // user -> bid index
+
+	pendingUsers map[auction.UserID]bool // sessions owing a terminal action
+	roundClosed  bool
+	roundDone    chan struct{} // closed when settlements have been computed
+	result       RoundResult
+
+	wg sync.WaitGroup
+}
+
+// NewServer validates the configuration and creates a server. Call Serve to
+// start listening.
+func NewServer(cfg Config) (*Server, error) {
+	if len(cfg.Tasks) == 0 {
+		return nil, errors.New("platform: no tasks configured")
+	}
+	if cfg.ExpectedBidders < 1 {
+		return nil, fmt.Errorf("platform: expected bidders %d must be positive", cfg.ExpectedBidders)
+	}
+	return &Server{
+		cfg:         cfg,
+		bidders:     make(map[auction.UserID]bool),
+		auctionDone: make(chan struct{}),
+		roundDone:   make(chan struct{}),
+	}, nil
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0").
+func (s *Server) Listen(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("platform: listen %s: %w", addr, err)
+	}
+	s.listener = l
+	return nil
+}
+
+// Addr reports the bound address; Listen must have succeeded.
+func (s *Server) Addr() net.Addr {
+	return s.listener.Addr()
+}
+
+// Serve accepts agent connections until the round completes or the context
+// is cancelled, then returns the round result. Listen must be called first.
+func (s *Server) Serve(ctx context.Context) (RoundResult, error) {
+	if s.listener == nil {
+		return RoundResult{}, errors.New("platform: Serve before Listen")
+	}
+	defer s.listener.Close()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-s.roundDone:
+		}
+		s.listener.Close() // unblock Accept
+	}()
+
+	acceptErr := make(chan error, 1)
+	go func() {
+		for {
+			conn, err := s.listener.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.handle(ctx, conn)
+			}()
+		}
+	}()
+
+	select {
+	case <-ctx.Done():
+		<-acceptErr
+		s.wg.Wait()
+		return RoundResult{}, ctx.Err()
+	case <-s.roundDone:
+		<-acceptErr
+		s.wg.Wait()
+		if s.outcomeErr != nil {
+			return RoundResult{}, s.outcomeErr
+		}
+		return s.result, nil
+	}
+}
+
+// handle serves one agent session.
+func (s *Server) handle(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	codec := wire.NewCodec(conn)
+	timeout := s.cfg.connTimeout()
+	setDeadline := func() { _ = conn.SetDeadline(time.Now().Add(timeout)) }
+
+	setDeadline()
+	env, err := codec.Expect(wire.TypeRegister)
+	if err != nil {
+		codec.WriteError(fmt.Sprintf("expected register: %v", err))
+		return
+	}
+	user := auction.UserID(env.Register.User)
+
+	// Publish tasks.
+	specs := make([]wire.TaskSpec, len(s.cfg.Tasks))
+	for i, task := range s.cfg.Tasks {
+		specs[i] = wire.TaskSpec{ID: int(task.ID), Requirement: task.Requirement}
+	}
+	setDeadline()
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeTasks, Tasks: &wire.Tasks{Tasks: specs}}); err != nil {
+		return
+	}
+
+	// Collect the sealed bid.
+	setDeadline()
+	env, err = codec.Expect(wire.TypeBid)
+	if err != nil {
+		codec.WriteError(fmt.Sprintf("expected bid: %v", err))
+		return
+	}
+	bid, err := bidFromWire(env.Bid)
+	if err != nil {
+		codec.WriteError(err.Error())
+		return
+	}
+	if bid.User != user {
+		codec.WriteError("bid user mismatches registration")
+		return
+	}
+	if !s.admitBid(bid) {
+		codec.WriteError("duplicate user or bidding closed")
+		return
+	}
+
+	// Wait for the auction outcome.
+	select {
+	case <-ctx.Done():
+		return
+	case <-s.auctionDone:
+	}
+	if s.outcomeErr != nil {
+		codec.WriteError(fmt.Sprintf("auction failed: %v", s.outcomeErr))
+		return
+	}
+
+	award, won := s.outcome.AwardFor(s.bidOrder[user])
+	setDeadline()
+	if !won {
+		_ = codec.Write(&wire.Envelope{Type: wire.TypeAward, Award: &wire.Award{Selected: false}})
+		s.reportSkipped(user)
+		return
+	}
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeAward, Award: &wire.Award{
+		Selected:        true,
+		CriticalPoS:     award.CriticalPoS,
+		RewardOnSuccess: award.RewardOnSuccess,
+		RewardOnFailure: award.RewardOnFailure,
+	}}); err != nil {
+		s.reportSkipped(user)
+		return
+	}
+
+	// Collect the execution report and settle.
+	setDeadline()
+	env, err = codec.Expect(wire.TypeReport)
+	if err != nil {
+		s.reportSkipped(user)
+		return
+	}
+	report := *env.Report
+	report.User = int(user)
+	settle := s.settle(user, award, report)
+	setDeadline()
+	_ = codec.Write(&wire.Envelope{Type: wire.TypeSettle, Settle: &settle})
+	s.reportDone(user, settle)
+}
+
+// admitBid records a bid; the auction starts once the expected count is
+// reached or the bid window expires.
+func (s *Server) admitBid(bid auction.Bid) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.bidders[bid.User] {
+		return false
+	}
+	s.bidders[bid.User] = true
+	s.bids = append(s.bids, bid)
+	if len(s.bids) == 1 && s.cfg.BidWindow > 0 {
+		s.deadline = time.AfterFunc(s.cfg.BidWindow, s.runAuctionOnce)
+	}
+	if len(s.bids) >= s.cfg.ExpectedBidders {
+		s.startAuctionLocked()
+	}
+	return true
+}
+
+func (s *Server) runAuctionOnce() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.startAuctionLocked()
+}
+
+// startAuctionLocked runs the mechanism exactly once. Callers hold s.mu.
+func (s *Server) startAuctionLocked() {
+	if s.started {
+		return
+	}
+	s.started = true
+	if s.deadline != nil {
+		s.deadline.Stop()
+	}
+	bids := append([]auction.Bid(nil), s.bids...)
+	go s.runAuction(bids)
+}
+
+func (s *Server) runAuction(bids []auction.Bid) {
+	defer close(s.auctionDone)
+	s.bidOrder = make(map[auction.UserID]int, len(bids))
+	for i, bid := range bids {
+		s.bidOrder[bid.User] = i
+	}
+	a, err := auction.New(s.cfg.Tasks, bids)
+	if err != nil {
+		s.outcomeErr = err
+		s.finishRound()
+		return
+	}
+	var m mechanism.Mechanism
+	if a.SingleTask() {
+		m = &mechanism.SingleTask{Epsilon: s.cfg.Epsilon, Alpha: s.cfg.Alpha}
+	} else {
+		m = &mechanism.MultiTask{Alpha: s.cfg.Alpha}
+	}
+	out, err := m.Run(a)
+	if err != nil {
+		s.outcomeErr = err
+		s.finishRound()
+		return
+	}
+	s.outcome = out
+	s.result = RoundResult{
+		Outcome:     out,
+		Bids:        bids,
+		Settlements: make(map[auction.UserID]wire.Settle, len(out.Selected)),
+	}
+	s.initPending(out, bids)
+}
+
+func (s *Server) initPending(out *mechanism.Outcome, bids []auction.Bid) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pendingUsers = make(map[auction.UserID]bool, len(bids))
+	for _, bid := range bids {
+		s.pendingUsers[bid.User] = true
+	}
+	s.maybeFinishLocked()
+}
+
+func (s *Server) reportSkipped(user auction.UserID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pendingUsers, user)
+	s.maybeFinishLocked()
+}
+
+func (s *Server) reportDone(user auction.UserID, settle wire.Settle) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.result.Settlements[user] = settle
+	delete(s.pendingUsers, user)
+	s.maybeFinishLocked()
+}
+
+func (s *Server) maybeFinishLocked() {
+	if s.pendingUsers != nil && len(s.pendingUsers) == 0 && !s.roundClosed {
+		s.roundClosed = true
+		close(s.roundDone)
+	}
+}
+
+func (s *Server) finishRound() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.roundClosed {
+		s.roundClosed = true
+		close(s.roundDone)
+	}
+}
+
+// settle applies the EC contract to a winner's report.
+func (s *Server) settle(user auction.UserID, award mechanism.Award, report wire.Report) wire.Settle {
+	success := false
+	for _, ok := range report.Succeeded {
+		if ok {
+			success = true
+			break
+		}
+	}
+	reward := award.RewardOnFailure
+	if success {
+		reward = award.RewardOnSuccess
+	}
+	idx := s.bidOrder[user]
+	cost := s.result.Bids[idx].Cost
+	return wire.Settle{Success: success, Reward: reward, Utility: reward - cost}
+}
+
+// bidFromWire converts and sanity-checks a wire bid.
+func bidFromWire(b *wire.Bid) (auction.Bid, error) {
+	if b == nil {
+		return auction.Bid{}, errors.New("platform: nil bid")
+	}
+	tasks := make([]auction.TaskID, 0, len(b.Tasks))
+	pos := make(map[auction.TaskID]float64, len(b.PoS))
+	for _, id := range b.Tasks {
+		tasks = append(tasks, auction.TaskID(id))
+	}
+	for id, p := range b.PoS {
+		pos[auction.TaskID(id)] = p
+	}
+	return auction.NewBid(auction.UserID(b.User), tasks, b.Cost, pos), nil
+}

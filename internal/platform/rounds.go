@@ -1,0 +1,71 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"crowdsense/internal/mechanism"
+)
+
+// RoundsOptions configures RunRounds.
+type RoundsOptions struct {
+	// Addr is the listen address; "host:0" picks an ephemeral port for the
+	// first round and keeps it for subsequent rounds.
+	Addr string
+	// Rounds is how many auction rounds to serve (must be ≥ 1).
+	Rounds int
+	// OnReady, if set, is called with the bound address before each round
+	// starts accepting agents.
+	OnReady func(addr string)
+	// OnRound, if set, observes each completed round; it runs between
+	// rounds on the serving goroutine, so it must be quick.
+	OnRound func(round int, result RoundResult)
+}
+
+// RunRounds operates the platform as a recurring service: it binds the
+// address, serves one auction round, reports it through OnRound, and
+// rebinds for the next round until the context is cancelled or the round
+// budget is exhausted. A Server is single-round by design (a sealed-bid
+// auction has a natural lifecycle); this helper provides the long-running
+// daemon shape on top. It returns the completed rounds' results.
+func RunRounds(ctx context.Context, cfg Config, opts RoundsOptions) ([]RoundResult, error) {
+	if opts.Rounds < 1 {
+		return nil, fmt.Errorf("platform: rounds %d must be positive", opts.Rounds)
+	}
+	addr := opts.Addr
+	results := make([]RoundResult, 0, opts.Rounds)
+	for round := 0; round < opts.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return results, err
+		}
+		srv, err := NewServer(cfg)
+		if err != nil {
+			return results, err
+		}
+		if err := srv.Listen(addr); err != nil {
+			return results, fmt.Errorf("platform: round %d: %w", round+1, err)
+		}
+		// Pin an ephemeral allocation so agents can keep reconnecting to
+		// the same address across rounds.
+		addr = srv.Addr().String()
+		if opts.OnReady != nil {
+			opts.OnReady(addr)
+		}
+		result, err := srv.Serve(ctx)
+		if err != nil {
+			if errors.Is(err, mechanism.ErrInfeasible) {
+				// The bidders of this round could not jointly meet the
+				// requirements; the round is void but the service lives on.
+				result = RoundResult{Err: err}
+			} else {
+				return results, fmt.Errorf("platform: round %d: %w", round+1, err)
+			}
+		}
+		results = append(results, result)
+		if opts.OnRound != nil {
+			opts.OnRound(round+1, result)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,100 @@
+package platform
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdsense/internal/agent"
+	"crowdsense/internal/auction"
+)
+
+func TestRunRoundsValidation(t *testing.T) {
+	cfg := singleTaskConfig(1)
+	if _, err := RunRounds(context.Background(), cfg, RoundsOptions{Rounds: 0}); err == nil {
+		t.Error("zero rounds should fail")
+	}
+}
+
+func TestRunRoundsServesMultipleRounds(t *testing.T) {
+	cfg := singleTaskConfig(2)
+	cfg.Tasks[0].Requirement = 0.5
+	const rounds = 3
+
+	addrCh := make(chan string, rounds)
+	resultsCh := make(chan []RoundResult, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		results, err := RunRounds(ctx, cfg, RoundsOptions{
+			Addr:    "127.0.0.1:0",
+			Rounds:  rounds,
+			OnReady: func(addr string) { addrCh <- addr },
+		})
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resultsCh <- results
+	}()
+
+	var firstAddr string
+	for round := 0; round < rounds; round++ {
+		select {
+		case addr := <-addrCh:
+			if round == 0 {
+				firstAddr = addr
+			} else if addr != firstAddr {
+				t.Errorf("round %d moved to %s (first round used %s)", round+1, addr, firstAddr)
+			}
+			runPair(t, addr, round)
+		case err := <-errCh:
+			t.Fatalf("server: %v", err)
+		case <-time.After(30 * time.Second):
+			t.Fatal("round did not become ready")
+		}
+	}
+
+	select {
+	case results := <-resultsCh:
+		if len(results) != rounds {
+			t.Fatalf("completed %d rounds, want %d", len(results), rounds)
+		}
+		for i, r := range results {
+			if len(r.Bids) != 2 {
+				t.Errorf("round %d had %d bids", i+1, len(r.Bids))
+			}
+			if len(r.Outcome.Selected) == 0 {
+				t.Errorf("round %d had no winners", i+1)
+			}
+		}
+	case err := <-errCh:
+		t.Fatalf("server: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("rounds did not complete")
+	}
+}
+
+// runPair drives two agents through one round.
+func runPair(t *testing.T, addr string, round int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := auction.UserID(10*round + i + 1)
+			bid := auction.NewBid(id, []auction.TaskID{1}, float64(2+i),
+				map[auction.TaskID]float64{1: 0.8})
+			if _, err := agent.Run(context.Background(), agent.Config{
+				Addr: addr, User: id, TrueBid: bid,
+				Seed: int64(round*10 + i), Timeout: 10 * time.Second,
+			}); err != nil {
+				t.Errorf("round %d agent %d: %v", round+1, id, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,148 @@
+// Package reputation lets the platform learn, across auction rounds, how
+// trustworthy each user's PoS declarations are. The mechanisms make lying
+// unprofitable in expectation, but declared PoS values can still be
+// systematically mis-calibrated (stale mobility models, optimistic
+// devices). Each execution outcome is a Bernoulli trial with success
+// probability r·p̂ — the declaration p̂ scaled by the user's unknown
+// reliability r — so r has a natural smoothed moment estimator
+//
+//	r̂ = (successes + s·1) / (Σ p̂ + s),
+//
+// where s is a prior pseudo-strength pulling unknown users toward r = 1
+// (declarations trusted until evidence says otherwise). The platform can
+// then discount future declarations by r̂ before running the auction,
+// restoring coverage against systematic over-claimers.
+package reputation
+
+import (
+	"fmt"
+	"sort"
+
+	"crowdsense/internal/auction"
+)
+
+// DefaultPriorStrength is the pseudo-evidence pulling estimates toward
+// reliability 1.
+const DefaultPriorStrength = 3.0
+
+// maxReliability caps the estimate: consistent over-delivery cannot push a
+// discounted PoS above the declaration by more than 20%.
+const maxReliability = 1.2
+
+// Tracker accumulates execution evidence per user. The zero value is not
+// usable; construct with NewTracker. Tracker is not safe for concurrent
+// use; callers serialize (the platform observes outcomes between rounds).
+type Tracker struct {
+	prior float64
+	users map[auction.UserID]*evidence
+}
+
+type evidence struct {
+	successes    float64 // observed EC-trigger successes
+	declaredMass float64 // Σ declared success probabilities
+	observations int
+}
+
+// NewTracker creates a tracker; a non-positive priorStrength uses the
+// default.
+func NewTracker(priorStrength float64) *Tracker {
+	if priorStrength <= 0 {
+		priorStrength = DefaultPriorStrength
+	}
+	return &Tracker{prior: priorStrength, users: make(map[auction.UserID]*evidence)}
+}
+
+// Observe records one round's outcome for a user: her declared success
+// probability for the EC trigger (the task's PoS in the single-task
+// setting; the combined any-task PoS in the multi-task setting) and whether
+// the trigger fired. Declarations outside (0, 1) are rejected.
+func (t *Tracker) Observe(user auction.UserID, declaredPoS float64, success bool) error {
+	if declaredPoS <= 0 || declaredPoS >= 1 {
+		return fmt.Errorf("reputation: declared PoS %g outside (0, 1)", declaredPoS)
+	}
+	ev := t.users[user]
+	if ev == nil {
+		ev = &evidence{}
+		t.users[user] = ev
+	}
+	if success {
+		ev.successes++
+	}
+	ev.declaredMass += declaredPoS
+	ev.observations++
+	return nil
+}
+
+// Reliability returns the smoothed estimate r̂ for the user, capped at
+// maxReliability. Unknown users get exactly 1 (declarations trusted).
+func (t *Tracker) Reliability(user auction.UserID) float64 {
+	ev := t.users[user]
+	if ev == nil {
+		return 1
+	}
+	r := (ev.successes + t.prior) / (ev.declaredMass + t.prior)
+	if r > maxReliability {
+		return maxReliability
+	}
+	return r
+}
+
+// Observations reports how many outcomes have been recorded for the user.
+func (t *Tracker) Observations(user auction.UserID) int {
+	if ev := t.users[user]; ev != nil {
+		return ev.observations
+	}
+	return 0
+}
+
+// Discount scales a declared PoS by the user's estimated reliability,
+// clamped into [0, 1): the value the platform should feed the allocation
+// instead of the raw declaration.
+func (t *Tracker) Discount(user auction.UserID, declaredPoS float64) float64 {
+	p := declaredPoS * t.Reliability(user)
+	if p < 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1 - 1e-12
+	}
+	return p
+}
+
+// DiscountBid rewrites a bid's PoS map through Discount, producing the
+// reliability-adjusted declaration the platform allocates against.
+func (t *Tracker) DiscountBid(bid auction.Bid) auction.Bid {
+	pos := make(map[auction.TaskID]float64, len(bid.PoS))
+	for id, p := range bid.PoS {
+		pos[id] = t.Discount(bid.User, p)
+	}
+	return auction.NewBid(bid.User, bid.Tasks, bid.Cost, pos)
+}
+
+// Snapshot lists every tracked user with her estimate, sorted by
+// reliability ascending (worst offenders first) — the operator's watch
+// list.
+type UserReliability struct {
+	User         auction.UserID
+	Reliability  float64
+	Observations int
+}
+
+// Snapshot returns the tracked users, least reliable first.
+func (t *Tracker) Snapshot() []UserReliability {
+	out := make([]UserReliability, 0, len(t.users))
+	for user := range t.users {
+		out = append(out, UserReliability{
+			User:         user,
+			Reliability:  t.Reliability(user),
+			Observations: t.Observations(user),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Reliability != out[j].Reliability {
+			return out[i].Reliability < out[j].Reliability
+		}
+		return out[i].User < out[j].User
+	})
+	return out
+}

@@ -1,0 +1,151 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/stats"
+)
+
+func TestObserveValidation(t *testing.T) {
+	tr := NewTracker(0)
+	for _, p := range []float64{0, 1, -0.2, 1.4} {
+		if err := tr.Observe(1, p, true); err == nil {
+			t.Errorf("declared PoS %g should be rejected", p)
+		}
+	}
+	if err := tr.Observe(1, 0.5, true); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Observations(1) != 1 {
+		t.Errorf("observations = %d", tr.Observations(1))
+	}
+}
+
+func TestUnknownUserTrusted(t *testing.T) {
+	tr := NewTracker(0)
+	if r := tr.Reliability(42); r != 1 {
+		t.Errorf("unknown reliability = %g, want 1", r)
+	}
+	if got := tr.Discount(42, 0.3); got != 0.3 {
+		t.Errorf("unknown discount changed the declaration: %g", got)
+	}
+	if tr.Observations(42) != 0 {
+		t.Error("unknown user has observations")
+	}
+}
+
+func TestEstimatorConverges(t *testing.T) {
+	rng := stats.NewRand(1)
+	cases := []struct {
+		name string
+		r    float64 // true reliability
+	}{
+		{"honest", 1.0},
+		{"over-claimer", 0.5},
+		{"slight optimist", 0.8},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr := NewTracker(0)
+			const rounds = 3000
+			for i := 0; i < rounds; i++ {
+				declared := stats.Uniform(rng, 0.2, 0.9)
+				success := stats.Bernoulli(rng, declared*c.r)
+				if err := tr.Observe(7, declared, success); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := tr.Reliability(7); math.Abs(got-c.r) > 0.05 {
+				t.Errorf("reliability = %g, want ≈ %g", got, c.r)
+			}
+		})
+	}
+}
+
+func TestReliabilityCapped(t *testing.T) {
+	tr := NewTracker(1)
+	// A user who always succeeds despite declaring 0.1: raw estimate would
+	// blow past the cap.
+	for i := 0; i < 500; i++ {
+		if err := tr.Observe(1, 0.1, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := tr.Reliability(1); r != 1.2 {
+		t.Errorf("reliability = %g, want the 1.2 cap", r)
+	}
+}
+
+func TestDiscountClamps(t *testing.T) {
+	tr := NewTracker(1)
+	for i := 0; i < 500; i++ {
+		if err := tr.Observe(1, 0.9, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reliability 1.2 × declared 0.9 would exceed 1: clamped below 1.
+	if p := tr.Discount(1, 0.9); p >= 1 {
+		t.Errorf("discounted PoS %g not clamped below 1", p)
+	}
+}
+
+func TestDiscountBid(t *testing.T) {
+	tr := NewTracker(1)
+	// Over-claimer: successes far below declarations.
+	for i := 0; i < 400; i++ {
+		if err := tr.Observe(5, 0.8, i%4 == 0); err != nil { // ~25% success on 0.8 claims
+			t.Fatal(err)
+		}
+	}
+	bid := auction.NewBid(5, []auction.TaskID{1, 2}, 10,
+		map[auction.TaskID]float64{1: 0.8, 2: 0.4})
+	adj := tr.DiscountBid(bid)
+	if adj.User != 5 || adj.Cost != 10 || len(adj.Tasks) != 2 {
+		t.Errorf("identity fields changed: %+v", adj)
+	}
+	r := tr.Reliability(5)
+	if r > 0.45 {
+		t.Fatalf("reliability = %g, expected heavy discount", r)
+	}
+	for id, p := range bid.PoS {
+		if math.Abs(adj.PoS[id]-p*r) > 1e-12 {
+			t.Errorf("task %d discount = %g, want %g", id, adj.PoS[id], p*r)
+		}
+	}
+}
+
+func TestSnapshotOrdersWorstFirst(t *testing.T) {
+	tr := NewTracker(1)
+	for i := 0; i < 200; i++ {
+		_ = tr.Observe(1, 0.8, true)     // reliable
+		_ = tr.Observe(2, 0.8, i%5 == 0) // unreliable
+		_ = tr.Observe(3, 0.8, i%2 == 0) // middling
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot size = %d", len(snap))
+	}
+	if snap[0].User != 2 || snap[2].User != 1 {
+		t.Errorf("snapshot order = %v, want worst first", snap)
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Reliability < snap[i-1].Reliability {
+			t.Error("snapshot not ascending in reliability")
+		}
+	}
+}
+
+func TestPriorPullsTowardOne(t *testing.T) {
+	weak := NewTracker(0.5)
+	strong := NewTracker(50)
+	for i := 0; i < 10; i++ {
+		_ = weak.Observe(1, 0.8, false)
+		_ = strong.Observe(1, 0.8, false)
+	}
+	if weak.Reliability(1) >= strong.Reliability(1) {
+		t.Errorf("weak prior %g should discount faster than strong %g",
+			weak.Reliability(1), strong.Reliability(1))
+	}
+}

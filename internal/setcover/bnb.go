@@ -1,0 +1,266 @@
+package setcover
+
+import (
+	"sort"
+
+	"crowdsense/internal/auction"
+)
+
+// DefaultNodeBudget bounds the branch-and-bound search for the multi-task
+// optimum.
+const DefaultNodeBudget = 20_000_000
+
+// BnBResult is an exact-solver outcome: the best cover found and whether
+// the search proved it optimal (Exact) or ran out of node budget first, in
+// which case Solution is the best incumbent (an upper bound on OPT).
+type BnBResult struct {
+	Solution Solution
+	Exact    bool
+}
+
+// BnB searches for the minimum-cost cover by depth-first branch and bound.
+// The incumbent is seeded with the greedy solution, the lower bound is the
+// remaining coverage volume priced at the best available
+// contribution-per-cost ratio, and users are branched in greedy ratio
+// order. A non-positive nodeBudget uses DefaultNodeBudget. Unlike the
+// knapsack solver, budget exhaustion is not an error: the multi-task OPT
+// baseline degrades gracefully to "best found", flagged via Exact.
+//
+// Internally the search runs on dense task indexes with mutate-and-undo
+// updates — no per-node allocation — so paper-scale instances (100 users,
+// 50 tasks) explore millions of nodes per second.
+func BnB(a *auction.Auction, nodeBudget int) (BnBResult, error) {
+	if nodeBudget <= 0 {
+		nodeBudget = DefaultNodeBudget
+	}
+	greedy, err := Greedy(a)
+	if err != nil {
+		return BnBResult{}, err
+	}
+
+	s := newCoverSearch(a, nodeBudget, greedy)
+	exact := s.walk(0, 0)
+
+	sel := append([]int(nil), s.bestSel...)
+	sort.Ints(sel)
+	return BnBResult{
+		Solution: Solution{Selected: sel, Cost: s.bestCost},
+		Exact:    exact,
+	}, nil
+}
+
+// contribEntry is one (task, contribution) pair of a bid, on dense task
+// indexes.
+type contribEntry struct {
+	task int
+	q    float64
+}
+
+type coverSearch struct {
+	costs     []float64        // per branch-order position
+	contribs  [][]contribEntry // per branch-order position
+	bidIndex  []int            // branch-order position -> original bid index
+	remaining []float64        // open requirement per dense task index
+	openMass  float64          // Σ max(remaining, 0)
+	suffix    [][]float64      // suffix[pos][task] = Σ contributions of users pos.. for task
+	nTasks    int
+
+	bestCost float64
+	bestSel  []int // original bid indices
+	chosen   []int
+	budget   int
+}
+
+func newCoverSearch(a *auction.Auction, nodeBudget int, greedy Solution) *coverSearch {
+	nTasks := len(a.Tasks)
+	taskIdx := make(map[auction.TaskID]int, nTasks)
+	remaining := make([]float64, nTasks)
+	for i, task := range a.Tasks {
+		taskIdx[task.ID] = i
+		remaining[i] = task.RequiredContribution()
+	}
+
+	// Branch order: descending initial effective-contribution ratio.
+	initial := a.Requirements()
+	order := make([]int, 0, len(a.Bids))
+	for i := range a.Bids {
+		if EffectiveContribution(a.Bids[i], initial) > FeasibilityTol {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		rx := EffectiveContribution(a.Bids[order[x]], initial) / a.Bids[order[x]].Cost
+		ry := EffectiveContribution(a.Bids[order[y]], initial) / a.Bids[order[y]].Cost
+		return rx > ry
+	})
+
+	s := &coverSearch{
+		costs:     make([]float64, len(order)),
+		contribs:  make([][]contribEntry, len(order)),
+		bidIndex:  order,
+		remaining: remaining,
+		nTasks:    nTasks,
+		bestCost:  greedy.Cost,
+		bestSel:   append([]int(nil), greedy.Selected...),
+		budget:    nodeBudget,
+	}
+	for pos, idx := range order {
+		bid := a.Bids[idx]
+		s.costs[pos] = bid.Cost
+		entries := make([]contribEntry, 0, len(bid.Tasks))
+		for _, j := range bid.Tasks {
+			if q := bid.Contribution(j); q > 0 {
+				entries = append(entries, contribEntry{task: taskIdx[j], q: q})
+			}
+		}
+		s.contribs[pos] = entries
+	}
+	for _, r := range remaining {
+		if r > 0 {
+			s.openMass += r
+		}
+	}
+	// suffix[pos][task] = total contribution available from users pos..
+	s.suffix = make([][]float64, len(order)+1)
+	s.suffix[len(order)] = make([]float64, nTasks)
+	for pos := len(order) - 1; pos >= 0; pos-- {
+		row := append([]float64(nil), s.suffix[pos+1]...)
+		for _, e := range s.contribs[pos] {
+			row[e.task] += e.q
+		}
+		s.suffix[pos] = row
+	}
+	return s
+}
+
+// effective returns Σ min(q, remaining) of the user at pos against the
+// current remaining requirements.
+func (s *coverSearch) effective(pos int) float64 {
+	total := 0.0
+	for _, e := range s.contribs[pos] {
+		r := s.remaining[e.task]
+		if r <= 0 {
+			continue
+		}
+		if e.q < r {
+			total += e.q
+		} else {
+			total += r
+		}
+	}
+	return total
+}
+
+// include applies user pos to the remaining requirements and returns the
+// undo record: how much open mass each touched task lost.
+func (s *coverSearch) include(pos int) []float64 {
+	undo := make([]float64, len(s.contribs[pos]))
+	for k, e := range s.contribs[pos] {
+		r := s.remaining[e.task]
+		covered := 0.0
+		if r > 0 {
+			covered = e.q
+			if covered > r {
+				covered = r
+			}
+			s.openMass -= covered
+		}
+		s.remaining[e.task] = r - e.q
+		undo[k] = covered
+	}
+	return undo
+}
+
+// exclude reverses include.
+func (s *coverSearch) exclude(pos int, undo []float64) {
+	for k, e := range s.contribs[pos] {
+		s.remaining[e.task] += e.q
+		s.openMass += undo[k]
+	}
+}
+
+// walk explores decisions for positions pos.. given accumulated cost. It
+// returns false once the node budget runs out.
+func (s *coverSearch) walk(pos int, cost float64) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+
+	if s.openMass <= FeasibilityTol {
+		if cost < s.bestCost {
+			s.bestCost = cost
+			s.bestSel = make([]int, len(s.chosen))
+			for i, p := range s.chosen {
+				s.bestSel[i] = s.bidIndex[p]
+			}
+		}
+		return true
+	}
+	if pos == len(s.costs) {
+		return true
+	}
+	bound, feasible := s.lowerBound(pos)
+	if !feasible {
+		return true
+	}
+	if cost+bound >= s.bestCost-FeasibilityTol {
+		return true
+	}
+
+	exact := true
+	if s.effective(pos) > FeasibilityTol {
+		undo := s.include(pos)
+		s.chosen = append(s.chosen, pos)
+		exact = s.walk(pos+1, cost+s.costs[pos])
+		s.chosen = s.chosen[:len(s.chosen)-1]
+		s.exclude(pos, undo)
+	}
+	if exact {
+		exact = s.walk(pos+1, cost)
+	}
+	return exact
+}
+
+// lowerBound prices the open coverage volume at the best remaining
+// effective-contribution-per-cost ratio and checks reachability against the
+// suffix totals.
+func (s *coverSearch) lowerBound(pos int) (float64, bool) {
+	suffix := s.suffix[pos]
+	for task, r := range s.remaining {
+		if r > FeasibilityTol && suffix[task] < r-FeasibilityTol {
+			return 0, false
+		}
+	}
+	bestRatio := 0.0
+	for p := pos; p < len(s.costs); p++ {
+		if eff := s.effective(p); eff > FeasibilityTol {
+			if ratio := eff / s.costs[p]; ratio > bestRatio {
+				bestRatio = ratio
+			}
+		}
+	}
+	if bestRatio <= 0 {
+		return 0, false
+	}
+	return s.openMass / bestRatio, true
+}
+
+// Minimal prunes a cover to an inclusion-minimal one by dropping members
+// (most expensive first) whose removal keeps the cover feasible. It is used
+// to post-process incumbents and in tests.
+func Minimal(a *auction.Auction, selected []int) []int {
+	kept := append([]int(nil), selected...)
+	sort.SliceStable(kept, func(x, y int) bool { return a.Bids[kept[x]].Cost > a.Bids[kept[y]].Cost })
+	out := make([]int, 0, len(kept))
+	for i := 0; i < len(kept); i++ {
+		trial := make([]int, 0, len(kept)-1)
+		trial = append(trial, out...)
+		trial = append(trial, kept[i+1:]...)
+		if !a.CoveredBy(trial, FeasibilityTol) {
+			out = append(out, kept[i])
+		}
+	}
+	sort.Ints(out)
+	return out
+}

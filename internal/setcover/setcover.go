@@ -1,0 +1,203 @@
+// Package setcover implements the submodular set-cover machinery behind the
+// paper's multi-task, single-minded mechanism (§III-C): the coverage
+// function f(I) = Σ_j min{Q_j, Σ_{i∈I, j∈S_i} q_i^j}, the greedy winner
+// determination of Algorithm 4 (iteratively pick the user maximizing
+// effective-contribution per cost, H(γ)-approximate in O(n²t)), an
+// exhaustive exact solver for small instances, and a branch-and-bound exact
+// solver used as the OPT baseline.
+package setcover
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdsense/internal/auction"
+)
+
+// FeasibilityTol absorbs floating-point slack in coverage comparisons.
+const FeasibilityTol = 1e-9
+
+// ErrInfeasible is returned when the users jointly cannot satisfy every
+// task's contribution requirement.
+var ErrInfeasible = errors.New("setcover: requirements unreachable even with all users")
+
+// Iteration records one round of the greedy loop: which user won, the
+// remaining requirements Q̄ at the start of the round (the reward scheme of
+// Algorithm 5 prices candidates against exactly these), and the winner's
+// effective contribution against them.
+type Iteration struct {
+	Winner    int                        // bid index in the auction
+	Remaining map[auction.TaskID]float64 // Q̄ before this selection
+	Effective float64                    // Σ_j min{q^j, Q̄_j} of the winner
+}
+
+// Solution is a cover: selected bid indices (ascending), their total cost,
+// and — for the greedy solver — the per-iteration trace.
+type Solution struct {
+	Selected   []int
+	Cost       float64
+	Iterations []Iteration
+}
+
+// Contains reports whether the solution selects bid index i.
+func (s Solution) Contains(i int) bool {
+	for _, idx := range s.Selected {
+		if idx == i {
+			return true
+		}
+	}
+	return false
+}
+
+// EffectiveContribution returns Σ_{j∈S_i} min{q_i^j, remaining_j}: how much
+// of the still-open requirements the bid can cover.
+func EffectiveContribution(bid auction.Bid, remaining map[auction.TaskID]float64) float64 {
+	total := 0.0
+	for _, j := range bid.Tasks {
+		r := remaining[j]
+		if r <= 0 {
+			continue
+		}
+		q := bid.Contribution(j)
+		if q < r {
+			total += q
+		} else {
+			total += r
+		}
+	}
+	return total
+}
+
+// CoverageValue evaluates the paper's submodular coverage function
+// f(I) = Σ_j min{Q_j, Σ_{i∈I, j∈S_i} q_i^j} for a selection of bid indices.
+func CoverageValue(a *auction.Auction, selected []int) float64 {
+	accumulated := make(map[auction.TaskID]float64, len(a.Tasks))
+	for _, idx := range selected {
+		bid := a.Bids[idx]
+		for _, j := range bid.Tasks {
+			accumulated[j] += bid.Contribution(j)
+		}
+	}
+	total := 0.0
+	for _, task := range a.Tasks {
+		q := accumulated[task.ID]
+		req := task.RequiredContribution()
+		if q < req {
+			total += q
+		} else {
+			total += req
+		}
+	}
+	return total
+}
+
+// Greedy is the paper's Algorithm 4: repeatedly select the user with the
+// highest effective-contribution-to-cost ratio until every requirement is
+// met. The returned solution carries the iteration trace consumed by the
+// multi-task reward scheme (Algorithm 5).
+func Greedy(a *auction.Auction) (Solution, error) {
+	remaining := a.Requirements()
+	selected := make([]bool, len(a.Bids))
+	var sol Solution
+	for anyOpen(remaining) {
+		bestIdx, bestRatio, bestEff := -1, 0.0, 0.0
+		for i, bid := range a.Bids {
+			if selected[i] {
+				continue
+			}
+			eff := EffectiveContribution(bid, remaining)
+			if eff <= FeasibilityTol {
+				continue
+			}
+			ratio := eff / bid.Cost
+			if ratio > bestRatio {
+				bestIdx, bestRatio, bestEff = i, ratio, eff
+			}
+		}
+		if bestIdx < 0 {
+			return Solution{}, ErrInfeasible
+		}
+		sol.Iterations = append(sol.Iterations, Iteration{
+			Winner:    bestIdx,
+			Remaining: copyRequirements(remaining),
+			Effective: bestEff,
+		})
+		selected[bestIdx] = true
+		sol.Selected = append(sol.Selected, bestIdx)
+		sol.Cost += a.Bids[bestIdx].Cost
+		for _, j := range a.Bids[bestIdx].Tasks {
+			r := remaining[j] - a.Bids[bestIdx].Contribution(j)
+			if r < 0 {
+				r = 0
+			}
+			remaining[j] = r
+		}
+	}
+	sort.Ints(sol.Selected)
+	return sol, nil
+}
+
+func anyOpen(remaining map[auction.TaskID]float64) bool {
+	for _, r := range remaining {
+		if r > FeasibilityTol {
+			return true
+		}
+	}
+	return false
+}
+
+func copyRequirements(src map[auction.TaskID]float64) map[auction.TaskID]float64 {
+	dst := make(map[auction.TaskID]float64, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// Exhaustive enumerates all subsets for the exact optimum. It refuses
+// instances with more than 20 bids.
+func Exhaustive(a *auction.Auction) (Solution, error) {
+	const maxN = 20
+	n := len(a.Bids)
+	if n > maxN {
+		return Solution{}, fmt.Errorf("setcover: %d bids exceeds exhaustive limit %d", n, maxN)
+	}
+	if !a.Feasible(FeasibilityTol) {
+		return Solution{}, ErrInfeasible
+	}
+	bestCost := math.Inf(1)
+	bestMask := uint32(0)
+	for mask := uint32(1); mask < 1<<n; mask++ {
+		cost := 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				cost += a.Bids[i].Cost
+			}
+		}
+		if cost >= bestCost {
+			continue
+		}
+		var sel []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sel = append(sel, i)
+			}
+		}
+		if a.CoveredBy(sel, FeasibilityTol) {
+			bestCost = cost
+			bestMask = mask
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return Solution{}, ErrInfeasible
+	}
+	var sel []int
+	for i := 0; i < n; i++ {
+		if bestMask&(1<<i) != 0 {
+			sel = append(sel, i)
+		}
+	}
+	return Solution{Selected: sel, Cost: bestCost}, nil
+}

@@ -1,0 +1,442 @@
+package setcover
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/stats"
+)
+
+// randomAuction builds a feasible multi-task instance: t tasks, n users,
+// task sets of size up to maxSet, small per-task PoS values like the
+// paper's workloads.
+func randomAuction(rng *rand.Rand, n, t, maxSet int, requirement float64) *auction.Auction {
+	tasks := make([]auction.Task, t)
+	allIDs := make([]auction.TaskID, t)
+	for j := range tasks {
+		tasks[j] = auction.Task{ID: auction.TaskID(j + 1), Requirement: requirement}
+		allIDs[j] = auction.TaskID(j + 1)
+	}
+	bids := make([]auction.Bid, n)
+	for i := range bids {
+		limit := maxSet
+		if t < limit {
+			limit = t
+		}
+		setSize := 1 + rng.Intn(limit)
+		perm := rng.Perm(t)
+		ids := make([]auction.TaskID, 0, setSize)
+		pos := make(map[auction.TaskID]float64, setSize)
+		for _, k := range perm[:setSize] {
+			id := auction.TaskID(k + 1)
+			ids = append(ids, id)
+			pos[id] = stats.Uniform(rng, 0.05, 0.5)
+		}
+		cost := stats.NormalPositive(rng, 15, math.Sqrt(5), 0.5)
+		bids[i] = auction.NewBid(auction.UserID(i+1), ids, cost, pos)
+	}
+	a, err := auction.New(tasks, bids)
+	if err != nil {
+		panic(err)
+	}
+	if a.Feasible(FeasibilityTol) {
+		return a
+	}
+	// Guarantee feasibility by appending two broad-coverage users (sparse
+	// random instances are often infeasible; the mechanisms require joint
+	// coverage).
+	for f := 0; f < 2; f++ {
+		pos := make(map[auction.TaskID]float64, t)
+		for _, id := range allIDs {
+			pos[id] = stats.Uniform(rng, 0.6, 0.9)
+		}
+		bids = append(bids, auction.NewBid(auction.UserID(n+f+1), allIDs,
+			stats.NormalPositive(rng, 20, 3, 1), pos))
+	}
+	a, err = auction.New(tasks, bids)
+	if err != nil {
+		panic(err)
+	}
+	if !a.Feasible(FeasibilityTol) {
+		panic("setcover test: filler users did not make instance feasible")
+	}
+	return a
+}
+
+// discretizedAuction builds instances whose contributions are exact
+// multiples of unit, enabling a rigorous H(γ) bound check.
+func discretizedAuction(rng *rand.Rand, n, t int, unit float64) *auction.Auction {
+	tasks := make([]auction.Task, t)
+	for j := range tasks {
+		// Requirement contribution = 4..8 units.
+		units := 4 + rng.Intn(5)
+		tasks[j] = auction.Task{
+			ID:          auction.TaskID(j + 1),
+			Requirement: auction.PoS(float64(units) * unit),
+		}
+	}
+	bids := make([]auction.Bid, n)
+	for i := range bids {
+		setSize := 1 + rng.Intn(t)
+		perm := rng.Perm(t)
+		ids := make([]auction.TaskID, 0, setSize)
+		pos := make(map[auction.TaskID]float64, setSize)
+		for _, k := range perm[:setSize] {
+			id := auction.TaskID(k + 1)
+			ids = append(ids, id)
+			units := 1 + rng.Intn(4)
+			pos[id] = auction.PoS(float64(units) * unit)
+		}
+		bids[i] = auction.NewBid(auction.UserID(i+1), ids, 1+rng.Float64()*10, pos)
+	}
+	// Two whole-set fillers at 4 units per task guarantee feasibility
+	// (requirements are at most 8 units) while keeping every contribution
+	// an exact multiple of the unit.
+	allIDs := make([]auction.TaskID, t)
+	fillerPoS := make(map[auction.TaskID]float64, t)
+	for j := 0; j < t; j++ {
+		allIDs[j] = auction.TaskID(j + 1)
+		fillerPoS[allIDs[j]] = auction.PoS(4 * unit)
+	}
+	for f := 0; f < 2; f++ {
+		bids = append(bids, auction.NewBid(auction.UserID(n+f+1), allIDs, 5+rng.Float64()*10, fillerPoS))
+	}
+	a, err := auction.New(tasks, bids)
+	if err != nil {
+		panic(err)
+	}
+	if !a.Feasible(FeasibilityTol) {
+		panic("setcover test: discretized instance infeasible despite fillers")
+	}
+	return a
+}
+
+func TestEffectiveContribution(t *testing.T) {
+	bid := auction.NewBid(1, []auction.TaskID{1, 2, 3}, 5, map[auction.TaskID]float64{
+		1: 0.5, 2: 0.5, 3: 0.5,
+	})
+	q := auction.Contribution(0.5)
+	remaining := map[auction.TaskID]float64{
+		1: 10,    // plenty open: full q counts
+		2: q / 2, // capped at remaining
+		3: 0,     // closed: contributes nothing
+	}
+	want := q + q/2
+	if got := EffectiveContribution(bid, remaining); math.Abs(got-want) > 1e-12 {
+		t.Errorf("effective = %g, want %g", got, want)
+	}
+}
+
+func TestCoverageValueCapsAtRequirement(t *testing.T) {
+	tasks := []auction.Task{{ID: 1, Requirement: 0.5}}
+	bids := []auction.Bid{
+		auction.NewBid(1, []auction.TaskID{1}, 1, map[auction.TaskID]float64{1: 0.9}),
+	}
+	a, err := auction.New(tasks, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := tasks[0].RequiredContribution()
+	if got := CoverageValue(a, []int{0}); math.Abs(got-req) > 1e-12 {
+		t.Errorf("coverage = %g, want capped %g", got, req)
+	}
+	if got := CoverageValue(a, nil); got != 0 {
+		t.Errorf("coverage of empty set = %g", got)
+	}
+}
+
+func TestCoverageValueSubmodularProperty(t *testing.T) {
+	// f(X ∪ {x}) − f(X) ≥ f(Y ∪ {x}) − f(Y) for X ⊆ Y, x ∉ Y.
+	f := func(seed int64) bool {
+		rng := stats.NewRand(seed)
+		a := randomAuction(rng, 8, 4, 3, 0.7)
+		perm := rng.Perm(len(a.Bids))
+		x := perm[0]
+		ySize := 1 + rng.Intn(len(perm)-1)
+		y := perm[1 : 1+ySize]
+		xSize := rng.Intn(ySize + 1)
+		xSet := y[:xSize]
+		gainX := CoverageValue(a, append(append([]int(nil), xSet...), x)) - CoverageValue(a, xSet)
+		gainY := CoverageValue(a, append(append([]int(nil), y...), x)) - CoverageValue(a, y)
+		return gainX >= gainY-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverageValueMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRand(seed)
+		a := randomAuction(rng, 8, 4, 3, 0.7)
+		perm := rng.Perm(len(a.Bids))
+		cut := rng.Intn(len(perm) + 1)
+		small, large := perm[:cut], perm
+		return CoverageValue(a, small) <= CoverageValue(a, large)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyCovers(t *testing.T) {
+	rng := stats.NewRand(30)
+	for trial := 0; trial < 100; trial++ {
+		a := randomAuction(rng, 5+rng.Intn(30), 2+rng.Intn(10), 5, 0.8)
+		sol, err := Greedy(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.CoveredBy(sol.Selected, FeasibilityTol) {
+			t.Fatalf("trial %d: greedy cover infeasible", trial)
+		}
+		if math.Abs(sol.Cost-a.SocialCost(sol.Selected)) > 1e-9 {
+			t.Fatalf("trial %d: cost mismatch", trial)
+		}
+		if len(sol.Iterations) != len(sol.Selected) {
+			t.Fatalf("trial %d: %d iterations for %d selections",
+				trial, len(sol.Iterations), len(sol.Selected))
+		}
+	}
+}
+
+func TestGreedyIterationTrace(t *testing.T) {
+	rng := stats.NewRand(31)
+	a := randomAuction(rng, 15, 5, 4, 0.8)
+	sol, err := Greedy(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First iteration starts from the full requirements.
+	full := a.Requirements()
+	for id, q := range sol.Iterations[0].Remaining {
+		if math.Abs(q-full[id]) > 1e-12 {
+			t.Errorf("first iteration remaining[%d] = %g, want %g", id, q, full[id])
+		}
+	}
+	// Remaining requirements shrink monotonically across iterations, and
+	// each winner's recorded effective contribution matches a recomputation.
+	for k, it := range sol.Iterations {
+		if got := EffectiveContribution(a.Bids[it.Winner], it.Remaining); math.Abs(got-it.Effective) > 1e-9 {
+			t.Errorf("iteration %d effective = %g, recorded %g", k, got, it.Effective)
+		}
+		if k == 0 {
+			continue
+		}
+		for id, q := range it.Remaining {
+			if q > sol.Iterations[k-1].Remaining[id]+1e-12 {
+				t.Errorf("iteration %d remaining[%d] grew", k, id)
+			}
+		}
+	}
+	// Winners are distinct.
+	seen := map[int]bool{}
+	for _, it := range sol.Iterations {
+		if seen[it.Winner] {
+			t.Errorf("winner %d selected twice", it.Winner)
+		}
+		seen[it.Winner] = true
+	}
+}
+
+func TestGreedyPicksBestRatioFirst(t *testing.T) {
+	tasks := []auction.Task{{ID: 1, Requirement: 0.8}}
+	// User 2 has the better contribution-per-cost ratio.
+	bids := []auction.Bid{
+		auction.NewBid(1, []auction.TaskID{1}, 10, map[auction.TaskID]float64{1: 0.5}),
+		auction.NewBid(2, []auction.TaskID{1}, 2, map[auction.TaskID]float64{1: 0.4}),
+		auction.NewBid(3, []auction.TaskID{1}, 8, map[auction.TaskID]float64{1: 0.6}),
+	}
+	a, err := auction.New(tasks, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Greedy(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Iterations[0].Winner != 1 {
+		t.Errorf("first winner = bid %d, want 1 (user 2)", sol.Iterations[0].Winner)
+	}
+}
+
+func TestGreedyInfeasible(t *testing.T) {
+	tasks := []auction.Task{{ID: 1, Requirement: 0.99}}
+	bids := []auction.Bid{
+		auction.NewBid(1, []auction.TaskID{1}, 1, map[auction.TaskID]float64{1: 0.1}),
+	}
+	a, err := auction.New(tasks, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Greedy(a); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestGreedyMonotoneInContribution(t *testing.T) {
+	// Lemma 2: a selected user reporting higher contributions stays selected.
+	rng := stats.NewRand(32)
+	for trial := 0; trial < 60; trial++ {
+		a := randomAuction(rng, 5+rng.Intn(15), 2+rng.Intn(6), 4, 0.7)
+		sol, err := Greedy(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, winner := range sol.Selected {
+			bid := a.Bids[winner]
+			boosted := make(map[auction.TaskID]float64, len(bid.PoS))
+			for id, p := range bid.PoS {
+				boosted[id] = p + (1-p)*rng.Float64()*0.9
+			}
+			a2, err := a.WithBid(winner, auction.NewBid(bid.User, bid.Tasks, bid.Cost, boosted))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol2, err := Greedy(a2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sol2.Contains(winner) {
+				t.Fatalf("trial %d: winner %d dropped after raising PoS", trial, winner)
+			}
+		}
+	}
+}
+
+func TestExhaustiveSmall(t *testing.T) {
+	rng := stats.NewRand(33)
+	a := randomAuction(rng, 8, 3, 3, 0.7)
+	sol, err := Exhaustive(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.CoveredBy(sol.Selected, FeasibilityTol) {
+		t.Error("exhaustive solution infeasible")
+	}
+	greedy, err := Greedy(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost > greedy.Cost+1e-9 {
+		t.Errorf("exhaustive %g worse than greedy %g", sol.Cost, greedy.Cost)
+	}
+}
+
+func TestExhaustiveRefusesLarge(t *testing.T) {
+	rng := stats.NewRand(34)
+	a := randomAuction(rng, 25, 3, 3, 0.7)
+	if _, err := Exhaustive(a); err == nil {
+		t.Error("25 bids should exceed the exhaustive limit")
+	}
+}
+
+func TestBnBMatchesExhaustive(t *testing.T) {
+	rng := stats.NewRand(35)
+	for trial := 0; trial < 60; trial++ {
+		a := randomAuction(rng, 4+rng.Intn(10), 2+rng.Intn(5), 4, 0.75)
+		res, err := BnB(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact {
+			t.Fatalf("trial %d: BnB not exact on a small instance", trial)
+		}
+		ex, err := Exhaustive(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Solution.Cost-ex.Cost) > 1e-9 {
+			t.Fatalf("trial %d: BnB %g != exhaustive %g", trial, res.Solution.Cost, ex.Cost)
+		}
+		if !a.CoveredBy(res.Solution.Selected, FeasibilityTol) {
+			t.Fatalf("trial %d: BnB solution infeasible", trial)
+		}
+	}
+}
+
+func TestBnBBudgetExhaustionReturnsIncumbent(t *testing.T) {
+	rng := stats.NewRand(36)
+	a := randomAuction(rng, 40, 10, 6, 0.8)
+	res, err := BnB(a, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Error("budget of 5 nodes cannot prove optimality at n = 40")
+	}
+	if !a.CoveredBy(res.Solution.Selected, FeasibilityTol) {
+		t.Error("incumbent infeasible")
+	}
+	greedy, err := Greedy(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Cost > greedy.Cost+1e-9 {
+		t.Error("incumbent worse than the greedy seed")
+	}
+}
+
+func TestGreedyHGammaBound(t *testing.T) {
+	// Theorem 5 on exactly discretized instances: greedy ≤ H(γ)·OPT where
+	// γ = max_i (effective contribution in Δq units).
+	rng := stats.NewRand(37)
+	const unit = 0.05
+	for trial := 0; trial < 40; trial++ {
+		a := discretizedAuction(rng, 4+rng.Intn(8), 1+rng.Intn(4), unit)
+		greedy, err := Greedy(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Exhaustive(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := a.Requirements()
+		gamma := 0.0
+		for _, bid := range a.Bids {
+			if eff := EffectiveContribution(bid, full); eff > gamma {
+				gamma = eff
+			}
+		}
+		bound := stats.HarmonicCeil(gamma/unit) * opt.Cost
+		if greedy.Cost > bound+1e-6 {
+			t.Fatalf("trial %d: greedy %g exceeds H(γ)·OPT %g", trial, greedy.Cost, bound)
+		}
+	}
+}
+
+func TestMinimal(t *testing.T) {
+	rng := stats.NewRand(38)
+	a := randomAuction(rng, 20, 5, 4, 0.8)
+	all := make([]int, len(a.Bids))
+	for i := range all {
+		all[i] = i
+	}
+	minimal := Minimal(a, all)
+	if !a.CoveredBy(minimal, FeasibilityTol) {
+		t.Fatal("minimal cover infeasible")
+	}
+	if len(minimal) >= len(all) {
+		t.Errorf("minimal did not shrink the full set (%d of %d)", len(minimal), len(all))
+	}
+	for k := range minimal {
+		rest := make([]int, 0, len(minimal)-1)
+		rest = append(rest, minimal[:k]...)
+		rest = append(rest, minimal[k+1:]...)
+		if a.CoveredBy(rest, FeasibilityTol) {
+			t.Errorf("member %d is redundant", minimal[k])
+		}
+	}
+}
+
+func TestSolutionContains(t *testing.T) {
+	s := Solution{Selected: []int{2, 5}}
+	if !s.Contains(2) || !s.Contains(5) || s.Contains(3) {
+		t.Error("Contains wrong")
+	}
+}

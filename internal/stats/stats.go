@@ -1,0 +1,327 @@
+// Package stats provides the small numerical toolkit the rest of the
+// repository builds on: seeded random sampling from the distributions used in
+// the paper's evaluation (normal, uniform, Zipf), empirical distribution
+// summaries (CDF, PDF histograms), harmonic numbers for the H(γ)
+// approximation bound, and streaming summary statistics.
+//
+// Every sampling helper takes an explicit *rand.Rand so that experiments are
+// reproducible bit-for-bit for a fixed seed; there is no package-level
+// mutable randomness.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrEmptySample is returned by summaries that need at least one observation.
+var ErrEmptySample = errors.New("stats: empty sample")
+
+// NewRand returns a deterministic random source for the given seed.
+//
+// It is a trivial wrapper around math/rand, kept as a single point of control
+// so tests and experiments construct sources uniformly.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Normal samples from a normal distribution with the given mean and standard
+// deviation.
+func Normal(rng *rand.Rand, mean, stddev float64) float64 {
+	return rng.NormFloat64()*stddev + mean
+}
+
+// NormalPositive samples from a normal distribution truncated to strictly
+// positive values by resampling. It is used for user costs, which the model
+// requires to be positive. The floor guards against pathological parameters:
+// values below floor are rejected as well.
+func NormalPositive(rng *rand.Rand, mean, stddev, floor float64) float64 {
+	if floor <= 0 {
+		floor = math.SmallestNonzeroFloat64
+	}
+	for {
+		v := Normal(rng, mean, stddev)
+		if v >= floor {
+			return v
+		}
+	}
+}
+
+// UniformInt samples an integer uniformly from the inclusive range [lo, hi].
+func UniformInt(rng *rand.Rand, lo, hi int) int {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// Uniform samples a float64 uniformly from [lo, hi).
+func Uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	switch {
+	case p <= 0:
+		return false
+	case p >= 1:
+		return true
+	default:
+		return rng.Float64() < p
+	}
+}
+
+// Zipf holds a discrete Zipf-like distribution over ranks 0..n-1 with
+// exponent s, used by the trace generator to skew trip destinations toward
+// hotspot cells.
+type Zipf struct {
+	cum []float64 // cumulative weights, cum[len-1] == total mass
+}
+
+// NewZipf builds a Zipf distribution over n ranks with exponent s > 0.
+// Rank r has weight 1/(r+1)^s.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: zipf size must be positive, got %d", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("stats: zipf exponent must be positive, got %g", s)
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += math.Pow(float64(r+1), -s)
+		cum[r] = total
+	}
+	return &Zipf{cum: cum}, nil
+}
+
+// Sample draws a rank in [0, n) with Zipf-skewed probability.
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64() * z.cum[len(z.cum)-1]
+	// The cumulative array is sorted, so binary search finds the rank.
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// N reports the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Harmonic returns the n-th harmonic number H(n) = 1 + 1/2 + ... + 1/n.
+// H(0) is 0 by convention. Used for the greedy set-cover approximation bound.
+func Harmonic(n int) float64 {
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// HarmonicCeil returns H(⌈x⌉) for a fractional argument, matching the
+// paper's H(γ) where γ is a count of contribution units.
+func HarmonicCeil(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return Harmonic(int(math.Ceil(x)))
+}
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmptySample
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s, nil
+}
+
+// Accumulator implements Welford's streaming mean/variance. The zero value
+// is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N reports the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean reports the running mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance reports the running sample variance (n-1 denominator; 0 when
+// fewer than two observations have been added).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std reports the running sample standard deviation.
+func (a *Accumulator) Std() float64 { return math.Sqrt(a.Variance()) }
+
+// ECDF is an empirical cumulative distribution function over a fixed sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an empirical CDF from xs. The input is copied.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmptySample
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}, nil
+}
+
+// At reports the fraction of the sample ≤ x.
+func (e *ECDF) At(x float64) float64 {
+	// First index with value > x.
+	idx := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Quantile reports the smallest sample value v with At(v) ≥ p, for
+// p in (0, 1]. Quantile(1) is the maximum.
+func (e *ECDF) Quantile(p float64) float64 {
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	if p >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(e.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return e.sorted[idx]
+}
+
+// Points returns the (x, F(x)) step points of the CDF, one per observation,
+// suitable for plotting Fig. 6-style curves.
+func (e *ECDF) Points() ([]float64, []float64) {
+	xs := append([]float64(nil), e.sorted...)
+	ys := make([]float64, len(xs))
+	for i := range xs {
+		ys[i] = float64(i+1) / float64(len(xs))
+	}
+	return xs, ys
+}
+
+// Histogram is a fixed-width binned density estimate over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given number of equal-width bins
+// spanning [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bin, got %d", bins)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: histogram range [%g, %g) is empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records an observation. Values outside [Lo, Hi) clamp to the first or
+// last bin so no mass is silently dropped.
+func (h *Histogram) Add(x float64) {
+	bin := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(h.Counts) {
+		bin = len(h.Counts) - 1
+	}
+	h.Counts[bin]++
+	h.total++
+}
+
+// Total reports the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Density returns the normalized probability density of each bin
+// (fractions integrate to one over [Lo, Hi)).
+func (h *Histogram) Density() []float64 {
+	d := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return d
+	}
+	binWidth := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		d[i] = float64(c) / float64(h.total) / binWidth
+	}
+	return d
+}
+
+// Fractions returns the fraction of observations in each bin.
+func (h *Histogram) Fractions() []float64 {
+	f := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return f
+	}
+	for i, c := range h.Counts {
+		f[i] = float64(c) / float64(h.total)
+	}
+	return f
+}
+
+// BinCenters returns the center x-coordinate of each bin, for plotting.
+func (h *Histogram) BinCenters() []float64 {
+	centers := make([]float64, len(h.Counts))
+	binWidth := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i := range centers {
+		centers[i] = h.Lo + binWidth*(float64(i)+0.5)
+	}
+	return centers
+}

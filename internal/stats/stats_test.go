@@ -1,0 +1,394 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Float64(), b.Float64(); av != bv {
+			t.Fatalf("draw %d differs: %g vs %g", i, av, bv)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := NewRand(1)
+	var acc Accumulator
+	for i := 0; i < 200000; i++ {
+		acc.Add(Normal(rng, 15, math.Sqrt(5)))
+	}
+	if got := acc.Mean(); math.Abs(got-15) > 0.05 {
+		t.Errorf("mean = %g, want ≈ 15", got)
+	}
+	if got := acc.Variance(); math.Abs(got-5) > 0.15 {
+		t.Errorf("variance = %g, want ≈ 5", got)
+	}
+}
+
+func TestNormalPositiveRespectsFloor(t *testing.T) {
+	rng := NewRand(2)
+	for i := 0; i < 10000; i++ {
+		if v := NormalPositive(rng, 1, 5, 0.5); v < 0.5 {
+			t.Fatalf("sample %g below floor", v)
+		}
+	}
+}
+
+func TestNormalPositiveDefaultFloor(t *testing.T) {
+	rng := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if v := NormalPositive(rng, 10, 1, 0); v <= 0 {
+			t.Fatalf("sample %g not positive", v)
+		}
+	}
+}
+
+func TestUniformIntRange(t *testing.T) {
+	rng := NewRand(4)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := UniformInt(rng, 10, 20)
+		if v < 10 || v > 20 {
+			t.Fatalf("value %d out of [10, 20]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 11 {
+		t.Errorf("saw %d distinct values, want all 11", len(seen))
+	}
+}
+
+func TestUniformIntSwappedBounds(t *testing.T) {
+	rng := NewRand(5)
+	for i := 0; i < 100; i++ {
+		if v := UniformInt(rng, 20, 10); v < 10 || v > 20 {
+			t.Fatalf("value %d out of [10, 20]", v)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := NewRand(6)
+	for i := 0; i < 10000; i++ {
+		if v := Uniform(rng, 0.5, 0.9); v < 0.5 || v >= 0.9 {
+			t.Fatalf("value %g out of [0.5, 0.9)", v)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	rng := NewRand(7)
+	for i := 0; i < 100; i++ {
+		if Bernoulli(rng, 0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !Bernoulli(rng, 1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	rng := NewRand(8)
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if Bernoulli(rng, 0.3) {
+			hits++
+		}
+	}
+	if f := float64(hits) / trials; math.Abs(f-0.3) > 0.01 {
+		t.Errorf("frequency = %g, want ≈ 0.3", f)
+	}
+}
+
+func TestNewZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("NewZipf(0, 1) should fail")
+	}
+	if _, err := NewZipf(10, 0); err == nil {
+		t.Error("NewZipf(10, 0) should fail")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Error("NewZipf(10, -1) should fail")
+	}
+}
+
+func TestZipfSkewsTowardLowRanks(t *testing.T) {
+	z, err := NewZipf(100, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.N() != 100 {
+		t.Fatalf("N = %d, want 100", z.N())
+	}
+	rng := NewRand(9)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		r := z.Sample(rng)
+		if r < 0 || r >= 100 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("rank 0 count %d not above rank 50 count %d", counts[0], counts[50])
+	}
+	if counts[0] <= counts[99] {
+		t.Errorf("rank 0 count %d not above rank 99 count %d", counts[0], counts[99])
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0}, {1, 1}, {2, 1.5}, {3, 1.5 + 1.0/3}, {4, 1.5 + 1.0/3 + 0.25},
+	}
+	for _, c := range cases {
+		if got := Harmonic(c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Harmonic(%d) = %g, want %g", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicCeil(t *testing.T) {
+	if got := HarmonicCeil(-1); got != 0 {
+		t.Errorf("HarmonicCeil(-1) = %g, want 0", got)
+	}
+	if got := HarmonicCeil(2.3); math.Abs(got-Harmonic(3)) > 1e-12 {
+		t.Errorf("HarmonicCeil(2.3) = %g, want H(3)", got)
+	}
+	if got := HarmonicCeil(3); math.Abs(got-Harmonic(3)) > 1e-12 {
+		t.Errorf("HarmonicCeil(3) = %g, want H(3)", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmptySample {
+		t.Errorf("empty sample error = %v, want ErrEmptySample", err)
+	}
+	s, err := Summarize([]float64{4, 2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || s.Mean != 4 || s.Min != 2 || s.Max != 6 || s.Median != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Errorf("std = %g, want 2", s.Std)
+	}
+	s2, err := Summarize([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Median != 2.5 {
+		t.Errorf("even-length median = %g, want 2.5", s2.Median)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Std != 0 || s.Mean != 7 || s.Median != 7 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	rng := NewRand(10)
+	xs := make([]float64, 1000)
+	var acc Accumulator
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 3
+		acc.Add(xs[i])
+	}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc.Mean()-s.Mean) > 1e-9 {
+		t.Errorf("mean mismatch: %g vs %g", acc.Mean(), s.Mean)
+	}
+	if math.Abs(acc.Std()-s.Std) > 1e-9 {
+		t.Errorf("std mismatch: %g vs %g", acc.Std(), s.Std)
+	}
+	if acc.N() != s.N {
+		t.Errorf("n mismatch: %d vs %d", acc.N(), s.N)
+	}
+}
+
+func TestAccumulatorZeroValue(t *testing.T) {
+	var acc Accumulator
+	if acc.Mean() != 0 || acc.Variance() != 0 || acc.N() != 0 {
+		t.Errorf("zero accumulator not zero: %+v", acc)
+	}
+	acc.Add(5)
+	if acc.Variance() != 0 {
+		t.Errorf("variance after one sample = %g, want 0", acc.Variance())
+	}
+}
+
+func TestECDF(t *testing.T) {
+	if _, err := NewECDF(nil); err != ErrEmptySample {
+		t.Errorf("empty ECDF error = %v", err)
+	}
+	e, err := NewECDF([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 1.0 / 3}, {1.5, 1.0 / 3}, {2, 2.0 / 3}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e, err := NewECDF([]float64{10, 20, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {0.25, 10}, {0.5, 20}, {0.75, 30}, {1, 40}, {0.3, 20},
+	}
+	for _, c := range cases {
+		if got := e.Quantile(c.p); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e, err := NewECDF([]float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := e.Points()
+	if len(xs) != 2 || len(ys) != 2 {
+		t.Fatalf("points lengths %d, %d", len(xs), len(ys))
+	}
+	if !sort.Float64sAreSorted(xs) {
+		t.Error("x points not sorted")
+	}
+	if ys[len(ys)-1] != 1 {
+		t.Errorf("last y = %g, want 1", ys[len(ys)-1])
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	rng := NewRand(11)
+	f := func(seed int64) bool {
+		r := NewRand(seed)
+		xs := make([]float64, 1+r.Intn(50))
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		e, err := NewECDF(xs)
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for x := -3.0; x <= 3.0; x += 0.25 {
+			v := e.At(x)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+	if _, err := NewHistogram(1, 1, 5); err == nil {
+		t.Error("empty range should fail")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(0.05) // bin 0
+	h.Add(0.45) // bin 2
+	h.Add(0.99) // bin 4
+	h.Add(-3)   // clamps to bin 0
+	h.Add(7)    // clamps to bin 4
+	want := []int{2, 0, 1, 0, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d count = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d, want 5", h.Total())
+	}
+}
+
+func TestHistogramFractionsAndDensity(t *testing.T) {
+	h, err := NewHistogram(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty histogram: all zeros, no NaN.
+	for _, f := range h.Fractions() {
+		if f != 0 {
+			t.Error("empty histogram has nonzero fraction")
+		}
+	}
+	for _, d := range h.Density() {
+		if d != 0 {
+			t.Error("empty histogram has nonzero density")
+		}
+	}
+	for i := 0; i < 8; i++ {
+		h.Add(float64(i) / 8)
+	}
+	fr := h.Fractions()
+	sum := 0.0
+	for _, f := range fr {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("fractions sum to %g, want 1", sum)
+	}
+	// Density integrates to 1: sum(density_i * width_i) == 1.
+	integral := 0.0
+	for _, d := range h.Density() {
+		integral += d * 0.25
+	}
+	if math.Abs(integral-1) > 1e-12 {
+		t.Errorf("density integrates to %g, want 1", integral)
+	}
+}
+
+func TestHistogramBinCenters(t *testing.T) {
+	h, err := NewHistogram(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers := h.BinCenters()
+	if centers[0] != 0.25 || centers[1] != 0.75 {
+		t.Errorf("centers = %v", centers)
+	}
+}

@@ -1,0 +1,88 @@
+package strategic
+
+import (
+	"errors"
+	"fmt"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/knapsack"
+	"crowdsense/internal/mechanism"
+)
+
+// NaiveEC is the cautionary single-task baseline: the same FPTAS winner
+// determination as the real mechanism, but the execution-contingent reward
+// is priced at each winner's DECLARED PoS p̂ instead of her critical bid:
+//
+//	success: (1−p̂)·α + c,   failure: −p̂·α + c.
+//
+// A truthful winner's expected utility is exactly zero, so the scheme looks
+// innocuous — but a winner who shades her declaration down to just above
+// the critical bid keeps winning and pockets (p_true − p̂)·α. The strategic
+// harness quantifies that rent; the paper's critical-bid pricing removes
+// it.
+type NaiveEC struct {
+	Epsilon float64
+	Alpha   float64
+}
+
+var _ mechanism.Mechanism = (*NaiveEC)(nil)
+
+// Name implements mechanism.Mechanism.
+func (m *NaiveEC) Name() string { return "single-task naive-EC (declared-PoS priced)" }
+
+// Run executes winner determination and declared-PoS pricing.
+func (m *NaiveEC) Run(a *auction.Auction) (*mechanism.Outcome, error) {
+	if !a.SingleTask() {
+		return nil, mechanism.ErrNotSingleTask
+	}
+	alpha := m.Alpha
+	if alpha == 0 {
+		alpha = mechanism.DefaultAlpha
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("strategic: reward scale %g must be positive", alpha)
+	}
+	task := a.Tasks[0]
+	costs := make([]float64, len(a.Bids))
+	contribs := make([]float64, len(a.Bids))
+	for i, bid := range a.Bids {
+		costs[i] = bid.Cost
+		contribs[i] = bid.Contribution(task.ID)
+	}
+	in, err := knapsack.NewInstance(costs, contribs, task.RequiredContribution())
+	if err != nil {
+		return nil, err
+	}
+	eps := m.Epsilon
+	if eps <= 0 {
+		eps = knapsack.DefaultEpsilon
+	}
+	sol, err := knapsack.SolveFPTAS(in, eps)
+	if err != nil {
+		if errors.Is(err, knapsack.ErrInfeasible) {
+			return nil, fmt.Errorf("%w: %v", mechanism.ErrInfeasible, err)
+		}
+		return nil, err
+	}
+	out := &mechanism.Outcome{
+		Mechanism:  m.Name(),
+		Selected:   sol.Selected,
+		SocialCost: sol.Cost,
+		Awards:     make([]mechanism.Award, len(sol.Selected)),
+		Alpha:      alpha,
+	}
+	for slot, winner := range sol.Selected {
+		bid := a.Bids[winner]
+		declared := bid.PoS[task.ID]
+		out.Awards[slot] = mechanism.Award{
+			BidIndex:             winner,
+			User:                 bid.User,
+			CriticalContribution: auction.Contribution(declared), // priced at the declaration
+			CriticalPoS:          declared,
+			RewardOnSuccess:      (1-declared)*alpha + bid.Cost,
+			RewardOnFailure:      -declared*alpha + bid.Cost,
+			ExpectedUtility:      0, // truthful winners break exactly even
+		}
+	}
+	return out, nil
+}

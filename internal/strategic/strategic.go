@@ -1,0 +1,149 @@
+// Package strategic measures how manipulable a mechanism is: it computes
+// each user's best response over a grid of misreports (scalings of her true
+// contribution vector) and reports her regret — the utility she forgoes by
+// bidding truthfully. A strategy-proof mechanism has (near-)zero regret for
+// every user; a manipulable one leaves money on the table for liars.
+//
+// The package also ships NaiveEC, a deliberately broken single-task
+// mechanism that prices the execution-contingent contract at the DECLARED
+// PoS instead of the critical bid. It satisfies individual rationality for
+// truthful users (utility exactly zero) but pays informational rent to
+// anyone who shades her declaration down toward the critical bid — the
+// counterfactual that motivates the paper's critical-bid pricing.
+package strategic
+
+import (
+	"errors"
+	"fmt"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/mechanism"
+)
+
+// Report is one evaluated declaration.
+type Report struct {
+	Scale   float64 // contribution scaling of the true type (1 = truthful)
+	Won     bool
+	Utility float64 // TRUE expected utility under the declaration
+}
+
+// Regret is a user's best-response analysis.
+type Regret struct {
+	User      auction.UserID
+	Truthful  Report
+	Best      Report
+	Advantage float64 // Best.Utility − Truthful.Utility, ≥ 0 by construction
+}
+
+// DefaultScales is the misreport grid: deflations and inflations of the
+// true contribution vector.
+var DefaultScales = []float64{0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 3.0}
+
+// trueUtility evaluates a user's TRUE expected utility for the contract (if
+// any) an outcome grants her: success means completing at least one task of
+// her true set (the single-task case degenerates to the task itself).
+func trueUtility(out *mechanism.Outcome, bidIndex int, trueBid auction.Bid) float64 {
+	aw, ok := out.AwardFor(bidIndex)
+	if !ok {
+		return 0
+	}
+	pAny := trueBid.CombinedPoS()
+	return pAny*aw.RewardOnSuccess + (1-pAny)*aw.RewardOnFailure - trueBid.Cost
+}
+
+// scaledBid returns the bid declaring s·(q^j)_j in contribution space.
+func scaledBid(trueBid auction.Bid, s float64) auction.Bid {
+	pos := make(map[auction.TaskID]float64, len(trueBid.PoS))
+	for id, p := range trueBid.PoS {
+		pos[id] = auction.PoS(s * auction.Contribution(p))
+	}
+	return auction.NewBid(trueBid.User, trueBid.Tasks, trueBid.Cost, pos)
+}
+
+// BestResponse evaluates every scale in the grid for one user (others
+// fixed and truthful) and returns her regret analysis. Infeasible auctions
+// after a deflation count as losing (utility 0). A nil or empty grid uses
+// DefaultScales.
+func BestResponse(m mechanism.Mechanism, a *auction.Auction, bidIndex int, scales []float64) (Regret, error) {
+	if bidIndex < 0 || bidIndex >= len(a.Bids) {
+		return Regret{}, fmt.Errorf("strategic: bid index %d out of range", bidIndex)
+	}
+	if len(scales) == 0 {
+		scales = DefaultScales
+	}
+	trueBid := a.Bids[bidIndex]
+
+	evaluate := func(s float64) (Report, error) {
+		declared := a
+		if s != 1.0 {
+			mod, err := a.WithBid(bidIndex, scaledBid(trueBid, s))
+			if err != nil {
+				return Report{}, err
+			}
+			declared = mod
+		}
+		out, err := m.Run(declared)
+		if err != nil {
+			if errors.Is(err, mechanism.ErrInfeasible) {
+				return Report{Scale: s}, nil // deflation broke coverage: she loses
+			}
+			return Report{}, err
+		}
+		return Report{
+			Scale:   s,
+			Won:     out.Winner(bidIndex),
+			Utility: trueUtility(out, bidIndex, trueBid),
+		}, nil
+	}
+
+	truthful, err := evaluate(1.0)
+	if err != nil {
+		return Regret{}, err
+	}
+	best := truthful
+	for _, s := range scales {
+		if s == 1.0 {
+			continue
+		}
+		rep, err := evaluate(s)
+		if err != nil {
+			return Regret{}, err
+		}
+		if rep.Utility > best.Utility {
+			best = rep
+		}
+	}
+	return Regret{
+		User:      trueBid.User,
+		Truthful:  truthful,
+		Best:      best,
+		Advantage: best.Utility - truthful.Utility,
+	}, nil
+}
+
+// PopulationRegret runs BestResponse for every bidder and summarizes: the
+// mean and maximum advantage a liar can extract.
+type PopulationRegret struct {
+	PerUser []Regret
+	Mean    float64
+	Max     float64
+}
+
+// Population analyzes every user of the auction under the mechanism.
+func Population(m mechanism.Mechanism, a *auction.Auction, scales []float64) (PopulationRegret, error) {
+	out := PopulationRegret{PerUser: make([]Regret, 0, len(a.Bids))}
+	total := 0.0
+	for i := range a.Bids {
+		r, err := BestResponse(m, a, i, scales)
+		if err != nil {
+			return PopulationRegret{}, fmt.Errorf("strategic: user %d: %w", a.Bids[i].User, err)
+		}
+		out.PerUser = append(out.PerUser, r)
+		total += r.Advantage
+		if r.Advantage > out.Max {
+			out.Max = r.Advantage
+		}
+	}
+	out.Mean = total / float64(len(a.Bids))
+	return out, nil
+}

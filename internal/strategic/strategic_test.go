@@ -1,0 +1,134 @@
+package strategic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/stats"
+)
+
+const taskID auction.TaskID = 1
+
+func randomSingle(rng *rand.Rand, n int) *auction.Auction {
+	tasks := []auction.Task{{ID: taskID, Requirement: 0.8}}
+	for {
+		bids := make([]auction.Bid, n)
+		for i := range bids {
+			bids[i] = auction.NewBid(auction.UserID(i+1), []auction.TaskID{taskID},
+				stats.NormalPositive(rng, 15, math.Sqrt(5), 0.5),
+				map[auction.TaskID]float64{taskID: stats.Uniform(rng, 0.1, 0.5)})
+		}
+		a, err := auction.New(tasks, bids)
+		if err != nil {
+			panic(err)
+		}
+		if a.Feasible(1e-9) {
+			return a
+		}
+	}
+}
+
+func TestBestResponseValidation(t *testing.T) {
+	a := randomSingle(stats.NewRand(1), 8)
+	m := &mechanism.SingleTask{Epsilon: 0.5, Alpha: 10}
+	if _, err := BestResponse(m, a, -1, nil); err == nil {
+		t.Error("negative index should fail")
+	}
+	if _, err := BestResponse(m, a, 99, nil); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+}
+
+func TestTruthfulMechanismHasNoRegret(t *testing.T) {
+	rng := stats.NewRand(2)
+	m := &mechanism.SingleTask{Epsilon: 0.5, Alpha: 10}
+	for trial := 0; trial < 5; trial++ {
+		a := randomSingle(rng, 8+rng.Intn(6))
+		pop, err := Population(m, a, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pop.Max > 1e-4 {
+			t.Fatalf("trial %d: strategy-proof mechanism leaks regret %g", trial, pop.Max)
+		}
+		if pop.Mean < 0 {
+			t.Fatalf("trial %d: negative mean regret %g", trial, pop.Mean)
+		}
+		if len(pop.PerUser) != len(a.Bids) {
+			t.Fatalf("trial %d: %d analyses for %d users", trial, len(pop.PerUser), len(a.Bids))
+		}
+	}
+}
+
+func TestNaiveECRejectsMultiTask(t *testing.T) {
+	tasks := []auction.Task{{ID: 1, Requirement: 0.5}, {ID: 2, Requirement: 0.5}}
+	bids := []auction.Bid{auction.NewBid(1, []auction.TaskID{1, 2}, 3,
+		map[auction.TaskID]float64{1: 0.7, 2: 0.7})}
+	a, err := auction.New(tasks, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&NaiveEC{}).Run(a); err == nil {
+		t.Error("multi-task auction should be rejected")
+	}
+}
+
+func TestNaiveECTruthfulBreaksEven(t *testing.T) {
+	rng := stats.NewRand(3)
+	a := randomSingle(rng, 10)
+	m := &NaiveEC{Epsilon: 0.5, Alpha: 10}
+	out, err := m.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, aw := range out.Awards {
+		truthful := trueUtility(out, aw.BidIndex, a.Bids[aw.BidIndex])
+		if math.Abs(truthful) > 1e-9 {
+			t.Errorf("truthful winner %d utility %g, want 0", aw.BidIndex, truthful)
+		}
+	}
+}
+
+func TestNaiveECIsManipulable(t *testing.T) {
+	// The point of the baseline: across random instances, some user can
+	// extract strictly positive rent by shading her declared PoS.
+	rng := stats.NewRand(4)
+	m := &NaiveEC{Epsilon: 0.5, Alpha: 10}
+	sawRent := false
+	for trial := 0; trial < 8 && !sawRent; trial++ {
+		a := randomSingle(rng, 10)
+		pop, err := Population(m, a, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pop.Max > 0.05 {
+			sawRent = true
+			// The rent comes from deflation: the best response scale of the
+			// top extractor is below 1.
+			for _, r := range pop.PerUser {
+				if r.Advantage == pop.Max && r.Best.Scale >= 1 {
+					t.Errorf("max rent extracted by inflation (scale %g)?", r.Best.Scale)
+				}
+			}
+		}
+	}
+	if !sawRent {
+		t.Error("naive EC pricing never left rent on the table across 8 instances")
+	}
+}
+
+func TestScaledBid(t *testing.T) {
+	bid := auction.NewBid(1, []auction.TaskID{taskID}, 5,
+		map[auction.TaskID]float64{taskID: 0.5})
+	half := scaledBid(bid, 0.5)
+	wantQ := 0.5 * auction.Contribution(0.5)
+	if got := half.Contribution(taskID); math.Abs(got-wantQ) > 1e-12 {
+		t.Errorf("scaled contribution %g, want %g", got, wantQ)
+	}
+	if half.Cost != 5 || half.User != 1 {
+		t.Error("scaling changed identity fields")
+	}
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"crowdsense/internal/geo"
+)
+
+// csvHeader is the column layout of the interchange format, mirroring the
+// fields of the original data set (taxi ID, timestamp, location, record
+// kind).
+var csvHeader = []string{"taxi_id", "time", "cell", "kind"}
+
+// WriteCSV encodes events to w in a stable CSV interchange format with an
+// RFC 3339 timestamp column.
+func WriteCSV(w io.Writer, events []Event) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write csv header: %w", err)
+	}
+	record := make([]string, 4)
+	for i, e := range events {
+		record[0] = strconv.Itoa(e.TaxiID)
+		record[1] = e.Time.UTC().Format(time.RFC3339)
+		record[2] = strconv.Itoa(int(e.Cell))
+		record[3] = e.Kind.String()
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("trace: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flush csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV decodes events previously written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv header: %w", err)
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("trace: csv header column %d is %q, want %q", i, header[i], col)
+		}
+	}
+	var events []Event
+	for row := 1; ; row++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read csv row %d: %w", row, err)
+		}
+		e, err := parseRecord(record)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: %w", row, err)
+		}
+		events = append(events, e)
+	}
+}
+
+func parseRecord(record []string) (Event, error) {
+	id, err := strconv.Atoi(record[0])
+	if err != nil {
+		return Event{}, fmt.Errorf("taxi id %q: %w", record[0], err)
+	}
+	at, err := time.Parse(time.RFC3339, record[1])
+	if err != nil {
+		return Event{}, fmt.Errorf("time %q: %w", record[1], err)
+	}
+	cell, err := strconv.Atoi(record[2])
+	if err != nil {
+		return Event{}, fmt.Errorf("cell %q: %w", record[2], err)
+	}
+	var kind EventKind
+	switch record[3] {
+	case Pickup.String():
+		kind = Pickup
+	case Dropoff.String():
+		kind = Dropoff
+	default:
+		return Event{}, fmt.Errorf("unknown kind %q", record[3])
+	}
+	return Event{TaxiID: id, Time: at, Cell: geo.Cell(cell), Kind: kind}, nil
+}

@@ -1,0 +1,467 @@
+// Package trace generates synthetic city-scale taxi traces that stand in for
+// the proprietary Shanghai taxi data set used by the paper's evaluation.
+//
+// The paper consumes the data set only through (taxi ID, timestamp, cell)
+// pickup/drop-off events, from which it fits a per-taxi Markov mobility
+// model. The generator therefore reproduces the statistical features that
+// the downstream evaluation depends on rather than raw GPS fidelity:
+//
+//   - each taxi roams a limited personal territory of cells (so learned
+//     transition matrices are small and sparse, like real taxis that work a
+//     few districts);
+//   - destination choice is skewed toward city hotspots (Zipf popularity)
+//     and decays with trip distance (gravity model), so per-origin next-cell
+//     distributions are spread over many cells with individually low
+//     probabilities — matching the paper's Fig. 4 observation that most
+//     predicted PoS values fall in [0, 0.2];
+//   - yet the distributions are predictable enough that a top-k next-cell
+//     predictor reaches high accuracy for moderate k (Fig. 3).
+//
+// The ground-truth per-taxi kernels are retained on the generated Log so
+// tests can score the mobility learner against the true process.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"crowdsense/internal/geo"
+	"crowdsense/internal/stats"
+)
+
+// EventKind distinguishes passenger pickups from drop-offs, mirroring the
+// two record types in the taxi data set.
+type EventKind int
+
+// Event kinds. Enums start at 1 so the zero value is invalid.
+const (
+	Pickup EventKind = iota + 1
+	Dropoff
+)
+
+// String renders the event kind for logs and CSV.
+func (k EventKind) String() string {
+	switch k {
+	case Pickup:
+		return "pickup"
+	case Dropoff:
+		return "dropoff"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one record of the trace: a taxi picked up or dropped off a
+// passenger at a cell at a point in time.
+type Event struct {
+	TaxiID int
+	Time   time.Time
+	Cell   geo.Cell
+	Kind   EventKind
+}
+
+// Config parameterizes the generator. NewGenerator validates it.
+type Config struct {
+	Rows, Cols int     // city grid dimensions
+	CellKm     float64 // cell edge length (paper: 2 km)
+
+	Taxis int // population size (paper: 1692 taxis)
+	Days  int // observation window (paper: January 2013)
+
+	TripsPerDay int // mean trips per taxi per day
+
+	TerritorySize int // cells a taxi regularly visits ("l locations she often visits")
+
+	Hotspots     int     // number of city hotspot cells
+	ZipfExponent float64 // popularity skew across hotspots
+	DecayKm      float64 // distance decay scale of the gravity model
+
+	Start time.Time // timestamp of the first day (defaults to 2013-01-01)
+
+	// HourlyDemand holds relative trip-demand weights per hour of day; a
+	// zero value (all zeros) means uniform demand across an 18-hour shift.
+	// DefaultConfig installs a two-peak urban profile (morning and evening
+	// rush hours), matching the temporal structure of real taxi data.
+	HourlyDemand [24]float64
+}
+
+// RushHourDemand is the default two-peak urban demand profile: quiet
+// nights, a morning peak around 8–9, a sustained afternoon, and an evening
+// peak around 18–19.
+func RushHourDemand() [24]float64 {
+	return [24]float64{
+		0.3, 0.2, 0.15, 0.1, 0.15, 0.3, // 00–05: night lull
+		0.8, 1.6, 2.2, 2.0, 1.3, 1.2, // 06–11: morning rush
+		1.3, 1.2, 1.1, 1.2, 1.4, 1.8, // 12–17: daytime
+		2.3, 2.1, 1.5, 1.1, 0.8, 0.5, // 18–23: evening rush, wind-down
+	}
+}
+
+// DefaultConfig mirrors the paper's setting: a Shanghai-sized grid of
+// 2 km cells and 1692 taxis observed for a month.
+func DefaultConfig() Config {
+	return Config{
+		Rows:          30,
+		Cols:          30,
+		CellKm:        geo.DefaultCellKm,
+		Taxis:         1692,
+		Days:          31,
+		TripsPerDay:   20,
+		TerritorySize: 25,
+		Hotspots:      60,
+		ZipfExponent:  1.1,
+		DecayKm:       8,
+		Start:         time.Date(2013, time.January, 1, 0, 0, 0, 0, time.UTC),
+		HourlyDemand:  RushHourDemand(),
+	}
+}
+
+// Kernel is a per-taxi ground-truth Markov transition kernel over the taxi's
+// territory. Rows index origin territory cells, columns destination
+// territory cells; each row sums to 1.
+type Kernel struct {
+	Territory []geo.Cell // the taxi's cells, sorted ascending
+	index     map[geo.Cell]int
+	Rows      [][]float64 // Rows[i][j] = P(next = Territory[j] | cur = Territory[i])
+}
+
+// IndexOf returns the territory index of c, or -1 if the taxi never visits c.
+func (k *Kernel) IndexOf(c geo.Cell) int {
+	if i, ok := k.index[c]; ok {
+		return i
+	}
+	return -1
+}
+
+// Next samples the next cell given the current cell. The current cell must
+// belong to the territory.
+func (k *Kernel) Next(rng *rand.Rand, cur geo.Cell) (geo.Cell, error) {
+	i := k.IndexOf(cur)
+	if i < 0 {
+		return geo.Invalid, fmt.Errorf("trace: cell %d not in territory", cur)
+	}
+	u := rng.Float64()
+	acc := 0.0
+	row := k.Rows[i]
+	for j, p := range row {
+		acc += p
+		if u < acc {
+			return k.Territory[j], nil
+		}
+	}
+	return k.Territory[len(row)-1], nil
+}
+
+// TopK returns the k most probable next cells from cur under the true
+// kernel, most probable first. Used to score the learner against truth.
+func (k *Kernel) TopK(cur geo.Cell, topK int) []geo.Cell {
+	i := k.IndexOf(cur)
+	if i < 0 || topK <= 0 {
+		return nil
+	}
+	type cellProb struct {
+		cell geo.Cell
+		p    float64
+	}
+	row := k.Rows[i]
+	cps := make([]cellProb, len(row))
+	for j := range row {
+		cps[j] = cellProb{cell: k.Territory[j], p: row[j]}
+	}
+	sort.Slice(cps, func(a, b int) bool {
+		if cps[a].p != cps[b].p {
+			return cps[a].p > cps[b].p
+		}
+		return cps[a].cell < cps[b].cell
+	})
+	if topK > len(cps) {
+		topK = len(cps)
+	}
+	out := make([]geo.Cell, topK)
+	for j := 0; j < topK; j++ {
+		out[j] = cps[j].cell
+	}
+	return out
+}
+
+// Log is a generated trace: the grid, the chronologically ordered events of
+// every taxi, and the ground-truth kernels.
+type Log struct {
+	Grid    *geo.Grid
+	Events  []Event
+	Kernels []*Kernel // indexed by taxi ID
+}
+
+// TaxiEvents returns taxi id's events in chronological order. The returned
+// slice aliases the log; callers must not mutate it.
+func (l *Log) TaxiEvents(id int) []Event {
+	// Events are stored grouped by taxi, each group already chronological.
+	lo := sort.Search(len(l.Events), func(i int) bool { return l.Events[i].TaxiID >= id })
+	hi := sort.Search(len(l.Events), func(i int) bool { return l.Events[i].TaxiID > id })
+	return l.Events[lo:hi]
+}
+
+// Taxis reports the number of taxis in the log.
+func (l *Log) Taxis() int { return len(l.Kernels) }
+
+// Generator produces synthetic trace logs for a validated configuration.
+type Generator struct {
+	cfg     Config
+	grid    *geo.Grid
+	hourCum []float64 // cumulative hourly demand; nil = uniform shift
+}
+
+// NewGenerator validates cfg and returns a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	grid, err := geo.NewGrid(cfg.Rows, cfg.Cols, cfg.CellKm)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Taxis <= 0 {
+		return nil, fmt.Errorf("trace: taxis must be positive, got %d", cfg.Taxis)
+	}
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("trace: days must be positive, got %d", cfg.Days)
+	}
+	if cfg.TripsPerDay <= 0 {
+		return nil, fmt.Errorf("trace: trips per day must be positive, got %d", cfg.TripsPerDay)
+	}
+	if cfg.TerritorySize < 2 {
+		return nil, fmt.Errorf("trace: territory size must be at least 2, got %d", cfg.TerritorySize)
+	}
+	if cfg.TerritorySize > grid.Cells() {
+		return nil, fmt.Errorf("trace: territory size %d exceeds grid cells %d", cfg.TerritorySize, grid.Cells())
+	}
+	if cfg.Hotspots <= 0 || cfg.Hotspots > grid.Cells() {
+		return nil, fmt.Errorf("trace: hotspots must be in [1, %d], got %d", grid.Cells(), cfg.Hotspots)
+	}
+	if cfg.ZipfExponent <= 0 {
+		return nil, fmt.Errorf("trace: zipf exponent must be positive, got %g", cfg.ZipfExponent)
+	}
+	if cfg.DecayKm <= 0 {
+		return nil, fmt.Errorf("trace: decay scale must be positive, got %g km", cfg.DecayKm)
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2013, time.January, 1, 0, 0, 0, 0, time.UTC)
+	}
+	for h, w := range cfg.HourlyDemand {
+		if w < 0 {
+			return nil, fmt.Errorf("trace: hourly demand for hour %d is negative (%g)", h, w)
+		}
+	}
+	return &Generator{cfg: cfg, grid: grid, hourCum: cumulativeDemand(cfg.HourlyDemand)}, nil
+}
+
+// cumulativeDemand converts the hourly profile into a cumulative weight
+// array for sampling; nil means uniform legacy behaviour.
+func cumulativeDemand(demand [24]float64) []float64 {
+	total := 0.0
+	for _, w := range demand {
+		total += w
+	}
+	if total <= 0 {
+		return nil
+	}
+	cum := make([]float64, 24)
+	acc := 0.0
+	for h, w := range demand {
+		acc += w
+		cum[h] = acc
+	}
+	return cum
+}
+
+// sampleSecondOfDay draws a trip start time (seconds since midnight)
+// following the demand profile, uniform within the chosen hour.
+func (g *Generator) sampleSecondOfDay(rng *rand.Rand) int {
+	if g.hourCum == nil {
+		// Legacy uniform 18-hour shift starting at midnight.
+		return rng.Intn(18 * 60 * 60)
+	}
+	u := rng.Float64() * g.hourCum[23]
+	hour := sort.SearchFloat64s(g.hourCum, u)
+	if hour > 23 {
+		hour = 23
+	}
+	return hour*3600 + rng.Intn(3600)
+}
+
+// Grid returns the generator's city grid.
+func (g *Generator) Grid() *geo.Grid { return g.grid }
+
+// Generate produces a full trace log using the given random source.
+func (g *Generator) Generate(rng *rand.Rand) (*Log, error) {
+	hotspots, popularity := g.sampleHotspots(rng)
+	kernels := make([]*Kernel, g.cfg.Taxis)
+	events := make([]Event, 0, g.cfg.Taxis*g.cfg.Days*g.cfg.TripsPerDay*2)
+	for id := 0; id < g.cfg.Taxis; id++ {
+		kernel, err := g.buildKernel(rng, hotspots, popularity)
+		if err != nil {
+			return nil, fmt.Errorf("trace: taxi %d: %w", id, err)
+		}
+		kernels[id] = kernel
+		taxiEvents, err := g.walk(rng, id, kernel)
+		if err != nil {
+			return nil, fmt.Errorf("trace: taxi %d: %w", id, err)
+		}
+		events = append(events, taxiEvents...)
+	}
+	return &Log{Grid: g.grid, Events: events, Kernels: kernels}, nil
+}
+
+// sampleHotspots picks distinct hotspot cells and assigns them Zipf-skewed
+// popularity mass; all remaining cells share a small background popularity.
+func (g *Generator) sampleHotspots(rng *rand.Rand) ([]geo.Cell, map[geo.Cell]float64) {
+	perm := rng.Perm(g.grid.Cells())
+	hotspots := make([]geo.Cell, g.cfg.Hotspots)
+	popularity := make(map[geo.Cell]float64, g.cfg.Hotspots)
+	for i := 0; i < g.cfg.Hotspots; i++ {
+		hotspots[i] = geo.Cell(perm[i])
+		popularity[hotspots[i]] = math.Pow(float64(i+1), -g.cfg.ZipfExponent)
+	}
+	return hotspots, popularity
+}
+
+// buildKernel constructs one taxi's territory and ground-truth transition
+// rows using a gravity model: weight(dest) ∝ popularity(dest) ·
+// exp(−distance/decay), with multiplicative per-taxi noise so taxis differ.
+func (g *Generator) buildKernel(rng *rand.Rand, hotspots []geo.Cell, popularity map[geo.Cell]float64) (*Kernel, error) {
+	territory := g.sampleTerritory(rng, hotspots)
+	idx := make(map[geo.Cell]int, len(territory))
+	for i, c := range territory {
+		idx[c] = i
+	}
+	rows := make([][]float64, len(territory))
+	for i, origin := range territory {
+		row := make([]float64, len(territory))
+		total := 0.0
+		for j, dest := range territory {
+			if dest == origin {
+				continue // a trip always moves to a different cell
+			}
+			pop, ok := popularity[dest]
+			if !ok {
+				pop = 0.02 // background attractiveness of non-hotspot cells
+			}
+			dist := g.grid.ManhattanKm(origin, dest)
+			noise := 0.5 + rng.Float64() // taxi-specific preference jitter
+			w := pop * math.Exp(-dist/g.cfg.DecayKm) * noise
+			row[j] = w
+			total += w
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("degenerate transition row for cell %d", origin)
+		}
+		for j := range row {
+			row[j] /= total
+		}
+		rows[i] = row
+	}
+	return &Kernel{Territory: territory, index: idx, Rows: rows}, nil
+}
+
+// sampleTerritory picks the taxi's home cell and grows a territory around it
+// biased toward hotspots: roughly half the territory is nearby cells, half
+// is hotspot cells the taxi ferries passengers to.
+func (g *Generator) sampleTerritory(rng *rand.Rand, hotspots []geo.Cell) []geo.Cell {
+	home := geo.Cell(rng.Intn(g.grid.Cells()))
+	chosen := map[geo.Cell]bool{home: true}
+
+	// Nearby cells: expanding rings around home until half the quota is met.
+	local := g.cfg.TerritorySize / 2
+	for radius := 1; len(chosen) < 1+local && radius < g.grid.Rows()+g.grid.Cols(); radius++ {
+		ring := g.grid.Neighbors(home, radius)
+		rng.Shuffle(len(ring), func(i, j int) { ring[i], ring[j] = ring[j], ring[i] })
+		for _, c := range ring {
+			if len(chosen) >= 1+local {
+				break
+			}
+			chosen[c] = true
+		}
+	}
+
+	// Hotspots: sampled with rank bias (earlier hotspots are more popular).
+	for len(chosen) < g.cfg.TerritorySize {
+		// Squaring the uniform biases toward low ranks.
+		rank := int(math.Floor(math.Pow(rng.Float64(), 2) * float64(len(hotspots))))
+		if rank >= len(hotspots) {
+			rank = len(hotspots) - 1
+		}
+		chosen[hotspots[rank]] = true
+	}
+
+	territory := make([]geo.Cell, 0, len(chosen))
+	for c := range chosen {
+		territory = append(territory, c)
+	}
+	sort.Slice(territory, func(i, j int) bool { return territory[i] < territory[j] })
+	return territory
+}
+
+// walk simulates one taxi's month of trips over its kernel, emitting a
+// pickup and a drop-off event per trip. The pickup happens where the
+// previous trip ended (drivers cruise near their last drop-off).
+func (g *Generator) walk(rng *rand.Rand, id int, kernel *Kernel) ([]Event, error) {
+	cur := kernel.Territory[rng.Intn(len(kernel.Territory))]
+	events := make([]Event, 0, g.cfg.Days*g.cfg.TripsPerDay*2)
+	const tripSeconds = 15 * 60
+	for day := 0; day < g.cfg.Days; day++ {
+		dayStart := g.cfg.Start.AddDate(0, 0, day)
+		// Poisson-ish trip count: uniform in [0.5x, 1.5x] of the mean.
+		trips := stats.UniformInt(rng, (g.cfg.TripsPerDay+1)/2, g.cfg.TripsPerDay*3/2)
+		if trips <= 0 {
+			continue
+		}
+		// Pickup times follow the hourly demand profile; sorted, then
+		// spaced so a trip completes before the next pickup.
+		seconds := make([]int, trips)
+		for i := range seconds {
+			seconds[i] = g.sampleSecondOfDay(rng)
+		}
+		sort.Ints(seconds)
+		const gap = tripSeconds + 60
+		for i := 1; i < len(seconds); i++ {
+			if seconds[i] < seconds[i-1]+gap {
+				seconds[i] = seconds[i-1] + gap
+			}
+		}
+		// The forward pass may have pushed the tail past midnight; clamp
+		// backwards so every trip finishes within its own day and days stay
+		// chronologically disjoint.
+		maxStart := 24*3600 - gap
+		for i := len(seconds) - 1; i >= 0; i-- {
+			limit := maxStart - (len(seconds)-1-i)*gap
+			if seconds[i] > limit {
+				seconds[i] = limit
+			} else {
+				break
+			}
+		}
+		for _, sec := range seconds {
+			at := dayStart.Add(time.Duration(sec) * time.Second)
+			next, err := kernel.Next(rng, cur)
+			if err != nil {
+				return nil, err
+			}
+			events = append(events, Event{TaxiID: id, Time: at, Cell: cur, Kind: Pickup})
+			events = append(events, Event{TaxiID: id, Time: at.Add(tripSeconds * time.Second), Cell: next, Kind: Dropoff})
+			cur = next
+		}
+	}
+	return events, nil
+}
+
+// HourHistogram tallies pickups per hour of day — the temporal demand
+// diagnostic surfaced by cmd/traceinfo.
+func HourHistogram(events []Event) [24]int {
+	var hist [24]int
+	for _, e := range events {
+		if e.Kind == Pickup {
+			hist[e.Time.Hour()]++
+		}
+	}
+	return hist
+}

@@ -1,0 +1,390 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"crowdsense/internal/geo"
+	"crowdsense/internal/stats"
+)
+
+// smallConfig keeps unit tests fast while exercising every code path.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 10, 10
+	cfg.Taxis = 12
+	cfg.Days = 4
+	cfg.TripsPerDay = 8
+	cfg.TerritorySize = 12
+	cfg.Hotspots = 15
+	return cfg
+}
+
+func generate(t *testing.T, cfg Config, seed int64) *Log {
+	t.Helper()
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := gen.Generate(stats.NewRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero rows", func(c *Config) { c.Rows = 0 }},
+		{"zero cell", func(c *Config) { c.CellKm = 0 }},
+		{"zero taxis", func(c *Config) { c.Taxis = 0 }},
+		{"zero days", func(c *Config) { c.Days = 0 }},
+		{"zero trips", func(c *Config) { c.TripsPerDay = 0 }},
+		{"tiny territory", func(c *Config) { c.TerritorySize = 1 }},
+		{"huge territory", func(c *Config) { c.TerritorySize = 10 * 10 * 10 }},
+		{"zero hotspots", func(c *Config) { c.Hotspots = 0 }},
+		{"too many hotspots", func(c *Config) { c.Hotspots = 10 * 10 * 10 }},
+		{"bad zipf", func(c *Config) { c.ZipfExponent = 0 }},
+		{"bad decay", func(c *Config) { c.DecayKm = 0 }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := smallConfig()
+			m.mutate(&cfg)
+			if _, err := NewGenerator(cfg); err == nil {
+				t.Errorf("config %+v should be rejected", cfg)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a := generate(t, cfg, 7)
+	b := generate(t, cfg, 7)
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := smallConfig()
+	log := generate(t, cfg, 1)
+	if log.Taxis() != cfg.Taxis {
+		t.Fatalf("taxis = %d, want %d", log.Taxis(), cfg.Taxis)
+	}
+	if len(log.Events) == 0 {
+		t.Fatal("no events generated")
+	}
+	for _, e := range log.Events {
+		if e.TaxiID < 0 || e.TaxiID >= cfg.Taxis {
+			t.Fatalf("event taxi %d out of range", e.TaxiID)
+		}
+		if !log.Grid.Valid(e.Cell) {
+			t.Fatalf("event cell %d invalid", e.Cell)
+		}
+		if e.Kind != Pickup && e.Kind != Dropoff {
+			t.Fatalf("event kind %v invalid", e.Kind)
+		}
+	}
+}
+
+func TestTaxiEventsChronologicalAndAlternating(t *testing.T) {
+	log := generate(t, smallConfig(), 2)
+	for id := 0; id < log.Taxis(); id++ {
+		evs := log.TaxiEvents(id)
+		if len(evs) == 0 {
+			t.Fatalf("taxi %d has no events", id)
+		}
+		if len(evs)%2 != 0 {
+			t.Fatalf("taxi %d has odd event count %d", id, len(evs))
+		}
+		for i, e := range evs {
+			if e.TaxiID != id {
+				t.Fatalf("taxi %d got event of taxi %d", id, e.TaxiID)
+			}
+			wantKind := Pickup
+			if i%2 == 1 {
+				wantKind = Dropoff
+			}
+			if e.Kind != wantKind {
+				t.Fatalf("taxi %d event %d kind = %v, want %v", id, i, e.Kind, wantKind)
+			}
+			if i > 0 && e.Time.Before(evs[i-1].Time) {
+				t.Fatalf("taxi %d event %d out of order: %v before %v", id, i, e.Time, evs[i-1].Time)
+			}
+		}
+		// A trip's drop-off is the next trip's pickup cell.
+		for i := 2; i < len(evs); i += 2 {
+			if evs[i].Cell != evs[i-1].Cell {
+				t.Fatalf("taxi %d trip %d pickup cell %d != previous dropoff %d",
+					id, i/2, evs[i].Cell, evs[i-1].Cell)
+			}
+		}
+	}
+}
+
+func TestEventsStayInTerritory(t *testing.T) {
+	log := generate(t, smallConfig(), 3)
+	for id := 0; id < log.Taxis(); id++ {
+		kernel := log.Kernels[id]
+		for _, e := range log.TaxiEvents(id) {
+			if kernel.IndexOf(e.Cell) < 0 {
+				t.Fatalf("taxi %d visited cell %d outside its territory", id, e.Cell)
+			}
+		}
+	}
+}
+
+func TestKernelRowsAreStochastic(t *testing.T) {
+	log := generate(t, smallConfig(), 4)
+	for id, kernel := range log.Kernels {
+		if len(kernel.Territory) != smallConfig().TerritorySize {
+			t.Fatalf("taxi %d territory size = %d", id, len(kernel.Territory))
+		}
+		if !sort.SliceIsSorted(kernel.Territory, func(i, j int) bool {
+			return kernel.Territory[i] < kernel.Territory[j]
+		}) {
+			t.Fatalf("taxi %d territory not sorted", id)
+		}
+		for i, row := range kernel.Rows {
+			sum := 0.0
+			for j, p := range row {
+				if p < 0 || p > 1 {
+					t.Fatalf("taxi %d row %d col %d prob %g out of range", id, i, j, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("taxi %d row %d sums to %g", id, i, sum)
+			}
+			if row[i] != 0 {
+				t.Fatalf("taxi %d self-transition prob %g, want 0", id, row[i])
+			}
+		}
+	}
+}
+
+func TestKernelNextRespectsKernel(t *testing.T) {
+	log := generate(t, smallConfig(), 5)
+	kernel := log.Kernels[0]
+	rng := stats.NewRand(99)
+	origin := kernel.Territory[0]
+	counts := map[geo.Cell]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		next, err := kernel.Next(rng, origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[next]++
+	}
+	row := kernel.Rows[0]
+	for j, c := range kernel.Territory {
+		got := float64(counts[c]) / draws
+		if math.Abs(got-row[j]) > 0.02 {
+			t.Errorf("cell %d frequency %g, want ≈ %g", c, got, row[j])
+		}
+	}
+	if _, err := kernel.Next(rng, geo.Cell(9999)); err == nil {
+		t.Error("Next outside territory should fail")
+	}
+}
+
+func TestKernelTopK(t *testing.T) {
+	log := generate(t, smallConfig(), 6)
+	kernel := log.Kernels[1]
+	origin := kernel.Territory[0]
+	top3 := kernel.TopK(origin, 3)
+	if len(top3) != 3 {
+		t.Fatalf("top3 size = %d", len(top3))
+	}
+	row := kernel.Rows[0]
+	probOf := func(c geo.Cell) float64 { return row[kernel.IndexOf(c)] }
+	if probOf(top3[0]) < probOf(top3[1]) || probOf(top3[1]) < probOf(top3[2]) {
+		t.Error("topK not sorted by probability")
+	}
+	// Asking for more than the territory clamps.
+	all := kernel.TopK(origin, 1000)
+	if len(all) != len(kernel.Territory) {
+		t.Errorf("topK(1000) size = %d, want %d", len(all), len(kernel.Territory))
+	}
+	if kernel.TopK(origin, 0) != nil {
+		t.Error("topK(0) should be nil")
+	}
+	if kernel.TopK(geo.Cell(9999), 3) != nil {
+		t.Error("topK outside territory should be nil")
+	}
+}
+
+func TestTransitionProbabilitiesAreMostlySmall(t *testing.T) {
+	// The paper's Fig. 4 depends on most next-cell probabilities being low
+	// (PoS mass concentrated in [0, 0.2]). Verify the generator's ground
+	// truth has that character.
+	log := generate(t, DefaultConfigSmallPopulation(), 7)
+	total, small := 0, 0
+	for _, kernel := range log.Kernels {
+		for _, row := range kernel.Rows {
+			for j, p := range row {
+				if j == 0 && p == 0 {
+					continue
+				}
+				if p == 0 {
+					continue
+				}
+				total++
+				if p <= 0.2 {
+					small++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no transitions")
+	}
+	if frac := float64(small) / float64(total); frac < 0.8 {
+		t.Errorf("only %.2f of transition probabilities ≤ 0.2, want ≥ 0.8", frac)
+	}
+}
+
+// DefaultConfigSmallPopulation is the paper-shaped config shrunk to a small
+// taxi population for tests that need realistic kernels but not 1692 taxis.
+func DefaultConfigSmallPopulation() Config {
+	cfg := DefaultConfig()
+	cfg.Taxis = 40
+	cfg.Days = 6
+	return cfg
+}
+
+func TestEventKindString(t *testing.T) {
+	if Pickup.String() != "pickup" || Dropoff.String() != "dropoff" {
+		t.Error("kind strings wrong")
+	}
+	if !strings.Contains(EventKind(0).String(), "EventKind") {
+		t.Error("unknown kind string should mention EventKind")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	log := generate(t, smallConfig(), 8)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, log.Events[:200]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 200 {
+		t.Fatalf("round trip length = %d, want 200", len(got))
+	}
+	for i, e := range got {
+		orig := log.Events[i]
+		if e.TaxiID != orig.TaxiID || e.Cell != orig.Cell || e.Kind != orig.Kind {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, e, orig)
+		}
+		if !e.Time.Equal(orig.Time.Truncate(time.Second)) {
+			t.Fatalf("event %d time mismatch: %v vs %v", i, e.Time, orig.Time)
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"bad header", "a,b,c,d\n"},
+		{"bad taxi", "taxi_id,time,cell,kind\nxx,2013-01-01T00:00:00Z,1,pickup\n"},
+		{"bad time", "taxi_id,time,cell,kind\n1,notatime,1,pickup\n"},
+		{"bad cell", "taxi_id,time,cell,kind\n1,2013-01-01T00:00:00Z,zz,pickup\n"},
+		{"bad kind", "taxi_id,time,cell,kind\n1,2013-01-01T00:00:00Z,1,teleport\n"},
+		{"short row", "taxi_id,time,cell,kind\n1,2013-01-01T00:00:00Z\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(c.body)); err == nil {
+				t.Errorf("input %q should fail", c.body)
+			}
+		})
+	}
+}
+
+func TestReadCSVEmptyBody(t *testing.T) {
+	events, err := ReadCSV(strings.NewReader("taxi_id,time,cell,kind\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("got %d events from empty body", len(events))
+	}
+}
+
+func TestRushHourDemandShapesPickups(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Taxis = 40
+	cfg.Days = 10
+	cfg.HourlyDemand = RushHourDemand()
+	log := generate(t, cfg, 9)
+	hist := HourHistogram(log.Events)
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no pickups")
+	}
+	// The 8–9 morning peak must carry far more traffic than the 02–04
+	// night lull.
+	morning := hist[8] + hist[9]
+	night := hist[2] + hist[3]
+	if morning < 4*night {
+		t.Errorf("morning pickups %d not dominating night %d", morning, night)
+	}
+}
+
+func TestUniformDemandFallback(t *testing.T) {
+	cfg := smallConfig()
+	cfg.HourlyDemand = [24]float64{} // zero profile: legacy uniform shift
+	log := generate(t, cfg, 10)
+	hist := HourHistogram(log.Events)
+	// Legacy behaviour spreads pickups over the first 18 hours only.
+	late := hist[19] + hist[20] + hist[21] + hist[22] + hist[23]
+	if late > len(log.Events)/50 {
+		t.Errorf("uniform fallback leaked %d pickups into late evening", late)
+	}
+}
+
+func TestNegativeDemandRejected(t *testing.T) {
+	cfg := smallConfig()
+	cfg.HourlyDemand[5] = -1
+	if _, err := NewGenerator(cfg); err == nil {
+		t.Error("negative demand should be rejected")
+	}
+}
+
+func TestTripsFitWithinTheirDay(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TripsPerDay = 30 // stress the clamping
+	log := generate(t, cfg, 11)
+	for id := 0; id < log.Taxis(); id++ {
+		evs := log.TaxiEvents(id)
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Time.Before(evs[i-1].Time) {
+				t.Fatalf("taxi %d events out of order at %d", id, i)
+			}
+		}
+	}
+}

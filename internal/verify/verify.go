@@ -1,0 +1,181 @@
+// Package verify implements the cost-verification scheme the paper assumes
+// in §III-A: the mechanisms are strategy-proof in the PoS dimension only,
+// and declared costs are kept honest by monitoring execution-time cost
+// indicators ("such as energy consumption and data transmission fee"),
+// estimating the actual cost, and punishing users whose declarations
+// deviate beyond a tolerance.
+//
+// The model: performing a task set with true cost c emits indicators
+//
+//	energy   = EnergyPerCost   · c · (1 + ε₁)
+//	transfer = TransferPerCost · c · (1 + ε₂)
+//
+// with ε₁, ε₂ uniform on [−NoiseRel, +NoiseRel]. The platform knows the
+// calibration constants, averages the per-indicator estimates, and flags a
+// declaration d when |d − ĉ| > Tolerance · ĉ. Flagged winners forfeit the
+// reward and pay a fine.
+//
+// With Tolerance ≥ NoiseRel a truthful user is never flagged (the noise is
+// bounded), and any inflation beyond MaxUndetectableInflation is flagged
+// with certainty, so a fine exceeding the largest possible gain makes cost
+// misreporting unprofitable — restoring the assumption under which the
+// PoS-dimension strategy-proofness theorems operate.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crowdsense/internal/execution"
+	"crowdsense/internal/stats"
+)
+
+// Config calibrates the verifier. NewVerifier validates it.
+type Config struct {
+	EnergyPerCost   float64 // mWh emitted per unit cost (default 120)
+	TransferPerCost float64 // kB transferred per unit cost (default 35)
+	NoiseRel        float64 // relative indicator noise bound η ∈ [0, 1) (default 0.05)
+	Tolerance       float64 // relative deviation tolerance τ (default 0.10)
+	Fine            float64 // penalty charged on a flagged declaration (default 50)
+}
+
+// DefaultConfig returns a calibration where honest users are never flagged
+// and the fine dwarfs any undetectable gain at Table II cost scales.
+func DefaultConfig() Config {
+	return Config{
+		EnergyPerCost:   120,
+		TransferPerCost: 35,
+		NoiseRel:        0.05,
+		Tolerance:       0.10,
+		Fine:            50,
+	}
+}
+
+// Indicators are the measurable traces of one user's task execution.
+type Indicators struct {
+	EnergyMWh  float64
+	TransferKB float64
+}
+
+// Finding is the outcome of auditing one declaration.
+type Finding struct {
+	Declared  float64
+	Estimate  float64 // ĉ from the indicators
+	Deviation float64 // |d − ĉ| / ĉ
+	Flagged   bool
+}
+
+// Verifier audits declared costs against execution indicators.
+type Verifier struct {
+	cfg Config
+}
+
+// NewVerifier validates the calibration.
+func NewVerifier(cfg Config) (*Verifier, error) {
+	if cfg.EnergyPerCost <= 0 || cfg.TransferPerCost <= 0 {
+		return nil, fmt.Errorf("verify: calibration constants must be positive (%g, %g)",
+			cfg.EnergyPerCost, cfg.TransferPerCost)
+	}
+	if cfg.NoiseRel < 0 || cfg.NoiseRel >= 1 {
+		return nil, fmt.Errorf("verify: noise bound %g outside [0, 1)", cfg.NoiseRel)
+	}
+	if cfg.Tolerance < 0 {
+		return nil, fmt.Errorf("verify: tolerance %g negative", cfg.Tolerance)
+	}
+	if cfg.Fine < 0 {
+		return nil, fmt.Errorf("verify: fine %g negative", cfg.Fine)
+	}
+	return &Verifier{cfg: cfg}, nil
+}
+
+// Config returns the verifier's calibration.
+func (v *Verifier) Config() Config { return v.cfg }
+
+// Measure simulates the indicators a device with the given TRUE cost emits
+// during execution.
+func (v *Verifier) Measure(rng *rand.Rand, trueCost float64) Indicators {
+	noise := func() float64 { return 1 + stats.Uniform(rng, -v.cfg.NoiseRel, v.cfg.NoiseRel) }
+	return Indicators{
+		EnergyMWh:  v.cfg.EnergyPerCost * trueCost * noise(),
+		TransferKB: v.cfg.TransferPerCost * trueCost * noise(),
+	}
+}
+
+// Estimate recovers a cost estimate from the indicators: the mean of the
+// per-indicator estimates.
+func (v *Verifier) Estimate(ind Indicators) float64 {
+	return (ind.EnergyMWh/v.cfg.EnergyPerCost + ind.TransferKB/v.cfg.TransferPerCost) / 2
+}
+
+// Audit compares a declaration against indicators.
+func (v *Verifier) Audit(declared float64, ind Indicators) Finding {
+	estimate := v.Estimate(ind)
+	deviation := 0.0
+	if estimate > 0 {
+		deviation = abs(declared-estimate) / estimate
+	} else if declared != 0 {
+		deviation = 1
+	}
+	return Finding{
+		Declared:  declared,
+		Estimate:  estimate,
+		Deviation: deviation,
+		Flagged:   deviation > v.cfg.Tolerance,
+	}
+}
+
+// AuditTrue is the full simulation path: measure a device with the given
+// true cost, then audit the declaration.
+func (v *Verifier) AuditTrue(rng *rand.Rand, declared, trueCost float64) Finding {
+	return v.Audit(declared, v.Measure(rng, trueCost))
+}
+
+// MaxUndetectableInflation is the largest declared/true cost ratio that can
+// ever pass the audit: (1 + Tolerance) · (1 + NoiseRel). Any declaration
+// above it is flagged with certainty; declarations below
+// (1 − Tolerance) · (1 − NoiseRel) (deflation) are likewise always flagged.
+func (v *Verifier) MaxUndetectableInflation() float64 {
+	return (1 + v.cfg.Tolerance) * (1 + v.cfg.NoiseRel)
+}
+
+// SafeForHonest reports whether a truthful declaration can never be flagged
+// under this calibration, which holds when the tolerance covers the worst
+// estimate skew: the estimate of a truthful cost c lies in
+// [c(1−η), c(1+η)], so the relative deviation is at most η/(1−η).
+func (v *Verifier) SafeForHonest() bool {
+	return v.cfg.Tolerance >= v.cfg.NoiseRel/(1-v.cfg.NoiseRel)
+}
+
+// Enforce applies the audit to settled winners: each winner's declared cost
+// is audited against indicators measured from her TRUE cost; flagged
+// winners forfeit the reward and pay the fine. It returns the adjusted
+// settlements and the findings, indexed like the input.
+func (v *Verifier) Enforce(rng *rand.Rand, settlements []execution.Settlement, declaredCosts, trueCosts map[int]float64) ([]execution.Settlement, []Finding, error) {
+	adjusted := make([]execution.Settlement, len(settlements))
+	findings := make([]Finding, len(settlements))
+	for i, s := range settlements {
+		declared, ok := declaredCosts[s.BidIndex]
+		if !ok {
+			return nil, nil, fmt.Errorf("verify: no declared cost for bid %d", s.BidIndex)
+		}
+		trueCost, ok := trueCosts[s.BidIndex]
+		if !ok {
+			return nil, nil, fmt.Errorf("verify: no true cost for bid %d", s.BidIndex)
+		}
+		finding := v.AuditTrue(rng, declared, trueCost)
+		findings[i] = finding
+		adjusted[i] = s
+		if finding.Flagged {
+			adjusted[i].Reward = -v.cfg.Fine
+			adjusted[i].Utility = -v.cfg.Fine - trueCost
+		}
+	}
+	return adjusted, findings, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

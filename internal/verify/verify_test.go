@@ -1,0 +1,205 @@
+package verify
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crowdsense/internal/execution"
+	"crowdsense/internal/stats"
+)
+
+func defaultVerifier(t *testing.T) *Verifier {
+	t.Helper()
+	v, err := NewVerifier(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewVerifierValidation(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero energy", func(c *Config) { c.EnergyPerCost = 0 }},
+		{"zero transfer", func(c *Config) { c.TransferPerCost = 0 }},
+		{"negative noise", func(c *Config) { c.NoiseRel = -0.1 }},
+		{"noise 1", func(c *Config) { c.NoiseRel = 1 }},
+		{"negative tolerance", func(c *Config) { c.Tolerance = -0.1 }},
+		{"negative fine", func(c *Config) { c.Fine = -1 }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			m.mutate(&cfg)
+			if _, err := NewVerifier(cfg); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestDefaultConfigSafeForHonest(t *testing.T) {
+	v := defaultVerifier(t)
+	if !v.SafeForHonest() {
+		t.Fatal("default calibration must never flag honest users")
+	}
+}
+
+func TestMeasureEstimateRoundTrip(t *testing.T) {
+	v := defaultVerifier(t)
+	rng := stats.NewRand(1)
+	for trial := 0; trial < 1000; trial++ {
+		trueCost := stats.Uniform(rng, 1, 50)
+		est := v.Estimate(v.Measure(rng, trueCost))
+		if math.Abs(est-trueCost)/trueCost > v.Config().NoiseRel {
+			t.Fatalf("estimate %g outside noise band of true %g", est, trueCost)
+		}
+	}
+}
+
+func TestHonestNeverFlagged(t *testing.T) {
+	v := defaultVerifier(t)
+	f := func(seed int64, rawCost float64) bool {
+		rng := stats.NewRand(seed)
+		trueCost := 0.5 + math.Abs(rawCost)
+		if math.IsInf(trueCost, 0) || math.IsNaN(trueCost) {
+			return true
+		}
+		finding := v.AuditTrue(rng, trueCost, trueCost)
+		return !finding.Flagged
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrossInflationAlwaysFlagged(t *testing.T) {
+	v := defaultVerifier(t)
+	bound := v.MaxUndetectableInflation()
+	rng := stats.NewRand(2)
+	for trial := 0; trial < 1000; trial++ {
+		trueCost := stats.Uniform(rng, 1, 50)
+		declared := trueCost * (bound + 0.01)
+		if !v.AuditTrue(rng, declared, trueCost).Flagged {
+			t.Fatalf("inflation factor %g escaped the audit", bound+0.01)
+		}
+	}
+}
+
+func TestGrossDeflationAlwaysFlagged(t *testing.T) {
+	v := defaultVerifier(t)
+	cfg := v.Config()
+	floor := (1 - cfg.Tolerance) * (1 - cfg.NoiseRel)
+	rng := stats.NewRand(3)
+	for trial := 0; trial < 1000; trial++ {
+		trueCost := stats.Uniform(rng, 1, 50)
+		declared := trueCost * (floor - 0.01)
+		if !v.AuditTrue(rng, declared, trueCost).Flagged {
+			t.Fatalf("deflation factor %g escaped the audit", floor-0.01)
+		}
+	}
+}
+
+func TestAuditZeroEstimate(t *testing.T) {
+	v := defaultVerifier(t)
+	finding := v.Audit(5, Indicators{})
+	if !finding.Flagged {
+		t.Error("declaration against zero indicators should be flagged")
+	}
+	clean := v.Audit(0, Indicators{})
+	if clean.Flagged {
+		t.Error("zero declaration against zero indicators should pass")
+	}
+}
+
+func TestMaxUndetectableInflationValue(t *testing.T) {
+	v := defaultVerifier(t)
+	cfg := v.Config()
+	want := (1 + cfg.Tolerance) * (1 + cfg.NoiseRel)
+	if got := v.MaxUndetectableInflation(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("bound = %g, want %g", got, want)
+	}
+}
+
+func TestEnforce(t *testing.T) {
+	v := defaultVerifier(t)
+	rng := stats.NewRand(4)
+	settlements := []execution.Settlement{
+		{BidIndex: 0, User: 1, Success: true, Reward: 20, Utility: 5},
+		{BidIndex: 1, User: 2, Success: false, Reward: 8, Utility: -2},
+	}
+	declared := map[int]float64{0: 15, 1: 30} // user 2 inflated 10 → 30
+	trueCosts := map[int]float64{0: 15, 1: 10}
+	adjusted, findings, err := v.Enforce(rng, settlements, declared, trueCosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings[0].Flagged {
+		t.Error("honest user flagged")
+	}
+	if !findings[1].Flagged {
+		t.Error("3× inflation not flagged")
+	}
+	if adjusted[0] != settlements[0] {
+		t.Error("honest settlement altered")
+	}
+	if adjusted[1].Reward != -v.Config().Fine {
+		t.Errorf("flagged reward = %g, want -fine", adjusted[1].Reward)
+	}
+	if adjusted[1].Utility != -v.Config().Fine-10 {
+		t.Errorf("flagged utility = %g", adjusted[1].Utility)
+	}
+}
+
+func TestEnforceMissingCosts(t *testing.T) {
+	v := defaultVerifier(t)
+	rng := stats.NewRand(5)
+	settlements := []execution.Settlement{{BidIndex: 0}}
+	if _, _, err := v.Enforce(rng, settlements, map[int]float64{}, map[int]float64{0: 1}); err == nil {
+		t.Error("missing declared cost should fail")
+	}
+	if _, _, err := v.Enforce(rng, settlements, map[int]float64{0: 1}, map[int]float64{}); err == nil {
+		t.Error("missing true cost should fail")
+	}
+}
+
+func TestDeterrence(t *testing.T) {
+	// The economic point: with the default fine, inflating the declared
+	// cost — which would otherwise add (declared − true) to a winner's
+	// utility — has lower expected utility than honesty for every inflation
+	// factor, because undetectable inflation gains at most
+	// (bound − 1)·true ≪ fine and detectable inflation pays the fine.
+	v := defaultVerifier(t)
+	cfg := v.Config()
+	rng := stats.NewRand(6)
+	trueCost := 15.0
+	honestGain := 0.0 // baseline: declare truthfully, no extra gain, never fined
+
+	for _, factor := range []float64{1.05, 1.1, 1.16, 1.3, 2.0, 4.0} {
+		declared := trueCost * factor
+		var acc stats.Accumulator
+		const trials = 4000
+		for i := 0; i < trials; i++ {
+			finding := v.AuditTrue(rng, declared, trueCost)
+			if finding.Flagged {
+				// Forfeit reward and pay the fine: relative to honest play
+				// the user loses at least the fine.
+				acc.Add(-cfg.Fine)
+			} else {
+				acc.Add(declared - trueCost)
+			}
+		}
+		if acc.Mean() > honestGain+1e-9 && factor > v.MaxUndetectableInflation() {
+			t.Errorf("factor %g: expected misreport gain %g positive", factor, acc.Mean())
+		}
+	}
+	// Aggregate deterrence: even the best inflation factor in the sweep
+	// must not beat honesty by more than the undetectable slack.
+	maxSlack := (v.MaxUndetectableInflation() - 1) * trueCost
+	if maxSlack >= cfg.Fine {
+		t.Fatalf("fine %g too small for deterrence at cost %g", cfg.Fine, trueCost)
+	}
+}

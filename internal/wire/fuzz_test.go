@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCodecRead feeds arbitrary bytes to the codec: it must never panic,
+// and anything it does accept must survive a write/read round trip.
+func FuzzCodecRead(f *testing.F) {
+	seedEnvelopes := []*Envelope{
+		{Type: TypeRegister, Register: &Register{User: 1}},
+		{Type: TypeBid, Bid: &Bid{User: 2, Tasks: []int{1}, Cost: 3, PoS: map[int]float64{1: 0.5}}},
+		{Type: TypeSettle, Settle: &Settle{Success: true, Reward: 9, Utility: 1}},
+	}
+	for _, env := range seedEnvelopes {
+		var buf bytes.Buffer
+		if err := NewCodec(&buf).Write(env); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("not json\n"))
+	f.Add([]byte(`{"type":"award"}` + "\n"))
+	f.Add([]byte{0xff, 0xfe, '\n'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		codec := NewCodec(readerOnly{bytes.NewReader(data)})
+		env, err := codec.Read()
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := env.Validate(); err != nil {
+			t.Fatalf("Read returned invalid envelope: %v", err)
+		}
+		// Round trip what was accepted.
+		var buf bytes.Buffer
+		out := NewCodec(&buf)
+		if err := out.Write(env); err != nil {
+			t.Fatalf("re-encode accepted envelope: %v", err)
+		}
+		back, err := out.Read()
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if back.Type != env.Type {
+			t.Fatalf("round trip changed type: %q -> %q", env.Type, back.Type)
+		}
+	})
+}

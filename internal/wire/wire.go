@@ -1,0 +1,227 @@
+// Package wire defines the message protocol between the crowdsensing
+// platform and mobile-user agents: newline-delimited JSON envelopes over a
+// byte stream (TCP in production, net.Pipe in tests). The message flow
+// mirrors steps 2–6 of the paper's Fig. 1:
+//
+//	agent → platform  register
+//	platform → agent  tasks        (task publication)
+//	agent → platform  bid          (sealed bid: task set, cost, PoS)
+//	platform → agent  award        (selection + EC reward contract)
+//	agent → platform  report       (execution results; winners only)
+//	platform → agent  settle       (realized reward)
+//
+// Either side may send an error envelope at any point and close.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxMessageBytes bounds a single message line; a peer exceeding it is
+// protocol-broken.
+const MaxMessageBytes = 1 << 20
+
+// MsgType tags an envelope.
+type MsgType string
+
+// Protocol message types.
+const (
+	TypeRegister MsgType = "register"
+	TypeTasks    MsgType = "tasks"
+	TypeBid      MsgType = "bid"
+	TypeAward    MsgType = "award"
+	TypeReport   MsgType = "report"
+	TypeSettle   MsgType = "settle"
+	TypeError    MsgType = "error"
+)
+
+// Protocol errors.
+var (
+	ErrMessageTooLarge = errors.New("wire: message exceeds size limit")
+	ErrBadEnvelope     = errors.New("wire: malformed envelope")
+)
+
+// Register announces an agent to the platform.
+type Register struct {
+	User int `json:"user"`
+}
+
+// TaskSpec is one published task.
+type TaskSpec struct {
+	ID          int     `json:"id"`
+	Requirement float64 `json:"requirement"`
+}
+
+// Tasks publishes the auction's tasks to an agent.
+type Tasks struct {
+	Tasks []TaskSpec `json:"tasks"`
+}
+
+// Bid is an agent's sealed bid.
+type Bid struct {
+	User  int             `json:"user"`
+	Tasks []int           `json:"tasks"`
+	Cost  float64         `json:"cost"`
+	PoS   map[int]float64 `json:"pos"`
+}
+
+// Award tells an agent whether she won and, if so, her execution-contingent
+// reward contract.
+type Award struct {
+	Selected        bool    `json:"selected"`
+	CriticalPoS     float64 `json:"critical_pos,omitempty"`
+	RewardOnSuccess float64 `json:"reward_on_success,omitempty"`
+	RewardOnFailure float64 `json:"reward_on_failure,omitempty"`
+}
+
+// Report carries a winner's realized execution results.
+type Report struct {
+	User      int          `json:"user"`
+	Succeeded map[int]bool `json:"succeeded"`
+}
+
+// Settle closes a winner's session with her realized reward.
+type Settle struct {
+	Success bool    `json:"success"`
+	Reward  float64 `json:"reward"`
+	Utility float64 `json:"utility"`
+}
+
+// ErrorMsg reports a protocol or application failure to the peer.
+type ErrorMsg struct {
+	Message string `json:"message"`
+}
+
+// Envelope is the wire representation: a type tag plus exactly one payload
+// field populated.
+type Envelope struct {
+	Type     MsgType   `json:"type"`
+	Register *Register `json:"register,omitempty"`
+	Tasks    *Tasks    `json:"tasks,omitempty"`
+	Bid      *Bid      `json:"bid,omitempty"`
+	Award    *Award    `json:"award,omitempty"`
+	Report   *Report   `json:"report,omitempty"`
+	Settle   *Settle   `json:"settle,omitempty"`
+	Error    *ErrorMsg `json:"error,omitempty"`
+}
+
+// Validate checks that the envelope's tag matches its populated payload.
+func (e *Envelope) Validate() error {
+	var want bool
+	switch e.Type {
+	case TypeRegister:
+		want = e.Register != nil
+	case TypeTasks:
+		want = e.Tasks != nil
+	case TypeBid:
+		want = e.Bid != nil
+	case TypeAward:
+		want = e.Award != nil
+	case TypeReport:
+		want = e.Report != nil
+	case TypeSettle:
+		want = e.Settle != nil
+	case TypeError:
+		want = e.Error != nil
+	default:
+		return fmt.Errorf("%w: unknown type %q", ErrBadEnvelope, e.Type)
+	}
+	if !want {
+		return fmt.Errorf("%w: %q envelope missing payload", ErrBadEnvelope, e.Type)
+	}
+	return nil
+}
+
+// Codec frames envelopes as JSON lines over a stream.
+type Codec struct {
+	r *bufio.Reader
+	w io.Writer
+}
+
+// NewCodec wraps a stream. The caller retains ownership of rw (deadlines,
+// closing).
+func NewCodec(rw io.ReadWriter) *Codec {
+	return &Codec{r: bufio.NewReaderSize(rw, 64<<10), w: rw}
+}
+
+// Write marshals and sends one envelope.
+func (c *Codec) Write(env *Envelope) error {
+	if err := env.Validate(); err != nil {
+		return err
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("wire: marshal %s: %w", env.Type, err)
+	}
+	if len(data)+1 > MaxMessageBytes {
+		return ErrMessageTooLarge
+	}
+	data = append(data, '\n')
+	if _, err := c.w.Write(data); err != nil {
+		return fmt.Errorf("wire: write %s: %w", env.Type, err)
+	}
+	return nil
+}
+
+// Read receives and validates one envelope. io.EOF is returned unchanged on
+// a cleanly closed stream.
+func (c *Codec) Read() (*Envelope, error) {
+	line, err := c.readLine()
+	if err != nil {
+		return nil, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+	}
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	return &env, nil
+}
+
+func (c *Codec) readLine() ([]byte, error) {
+	var line []byte
+	for {
+		chunk, isPrefix, err := c.r.ReadLine()
+		if err != nil {
+			if err == io.EOF && len(line) > 0 {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		line = append(line, chunk...)
+		if len(line) > MaxMessageBytes {
+			return nil, ErrMessageTooLarge
+		}
+		if !isPrefix {
+			return line, nil
+		}
+	}
+}
+
+// Expect reads one envelope and requires the given type, unwrapping error
+// envelopes into Go errors.
+func (c *Codec) Expect(t MsgType) (*Envelope, error) {
+	env, err := c.Read()
+	if err != nil {
+		return nil, err
+	}
+	if env.Type == TypeError {
+		return nil, fmt.Errorf("wire: peer error: %s", env.Error.Message)
+	}
+	if env.Type != t {
+		return nil, fmt.Errorf("%w: got %q, want %q", ErrBadEnvelope, env.Type, t)
+	}
+	return env, nil
+}
+
+// WriteError sends an error envelope; failures to send are ignored (the
+// peer is already suspect).
+func (c *Codec) WriteError(msg string) {
+	_ = c.Write(&Envelope{Type: TypeError, Error: &ErrorMsg{Message: msg}})
+}

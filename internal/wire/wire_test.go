@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	envelopes := []*Envelope{
+		{Type: TypeRegister, Register: &Register{User: 7}},
+		{Type: TypeTasks, Tasks: &Tasks{Tasks: []TaskSpec{{ID: 1, Requirement: 0.8}}}},
+		{Type: TypeBid, Bid: &Bid{User: 7, Tasks: []int{1, 2}, Cost: 15.5,
+			PoS: map[int]float64{1: 0.3, 2: 0.4}}},
+		{Type: TypeAward, Award: &Award{Selected: true, CriticalPoS: 0.2,
+			RewardOnSuccess: 23, RewardOnFailure: 13}},
+		{Type: TypeReport, Report: &Report{User: 7, Succeeded: map[int]bool{1: true, 2: false}}},
+		{Type: TypeSettle, Settle: &Settle{Success: true, Reward: 23, Utility: 7.5}},
+		{Type: TypeError, Error: &ErrorMsg{Message: "boom"}},
+	}
+	var buf bytes.Buffer
+	codec := NewCodec(&buf)
+	for _, env := range envelopes {
+		if err := codec.Write(env); err != nil {
+			t.Fatalf("write %s: %v", env.Type, err)
+		}
+	}
+	for _, want := range envelopes {
+		got, err := codec.Read()
+		if err != nil {
+			t.Fatalf("read %s: %v", want.Type, err)
+		}
+		if got.Type != want.Type {
+			t.Fatalf("type %q, want %q", got.Type, want.Type)
+		}
+	}
+	if _, err := codec.Read(); err != io.EOF {
+		t.Errorf("after drain: %v, want EOF", err)
+	}
+}
+
+func TestBidPayloadFidelity(t *testing.T) {
+	var buf bytes.Buffer
+	codec := NewCodec(&buf)
+	in := &Bid{User: 3, Tasks: []int{5, 9}, Cost: 12.25, PoS: map[int]float64{5: 0.125, 9: 0.5}}
+	if err := codec.Write(&Envelope{Type: TypeBid, Bid: in}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := codec.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := env.Bid
+	if out.User != 3 || out.Cost != 12.25 || len(out.Tasks) != 2 {
+		t.Errorf("bid = %+v", out)
+	}
+	if out.PoS[5] != 0.125 || out.PoS[9] != 0.5 {
+		t.Errorf("pos = %v", out.PoS)
+	}
+}
+
+func TestValidateRejectsMismatch(t *testing.T) {
+	bad := []*Envelope{
+		{Type: TypeRegister},                   // tag without payload
+		{Type: "bogus", Register: &Register{}}, // unknown tag
+		{Type: TypeBid, Register: &Register{}}, // wrong payload
+	}
+	for _, env := range bad {
+		if err := env.Validate(); err == nil {
+			t.Errorf("envelope %+v should fail validation", env)
+		}
+	}
+	var buf bytes.Buffer
+	codec := NewCodec(&buf)
+	if err := codec.Write(&Envelope{Type: TypeRegister}); err == nil {
+		t.Error("writing an invalid envelope should fail")
+	}
+}
+
+// readerOnly adapts a Reader into the ReadWriter NewCodec wants, discarding
+// writes.
+type readerOnly struct {
+	io.Reader
+}
+
+func (readerOnly) Write(p []byte) (int, error) { return len(p), nil }
+
+func fromString(s string) *Codec { return NewCodec(readerOnly{strings.NewReader(s)}) }
+
+func TestReadRejectsGarbage(t *testing.T) {
+	codec := fromString("not json\n")
+	if _, err := codec.Read(); !errors.Is(err, ErrBadEnvelope) {
+		t.Errorf("error = %v, want ErrBadEnvelope", err)
+	}
+	codec = fromString(`{"type":"register"}` + "\n")
+	if _, err := codec.Read(); !errors.Is(err, ErrBadEnvelope) {
+		t.Errorf("payloadless register: %v, want ErrBadEnvelope", err)
+	}
+}
+
+func TestReadTruncatedStream(t *testing.T) {
+	// A final line without a newline still parses (bufio.ReadLine returns
+	// it at EOF); the stream then reports EOF.
+	codec := fromString(`{"type":"register","register":{"user":1}}`) // no newline
+	env, err := codec.Read()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if env.Type != TypeRegister || env.Register.User != 1 {
+		t.Errorf("envelope = %+v", env)
+	}
+	if _, err := codec.Read(); err != io.EOF {
+		t.Errorf("after final line: %v, want EOF", err)
+	}
+}
+
+func TestMessageTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	codec := NewCodec(&buf)
+	huge := &Envelope{Type: TypeError, Error: &ErrorMsg{Message: strings.Repeat("x", MaxMessageBytes)}}
+	if err := codec.Write(huge); !errors.Is(err, ErrMessageTooLarge) {
+		t.Errorf("write error = %v, want ErrMessageTooLarge", err)
+	}
+	// Oversized inbound line.
+	in := strings.Repeat("y", MaxMessageBytes+10) + "\n"
+	codec = fromString(in)
+	if _, err := codec.Read(); !errors.Is(err, ErrMessageTooLarge) {
+		t.Errorf("read error = %v, want ErrMessageTooLarge", err)
+	}
+}
+
+func TestExpect(t *testing.T) {
+	var buf bytes.Buffer
+	codec := NewCodec(&buf)
+	if err := codec.Write(&Envelope{Type: TypeRegister, Register: &Register{User: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.Expect(TypeBid); err == nil {
+		t.Error("Expect with wrong type should fail")
+	}
+
+	buf.Reset()
+	codec.WriteError("kaput")
+	if _, err := codec.Expect(TypeBid); err == nil || !strings.Contains(err.Error(), "kaput") {
+		t.Errorf("error envelope not surfaced: %v", err)
+	}
+
+	buf.Reset()
+	if err := codec.Write(&Envelope{Type: TypeSettle, Settle: &Settle{Reward: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := codec.Expect(TypeSettle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Settle.Reward != 5 {
+		t.Errorf("settle reward = %g", env.Settle.Reward)
+	}
+}

@@ -1,0 +1,303 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/stats"
+	"crowdsense/internal/trace"
+)
+
+// testPopulation builds a moderate population once per test binary.
+func testPopulation(t *testing.T) *Population {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.Rows, cfg.Cols = 12, 12
+	cfg.Taxis = 220
+	cfg.Days = 14
+	cfg.TerritorySize = 20
+	cfg.Hotspots = 25
+	gen, err := trace.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := gen.Generate(stats.NewRand(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := BuildPopulation(log, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"requirement 0", func(p *Params) { p.Requirement = 0 }},
+		{"requirement 1", func(p *Params) { p.Requirement = 1 }},
+		{"task set min 0", func(p *Params) { p.TaskSetMin = 0 }},
+		{"task set inverted", func(p *Params) { p.TaskSetMax = p.TaskSetMin - 1 }},
+		{"cost mean 0", func(p *Params) { p.CostMean = 0 }},
+		{"negative var", func(p *Params) { p.CostVar = -1 }},
+		{"horizon 0", func(p *Params) { p.Horizon = 0 }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			p := DefaultParams()
+			m.mutate(&p)
+			if err := p.validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestHorizonPoS(t *testing.T) {
+	if got := horizonPoS(0.3, 1); got != 0.3 {
+		t.Errorf("horizon 1 = %g, want identity", got)
+	}
+	want := 1 - math.Pow(0.7, 4)
+	if got := horizonPoS(0.3, 4); math.Abs(got-want) > 1e-12 {
+		t.Errorf("horizon 4 = %g, want %g", got, want)
+	}
+	if got := horizonPoS(0, 10); got != 0 {
+		t.Errorf("horizonPoS(0) = %g", got)
+	}
+}
+
+func TestBuildPopulation(t *testing.T) {
+	pop := testPopulation(t)
+	if pop.Size() == 0 {
+		t.Fatal("empty population")
+	}
+	if len(pop.Models) != len(pop.TaxiID) {
+		t.Fatal("models and taxi IDs misaligned")
+	}
+	for i, m := range pop.Models {
+		if m == nil {
+			t.Fatalf("nil model at %d", i)
+		}
+		if m.Locations() < 2 {
+			t.Fatalf("model %d has %d locations", i, m.Locations())
+		}
+	}
+}
+
+func TestSampleSingleTaskShape(t *testing.T) {
+	pop := testPopulation(t)
+	rng := stats.NewRand(1)
+	p := DefaultParams()
+	a, err := pop.SampleSingleTask(rng, p, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.SingleTask() {
+		t.Fatal("not single task")
+	}
+	if len(a.Bids) != 30 {
+		t.Fatalf("bids = %d, want 30", len(a.Bids))
+	}
+	if !a.Feasible(1e-9) {
+		t.Fatal("sampled instance infeasible")
+	}
+	taskID := a.Tasks[0].ID
+	for _, bid := range a.Bids {
+		if len(bid.Tasks) != 1 || bid.Tasks[0] != taskID {
+			t.Errorf("bid tasks = %v", bid.Tasks)
+		}
+		if bid.Cost <= 0 {
+			t.Errorf("non-positive cost %g", bid.Cost)
+		}
+		if p := bid.PoS[taskID]; p < 0 || p >= 1 {
+			t.Errorf("PoS %g out of range", p)
+		}
+	}
+	// Distinct users.
+	seen := map[auction.UserID]bool{}
+	for _, bid := range a.Bids {
+		if seen[bid.User] {
+			t.Errorf("user %d sampled twice", bid.User)
+		}
+		seen[bid.User] = true
+	}
+}
+
+func TestSampleSingleTaskErrors(t *testing.T) {
+	pop := testPopulation(t)
+	rng := stats.NewRand(2)
+	p := DefaultParams()
+	if _, err := pop.SampleSingleTask(rng, p, 0); err == nil {
+		t.Error("n = 0 should fail")
+	}
+	if _, err := pop.SampleSingleTask(rng, p, pop.Size()*10); !errors.Is(err, ErrNotEnoughUsers) {
+		t.Errorf("error = %v, want ErrNotEnoughUsers", err)
+	}
+	bad := p
+	bad.Requirement = 2
+	if _, err := pop.SampleSingleTask(rng, bad, 10); err == nil {
+		t.Error("bad params should fail")
+	}
+}
+
+func TestSampleSingleTaskRunsThroughMechanism(t *testing.T) {
+	pop := testPopulation(t)
+	rng := stats.NewRand(3)
+	a, err := pop.SampleSingleTask(rng, DefaultParams(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &mechanism.SingleTask{Epsilon: 0.5, Alpha: 10}
+	out, err := m.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.CoveredBy(out.Selected, 1e-9) {
+		t.Error("mechanism output does not cover the task")
+	}
+}
+
+func TestSampleMultiTaskShape(t *testing.T) {
+	pop := testPopulation(t)
+	rng := stats.NewRand(4)
+	p := DefaultParams()
+	a, err := pop.SampleMultiTask(rng, p, 40, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tasks) != 15 {
+		t.Fatalf("tasks = %d, want 15", len(a.Tasks))
+	}
+	if len(a.Bids) == 0 || len(a.Bids) > 40 {
+		t.Fatalf("bids = %d", len(a.Bids))
+	}
+	if !a.Feasible(1e-9) {
+		t.Fatal("sampled instance infeasible")
+	}
+	for _, bid := range a.Bids {
+		if len(bid.Tasks) == 0 {
+			t.Error("empty task set")
+		}
+		if len(bid.Tasks) > p.TaskSetMax {
+			t.Errorf("task set size %d exceeds %d", len(bid.Tasks), p.TaskSetMax)
+		}
+	}
+}
+
+func TestSampleMultiTaskPaperScale(t *testing.T) {
+	// Table III setting 1 extremes must be samplable: n = 10 and n = 100
+	// with 15 tasks.
+	pop := testPopulation(t)
+	rng := stats.NewRand(5)
+	p := DefaultParams()
+	for _, n := range []int{10, 100} {
+		a, err := pop.SampleMultiTask(rng, p, n, 15)
+		if err != nil {
+			t.Fatalf("n = %d: %v", n, err)
+		}
+		if _, err := (&mechanism.MultiTask{Alpha: 10}).Run(a); err != nil {
+			t.Fatalf("n = %d mechanism: %v", n, err)
+		}
+	}
+}
+
+func TestSampleMultiTaskManyTasks(t *testing.T) {
+	// Table III setting 2 extreme: 30 users, 50 tasks. Covering 50 tasks
+	// with 30 low-PoS users needs the longer campaign horizon the Fig. 5(c)
+	// sweep uses (see EXPERIMENTS.md).
+	pop := testPopulation(t)
+	rng := stats.NewRand(6)
+	p := DefaultParams()
+	p.Horizon = 18
+	a, err := pop.SampleMultiTask(rng, p, 30, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tasks) != 50 {
+		t.Fatalf("tasks = %d", len(a.Tasks))
+	}
+}
+
+func TestSampleMultiTaskErrors(t *testing.T) {
+	pop := testPopulation(t)
+	rng := stats.NewRand(7)
+	p := DefaultParams()
+	if _, err := pop.SampleMultiTask(rng, p, 0, 5); err == nil {
+		t.Error("n = 0 should fail")
+	}
+	if _, err := pop.SampleMultiTask(rng, p, 10, 0); err == nil {
+		t.Error("t = 0 should fail")
+	}
+	if _, err := pop.SampleMultiTask(rng, p, pop.Size()+1, 5); !errors.Is(err, ErrNotEnoughUsers) {
+		t.Errorf("error = %v, want ErrNotEnoughUsers", err)
+	}
+	// A requirement this tight is unreachable: sampler must give up
+	// cleanly.
+	tight := p
+	tight.Requirement = 0.999999
+	tight.Horizon = 1
+	if _, err := pop.SampleMultiTask(rng, tight, 10, 15); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPredictedPoSSampleMatchesFig4Shape(t *testing.T) {
+	pop := testPopulation(t)
+	rng := stats.NewRand(8)
+	values, err := pop.PredictedPoSSample(rng, DefaultParams(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) == 0 {
+		t.Fatal("no values")
+	}
+	low := 0
+	for _, v := range values {
+		if v < 0 || v >= 1 {
+			t.Fatalf("PoS %g out of range", v)
+		}
+		if v <= 0.2 {
+			low++
+		}
+	}
+	// Fig. 4: most single-slot PoS values fall in [0, 0.2].
+	if frac := float64(low) / float64(len(values)); frac < 0.6 {
+		t.Errorf("only %.2f of PoS values ≤ 0.2, want the Fig. 4 shape", frac)
+	}
+	if _, err := pop.PredictedPoSSample(rng, DefaultParams(), 0); err == nil {
+		t.Error("count 0 should fail")
+	}
+}
+
+func TestSamplingDeterministicPerSeed(t *testing.T) {
+	pop := testPopulation(t)
+	p := DefaultParams()
+	a1, err := pop.SampleSingleTask(stats.NewRand(99), p, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := pop.SampleSingleTask(stats.NewRand(99), p, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Tasks[0].ID != a2.Tasks[0].ID {
+		t.Error("task differs across identical seeds")
+	}
+	for i := range a1.Bids {
+		if a1.Bids[i].User != a2.Bids[i].User || a1.Bids[i].Cost != a2.Bids[i].Cost {
+			t.Fatalf("bid %d differs across identical seeds", i)
+		}
+	}
+}
