@@ -1,0 +1,40 @@
+# Developer entry points. `make check` is the pre-PR gate: vet, build, the
+# full test suite, race-enabled tests of every concurrency-bearing package,
+# and a seed-corpus pass of the wire fuzzers.
+
+GO ?= go
+
+# Packages that spawn goroutines on production paths. The experiment
+# harnesses are excluded from the race pass only because their compute
+# sweeps exceed any reasonable gate under race instrumentation; their
+# concurrency (mechanism fan-out) is race-covered via these packages.
+RACE_PKGS = ./internal/engine/... ./internal/platform/... \
+	./internal/agent/... ./internal/wire/... ./internal/mechanism/...
+
+.PHONY: all build test race fuzz-seed bench check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Run every wire fuzz target over its checked-in seed corpus (no new
+# inputs are generated; this is the deterministic regression pass).
+fuzz-seed:
+	$(GO) test -run 'Fuzz.*' ./internal/wire
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkEngineThroughput -benchtime 3x ./internal/engine
+
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race $(RACE_PKGS)
+	$(MAKE) fuzz-seed

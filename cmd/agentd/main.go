@@ -14,6 +14,13 @@
 // must be grid cells, as produced by the workload samplers):
 //
 //	agentd -addr 127.0.0.1:7373 -user 5 -model model.json -horizon 12
+//
+// Targeting one campaign of a multi-campaign engine (platformd -campaigns):
+//
+//	agentd -addr 127.0.0.1:7373 -campaign c3 -user 1 -cost 3 -pos 1=0.7
+//
+// Dials are retried with bounded exponential backoff (-retries), so agentd
+// may be started before platformd is up.
 package main
 
 import (
@@ -42,23 +49,30 @@ func main() {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7373", "platform address")
-		user    = flag.Int("user", 1, "user ID (fleet mode: first ID)")
-		cost    = flag.Float64("cost", 15, "cost to perform the task set")
-		pos     = flag.String("pos", "", "per-task PoS, e.g. 1=0.7,2=0.4 (empty = fleet/auto mode)")
-		fleet   = flag.Int("fleet", 0, "run this many agents with random auto types")
-		seed    = flag.Int64("seed", 1, "random seed (execution and auto types)")
-		model   = flag.String("model", "", "derive the type from this serialized mobility model (JSON)")
-		horizon = flag.Int("horizon", 12, "campaign horizon for -model mode")
-		setSize = flag.Int("taskset", 15, "task-set size for -model mode")
+		addr     = flag.String("addr", "127.0.0.1:7373", "platform address")
+		user     = flag.Int("user", 1, "user ID (fleet mode: first ID)")
+		cost     = flag.Float64("cost", 15, "cost to perform the task set")
+		pos      = flag.String("pos", "", "per-task PoS, e.g. 1=0.7,2=0.4 (empty = fleet/auto mode)")
+		fleet    = flag.Int("fleet", 0, "run this many agents with random auto types")
+		seed     = flag.Int64("seed", 1, "random seed (execution and auto types)")
+		model    = flag.String("model", "", "derive the type from this serialized mobility model (JSON)")
+		horizon  = flag.Int("horizon", 12, "campaign horizon for -model mode")
+		setSize  = flag.Int("taskset", 15, "task-set size for -model mode")
+		campaign = flag.String("campaign", "", "target campaign ID (empty = platform's default campaign)")
+		retries  = flag.Int("retries", 5, "dial attempts before giving up (exponential backoff)")
 	)
 	flag.Parse()
 
+	opts := agentOptions{
+		addr:     *addr,
+		campaign: *campaign,
+		backoff:  agent.Backoff{Attempts: *retries},
+	}
 	if *fleet > 0 {
-		return runFleet(*addr, *user, *fleet, *seed)
+		return runFleet(opts, *user, *fleet, *seed)
 	}
 	if *model != "" {
-		return runFromModel(*addr, *user, *model, *cost, *horizon, *setSize, *seed)
+		return runFromModel(opts, *user, *model, *cost, *horizon, *setSize, *seed)
 	}
 	if *pos == "" {
 		return fmt.Errorf("one of -pos, -model, or -fleet is required")
@@ -67,17 +81,25 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := agent.Run(context.Background(), agent.Config{
-		Addr:    *addr,
-		User:    auction.UserID(*user),
-		TrueBid: auction.NewBid(auction.UserID(*user), tasks, *cost, posMap),
-		Seed:    *seed,
-	})
+	res, err := agent.RunWithBackoff(context.Background(), agent.Config{
+		Addr:     opts.addr,
+		Campaign: opts.campaign,
+		User:     auction.UserID(*user),
+		TrueBid:  auction.NewBid(auction.UserID(*user), tasks, *cost, posMap),
+		Seed:     *seed,
+	}, opts.backoff)
 	if err != nil {
 		return err
 	}
 	printResult(*user, res)
 	return nil
+}
+
+// agentOptions carries the connection settings shared by all agent modes.
+type agentOptions struct {
+	addr     string
+	campaign string
+	backoff  agent.Backoff
 }
 
 func parsePoS(s string) (map[auction.TaskID]float64, []auction.TaskID, error) {
@@ -104,7 +126,7 @@ func parsePoS(s string) (map[auction.TaskID]float64, []auction.TaskID, error) {
 
 // runFromModel loads a serialized mobility model and bids the way the
 // evaluation workload does: top-k predicted cells at the campaign horizon.
-func runFromModel(addr string, user int, path string, cost float64, horizon, setSize int, seed int64) error {
+func runFromModel(opts agentOptions, user int, path string, cost float64, horizon, setSize int, seed int64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -115,12 +137,13 @@ func runFromModel(addr string, user int, path string, cost float64, horizon, set
 	}
 	rng := stats.NewRand(seed)
 	bid := agent.BidFromModel(rng, auction.UserID(user), &m, setSize, horizon, cost)
-	res, err := agent.Run(context.Background(), agent.Config{
-		Addr:    addr,
-		User:    auction.UserID(user),
-		TrueBid: bid,
-		Seed:    seed,
-	})
+	res, err := agent.RunWithBackoff(context.Background(), agent.Config{
+		Addr:     opts.addr,
+		Campaign: opts.campaign,
+		User:     auction.UserID(user),
+		TrueBid:  bid,
+		Seed:     seed,
+	}, opts.backoff)
 	if err != nil {
 		return err
 	}
@@ -128,7 +151,7 @@ func runFromModel(addr string, user int, path string, cost float64, horizon, set
 	return nil
 }
 
-func runFleet(addr string, firstUser, n int, seed int64) error {
+func runFleet(opts agentOptions, firstUser, n int, seed int64) error {
 	var wg sync.WaitGroup
 	errs := make([]error, n)
 	for i := 0; i < n; i++ {
@@ -137,9 +160,10 @@ func runFleet(addr string, firstUser, n int, seed int64) error {
 			defer wg.Done()
 			id := auction.UserID(firstUser + i)
 			rng := stats.NewRand(seed + int64(i))
-			res, err := agent.Run(context.Background(), agent.Config{
-				Addr: addr,
-				User: id,
+			res, err := agent.RunWithBackoff(context.Background(), agent.Config{
+				Addr:     opts.addr,
+				Campaign: opts.campaign,
+				User:     id,
 				AutoType: func(tasks []wire.TaskSpec) auction.Bid {
 					ids := make([]auction.TaskID, 0, len(tasks))
 					posMap := make(map[auction.TaskID]float64, len(tasks))
@@ -158,7 +182,7 @@ func runFleet(addr string, firstUser, n int, seed int64) error {
 					return auction.NewBid(id, ids, stats.NormalPositive(rng, 15, 2.2, 1), posMap)
 				},
 				Seed: seed + int64(i),
-			})
+			}, opts.backoff)
 			if err != nil {
 				errs[i] = err
 				return

@@ -1,15 +1,19 @@
-// Command platformd runs the crowdsensing platform server for one auction
-// round: it publishes tasks, collects sealed bids from agentd processes,
-// runs the fault-tolerant mechanism, and settles execution-contingent
-// rewards.
+// Command platformd runs the crowdsensing platform server: it publishes
+// tasks, collects sealed bids from agentd processes, runs the fault-tolerant
+// mechanism, and settles execution-contingent rewards.
 //
-// Example (single task, three bidders):
+// Example (single task, three bidders, one round):
 //
 //	platformd -addr 127.0.0.1:7373 -tasks 1 -requirement 0.9 -bidders 3
 //
 // Example (five tasks, ten bidders, 30 s bid window):
 //
 //	platformd -tasks 5 -bidders 10 -window 30s
+//
+// Example (engine mode: eight concurrent campaigns c1..c8 on one port, two
+// rounds each, engine metrics printed at exit):
+//
+//	platformd -campaigns 8 -tasks 2 -bidders 5 -rounds 2 -window 30s
 package main
 
 import (
@@ -18,10 +22,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"crowdsense/internal/auction"
+	"crowdsense/internal/engine"
 	"crowdsense/internal/mechanism"
 	"crowdsense/internal/platform"
 )
@@ -43,6 +49,8 @@ func run() error {
 		epsilon     = flag.Float64("epsilon", 0.5, "FPTAS parameter (single task)")
 		window      = flag.Duration("window", 0, "bid window after the first bid (0 = wait for all)")
 		rounds      = flag.Int("rounds", 1, "auction rounds to serve before exiting")
+		campaigns   = flag.Int("campaigns", 0, "serve this many concurrent campaigns (c1..cN) on one port (0 = legacy single-campaign mode)")
+		workers     = flag.Int("workers", 0, "winner-determination worker pool size (0 = auto; -campaigns mode)")
 		journal     = flag.String("journal", "", "append one JSON line per round to this file")
 	)
 	flag.Parse()
@@ -50,13 +58,6 @@ func run() error {
 	specs := make([]auction.Task, *tasks)
 	for i := range specs {
 		specs[i] = auction.Task{ID: auction.TaskID(i + 1), Requirement: *requirement}
-	}
-	cfg := platform.Config{
-		Tasks:           specs,
-		ExpectedBidders: *bidders,
-		BidWindow:       *window,
-		Alpha:           *alpha,
-		Epsilon:         *epsilon,
 	}
 
 	var journalFile *os.File
@@ -71,6 +72,29 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *campaigns > 0 {
+		return runEngine(ctx, engineOptions{
+			addr:      *addr,
+			tasks:     specs,
+			bidders:   *bidders,
+			window:    *window,
+			rounds:    *rounds,
+			campaigns: *campaigns,
+			workers:   *workers,
+			alpha:     *alpha,
+			epsilon:   *epsilon,
+			journal:   journalFile,
+		})
+	}
+
+	cfg := platform.Config{
+		Tasks:           specs,
+		ExpectedBidders: *bidders,
+		BidWindow:       *window,
+		Alpha:           *alpha,
+		Epsilon:         *epsilon,
+	}
 	start := time.Now()
 	_, err := platform.RunRounds(ctx, cfg, platform.RoundsOptions{
 		Addr:   *addr,
@@ -80,7 +104,7 @@ func run() error {
 				bound, *tasks, *requirement, *bidders)
 		},
 		OnRound: func(round int, result platform.RoundResult) {
-			printRound(round, result, time.Since(start))
+			printRound(fmt.Sprintf("round %d", round), result, time.Since(start))
 			if journalFile != nil {
 				entry := platform.NewJournalEntry(round, specs, result)
 				if err := platform.WriteJournal(journalFile, entry); err != nil {
@@ -92,9 +116,81 @@ func run() error {
 	return err
 }
 
+type engineOptions struct {
+	addr      string
+	tasks     []auction.Task
+	bidders   int
+	window    time.Duration
+	rounds    int
+	campaigns int
+	workers   int
+	alpha     float64
+	epsilon   float64
+	journal   *os.File
+}
+
+// runEngine serves N concurrent campaigns on one listener and prints the
+// engine's metrics snapshot on exit.
+func runEngine(ctx context.Context, opts engineOptions) error {
+	start := time.Now()
+	var journalMu sync.Mutex
+	journalSeq := 0
+	eng := engine.New(engine.Config{
+		Workers: opts.workers,
+		OnRound: func(r engine.RoundResult) {
+			printRound(fmt.Sprintf("campaign %s round %d", r.Campaign, r.Round),
+				platform.RoundResult{
+					Outcome:     r.Outcome,
+					Bids:        r.Bids,
+					Settlements: r.Settlements,
+					Err:         r.Err,
+				}, time.Since(start))
+			if opts.journal != nil {
+				journalMu.Lock()
+				defer journalMu.Unlock()
+				journalSeq++
+				entry := platform.NewJournalEntry(journalSeq, opts.tasks, platform.RoundResult{
+					Outcome:     r.Outcome,
+					Bids:        r.Bids,
+					Settlements: r.Settlements,
+					Err:         r.Err,
+				})
+				if err := platform.WriteJournal(opts.journal, entry); err != nil {
+					fmt.Fprintln(os.Stderr, "platformd: journal:", err)
+				}
+			}
+		},
+	})
+	for i := 0; i < opts.campaigns; i++ {
+		err := eng.AddCampaign(engine.CampaignConfig{
+			ID:              fmt.Sprintf("c%d", i+1),
+			Tasks:           opts.tasks,
+			ExpectedBidders: opts.bidders,
+			BidWindow:       opts.window,
+			Rounds:          opts.rounds,
+			Alpha:           opts.alpha,
+			Epsilon:         opts.epsilon,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if err := eng.Listen(opts.addr); err != nil {
+		return err
+	}
+	fmt.Printf("platformd engine on %s: %d campaigns × %d round(s), %d task(s), requirement %.2f, %d bidders each\n",
+		eng.Addr(), opts.campaigns, opts.rounds, len(opts.tasks),
+		opts.tasks[0].Requirement, opts.bidders)
+
+	err := eng.Serve(ctx)
+	fmt.Printf("\nengine metrics after %s:\n%s\n",
+		time.Since(start).Round(time.Millisecond), eng.Snapshot())
+	return err
+}
+
 // printRound summarizes one completed auction round.
-func printRound(round int, result platform.RoundResult, elapsed time.Duration) {
-	fmt.Printf("\nround %d complete at %s\n", round, elapsed.Round(time.Millisecond))
+func printRound(label string, result platform.RoundResult, elapsed time.Duration) {
+	fmt.Printf("\n%s complete at %s\n", label, elapsed.Round(time.Millisecond))
 	if result.Err != nil {
 		fmt.Printf("round void: %v\n", result.Err)
 		return

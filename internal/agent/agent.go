@@ -24,6 +24,11 @@ import (
 type Config struct {
 	Addr string // platform address
 
+	// Campaign targets one campaign of a multi-campaign engine. Empty means
+	// the legacy single-campaign protocol: the platform routes the session
+	// to its default campaign.
+	Campaign string
+
 	User auction.UserID
 
 	// TrueBid is the agent's true type: task set, cost, and true PoS. The
@@ -88,7 +93,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	dialer := net.Dialer{Timeout: cfg.timeout()}
 	conn, err := dialer.DialContext(ctx, "tcp", cfg.Addr)
 	if err != nil {
-		return Result{}, fmt.Errorf("agent %d: dial: %w", cfg.User, err)
+		return Result{}, fmt.Errorf("agent %d: %w: %w", cfg.User, ErrDial, err)
 	}
 	defer conn.Close()
 	// Honour context cancellation by closing the connection.
@@ -99,7 +104,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	setDeadline := func() { _ = conn.SetDeadline(time.Now().Add(cfg.timeout())) }
 
 	setDeadline()
-	if err := codec.Write(&wire.Envelope{Type: wire.TypeRegister,
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeRegister, Campaign: cfg.Campaign,
 		Register: &wire.Register{User: int(cfg.User)}}); err != nil {
 		return Result{}, fmt.Errorf("agent %d: register: %w", cfg.User, err)
 	}
@@ -135,7 +140,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, errors.New("agent: no published task intersects the user's task set")
 	}
 	setDeadline()
-	if err := codec.Write(&wire.Envelope{Type: wire.TypeBid, Bid: &wire.Bid{
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeBid, Campaign: cfg.Campaign, Bid: &wire.Bid{
 		User:  int(cfg.User),
 		Tasks: taskIDs,
 		Cost:  cfg.TrueBid.Cost,

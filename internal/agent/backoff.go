@@ -1,0 +1,85 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"crowdsense/internal/stats"
+)
+
+// ErrDial marks a failure to reach the platform at all (refused, unreachable,
+// timed out before the connection opened). Only these failures are retried by
+// RunWithBackoff; protocol and application errors are not.
+var ErrDial = errors.New("dial failed")
+
+// Backoff is a bounded exponential backoff with jitter for connecting to a
+// platform that is not up yet (or is between rounds). The zero value uses
+// the defaults noted on each field.
+type Backoff struct {
+	Attempts int           // total dial attempts, including the first (default 5)
+	Base     time.Duration // delay before the first retry (default 100 ms)
+	Max      time.Duration // delay cap (default 5 s)
+}
+
+func (b Backoff) attempts() int {
+	if b.Attempts <= 0 {
+		return 5
+	}
+	return b.Attempts
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base <= 0 {
+		return 100 * time.Millisecond
+	}
+	return b.Base
+}
+
+func (b Backoff) max() time.Duration {
+	if b.Max <= 0 {
+		return 5 * time.Second
+	}
+	return b.Max
+}
+
+// delay returns the pause before retry n (0-based): the capped exponential
+// Base·2ⁿ, jittered uniformly into its upper half so a fleet of agents
+// started together does not reconnect in lockstep.
+func (b Backoff) delay(n int, rng *rand.Rand) time.Duration {
+	d := b.base() << uint(n)
+	if limit := b.max(); d <= 0 || d > limit { // <= 0: shift overflow
+		d = limit
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+}
+
+// RunWithBackoff executes one auction round like Run, but retries dial
+// failures under the backoff policy instead of dying on the first refused
+// connection — agents started before the platform (or between rounds)
+// converge. Any non-dial error, and the last dial error once attempts are
+// exhausted, is returned unchanged.
+func RunWithBackoff(ctx context.Context, cfg Config, b Backoff) (Result, error) {
+	rng := stats.NewRand(cfg.Seed ^ int64(cfg.User))
+	var lastErr error
+	for attempt := 0; attempt < b.attempts(); attempt++ {
+		if attempt > 0 {
+			timer := time.NewTimer(b.delay(attempt-1, rng))
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return Result{}, ctx.Err()
+			case <-timer.C:
+			}
+		}
+		res, err := Run(ctx, cfg)
+		if err == nil || !errors.Is(err, ErrDial) || ctx.Err() != nil {
+			return res, err
+		}
+		lastErr = err
+	}
+	return Result{}, fmt.Errorf("agent %d: %d attempts exhausted: %w",
+		cfg.User, b.attempts(), lastErr)
+}

@@ -1,0 +1,117 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/engine"
+)
+
+func TestBackoffDelayBoundedWithJitter(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n < 20; n++ {
+		d := b.delay(n, rng)
+		exp := b.Base << uint(n)
+		if exp <= 0 || exp > b.Max {
+			exp = b.Max
+		}
+		if d < exp/2 || d > exp {
+			t.Errorf("delay(%d) = %v outside [%v, %v]", n, d, exp/2, exp)
+		}
+	}
+}
+
+func TestRunWithBackoffExhaustsAttempts(t *testing.T) {
+	start := time.Now()
+	_, err := RunWithBackoff(context.Background(), Config{
+		Addr:    "127.0.0.1:1", // nothing listens there
+		User:    1,
+		TrueBid: auction.NewBid(1, []auction.TaskID{1}, 2, map[auction.TaskID]float64{1: 0.5}),
+		Timeout: 500 * time.Millisecond,
+	}, Backoff{Attempts: 3, Base: 10 * time.Millisecond, Max: 50 * time.Millisecond})
+	if !errors.Is(err, ErrDial) {
+		t.Fatalf("error = %v, want ErrDial", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("exhausting 3 fast attempts took %v", elapsed)
+	}
+}
+
+func TestRunWithBackoffRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := RunWithBackoff(ctx, Config{
+		Addr:    "127.0.0.1:1",
+		User:    1,
+		TrueBid: auction.NewBid(1, []auction.TaskID{1}, 2, map[auction.TaskID]float64{1: 0.5}),
+		Timeout: 500 * time.Millisecond,
+	}, Backoff{Attempts: 100, Base: time.Second, Max: time.Second})
+	if err == nil {
+		t.Fatal("cancelled backoff should fail")
+	}
+}
+
+// TestRunWithBackoffConvergesOnLatePlatform starts the agent before the
+// platform exists: the agent must retry until the engine comes up and then
+// complete the round.
+func TestRunWithBackoffConvergesOnLatePlatform(t *testing.T) {
+	// Reserve an address, then release it for the engine to take later.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := RunWithBackoff(context.Background(), Config{
+			Addr:    addr,
+			User:    1,
+			TrueBid: auction.NewBid(1, []auction.TaskID{1}, 2, map[auction.TaskID]float64{1: 0.8}),
+			Seed:    1,
+			Timeout: 10 * time.Second,
+		}, Backoff{Attempts: 20, Base: 50 * time.Millisecond, Max: 250 * time.Millisecond})
+		resCh <- err
+	}()
+
+	time.Sleep(300 * time.Millisecond) // a few refused dials happen here
+
+	e := engine.New(engine.Config{ConnTimeout: 10 * time.Second})
+	if err := e.AddCampaign(engine.CampaignConfig{
+		ID:              "main",
+		Tasks:           []auction.Task{{ID: 1, Requirement: 0.6}},
+		ExpectedBidders: 1,
+		Alpha:           10,
+		Epsilon:         0.5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Listen(addr); err != nil {
+		t.Skipf("reserved address was taken: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		done <- e.Serve(ctx)
+	}()
+
+	select {
+	case err := <-resCh:
+		if err != nil {
+			t.Fatalf("agent did not converge: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("agent did not finish")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+}

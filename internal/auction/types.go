@@ -181,6 +181,17 @@ func New(tasks []Task, bids []Bid) (*Auction, error) {
 	}, nil
 }
 
+// ValidateBid checks one bid against a task list exactly as New would,
+// without assembling a full auction. Admission paths use it to reject a bad
+// bid at the door instead of voiding the whole round at allocation time.
+func ValidateBid(bid Bid, tasks []Task) error {
+	taskIndex := make(map[TaskID]int, len(tasks))
+	for i, task := range tasks {
+		taskIndex[task.ID] = i
+	}
+	return validateBid(bid, taskIndex)
+}
+
 func validateBid(bid Bid, taskIndex map[TaskID]int) error {
 	if len(bid.Tasks) == 0 {
 		return fmt.Errorf("%w: user %d", ErrEmptyTaskSet, bid.User)

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdsense/internal/agent"
+	"crowdsense/internal/auction"
+)
+
+// BenchmarkEngineThroughput measures end-to-end auction throughput: M
+// concurrent campaigns × K agents per round over real loopback TCP, every
+// round a full register→bid→award→report→settle exchange. Reported as
+// rounds/s and bids/s across the whole engine.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, shape := range []struct{ campaigns, agents int }{
+		{1, 5},
+		{4, 5},
+		{8, 5},
+	} {
+		b.Run(fmt.Sprintf("campaigns=%d/agents=%d", shape.campaigns, shape.agents), func(b *testing.B) {
+			benchEngineThroughput(b, shape.campaigns, shape.agents)
+		})
+	}
+}
+
+func benchEngineThroughput(b *testing.B, campaigns, agentsPer int) {
+	// One signal channel per campaign: the driver may only launch the next
+	// round's agents after OnRound reports the previous round settled (by
+	// which time the campaign is already collecting again).
+	roundDone := make(map[string]chan struct{}, campaigns)
+	e := New(Config{
+		ConnTimeout: 30 * time.Second,
+		OnRound: func(r RoundResult) {
+			if r.Err != nil {
+				b.Errorf("campaign %s round %d: %v", r.Campaign, r.Round, r.Err)
+			}
+			roundDone[r.Campaign] <- struct{}{}
+		},
+	})
+	for i := 0; i < campaigns; i++ {
+		id := fmt.Sprintf("c%d", i+1)
+		roundDone[id] = make(chan struct{}, 1)
+		err := e.AddCampaign(CampaignConfig{
+			ID:              id,
+			Tasks:           []auction.Task{{ID: 1, Requirement: 0.5}},
+			ExpectedBidders: agentsPer,
+			Rounds:          b.N,
+			Alpha:           10,
+			Epsilon:         0.5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	addr := e.Addr().String()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- e.Serve(context.Background()) }()
+
+	b.ResetTimer()
+	var drivers sync.WaitGroup
+	for i := 0; i < campaigns; i++ {
+		drivers.Add(1)
+		go func(ci int) {
+			defer drivers.Done()
+			id := fmt.Sprintf("c%d", ci+1)
+			for round := 0; round < b.N; round++ {
+				var agents sync.WaitGroup
+				for a := 0; a < agentsPer; a++ {
+					agents.Add(1)
+					go func(a int) {
+						defer agents.Done()
+						user := auction.UserID(1000*ci + a + 1)
+						bid := auction.NewBid(user, []auction.TaskID{1},
+							float64(a)+1, map[auction.TaskID]float64{1: 0.9})
+						_, err := agent.Run(context.Background(), agent.Config{
+							Addr:     addr,
+							Campaign: id,
+							User:     user,
+							TrueBid:  bid,
+							Seed:     int64(ci*100 + a),
+							Timeout:  30 * time.Second,
+						})
+						if err != nil {
+							b.Errorf("campaign %s agent %d: %v", id, user, err)
+						}
+					}(a)
+				}
+				agents.Wait()
+				<-roundDone[id]
+			}
+		}(i)
+	}
+	drivers.Wait()
+	b.StopTimer()
+
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		totalRounds := float64(campaigns * b.N)
+		b.ReportMetric(totalRounds/elapsed, "rounds/s")
+		b.ReportMetric(totalRounds*float64(agentsPer)/elapsed, "bids/s")
+	}
+	if err := <-serveErr; err != nil {
+		b.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,534 @@
+// Package engine implements a long-lived, multi-campaign auction engine: a
+// single listener multiplexing many concurrent task campaigns, each running
+// the paper's sealed-bid fault-tolerant auction over the wire protocol of
+// internal/wire.
+//
+// Architecture:
+//
+//   - a campaign registry keyed by campaign ID; each campaign owns its task
+//     set, bid window, and per-round state machine
+//     (collecting → computing → settling → closed);
+//   - a bid-ingestion queue with explicit backpressure: sessions enqueue
+//     admissions and are rejected with a reason when the queue is full or
+//     the campaign is not collecting;
+//   - a bounded worker pool that runs winner determination off the accept
+//     path, so a slow mechanism never blocks bid intake for other campaigns;
+//   - counters and latency histograms exposed through an expvar-style
+//     Snapshot.
+//
+// Wire compatibility: agents route to a campaign with the optional campaign
+// field on wire envelopes; a legacy agent that sends no campaign is served
+// by the engine's default (first-registered) campaign.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/wire"
+)
+
+// Config parameterizes an engine.
+type Config struct {
+	// Workers sizes the winner-determination pool. Zero means
+	// min(GOMAXPROCS, 8).
+	Workers int
+
+	// QueueDepth caps the bid-ingestion queue; a session whose bid cannot
+	// be enqueued is rejected with a "queue full" reason. Zero means 256.
+	QueueDepth int
+
+	// ConnTimeout bounds per-message I/O with one agent. Zero means
+	// 30 seconds.
+	ConnTimeout time.Duration
+
+	// OnRound, if set, observes every settled round. It may be called
+	// concurrently for different campaigns and must be quick.
+	OnRound func(RoundResult)
+
+	// OnRoundOpen, if set, is called when a campaign round opens for bids
+	// (round is 1-based). Initial rounds are reported when Serve starts.
+	OnRoundOpen func(campaign string, round int)
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 256
+}
+
+func (c Config) connTimeout() time.Duration {
+	if c.ConnTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.ConnTimeout
+}
+
+// ingestReq asks the admitter to record one bid into a campaign's current
+// round; the verdict comes back on reply (buffered, never blocks the
+// admitter).
+type ingestReq struct {
+	camp  *campaign
+	bid   auction.Bid
+	reply chan admitReply
+}
+
+type admitReply struct {
+	rd  *round
+	err error
+}
+
+// computeJob hands one full round to the winner-determination pool.
+type computeJob struct {
+	camp *campaign
+	rd   *round
+}
+
+// Engine multiplexes many concurrent campaigns over one listener. Configure
+// with New, register campaigns with AddCampaign, bind with Listen, then run
+// Serve; Serve returns when every campaign has closed or the context is
+// cancelled.
+type Engine struct {
+	cfg      Config
+	listener net.Listener
+
+	mu        sync.Mutex
+	campaigns map[string]*campaign
+	order     []string // registration order; order[0] is the default campaign
+	open      int      // campaigns not yet closed
+	serving   bool
+
+	ingest    chan ingestReq
+	compute   chan computeJob
+	allClosed chan struct{}
+
+	metrics metrics
+	wg      sync.WaitGroup
+}
+
+// New creates an empty engine. Add at least one campaign before Serve.
+func New(cfg Config) *Engine {
+	return &Engine{
+		cfg:       cfg,
+		campaigns: make(map[string]*campaign),
+		allClosed: make(chan struct{}),
+	}
+}
+
+// AddCampaign registers a campaign. All campaigns must be added before
+// Serve; the first one added is the default for legacy campaign-less agents.
+func (e *Engine) AddCampaign(cc CampaignConfig) error {
+	if cc.ID == "" {
+		return errors.New("engine: campaign ID must be non-empty")
+	}
+	if len(cc.Tasks) == 0 {
+		return fmt.Errorf("engine: campaign %q: no tasks configured", cc.ID)
+	}
+	seen := make(map[auction.TaskID]bool, len(cc.Tasks))
+	for _, task := range cc.Tasks {
+		if task.Requirement <= 0 || task.Requirement >= 1 {
+			return fmt.Errorf("engine: campaign %q: task %d requirement %g outside (0, 1)",
+				cc.ID, task.ID, task.Requirement)
+		}
+		if seen[task.ID] {
+			return fmt.Errorf("engine: campaign %q: duplicate task %d", cc.ID, task.ID)
+		}
+		seen[task.ID] = true
+	}
+	if cc.ExpectedBidders < 1 {
+		return fmt.Errorf("engine: campaign %q: expected bidders %d must be positive",
+			cc.ID, cc.ExpectedBidders)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.serving {
+		return fmt.Errorf("engine: campaign %q: cannot add campaigns while serving", cc.ID)
+	}
+	if _, dup := e.campaigns[cc.ID]; dup {
+		return fmt.Errorf("engine: duplicate campaign %q", cc.ID)
+	}
+	c := &campaign{cfg: cc, eng: e, roundsLeft: cc.rounds()}
+	c.openRoundLocked()
+	e.campaigns[cc.ID] = c
+	e.order = append(e.order, cc.ID)
+	e.open++
+	return nil
+}
+
+// Listen binds the engine to addr (e.g. "127.0.0.1:0").
+func (e *Engine) Listen(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("engine: listen %s: %w", addr, err)
+	}
+	e.listener = l
+	return nil
+}
+
+// Addr reports the bound address; Listen must have succeeded.
+func (e *Engine) Addr() net.Addr {
+	return e.listener.Addr()
+}
+
+// Serve accepts agent connections and runs every campaign to completion. It
+// returns nil once all campaigns have closed, or the context's error on
+// cancellation. Listen must be called first; Serve may be called once.
+func (e *Engine) Serve(ctx context.Context) error {
+	if e.listener == nil {
+		return errors.New("engine: Serve before Listen")
+	}
+	e.mu.Lock()
+	if e.serving {
+		e.mu.Unlock()
+		return errors.New("engine: Serve called twice")
+	}
+	if len(e.order) == 0 {
+		e.mu.Unlock()
+		return errors.New("engine: no campaigns registered")
+	}
+	e.serving = true
+	// One slot per campaign: a campaign has at most one round in flight, so
+	// handing a round to the pool never blocks (see startComputeLocked).
+	e.compute = make(chan computeJob, len(e.order))
+	e.ingest = make(chan ingestReq, e.cfg.queueDepth())
+	initial := append([]string(nil), e.order...)
+	e.mu.Unlock()
+	defer e.listener.Close()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	if e.cfg.OnRoundOpen != nil {
+		for _, id := range initial {
+			e.cfg.OnRoundOpen(id, 1)
+		}
+	}
+
+	// The admitter serializes bid ingestion: FIFO admission with the queue
+	// as the buffer, backpressure at the session (see handle).
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.admitLoop(ctx)
+	}()
+	for i := 0; i < e.cfg.workers(); i++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.computeLoop(ctx)
+		}()
+	}
+
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-e.allClosed:
+		}
+		e.listener.Close() // unblock Accept
+	}()
+
+	acceptErr := make(chan error, 1)
+	go func() {
+		for {
+			conn, err := e.listener.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			e.wg.Add(1)
+			go func() {
+				defer e.wg.Done()
+				e.handle(ctx, conn)
+			}()
+		}
+	}()
+
+	var retErr error
+	select {
+	case <-ctx.Done():
+		retErr = ctx.Err()
+	case <-e.allClosed:
+	}
+	cancel()
+	<-acceptErr
+	e.stopTimers()
+	e.wg.Wait()
+	return retErr
+}
+
+func (e *Engine) admitLoop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case req := <-e.ingest:
+			e.mu.Lock()
+			rd, err := req.camp.admitLocked(req.bid)
+			e.mu.Unlock()
+			req.reply <- admitReply{rd: rd, err: err}
+		}
+	}
+}
+
+func (e *Engine) computeLoop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case job := <-e.compute:
+			job.camp.runWinnerDetermination(job.rd)
+		}
+	}
+}
+
+// handle serves one agent session: register (resolving the campaign),
+// publish tasks, ingest the bid through the queue, await the round outcome,
+// then award/report/settle.
+func (e *Engine) handle(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	// Honour engine shutdown by closing the connection under the session.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	codec := wire.NewCodec(conn)
+	timeout := e.cfg.connTimeout()
+	setDeadline := func() { _ = conn.SetDeadline(time.Now().Add(timeout)) }
+
+	setDeadline()
+	env, err := codec.Expect(wire.TypeRegister)
+	if err != nil {
+		codec.WriteError(fmt.Sprintf("expected register: %v", err))
+		return
+	}
+	user := auction.UserID(env.Register.User)
+	camp := e.lookup(env.Campaign)
+	if camp == nil {
+		codec.WriteError(fmt.Sprintf("unknown campaign %q", env.Campaign))
+		return
+	}
+	campID := camp.cfg.ID
+
+	// Publish the campaign's tasks.
+	specs := make([]wire.TaskSpec, len(camp.cfg.Tasks))
+	for i, task := range camp.cfg.Tasks {
+		specs[i] = wire.TaskSpec{ID: int(task.ID), Requirement: task.Requirement}
+	}
+	setDeadline()
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeTasks, Campaign: campID,
+		Tasks: &wire.Tasks{Tasks: specs}}); err != nil {
+		return
+	}
+
+	// Collect the sealed bid.
+	setDeadline()
+	env, err = codec.Expect(wire.TypeBid)
+	if err != nil {
+		codec.WriteError(fmt.Sprintf("expected bid: %v", err))
+		return
+	}
+	if env.Campaign != "" && env.Campaign != campID {
+		codec.WriteError(fmt.Sprintf("bid campaign %q mismatches session campaign %q",
+			env.Campaign, campID))
+		return
+	}
+	bid, err := bidFromWire(env.Bid)
+	if err != nil {
+		codec.WriteError(err.Error())
+		return
+	}
+	if bid.User != user {
+		codec.WriteError("bid user mismatches registration")
+		return
+	}
+
+	// Ingest through the bounded queue; a full queue is backpressure, not a
+	// wait.
+	req := ingestReq{camp: camp, bid: bid, reply: make(chan admitReply, 1)}
+	select {
+	case e.ingest <- req:
+	case <-ctx.Done():
+		return
+	default:
+		e.metrics.bidsRejected.Add(1)
+		codec.WriteError("engine overloaded: bid queue full")
+		return
+	}
+	var rep admitReply
+	select {
+	case rep = <-req.reply:
+	case <-ctx.Done():
+		return
+	}
+	if rep.err != nil {
+		e.metrics.bidsRejected.Add(1)
+		codec.WriteError(fmt.Sprintf("bid rejected: %v", rep.err))
+		return
+	}
+	e.metrics.bidsAccepted.Add(1)
+	rd := rep.rd
+
+	// Await the round outcome.
+	select {
+	case <-ctx.Done():
+		return
+	case <-rd.computed:
+	}
+	if rd.err != nil {
+		codec.WriteError(fmt.Sprintf("auction failed: %v", rd.err))
+		camp.sessionDone(rd, user, nil)
+		return
+	}
+
+	award, won := rd.outcome.AwardFor(rd.order[user])
+	setDeadline()
+	if !won {
+		_ = codec.Write(&wire.Envelope{Type: wire.TypeAward, Campaign: campID,
+			Award: &wire.Award{Selected: false}})
+		camp.sessionDone(rd, user, nil)
+		return
+	}
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeAward, Campaign: campID,
+		Award: &wire.Award{
+			Selected:        true,
+			CriticalPoS:     award.CriticalPoS,
+			RewardOnSuccess: award.RewardOnSuccess,
+			RewardOnFailure: award.RewardOnFailure,
+		}}); err != nil {
+		camp.sessionDone(rd, user, nil)
+		return
+	}
+
+	// Collect the execution report and settle.
+	setDeadline()
+	env, err = codec.Expect(wire.TypeReport)
+	if err != nil {
+		camp.sessionDone(rd, user, nil)
+		return
+	}
+	success := false
+	for _, ok := range env.Report.Succeeded {
+		if ok {
+			success = true
+			break
+		}
+	}
+	reward := award.RewardOnFailure
+	if success {
+		reward = award.RewardOnSuccess
+	}
+	settle := wire.Settle{Success: success, Reward: reward, Utility: reward - bid.Cost}
+	setDeadline()
+	_ = codec.Write(&wire.Envelope{Type: wire.TypeSettle, Campaign: campID, Settle: &settle})
+	camp.sessionDone(rd, user, &settle)
+}
+
+// lookup resolves a campaign ID; the empty ID (legacy agents) resolves to
+// the default campaign.
+func (e *Engine) lookup(id string) *campaign {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if id == "" {
+		if len(e.order) == 0 {
+			return nil
+		}
+		return e.campaigns[e.order[0]]
+	}
+	return e.campaigns[id]
+}
+
+// campaignFinished is called (outside the lock) when a campaign closes; the
+// last one completes Serve.
+func (e *Engine) campaignFinished() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.open--
+	if e.open == 0 {
+		close(e.allClosed)
+	}
+}
+
+// stopTimers releases every campaign's pending bid-window timer, so rounds
+// cancelled mid-collection don't leak timers.
+func (e *Engine) stopTimers() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, c := range e.campaigns {
+		c.stopTimersLocked()
+	}
+}
+
+// Results returns every campaign's completed rounds, keyed by campaign ID,
+// in round order. Safe to call at any time; the slices are copies.
+func (e *Engine) Results() map[string][]RoundResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string][]RoundResult, len(e.campaigns))
+	for id, c := range e.campaigns {
+		out[id] = append([]RoundResult(nil), c.results...)
+	}
+	return out
+}
+
+// Snapshot captures the engine's counters and latency histograms.
+func (e *Engine) Snapshot() Snapshot {
+	e.mu.Lock()
+	openCount := e.open
+	total := len(e.campaigns)
+	var queueLen, queueCap int
+	if e.ingest != nil {
+		queueLen, queueCap = len(e.ingest), cap(e.ingest)
+	} else {
+		queueCap = e.cfg.queueDepth()
+	}
+	e.mu.Unlock()
+	m := &e.metrics
+	return Snapshot{
+		BidsAccepted:    m.bidsAccepted.Load(),
+		BidsRejected:    m.bidsRejected.Load(),
+		RoundsCompleted: m.roundsCompleted.Load(),
+		RoundsFailed:    m.roundsFailed.Load(),
+		CampaignsOpen:   openCount,
+		CampaignsClosed: total - openCount,
+		QueueLen:        queueLen,
+		QueueCap:        queueCap,
+		RoundLatency:    m.roundLatency.snapshot(),
+		ComputeLatency:  m.computeLatency.snapshot(),
+	}
+}
+
+// bidFromWire converts and sanity-checks a wire bid.
+func bidFromWire(b *wire.Bid) (auction.Bid, error) {
+	if b == nil {
+		return auction.Bid{}, errors.New("engine: nil bid")
+	}
+	tasks := make([]auction.TaskID, 0, len(b.Tasks))
+	pos := make(map[auction.TaskID]float64, len(b.PoS))
+	for _, id := range b.Tasks {
+		tasks = append(tasks, auction.TaskID(id))
+	}
+	for id, p := range b.PoS {
+		pos[auction.TaskID(id)] = p
+	}
+	return auction.NewBid(auction.UserID(b.User), tasks, b.Cost, pos), nil
+}

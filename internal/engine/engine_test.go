@@ -1,0 +1,596 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdsense/internal/agent"
+	"crowdsense/internal/auction"
+	"crowdsense/internal/wire"
+)
+
+func singleTaskCampaign(id string, bidders int) CampaignConfig {
+	return CampaignConfig{
+		ID:              id,
+		Tasks:           []auction.Task{{ID: 1, Requirement: 0.6}},
+		ExpectedBidders: bidders,
+		Alpha:           10,
+		Epsilon:         0.5,
+	}
+}
+
+// startEngine binds an engine to loopback and serves it in the background.
+func startEngine(t *testing.T, e *Engine) (addr string, done <-chan error) {
+	t.Helper()
+	if err := e.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		errCh <- e.Serve(ctx)
+	}()
+	return e.Addr().String(), errCh
+}
+
+func runAgent(t *testing.T, addr, campaign string, user auction.UserID, cost, pos float64) (agent.Result, error) {
+	t.Helper()
+	return agent.Run(context.Background(), agent.Config{
+		Addr:     addr,
+		Campaign: campaign,
+		User:     user,
+		TrueBid: auction.NewBid(user, []auction.TaskID{1}, cost,
+			map[auction.TaskID]float64{1: pos}),
+		Seed:    int64(user),
+		Timeout: 10 * time.Second,
+	})
+}
+
+func TestEngineValidation(t *testing.T) {
+	e := New(Config{})
+	if err := e.AddCampaign(CampaignConfig{ID: "", Tasks: []auction.Task{{ID: 1, Requirement: 0.5}}, ExpectedBidders: 1}); err == nil {
+		t.Error("empty campaign ID should fail")
+	}
+	if err := e.AddCampaign(CampaignConfig{ID: "c", ExpectedBidders: 1}); err == nil {
+		t.Error("no tasks should fail")
+	}
+	if err := e.AddCampaign(CampaignConfig{ID: "c", Tasks: []auction.Task{{ID: 1, Requirement: 1.5}}, ExpectedBidders: 1}); err == nil {
+		t.Error("bad requirement should fail")
+	}
+	if err := e.AddCampaign(CampaignConfig{ID: "c", Tasks: []auction.Task{{ID: 1, Requirement: 0.5}}}); err == nil {
+		t.Error("zero bidders should fail")
+	}
+	if err := e.AddCampaign(singleTaskCampaign("c", 1)); err != nil {
+		t.Fatalf("valid campaign rejected: %v", err)
+	}
+	if err := e.AddCampaign(singleTaskCampaign("c", 1)); err == nil {
+		t.Error("duplicate campaign ID should fail")
+	}
+	if err := e.Serve(context.Background()); err == nil {
+		t.Error("Serve before Listen should fail")
+	}
+	if err := New(Config{}).AddCampaign(CampaignConfig{ID: "d",
+		Tasks:           []auction.Task{{ID: 1, Requirement: 0.5}, {ID: 1, Requirement: 0.5}},
+		ExpectedBidders: 1}); err == nil {
+		t.Error("duplicate task ID should fail")
+	}
+}
+
+// TestEngineConcurrentCampaigns is the acceptance demo: 8 concurrent
+// campaigns with 5 agents each share one listener and all complete.
+func TestEngineConcurrentCampaigns(t *testing.T) {
+	const (
+		campaigns      = 8
+		agentsPerGroup = 5
+	)
+	e := New(Config{Workers: 4, ConnTimeout: 10 * time.Second})
+	for i := 0; i < campaigns; i++ {
+		if err := e.AddCampaign(singleTaskCampaign(fmt.Sprintf("c%d", i+1), agentsPerGroup)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr, done := startEngine(t, e)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, campaigns*agentsPerGroup)
+	for i := 0; i < campaigns; i++ {
+		for j := 0; j < agentsPerGroup; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				user := auction.UserID(100*i + j + 1)
+				_, err := runAgent(t, addr, fmt.Sprintf("c%d", i+1), user,
+					float64(j+1), 0.5+0.05*float64(j))
+				if err != nil {
+					errs <- fmt.Errorf("campaign c%d agent %d: %w", i+1, user, err)
+				}
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("engine did not complete")
+	}
+
+	results := e.Results()
+	if len(results) != campaigns {
+		t.Fatalf("results for %d campaigns, want %d", len(results), campaigns)
+	}
+	for id, rounds := range results {
+		if len(rounds) != 1 {
+			t.Fatalf("campaign %s completed %d rounds, want 1", id, len(rounds))
+		}
+		r := rounds[0]
+		if r.Err != nil {
+			t.Errorf("campaign %s round failed: %v", id, r.Err)
+			continue
+		}
+		if len(r.Bids) != agentsPerGroup {
+			t.Errorf("campaign %s collected %d bids, want %d", id, len(r.Bids), agentsPerGroup)
+		}
+		if len(r.Outcome.Selected) == 0 {
+			t.Errorf("campaign %s had no winners", id)
+		}
+		if len(r.Settlements) != len(r.Outcome.Selected) {
+			t.Errorf("campaign %s settlements %d, winners %d",
+				id, len(r.Settlements), len(r.Outcome.Selected))
+		}
+	}
+
+	snap := e.Snapshot()
+	if snap.BidsAccepted != campaigns*agentsPerGroup {
+		t.Errorf("bids accepted = %d, want %d", snap.BidsAccepted, campaigns*agentsPerGroup)
+	}
+	if snap.RoundsCompleted != campaigns {
+		t.Errorf("rounds completed = %d, want %d", snap.RoundsCompleted, campaigns)
+	}
+	if snap.CampaignsClosed != campaigns || snap.CampaignsOpen != 0 {
+		t.Errorf("campaign counts = %d open / %d closed", snap.CampaignsOpen, snap.CampaignsClosed)
+	}
+	if snap.RoundLatency.Count != campaigns || snap.ComputeLatency.Count != campaigns {
+		t.Errorf("latency histograms = %d / %d observations, want %d each",
+			snap.RoundLatency.Count, snap.ComputeLatency.Count, campaigns)
+	}
+}
+
+// TestEngineLegacyAgent checks wire backward compatibility: an agent that
+// sends no campaign field completes a round against the default campaign.
+func TestEngineLegacyAgent(t *testing.T) {
+	e := New(Config{ConnTimeout: 10 * time.Second})
+	if err := e.AddCampaign(singleTaskCampaign("main", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddCampaign(singleTaskCampaign("other", 1)); err != nil {
+		t.Fatal(err)
+	}
+	addr, done := startEngine(t, e)
+
+	var wg sync.WaitGroup
+	// Two legacy agents (no campaign) land on "main"; one targeted agent
+	// completes "other".
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := runAgent(t, addr, "", auction.UserID(i+1), float64(i+2), 0.8); err != nil {
+				t.Errorf("legacy agent %d: %v", i+1, err)
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := runAgent(t, addr, "other", 9, 2, 0.8); err != nil {
+			t.Errorf("targeted agent: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("engine did not complete")
+	}
+	results := e.Results()
+	if got := len(results["main"][0].Bids); got != 2 {
+		t.Errorf("default campaign collected %d bids, want 2", got)
+	}
+	if got := len(results["other"][0].Bids); got != 1 {
+		t.Errorf("targeted campaign collected %d bids, want 1", got)
+	}
+}
+
+func TestEngineUnknownCampaignRejected(t *testing.T) {
+	e := New(Config{ConnTimeout: 10 * time.Second})
+	if err := e.AddCampaign(singleTaskCampaign("main", 1)); err != nil {
+		t.Fatal(err)
+	}
+	addr, done := startEngine(t, e)
+
+	_, err := runAgent(t, addr, "nope", 1, 2, 0.8)
+	if err == nil || !strings.Contains(err.Error(), "unknown campaign") {
+		t.Errorf("unknown campaign error = %v", err)
+	}
+
+	// Complete the round so Serve exits.
+	if _, err := runAgent(t, addr, "main", 2, 2, 0.8); err != nil {
+		t.Errorf("agent: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if got := e.Snapshot().BidsRejected; got != 0 {
+		t.Errorf("unknown campaign counted as bid rejection: %d", got)
+	}
+}
+
+// TestEngineBackpressure exercises the reject-with-reason paths: a bid into
+// a busy (settling) campaign, a duplicate user, and an invalid bid.
+func TestEngineBackpressure(t *testing.T) {
+	e := New(Config{ConnTimeout: 10 * time.Second})
+	if err := e.AddCampaign(singleTaskCampaign("main", 2)); err != nil {
+		t.Fatal(err)
+	}
+	addr, done := startEngine(t, e)
+
+	// An invalid bid (cost ≤ 0) is rejected at admission without voiding
+	// the round.
+	if _, err := runAgent(t, addr, "main", 50, -1, 0.8); err == nil ||
+		!strings.Contains(err.Error(), "bid rejected") {
+		t.Errorf("invalid bid error = %v", err)
+	}
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := runAgent(t, addr, "main", 1, 2, 0.8)
+		first <- err
+	}()
+	time.Sleep(200 * time.Millisecond) // let the first bid land
+
+	// Duplicate user in the same round.
+	if _, err := runAgent(t, addr, "main", 1, 3, 0.8); err == nil ||
+		!strings.Contains(err.Error(), "duplicate user") {
+		t.Errorf("duplicate user error = %v", err)
+	}
+
+	// Second distinct user completes the round and closes the campaign.
+	if _, err := runAgent(t, addr, "main", 2, 3, 0.8); err != nil {
+		t.Fatalf("second agent: %v", err)
+	}
+	if err := <-first; err != nil {
+		t.Fatalf("first agent: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+
+	// The campaign is closed now; a late bid is refused with a reason.
+	if _, err := runAgent(t, addr, "main", 3, 2, 0.8); err == nil {
+		t.Error("bid after close should fail (listener down)")
+	}
+	snap := e.Snapshot()
+	if snap.BidsRejected < 2 {
+		t.Errorf("bids rejected = %d, want ≥ 2", snap.BidsRejected)
+	}
+	if snap.BidsAccepted != 2 {
+		t.Errorf("bids accepted = %d, want 2", snap.BidsAccepted)
+	}
+}
+
+// TestEngineQueueFullRejects fills the ingestion queue (no admitter running)
+// and checks the backpressure verdict a session would relay.
+func TestEngineQueueFullRejects(t *testing.T) {
+	e := New(Config{QueueDepth: 1})
+	if err := e.AddCampaign(singleTaskCampaign("main", 1)); err != nil {
+		t.Fatal(err)
+	}
+	e.ingest = make(chan ingestReq, 1)
+	e.ingest <- ingestReq{} // occupy the single slot
+	select {
+	case e.ingest <- ingestReq{}:
+		t.Fatal("second enqueue should not fit")
+	default:
+	}
+}
+
+// TestEngineMultiRoundCampaign runs one campaign for three rounds on a
+// single listener, agents driven by the round-open hook.
+func TestEngineMultiRoundCampaign(t *testing.T) {
+	const rounds = 3
+	cc := singleTaskCampaign("main", 2)
+	cc.Rounds = rounds
+
+	roundOpen := make(chan int, rounds+1)
+	var completed []RoundResult
+	var mu sync.Mutex
+	e := New(Config{
+		ConnTimeout: 10 * time.Second,
+		OnRoundOpen: func(campaign string, round int) {
+			if campaign != "main" {
+				return
+			}
+			roundOpen <- round
+		},
+		OnRound: func(r RoundResult) {
+			mu.Lock()
+			completed = append(completed, r)
+			mu.Unlock()
+		},
+	})
+	if err := e.AddCampaign(cc); err != nil {
+		t.Fatal(err)
+	}
+	addr, done := startEngine(t, e)
+
+	for round := 0; round < rounds; round++ {
+		select {
+		case n := <-roundOpen:
+			if n != round+1 {
+				t.Fatalf("round open %d, want %d", n, round+1)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("round did not open")
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				user := auction.UserID(10*round + i + 1)
+				if _, err := runAgent(t, addr, "main", user, float64(i+2), 0.8); err != nil {
+					t.Errorf("round %d agent %d: %v", round+1, user, err)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("engine did not complete")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(completed) != rounds {
+		t.Fatalf("OnRound observed %d rounds, want %d", len(completed), rounds)
+	}
+	for i, r := range completed {
+		if r.Round != i+1 {
+			t.Errorf("result %d has round %d", i, r.Round)
+		}
+		if len(r.Bids) != 2 {
+			t.Errorf("round %d collected %d bids", r.Round, len(r.Bids))
+		}
+	}
+	if got := len(e.Results()["main"]); got != rounds {
+		t.Errorf("Results has %d rounds, want %d", got, rounds)
+	}
+}
+
+// TestEngineInfeasibleRoundContinues: a round whose bidders cannot meet the
+// requirement is failed, agents get an error, and the campaign's next round
+// still runs.
+func TestEngineInfeasibleRoundContinues(t *testing.T) {
+	cc := CampaignConfig{
+		ID:              "main",
+		Tasks:           []auction.Task{{ID: 1, Requirement: 0.95}},
+		ExpectedBidders: 1,
+		Rounds:          2,
+		Alpha:           10,
+		Epsilon:         0.5,
+	}
+	e := New(Config{ConnTimeout: 10 * time.Second})
+	if err := e.AddCampaign(cc); err != nil {
+		t.Fatal(err)
+	}
+	addr, done := startEngine(t, e)
+
+	// Round 1: a bidder whose PoS cannot cover 0.95 — infeasible.
+	if _, err := runAgent(t, addr, "main", 1, 2, 0.3); err == nil ||
+		!strings.Contains(err.Error(), "auction failed") {
+		t.Errorf("infeasible round error = %v", err)
+	}
+	// Round 2: a capable bidder completes.
+	if _, err := runAgent(t, addr, "main", 2, 2, 0.96); err != nil {
+		t.Errorf("round 2 agent: %v", err)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("engine did not complete")
+	}
+	rounds := e.Results()["main"]
+	if len(rounds) != 2 {
+		t.Fatalf("completed %d rounds, want 2", len(rounds))
+	}
+	if rounds[0].Err == nil {
+		t.Error("round 1 should have failed")
+	}
+	if rounds[1].Err != nil || len(rounds[1].Outcome.Selected) != 1 {
+		t.Errorf("round 2 = %+v", rounds[1])
+	}
+	snap := e.Snapshot()
+	if snap.RoundsFailed != 1 || snap.RoundsCompleted != 1 {
+		t.Errorf("rounds completed=%d failed=%d, want 1/1", snap.RoundsCompleted, snap.RoundsFailed)
+	}
+}
+
+// TestEngineBidWindow: a round with missing bidders runs on window expiry.
+func TestEngineBidWindow(t *testing.T) {
+	cc := singleTaskCampaign("main", 5)
+	cc.BidWindow = 300 * time.Millisecond
+	e := New(Config{ConnTimeout: 10 * time.Second})
+	if err := e.AddCampaign(cc); err != nil {
+		t.Fatal(err)
+	}
+	addr, done := startEngine(t, e)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := runAgent(t, addr, "main", auction.UserID(i+1), 2, 0.8); err != nil {
+				t.Errorf("agent %d: %v", i+1, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("engine did not complete")
+	}
+	rounds := e.Results()["main"]
+	if len(rounds) != 1 || len(rounds[0].Bids) != 2 {
+		t.Fatalf("rounds = %+v", rounds)
+	}
+}
+
+func TestEngineContextCancellation(t *testing.T) {
+	e := New(Config{})
+	if err := e.AddCampaign(singleTaskCampaign("main", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- e.Serve(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Serve error = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after cancellation")
+	}
+}
+
+// TestEngineCancelStopsBidWindowTimer: cancelling Serve while a round's
+// bid-window timer is armed must release the timer (no leak into the
+// runtime's timer heap).
+func TestEngineCancelStopsBidWindowTimer(t *testing.T) {
+	cc := singleTaskCampaign("main", 5)
+	cc.BidWindow = time.Hour
+	e := New(Config{ConnTimeout: 5 * time.Second})
+	if err := e.AddCampaign(cc); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := e.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- e.Serve(ctx) }()
+
+	go func() {
+		_, _ = runAgent(t, addr, "main", 1, 2, 0.8) // arms the timer, then hangs
+	}()
+	for start := time.Now(); ; {
+		if e.Snapshot().BidsAccepted == 1 {
+			break
+		}
+		if time.Since(start) > 10*time.Second {
+			t.Fatal("bid was not admitted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.campaigns["main"]
+	if c.cur == nil {
+		t.Fatal("cancelled campaign lost its round")
+	}
+	if c.cur.deadline != nil {
+		t.Error("bid-window timer still armed after shutdown")
+	}
+}
+
+// TestEngineMismatchedBidCampaign: a bid envelope naming a different
+// campaign than the session registered for is a protocol error.
+func TestEngineMismatchedBidCampaign(t *testing.T) {
+	e := New(Config{ConnTimeout: 10 * time.Second})
+	if err := e.AddCampaign(singleTaskCampaign("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddCampaign(singleTaskCampaign("b", 1)); err != nil {
+		t.Fatal(err)
+	}
+	addr, done := startEngine(t, e)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	codec := wire.NewCodec(conn)
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeRegister, Campaign: "a",
+		Register: &wire.Register{User: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.Expect(wire.TypeTasks); err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeBid, Campaign: "b", Bid: &wire.Bid{
+		User: 1, Tasks: []int{1}, Cost: 1, PoS: map[int]float64{1: 0.9},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.Expect(wire.TypeAward); err == nil ||
+		!strings.Contains(err.Error(), "mismatches") {
+		t.Errorf("mismatched campaign error = %v", err)
+	}
+
+	// Finish both campaigns so Serve exits.
+	for _, id := range []string{"a", "b"} {
+		id := id
+		go func() {
+			_, _ = runAgent(t, addr, id, auction.UserID(len(id)+10), 2, 0.8)
+		}()
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+}

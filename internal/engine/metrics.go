@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// numLatencyBuckets is len(latencyBuckets); kept as a constant so the
+// zero-value histogram needs no constructor.
+const numLatencyBuckets = 14
+
+// latencyBuckets are the histogram upper bounds, exponential from 1 ms to
+// 30 s; observations above the last bound land in the implicit +Inf bucket.
+var latencyBuckets = [numLatencyBuckets]time.Duration{
+	1 * time.Millisecond,
+	2 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+	30 * time.Second,
+}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent
+// observation. The zero value is ready to use.
+type histogram struct {
+	counts [numLatencyBuckets + 1]atomic.Uint64 // last slot is +Inf
+	sum    atomic.Int64                         // nanoseconds
+	count  atomic.Uint64
+	max    atomic.Int64 // nanoseconds
+}
+
+func (h *histogram) observe(d time.Duration) {
+	i := 0
+	for i < len(latencyBuckets) && d > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Max: time.Duration(h.max.Load())}
+	if s.Count > 0 {
+		s.Mean = time.Duration(h.sum.Load() / int64(s.Count))
+	}
+	for i, bound := range latencyBuckets {
+		if n := h.counts[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{UpperBound: bound, Count: n})
+		}
+	}
+	if n := h.counts[len(latencyBuckets)].Load(); n > 0 {
+		s.Buckets = append(s.Buckets, Bucket{UpperBound: -1, Count: n})
+	}
+	return s
+}
+
+// Bucket is one non-empty histogram bucket; UpperBound −1 marks +Inf.
+type Bucket struct {
+	UpperBound time.Duration `json:"upper_bound"`
+	Count      uint64        `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time view of a latency histogram.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Mean    time.Duration `json:"mean"`
+	Max     time.Duration `json:"max"`
+	Buckets []Bucket      `json:"buckets,omitempty"`
+}
+
+func (s HistogramSnapshot) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%s max=%s", s.Count, s.Mean.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	for _, bucket := range s.Buckets {
+		if bucket.UpperBound < 0 {
+			fmt.Fprintf(&b, " +Inf:%d", bucket.Count)
+			continue
+		}
+		fmt.Fprintf(&b, " ≤%s:%d", bucket.UpperBound, bucket.Count)
+	}
+	return b.String()
+}
+
+// metrics aggregates engine-wide observability counters.
+type metrics struct {
+	bidsAccepted    atomic.Uint64
+	bidsRejected    atomic.Uint64
+	roundsCompleted atomic.Uint64
+	roundsFailed    atomic.Uint64
+
+	roundLatency   histogram // first bid → settled
+	computeLatency histogram // winner determination wall time
+}
+
+// Snapshot is an expvar-style point-in-time view of the engine's counters
+// and latency histograms. It marshals to JSON and prints as one line per
+// metric.
+type Snapshot struct {
+	BidsAccepted    uint64 `json:"bids_accepted"`
+	BidsRejected    uint64 `json:"bids_rejected"`
+	RoundsCompleted uint64 `json:"rounds_completed"`
+	RoundsFailed    uint64 `json:"rounds_failed"`
+
+	CampaignsOpen   int `json:"campaigns_open"`
+	CampaignsClosed int `json:"campaigns_closed"`
+	QueueLen        int `json:"queue_len"`
+	QueueCap        int `json:"queue_cap"`
+
+	RoundLatency   HistogramSnapshot `json:"round_latency"`
+	ComputeLatency HistogramSnapshot `json:"compute_latency"`
+}
+
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bids: accepted=%d rejected=%d\n", s.BidsAccepted, s.BidsRejected)
+	fmt.Fprintf(&b, "rounds: completed=%d failed=%d\n", s.RoundsCompleted, s.RoundsFailed)
+	fmt.Fprintf(&b, "campaigns: open=%d closed=%d\n", s.CampaignsOpen, s.CampaignsClosed)
+	fmt.Fprintf(&b, "bid queue: %d/%d\n", s.QueueLen, s.QueueCap)
+	fmt.Fprintf(&b, "round latency: %s\n", s.RoundLatency)
+	fmt.Fprintf(&b, "winner determination: %s", s.ComputeLatency)
+	return b.String()
+}
+
+// JSON renders the snapshot as a single JSON object, the same shape an
+// expvar endpoint would serve.
+func (s Snapshot) JSON() string {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return "{}"
+	}
+	return string(data)
+}

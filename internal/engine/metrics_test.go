@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	var h histogram
+	if got := h.snapshot(); got.Count != 0 || got.String() != "n=0" {
+		t.Errorf("zero histogram = %+v (%q)", got, got.String())
+	}
+	h.observe(500 * time.Microsecond) // ≤1ms bucket
+	h.observe(3 * time.Millisecond)   // ≤5ms bucket
+	h.observe(3 * time.Millisecond)
+	h.observe(2 * time.Minute) // +Inf bucket
+	s := h.snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != 2*time.Minute {
+		t.Errorf("max = %v", s.Max)
+	}
+	wantMean := (500*time.Microsecond + 2*3*time.Millisecond + 2*time.Minute) / 4
+	if s.Mean != wantMean {
+		t.Errorf("mean = %v, want %v", s.Mean, wantMean)
+	}
+	var buckets []Bucket
+	for _, b := range s.Buckets {
+		buckets = append(buckets, b)
+	}
+	if len(buckets) != 3 {
+		t.Fatalf("buckets = %+v", buckets)
+	}
+	if buckets[0].UpperBound != time.Millisecond || buckets[0].Count != 1 {
+		t.Errorf("first bucket = %+v", buckets[0])
+	}
+	if buckets[1].UpperBound != 5*time.Millisecond || buckets[1].Count != 2 {
+		t.Errorf("second bucket = %+v", buckets[1])
+	}
+	if buckets[2].UpperBound != -1 || buckets[2].Count != 1 {
+		t.Errorf("+Inf bucket = %+v", buckets[2])
+	}
+}
+
+func TestSnapshotRendering(t *testing.T) {
+	var m metrics
+	m.bidsAccepted.Add(3)
+	m.roundsCompleted.Add(1)
+	m.roundLatency.observe(10 * time.Millisecond)
+	s := Snapshot{
+		BidsAccepted:    m.bidsAccepted.Load(),
+		RoundsCompleted: m.roundsCompleted.Load(),
+		RoundLatency:    m.roundLatency.snapshot(),
+	}
+	text := s.String()
+	for _, want := range []string{"accepted=3", "completed=1", "n=1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("String() missing %q:\n%s", want, text)
+		}
+	}
+	if js := s.JSON(); !strings.Contains(js, `"bids_accepted":3`) {
+		t.Errorf("JSON() = %s", js)
+	}
+}

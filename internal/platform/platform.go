@@ -5,10 +5,12 @@
 // execution reports, and settles rewards — steps 2 through 6 of the
 // paper's Fig. 1, as an actual wire protocol.
 //
-// A Server runs one auction round: it waits until the expected number of
-// agents have bid (or the bid window closes), computes the outcome, and
-// settles every session. It is safe for concurrent agent connections; each
-// connection is served by its own goroutine with context-based shutdown.
+// Session handling lives in internal/engine, which multiplexes many
+// concurrent campaigns over one listener; this package is the
+// single-campaign face of it. A Server runs one auction round: it waits
+// until the expected number of agents have bid (or the bid window closes),
+// computes the outcome, and settles every session. RunRounds serves a
+// recurring sequence of rounds on one engine.
 package platform
 
 import (
@@ -16,13 +18,18 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sync"
 	"time"
 
 	"crowdsense/internal/auction"
+	"crowdsense/internal/engine"
 	"crowdsense/internal/mechanism"
 	"crowdsense/internal/wire"
 )
+
+// defaultCampaign names the single campaign a Server registers with its
+// engine; legacy agents never see it (the engine routes campaign-less
+// sessions to it as the default).
+const defaultCampaign = "default"
 
 // Config parameterizes a platform server.
 type Config struct {
@@ -54,6 +61,31 @@ func (c Config) connTimeout() time.Duration {
 	return c.ConnTimeout
 }
 
+// validate rejects configurations the engine could not serve.
+func (c Config) validate() error {
+	if len(c.Tasks) == 0 {
+		return errors.New("platform: no tasks configured")
+	}
+	if c.ExpectedBidders < 1 {
+		return fmt.Errorf("platform: expected bidders %d must be positive", c.ExpectedBidders)
+	}
+	return nil
+}
+
+// campaign converts the single-round platform configuration into an engine
+// campaign.
+func (c Config) campaign(rounds int) engine.CampaignConfig {
+	return engine.CampaignConfig{
+		ID:              defaultCampaign,
+		Tasks:           c.Tasks,
+		ExpectedBidders: c.ExpectedBidders,
+		BidWindow:       c.BidWindow,
+		Rounds:          rounds,
+		Alpha:           c.Alpha,
+		Epsilon:         c.Epsilon,
+	}
+}
+
 // RoundResult summarizes a completed auction round. A round whose bidders
 // could not jointly meet the task requirements has a nil Outcome and a
 // non-nil Err (multi-round service keeps going; see RunRounds).
@@ -64,343 +96,78 @@ type RoundResult struct {
 	Err         error
 }
 
-// Server is a one-round auction platform.
+// fromEngine strips the campaign/round identity off an engine round result.
+func fromEngine(r engine.RoundResult) RoundResult {
+	return RoundResult{
+		Outcome:     r.Outcome,
+		Bids:        r.Bids,
+		Settlements: r.Settlements,
+		Err:         r.Err,
+	}
+}
+
+// newEngine assembles a single-campaign engine for cfg.
+func newEngine(cfg Config, rounds int, ecfg engine.Config) (*engine.Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ecfg.ConnTimeout = cfg.connTimeout()
+	eng := engine.New(ecfg)
+	if err := eng.AddCampaign(cfg.campaign(rounds)); err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	return eng, nil
+}
+
+// Server is a one-round auction platform: a single-campaign view of the
+// multi-campaign engine.
 type Server struct {
-	cfg Config
-
-	listener net.Listener
-
-	mu       sync.Mutex
-	bids     []auction.Bid
-	bidders  map[auction.UserID]bool
-	started  bool
-	deadline *time.Timer
-
-	auctionDone chan struct{} // closed when the outcome is ready
-	outcome     *mechanism.Outcome
-	outcomeErr  error
-	bidOrder    map[auction.UserID]int // user -> bid index
-
-	pendingUsers map[auction.UserID]bool // sessions owing a terminal action
-	roundClosed  bool
-	roundDone    chan struct{} // closed when settlements have been computed
-	result       RoundResult
-
-	wg sync.WaitGroup
+	eng *engine.Engine
 }
 
 // NewServer validates the configuration and creates a server. Call Serve to
 // start listening.
 func NewServer(cfg Config) (*Server, error) {
-	if len(cfg.Tasks) == 0 {
-		return nil, errors.New("platform: no tasks configured")
+	eng, err := newEngine(cfg, 1, engine.Config{})
+	if err != nil {
+		return nil, err
 	}
-	if cfg.ExpectedBidders < 1 {
-		return nil, fmt.Errorf("platform: expected bidders %d must be positive", cfg.ExpectedBidders)
-	}
-	return &Server{
-		cfg:         cfg,
-		bidders:     make(map[auction.UserID]bool),
-		auctionDone: make(chan struct{}),
-		roundDone:   make(chan struct{}),
-	}, nil
+	return &Server{eng: eng}, nil
 }
 
 // Listen binds the server to addr (e.g. "127.0.0.1:0").
 func (s *Server) Listen(addr string) error {
-	l, err := net.Listen("tcp", addr)
-	if err != nil {
+	if err := s.eng.Listen(addr); err != nil {
 		return fmt.Errorf("platform: listen %s: %w", addr, err)
 	}
-	s.listener = l
 	return nil
 }
 
 // Addr reports the bound address; Listen must have succeeded.
 func (s *Server) Addr() net.Addr {
-	return s.listener.Addr()
+	return s.eng.Addr()
 }
 
 // Serve accepts agent connections until the round completes or the context
 // is cancelled, then returns the round result. Listen must be called first.
+// A round the bidders could not satisfy surfaces its mechanism error (for
+// example mechanism.ErrInfeasible) as Serve's error.
 func (s *Server) Serve(ctx context.Context) (RoundResult, error) {
-	if s.listener == nil {
-		return RoundResult{}, errors.New("platform: Serve before Listen")
+	if err := s.eng.Serve(ctx); err != nil {
+		return RoundResult{}, err
 	}
-	defer s.listener.Close()
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	go func() {
-		select {
-		case <-ctx.Done():
-		case <-s.roundDone:
-		}
-		s.listener.Close() // unblock Accept
-	}()
-
-	acceptErr := make(chan error, 1)
-	go func() {
-		for {
-			conn, err := s.listener.Accept()
-			if err != nil {
-				acceptErr <- err
-				return
-			}
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				s.handle(ctx, conn)
-			}()
-		}
-	}()
-
-	select {
-	case <-ctx.Done():
-		<-acceptErr
-		s.wg.Wait()
-		return RoundResult{}, ctx.Err()
-	case <-s.roundDone:
-		<-acceptErr
-		s.wg.Wait()
-		if s.outcomeErr != nil {
-			return RoundResult{}, s.outcomeErr
-		}
-		return s.result, nil
+	rounds := s.eng.Results()[defaultCampaign]
+	if len(rounds) == 0 {
+		return RoundResult{}, errors.New("platform: round did not complete")
 	}
+	result := fromEngine(rounds[0])
+	if result.Err != nil {
+		return RoundResult{}, result.Err
+	}
+	return result, nil
 }
 
-// handle serves one agent session.
-func (s *Server) handle(ctx context.Context, conn net.Conn) {
-	defer conn.Close()
-	codec := wire.NewCodec(conn)
-	timeout := s.cfg.connTimeout()
-	setDeadline := func() { _ = conn.SetDeadline(time.Now().Add(timeout)) }
-
-	setDeadline()
-	env, err := codec.Expect(wire.TypeRegister)
-	if err != nil {
-		codec.WriteError(fmt.Sprintf("expected register: %v", err))
-		return
-	}
-	user := auction.UserID(env.Register.User)
-
-	// Publish tasks.
-	specs := make([]wire.TaskSpec, len(s.cfg.Tasks))
-	for i, task := range s.cfg.Tasks {
-		specs[i] = wire.TaskSpec{ID: int(task.ID), Requirement: task.Requirement}
-	}
-	setDeadline()
-	if err := codec.Write(&wire.Envelope{Type: wire.TypeTasks, Tasks: &wire.Tasks{Tasks: specs}}); err != nil {
-		return
-	}
-
-	// Collect the sealed bid.
-	setDeadline()
-	env, err = codec.Expect(wire.TypeBid)
-	if err != nil {
-		codec.WriteError(fmt.Sprintf("expected bid: %v", err))
-		return
-	}
-	bid, err := bidFromWire(env.Bid)
-	if err != nil {
-		codec.WriteError(err.Error())
-		return
-	}
-	if bid.User != user {
-		codec.WriteError("bid user mismatches registration")
-		return
-	}
-	if !s.admitBid(bid) {
-		codec.WriteError("duplicate user or bidding closed")
-		return
-	}
-
-	// Wait for the auction outcome.
-	select {
-	case <-ctx.Done():
-		return
-	case <-s.auctionDone:
-	}
-	if s.outcomeErr != nil {
-		codec.WriteError(fmt.Sprintf("auction failed: %v", s.outcomeErr))
-		return
-	}
-
-	award, won := s.outcome.AwardFor(s.bidOrder[user])
-	setDeadline()
-	if !won {
-		_ = codec.Write(&wire.Envelope{Type: wire.TypeAward, Award: &wire.Award{Selected: false}})
-		s.reportSkipped(user)
-		return
-	}
-	if err := codec.Write(&wire.Envelope{Type: wire.TypeAward, Award: &wire.Award{
-		Selected:        true,
-		CriticalPoS:     award.CriticalPoS,
-		RewardOnSuccess: award.RewardOnSuccess,
-		RewardOnFailure: award.RewardOnFailure,
-	}}); err != nil {
-		s.reportSkipped(user)
-		return
-	}
-
-	// Collect the execution report and settle.
-	setDeadline()
-	env, err = codec.Expect(wire.TypeReport)
-	if err != nil {
-		s.reportSkipped(user)
-		return
-	}
-	report := *env.Report
-	report.User = int(user)
-	settle := s.settle(user, award, report)
-	setDeadline()
-	_ = codec.Write(&wire.Envelope{Type: wire.TypeSettle, Settle: &settle})
-	s.reportDone(user, settle)
-}
-
-// admitBid records a bid; the auction starts once the expected count is
-// reached or the bid window expires.
-func (s *Server) admitBid(bid auction.Bid) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.started || s.bidders[bid.User] {
-		return false
-	}
-	s.bidders[bid.User] = true
-	s.bids = append(s.bids, bid)
-	if len(s.bids) == 1 && s.cfg.BidWindow > 0 {
-		s.deadline = time.AfterFunc(s.cfg.BidWindow, s.runAuctionOnce)
-	}
-	if len(s.bids) >= s.cfg.ExpectedBidders {
-		s.startAuctionLocked()
-	}
-	return true
-}
-
-func (s *Server) runAuctionOnce() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.startAuctionLocked()
-}
-
-// startAuctionLocked runs the mechanism exactly once. Callers hold s.mu.
-func (s *Server) startAuctionLocked() {
-	if s.started {
-		return
-	}
-	s.started = true
-	if s.deadline != nil {
-		s.deadline.Stop()
-	}
-	bids := append([]auction.Bid(nil), s.bids...)
-	go s.runAuction(bids)
-}
-
-func (s *Server) runAuction(bids []auction.Bid) {
-	defer close(s.auctionDone)
-	s.bidOrder = make(map[auction.UserID]int, len(bids))
-	for i, bid := range bids {
-		s.bidOrder[bid.User] = i
-	}
-	a, err := auction.New(s.cfg.Tasks, bids)
-	if err != nil {
-		s.outcomeErr = err
-		s.finishRound()
-		return
-	}
-	var m mechanism.Mechanism
-	if a.SingleTask() {
-		m = &mechanism.SingleTask{Epsilon: s.cfg.Epsilon, Alpha: s.cfg.Alpha}
-	} else {
-		m = &mechanism.MultiTask{Alpha: s.cfg.Alpha}
-	}
-	out, err := m.Run(a)
-	if err != nil {
-		s.outcomeErr = err
-		s.finishRound()
-		return
-	}
-	s.outcome = out
-	s.result = RoundResult{
-		Outcome:     out,
-		Bids:        bids,
-		Settlements: make(map[auction.UserID]wire.Settle, len(out.Selected)),
-	}
-	s.initPending(out, bids)
-}
-
-func (s *Server) initPending(out *mechanism.Outcome, bids []auction.Bid) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.pendingUsers = make(map[auction.UserID]bool, len(bids))
-	for _, bid := range bids {
-		s.pendingUsers[bid.User] = true
-	}
-	s.maybeFinishLocked()
-}
-
-func (s *Server) reportSkipped(user auction.UserID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.pendingUsers, user)
-	s.maybeFinishLocked()
-}
-
-func (s *Server) reportDone(user auction.UserID, settle wire.Settle) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.result.Settlements[user] = settle
-	delete(s.pendingUsers, user)
-	s.maybeFinishLocked()
-}
-
-func (s *Server) maybeFinishLocked() {
-	if s.pendingUsers != nil && len(s.pendingUsers) == 0 && !s.roundClosed {
-		s.roundClosed = true
-		close(s.roundDone)
-	}
-}
-
-func (s *Server) finishRound() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.roundClosed {
-		s.roundClosed = true
-		close(s.roundDone)
-	}
-}
-
-// settle applies the EC contract to a winner's report.
-func (s *Server) settle(user auction.UserID, award mechanism.Award, report wire.Report) wire.Settle {
-	success := false
-	for _, ok := range report.Succeeded {
-		if ok {
-			success = true
-			break
-		}
-	}
-	reward := award.RewardOnFailure
-	if success {
-		reward = award.RewardOnSuccess
-	}
-	idx := s.bidOrder[user]
-	cost := s.result.Bids[idx].Cost
-	return wire.Settle{Success: success, Reward: reward, Utility: reward - cost}
-}
-
-// bidFromWire converts and sanity-checks a wire bid.
-func bidFromWire(b *wire.Bid) (auction.Bid, error) {
-	if b == nil {
-		return auction.Bid{}, errors.New("platform: nil bid")
-	}
-	tasks := make([]auction.TaskID, 0, len(b.Tasks))
-	pos := make(map[auction.TaskID]float64, len(b.PoS))
-	for _, id := range b.Tasks {
-		tasks = append(tasks, auction.TaskID(id))
-	}
-	for id, p := range b.PoS {
-		pos[auction.TaskID(id)] = p
-	}
-	return auction.NewBid(auction.UserID(b.User), tasks, b.Cost, pos), nil
+// Metrics exposes the underlying engine's observability snapshot.
+func (s *Server) Metrics() engine.Snapshot {
+	return s.eng.Snapshot()
 }

@@ -4,14 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
+	"crowdsense/internal/engine"
 	"crowdsense/internal/mechanism"
 )
 
 // RoundsOptions configures RunRounds.
 type RoundsOptions struct {
-	// Addr is the listen address; "host:0" picks an ephemeral port for the
-	// first round and keeps it for subsequent rounds.
+	// Addr is the listen address; "host:0" picks an ephemeral port, held
+	// for the whole run so agents reconnect to the same address each round.
 	Addr string
 	// Rounds is how many auction rounds to serve (must be ≥ 1).
 	Rounds int
@@ -19,53 +21,72 @@ type RoundsOptions struct {
 	// starts accepting agents.
 	OnReady func(addr string)
 	// OnRound, if set, observes each completed round; it runs between
-	// rounds on the serving goroutine, so it must be quick.
+	// rounds on the serving engine's goroutines, so it must be quick.
 	OnRound func(round int, result RoundResult)
 }
 
-// RunRounds operates the platform as a recurring service: it binds the
-// address, serves one auction round, reports it through OnRound, and
-// rebinds for the next round until the context is cancelled or the round
-// budget is exhausted. A Server is single-round by design (a sealed-bid
-// auction has a natural lifecycle); this helper provides the long-running
-// daemon shape on top. It returns the completed rounds' results.
+// RunRounds operates the platform as a recurring service: one engine, one
+// listener, one campaign serving the configured number of rounds. Each
+// settled round is reported through OnRound; a round whose bidders could
+// not meet the requirements (mechanism.ErrInfeasible) is void but the
+// service lives on. It returns the completed rounds' results — including
+// the rounds finished before a mid-run context cancellation.
 func RunRounds(ctx context.Context, cfg Config, opts RoundsOptions) ([]RoundResult, error) {
 	if opts.Rounds < 1 {
 		return nil, fmt.Errorf("platform: rounds %d must be positive", opts.Rounds)
 	}
-	addr := opts.Addr
-	results := make([]RoundResult, 0, opts.Rounds)
-	for round := 0; round < opts.Rounds; round++ {
-		if err := ctx.Err(); err != nil {
-			return results, err
-		}
-		srv, err := NewServer(cfg)
-		if err != nil {
-			return results, err
-		}
-		if err := srv.Listen(addr); err != nil {
-			return results, fmt.Errorf("platform: round %d: %w", round+1, err)
-		}
-		// Pin an ephemeral allocation so agents can keep reconnecting to
-		// the same address across rounds.
-		addr = srv.Addr().String()
-		if opts.OnReady != nil {
-			opts.OnReady(addr)
-		}
-		result, err := srv.Serve(ctx)
-		if err != nil {
-			if errors.Is(err, mechanism.ErrInfeasible) {
-				// The bidders of this round could not jointly meet the
-				// requirements; the round is void but the service lives on.
-				result = RoundResult{Err: err}
-			} else {
-				return results, fmt.Errorf("platform: round %d: %w", round+1, err)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu      sync.Mutex
+		results []RoundResult
+		hardErr error
+	)
+	var addr string
+	ecfg := engine.Config{
+		OnRoundOpen: func(string, int) {
+			if opts.OnReady != nil {
+				opts.OnReady(addr)
 			}
-		}
-		results = append(results, result)
-		if opts.OnRound != nil {
-			opts.OnRound(round+1, result)
-		}
+		},
+		OnRound: func(r engine.RoundResult) {
+			result := fromEngine(r)
+			if result.Err != nil && !errors.Is(result.Err, mechanism.ErrInfeasible) {
+				// A mechanism failure beyond infeasibility aborts the
+				// service, mirroring the single-round Server contract.
+				mu.Lock()
+				hardErr = fmt.Errorf("platform: round %d: %w", r.Round, result.Err)
+				mu.Unlock()
+				cancel()
+				return
+			}
+			mu.Lock()
+			results = append(results, result)
+			mu.Unlock()
+			if opts.OnRound != nil {
+				opts.OnRound(r.Round, result)
+			}
+		},
+	}
+	eng, err := newEngine(cfg, opts.Rounds, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Listen(opts.Addr); err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	addr = eng.Addr().String()
+
+	serveErr := eng.Serve(ctx)
+	mu.Lock()
+	defer mu.Unlock()
+	if hardErr != nil {
+		return results, hardErr
+	}
+	if serveErr != nil {
+		return results, serveErr
 	}
 	return results, nil
 }

@@ -2,6 +2,7 @@ package platform
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -74,6 +75,113 @@ func TestRunRoundsServesMultipleRounds(t *testing.T) {
 		t.Fatalf("server: %v", err)
 	case <-time.After(30 * time.Second):
 		t.Fatal("rounds did not complete")
+	}
+}
+
+// TestRunRoundsCancelledMidRunReturnsCompletedRounds cancels the service
+// while a later round is still collecting bids: the rounds that settled
+// before the cancellation are returned alongside the context error.
+func TestRunRoundsCancelledMidRunReturnsCompletedRounds(t *testing.T) {
+	cfg := singleTaskConfig(2)
+	cfg.Tasks[0].Requirement = 0.5
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan string, 3)
+	type outcome struct {
+		results []RoundResult
+		err     error
+	}
+	outCh := make(chan outcome, 1)
+	go func() {
+		results, err := RunRounds(ctx, cfg, RoundsOptions{
+			Addr:    "127.0.0.1:0",
+			Rounds:  3,
+			OnReady: func(addr string) { addrCh <- addr },
+			OnRound: func(round int, result RoundResult) {
+				if round == 1 {
+					cancel() // round 2 is collecting by now; kill the service
+				}
+			},
+		})
+		outCh <- outcome{results, err}
+	}()
+
+	select {
+	case addr := <-addrCh:
+		runPair(t, addr, 0)
+	case <-time.After(30 * time.Second):
+		t.Fatal("service did not become ready")
+	}
+
+	select {
+	case out := <-outCh:
+		if !errors.Is(out.err, context.Canceled) {
+			t.Errorf("error = %v, want context.Canceled", out.err)
+		}
+		if len(out.results) != 1 {
+			t.Fatalf("returned %d completed rounds, want 1", len(out.results))
+		}
+		if len(out.results[0].Bids) != 2 || out.results[0].Outcome == nil {
+			t.Errorf("round 1 result = %+v", out.results[0])
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunRounds did not return after cancellation")
+	}
+}
+
+// TestRunRoundsBidWindowExpiry: the service's bid window elapses with only
+// part of the expected bidders present, and the auction runs on what it has.
+func TestRunRoundsBidWindowExpiry(t *testing.T) {
+	cfg := singleTaskConfig(5) // expects 5, only 2 will come
+	cfg.Tasks[0].Requirement = 0.5
+	cfg.BidWindow = 300 * time.Millisecond
+
+	addrCh := make(chan string, 1)
+	resultsCh := make(chan []RoundResult, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		results, err := RunRounds(ctx, cfg, RoundsOptions{
+			Addr:    "127.0.0.1:0",
+			Rounds:  1,
+			OnReady: func(addr string) { addrCh <- addr },
+		})
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resultsCh <- results
+	}()
+
+	addr := <-addrCh
+	for id := auction.UserID(1); id <= 2; id++ {
+		go func(id auction.UserID) {
+			bid := auction.NewBid(id, []auction.TaskID{1}, 2,
+				map[auction.TaskID]float64{1: 0.8})
+			_, _ = agent.Run(context.Background(), agent.Config{
+				Addr: addr, User: id, TrueBid: bid,
+				Seed: int64(id), Timeout: 10 * time.Second,
+			})
+		}(id)
+	}
+
+	select {
+	case results := <-resultsCh:
+		if len(results) != 1 {
+			t.Fatalf("completed %d rounds, want 1", len(results))
+		}
+		if len(results[0].Bids) != 2 {
+			t.Errorf("auction ran with %d bids, want 2", len(results[0].Bids))
+		}
+		if results[0].Outcome == nil || len(results[0].Outcome.Selected) == 0 {
+			t.Errorf("partial-bid round had no winners: %+v", results[0])
+		}
+	case err := <-errCh:
+		t.Fatalf("service: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("window-expiry round did not complete")
 	}
 }
 

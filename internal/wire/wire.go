@@ -98,8 +98,14 @@ type ErrorMsg struct {
 
 // Envelope is the wire representation: a type tag plus exactly one payload
 // field populated.
+//
+// Campaign optionally routes the message to one campaign of a multi-campaign
+// engine. An absent campaign means the legacy single-campaign protocol: the
+// receiver routes the session to its default campaign, so agents predating
+// the field keep working unchanged.
 type Envelope struct {
 	Type     MsgType   `json:"type"`
+	Campaign string    `json:"campaign,omitempty"`
 	Register *Register `json:"register,omitempty"`
 	Tasks    *Tasks    `json:"tasks,omitempty"`
 	Bid      *Bid      `json:"bid,omitempty"`

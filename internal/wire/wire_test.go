@@ -61,6 +61,45 @@ func TestBidPayloadFidelity(t *testing.T) {
 	}
 }
 
+func TestCampaignFieldRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	codec := NewCodec(&buf)
+	if err := codec.Write(&Envelope{Type: TypeRegister, Campaign: "air-quality",
+		Register: &Register{User: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := codec.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Campaign != "air-quality" {
+		t.Errorf("campaign = %q, want %q", env.Campaign, "air-quality")
+	}
+}
+
+func TestLegacyEnvelopeHasNoCampaign(t *testing.T) {
+	// A pre-campaign peer's register line must decode with an empty campaign
+	// (routed to the default campaign), and a campaign-less envelope must
+	// encode without the field at all.
+	codec := fromString(`{"type":"register","register":{"user":2}}` + "\n")
+	env, err := codec.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Campaign != "" {
+		t.Errorf("legacy envelope decoded campaign %q, want empty", env.Campaign)
+	}
+
+	var buf bytes.Buffer
+	if err := NewCodec(&buf).Write(&Envelope{Type: TypeRegister,
+		Register: &Register{User: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "campaign") {
+		t.Errorf("campaign-less envelope leaked the field: %s", buf.String())
+	}
+}
+
 func TestValidateRejectsMismatch(t *testing.T) {
 	bad := []*Envelope{
 		{Type: TypeRegister},                   // tag without payload

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Pre-PR gate, equivalent to `make check` for environments without make:
+# vet, build, the full test suite, race-enabled tests of every
+# concurrency-bearing package, and a seed-corpus pass of the wire fuzz
+# targets. The experiment harnesses are excluded from the race pass only
+# because their compute sweeps exceed any reasonable gate under race
+# instrumentation; their concurrency is race-covered via these packages.
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/engine/... ./internal/platform/... \
+	./internal/agent/... ./internal/wire/... ./internal/mechanism/...
+go test -run 'Fuzz.*' ./internal/wire
