@@ -8,7 +8,7 @@ GO ?= go
 # harnesses are excluded from the race pass only because their compute
 # sweeps exceed any reasonable gate under race instrumentation; their
 # concurrency (mechanism fan-out) is race-covered via these packages.
-RACE_PKGS = ./internal/engine/... ./internal/platform/... \
+RACE_PKGS = ./internal/engine/... ./internal/obs/... ./internal/platform/... \
 	./internal/agent/... ./internal/wire/... ./internal/mechanism/...
 
 .PHONY: all build test race fuzz-seed bench check

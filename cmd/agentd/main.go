@@ -92,6 +92,7 @@ func run() error {
 		return err
 	}
 	printResult(*user, res)
+	printSummary(*user, res)
 	return nil
 }
 
@@ -148,12 +149,14 @@ func runFromModel(opts agentOptions, user int, path string, cost float64, horizo
 		return err
 	}
 	printResult(user, res)
+	printSummary(user, res)
 	return nil
 }
 
 func runFleet(opts agentOptions, firstUser, n int, seed int64) error {
 	var wg sync.WaitGroup
 	errs := make([]error, n)
+	results := make([]agent.Result, n)
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -187,6 +190,7 @@ func runFleet(opts agentOptions, firstUser, n int, seed int64) error {
 				errs[i] = err
 				return
 			}
+			results[i] = res
 			printResult(int(id), res)
 		}(i)
 	}
@@ -195,6 +199,11 @@ func runFleet(opts agentOptions, firstUser, n int, seed int64) error {
 		if err != nil {
 			return fmt.Errorf("agent %d: %w", firstUser+i, err)
 		}
+	}
+	// One summary line per agent at exit, in ID order, so trace-driven runs
+	// are debuggable from the client side too.
+	for i, res := range results {
+		printSummary(firstUser+i, res)
 	}
 	return nil
 }
@@ -212,4 +221,16 @@ func printResult(user int, res agent.Result) {
 	}
 	fmt.Printf("user %d: selected (critical PoS %.3f), %d/%d tasks done, reward %.2f, utility %+.2f\n",
 		user, res.Award.CriticalPoS, succeeded, len(res.Attempt), res.Settle.Reward, res.Settle.Utility)
+}
+
+// printSummary emits the one-line per-agent exit summary: bids sent, wins,
+// total reward, and dial reconnects.
+func printSummary(user int, res agent.Result) {
+	wins, reward := 0, 0.0
+	if res.Selected {
+		wins = 1
+		reward = res.Settle.Reward
+	}
+	fmt.Printf("user %d summary: bids=1 wins=%d reward=%.2f reconnects=%d\n",
+		user, wins, reward, res.Redials)
 }

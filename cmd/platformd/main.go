@@ -14,6 +14,12 @@
 // rounds each, engine metrics printed at exit):
 //
 //	platformd -campaigns 8 -tasks 2 -bidders 5 -rounds 2 -window 30s
+//
+// Example (live telemetry: four campaigns plus an HTTP ops endpoint serving
+// /metrics in Prometheus text format, /healthz, /debug/rounds, and pprof):
+//
+//	platformd -campaigns 4 -bidders 5 -rounds 2 -metrics-addr :9090
+//	curl localhost:9090/metrics
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"crowdsense/internal/auction"
 	"crowdsense/internal/engine"
 	"crowdsense/internal/mechanism"
+	"crowdsense/internal/obs"
 	"crowdsense/internal/platform"
 )
 
@@ -52,6 +59,7 @@ func run() error {
 		campaigns   = flag.Int("campaigns", 0, "serve this many concurrent campaigns (c1..cN) on one port (0 = legacy single-campaign mode)")
 		workers     = flag.Int("workers", 0, "winner-determination worker pool size (0 = auto; -campaigns mode)")
 		journal     = flag.String("journal", "", "append one JSON line per round to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/rounds, and pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -75,16 +83,17 @@ func run() error {
 
 	if *campaigns > 0 {
 		return runEngine(ctx, engineOptions{
-			addr:      *addr,
-			tasks:     specs,
-			bidders:   *bidders,
-			window:    *window,
-			rounds:    *rounds,
-			campaigns: *campaigns,
-			workers:   *workers,
-			alpha:     *alpha,
-			epsilon:   *epsilon,
-			journal:   journalFile,
+			addr:        *addr,
+			tasks:       specs,
+			bidders:     *bidders,
+			window:      *window,
+			rounds:      *rounds,
+			campaigns:   *campaigns,
+			workers:     *workers,
+			alpha:       *alpha,
+			epsilon:     *epsilon,
+			journal:     journalFile,
+			metricsAddr: *metricsAddr,
 		})
 	}
 
@@ -96,12 +105,29 @@ func run() error {
 		Epsilon:         *epsilon,
 	}
 	start := time.Now()
+	var ops *obs.OpsServer
+	defer func() {
+		if ops != nil {
+			ops.Close()
+		}
+	}()
 	_, err := platform.RunRounds(ctx, cfg, platform.RoundsOptions{
 		Addr:   *addr,
 		Rounds: *rounds,
 		OnReady: func(bound string) {
 			fmt.Printf("platformd listening on %s: %d task(s), requirement %.2f, expecting %d bidders\n",
 				bound, *tasks, *requirement, *bidders)
+		},
+		OnEngine: func(eng *engine.Engine) {
+			if *metricsAddr == "" {
+				return
+			}
+			srv, err := serveOps(*metricsAddr, eng)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "platformd:", err)
+				return
+			}
+			ops = srv
 		},
 		OnRound: func(round int, result platform.RoundResult) {
 			printRound(fmt.Sprintf("round %d", round), result, time.Since(start))
@@ -117,16 +143,32 @@ func run() error {
 }
 
 type engineOptions struct {
-	addr      string
-	tasks     []auction.Task
-	bidders   int
-	window    time.Duration
-	rounds    int
-	campaigns int
-	workers   int
-	alpha     float64
-	epsilon   float64
-	journal   *os.File
+	addr        string
+	tasks       []auction.Task
+	bidders     int
+	window      time.Duration
+	rounds      int
+	campaigns   int
+	workers     int
+	alpha       float64
+	epsilon     float64
+	journal     *os.File
+	metricsAddr string
+}
+
+// serveOps attaches the observability endpoint to an engine and reports
+// where it landed.
+func serveOps(addr string, eng *engine.Engine) (*obs.OpsServer, error) {
+	srv, err := obs.Serve(addr, obs.Options{
+		Gather: eng.MetricFamilies,
+		Health: eng.Health,
+		Rounds: eng.Trace().RecentRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("ops endpoint on http://%s (/metrics /healthz /debug/rounds /debug/pprof/)\n", srv.Addr())
+	return srv, nil
 }
 
 // runEngine serves N concurrent campaigns on one listener and prints the
@@ -181,6 +223,13 @@ func runEngine(ctx context.Context, opts engineOptions) error {
 	fmt.Printf("platformd engine on %s: %d campaigns × %d round(s), %d task(s), requirement %.2f, %d bidders each\n",
 		eng.Addr(), opts.campaigns, opts.rounds, len(opts.tasks),
 		opts.tasks[0].Requirement, opts.bidders)
+	if opts.metricsAddr != "" {
+		ops, err := serveOps(opts.metricsAddr, eng)
+		if err != nil {
+			return err
+		}
+		defer ops.Close()
+	}
 
 	err := eng.Serve(ctx)
 	fmt.Printf("\nengine metrics after %s:\n%s\n",

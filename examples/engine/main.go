@@ -8,16 +8,20 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"log"
+	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"crowdsense/internal/agent"
 	"crowdsense/internal/auction"
 	"crowdsense/internal/engine"
+	"crowdsense/internal/obs"
 	"crowdsense/internal/stats"
 )
 
@@ -68,8 +72,22 @@ func main() {
 		log.Fatal(err)
 	}
 	addr := eng.Addr().String()
-	fmt.Printf("engine on %s: %d campaigns × %d rounds, %d agents each\n\n",
+
+	// Live telemetry: /metrics (Prometheus text format), /healthz,
+	// /debug/rounds, and pprof, the same endpoint platformd exposes with
+	// -metrics-addr.
+	ops, err := obs.Serve("127.0.0.1:0", obs.Options{
+		Gather: eng.MetricFamilies,
+		Health: eng.Health,
+		Rounds: eng.Trace().RecentRounds,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ops.Close()
+	fmt.Printf("engine on %s: %d campaigns × %d rounds, %d agents each\n",
 		addr, numCampaigns, rounds, agentsPer)
+	fmt.Printf("ops endpoint on http://%s (try curl /metrics, /healthz, /debug/rounds)\n\n", ops.Addr())
 
 	serveErr := make(chan error, 1)
 	go func() {
@@ -143,4 +161,22 @@ func main() {
 		fmt.Printf("  %s: %d/%d rounds settled\n", id, settled, len(results[id]))
 	}
 	fmt.Printf("\nengine metrics:\n%s\n", eng.Snapshot())
+
+	// Self-scrape the ops endpoint to show what a Prometheus server would see.
+	fmt.Println("\nsample /metrics exposition (counters only):")
+	resp, err := http.Get("http://" + ops.Addr().String() + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "crowdsense_bids_") || strings.HasPrefix(line, "crowdsense_rounds_") {
+			fmt.Println("  " + line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
 }

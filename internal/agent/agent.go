@@ -65,6 +65,11 @@ type Result struct {
 	Award    wire.Award
 	Settle   wire.Settle
 	Attempt  map[auction.TaskID]bool // execution outcomes (winners only)
+
+	// Redials counts the dial retries RunWithBackoff needed before this
+	// round's connection opened (0 = first dial worked; Run always leaves
+	// it 0).
+	Redials int
 }
 
 // BidFromModel derives a user's true type from her mobility model the way

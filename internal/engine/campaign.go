@@ -114,6 +114,10 @@ type campaign struct {
 	cfg CampaignConfig
 	eng *Engine
 
+	// obs holds the campaign's metrics; every field is atomic, so recording
+	// needs no lock (see internal/engine/obsexport.go).
+	obs campaignMetrics
+
 	// The engine's mutex guards everything below (campaign state is small
 	// and rounds are coarse-grained; a shared lock keeps the registry and
 	// state machine consistent without lock-ordering hazards).
@@ -142,6 +146,7 @@ func (c *campaign) openRoundLocked() {
 		settlements: make(map[auction.UserID]wire.Settle),
 	}
 	c.state = stateCollecting
+	c.eng.tracePhase(c, c.cur.index+1, stateCollecting.String())
 }
 
 // admitLocked records one bid into the current round, arming the bid-window
@@ -196,6 +201,7 @@ func (c *campaign) startComputeLocked(rd *round) {
 		rd.deadline = nil
 	}
 	c.state = stateComputing
+	c.eng.tracePhase(c, rd.index+1, stateComputing.String())
 	// The compute queue has one slot per campaign and a campaign has at most
 	// one round in flight, so this send never blocks.
 	c.eng.compute <- computeJob{camp: c, rd: rd}
@@ -218,8 +224,9 @@ func (c *campaign) runWinnerDetermination(rd *round) {
 		rd.pending[user] = true
 	}
 	c.state = stateSettling
+	c.eng.tracePhase(c, rd.index+1, stateSettling.String())
 	c.eng.mu.Unlock()
-	c.eng.metrics.computeLatency.observe(elapsed)
+	c.eng.recordCompute(c, outcome, elapsed)
 	close(rd.computed)
 }
 
@@ -259,13 +266,7 @@ func (c *campaign) sessionDone(rd *round, user auction.UserID, settled *wire.Set
 	result, opened := c.finalizeLocked(rd)
 	c.eng.mu.Unlock()
 
-	m := &c.eng.metrics
-	if result.Err != nil {
-		m.roundsFailed.Add(1)
-	} else {
-		m.roundsCompleted.Add(1)
-	}
-	m.roundLatency.observe(result.RoundLatency)
+	c.eng.recordRound(c, result)
 	if c.eng.cfg.OnRound != nil {
 		c.eng.cfg.OnRound(result)
 	}
@@ -304,6 +305,7 @@ func (c *campaign) finalizeLocked(rd *round) (RoundResult, bool) {
 	}
 	c.state = stateClosed
 	c.cur = nil
+	c.eng.tracePhase(c, result.Round, stateClosed.String())
 	return result, false
 }
 

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"crowdsense/internal/auction"
+	"crowdsense/internal/obs"
 	"crowdsense/internal/wire"
 )
 
@@ -55,6 +56,16 @@ type Config struct {
 	// OnRoundOpen, if set, is called when a campaign round opens for bids
 	// (round is 1-based). Initial rounds are reported when Serve starts.
 	OnRoundOpen func(campaign string, round int)
+
+	// TraceCapacity bounds the round-trace ring buffer (events, rounded up
+	// to a power of two). Zero means obs.DefaultTraceCapacity.
+	TraceCapacity int
+
+	// DisableObservability turns the metrics and tracing layer into a no-op
+	// sink: no counters, histograms, or trace events are recorded. Exists
+	// so the overhead of the instrumented path can be benchmarked against a
+	// true baseline; production engines should leave it false.
+	DisableObservability bool
 }
 
 func (c Config) workers() int {
@@ -124,6 +135,7 @@ type Engine struct {
 	allClosed chan struct{}
 
 	metrics metrics
+	trace   *obs.Trace
 	wg      sync.WaitGroup
 }
 
@@ -133,6 +145,7 @@ func New(cfg Config) *Engine {
 		cfg:       cfg,
 		campaigns: make(map[string]*campaign),
 		allClosed: make(chan struct{}),
+		trace:     obs.NewTrace(cfg.TraceCapacity),
 	}
 }
 
@@ -370,7 +383,7 @@ func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 	case <-ctx.Done():
 		return
 	default:
-		e.metrics.bidsRejected.Add(1)
+		e.recordBidRejected(camp, user, "engine overloaded: bid queue full")
 		codec.WriteError("engine overloaded: bid queue full")
 		return
 	}
@@ -381,11 +394,11 @@ func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 		return
 	}
 	if rep.err != nil {
-		e.metrics.bidsRejected.Add(1)
+		e.recordBidRejected(camp, user, rep.err.Error())
 		codec.WriteError(fmt.Sprintf("bid rejected: %v", rep.err))
 		return
 	}
-	e.metrics.bidsAccepted.Add(1)
+	e.recordBidAccepted(camp, rep.rd, user)
 	rd := rep.rd
 
 	// Await the round outcome.
@@ -490,7 +503,8 @@ func (e *Engine) Results() map[string][]RoundResult {
 	return out
 }
 
-// Snapshot captures the engine's counters and latency histograms.
+// Snapshot captures the engine's counters and latency histograms, both
+// engine-wide and per campaign.
 func (e *Engine) Snapshot() Snapshot {
 	e.mu.Lock()
 	openCount := e.open
@@ -500,6 +514,10 @@ func (e *Engine) Snapshot() Snapshot {
 		queueLen, queueCap = len(e.ingest), cap(e.ingest)
 	} else {
 		queueCap = e.cfg.queueDepth()
+	}
+	campaigns := make(map[string]CampaignSnapshot, total)
+	for id, c := range e.campaigns {
+		campaigns[id] = c.snapshotLocked()
 	}
 	e.mu.Unlock()
 	m := &e.metrics
@@ -514,6 +532,7 @@ func (e *Engine) Snapshot() Snapshot {
 		QueueCap:        queueCap,
 		RoundLatency:    m.roundLatency.snapshot(),
 		ComputeLatency:  m.computeLatency.snapshot(),
+		Campaigns:       campaigns,
 	}
 }
 

@@ -3,9 +3,13 @@ package engine
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"crowdsense/internal/mechanism"
 )
 
 // numLatencyBuckets is len(latencyBuckets); kept as a constant so the
@@ -57,9 +61,13 @@ func (h *histogram) observe(d time.Duration) {
 }
 
 func (h *histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{Count: h.count.Load(), Max: time.Duration(h.max.Load())}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sum.Load()),
+		Max:   time.Duration(h.max.Load()),
+	}
 	if s.Count > 0 {
-		s.Mean = time.Duration(h.sum.Load() / int64(s.Count))
+		s.Mean = s.Sum / time.Duration(s.Count)
 	}
 	for i, bound := range latencyBuckets {
 		if n := h.counts[i].Load(); n > 0 {
@@ -69,8 +77,27 @@ func (h *histogram) snapshot() HistogramSnapshot {
 	if n := h.counts[len(latencyBuckets)].Load(); n > 0 {
 		s.Buckets = append(s.Buckets, Bucket{UpperBound: -1, Count: n})
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
+
+// atomicFloat is a float64 counter/gauge built on CAS over the bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
 
 // Bucket is one non-empty histogram bucket; UpperBound −1 marks +Inf.
 type Bucket struct {
@@ -78,12 +105,83 @@ type Bucket struct {
 	Count      uint64        `json:"count"`
 }
 
-// HistogramSnapshot is a point-in-time view of a latency histogram.
+// MarshalJSON renders the +Inf sentinel as the string "+Inf" rather than
+// the raw −1 nanoseconds a naive encoding would produce; finite bounds stay
+// integer nanoseconds.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		UpperBound any    `json:"upper_bound"`
+		Count      uint64 `json:"count"`
+	}
+	w := wire{UpperBound: int64(b.UpperBound), Count: b.Count}
+	if b.UpperBound < 0 {
+		w.UpperBound = "+Inf"
+	}
+	return json.Marshal(w)
+}
+
+// HistogramSnapshot is a point-in-time view of a latency histogram,
+// including p50/p95/p99 estimates interpolated from the fixed buckets.
 type HistogramSnapshot struct {
 	Count   uint64        `json:"count"`
+	Sum     time.Duration `json:"sum"`
 	Mean    time.Duration `json:"mean"`
 	Max     time.Duration `json:"max"`
+	P50     time.Duration `json:"p50"`
+	P95     time.Duration `json:"p95"`
+	P99     time.Duration `json:"p99"`
 	Buckets []Bucket      `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// within the bucket holding the target rank. Estimates are clamped to the
+// observed maximum, and a rank landing in the +Inf bucket reports the
+// maximum (there is no upper bound to interpolate toward). With zero
+// observations it reports 0.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	if target < 1 {
+		target = 1 // rank of the first observation
+	}
+	cum := 0.0
+	for _, b := range s.Buckets {
+		prev := cum
+		cum += float64(b.Count)
+		if cum < target {
+			continue
+		}
+		if b.UpperBound < 0 {
+			return s.Max
+		}
+		lower := bucketLowerBound(b.UpperBound)
+		est := lower + time.Duration((target-prev)/float64(b.Count)*float64(b.UpperBound-lower))
+		if s.Max > 0 && est > s.Max {
+			est = s.Max
+		}
+		return est
+	}
+	return s.Max
+}
+
+// bucketLowerBound is the exclusive lower edge of the bucket whose upper
+// bound is ub: the preceding bound in the fixed schedule (0 for the first).
+func bucketLowerBound(ub time.Duration) time.Duration {
+	lower := time.Duration(0)
+	for _, bound := range latencyBuckets {
+		if bound >= ub {
+			break
+		}
+		lower = bound
+	}
+	return lower
 }
 
 func (s HistogramSnapshot) String() string {
@@ -91,7 +189,9 @@ func (s HistogramSnapshot) String() string {
 		return "n=0"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "n=%d mean=%s max=%s", s.Count, s.Mean.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	fmt.Fprintf(&b, "n=%d mean=%s max=%s p50=%s p95=%s p99=%s",
+		s.Count, s.Mean.Round(time.Microsecond), s.Max.Round(time.Microsecond),
+		s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond))
 	for _, bucket := range s.Buckets {
 		if bucket.UpperBound < 0 {
 			fmt.Fprintf(&b, " +Inf:%d", bucket.Count)
@@ -113,9 +213,70 @@ type metrics struct {
 	computeLatency histogram // winner determination wall time
 }
 
+// campaignMetrics aggregates one campaign's counters, latency histograms,
+// and winner-determination gauges. The zero value is ready; every field is
+// atomic so recording never takes the engine lock.
+type campaignMetrics struct {
+	bidsAccepted    atomic.Uint64
+	bidsRejected    atomic.Uint64
+	roundsCompleted atomic.Uint64
+	roundsFailed    atomic.Uint64
+
+	roundLatency   histogram
+	computeLatency histogram
+
+	winnersTotal     atomic.Uint64
+	paymentTotal     atomicFloat
+	dpCellsTotal     atomic.Int64
+	greedyItersTotal atomic.Int64
+
+	// Last-call gauges, overwritten by every winner-determination run.
+	lastWinners     atomic.Int64
+	lastPayment     atomicFloat
+	lastDPCells     atomic.Int64
+	lastGreedyIters atomic.Int64
+}
+
+// recordWD folds one winner-determination call's mechanism stats in.
+func (m *campaignMetrics) recordWD(st mechanism.Stats) {
+	m.winnersTotal.Add(uint64(st.Winners))
+	m.paymentTotal.Add(st.TotalPayment)
+	m.dpCellsTotal.Add(st.DPCells)
+	m.greedyItersTotal.Add(int64(st.GreedyIters))
+	m.lastWinners.Store(int64(st.Winners))
+	m.lastPayment.Store(st.TotalPayment)
+	m.lastDPCells.Store(st.DPCells)
+	m.lastGreedyIters.Store(int64(st.GreedyIters))
+}
+
+// CampaignSnapshot is a point-in-time view of one campaign's metrics.
+type CampaignSnapshot struct {
+	Campaign string `json:"campaign"`
+	State    string `json:"state"`
+	Round    int    `json:"round"` // 1-based round in progress (or last, when closed)
+
+	BidsAccepted    uint64 `json:"bids_accepted"`
+	BidsRejected    uint64 `json:"bids_rejected"`
+	RoundsCompleted uint64 `json:"rounds_completed"`
+	RoundsFailed    uint64 `json:"rounds_failed"`
+
+	WinnersTotal     uint64  `json:"winners_total"`
+	PaymentTotal     float64 `json:"payment_total"`
+	DPCellsTotal     int64   `json:"dp_cells_total"`
+	GreedyItersTotal int64   `json:"greedy_iters_total"`
+
+	LastWinners     int64   `json:"last_winners"`
+	LastPayment     float64 `json:"last_payment"`
+	LastDPCells     int64   `json:"last_dp_cells"`
+	LastGreedyIters int64   `json:"last_greedy_iters"`
+
+	RoundLatency   HistogramSnapshot `json:"round_latency"`
+	ComputeLatency HistogramSnapshot `json:"compute_latency"`
+}
+
 // Snapshot is an expvar-style point-in-time view of the engine's counters
-// and latency histograms. It marshals to JSON and prints as one line per
-// metric.
+// and latency histograms, engine-wide and per campaign. It marshals to
+// JSON and prints as one line per metric.
 type Snapshot struct {
 	BidsAccepted    uint64 `json:"bids_accepted"`
 	BidsRejected    uint64 `json:"bids_rejected"`
@@ -129,6 +290,19 @@ type Snapshot struct {
 
 	RoundLatency   HistogramSnapshot `json:"round_latency"`
 	ComputeLatency HistogramSnapshot `json:"compute_latency"`
+
+	Campaigns map[string]CampaignSnapshot `json:"campaigns,omitempty"`
+}
+
+// CampaignIDs returns the snapshot's campaign IDs in sorted order, for
+// deterministic rendering.
+func (s Snapshot) CampaignIDs() []string {
+	ids := make([]string, 0, len(s.Campaigns))
+	for id := range s.Campaigns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 func (s Snapshot) String() string {
@@ -139,6 +313,19 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, "bid queue: %d/%d\n", s.QueueLen, s.QueueCap)
 	fmt.Fprintf(&b, "round latency: %s\n", s.RoundLatency)
 	fmt.Fprintf(&b, "winner determination: %s", s.ComputeLatency)
+	for _, id := range s.CampaignIDs() {
+		c := s.Campaigns[id]
+		fmt.Fprintf(&b, "\ncampaign %s: state=%s round=%d bids=%d/%d rounds=%d/%d winners=%d paid=%.2f",
+			id, c.State, c.Round, c.BidsAccepted, c.BidsRejected,
+			c.RoundsCompleted, c.RoundsFailed, c.WinnersTotal, c.PaymentTotal)
+		if c.DPCellsTotal > 0 {
+			fmt.Fprintf(&b, " dp_cells=%d", c.DPCellsTotal)
+		}
+		if c.GreedyItersTotal > 0 {
+			fmt.Fprintf(&b, " greedy_iters=%d", c.GreedyItersTotal)
+		}
+		fmt.Fprintf(&b, " wd{%s}", c.ComputeLatency)
+	}
 	return b.String()
 }
 

@@ -1,0 +1,271 @@
+package engine
+
+import (
+	"time"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/obs"
+)
+
+// This file is the engine's bridge to internal/obs: the recording helpers
+// every hot path funnels through (all gated on Config.DisableObservability,
+// so the no-op sink is a single branch), and the exporters the HTTP ops
+// endpoint consumes — Trace, Health, and MetricFamilies.
+
+// Trace exposes the engine's round-trace ring: structured phase
+// transitions, bid verdicts, and settled rounds, bounded in memory.
+func (e *Engine) Trace() *obs.Trace { return e.trace }
+
+func (e *Engine) obsOff() bool { return e.cfg.DisableObservability }
+
+// recordBidAccepted counts one admitted bid, engine-wide and per campaign.
+func (e *Engine) recordBidAccepted(c *campaign, rd *round, user auction.UserID) {
+	if e.obsOff() {
+		return
+	}
+	e.metrics.bidsAccepted.Add(1)
+	c.obs.bidsAccepted.Add(1)
+	e.trace.Record(obs.Event{
+		Kind:     obs.KindBidAccepted,
+		Campaign: c.cfg.ID,
+		Round:    rd.index + 1,
+		User:     int(user),
+	})
+}
+
+// recordBidRejected counts one rejected bid with the reason the agent saw.
+func (e *Engine) recordBidRejected(c *campaign, user auction.UserID, reason string) {
+	if e.obsOff() {
+		return
+	}
+	e.metrics.bidsRejected.Add(1)
+	c.obs.bidsRejected.Add(1)
+	e.trace.Record(obs.Event{
+		Kind:     obs.KindBidRejected,
+		Campaign: c.cfg.ID,
+		User:     int(user),
+		Reason:   reason,
+	})
+}
+
+// tracePhase records a campaign state transition (collecting → computing →
+// settling → closed). Safe to call under the engine lock: recording is one
+// atomic claim plus one pointer store.
+func (e *Engine) tracePhase(c *campaign, round int, phase string) {
+	if e.obsOff() {
+		return
+	}
+	e.trace.Record(obs.Event{
+		Kind:     obs.KindPhase,
+		Campaign: c.cfg.ID,
+		Round:    round,
+		Phase:    phase,
+	})
+}
+
+// recordCompute folds one winner-determination run into the latency
+// histograms and the mechanism gauges (winner count, committed payment, DP
+// cells / greedy iterations).
+func (e *Engine) recordCompute(c *campaign, outcome *mechanism.Outcome, elapsed time.Duration) {
+	if e.obsOff() {
+		return
+	}
+	e.metrics.computeLatency.observe(elapsed)
+	c.obs.computeLatency.observe(elapsed)
+	if outcome != nil {
+		c.obs.recordWD(outcome.Stats)
+	}
+}
+
+// recordRound folds a finalized round into the counters and histograms and
+// emits its settled/void trace event.
+func (e *Engine) recordRound(c *campaign, result RoundResult) {
+	if e.obsOff() {
+		return
+	}
+	kind := obs.KindRoundSettled
+	if result.Err != nil {
+		kind = obs.KindRoundVoid
+		e.metrics.roundsFailed.Add(1)
+		c.obs.roundsFailed.Add(1)
+	} else {
+		e.metrics.roundsCompleted.Add(1)
+		c.obs.roundsCompleted.Add(1)
+	}
+	e.metrics.roundLatency.observe(result.RoundLatency)
+	c.obs.roundLatency.observe(result.RoundLatency)
+
+	ev := obs.Event{
+		Kind:       kind,
+		Campaign:   c.cfg.ID,
+		Round:      result.Round,
+		WDNanos:    int64(result.ComputeLatency),
+		RoundNanos: int64(result.RoundLatency),
+	}
+	if result.Err != nil {
+		ev.Reason = result.Err.Error()
+	}
+	if result.Outcome != nil {
+		ev.Winners = len(result.Outcome.Selected)
+	}
+	for _, s := range result.Settlements {
+		ev.Payment += s.Reward
+	}
+	e.trace.Record(ev)
+}
+
+// snapshotLocked captures one campaign's metrics; the caller holds the
+// engine lock (for state/round), the counters themselves are atomic.
+func (c *campaign) snapshotLocked() CampaignSnapshot {
+	round := c.cfg.rounds() - c.roundsLeft // rounds already settled
+	if c.cur != nil {
+		round = c.cur.index + 1
+	}
+	m := &c.obs
+	return CampaignSnapshot{
+		Campaign: c.cfg.ID,
+		State:    c.state.String(),
+		Round:    round,
+
+		BidsAccepted:    m.bidsAccepted.Load(),
+		BidsRejected:    m.bidsRejected.Load(),
+		RoundsCompleted: m.roundsCompleted.Load(),
+		RoundsFailed:    m.roundsFailed.Load(),
+
+		WinnersTotal:     m.winnersTotal.Load(),
+		PaymentTotal:     m.paymentTotal.Load(),
+		DPCellsTotal:     m.dpCellsTotal.Load(),
+		GreedyItersTotal: m.greedyItersTotal.Load(),
+
+		LastWinners:     m.lastWinners.Load(),
+		LastPayment:     m.lastPayment.Load(),
+		LastDPCells:     m.lastDPCells.Load(),
+		LastGreedyIters: m.lastGreedyIters.Load(),
+
+		RoundLatency:   m.roundLatency.snapshot(),
+		ComputeLatency: m.computeLatency.snapshot(),
+	}
+}
+
+// Health reports the engine's liveness and bid-queue saturation for the
+// /healthz endpoint. A queue at or past obs.SaturationThreshold reports
+// StatusSaturated (HTTP 503); an engine that is not serving — not started,
+// or finished every campaign — reports StatusIdle, which is healthy.
+func (e *Engine) Health() obs.Health {
+	e.mu.Lock()
+	serving := e.serving
+	open := e.open
+	var queueLen, queueCap int
+	if e.ingest != nil {
+		queueLen, queueCap = len(e.ingest), cap(e.ingest)
+	} else {
+		queueCap = e.cfg.queueDepth()
+	}
+	e.mu.Unlock()
+
+	saturation := 0.0
+	if queueCap > 0 {
+		saturation = float64(queueLen) / float64(queueCap)
+	}
+	status := obs.StatusOK
+	switch {
+	case !serving || open == 0:
+		status = obs.StatusIdle
+	case saturation >= obs.SaturationThreshold:
+		status = obs.StatusSaturated
+	}
+	return obs.Health{
+		Status:        status,
+		Serving:       serving,
+		OpenCampaigns: open,
+		QueueLen:      queueLen,
+		QueueCap:      queueCap,
+		Saturation:    saturation,
+	}
+}
+
+// summaryQuantiles are the quantile labels /metrics exposes per latency
+// summary.
+var summaryQuantiles = []struct {
+	q     float64
+	label string
+}{
+	{0.50, "0.5"},
+	{0.95, "0.95"},
+	{0.99, "0.99"},
+}
+
+// MetricFamilies renders a consistent snapshot as obs metric families:
+// counters and winner-determination gauges with per-campaign labels,
+// latency summaries with p50/p95/p99 quantiles, and engine-wide queue and
+// campaign gauges. Sample order is deterministic (campaign IDs sorted).
+func (e *Engine) MetricFamilies() []obs.Family {
+	s := e.Snapshot()
+	ids := s.CampaignIDs()
+	campLabel := func(id string) []obs.Label {
+		return []obs.Label{{Name: "campaign", Value: id}}
+	}
+
+	perCampaign := func(name, help, typ string, value func(CampaignSnapshot) float64) obs.Family {
+		f := obs.Family{Name: name, Help: help, Type: typ}
+		for _, id := range ids {
+			f.Samples = append(f.Samples, obs.Sample{Labels: campLabel(id), Value: value(s.Campaigns[id])})
+		}
+		return f
+	}
+	summary := func(name, help string, hist func(CampaignSnapshot) HistogramSnapshot) obs.Family {
+		f := obs.Family{Name: name, Help: help, Type: obs.TypeSummary}
+		for _, id := range ids {
+			h := hist(s.Campaigns[id])
+			for _, q := range summaryQuantiles {
+				f.Samples = append(f.Samples, obs.Sample{
+					Labels: append(campLabel(id), obs.Label{Name: "quantile", Value: q.label}),
+					Value:  h.Quantile(q.q).Seconds(),
+				})
+			}
+			f.Samples = append(f.Samples,
+				obs.Sample{Suffix: "_sum", Labels: campLabel(id), Value: h.Sum.Seconds()},
+				obs.Sample{Suffix: "_count", Labels: campLabel(id), Value: float64(h.Count)})
+		}
+		return f
+	}
+	gauge := func(name, help string, v float64) obs.Family {
+		return obs.Family{Name: name, Help: help, Type: obs.TypeGauge, Samples: []obs.Sample{{Value: v}}}
+	}
+
+	return []obs.Family{
+		perCampaign("crowdsense_bids_accepted_total", "Bids admitted into a round.",
+			obs.TypeCounter, func(c CampaignSnapshot) float64 { return float64(c.BidsAccepted) }),
+		perCampaign("crowdsense_bids_rejected_total", "Bids rejected: queue full, duplicate user, invalid, or campaign busy.",
+			obs.TypeCounter, func(c CampaignSnapshot) float64 { return float64(c.BidsRejected) }),
+		perCampaign("crowdsense_rounds_completed_total", "Rounds settled with a valid outcome.",
+			obs.TypeCounter, func(c CampaignSnapshot) float64 { return float64(c.RoundsCompleted) }),
+		perCampaign("crowdsense_rounds_failed_total", "Rounds voided (requirements unsatisfiable).",
+			obs.TypeCounter, func(c CampaignSnapshot) float64 { return float64(c.RoundsFailed) }),
+		perCampaign("crowdsense_winners_total", "Winners selected across all rounds.",
+			obs.TypeCounter, func(c CampaignSnapshot) float64 { return float64(c.WinnersTotal) }),
+		perCampaign("crowdsense_payment_total", "Success-case payment committed across all rounds.",
+			obs.TypeCounter, func(c CampaignSnapshot) float64 { return c.PaymentTotal }),
+		perCampaign("crowdsense_wd_dp_cells_total", "FPTAS dynamic-programming table cells touched across all winner determinations.",
+			obs.TypeCounter, func(c CampaignSnapshot) float64 { return float64(c.DPCellsTotal) }),
+		perCampaign("crowdsense_wd_greedy_iterations_total", "Greedy set-cover iterations across all winner determinations.",
+			obs.TypeCounter, func(c CampaignSnapshot) float64 { return float64(c.GreedyItersTotal) }),
+		perCampaign("crowdsense_wd_winners", "Winner count of the last winner-determination call.",
+			obs.TypeGauge, func(c CampaignSnapshot) float64 { return float64(c.LastWinners) }),
+		perCampaign("crowdsense_wd_payment", "Success-case payment committed by the last winner-determination call.",
+			obs.TypeGauge, func(c CampaignSnapshot) float64 { return c.LastPayment }),
+		perCampaign("crowdsense_wd_dp_cells", "FPTAS DP table cells touched by the last winner-determination call.",
+			obs.TypeGauge, func(c CampaignSnapshot) float64 { return float64(c.LastDPCells) }),
+		perCampaign("crowdsense_wd_greedy_iterations", "Greedy set-cover iterations of the last winner-determination call.",
+			obs.TypeGauge, func(c CampaignSnapshot) float64 { return float64(c.LastGreedyIters) }),
+		summary("crowdsense_round_duration_seconds", "First admitted bid to settlement, per round.",
+			func(c CampaignSnapshot) HistogramSnapshot { return c.RoundLatency }),
+		summary("crowdsense_wd_duration_seconds", "Winner-determination wall time.",
+			func(c CampaignSnapshot) HistogramSnapshot { return c.ComputeLatency }),
+		gauge("crowdsense_queue_len", "Bid-ingestion queue occupancy.", float64(s.QueueLen)),
+		gauge("crowdsense_queue_capacity", "Bid-ingestion queue capacity.", float64(s.QueueCap)),
+		gauge("crowdsense_campaigns_open", "Campaigns not yet closed.", float64(s.CampaignsOpen)),
+		gauge("crowdsense_campaigns_closed", "Campaigns closed.", float64(s.CampaignsClosed)),
+	}
+}

@@ -42,6 +42,7 @@ func SolveFPTAS(in *Instance, eps float64) (Solution, error) {
 
 	bestScore := math.Inf(1) // scaled cost × µ_k, the paper's C*
 	var bestSel []int        // selection in sorted-rank space
+	var cells int64          // DP table cells touched, across subproblems
 	prefixContrib := 0.0
 	scaled := make([]int, 0, in.N())
 	for k := 1; k <= in.N(); k++ {
@@ -54,7 +55,8 @@ func SolveFPTAS(in *Instance, eps float64) (Solution, error) {
 		for j := 0; j < k; j++ {
 			scaled = append(scaled, int(sortedCosts[j]/mu))
 		}
-		sel, scaledCost, ok := solveScaledDP(scaled, sortedContribs[:k], in.Require)
+		sel, scaledCost, subCells, ok := solveScaledDP(scaled, sortedContribs[:k], in.Require)
+		cells += subCells
 		if !ok {
 			continue
 		}
@@ -74,19 +76,21 @@ func SolveFPTAS(in *Instance, eps float64) (Solution, error) {
 		selected[i] = order[rank]
 	}
 	sort.Ints(selected)
-	return Solution{Selected: selected, Cost: in.Cost(selected)}, nil
+	return Solution{Selected: selected, Cost: in.Cost(selected), Cells: cells}, nil
 }
 
 // solveScaledDP solves one scaled subproblem exactly: among subsets of the
 // given users (integer scaled costs, float contributions) whose total
 // contribution reaches require, find one minimizing total scaled cost.
 // It returns the selection (indices into the subproblem), the minimum
-// scaled cost, and whether a feasible subset exists.
-func solveScaledDP(scaledCosts []int, contribs []float64, require float64) ([]int, int, bool) {
+// scaled cost, the number of DP table cells touched, and whether a
+// feasible subset exists.
+func solveScaledDP(scaledCosts []int, contribs []float64, require float64) ([]int, int, int64, bool) {
 	budget := 0
 	for _, c := range scaledCosts {
 		budget += c
 	}
+	cells := int64(len(scaledCosts)) * int64(budget+1)
 
 	// dp[c] = max total contribution achievable with scaled cost exactly ≤ c
 	// after processing users so far; NaN marks unreachable states. take[j]
@@ -135,7 +139,7 @@ func solveScaledDP(scaledCosts []int, contribs []float64, require float64) ([]in
 		}
 	}
 	if minCost == -1 {
-		return nil, 0, false
+		return nil, 0, cells, false
 	}
 
 	// Backtrack through the take bits.
@@ -152,5 +156,5 @@ func solveScaledDP(scaledCosts []int, contribs []float64, require float64) ([]in
 		panic(fmt.Sprintf("knapsack: scaled DP backtrack ended at cost %d", c))
 	}
 	sort.Ints(sel)
-	return sel, minCost, true
+	return sel, minCost, cells, true
 }

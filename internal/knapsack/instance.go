@@ -103,10 +103,14 @@ func (in *Instance) WithContribution(i int, q float64) (*Instance, error) {
 }
 
 // Solution is a solver's output: the selected user indices (sorted
-// ascending) and their total true cost.
+// ascending) and their total true cost. Cells counts the dynamic-
+// programming table cells the solver touched (FPTAS only; exact solvers
+// leave it zero) — an observability gauge for the O(n⁴/ε) bound, not part
+// of the mathematical result.
 type Solution struct {
 	Selected []int
 	Cost     float64
+	Cells    int64
 }
 
 // contains reports whether the sorted selection includes user i.

@@ -61,6 +61,18 @@ type Award struct {
 	ExpectedUtility float64
 }
 
+// Stats counts the work a winner-determination call did, for the
+// observability layer: how many winners it picked, the total payment it
+// committed, and how large the underlying combinatorial search was (DP
+// table cells for the single-task FPTAS, greedy iterations for the
+// multi-task cover). Gauges, not invariants — they describe the last run.
+type Stats struct {
+	Winners      int     `json:"winners"`
+	TotalPayment float64 `json:"total_payment"` // Σ RewardOnSuccess across awards
+	DPCells      int64   `json:"dp_cells,omitempty"`
+	GreedyIters  int     `json:"greedy_iters,omitempty"`
+}
+
 // Outcome is a mechanism's full result.
 type Outcome struct {
 	Mechanism  string  // name of the mechanism that produced the outcome
@@ -68,6 +80,18 @@ type Outcome struct {
 	SocialCost float64 // Σ costs of winners
 	Awards     []Award // one per winner, same order as Selected
 	Alpha      float64 // EC reward scale the awards were priced at (0 = not an EC outcome)
+	Stats      Stats   // winner-determination work counters
+}
+
+// fillStats derives the award-dependent stats fields; mechanisms call it
+// once their Awards slice is final.
+func (o *Outcome) fillStats() {
+	o.Stats.Winners = len(o.Selected)
+	total := 0.0
+	for _, aw := range o.Awards {
+		total += aw.RewardOnSuccess
+	}
+	o.Stats.TotalPayment = total
 }
 
 // AwardFor returns the award of the given bid index.

@@ -68,6 +68,7 @@ func (m *MultiTask) Run(a *auction.Auction) (*Outcome, error) {
 		SocialCost: sol.Cost,
 		Awards:     make([]Award, len(sol.Selected)),
 		Alpha:      alpha,
+		Stats:      Stats{GreedyIters: len(sol.Iterations)},
 	}
 	for slot, winner := range sol.Selected {
 		var criticalQ float64
@@ -85,6 +86,7 @@ func (m *MultiTask) Run(a *auction.Auction) (*Outcome, error) {
 		bid := a.Bids[winner]
 		out.Awards[slot] = ecAward(winner, bid, criticalQ, bid.TotalContribution(), alpha)
 	}
+	out.fillStats()
 	return out, nil
 }
 
@@ -218,6 +220,7 @@ func (m *MultiTaskOPT) Run(a *auction.Auction) (*Outcome, error) {
 		Selected:   res.Solution.Selected,
 		SocialCost: res.Solution.Cost,
 	}
+	out.fillStats()
 	return out, nil
 }
 

@@ -69,6 +69,7 @@ func (m *SingleTask) Run(a *auction.Auction) (*Outcome, error) {
 		SocialCost: sol.Cost,
 		Awards:     make([]Award, len(sol.Selected)),
 		Alpha:      alpha,
+		Stats:      Stats{DPCells: sol.Cells},
 	}
 	// Critical-bid searches are independent per winner; fan out.
 	par := m.Parallelism
@@ -104,6 +105,7 @@ func (m *SingleTask) Run(a *auction.Auction) (*Outcome, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	out.fillStats()
 	return out, nil
 }
 
@@ -225,6 +227,7 @@ func (m *SingleTaskOPT) Run(a *auction.Auction) (*Outcome, error) {
 		bid := a.Bids[winner]
 		out.Awards[slot] = ecAward(winner, bid, criticalQ, bid.Contribution(taskID), alpha)
 	}
+	out.fillStats()
 	return out, nil
 }
 

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Health statuses reported by /healthz.
+const (
+	// StatusOK: serving and the bid queue has headroom.
+	StatusOK = "ok"
+	// StatusIdle: the producer is not serving (not started, or finished).
+	// Still healthy — an engine that completed all campaigns is not broken.
+	StatusIdle = "idle"
+	// StatusSaturated: the bid queue is at or beyond SaturationThreshold;
+	// /healthz answers 503 so orchestrators can shed load.
+	StatusSaturated = "saturated"
+)
+
+// SaturationThreshold is the queue occupancy fraction at which a producer
+// should report StatusSaturated.
+const SaturationThreshold = 0.9
+
+// Health is a producer's liveness/saturation report.
+type Health struct {
+	Status        string  `json:"status"`
+	Serving       bool    `json:"serving"`
+	OpenCampaigns int     `json:"open_campaigns"`
+	QueueLen      int     `json:"queue_len"`
+	QueueCap      int     `json:"queue_cap"`
+	Saturation    float64 `json:"queue_saturation"`
+}
+
+// OK reports whether the health status maps to HTTP 200.
+func (h Health) OK() bool { return h.Status != StatusSaturated }
+
+// Options wires the data sources behind the ops endpoints. A nil source
+// disables its endpoint (404).
+type Options struct {
+	// Gather supplies the metric families for /metrics.
+	Gather func() []Family
+	// Health supplies the /healthz report.
+	Health func() Health
+	// Rounds supplies up to n recent trace events for /debug/rounds,
+	// oldest first (typically Trace.RecentRounds).
+	Rounds func(n int) []Event
+}
+
+// NewMux assembles the ops endpoints on a fresh ServeMux:
+//
+//	/metrics       Prometheus text exposition format
+//	/healthz       JSON health, 503 when saturated
+//	/debug/rounds  JSON of the recent round trace (?n= bounds the count)
+//	/debug/pprof/  the standard net/http/pprof handlers
+func NewMux(opts Options) *http.ServeMux {
+	mux := http.NewServeMux()
+	if opts.Gather != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = RenderMetrics(w, opts.Gather())
+		})
+	}
+	if opts.Health != nil {
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			h := opts.Health()
+			w.Header().Set("Content-Type", "application/json")
+			if !h.OK() {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			_ = json.NewEncoder(w).Encode(h)
+		})
+	}
+	if opts.Rounds != nil {
+		mux.HandleFunc("/debug/rounds", func(w http.ResponseWriter, r *http.Request) {
+			n := 100
+			if arg := r.URL.Query().Get("n"); arg != "" {
+				v, err := strconv.Atoi(arg)
+				if err != nil || v < 1 {
+					http.Error(w, fmt.Sprintf("bad n %q", arg), http.StatusBadRequest)
+					return
+				}
+				n = v
+			}
+			events := opts.Rounds(n)
+			if events == nil {
+				events = []Event{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(events)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// OpsServer is a running ops endpoint; Close shuts it down.
+type OpsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr reports the bound address (useful with ":0").
+func (s *OpsServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server, closing the listener and any open connections.
+func (s *OpsServer) Close() error { return s.srv.Close() }
+
+// Serve binds addr and serves the ops endpoints in the background. The
+// returned server is live when Serve returns; callers own its Close.
+func Serve(addr string, opts Options) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           NewMux(opts),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &OpsServer{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testOptions(h Health, tr *Trace) Options {
+	return Options{
+		Gather: func() []Family {
+			return []Family{{
+				Name:    "crowdsense_queue_len",
+				Help:    "Bid queue length.",
+				Type:    TypeGauge,
+				Samples: []Sample{{Value: float64(h.QueueLen)}},
+			}}
+		},
+		Health: func() Health { return h },
+		Rounds: tr.RecentRounds,
+	}
+}
+
+func TestMuxMetrics(t *testing.T) {
+	mux := NewMux(testOptions(Health{QueueLen: 42}, NewTrace(8)))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type %q missing exposition version", ct)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "crowdsense_queue_len 42") {
+		t.Errorf("/metrics body missing gauge:\n%s", body)
+	}
+}
+
+func TestMuxHealthz(t *testing.T) {
+	cases := []struct {
+		health Health
+		code   int
+	}{
+		{Health{Status: StatusOK, Serving: true, QueueLen: 1, QueueCap: 10, Saturation: 0.1}, http.StatusOK},
+		{Health{Status: StatusIdle}, http.StatusOK},
+		{Health{Status: StatusSaturated, Serving: true, QueueLen: 95, QueueCap: 100, Saturation: 0.95}, http.StatusServiceUnavailable},
+	}
+	for _, c := range cases {
+		mux := NewMux(testOptions(c.health, NewTrace(8)))
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		if rec.Code != c.code {
+			t.Errorf("status %q: /healthz code %d, want %d", c.health.Status, rec.Code, c.code)
+		}
+		var got Health
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatalf("status %q: bad /healthz JSON: %v", c.health.Status, err)
+		}
+		if got != c.health {
+			t.Errorf("round-tripped health %+v, want %+v", got, c.health)
+		}
+	}
+}
+
+func TestMuxDebugRounds(t *testing.T) {
+	tr := NewTrace(8)
+	for i := 0; i < 6; i++ {
+		tr.Record(Event{Kind: KindPhase, Campaign: "c1", Round: i + 1, Phase: "collecting"})
+	}
+	mux := NewMux(testOptions(Health{Status: StatusOK}, tr))
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/rounds?n=2", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/rounds status %d", rec.Code)
+	}
+	var events []Event
+	if err := json.Unmarshal(rec.Body.Bytes(), &events); err != nil {
+		t.Fatalf("bad /debug/rounds JSON: %v", err)
+	}
+	if len(events) != 2 || events[0].Round != 5 || events[1].Round != 6 {
+		t.Errorf("?n=2 returned %+v, want rounds 5 and 6", events)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/rounds?n=bogus", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad n: status %d, want 400", rec.Code)
+	}
+
+	// An empty trace must serve [] — not null — for JSON consumers.
+	mux = NewMux(testOptions(Health{Status: StatusOK}, NewTrace(8)))
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/rounds", nil))
+	if body := strings.TrimSpace(rec.Body.String()); body != "[]" {
+		t.Errorf("empty trace body %q, want []", body)
+	}
+}
+
+func TestMuxDisabledEndpoints(t *testing.T) {
+	mux := NewMux(Options{}) // all sources nil
+	for _, path := range []string{"/metrics", "/healthz", "/debug/rounds"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("%s with nil source: status %d, want 404", path, rec.Code)
+		}
+	}
+	// pprof stays wired regardless.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d, want 200", rec.Code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", testOptions(Health{Status: StatusOK}, NewTrace(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d: %s", resp.StatusCode, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr().String() + "/healthz"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

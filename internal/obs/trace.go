@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Event kinds recorded by the engine's round tracer.
+const (
+	// KindPhase marks a campaign state transition; Phase carries the state
+	// entered (collecting, computing, settling, closed).
+	KindPhase = "phase"
+	// KindBidAccepted / KindBidRejected record one bid admission verdict;
+	// rejections carry the reason handed back to the agent.
+	KindBidAccepted = "bid_accepted"
+	KindBidRejected = "bid_rejected"
+	// KindRoundSettled / KindRoundVoid record a finished round with its
+	// winner count, total payment, and latencies; a void round is one whose
+	// bidders could not satisfy the requirements.
+	KindRoundSettled = "round_settled"
+	KindRoundVoid    = "round_void"
+)
+
+// Event is one structured entry in the round trace.
+type Event struct {
+	Seq      uint64    `json:"seq"`
+	Time     time.Time `json:"time"`
+	Kind     string    `json:"kind"`
+	Campaign string    `json:"campaign,omitempty"`
+	Round    int       `json:"round,omitempty"` // 1-based
+	Phase    string    `json:"phase,omitempty"`
+	User     int       `json:"user,omitempty"`
+	Reason   string    `json:"reason,omitempty"`
+	Winners  int       `json:"winners,omitempty"`
+	Payment  float64   `json:"payment,omitempty"`
+
+	// WDNanos is the winner-determination wall time; RoundNanos the first
+	// bid → settled wall time. Nanosecond integers, not time.Duration, so
+	// the JSON is unit-explicit.
+	WDNanos    int64 `json:"wd_ns,omitempty"`
+	RoundNanos int64 `json:"round_ns,omitempty"`
+}
+
+// DefaultTraceCapacity sizes a zero-capacity NewTrace.
+const DefaultTraceCapacity = 1024
+
+// Trace is a bounded, lock-free ring buffer of Events. Writers claim a slot
+// with one atomic increment and publish the event with one atomic pointer
+// store; the ring overwrites its oldest entries once full, so memory stays
+// bounded no matter how long the engine lives. Readers never block writers:
+// RecentRounds assembles a best-effort consistent view by validating each
+// slot's sequence number after the load.
+type Trace struct {
+	slots []atomic.Pointer[Event]
+	mask  uint64
+	next  atomic.Uint64
+}
+
+// NewTrace creates a ring holding at least capacity events (rounded up to a
+// power of two; non-positive means DefaultTraceCapacity).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &Trace{
+		slots: make([]atomic.Pointer[Event], size),
+		mask:  uint64(size - 1),
+	}
+}
+
+// Record publishes one event, stamping its sequence number and (if unset)
+// its time. Safe for concurrent use; never blocks.
+func (t *Trace) Record(ev Event) {
+	seq := t.next.Add(1) - 1
+	ev.Seq = seq
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	t.slots[seq&t.mask].Store(&ev)
+}
+
+// Recorded reports how many events have ever been recorded (including ones
+// the ring has since overwritten).
+func (t *Trace) Recorded() uint64 { return t.next.Load() }
+
+// Cap reports the ring's capacity.
+func (t *Trace) Cap() int { return len(t.slots) }
+
+// RecentRounds returns up to n of the most recent events, oldest first.
+// Concurrent writers may overwrite slots mid-read; such slots are detected
+// by their sequence stamp and skipped, so the result is always a subset of
+// real events in order, never a torn one.
+func (t *Trace) RecentRounds(n int) []Event {
+	if n <= 0 {
+		return nil
+	}
+	hi := t.next.Load()
+	lo := uint64(0)
+	if span := uint64(len(t.slots)); hi > span {
+		lo = hi - span
+	}
+	if hi-lo > uint64(n) {
+		lo = hi - uint64(n)
+	}
+	out := make([]Event, 0, hi-lo)
+	for seq := lo; seq < hi; seq++ {
+		p := t.slots[seq&t.mask].Load()
+		if p == nil || p.Seq != seq {
+			continue // slot overwritten (or not yet published) during the read
+		}
+		out = append(out, *p)
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTraceCapacityRounding(t *testing.T) {
+	if got := NewTrace(0).Cap(); got != DefaultTraceCapacity {
+		t.Errorf("NewTrace(0).Cap() = %d, want %d", got, DefaultTraceCapacity)
+	}
+	if got := NewTrace(100).Cap(); got != 128 {
+		t.Errorf("NewTrace(100).Cap() = %d, want 128", got)
+	}
+	if got := NewTrace(64).Cap(); got != 64 {
+		t.Errorf("NewTrace(64).Cap() = %d, want 64", got)
+	}
+}
+
+func TestTraceRecentRounds(t *testing.T) {
+	tr := NewTrace(8)
+	if got := tr.RecentRounds(5); len(got) != 0 {
+		t.Fatalf("empty trace returned %d events", len(got))
+	}
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{Kind: KindPhase, Round: i + 1})
+	}
+	got := tr.RecentRounds(3)
+	if len(got) != 3 {
+		t.Fatalf("RecentRounds(3) returned %d events", len(got))
+	}
+	// Oldest first: rounds 3, 4, 5.
+	for i, ev := range got {
+		if ev.Round != i+3 {
+			t.Errorf("event %d: round %d, want %d", i, ev.Round, i+3)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("event %d: time not stamped", i)
+		}
+	}
+	if got := tr.RecentRounds(100); len(got) != 5 {
+		t.Errorf("RecentRounds(100) returned %d events, want all 5", len(got))
+	}
+	if tr.RecentRounds(0) != nil || tr.RecentRounds(-1) != nil {
+		t.Error("RecentRounds with non-positive n should return nil")
+	}
+}
+
+// TestTraceWrapAround overflows the ring several times over and checks the
+// survivors are exactly the newest Cap() events, in order, with no gaps —
+// the bounded-memory guarantee of the tracer.
+func TestTraceWrapAround(t *testing.T) {
+	tr := NewTrace(8)
+	const total = 8*3 + 5 // wraps three times, lands mid-ring
+	for i := 0; i < total; i++ {
+		tr.Record(Event{Kind: KindRoundSettled, Round: i})
+	}
+	if got := tr.Recorded(); got != total {
+		t.Errorf("Recorded() = %d, want %d", got, total)
+	}
+	got := tr.RecentRounds(total)
+	if len(got) != tr.Cap() {
+		t.Fatalf("after wrap, RecentRounds returned %d events, want %d", len(got), tr.Cap())
+	}
+	for i, ev := range got {
+		want := total - tr.Cap() + i
+		if ev.Round != want {
+			t.Errorf("event %d: round %d, want %d", i, ev.Round, want)
+		}
+		if ev.Seq != uint64(want) {
+			t.Errorf("event %d: seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+// TestTraceConcurrent hammers the ring from many writers while readers
+// continuously snapshot it; run under -race this proves the lock-free
+// claim. Readers additionally check they never observe a torn event: every
+// returned event must be internally consistent (Reason matches User).
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace(64)
+	const writers = 8
+	const perWriter = 500
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, ev := range tr.RecentRounds(64) {
+					if want := fmt.Sprintf("user-%d", ev.User); ev.Reason != want {
+						t.Errorf("torn event: user %d reason %q", ev.User, ev.Reason)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				u := w*perWriter + i
+				tr.Record(Event{
+					Kind:   KindBidRejected,
+					User:   u,
+					Reason: fmt.Sprintf("user-%d", u),
+				})
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := tr.Recorded(); got != writers*perWriter {
+		t.Errorf("Recorded() = %d, want %d", got, writers*perWriter)
+	}
+	// Quiescent ring: a full read returns exactly Cap() events in seq order.
+	events := tr.RecentRounds(writers * perWriter)
+	if len(events) != tr.Cap() {
+		t.Fatalf("quiescent RecentRounds returned %d, want %d", len(events), tr.Cap())
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("events out of order: seq %d after %d", events[i].Seq, events[i-1].Seq)
+		}
+	}
+}

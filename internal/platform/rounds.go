@@ -23,6 +23,12 @@ type RoundsOptions struct {
 	// OnRound, if set, observes each completed round; it runs between
 	// rounds on the serving engine's goroutines, so it must be quick.
 	OnRound func(round int, result RoundResult)
+
+	// OnEngine, if set, receives the underlying engine after it has bound
+	// its listener and before it starts serving — the hook observability
+	// tooling uses to attach metrics/ops endpoints (engine.MetricFamilies,
+	// engine.Health, engine.Trace) to the single-campaign façade.
+	OnEngine func(*engine.Engine)
 }
 
 // RunRounds operates the platform as a recurring service: one engine, one
@@ -78,6 +84,9 @@ func RunRounds(ctx context.Context, cfg Config, opts RoundsOptions) ([]RoundResu
 		return nil, fmt.Errorf("platform: %w", err)
 	}
 	addr = eng.Addr().String()
+	if opts.OnEngine != nil {
+		opts.OnEngine(eng)
+	}
 
 	serveErr := eng.Serve(ctx)
 	mu.Lock()

@@ -10,6 +10,6 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/engine/... ./internal/platform/... \
+go test -race ./internal/engine/... ./internal/obs/... ./internal/platform/... \
 	./internal/agent/... ./internal/wire/... ./internal/mechanism/...
 go test -run 'Fuzz.*' ./internal/wire
