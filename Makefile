@@ -9,9 +9,14 @@ GO ?= go
 # sweeps exceed any reasonable gate under race instrumentation; their
 # concurrency (mechanism fan-out) is race-covered via these packages.
 RACE_PKGS = ./internal/engine/... ./internal/obs/... ./internal/platform/... \
-	./internal/agent/... ./internal/wire/... ./internal/mechanism/...
+	./internal/agent/... ./internal/wire/... ./internal/mechanism/... \
+	./internal/knapsack/... ./internal/setcover/...
 
-.PHONY: all build test race fuzz-seed bench check
+# Solver and mechanism hot-path benchmarks, including the *Reference
+# baselines the optimized paths are compared against.
+BENCH_PKGS = ./internal/knapsack ./internal/setcover ./internal/mechanism
+
+.PHONY: all build test race fuzz-seed bench bench-json check
 
 all: build
 
@@ -31,6 +36,11 @@ fuzz-seed:
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkEngineThroughput -benchtime 3x ./internal/engine
+	$(GO) test -run '^$$' -bench . -benchtime 1x $(BENCH_PKGS)
+
+# Regenerate BENCH_solvers.json (optimized vs reference solver trajectory).
+bench-json:
+	sh scripts/bench_json.sh
 
 check:
 	$(GO) vet ./...

@@ -229,12 +229,18 @@ type campaignMetrics struct {
 	paymentTotal     atomicFloat
 	dpCellsTotal     atomic.Int64
 	greedyItersTotal atomic.Int64
+	dpPrunedTotal    atomic.Int64
+	dpReuseTotal     atomic.Int64
+	lazyReevalsTotal atomic.Int64
 
 	// Last-call gauges, overwritten by every winner-determination run.
 	lastWinners     atomic.Int64
 	lastPayment     atomicFloat
 	lastDPCells     atomic.Int64
 	lastGreedyIters atomic.Int64
+	lastDPPruned    atomic.Int64
+	lastDPReuse     atomic.Int64
+	lastLazyReevals atomic.Int64
 }
 
 // recordWD folds one winner-determination call's mechanism stats in.
@@ -243,10 +249,16 @@ func (m *campaignMetrics) recordWD(st mechanism.Stats) {
 	m.paymentTotal.Add(st.TotalPayment)
 	m.dpCellsTotal.Add(st.DPCells)
 	m.greedyItersTotal.Add(int64(st.GreedyIters))
+	m.dpPrunedTotal.Add(st.DPPruned)
+	m.dpReuseTotal.Add(st.DPReuse)
+	m.lazyReevalsTotal.Add(st.LazyReevals)
 	m.lastWinners.Store(int64(st.Winners))
 	m.lastPayment.Store(st.TotalPayment)
 	m.lastDPCells.Store(st.DPCells)
 	m.lastGreedyIters.Store(int64(st.GreedyIters))
+	m.lastDPPruned.Store(st.DPPruned)
+	m.lastDPReuse.Store(st.DPReuse)
+	m.lastLazyReevals.Store(st.LazyReevals)
 }
 
 // CampaignSnapshot is a point-in-time view of one campaign's metrics.
@@ -264,11 +276,17 @@ type CampaignSnapshot struct {
 	PaymentTotal     float64 `json:"payment_total"`
 	DPCellsTotal     int64   `json:"dp_cells_total"`
 	GreedyItersTotal int64   `json:"greedy_iters_total"`
+	DPPrunedTotal    int64   `json:"dp_pruned_total"`
+	DPReuseTotal     int64   `json:"dp_reuse_total"`
+	LazyReevalsTotal int64   `json:"lazy_reevals_total"`
 
 	LastWinners     int64   `json:"last_winners"`
 	LastPayment     float64 `json:"last_payment"`
 	LastDPCells     int64   `json:"last_dp_cells"`
 	LastGreedyIters int64   `json:"last_greedy_iters"`
+	LastDPPruned    int64   `json:"last_dp_pruned"`
+	LastDPReuse     int64   `json:"last_dp_reuse"`
+	LastLazyReevals int64   `json:"last_lazy_reevals"`
 
 	RoundLatency   HistogramSnapshot `json:"round_latency"`
 	ComputeLatency HistogramSnapshot `json:"compute_latency"`
@@ -323,6 +341,15 @@ func (s Snapshot) String() string {
 		}
 		if c.GreedyItersTotal > 0 {
 			fmt.Fprintf(&b, " greedy_iters=%d", c.GreedyItersTotal)
+		}
+		if c.DPPrunedTotal > 0 {
+			fmt.Fprintf(&b, " dp_pruned=%d", c.DPPrunedTotal)
+		}
+		if c.DPReuseTotal > 0 {
+			fmt.Fprintf(&b, " dp_reuse=%d", c.DPReuseTotal)
+		}
+		if c.LazyReevalsTotal > 0 {
+			fmt.Fprintf(&b, " lazy_reevals=%d", c.LazyReevalsTotal)
 		}
 		fmt.Fprintf(&b, " wd{%s}", c.ComputeLatency)
 	}

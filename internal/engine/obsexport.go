@@ -137,11 +137,17 @@ func (c *campaign) snapshotLocked() CampaignSnapshot {
 		PaymentTotal:     m.paymentTotal.Load(),
 		DPCellsTotal:     m.dpCellsTotal.Load(),
 		GreedyItersTotal: m.greedyItersTotal.Load(),
+		DPPrunedTotal:    m.dpPrunedTotal.Load(),
+		DPReuseTotal:     m.dpReuseTotal.Load(),
+		LazyReevalsTotal: m.lazyReevalsTotal.Load(),
 
 		LastWinners:     m.lastWinners.Load(),
 		LastPayment:     m.lastPayment.Load(),
 		LastDPCells:     m.lastDPCells.Load(),
 		LastGreedyIters: m.lastGreedyIters.Load(),
+		LastDPPruned:    m.lastDPPruned.Load(),
+		LastDPReuse:     m.lastDPReuse.Load(),
+		LastLazyReevals: m.lastLazyReevals.Load(),
 
 		RoundLatency:   m.roundLatency.snapshot(),
 		ComputeLatency: m.computeLatency.snapshot(),
@@ -251,6 +257,12 @@ func (e *Engine) MetricFamilies() []obs.Family {
 			obs.TypeCounter, func(c CampaignSnapshot) float64 { return float64(c.DPCellsTotal) }),
 		perCampaign("crowdsense_wd_greedy_iterations_total", "Greedy set-cover iterations across all winner determinations.",
 			obs.TypeCounter, func(c CampaignSnapshot) float64 { return float64(c.GreedyItersTotal) }),
+		perCampaign("crowdsense_wd_dp_pruned_total", "FPTAS subproblems skipped by the incumbent lower bound across all winner determinations.",
+			obs.TypeCounter, func(c CampaignSnapshot) float64 { return float64(c.DPPrunedTotal) }),
+		perCampaign("crowdsense_wd_dp_reuse_total", "FPTAS DP workspace checkouts served by the pool across all winner determinations.",
+			obs.TypeCounter, func(c CampaignSnapshot) float64 { return float64(c.DPReuseTotal) }),
+		perCampaign("crowdsense_wd_lazy_reevals_total", "Lazy-greedy effective-contribution evaluations across all winner determinations.",
+			obs.TypeCounter, func(c CampaignSnapshot) float64 { return float64(c.LazyReevalsTotal) }),
 		perCampaign("crowdsense_wd_winners", "Winner count of the last winner-determination call.",
 			obs.TypeGauge, func(c CampaignSnapshot) float64 { return float64(c.LastWinners) }),
 		perCampaign("crowdsense_wd_payment", "Success-case payment committed by the last winner-determination call.",
@@ -259,6 +271,12 @@ func (e *Engine) MetricFamilies() []obs.Family {
 			obs.TypeGauge, func(c CampaignSnapshot) float64 { return float64(c.LastDPCells) }),
 		perCampaign("crowdsense_wd_greedy_iterations", "Greedy set-cover iterations of the last winner-determination call.",
 			obs.TypeGauge, func(c CampaignSnapshot) float64 { return float64(c.LastGreedyIters) }),
+		perCampaign("crowdsense_wd_dp_pruned", "FPTAS subproblems skipped by the incumbent lower bound in the last winner-determination call.",
+			obs.TypeGauge, func(c CampaignSnapshot) float64 { return float64(c.LastDPPruned) }),
+		perCampaign("crowdsense_wd_dp_reuse", "FPTAS DP workspace checkouts served by the pool in the last winner-determination call.",
+			obs.TypeGauge, func(c CampaignSnapshot) float64 { return float64(c.LastDPReuse) }),
+		perCampaign("crowdsense_wd_lazy_reevals", "Lazy-greedy effective-contribution evaluations of the last winner-determination call.",
+			obs.TypeGauge, func(c CampaignSnapshot) float64 { return float64(c.LastLazyReevals) }),
 		summary("crowdsense_round_duration_seconds", "First admitted bid to settlement, per round.",
 			func(c CampaignSnapshot) HistogramSnapshot { return c.RoundLatency }),
 		summary("crowdsense_wd_duration_seconds", "Winner-determination wall time.",

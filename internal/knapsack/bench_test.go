@@ -12,7 +12,7 @@ func benchInstance(n int, seed int64) *Instance {
 }
 
 func BenchmarkSolveFPTAS(b *testing.B) {
-	for _, n := range []int{20, 50, 100} {
+	for _, n := range []int{20, 50, 100, 200} {
 		for _, eps := range []float64{0.1, 0.5} {
 			in := benchInstance(n, int64(n))
 			b.Run(fmt.Sprintf("n=%d/eps=%g", n, eps), func(b *testing.B) {
@@ -24,6 +24,47 @@ func BenchmarkSolveFPTAS(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkSolveFPTASReference benchmarks the retained seed implementation
+// on the same instances, as the baseline the optimized Solver is measured
+// against.
+func BenchmarkSolveFPTASReference(b *testing.B) {
+	for _, n := range []int{20, 50, 100, 200} {
+		for _, eps := range []float64{0.1, 0.5} {
+			in := benchInstance(n, int64(n))
+			b.Run(fmt.Sprintf("n=%d/eps=%g", n, eps), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := SolveFPTASReference(in, eps); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSolverResolve measures the mechanism's steady-state hot path: one
+// Solver reused across many critical-bid style re-solves, where the cost
+// sort, validation, and DP workspaces are all amortized.
+func BenchmarkSolverResolve(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		in := benchInstance(n, int64(n))
+		s := NewSolver(in, 0.5)
+		if _, err := s.Solve(); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q := in.Contribs[i%n] * 0.5
+				if _, err := s.SolveWithContribution(i%n, q); err != nil && err != ErrInfeasible {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -106,11 +106,15 @@ func (in *Instance) WithContribution(i int, q float64) (*Instance, error) {
 // ascending) and their total true cost. Cells counts the dynamic-
 // programming table cells the solver touched (FPTAS only; exact solvers
 // leave it zero) — an observability gauge for the O(n⁴/ε) bound, not part
-// of the mathematical result.
+// of the mathematical result. Pruned and Reused are likewise gauges of the
+// optimized FPTAS path: subproblems the incumbent bound eliminated and DP
+// workspace checkouts served from the pool.
 type Solution struct {
 	Selected []int
 	Cost     float64
 	Cells    int64
+	Pruned   int64
+	Reused   int64
 }
 
 // contains reports whether the sorted selection includes user i.

@@ -1,0 +1,153 @@
+package knapsack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SolveFPTASReference is the seed implementation of Algorithm 2, retained
+// verbatim as the behavioural oracle for the optimized Solver: it re-sorts
+// the instance, allocates fresh DP tables per subproblem, and evaluates
+// every subproblem. Differential tests pin SolveFPTAS to its exact
+// selections; production paths should use SolveFPTAS or a reusable Solver.
+func SolveFPTASReference(in *Instance, eps float64) (Solution, error) {
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	if !in.Feasible() {
+		return Solution{}, ErrInfeasible
+	}
+
+	// Order users by cost ascending, remembering original indices.
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return in.Costs[order[a]] < in.Costs[order[b]] })
+
+	sortedCosts := make([]float64, in.N())
+	sortedContribs := make([]float64, in.N())
+	for rank, idx := range order {
+		sortedCosts[rank] = in.Costs[idx]
+		sortedContribs[rank] = in.Contribs[idx]
+	}
+
+	bestScore := math.Inf(1) // scaled cost × µ_k, the paper's C*
+	var bestSel []int        // selection in sorted-rank space
+	var cells int64          // DP table cells touched, across subproblems
+	prefixContrib := 0.0
+	scaled := make([]int, 0, in.N())
+	for k := 1; k <= in.N(); k++ {
+		prefixContrib += sortedContribs[k-1]
+		if prefixContrib < in.Require-FeasibilityTol {
+			continue // subproblem k is infeasible; skip the DP
+		}
+		mu := eps * sortedCosts[k-1] / float64(k)
+		scaled = scaled[:0]
+		for j := 0; j < k; j++ {
+			scaled = append(scaled, int(sortedCosts[j]/mu))
+		}
+		sel, scaledCost, subCells, ok := solveScaledDPReference(scaled, sortedContribs[:k], in.Require)
+		cells += subCells
+		if !ok {
+			continue
+		}
+		score := float64(scaledCost) * mu
+		if score < bestScore {
+			bestScore = score
+			bestSel = sel
+		}
+	}
+	if bestSel == nil {
+		return Solution{}, ErrInfeasible
+	}
+
+	// Map back to original user indices.
+	selected := make([]int, len(bestSel))
+	for i, rank := range bestSel {
+		selected[i] = order[rank]
+	}
+	sort.Ints(selected)
+	return Solution{Selected: selected, Cost: in.Cost(selected), Cells: cells}, nil
+}
+
+// solveScaledDPReference solves one scaled subproblem exactly: among subsets
+// of the given users (integer scaled costs, float contributions) whose total
+// contribution reaches require, find one minimizing total scaled cost.
+// It returns the selection (indices into the subproblem), the minimum
+// scaled cost, the number of DP table cells touched, and whether a
+// feasible subset exists.
+func solveScaledDPReference(scaledCosts []int, contribs []float64, require float64) ([]int, int, int64, bool) {
+	budget := 0
+	for _, c := range scaledCosts {
+		budget += c
+	}
+	cells := int64(len(scaledCosts)) * int64(budget+1)
+
+	// dp[c] = max total contribution achievable with scaled cost exactly ≤ c
+	// after processing users so far; NaN marks unreachable states. take[j]
+	// records, per cost index, whether user j improved that state, enabling
+	// backtracking without per-level dp snapshots.
+	dp := make([]float64, budget+1)
+	for i := range dp {
+		dp[i] = math.Inf(-1)
+	}
+	dp[0] = 0
+	take := make([][]bool, len(scaledCosts))
+	for j, cost := range scaledCosts {
+		row := make([]bool, budget+1)
+		if cost == 0 {
+			// Zero scaled cost: the item adds contribution for free in the
+			// scaled domain; taking it weakly dominates at every state.
+			if contribs[j] > 0 {
+				for c := 0; c <= budget; c++ {
+					if !math.IsInf(dp[c], -1) {
+						dp[c] += contribs[j]
+						row[c] = true
+					}
+				}
+			}
+		} else {
+			for c := budget; c >= cost; c-- {
+				if math.IsInf(dp[c-cost], -1) {
+					continue
+				}
+				if cand := dp[c-cost] + contribs[j]; cand > dp[c] {
+					dp[c] = cand
+					row[c] = true
+				}
+			}
+		}
+		take[j] = row
+	}
+
+	// dp[c] holds "max contribution at scaled cost exactly c", so the answer
+	// is the first cost index whose contribution meets the requirement.
+	minCost := -1
+	for c := 0; c <= budget; c++ {
+		if dp[c] >= require-FeasibilityTol {
+			minCost = c
+			break
+		}
+	}
+	if minCost == -1 {
+		return nil, 0, cells, false
+	}
+
+	// Backtrack through the take bits.
+	var sel []int
+	c := minCost
+	for j := len(scaledCosts) - 1; j >= 0; j-- {
+		if take[j][c] {
+			sel = append(sel, j)
+			c -= scaledCosts[j]
+		}
+	}
+	if c != 0 {
+		// Defensive: backtracking must land on the empty state.
+		panic(fmt.Sprintf("knapsack: scaled DP backtrack ended at cost %d", c))
+	}
+	sort.Ints(sel)
+	return sel, minCost, cells, true
+}

@@ -8,9 +8,27 @@ import (
 )
 
 func BenchmarkSingleTaskRun(b *testing.B) {
-	for _, n := range []int{20, 50, 100} {
+	for _, n := range []int{20, 50, 100, 200} {
 		a := randomSingleAuction(stats.NewRand(int64(n)), n, 0.8)
 		m := &SingleTask{Epsilon: 0.5, Alpha: 10}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSingleTaskRunReference runs the full mechanism through the
+// retained seed solver (serial, per-probe instance rebuilds): the baseline
+// the optimized path's speedup is measured against.
+func BenchmarkSingleTaskRunReference(b *testing.B) {
+	for _, n := range []int{20, 50, 100, 200} {
+		a := randomSingleAuction(stats.NewRand(int64(n)), n, 0.8)
+		m := &SingleTask{Epsilon: 0.5, Alpha: 10, Parallelism: 1, useReference: true}
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -30,16 +48,43 @@ func BenchmarkMultiTaskRun(b *testing.B) {
 		{"paper", CriticalBidPaper},
 		{"scaled", CriticalBidScaled},
 	} {
-		a := randomMultiAuction(stats.NewRand(3), 50, 15, 0.8)
-		m := &MultiTask{Alpha: 10, CriticalBid: mode.mode}
-		b.Run(fmt.Sprintf("n=50/t=15/%s", mode.name), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := m.Run(a); err != nil {
-					b.Fatal(err)
+		for _, nt := range [][2]int{{50, 15}, {200, 20}} {
+			a := randomMultiAuction(stats.NewRand(3), nt[0], nt[1], 0.8)
+			m := &MultiTask{Alpha: 10, CriticalBid: mode.mode}
+			b.Run(fmt.Sprintf("n=%d/t=%d/%s", nt[0], nt[1], mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := m.Run(a); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
+	}
+}
+
+// BenchmarkMultiTaskRunReference is the seed baseline: reference greedy
+// cover and serial per-winner critical-bid searches.
+func BenchmarkMultiTaskRunReference(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mode CriticalBidMode
+	}{
+		{"paper", CriticalBidPaper},
+		{"scaled", CriticalBidScaled},
+	} {
+		for _, nt := range [][2]int{{50, 15}, {200, 20}} {
+			a := randomMultiAuction(stats.NewRand(3), nt[0], nt[1], 0.8)
+			m := &MultiTask{Alpha: 10, CriticalBid: mode.mode, Parallelism: 1, useReference: true}
+			b.Run(fmt.Sprintf("n=%d/t=%d/%s", nt[0], nt[1], mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := m.Run(a); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -65,12 +65,19 @@ type Award struct {
 // observability layer: how many winners it picked, the total payment it
 // committed, and how large the underlying combinatorial search was (DP
 // table cells for the single-task FPTAS, greedy iterations for the
-// multi-task cover). Gauges, not invariants — they describe the last run.
+// multi-task cover). The solver-efficiency counters aggregate across the
+// allocation AND every critical-bid re-solve of the call: DP subproblems
+// the incumbent bound pruned, DP workspace checkouts served by the pool,
+// and lazy-greedy effective-contribution evaluations (the CELF saving over
+// a full rescan). Gauges, not invariants — they describe the last run.
 type Stats struct {
 	Winners      int     `json:"winners"`
 	TotalPayment float64 `json:"total_payment"` // Σ RewardOnSuccess across awards
 	DPCells      int64   `json:"dp_cells,omitempty"`
 	GreedyIters  int     `json:"greedy_iters,omitempty"`
+	DPPruned     int64   `json:"dp_pruned,omitempty"`
+	DPReuse      int64   `json:"dp_reuse,omitempty"`
+	LazyReevals  int64   `json:"lazy_reevals,omitempty"`
 }
 
 // Outcome is a mechanism's full result.

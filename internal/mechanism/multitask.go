@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"crowdsense/internal/auction"
 	"crowdsense/internal/setcover"
@@ -42,6 +45,14 @@ type MultiTask struct {
 	// CriticalBid selects the critical-bid computation; zero means
 	// CriticalBidPaper.
 	CriticalBid CriticalBidMode
+	// Parallelism bounds the goroutines used for per-winner critical-bid
+	// searches; non-positive uses GOMAXPROCS.
+	Parallelism int
+
+	// useReference routes every cover through the retained seed
+	// implementation (setcover.GreedyReference). Differential tests and
+	// benchmarks use it as the oracle; it is not part of the public surface.
+	useReference bool
 }
 
 var _ Mechanism = (*MultiTask)(nil)
@@ -49,13 +60,30 @@ var _ Mechanism = (*MultiTask)(nil)
 // Name implements Mechanism.
 func (m *MultiTask) Name() string { return "multi-task greedy" }
 
-// Run executes winner determination and reward calculation.
+func (m *MultiTask) parallelism() int {
+	if m.Parallelism > 0 {
+		return m.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// solveCover runs winner determination on the given auction.
+func (m *MultiTask) solveCover(a *auction.Auction) (setcover.Solution, error) {
+	if m.useReference {
+		return setcover.GreedyReference(a)
+	}
+	return setcover.Greedy(a)
+}
+
+// Run executes winner determination and reward calculation. Per-winner
+// critical-bid searches are independent and fan out across a bounded worker
+// pool, mirroring SingleTask.
 func (m *MultiTask) Run(a *auction.Auction) (*Outcome, error) {
 	alpha, err := requireAlpha(m.Alpha)
 	if err != nil {
 		return nil, err
 	}
-	sol, err := setcover.Greedy(a)
+	sol, err := m.solveCover(a)
 	if err != nil {
 		if errors.Is(err, setcover.ErrInfeasible) {
 			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
@@ -70,44 +98,76 @@ func (m *MultiTask) Run(a *auction.Auction) (*Outcome, error) {
 		Alpha:      alpha,
 		Stats:      Stats{GreedyIters: len(sol.Iterations)},
 	}
+	var (
+		reevals  atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	reevals.Add(sol.Evals)
+	sem := make(chan struct{}, m.parallelism())
 	for slot, winner := range sol.Selected {
-		var criticalQ float64
-		switch m.CriticalBid {
-		case CriticalBidScaled:
-			criticalQ, err = criticalContributionScaled(a, winner)
-		case CriticalBidPaper, 0:
-			criticalQ, err = criticalContributionMulti(a, winner)
-		default:
-			err = fmt.Errorf("mechanism: unknown critical bid mode %d", m.CriticalBid)
-		}
-		if err != nil {
-			return nil, err
-		}
-		bid := a.Bids[winner]
-		out.Awards[slot] = ecAward(winner, bid, criticalQ, bid.TotalContribution(), alpha)
+		wg.Add(1)
+		go func(slot, winner int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var (
+				criticalQ float64
+				evals     int64
+				err       error
+			)
+			switch m.CriticalBid {
+			case CriticalBidScaled:
+				criticalQ, evals, err = m.criticalContributionScaled(a, winner)
+			case CriticalBidPaper, 0:
+				criticalQ, evals, err = m.criticalContributionMulti(a, winner)
+			default:
+				err = fmt.Errorf("mechanism: unknown critical bid mode %d", m.CriticalBid)
+			}
+			reevals.Add(evals)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			bid := a.Bids[winner]
+			out.Awards[slot] = ecAward(winner, bid, criticalQ, bid.TotalContribution(), alpha)
+		}(slot, winner)
 	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out.Stats.LazyReevals = reevals.Load()
 	out.fillStats()
 	return out, nil
 }
 
 // criticalContributionScaled binary-searches the minimal scale s ∈ [0, 1]
 // such that user i still wins when declaring s·(q_i^j)_j with everyone
-// else fixed, and returns q̄ = s*·Σ_j q_i^j. Greedy selection is monotone
-// in every contribution (Lemma 2), hence monotone in s, so the threshold is
-// well defined. The search runs in the PoS domain: scaling contribution by
-// s maps p to 1−(1−p)^s.
-func criticalContributionScaled(a *auction.Auction, i int) (float64, error) {
+// else fixed, and returns q̄ = s*·Σ_j q_i^j plus the solver evaluations the
+// reruns performed. Greedy selection is monotone in every contribution
+// (Lemma 2), hence monotone in s, so the threshold is well defined. The
+// search runs in the PoS domain: scaling contribution by s maps p to
+// 1−(1−p)^s.
+func (m *MultiTask) criticalContributionScaled(a *auction.Auction, i int) (float64, int64, error) {
 	total := a.Bids[i].TotalContribution()
 	if total <= 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
+	var evals int64
 	lo, hi := 0.0, 1.0 // lo loses (zero contribution), hi wins (declared)
 	const tol = 1e-9
 	for hi-lo > tol {
 		mid := (lo + hi) / 2
-		wins, err := winsWithScale(a, i, mid)
+		wins, e, err := m.winsWithScale(a, i, mid)
+		evals += e
 		if err != nil {
-			return 0, err
+			return 0, evals, err
 		}
 		if wins {
 			hi = mid
@@ -115,12 +175,12 @@ func criticalContributionScaled(a *auction.Auction, i int) (float64, error) {
 			lo = mid
 		}
 	}
-	return hi * total, nil
+	return hi * total, evals, nil
 }
 
 // winsWithScale reports whether bid i is selected by the greedy allocation
 // when its contributions are scaled by s.
-func winsWithScale(a *auction.Auction, i int, s float64) (bool, error) {
+func (m *MultiTask) winsWithScale(a *auction.Auction, i int, s float64) (bool, int64, error) {
 	orig := a.Bids[i]
 	scaled := make(map[auction.TaskID]float64, len(orig.PoS))
 	for id, p := range orig.PoS {
@@ -129,16 +189,16 @@ func winsWithScale(a *auction.Auction, i int, s float64) (bool, error) {
 	}
 	mod, err := a.WithBid(i, auction.NewBid(orig.User, orig.Tasks, orig.Cost, scaled))
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
-	sol, err := setcover.Greedy(mod)
+	sol, err := m.solveCover(mod)
 	if err != nil {
 		if errors.Is(err, setcover.ErrInfeasible) {
-			return false, nil
+			return false, sol.Evals, nil
 		}
-		return false, err
+		return false, sol.Evals, err
 	}
-	return sol.Contains(i), nil
+	return sol.Contains(i), sol.Evals, nil
 }
 
 // criticalContributionMulti is Algorithm 5's critical bid for winner i: the
@@ -154,20 +214,20 @@ func winsWithScale(a *auction.Auction, i int, s float64) (bool, error) {
 // observed before the rerun stalls still applies and is used if smaller —
 // it cannot be, since 0 is minimal). The paper assumes a competitive market
 // where this does not arise; see DESIGN.md.
-func criticalContributionMulti(a *auction.Auction, i int) (float64, error) {
+func (m *MultiTask) criticalContributionMulti(a *auction.Auction, i int) (float64, int64, error) {
 	rest, err := a.WithoutBid(i)
 	if err != nil {
 		if errors.Is(err, auction.ErrNoBids) {
-			return 0, nil // only bidder: pivotal
+			return 0, 0, nil // only bidder: pivotal
 		}
-		return 0, err
+		return 0, 0, err
 	}
-	sol, err := setcover.Greedy(rest)
+	sol, err := m.solveCover(rest)
 	if err != nil {
 		if errors.Is(err, setcover.ErrInfeasible) {
-			return 0, nil // pivotal: wins with any positive declaration
+			return 0, sol.Evals, nil // pivotal: wins with any positive declaration
 		}
-		return 0, err
+		return 0, sol.Evals, err
 	}
 	ci := a.Bids[i].Cost
 	critical := math.Inf(1)
@@ -188,9 +248,9 @@ func criticalContributionMulti(a *auction.Auction, i int) (float64, error) {
 		// No iterations means the requirements were already satisfied with
 		// no users — impossible for validated auctions with positive
 		// requirements.
-		return 0, fmt.Errorf("mechanism: empty rerun trace for winner %d", i)
+		return 0, sol.Evals, fmt.Errorf("mechanism: empty rerun trace for winner %d", i)
 	}
-	return critical, nil
+	return critical, sol.Evals, nil
 }
 
 // MultiTaskOPT pairs the exact branch-and-bound cover with EC rewards

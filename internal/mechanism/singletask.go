@@ -19,6 +19,10 @@ const CriticalBidTol = 1e-9
 // determination by the minimum-knapsack FPTAS (Algorithm 2) and rewards by
 // binary-search critical bids with execution-contingent payments
 // (Algorithm 3).
+//
+// Winner determination and every critical-bid probe run through one shared
+// knapsack.Solver, so the cost sort, instance validation, and DP workspaces
+// are paid once per Run instead of once per probe.
 type SingleTask struct {
 	// Epsilon is the FPTAS approximation parameter; non-positive values use
 	// knapsack.DefaultEpsilon.
@@ -26,8 +30,15 @@ type SingleTask struct {
 	// Alpha is the reward scaling factor; zero uses DefaultAlpha.
 	Alpha float64
 	// Parallelism bounds the goroutines used for per-winner critical-bid
-	// searches; non-positive uses GOMAXPROCS.
+	// searches and the allocation's subproblem fan-out; non-positive uses
+	// GOMAXPROCS.
 	Parallelism int
+
+	// useReference routes every solve through the retained seed
+	// implementation (knapsack.SolveFPTASReference, with per-probe instance
+	// rebuilds). Differential tests and benchmarks use it as the oracle; it
+	// is not part of the public surface.
+	useReference bool
 }
 
 var _ Mechanism = (*SingleTask)(nil)
@@ -44,6 +55,13 @@ func (m *SingleTask) epsilon() float64 {
 	return m.Epsilon
 }
 
+func (m *SingleTask) parallelism() int {
+	if m.Parallelism > 0 {
+		return m.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Run executes winner determination and reward calculation. The auction
 // must have exactly one task.
 func (m *SingleTask) Run(a *auction.Auction) (*Outcome, error) {
@@ -55,7 +73,13 @@ func (m *SingleTask) Run(a *auction.Auction) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	sol, err := knapsack.SolveFPTAS(in, m.epsilon())
+	par := m.parallelism()
+	var solver *knapsack.Solver
+	if !m.useReference {
+		solver = knapsack.NewSolver(in, m.epsilon())
+		solver.Parallelism = par
+	}
+	sol, err := m.allocate(solver, in)
 	if err != nil {
 		if errors.Is(err, knapsack.ErrInfeasible) {
 			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
@@ -72,10 +96,6 @@ func (m *SingleTask) Run(a *auction.Auction) (*Outcome, error) {
 		Stats:      Stats{DPCells: sol.Cells},
 	}
 	// Critical-bid searches are independent per winner; fan out.
-	par := m.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
 	sem := make(chan struct{}, par)
 	var (
 		wg       sync.WaitGroup
@@ -88,7 +108,7 @@ func (m *SingleTask) Run(a *auction.Auction) (*Outcome, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			criticalQ, err := m.criticalContribution(in, winner)
+			criticalQ, err := m.criticalContribution(solver, in, winner)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -105,8 +125,21 @@ func (m *SingleTask) Run(a *auction.Auction) (*Outcome, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if solver != nil {
+		st := solver.Stats()
+		out.Stats.DPPruned = st.Pruned
+		out.Stats.DPReuse = st.WorkspaceHits
+	}
 	out.fillStats()
 	return out, nil
+}
+
+// allocate runs winner determination on the declared contributions.
+func (m *SingleTask) allocate(solver *knapsack.Solver, in *knapsack.Instance) (knapsack.Solution, error) {
+	if m.useReference {
+		return knapsack.SolveFPTASReference(in, m.epsilon())
+	}
+	return solver.Solve()
 }
 
 // criticalContribution binary-searches the minimum declared contribution q̄
@@ -114,8 +147,8 @@ func (m *SingleTask) Run(a *auction.Auction) (*Outcome, error) {
 // winner determination in the contribution (Lemma 1) guarantees the search
 // is well defined. The search runs over [0, q_i]: the user wins at her
 // declaration, and the critical bid can never exceed it.
-func (m *SingleTask) criticalContribution(in *knapsack.Instance, i int) (float64, error) {
-	wins, err := m.winsWith(in, i, in.Contribs[i])
+func (m *SingleTask) criticalContribution(solver *knapsack.Solver, in *knapsack.Instance, i int) (float64, error) {
+	wins, err := m.winsWith(solver, in, i, in.Contribs[i])
 	if err != nil {
 		return 0, err
 	}
@@ -128,7 +161,7 @@ func (m *SingleTask) criticalContribution(in *knapsack.Instance, i int) (float64
 	// At q = 0 a user contributes nothing and is never selected.
 	for hi-lo > CriticalBidTol {
 		mid := (lo + hi) / 2
-		wins, err := m.winsWith(in, i, mid)
+		wins, err := m.winsWith(solver, in, i, mid)
 		if err != nil {
 			return 0, err
 		}
@@ -143,12 +176,21 @@ func (m *SingleTask) criticalContribution(in *knapsack.Instance, i int) (float64
 
 // winsWith reports whether user i is selected when declaring contribution q
 // while everyone else's declarations stay fixed.
-func (m *SingleTask) winsWith(in *knapsack.Instance, i int, q float64) (bool, error) {
-	mod, err := in.WithContribution(i, q)
-	if err != nil {
-		return false, err
+func (m *SingleTask) winsWith(solver *knapsack.Solver, in *knapsack.Instance, i int, q float64) (bool, error) {
+	var (
+		sol knapsack.Solution
+		err error
+	)
+	if m.useReference {
+		var mod *knapsack.Instance
+		mod, err = in.WithContribution(i, q)
+		if err != nil {
+			return false, err
+		}
+		sol, err = knapsack.SolveFPTASReference(mod, m.epsilon())
+	} else {
+		sol, err = solver.SolveWithContribution(i, q)
 	}
-	sol, err := knapsack.SolveFPTAS(mod, m.epsilon())
 	if err != nil {
 		if errors.Is(err, knapsack.ErrInfeasible) {
 			// Lowering i's declaration made the whole instance infeasible;
@@ -232,14 +274,21 @@ func (m *SingleTaskOPT) Run(a *auction.Auction) (*Outcome, error) {
 }
 
 func (m *SingleTaskOPT) criticalContribution(in *knapsack.Instance, i int) (float64, error) {
+	// Defensive, mirroring the FPTAS path: the declared contribution must
+	// still win on re-run before the search's [0, q_i] bracket is valid. A
+	// node-budget truncation (SolveBnB aborts mid-search) would otherwise
+	// silently yield a bogus threshold.
+	wins, err := m.winsWith(in, i, in.Contribs[i])
+	if err != nil {
+		return 0, err
+	}
+	if !wins {
+		return 0, fmt.Errorf("mechanism: OPT winner %d does not win at declared contribution", i)
+	}
 	lo, hi := 0.0, in.Contribs[i]
 	for hi-lo > CriticalBidTol {
 		mid := (lo + hi) / 2
-		mod, err := in.WithContribution(i, mid)
-		if err != nil {
-			return 0, err
-		}
-		sol, err := knapsack.SolveBnB(mod, m.NodeBudget)
+		wins, err := m.winsWith(in, i, mid)
 		switch {
 		case errors.Is(err, knapsack.ErrInfeasible):
 			lo = mid
@@ -247,7 +296,7 @@ func (m *SingleTaskOPT) criticalContribution(in *knapsack.Instance, i int) (floa
 		case err != nil:
 			return 0, err
 		}
-		if sol.Contains(i) {
+		if wins {
 			hi = mid
 		} else {
 			lo = mid
@@ -257,4 +306,19 @@ func (m *SingleTaskOPT) criticalContribution(in *knapsack.Instance, i int) (floa
 		return 0, fmt.Errorf("mechanism: critical bid search diverged for user %d", i)
 	}
 	return hi, nil
+}
+
+// winsWith reports whether user i is selected by the exact allocation when
+// declaring contribution q. Infeasible re-runs propagate ErrInfeasible for
+// the caller to interpret per search phase.
+func (m *SingleTaskOPT) winsWith(in *knapsack.Instance, i int, q float64) (bool, error) {
+	mod, err := in.WithContribution(i, q)
+	if err != nil {
+		return false, err
+	}
+	sol, err := knapsack.SolveBnB(mod, m.NodeBudget)
+	if err != nil {
+		return false, err
+	}
+	return sol.Contains(i), nil
 }

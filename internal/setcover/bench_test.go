@@ -8,12 +8,28 @@ import (
 )
 
 func BenchmarkGreedy(b *testing.B) {
-	for _, nt := range [][2]int{{20, 10}, {50, 15}, {100, 30}} {
+	for _, nt := range [][2]int{{20, 10}, {50, 15}, {100, 30}, {200, 30}} {
 		a := randomAuction(stats.NewRand(int64(nt[0])), nt[0], nt[1], 8, 0.8)
 		b.Run(fmt.Sprintf("n=%d/t=%d", nt[0], nt[1]), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := Greedy(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGreedyReference benchmarks the retained seed implementation (full
+// rescan every round) on the same instances, as the lazy greedy's baseline.
+func BenchmarkGreedyReference(b *testing.B) {
+	for _, nt := range [][2]int{{20, 10}, {50, 15}, {100, 30}, {200, 30}} {
+		a := randomAuction(stats.NewRand(int64(nt[0])), nt[0], nt[1], 8, 0.8)
+		b.Run(fmt.Sprintf("n=%d/t=%d", nt[0], nt[1]), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := GreedyReference(a); err != nil {
 					b.Fatal(err)
 				}
 			}

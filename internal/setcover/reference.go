@@ -1,0 +1,71 @@
+package setcover
+
+import (
+	"sort"
+
+	"crowdsense/internal/auction"
+)
+
+// GreedyReference is the seed implementation of Algorithm 4, retained
+// verbatim as the behavioural oracle for the lazy-greedy Greedy: every round
+// it rescans all unselected bids and recomputes each effective contribution
+// from scratch. Differential tests pin Greedy's selections, costs, and
+// iteration traces to it; production paths should use Greedy.
+func GreedyReference(a *auction.Auction) (Solution, error) {
+	remaining := a.Requirements()
+	selected := make([]bool, len(a.Bids))
+	var sol Solution
+	for anyOpen(remaining) {
+		bestIdx, bestRatio, bestEff := -1, 0.0, 0.0
+		for i, bid := range a.Bids {
+			if selected[i] {
+				continue
+			}
+			eff := EffectiveContribution(bid, remaining)
+			if eff <= FeasibilityTol {
+				continue
+			}
+			ratio := eff / bid.Cost
+			if ratio > bestRatio {
+				bestIdx, bestRatio, bestEff = i, ratio, eff
+			}
+		}
+		if bestIdx < 0 {
+			return Solution{}, ErrInfeasible
+		}
+		sol.Iterations = append(sol.Iterations, Iteration{
+			Winner:    bestIdx,
+			Remaining: copyRequirements(remaining),
+			Effective: bestEff,
+		})
+		selected[bestIdx] = true
+		sol.Selected = append(sol.Selected, bestIdx)
+		sol.Cost += a.Bids[bestIdx].Cost
+		for _, j := range a.Bids[bestIdx].Tasks {
+			r := remaining[j] - a.Bids[bestIdx].Contribution(j)
+			if r < 0 {
+				r = 0
+			}
+			remaining[j] = r
+		}
+	}
+	sort.Ints(sol.Selected)
+	return sol, nil
+}
+
+func anyOpen(remaining map[auction.TaskID]float64) bool {
+	for _, r := range remaining {
+		if r > FeasibilityTol {
+			return true
+		}
+	}
+	return false
+}
+
+func copyRequirements(src map[auction.TaskID]float64) map[auction.TaskID]float64 {
+	dst := make(map[auction.TaskID]float64, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}

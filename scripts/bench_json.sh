@@ -1,0 +1,59 @@
+#!/bin/sh
+# Benchmarks the winner-determination hot paths — the optimized solvers
+# against the retained *Reference seed implementations — and records the
+# trajectory in BENCH_solvers.json at the repo root: raw ns/op per
+# benchmark plus the optimized-vs-reference speedup of every paired case.
+# The mechanism pass uses one iteration because the reference single-task
+# path at n=200 runs minutes per op; solver-level passes iterate more.
+set -eu
+
+cd "$(dirname "$0")/.."
+out=BENCH_solvers.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSolveFPTAS(Reference)?$' -benchtime 3x ./internal/knapsack | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkGreedy(Reference)?$' -benchtime 50x ./internal/setcover | tee -a "$tmp"
+go test -run '^$' -bench 'Benchmark(SingleTask|MultiTask)Run(Reference)?$' -benchtime 1x ./internal/mechanism | tee -a "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version | awk '{print $3}')" '
+/^Benchmark.*ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns[name] = $3
+	for (i = 4; i <= NF; i++) {
+		if ($i == "B/op") bytes[name] = $(i - 1)
+		if ($i == "allocs/op") allocs[name] = $(i - 1)
+	}
+	order[n++] = name
+}
+END {
+	printf "{\n  \"generated\": \"%s\",\n  \"go\": \"%s\",\n", date, goversion
+	printf "  \"benchtime\": {\"knapsack\": \"3x\", \"setcover\": \"50x\", \"mechanism\": \"1x\"},\n"
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns[name]
+		if (name in bytes) printf ", \"bytes_per_op\": %s", bytes[name]
+		if (name in allocs) printf ", \"allocs_per_op\": %s", allocs[name]
+		printf "}%s\n", (i < n - 1 ? "," : "")
+	}
+	printf "  ],\n  \"speedups\": [\n"
+	m = 0
+	for (i = 0; i < n; i++) {
+		ref = order[i]
+		if (ref !~ /Reference\//) continue
+		opt = ref
+		sub(/Reference\//, "/", opt)
+		if (!(opt in ns)) continue
+		pairs[m++] = opt "|" ref
+	}
+	for (i = 0; i < m; i++) {
+		split(pairs[i], p, "|")
+		printf "    {\"case\": \"%s\", \"optimized_ns\": %s, \"reference_ns\": %s, \"speedup\": %.2f}%s\n", \
+			p[1], ns[p[1]], ns[p[2]], ns[p[2]] / ns[p[1]], (i < m - 1 ? "," : "")
+	}
+	printf "  ]\n}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out"

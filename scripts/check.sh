@@ -1,15 +1,24 @@
 #!/bin/sh
 # Pre-PR gate, equivalent to `make check` for environments without make:
-# vet, build, the full test suite, race-enabled tests of every
-# concurrency-bearing package, and a seed-corpus pass of the wire fuzz
-# targets. The experiment harnesses are excluded from the race pass only
-# because their compute sweeps exceed any reasonable gate under race
-# instrumentation; their concurrency is race-covered via these packages.
+# gofmt, vet, build, the full test suite, race-enabled tests of every
+# concurrency-bearing package, a seed-corpus pass of the wire fuzz
+# targets, and a one-iteration smoke run of the solver benchmarks (which
+# exercises the optimized-vs-reference pairs end to end). The experiment
+# harnesses are excluded from the race pass only because their compute
+# sweeps exceed any reasonable gate under race instrumentation; their
+# concurrency is race-covered via these packages.
 set -eux
 
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed: $unformatted" >&2
+	exit 1
+fi
 go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/engine/... ./internal/obs/... ./internal/platform/... \
-	./internal/agent/... ./internal/wire/... ./internal/mechanism/...
+	./internal/agent/... ./internal/wire/... ./internal/mechanism/... \
+	./internal/knapsack/... ./internal/setcover/...
 go test -run 'Fuzz.*' ./internal/wire
+go test -run '^$' -bench . -benchtime 1x ./internal/knapsack ./internal/setcover ./internal/mechanism
