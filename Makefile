@@ -8,9 +8,9 @@ GO ?= go
 # harnesses are excluded from the race pass only because their compute
 # sweeps exceed any reasonable gate under race instrumentation; their
 # concurrency (mechanism fan-out) is race-covered via these packages.
-RACE_PKGS = ./internal/engine/... ./internal/obs/... ./internal/platform/... \
-	./internal/agent/... ./internal/wire/... ./internal/mechanism/... \
-	./internal/knapsack/... ./internal/setcover/...
+RACE_PKGS = ./internal/engine/... ./internal/obs/... ./internal/obs/span \
+	./internal/platform/... ./internal/agent/... ./internal/wire/... \
+	./internal/mechanism/... ./internal/knapsack/... ./internal/setcover/...
 
 # Solver and mechanism hot-path benchmarks, including the *Reference
 # baselines the optimized paths are compared against.
@@ -48,3 +48,11 @@ check:
 	$(GO) test ./...
 	$(GO) test -race $(RACE_PKGS)
 	$(MAKE) fuzz-seed
+	$(MAKE) obsctl-roundtrip
+	$(GO) test -run '^$$' -bench BenchmarkSpanOverhead -benchtime 3x ./internal/engine
+
+# Record a live journal, convert it to Chrome trace JSON, and validate the
+# result — the obsctl round-trip gate (TestRoundTrip drives a real engine).
+.PHONY: obsctl-roundtrip
+obsctl-roundtrip:
+	$(GO) test -run TestRoundTrip ./cmd/obsctl

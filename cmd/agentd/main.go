@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -42,7 +43,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "agentd:", err)
+		slog.Error("agentd failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -60,8 +61,15 @@ func run() error {
 		setSize  = flag.Int("taskset", 15, "task-set size for -model mode")
 		campaign = flag.String("campaign", "", "target campaign ID (empty = platform's default campaign)")
 		retries  = flag.Int("retries", 5, "dial attempts before giving up (exponential backoff)")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stdout, &slog.HandlerOptions{Level: level})))
 
 	opts := agentOptions{
 		addr:     *addr,
@@ -91,8 +99,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	printResult(*user, res)
-	printSummary(*user, res)
+	logResult(opts.campaign, *user, res)
+	logSummary(opts.campaign, *user, res)
 	return nil
 }
 
@@ -148,8 +156,8 @@ func runFromModel(opts agentOptions, user int, path string, cost float64, horizo
 	if err != nil {
 		return err
 	}
-	printResult(user, res)
-	printSummary(user, res)
+	logResult(opts.campaign, user, res)
+	logSummary(opts.campaign, user, res)
 	return nil
 }
 
@@ -191,7 +199,7 @@ func runFleet(opts agentOptions, firstUser, n int, seed int64) error {
 				return
 			}
 			results[i] = res
-			printResult(int(id), res)
+			logResult(opts.campaign, int(id), res)
 		}(i)
 	}
 	wg.Wait()
@@ -203,14 +211,25 @@ func runFleet(opts agentOptions, firstUser, n int, seed int64) error {
 	// One summary line per agent at exit, in ID order, so trace-driven runs
 	// are debuggable from the client side too.
 	for i, res := range results {
-		printSummary(firstUser+i, res)
+		logSummary(opts.campaign, firstUser+i, res)
 	}
 	return nil
 }
 
-func printResult(user int, res agent.Result) {
+// agentLog scopes the default logger to one agent (and its campaign, when
+// targeting a specific one).
+func agentLog(campaign string, user int) *slog.Logger {
+	log := slog.Default().With("agent", user)
+	if campaign != "" {
+		log = log.With("campaign", campaign)
+	}
+	return log
+}
+
+func logResult(campaign string, user int, res agent.Result) {
+	log := agentLog(campaign, user)
 	if !res.Selected {
-		fmt.Printf("user %d: not selected\n", user)
+		log.Info("not selected")
 		return
 	}
 	succeeded := 0
@@ -219,18 +238,21 @@ func printResult(user int, res agent.Result) {
 			succeeded++
 		}
 	}
-	fmt.Printf("user %d: selected (critical PoS %.3f), %d/%d tasks done, reward %.2f, utility %+.2f\n",
-		user, res.Award.CriticalPoS, succeeded, len(res.Attempt), res.Settle.Reward, res.Settle.Utility)
+	log.Info("selected",
+		"critical_pos", fmt.Sprintf("%.3f", res.Award.CriticalPoS),
+		"tasks_done", succeeded, "tasks", len(res.Attempt),
+		"reward", fmt.Sprintf("%.2f", res.Settle.Reward),
+		"utility", fmt.Sprintf("%+.2f", res.Settle.Utility))
 }
 
-// printSummary emits the one-line per-agent exit summary: bids sent, wins,
-// total reward, and dial reconnects.
-func printSummary(user int, res agent.Result) {
+// logSummary emits the per-agent exit summary: bids sent, wins, total
+// reward, and dial reconnects.
+func logSummary(campaign string, user int, res agent.Result) {
 	wins, reward := 0, 0.0
 	if res.Selected {
 		wins = 1
 		reward = res.Settle.Reward
 	}
-	fmt.Printf("user %d summary: bids=1 wins=%d reward=%.2f reconnects=%d\n",
-		user, wins, reward, res.Redials)
+	agentLog(campaign, user).Info("summary",
+		"bids", 1, "wins", wins, "reward", fmt.Sprintf("%.2f", reward), "reconnects", res.Redials)
 }

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"crowdsense/internal/experiments"
+	"crowdsense/internal/obs/span"
 )
 
 func main() {
@@ -29,13 +30,28 @@ func main() {
 
 func run() error {
 	var (
-		scale  = flag.String("scale", "quick", "environment scale: quick or full")
-		only   = flag.String("only", "", "comma-separated artifact IDs to run (default all)")
-		csvDir = flag.String("csv", "", "directory to write per-artifact CSV files")
-		seed   = flag.Int64("seed", 1, "random seed")
-		reps   = flag.Int("reps", 0, "averaging repetitions per sweep point (0 = scale default)")
+		scale   = flag.String("scale", "quick", "environment scale: quick or full")
+		only    = flag.String("only", "", "comma-separated artifact IDs to run (default all)")
+		csvDir  = flag.String("csv", "", "directory to write per-artifact CSV files")
+		seed    = flag.Int64("seed", 1, "random seed")
+		reps    = flag.Int("reps", 0, "averaging repetitions per sweep point (0 = scale default)")
+		spanOut = flag.String("span-journal", "", "record one root span per artifact to this JSONL file")
 	)
 	flag.Parse()
+
+	var tracer *span.Tracer
+	if *spanOut != "" {
+		sj, err := span.OpenJournal(span.JournalConfig{Path: *spanOut})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := sj.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchfig: span journal close:", err)
+			}
+		}()
+		tracer = span.New(sj)
+	}
 
 	var cfg experiments.Config
 	switch *scale {
@@ -104,10 +120,13 @@ func run() error {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", h.id)
+		sp := tracer.Start("bench.artifact", span.Str("artifact", h.id))
 		result, err := h.run()
 		if err != nil {
+			sp.EndWith(span.Str("error", err.Error()))
 			return fmt.Errorf("%s: %w", h.id, err)
 		}
+		sp.End()
 		fmt.Println(result.Render())
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, result.ID+".csv")

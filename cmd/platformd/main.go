@@ -16,16 +16,25 @@
 //	platformd -campaigns 8 -tasks 2 -bidders 5 -rounds 2 -window 30s
 //
 // Example (live telemetry: four campaigns plus an HTTP ops endpoint serving
-// /metrics in Prometheus text format, /healthz, /debug/rounds, and pprof):
+// /metrics in Prometheus text format, /healthz, /readyz, /debug/rounds,
+// /debug/spans, and pprof):
 //
 //	platformd -campaigns 4 -bidders 5 -rounds 2 -metrics-addr :9090
 //	curl localhost:9090/metrics
+//
+// Example (lifecycle tracing: record every campaign/round/phase/solver span
+// to a durable JSONL journal, then analyze or convert it with obsctl):
+//
+//	platformd -bidders 3 -rounds 5 -span-journal spans.jsonl
+//	obsctl summary spans.jsonl
+//	obsctl convert spans.jsonl > trace.json   # open in ui.perfetto.dev
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sync"
@@ -36,12 +45,13 @@ import (
 	"crowdsense/internal/engine"
 	"crowdsense/internal/mechanism"
 	"crowdsense/internal/obs"
+	"crowdsense/internal/obs/span"
 	"crowdsense/internal/platform"
 )
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "platformd:", err)
+		slog.Error("platformd failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -59,9 +69,17 @@ func run() error {
 		campaigns   = flag.Int("campaigns", 0, "serve this many concurrent campaigns (c1..cN) on one port (0 = legacy single-campaign mode)")
 		workers     = flag.Int("workers", 0, "winner-determination worker pool size (0 = auto; -campaigns mode)")
 		journal     = flag.String("journal", "", "append one JSON line per round to this file")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/rounds, and pprof on this address (empty = off)")
+		spanJournal = flag.String("span-journal", "", "record lifecycle spans (campaign/round/phase/solver) to this JSONL file, rotated by size")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/rounds, /debug/spans, and pprof on this address (empty = off)")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stdout, &slog.HandlerOptions{Level: level})))
 
 	specs := make([]auction.Task, *tasks)
 	for i := range specs {
@@ -76,6 +94,24 @@ func run() error {
 		}
 		defer f.Close()
 		journalFile = f
+	}
+
+	var spanSinks []span.Sink
+	if *spanJournal != "" {
+		sj, err := span.OpenJournal(span.JournalConfig{Path: *spanJournal})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := sj.Close(); err != nil {
+				slog.Warn("span journal close", "err", err)
+			}
+			if n := sj.Dropped(); n > 0 {
+				slog.Warn("span journal dropped records", "dropped", n)
+			}
+		}()
+		spanSinks = append(spanSinks, sj)
+		slog.Info("span journal attached", "path", *spanJournal)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -93,6 +129,7 @@ func run() error {
 			alpha:       *alpha,
 			epsilon:     *epsilon,
 			journal:     journalFile,
+			spanSinks:   spanSinks,
 			metricsAddr: *metricsAddr,
 		})
 	}
@@ -112,11 +149,12 @@ func run() error {
 		}
 	}()
 	_, err := platform.RunRounds(ctx, cfg, platform.RoundsOptions{
-		Addr:   *addr,
-		Rounds: *rounds,
+		Addr:      *addr,
+		Rounds:    *rounds,
+		SpanSinks: spanSinks,
 		OnReady: func(bound string) {
-			fmt.Printf("platformd listening on %s: %d task(s), requirement %.2f, expecting %d bidders\n",
-				bound, *tasks, *requirement, *bidders)
+			slog.Info("listening", "addr", bound, "tasks", *tasks,
+				"requirement", *requirement, "bidders", *bidders)
 		},
 		OnEngine: func(eng *engine.Engine) {
 			if *metricsAddr == "" {
@@ -124,17 +162,17 @@ func run() error {
 			}
 			srv, err := serveOps(*metricsAddr, eng)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "platformd:", err)
+				slog.Error("ops endpoint", "err", err)
 				return
 			}
 			ops = srv
 		},
 		OnRound: func(round int, result platform.RoundResult) {
-			printRound(fmt.Sprintf("round %d", round), result, time.Since(start))
+			logRound("", round, result, time.Since(start))
 			if journalFile != nil {
 				entry := platform.NewJournalEntry(round, specs, result)
 				if err := platform.WriteJournal(journalFile, entry); err != nil {
-					fmt.Fprintln(os.Stderr, "platformd: journal:", err)
+					slog.Error("round journal write", "round", round, "err", err)
 				}
 			}
 		},
@@ -153,6 +191,7 @@ type engineOptions struct {
 	alpha       float64
 	epsilon     float64
 	journal     *os.File
+	spanSinks   []span.Sink
 	metricsAddr string
 }
 
@@ -162,12 +201,15 @@ func serveOps(addr string, eng *engine.Engine) (*obs.OpsServer, error) {
 	srv, err := obs.Serve(addr, obs.Options{
 		Gather: eng.MetricFamilies,
 		Health: eng.Health,
+		Ready:  eng.Readiness,
 		Rounds: eng.Trace().RecentRounds,
+		Spans:  eng.SpanRecords,
 	})
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("ops endpoint on http://%s (/metrics /healthz /debug/rounds /debug/pprof/)\n", srv.Addr())
+	slog.Info("ops endpoint up", "url", "http://"+srv.Addr().String(),
+		"paths", "/metrics /healthz /readyz /debug/rounds /debug/spans /debug/pprof/")
 	return srv, nil
 }
 
@@ -178,15 +220,15 @@ func runEngine(ctx context.Context, opts engineOptions) error {
 	var journalMu sync.Mutex
 	journalSeq := 0
 	eng := engine.New(engine.Config{
-		Workers: opts.workers,
+		Workers:   opts.workers,
+		SpanSinks: opts.spanSinks,
 		OnRound: func(r engine.RoundResult) {
-			printRound(fmt.Sprintf("campaign %s round %d", r.Campaign, r.Round),
-				platform.RoundResult{
-					Outcome:     r.Outcome,
-					Bids:        r.Bids,
-					Settlements: r.Settlements,
-					Err:         r.Err,
-				}, time.Since(start))
+			logRound(r.Campaign, r.Round, platform.RoundResult{
+				Outcome:     r.Outcome,
+				Bids:        r.Bids,
+				Settlements: r.Settlements,
+				Err:         r.Err,
+			}, time.Since(start))
 			if opts.journal != nil {
 				journalMu.Lock()
 				defer journalMu.Unlock()
@@ -198,7 +240,7 @@ func runEngine(ctx context.Context, opts engineOptions) error {
 					Err:         r.Err,
 				})
 				if err := platform.WriteJournal(opts.journal, entry); err != nil {
-					fmt.Fprintln(os.Stderr, "platformd: journal:", err)
+					slog.Error("round journal write", "campaign", r.Campaign, "round", r.Round, "err", err)
 				}
 			}
 		},
@@ -220,9 +262,9 @@ func runEngine(ctx context.Context, opts engineOptions) error {
 	if err := eng.Listen(opts.addr); err != nil {
 		return err
 	}
-	fmt.Printf("platformd engine on %s: %d campaigns × %d round(s), %d task(s), requirement %.2f, %d bidders each\n",
-		eng.Addr(), opts.campaigns, opts.rounds, len(opts.tasks),
-		opts.tasks[0].Requirement, opts.bidders)
+	slog.Info("engine listening", "addr", eng.Addr().String(),
+		"campaigns", opts.campaigns, "rounds", opts.rounds, "tasks", len(opts.tasks),
+		"requirement", opts.tasks[0].Requirement, "bidders", opts.bidders)
 	if opts.metricsAddr != "" {
 		ops, err := serveOps(opts.metricsAddr, eng)
 		if err != nil {
@@ -237,26 +279,35 @@ func runEngine(ctx context.Context, opts engineOptions) error {
 	return err
 }
 
-// printRound summarizes one completed auction round.
-func printRound(label string, result platform.RoundResult, elapsed time.Duration) {
-	fmt.Printf("\n%s complete at %s\n", label, elapsed.Round(time.Millisecond))
+// logRound summarizes one completed auction round; campaign is empty in
+// single-campaign mode.
+func logRound(campaign string, round int, result platform.RoundResult, elapsed time.Duration) {
+	log := slog.Default()
+	if campaign != "" {
+		log = log.With("campaign", campaign)
+	}
+	log = log.With("round", round)
 	if result.Err != nil {
-		fmt.Printf("round void: %v\n", result.Err)
+		log.Warn("round void", "elapsed", elapsed.Round(time.Millisecond), "err", result.Err)
 		return
 	}
-	fmt.Printf("mechanism: %s\n", result.Outcome.Mechanism)
-	fmt.Printf("bids: %d, winners: %d, social cost: %.2f\n",
-		len(result.Bids), len(result.Outcome.Selected), result.Outcome.SocialCost)
+	log.Info("round settled",
+		"elapsed", elapsed.Round(time.Millisecond),
+		"mechanism", result.Outcome.Mechanism,
+		"bids", len(result.Bids),
+		"winners", len(result.Outcome.Selected),
+		"social_cost", fmt.Sprintf("%.2f", result.Outcome.SocialCost))
 	for _, aw := range result.Outcome.Awards {
 		settle, reported := result.Settlements[aw.User]
-		status := "no report"
-		if reported {
-			if settle.Success {
-				status = fmt.Sprintf("success, paid %.2f", settle.Reward)
-			} else {
-				status = fmt.Sprintf("failed, paid %.2f", settle.Reward)
-			}
+		switch {
+		case !reported:
+			log.Info("winner unreported", "agent", int(aw.User), "critical_pos", fmt.Sprintf("%.3f", aw.CriticalPoS))
+		case settle.Success:
+			log.Info("winner succeeded", "agent", int(aw.User),
+				"critical_pos", fmt.Sprintf("%.3f", aw.CriticalPoS), "paid", fmt.Sprintf("%.2f", settle.Reward))
+		default:
+			log.Info("winner failed", "agent", int(aw.User),
+				"critical_pos", fmt.Sprintf("%.3f", aw.CriticalPoS), "paid", fmt.Sprintf("%.2f", settle.Reward))
 		}
-		fmt.Printf("  user %-5d critical PoS %.3f  %s\n", aw.User, aw.CriticalPoS, status)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"crowdsense/internal/auction"
 	"crowdsense/internal/mechanism"
+	"crowdsense/internal/obs/span"
 	"crowdsense/internal/wire"
 )
 
@@ -103,6 +104,13 @@ type round struct {
 	err            error
 	computeLatency time.Duration
 
+	// span covers the whole round; phase covers the current lifecycle state
+	// and is replaced at each transition. Both are written under the engine
+	// lock (the compute handoff channel orders the worker's reads) and nil
+	// when observability is disabled.
+	span  *span.Span
+	phase *span.Span
+
 	pending     map[auction.UserID]bool // sessions owing a terminal action
 	settlements map[auction.UserID]wire.Settle
 }
@@ -117,6 +125,10 @@ type campaign struct {
 	// obs holds the campaign's metrics; every field is atomic, so recording
 	// needs no lock (see internal/engine/obsexport.go).
 	obs campaignMetrics
+
+	// span is the campaign's root lifecycle span, started at registration and
+	// ended when the campaign closes; nil when observability is disabled.
+	span *span.Span
 
 	// The engine's mutex guards everything below (campaign state is small
 	// and rounds are coarse-grained; a shared lock keeps the registry and
@@ -146,6 +158,8 @@ func (c *campaign) openRoundLocked() {
 		settlements: make(map[auction.UserID]wire.Settle),
 	}
 	c.state = stateCollecting
+	c.cur.span = c.span.Child(span.NameRound).Tag(c.cfg.ID, c.cur.index+1)
+	c.cur.phase = c.cur.span.Child(span.NamePhaseCollecting)
 	c.eng.tracePhase(c, c.cur.index+1, stateCollecting.String())
 }
 
@@ -201,6 +215,8 @@ func (c *campaign) startComputeLocked(rd *round) {
 		rd.deadline = nil
 	}
 	c.state = stateComputing
+	rd.phase.EndWith(span.Int("bids", int64(len(rd.bids))))
+	rd.phase = rd.span.Child(span.NamePhaseComputing)
 	c.eng.tracePhase(c, rd.index+1, stateComputing.String())
 	// The compute queue has one slot per campaign and a campaign has at most
 	// one round in flight, so this send never blocks.
@@ -211,9 +227,19 @@ func (c *campaign) startComputeLocked(rd *round) {
 // goroutine, then moves the campaign to settling and wakes the round's
 // sessions.
 func (c *campaign) runWinnerDetermination(rd *round) {
+	wd := rd.phase.Child(span.NameWD, span.Int("bids", int64(len(rd.bids))))
 	start := time.Now()
-	outcome, err := computeOutcome(c.cfg, rd.bids)
+	outcome, err := computeOutcome(c.cfg, rd.bids, wd)
 	elapsed := time.Since(start)
+	switch {
+	case err != nil:
+		wd.EndWith(span.Str("error", err.Error()))
+	default:
+		wd.EndWith(
+			span.Int("winners", int64(len(outcome.Selected))),
+			span.Float("social_cost", outcome.SocialCost),
+		)
+	}
 
 	c.eng.mu.Lock()
 	rd.outcome = outcome
@@ -224,23 +250,27 @@ func (c *campaign) runWinnerDetermination(rd *round) {
 		rd.pending[user] = true
 	}
 	c.state = stateSettling
+	rd.phase.End()
+	rd.phase = rd.span.Child(span.NamePhaseSettling)
 	c.eng.tracePhase(c, rd.index+1, stateSettling.String())
 	c.eng.mu.Unlock()
 	c.eng.recordCompute(c, outcome, elapsed)
 	close(rd.computed)
 }
 
-// computeOutcome runs the paper's mechanism on the collected bids.
-func computeOutcome(cc CampaignConfig, bids []auction.Bid) (*mechanism.Outcome, error) {
+// computeOutcome runs the paper's mechanism on the collected bids. The
+// mechanism emits its allocation and critical-bid spans under wd (a nil wd
+// disables them).
+func computeOutcome(cc CampaignConfig, bids []auction.Bid, wd *span.Span) (*mechanism.Outcome, error) {
 	a, err := auction.New(cc.Tasks, bids)
 	if err != nil {
 		return nil, err
 	}
 	var m mechanism.Mechanism
 	if a.SingleTask() {
-		m = &mechanism.SingleTask{Epsilon: cc.Epsilon, Alpha: cc.Alpha}
+		m = &mechanism.SingleTask{Epsilon: cc.Epsilon, Alpha: cc.Alpha, Trace: wd}
 	} else {
-		m = &mechanism.MultiTask{Alpha: cc.Alpha}
+		m = &mechanism.MultiTask{Alpha: cc.Alpha, Trace: wd}
 	}
 	return m.Run(a)
 }
@@ -297,6 +327,21 @@ func (c *campaign) finalizeLocked(rd *round) (RoundResult, bool) {
 		RoundLatency:   time.Since(rd.firstBid),
 		ComputeLatency: rd.computeLatency,
 	}
+	rd.phase.EndWith(span.Int("settlements", int64(len(rd.settlements))))
+	roundAttrs := []span.Attr{span.Int("bids", int64(len(rd.bids)))}
+	if result.Outcome != nil {
+		var payment float64
+		for _, s := range rd.settlements {
+			payment += s.Reward
+		}
+		roundAttrs = append(roundAttrs,
+			span.Int("winners", int64(len(result.Outcome.Selected))),
+			span.Float("payment", payment))
+	}
+	if result.Err != nil {
+		roundAttrs = append(roundAttrs, span.Str("error", result.Err.Error()))
+	}
+	rd.span.EndWith(roundAttrs...)
 	c.results = append(c.results, result)
 	c.roundsLeft--
 	if c.roundsLeft > 0 {
@@ -305,6 +350,7 @@ func (c *campaign) finalizeLocked(rd *round) (RoundResult, bool) {
 	}
 	c.state = stateClosed
 	c.cur = nil
+	c.span.EndWith(span.Int("rounds_completed", int64(len(c.results))))
 	c.eng.tracePhase(c, result.Round, stateClosed.String())
 	return result, false
 }

@@ -32,6 +32,7 @@ import (
 
 	"crowdsense/internal/auction"
 	"crowdsense/internal/obs"
+	"crowdsense/internal/obs/span"
 	"crowdsense/internal/wire"
 )
 
@@ -60,6 +61,18 @@ type Config struct {
 	// TraceCapacity bounds the round-trace ring buffer (events, rounded up
 	// to a power of two). Zero means obs.DefaultTraceCapacity.
 	TraceCapacity int
+
+	// SpanSinks attaches additional sinks (typically a durable span.Journal)
+	// to the engine's lifecycle tracer. The in-memory ring behind
+	// /debug/spans is attached by default; sinks listed here receive the
+	// same records. Ignored when DisableObservability is set.
+	SpanSinks []span.Sink
+
+	// SpanRingCapacity bounds the in-memory span ring (records, rounded up
+	// to a power of two). Zero means span.DefaultRingCapacity; negative
+	// disables the ring — with no SpanSinks either, the engine runs with a
+	// nil tracer and keeps only metrics and the round trace.
+	SpanRingCapacity int
 
 	// DisableObservability turns the metrics and tracing layer into a no-op
 	// sink: no counters, histograms, or trace events are recorded. Exists
@@ -134,19 +147,30 @@ type Engine struct {
 	compute   chan computeJob
 	allClosed chan struct{}
 
-	metrics metrics
-	trace   *obs.Trace
-	wg      sync.WaitGroup
+	metrics  metrics
+	trace    *obs.Trace
+	spans    *span.Tracer // nil when DisableObservability is set
+	spanRing *span.Ring   // backs /debug/spans; nil when disabled
+	wg       sync.WaitGroup
 }
 
 // New creates an empty engine. Add at least one campaign before Serve.
 func New(cfg Config) *Engine {
-	return &Engine{
+	e := &Engine{
 		cfg:       cfg,
 		campaigns: make(map[string]*campaign),
 		allClosed: make(chan struct{}),
 		trace:     obs.NewTrace(cfg.TraceCapacity),
 	}
+	if !cfg.DisableObservability {
+		sinks := cfg.SpanSinks
+		if cfg.SpanRingCapacity >= 0 {
+			e.spanRing = span.NewRing(cfg.SpanRingCapacity)
+			sinks = append([]span.Sink{e.spanRing}, sinks...)
+		}
+		e.spans = span.New(sinks...)
+	}
+	return e
 }
 
 // AddCampaign registers a campaign. All campaigns must be added before
@@ -182,6 +206,11 @@ func (e *Engine) AddCampaign(cc CampaignConfig) error {
 		return fmt.Errorf("engine: duplicate campaign %q", cc.ID)
 	}
 	c := &campaign{cfg: cc, eng: e, roundsLeft: cc.rounds()}
+	c.span = e.spans.Start(span.NameCampaign,
+		span.Int("tasks", int64(len(cc.Tasks))),
+		span.Int("rounds", int64(cc.rounds())),
+		span.Int("expected_bidders", int64(cc.ExpectedBidders)),
+	).Tag(cc.ID, 0)
 	c.openRoundLocked()
 	e.campaigns[cc.ID] = c
 	e.order = append(e.order, cc.ID)

@@ -6,6 +6,7 @@ import (
 	"crowdsense/internal/auction"
 	"crowdsense/internal/mechanism"
 	"crowdsense/internal/obs"
+	"crowdsense/internal/obs/span"
 )
 
 // This file is the engine's bridge to internal/obs: the recording helpers
@@ -16,6 +17,16 @@ import (
 // Trace exposes the engine's round-trace ring: structured phase
 // transitions, bid verdicts, and settled rounds, bounded in memory.
 func (e *Engine) Trace() *obs.Trace { return e.trace }
+
+// SpanRecords returns up to n of the engine's most recent lifecycle spans,
+// oldest first — the data source behind /debug/spans. Nil when observability
+// is disabled.
+func (e *Engine) SpanRecords(n int) []span.Record {
+	if e.spanRing == nil {
+		return nil
+	}
+	return e.spanRing.Recent(n)
+}
 
 func (e *Engine) obsOff() bool { return e.cfg.DisableObservability }
 
@@ -189,6 +200,24 @@ func (e *Engine) Health() obs.Health {
 		QueueCap:      queueCap,
 		Saturation:    saturation,
 	}
+}
+
+// Readiness reports the /readyz view: the health summary plus each
+// campaign's lifecycle position. Saturation maps to 503 on readiness only —
+// Health alone stays a liveness signal.
+func (e *Engine) Readiness() obs.Readiness {
+	h := e.Health()
+	e.mu.Lock()
+	campaigns := make(map[string]obs.CampaignStatus, len(e.campaigns))
+	for id, c := range e.campaigns {
+		round := c.cfg.rounds() - c.roundsLeft
+		if c.cur != nil {
+			round = c.cur.index + 1
+		}
+		campaigns[id] = obs.CampaignStatus{State: c.state.String(), Round: round}
+	}
+	e.mu.Unlock()
+	return obs.Readiness{Health: h, Campaigns: campaigns}
 }
 
 // summaryQuantiles are the quantile labels /metrics exposes per latency

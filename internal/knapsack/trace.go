@@ -1,0 +1,37 @@
+package knapsack
+
+import "crowdsense/internal/obs/span"
+
+// SolveTraced is Solve wrapped in a knapsack.solve span under parent. A nil
+// parent (observability disabled or an untraced caller) degrades to the plain
+// method: the nil span is a no-op.
+func (s *Solver) SolveTraced(parent *span.Span) (Solution, error) {
+	sp := parent.Child(span.NameKnapsackSolve, span.Int("n", int64(s.in.N())))
+	sol, err := s.Solve()
+	endKnapsackSpan(sp, sol, err)
+	return sol, err
+}
+
+// SolveWithContributionTraced is SolveWithContribution wrapped in a
+// knapsack.solve span under parent — one span per critical-bid probe, so a
+// trace shows exactly how much DP work each binary-search step cost.
+func (s *Solver) SolveWithContributionTraced(parent *span.Span, i int, q float64) (Solution, error) {
+	sp := parent.Child(span.NameKnapsackSolve,
+		span.Int("n", int64(s.in.N())), span.Int("user", int64(i)), span.Float("q", q))
+	sol, err := s.SolveWithContribution(i, q)
+	endKnapsackSpan(sp, sol, err)
+	return sol, err
+}
+
+func endKnapsackSpan(sp *span.Span, sol Solution, err error) {
+	if err != nil {
+		sp.EndWith(span.Str("error", err.Error()))
+		return
+	}
+	sp.EndWith(
+		span.Int("selected", int64(len(sol.Selected))),
+		span.Int("cells", sol.Cells),
+		span.Int("pruned", sol.Pruned),
+		span.Int("reused", sol.Reused),
+	)
+}

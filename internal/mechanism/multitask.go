@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"crowdsense/internal/auction"
+	"crowdsense/internal/obs/span"
 	"crowdsense/internal/setcover"
 )
 
@@ -48,6 +49,10 @@ type MultiTask struct {
 	// Parallelism bounds the goroutines used for per-winner critical-bid
 	// searches; non-positive uses GOMAXPROCS.
 	Parallelism int
+	// Trace, when non-nil, is the parent span under which Run emits
+	// wd.allocate, wd.critical_bid, and per-rerun setcover.greedy spans. Nil
+	// disables tracing at zero cost.
+	Trace *span.Span
 
 	// useReference routes every cover through the retained seed
 	// implementation (setcover.GreedyReference). Differential tests and
@@ -67,12 +72,13 @@ func (m *MultiTask) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// solveCover runs winner determination on the given auction.
-func (m *MultiTask) solveCover(a *auction.Auction) (setcover.Solution, error) {
+// solveCover runs winner determination on the given auction, emitting a
+// setcover.greedy span under sp when tracing is on.
+func (m *MultiTask) solveCover(sp *span.Span, a *auction.Auction) (setcover.Solution, error) {
 	if m.useReference {
 		return setcover.GreedyReference(a)
 	}
-	return setcover.Greedy(a)
+	return setcover.GreedyTraced(a, sp)
 }
 
 // Run executes winner determination and reward calculation. Per-winner
@@ -83,13 +89,17 @@ func (m *MultiTask) Run(a *auction.Auction) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	sol, err := m.solveCover(a)
+	allocSpan := m.Trace.Child(span.NameAllocate,
+		span.Int("bids", int64(len(a.Bids))), span.Int("tasks", int64(len(a.Tasks))))
+	sol, err := m.solveCover(allocSpan, a)
 	if err != nil {
+		allocSpan.EndWith(span.Str("error", err.Error()))
 		if errors.Is(err, setcover.ErrInfeasible) {
 			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
 		}
 		return nil, err
 	}
+	allocSpan.EndWith(span.Int("winners", int64(len(sol.Selected))), span.Float("social_cost", sol.Cost))
 	out := &Outcome{
 		Mechanism:  m.Name(),
 		Selected:   sol.Selected,
@@ -112,6 +122,7 @@ func (m *MultiTask) Run(a *auction.Auction) (*Outcome, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			cb := m.Trace.Child(span.NameCriticalBid, span.Int("winner", int64(winner)))
 			var (
 				criticalQ float64
 				evals     int64
@@ -119,14 +130,15 @@ func (m *MultiTask) Run(a *auction.Auction) (*Outcome, error) {
 			)
 			switch m.CriticalBid {
 			case CriticalBidScaled:
-				criticalQ, evals, err = m.criticalContributionScaled(a, winner)
+				criticalQ, evals, err = m.criticalContributionScaled(cb, a, winner)
 			case CriticalBidPaper, 0:
-				criticalQ, evals, err = m.criticalContributionMulti(a, winner)
+				criticalQ, evals, err = m.criticalContributionMulti(cb, a, winner)
 			default:
 				err = fmt.Errorf("mechanism: unknown critical bid mode %d", m.CriticalBid)
 			}
 			reevals.Add(evals)
 			if err != nil {
+				cb.EndWith(span.Str("error", err.Error()))
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -134,6 +146,7 @@ func (m *MultiTask) Run(a *auction.Auction) (*Outcome, error) {
 				mu.Unlock()
 				return
 			}
+			cb.EndWith(span.Int("evals", evals), span.Float("critical_q", criticalQ))
 			bid := a.Bids[winner]
 			out.Awards[slot] = ecAward(winner, bid, criticalQ, bid.TotalContribution(), alpha)
 		}(slot, winner)
@@ -154,7 +167,7 @@ func (m *MultiTask) Run(a *auction.Auction) (*Outcome, error) {
 // (Lemma 2), hence monotone in s, so the threshold is well defined. The
 // search runs in the PoS domain: scaling contribution by s maps p to
 // 1−(1−p)^s.
-func (m *MultiTask) criticalContributionScaled(a *auction.Auction, i int) (float64, int64, error) {
+func (m *MultiTask) criticalContributionScaled(sp *span.Span, a *auction.Auction, i int) (float64, int64, error) {
 	total := a.Bids[i].TotalContribution()
 	if total <= 0 {
 		return 0, 0, nil
@@ -164,7 +177,7 @@ func (m *MultiTask) criticalContributionScaled(a *auction.Auction, i int) (float
 	const tol = 1e-9
 	for hi-lo > tol {
 		mid := (lo + hi) / 2
-		wins, e, err := m.winsWithScale(a, i, mid)
+		wins, e, err := m.winsWithScale(sp, a, i, mid)
 		evals += e
 		if err != nil {
 			return 0, evals, err
@@ -180,7 +193,7 @@ func (m *MultiTask) criticalContributionScaled(a *auction.Auction, i int) (float
 
 // winsWithScale reports whether bid i is selected by the greedy allocation
 // when its contributions are scaled by s.
-func (m *MultiTask) winsWithScale(a *auction.Auction, i int, s float64) (bool, int64, error) {
+func (m *MultiTask) winsWithScale(sp *span.Span, a *auction.Auction, i int, s float64) (bool, int64, error) {
 	orig := a.Bids[i]
 	scaled := make(map[auction.TaskID]float64, len(orig.PoS))
 	for id, p := range orig.PoS {
@@ -191,7 +204,7 @@ func (m *MultiTask) winsWithScale(a *auction.Auction, i int, s float64) (bool, i
 	if err != nil {
 		return false, 0, err
 	}
-	sol, err := m.solveCover(mod)
+	sol, err := m.solveCover(sp, mod)
 	if err != nil {
 		if errors.Is(err, setcover.ErrInfeasible) {
 			return false, sol.Evals, nil
@@ -214,7 +227,7 @@ func (m *MultiTask) winsWithScale(a *auction.Auction, i int, s float64) (bool, i
 // observed before the rerun stalls still applies and is used if smaller —
 // it cannot be, since 0 is minimal). The paper assumes a competitive market
 // where this does not arise; see DESIGN.md.
-func (m *MultiTask) criticalContributionMulti(a *auction.Auction, i int) (float64, int64, error) {
+func (m *MultiTask) criticalContributionMulti(sp *span.Span, a *auction.Auction, i int) (float64, int64, error) {
 	rest, err := a.WithoutBid(i)
 	if err != nil {
 		if errors.Is(err, auction.ErrNoBids) {
@@ -222,7 +235,7 @@ func (m *MultiTask) criticalContributionMulti(a *auction.Auction, i int) (float6
 		}
 		return 0, 0, err
 	}
-	sol, err := m.solveCover(rest)
+	sol, err := m.solveCover(sp, rest)
 	if err != nil {
 		if errors.Is(err, setcover.ErrInfeasible) {
 			return 0, sol.Evals, nil // pivotal: wins with any positive declaration

@@ -9,6 +9,7 @@ import (
 
 	"crowdsense/internal/auction"
 	"crowdsense/internal/knapsack"
+	"crowdsense/internal/obs/span"
 )
 
 // CriticalBidTol is the absolute tolerance of the binary search for the
@@ -33,6 +34,11 @@ type SingleTask struct {
 	// searches and the allocation's subproblem fan-out; non-positive uses
 	// GOMAXPROCS.
 	Parallelism int
+	// Trace, when non-nil, is the parent span (typically the engine's
+	// winner-determination span) under which Run emits wd.allocate,
+	// wd.critical_bid, and per-probe knapsack.solve spans. Nil disables
+	// tracing at zero cost.
+	Trace *span.Span
 
 	// useReference routes every solve through the retained seed
 	// implementation (knapsack.SolveFPTASReference, with per-probe instance
@@ -79,13 +85,16 @@ func (m *SingleTask) Run(a *auction.Auction) (*Outcome, error) {
 		solver = knapsack.NewSolver(in, m.epsilon())
 		solver.Parallelism = par
 	}
-	sol, err := m.allocate(solver, in)
+	allocSpan := m.Trace.Child(span.NameAllocate, span.Int("bids", int64(len(a.Bids))))
+	sol, err := m.allocate(allocSpan, solver, in)
 	if err != nil {
+		allocSpan.EndWith(span.Str("error", err.Error()))
 		if errors.Is(err, knapsack.ErrInfeasible) {
 			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
 		}
 		return nil, err
 	}
+	allocSpan.EndWith(span.Int("winners", int64(len(sol.Selected))), span.Float("social_cost", sol.Cost))
 
 	out := &Outcome{
 		Mechanism:  m.Name(),
@@ -108,8 +117,10 @@ func (m *SingleTask) Run(a *auction.Auction) (*Outcome, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			criticalQ, err := m.criticalContribution(solver, in, winner)
+			cb := m.Trace.Child(span.NameCriticalBid, span.Int("winner", int64(winner)))
+			criticalQ, probes, err := m.criticalContribution(cb, solver, in, winner)
 			if err != nil {
+				cb.EndWith(span.Str("error", err.Error()))
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -117,6 +128,7 @@ func (m *SingleTask) Run(a *auction.Auction) (*Outcome, error) {
 				mu.Unlock()
 				return
 			}
+			cb.EndWith(span.Int("probes", int64(probes)), span.Float("critical_q", criticalQ))
 			bid := a.Bids[winner]
 			out.Awards[slot] = ecAward(winner, bid, criticalQ, bid.Contribution(taskID), alpha)
 		}(slot, winner)
@@ -134,36 +146,41 @@ func (m *SingleTask) Run(a *auction.Auction) (*Outcome, error) {
 	return out, nil
 }
 
-// allocate runs winner determination on the declared contributions.
-func (m *SingleTask) allocate(solver *knapsack.Solver, in *knapsack.Instance) (knapsack.Solution, error) {
+// allocate runs winner determination on the declared contributions, emitting
+// the DP's knapsack.solve span under sp when tracing is on.
+func (m *SingleTask) allocate(sp *span.Span, solver *knapsack.Solver, in *knapsack.Instance) (knapsack.Solution, error) {
 	if m.useReference {
 		return knapsack.SolveFPTASReference(in, m.epsilon())
 	}
-	return solver.Solve()
+	return solver.SolveTraced(sp)
 }
 
 // criticalContribution binary-searches the minimum declared contribution q̄
 // with which user i still wins (Algorithm 3, line 1). Monotonicity of the
 // winner determination in the contribution (Lemma 1) guarantees the search
 // is well defined. The search runs over [0, q_i]: the user wins at her
-// declaration, and the critical bid can never exceed it.
-func (m *SingleTask) criticalContribution(solver *knapsack.Solver, in *knapsack.Instance, i int) (float64, error) {
-	wins, err := m.winsWith(solver, in, i, in.Contribs[i])
+// declaration, and the critical bid can never exceed it. It returns the
+// probe count alongside the threshold; each probe emits its own
+// knapsack.solve span under sp.
+func (m *SingleTask) criticalContribution(sp *span.Span, solver *knapsack.Solver, in *knapsack.Instance, i int) (float64, int, error) {
+	probes := 1
+	wins, err := m.winsWith(sp, solver, in, i, in.Contribs[i])
 	if err != nil {
-		return 0, err
+		return 0, probes, err
 	}
 	if !wins {
 		// Defensive: the declared contribution produced this winner, so it
 		// must win on re-run (the solver is deterministic).
-		return 0, fmt.Errorf("mechanism: winner %d does not win at declared contribution", i)
+		return 0, probes, fmt.Errorf("mechanism: winner %d does not win at declared contribution", i)
 	}
 	lo, hi := 0.0, in.Contribs[i]
 	// At q = 0 a user contributes nothing and is never selected.
 	for hi-lo > CriticalBidTol {
 		mid := (lo + hi) / 2
-		wins, err := m.winsWith(solver, in, i, mid)
+		probes++
+		wins, err := m.winsWith(sp, solver, in, i, mid)
 		if err != nil {
-			return 0, err
+			return 0, probes, err
 		}
 		if wins {
 			hi = mid
@@ -171,12 +188,12 @@ func (m *SingleTask) criticalContribution(solver *knapsack.Solver, in *knapsack.
 			lo = mid
 		}
 	}
-	return hi, nil
+	return hi, probes, nil
 }
 
 // winsWith reports whether user i is selected when declaring contribution q
 // while everyone else's declarations stay fixed.
-func (m *SingleTask) winsWith(solver *knapsack.Solver, in *knapsack.Instance, i int, q float64) (bool, error) {
+func (m *SingleTask) winsWith(sp *span.Span, solver *knapsack.Solver, in *knapsack.Instance, i int, q float64) (bool, error) {
 	var (
 		sol knapsack.Solution
 		err error
@@ -189,7 +206,7 @@ func (m *SingleTask) winsWith(solver *knapsack.Solver, in *knapsack.Instance, i 
 		}
 		sol, err = knapsack.SolveFPTASReference(mod, m.epsilon())
 	} else {
-		sol, err = solver.SolveWithContribution(i, q)
+		sol, err = solver.SolveWithContributionTraced(sp, i, q)
 	}
 	if err != nil {
 		if errors.Is(err, knapsack.ErrInfeasible) {

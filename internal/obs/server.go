@@ -8,6 +8,8 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"time"
+
+	"crowdsense/internal/obs/span"
 )
 
 // Health statuses reported by /healthz.
@@ -18,7 +20,8 @@ const (
 	// Still healthy — an engine that completed all campaigns is not broken.
 	StatusIdle = "idle"
 	// StatusSaturated: the bid queue is at or beyond SaturationThreshold;
-	// /healthz answers 503 so orchestrators can shed load.
+	// /readyz answers 503 so orchestrators can shed load (/healthz stays
+	// 200 — a saturated process is overloaded, not dead).
 	StatusSaturated = "saturated"
 )
 
@@ -39,6 +42,20 @@ type Health struct {
 // OK reports whether the health status maps to HTTP 200.
 func (h Health) OK() bool { return h.Status != StatusSaturated }
 
+// CampaignStatus is one campaign's lifecycle position in a readiness report.
+type CampaignStatus struct {
+	State string `json:"state"` // collecting | computing | settling | closed
+	Round int    `json:"round"` // 1-based current (or final) round
+}
+
+// Readiness is the /readyz report: the health summary plus per-campaign
+// status. Unlike liveness, readiness maps saturation to HTTP 503 so load
+// balancers stop routing new agents while the bid queue drains.
+type Readiness struct {
+	Health
+	Campaigns map[string]CampaignStatus `json:"campaigns"`
+}
+
 // Options wires the data sources behind the ops endpoints. A nil source
 // disables its endpoint (404).
 type Options struct {
@@ -46,17 +63,29 @@ type Options struct {
 	Gather func() []Family
 	// Health supplies the /healthz report.
 	Health func() Health
+	// Ready supplies the /readyz report.
+	Ready func() Readiness
 	// Rounds supplies up to n recent trace events for /debug/rounds,
 	// oldest first (typically Trace.RecentRounds).
 	Rounds func(n int) []Event
+	// Spans supplies up to n recent lifecycle spans for /debug/spans,
+	// oldest first (typically Engine.SpanRecords).
+	Spans func(n int) []span.Record
 }
 
 // NewMux assembles the ops endpoints on a fresh ServeMux:
 //
 //	/metrics       Prometheus text exposition format
-//	/healthz       JSON health, 503 when saturated
+//	/healthz       JSON liveness: always 200 while the process serves requests
+//	/readyz        JSON readiness with per-campaign status, 503 when saturated
 //	/debug/rounds  JSON of the recent round trace (?n= bounds the count)
+//	/debug/spans   JSON of the recent lifecycle spans (?n= bounds the count)
 //	/debug/pprof/  the standard net/http/pprof handlers
+//
+// Liveness and readiness are deliberately split: a saturated bid queue means
+// "stop routing new agents here" (readiness 503), not "restart the process"
+// (liveness stays 200). Pointing a restart-on-unhealthy orchestrator at a
+// load signal turns every burst into a crash loop.
 func NewMux(opts Options) *http.ServeMux {
 	mux := http.NewServeMux()
 	if opts.Gather != nil {
@@ -69,10 +98,39 @@ func NewMux(opts Options) *http.ServeMux {
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 			h := opts.Health()
 			w.Header().Set("Content-Type", "application/json")
-			if !h.OK() {
+			_ = json.NewEncoder(w).Encode(h)
+		})
+	}
+	if opts.Ready != nil {
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+			rep := opts.Ready()
+			if rep.Campaigns == nil {
+				rep.Campaigns = map[string]CampaignStatus{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if !rep.OK() {
 				w.WriteHeader(http.StatusServiceUnavailable)
 			}
-			_ = json.NewEncoder(w).Encode(h)
+			_ = json.NewEncoder(w).Encode(rep)
+		})
+	}
+	if opts.Spans != nil {
+		mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+			n := 100
+			if arg := r.URL.Query().Get("n"); arg != "" {
+				v, err := strconv.Atoi(arg)
+				if err != nil || v < 1 {
+					http.Error(w, fmt.Sprintf("bad n %q", arg), http.StatusBadRequest)
+					return
+				}
+				n = v
+			}
+			recs := opts.Spans(n)
+			if recs == nil {
+				recs = []span.Record{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(recs)
 		})
 	}
 	if opts.Rounds != nil {

@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"crowdsense/internal/obs/span"
 )
 
 func testOptions(h Health, tr *Trace) Options {
@@ -20,6 +22,11 @@ func testOptions(h Health, tr *Trace) Options {
 			}}
 		},
 		Health: func() Health { return h },
+		Ready: func() Readiness {
+			return Readiness{Health: h, Campaigns: map[string]CampaignStatus{
+				"c1": {State: "collecting", Round: 2},
+			}}
+		},
 		Rounds: tr.RecentRounds,
 	}
 }
@@ -40,6 +47,31 @@ func TestMuxMetrics(t *testing.T) {
 }
 
 func TestMuxHealthz(t *testing.T) {
+	// Liveness: every status — including saturated — answers 200. Queue
+	// pressure is a routing signal (readiness), not a restart signal.
+	cases := []Health{
+		{Status: StatusOK, Serving: true, QueueLen: 1, QueueCap: 10, Saturation: 0.1},
+		{Status: StatusIdle},
+		{Status: StatusSaturated, Serving: true, QueueLen: 95, QueueCap: 100, Saturation: 0.95},
+	}
+	for _, h := range cases {
+		mux := NewMux(testOptions(h, NewTrace(8)))
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("status %q: /healthz code %d, want 200", h.Status, rec.Code)
+		}
+		var got Health
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatalf("status %q: bad /healthz JSON: %v", h.Status, err)
+		}
+		if got != h {
+			t.Errorf("round-tripped health %+v, want %+v", got, h)
+		}
+	}
+}
+
+func TestMuxReadyz(t *testing.T) {
 	cases := []struct {
 		health Health
 		code   int
@@ -51,17 +83,27 @@ func TestMuxHealthz(t *testing.T) {
 	for _, c := range cases {
 		mux := NewMux(testOptions(c.health, NewTrace(8)))
 		rec := httptest.NewRecorder()
-		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
 		if rec.Code != c.code {
-			t.Errorf("status %q: /healthz code %d, want %d", c.health.Status, rec.Code, c.code)
+			t.Errorf("status %q: /readyz code %d, want %d", c.health.Status, rec.Code, c.code)
 		}
-		var got Health
+		var got Readiness
 		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
-			t.Fatalf("status %q: bad /healthz JSON: %v", c.health.Status, err)
+			t.Fatalf("status %q: bad /readyz JSON: %v", c.health.Status, err)
 		}
-		if got != c.health {
-			t.Errorf("round-tripped health %+v, want %+v", got, c.health)
+		if got.Health != c.health {
+			t.Errorf("round-tripped health %+v, want %+v", got.Health, c.health)
 		}
+		if cs, ok := got.Campaigns["c1"]; !ok || cs.State != "collecting" || cs.Round != 2 {
+			t.Errorf("campaign status %+v, want c1 collecting round 2", got.Campaigns)
+		}
+	}
+	// A nil campaign map serves {} — not null — for JSON consumers.
+	mux := NewMux(Options{Ready: func() Readiness { return Readiness{Health: Health{Status: StatusOK}} }})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if body := rec.Body.String(); !strings.Contains(body, `"campaigns":{}`) {
+		t.Errorf("nil campaigns body %q, want campaigns:{}", body)
 	}
 }
 
@@ -100,9 +142,45 @@ func TestMuxDebugRounds(t *testing.T) {
 	}
 }
 
+func TestMuxDebugSpans(t *testing.T) {
+	ring := span.NewRing(8)
+	tr := span.New(ring)
+	for i := 0; i < 6; i++ {
+		tr.Start("round", span.Int("i", int64(i))).Tag("c1", i+1).End()
+	}
+	mux := NewMux(Options{Spans: ring.Recent})
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans?n=2", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/spans status %d", rec.Code)
+	}
+	var recs []span.Record
+	if err := json.Unmarshal(rec.Body.Bytes(), &recs); err != nil {
+		t.Fatalf("bad /debug/spans JSON: %v", err)
+	}
+	if len(recs) != 2 || recs[0].Round != 5 || recs[1].Round != 6 {
+		t.Errorf("?n=2 returned %+v, want rounds 5 and 6", recs)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans?n=-1", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad n: status %d, want 400", rec.Code)
+	}
+
+	// An empty ring must serve [] — not null.
+	mux = NewMux(Options{Spans: span.NewRing(8).Recent})
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans", nil))
+	if body := strings.TrimSpace(rec.Body.String()); body != "[]" {
+		t.Errorf("empty ring body %q, want []", body)
+	}
+}
+
 func TestMuxDisabledEndpoints(t *testing.T) {
 	mux := NewMux(Options{}) // all sources nil
-	for _, path := range []string{"/metrics", "/healthz", "/debug/rounds"} {
+	for _, path := range []string{"/metrics", "/healthz", "/readyz", "/debug/rounds", "/debug/spans"} {
 		rec := httptest.NewRecorder()
 		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
 		if rec.Code != http.StatusNotFound {

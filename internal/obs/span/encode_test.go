@@ -1,0 +1,65 @@
+package span
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestAppendRecordMatchesMarshal pins the hand-rolled journal encoder to
+// encoding/json's output for the Record struct tags: both byte streams must
+// decode to the same record.
+func TestAppendRecordMatchesMarshal(t *testing.T) {
+	start := time.Date(2026, 8, 5, 12, 30, 45, 123456789, time.UTC)
+	records := []Record{
+		{ID: 1, Name: "campaign", Start: start, DurNanos: 5},
+		{ID: 2, Parent: 1, Name: "round", Campaign: "c1", Round: 3, Start: start, DurNanos: 1e9,
+			Attrs: Attrs{Int("bids", 7), Float("social_cost", 12.5), Str("mechanism", "single-task")}},
+		{ID: 3, Name: "wd", Start: start.Add(time.Millisecond), DurNanos: 0,
+			Attrs: Attrs{Str("error", `quote " backslash \ control `+"\n"+` unicode é`)}},
+		{ID: 4, Name: "dup", Start: start,
+			Attrs: Attrs{Int("k", 1), Str("other", "x"), Int("k", 9)}},
+		{ID: 5, Name: "big", Start: start,
+			Attrs: Attrs{Float("tiny", 1e-300), Float("huge", 1e300), Int("neg", -42)}},
+	}
+	for _, rec := range records {
+		hand := appendRecord(nil, &rec)
+		var fromHand Record
+		if err := json.Unmarshal(hand, &fromHand); err != nil {
+			t.Fatalf("record %d: hand encoding is invalid JSON: %v\n%s", rec.ID, err, hand)
+		}
+		std, err := json.Marshal(&rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fromStd Record
+		if err := json.Unmarshal(std, &fromStd); err != nil {
+			t.Fatal(err)
+		}
+		if a, b := toJSON(t, fromHand), toJSON(t, fromStd); a != b {
+			t.Errorf("record %d decodes differently:\nhand: %s\nstd:  %s", rec.ID, a, b)
+		}
+	}
+}
+
+func toJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestAppendRecordNonFinite checks NaN/Inf attrs degrade to null instead of
+// producing an unparseable line (encoding/json would refuse the record).
+func TestAppendRecordNonFinite(t *testing.T) {
+	rec := Record{ID: 1, Name: "x", Start: time.Now(),
+		Attrs: Attrs{Float("nan", math.NaN()), Float("inf", math.Inf(1))}}
+	line := appendRecord(nil, &rec)
+	var got Record
+	if err := json.Unmarshal(line, &got); err != nil {
+		t.Fatalf("non-finite floats produced invalid JSON: %v\n%s", err, line)
+	}
+}

@@ -1,0 +1,192 @@
+package span
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	j, err := OpenJournal(JournalConfig{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(j)
+	root := tr.Start(NameCampaign).Tag("c1", 0)
+	round := root.Child(NameRound).Tag("c1", 1)
+	round.EndWith(Int("winners", 3), Float("payment", 12.5))
+	root.End()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Dropped() != 0 {
+		t.Errorf("dropped %d records", j.Dropped())
+	}
+
+	recs, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("read %d records, want 2", len(recs))
+	}
+	if recs[0].Name != NameRound || recs[1].Name != NameCampaign {
+		t.Errorf("names %q, %q", recs[0].Name, recs[1].Name)
+	}
+	if recs[0].Parent != recs[1].ID {
+		t.Errorf("round parent %d, campaign id %d", recs[0].Parent, recs[1].ID)
+	}
+	if v, ok := recs[0].Attrs.Int("winners"); !ok || v != 3 {
+		t.Errorf("winners attr %v", recs[0].Attrs.Get("winners"))
+	}
+
+	// Append mode: reopening adds to the same file.
+	j2, err := OpenJournal(JournalConfig{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	New(j2).Start("extra").End()
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Errorf("after reopen: %d records, want 3", len(recs))
+	}
+}
+
+func TestJournalRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spans.jsonl")
+	// Tiny cap so every few records rotate; keep 2 generations.
+	j, err := OpenJournal(JournalConfig{Path: path, MaxBytes: 400, MaxFiles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(j)
+	const total = 40
+	for i := 0; i < total; i++ {
+		tr.Start("rotated", Int("i", int64(i)), Str("pad", strings.Repeat("x", 64))).End()
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Err() != nil {
+		t.Fatalf("journal error: %v", j.Err())
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	for _, want := range []string{"spans.jsonl", "spans.jsonl.1", "spans.jsonl.2"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing %s (have %v)", want, names)
+		}
+	}
+	if _, err := os.Stat(path + ".3"); err == nil {
+		t.Error("generation .3 exists; MaxFiles=2 should have dropped it")
+	}
+	// Every surviving file must hold valid JSONL, and the active file's
+	// records must be the newest.
+	var kept int
+	for _, name := range []string{path, path + ".1", path + ".2"} {
+		recs, err := ReadJournalFile(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(recs) == 0 && name != path {
+			t.Errorf("%s: empty rotated file", name)
+		}
+		kept += len(recs)
+		for _, r := range recs {
+			if r.Name != "rotated" {
+				t.Errorf("%s: unexpected record %q", name, r.Name)
+			}
+		}
+	}
+	if kept == 0 || kept > total {
+		t.Errorf("kept %d records, want in (0, %d]", kept, total)
+	}
+	// The newest record must be in the active file.
+	recs, _ := ReadJournalFile(path)
+	if len(recs) > 0 {
+		if i, _ := recs[len(recs)-1].Attrs.Int("i"); i != total-1 {
+			t.Errorf("active file newest i=%d, want %d", i, total-1)
+		}
+	}
+}
+
+func TestJournalEmitAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	j, err := OpenJournal(JournalConfig{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j.Emit(&Record{ID: 1, Name: "late"})
+	if j.Dropped() != 1 {
+		t.Errorf("dropped %d, want 1", j.Dropped())
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestReadJournalRejectsGarbage(t *testing.T) {
+	if _, err := ReadJournal(strings.NewReader("{\"id\":1,\"name\":\"a\",\"start\":\"2026-08-05T00:00:00Z\",\"dur_ns\":1}\nnot json\n")); err == nil {
+		t.Error("garbage line should fail")
+	}
+}
+
+func TestJournalConcurrentEmit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	j, err := OpenJournal(JournalConfig{Path: path, MaxBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(j)
+	done := make(chan struct{})
+	const writers, per = 4, 200
+	for g := 0; g < writers; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				tr.Start(fmt.Sprintf("w%d", g), Int("i", int64(i))).End()
+			}
+		}(g)
+	}
+	for g := 0; g < writers; g++ {
+		<-done
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// All generations together must parse cleanly (no interleaved lines).
+	total := 0
+	for _, name := range []string{path, path + ".1", path + ".2", path + ".3"} {
+		recs, err := ReadJournalFile(name)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		total += len(recs)
+	}
+	if total == 0 {
+		t.Error("no records survived")
+	}
+}

@@ -1,0 +1,359 @@
+// Package span is the platform's lifecycle-tracing layer: low-overhead
+// hierarchical spans (campaign → round → phase → solver probe) with
+// monotonic timestamps, typed attributes, and pluggable sinks.
+//
+// A Tracer hands out spans; ending a span renders it into an immutable
+// Record and fans the record out to every sink. Two sinks ship with the
+// package: Ring, a bounded lock-free buffer backing the /debug/spans ops
+// endpoint, and Journal, a durable append-only JSONL stream with size-based
+// rotation that cmd/obsctl tails, summarizes, and converts to Chrome
+// trace-event JSON (Perfetto / chrome://tracing).
+//
+// The disabled path is a nil pointer: every method of Tracer and Span is
+// nil-safe, so producers thread one *Span through their call graph and pay a
+// single nil check when tracing is off. The package deliberately depends on
+// nothing inside crowdsense, mirroring internal/obs: the engine, mechanisms,
+// and solvers are producers, not dependencies.
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Span names recorded by the engine and mechanism instrumentation. They are
+// part of the journal format consumed by obsctl; keep them stable.
+const (
+	// NameCampaign is the root span of one campaign's whole life.
+	NameCampaign = "campaign"
+	// NameRound covers one auction round, open → settled.
+	NameRound = "round"
+	// NamePhaseCollecting / NamePhaseComputing / NamePhaseSettling are the
+	// round's state-machine phases.
+	NamePhaseCollecting = "phase.collecting"
+	NamePhaseComputing  = "phase.computing"
+	NamePhaseSettling   = "phase.settling"
+	// NameWD covers one winner-determination call (mechanism run).
+	NameWD = "wd"
+	// NameAllocate is the mechanism's allocation (the auction's solve on
+	// declared types).
+	NameAllocate = "wd.allocate"
+	// NameCriticalBid is one winner's critical-bid search; its children are
+	// the individual solver probes.
+	NameCriticalBid = "wd.critical_bid"
+	// NameKnapsackSolve is one knapsack.Solver solve — the allocation or one
+	// critical-bid probe.
+	NameKnapsackSolve = "knapsack.solve"
+	// NameGreedyCover is one setcover.Greedy cover — the allocation or one
+	// critical-bid rerun.
+	NameGreedyCover = "setcover.greedy"
+)
+
+// attrKind discriminates the typed attribute payloads.
+type attrKind uint8
+
+const (
+	kindInt attrKind = iota + 1
+	kindFloat
+	kindStr
+)
+
+// Attr is one typed span attribute. Construct with Int, Float, or Str.
+type Attr struct {
+	Key  string
+	kind attrKind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, kind: kindInt, i: v} }
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, kind: kindFloat, f: v} }
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, kind: kindStr, s: v} }
+
+// Value returns the attribute's payload as an interface value.
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindInt:
+		return a.i
+	case kindFloat:
+		return a.f
+	case kindStr:
+		return a.s
+	}
+	return nil
+}
+
+// Attrs is an ordered attribute list. It marshals as a JSON object in
+// insertion order; unmarshalling restores entries in sorted-key order
+// (JSON objects carry no order).
+type Attrs []Attr
+
+// Get returns the value of the named attribute, or nil.
+func (as Attrs) Get(key string) any {
+	for _, a := range as {
+		if a.Key == key {
+			return a.Value()
+		}
+	}
+	return nil
+}
+
+// Int returns the named attribute as an int64 (converting a float), with ok
+// false when absent or non-numeric.
+func (as Attrs) Int(key string) (int64, bool) {
+	switch v := as.Get(key).(type) {
+	case int64:
+		return v, true
+	case float64:
+		return int64(v), true
+	}
+	return 0, false
+}
+
+// MarshalJSON renders the attributes as one JSON object.
+func (as Attrs) MarshalJSON() ([]byte, error) {
+	m := make(map[string]any, len(as))
+	keys := make([]string, 0, len(as))
+	for _, a := range as {
+		if _, dup := m[a.Key]; !dup {
+			keys = append(keys, a.Key)
+		}
+		m[a.Key] = a.Value() // last write wins, like a map literal
+	}
+	// Deterministic output: encoding/json sorts map keys, but building the
+	// object by hand keeps insertion order, which reads better in journals.
+	buf := []byte{'{'}
+	for i, k := range keys {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		vb, err := json.Marshal(m[k])
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, kb...)
+		buf = append(buf, ':')
+		buf = append(buf, vb...)
+	}
+	return append(buf, '}'), nil
+}
+
+// UnmarshalJSON decodes a JSON object into typed attributes. Numbers with no
+// fractional part become Int attrs, other numbers Float, strings Str; other
+// value types are rendered through fmt as strings (the journal writer never
+// produces them).
+func (as *Attrs) UnmarshalJSON(data []byte) error {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make(Attrs, 0, len(m))
+	for _, k := range keys {
+		raw := m[k]
+		if string(raw) == "null" {
+			continue // what the writer emits for non-finite floats
+		}
+		var n json.Number
+		if err := json.Unmarshal(raw, &n); err == nil {
+			if i, err := n.Int64(); err == nil {
+				out = append(out, Int(k, i))
+				continue
+			}
+			f, err := n.Float64()
+			if err != nil {
+				return fmt.Errorf("span: attr %q: %w", k, err)
+			}
+			out = append(out, Float(k, f))
+			continue
+		}
+		var s string
+		if err := json.Unmarshal(raw, &s); err == nil {
+			out = append(out, Str(k, s))
+			continue
+		}
+		var v any
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return fmt.Errorf("span: attr %q: %w", k, err)
+		}
+		out = append(out, Str(k, fmt.Sprint(v)))
+	}
+	*as = out
+	return nil
+}
+
+// Record is one completed span, the unit every sink consumes and every
+// journal line carries. Start is wall-clock; DurNanos is derived from the
+// monotonic clock, so durations stay exact across wall-clock adjustments.
+type Record struct {
+	ID       uint64    `json:"id"`
+	Parent   uint64    `json:"parent,omitempty"`
+	Name     string    `json:"name"`
+	Campaign string    `json:"campaign,omitempty"`
+	Round    int       `json:"round,omitempty"` // 1-based
+	Start    time.Time `json:"start"`
+	DurNanos int64     `json:"dur_ns"`
+	Attrs    Attrs     `json:"attrs,omitempty"`
+}
+
+// Duration returns the span's length.
+func (r Record) Duration() time.Duration { return time.Duration(r.DurNanos) }
+
+// Sink consumes completed spans. Emit runs on the producer's goroutine —
+// often inside the engine's hot path — so implementations must be fast and
+// must never call back into their producers.
+type Sink interface {
+	Emit(rec *Record)
+}
+
+// Tracer hands out spans and fans completed ones to its sinks. A nil
+// *Tracer is the no-op tracer: Start returns a nil span and every
+// downstream operation is a nil check.
+type Tracer struct {
+	sinks []Sink
+	next  atomic.Uint64
+}
+
+// New builds a tracer over the given sinks; nil sinks are dropped. With no
+// sinks remaining it returns nil — the no-op tracer — so "no sink attached"
+// costs exactly one nil check per span operation.
+func New(sinks ...Sink) *Tracer {
+	kept := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	return &Tracer{sinks: kept}
+}
+
+// Start opens a root span. Nil-safe: a nil tracer returns a nil span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t}
+	s.rec = Record{ID: t.next.Add(1), Name: name, Start: time.Now()}
+	s.setAttrs(attrs)
+	return s
+}
+
+// Span is one in-flight operation. A span is owned by a single goroutine;
+// concurrent children each get their own span via Child. All methods are
+// nil-safe, making a nil *Span the disabled path.
+//
+// The span embeds its eventual Record and inline storage for the first
+// spanInlineAttrs attributes, so the emit path — which runs once per solver
+// probe inside winner determination — allocates one flat object per span
+// and the variadic attr slices never escape to the heap. Keeping each
+// completed span a single allocation also keeps the ring's retained history
+// cheap for the garbage collector to mark. After End the record is
+// immutable and shared with every sink.
+type Span struct {
+	tr    *Tracer
+	rec   Record
+	ended bool
+	buf   [spanInlineAttrs]Attr
+}
+
+// spanInlineAttrs covers every span the engine emits (the widest, a solver
+// probe, carries seven attributes); busier spans spill to a heap slice.
+const spanInlineAttrs = 4
+
+// setAttrs seeds rec.Attrs from the span's inline buffer. The capacity is
+// pinned to the buffer so a spill past it reallocates instead of walking
+// off the array.
+func (s *Span) setAttrs(attrs []Attr) {
+	n := copy(s.buf[:], attrs)
+	s.rec.Attrs = s.buf[:n:spanInlineAttrs]
+	if n < len(attrs) {
+		s.rec.Attrs = append(s.rec.Attrs, attrs[n:]...)
+	}
+}
+
+// Child opens a sub-span inheriting the campaign/round tag. Nil-safe.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr}
+	c.rec = Record{
+		ID:       s.tr.next.Add(1),
+		Parent:   s.rec.ID,
+		Name:     name,
+		Campaign: s.rec.Campaign,
+		Round:    s.rec.Round,
+		Start:    time.Now(),
+	}
+	c.setAttrs(attrs)
+	return c
+}
+
+// Tag sets the span's campaign/round locus (inherited by later children) and
+// returns the span for chaining. Nil-safe.
+func (s *Span) Tag(campaign string, round int) *Span {
+	if s == nil {
+		return nil
+	}
+	s.rec.Campaign = campaign
+	s.rec.Round = round
+	return s
+}
+
+// Set appends attributes. Nil-safe.
+func (s *Span) Set(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.rec.Attrs = append(s.rec.Attrs, attrs...)
+}
+
+// ID returns the span's identifier (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.rec.ID
+}
+
+// End closes the span and emits its record to every sink. Ending twice is a
+// no-op. Nil-safe.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.rec.DurNanos = int64(time.Since(s.rec.Start))
+	for _, sink := range s.tr.sinks {
+		sink.Emit(&s.rec)
+	}
+}
+
+// EndWith appends attributes and ends the span. Nil-safe.
+func (s *Span) EndWith(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.rec.Attrs = append(s.rec.Attrs, attrs...)
+	s.End()
+}

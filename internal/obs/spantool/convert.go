@@ -1,0 +1,328 @@
+// Package spantool analyzes span journals recorded by internal/obs/span:
+// filtering, per-phase latency breakdowns, slowest-round ranking, and
+// conversion to Chrome trace-event JSON loadable in Perfetto or
+// chrome://tracing. cmd/obsctl is the CLI face of this package.
+package spantool
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"crowdsense/internal/obs/span"
+)
+
+// TraceEvent is one entry of the Chrome trace-event format (the subset
+// Perfetto's JSON importer consumes): complete ("X") events carrying
+// microsecond timestamps/durations and metadata ("M") events naming
+// processes and threads.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the top-level Chrome trace JSON object.
+type TraceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Convert renders span records as a Chrome trace: one process per campaign
+// (records without a campaign share a "(global)" process) and, within each
+// process, spans packed onto threads ("lanes") so every lane is properly
+// nested — a child span shares its parent's lane when their intervals nest,
+// and concurrent siblings (parallel critical-bid probes) spill onto fresh
+// lanes. The result renders as a browsable timeline with phase and probe
+// spans nested under their rounds.
+func Convert(records []span.Record) TraceFile {
+	if len(records) == 0 {
+		return TraceFile{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ms"}
+	}
+	ivs := spanIntervals(records)
+	// Stable base so timestamps are small positive microseconds.
+	base := ivs[0].start
+	for _, iv := range ivs {
+		if iv.start < base {
+			base = iv.start
+		}
+	}
+
+	// Group by campaign (process), keeping record indices so intervals stay
+	// aligned.
+	type group struct {
+		name string
+		idx  []int
+	}
+	var groups []*group
+	index := map[string]*group{}
+	for i, r := range records {
+		name := r.Campaign
+		if name == "" {
+			name = "(global)"
+		}
+		g, ok := index[name]
+		if !ok {
+			g = &group{name: name}
+			index[name] = g
+			groups = append(groups, g)
+		}
+		g.idx = append(g.idx, i)
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a].name < groups[b].name })
+
+	var events []TraceEvent
+	for pid, g := range groups {
+		events = append(events, TraceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": "campaign " + g.name},
+		})
+		lanes := assignLanes(records, ivs, g.idx)
+		maxLane := 0
+		for n, i := range g.idx {
+			r, iv := records[i], ivs[i]
+			tid := lanes[n]
+			if tid > maxLane {
+				maxLane = tid
+			}
+			args := map[string]any{"id": r.ID}
+			if r.Parent != 0 {
+				args["parent"] = r.Parent
+			}
+			if r.Round != 0 {
+				args["round"] = r.Round
+			}
+			for _, a := range r.Attrs {
+				args[a.Key] = a.Value()
+			}
+			events = append(events, TraceEvent{
+				Name: r.Name,
+				Cat:  category(r.Name),
+				Ph:   "X",
+				Ts:   float64(iv.start-base) / 1e3,
+				Dur:  float64(iv.end-iv.start) / 1e3,
+				Pid:  pid,
+				Tid:  tid,
+				Args: args,
+			})
+		}
+		for lane := 0; lane <= maxLane; lane++ {
+			events = append(events, TraceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: lane,
+				Args: map[string]any{"name": fmt.Sprintf("lane %d", lane)},
+			})
+		}
+	}
+	return TraceFile{TraceEvents: events, DisplayTimeUnit: "ms"}
+}
+
+// category buckets span names for Perfetto's category filter: everything up
+// to the first dot ("wd.allocate" → "wd", "round" → "round").
+func category(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// interval is one span's [start, end) in absolute nanoseconds.
+type interval struct{ start, end int64 }
+
+// spanIntervals reconstructs each record's interval and clamps children
+// inside their parents. The journal stores wall-clock starts alongside
+// monotonic durations, so clock slew can drift a child's reconstructed end
+// a few hundred nanoseconds past its parent's — which would break the trace
+// viewer's stack discipline. The parent/child link is ground truth, so the
+// parent's interval wins.
+func spanIntervals(records []span.Record) []interval {
+	ivs := make([]interval, len(records))
+	byID := make(map[uint64]int, len(records))
+	for i, r := range records {
+		s := r.Start.UnixNano()
+		ivs[i] = interval{s, s + r.DurNanos}
+		byID[r.ID] = i
+	}
+	// Clamp ancestors first; marking before recursing guards against
+	// malformed parent cycles.
+	done := make([]bool, len(records))
+	var clamp func(i int)
+	clamp = func(i int) {
+		if done[i] {
+			return
+		}
+		done[i] = true
+		p, ok := byID[records[i].Parent]
+		if !ok || p == i {
+			return
+		}
+		clamp(p)
+		if ivs[i].start < ivs[p].start {
+			ivs[i].start = ivs[p].start
+		}
+		if ivs[i].end > ivs[p].end {
+			ivs[i].end = ivs[p].end
+		}
+		if ivs[i].start > ivs[i].end {
+			ivs[i].start = ivs[i].end
+		}
+	}
+	for i := range records {
+		clamp(i)
+	}
+	return ivs
+}
+
+// assignLanes maps each record of one process (idx indexes records/ivs) to a
+// thread id such that the spans on a lane obey stack discipline (the trace
+// viewer's requirement for "X" events): a span goes on its parent's lane
+// when its interval nests inside the parent's and does not overlap a sibling
+// already on that lane; otherwise it takes the lowest lane whose open
+// intervals it nests into or follows. The assignment is deterministic in
+// (start, ID) order.
+func assignLanes(recs []span.Record, ivs []interval, idx []int) []int {
+	order := make([]int, len(idx))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := ivs[idx[order[a]]], ivs[idx[order[b]]]
+		if ia.start != ib.start {
+			return ia.start < ib.start
+		}
+		if da, db := ia.end-ia.start, ib.end-ib.start; da != db {
+			return da > db // parents before their children
+		}
+		return recs[idx[order[a]]].ID < recs[idx[order[b]]].ID
+	})
+
+	// Per-lane stack of open intervals, replayed in start order: pop
+	// everything that ended before the candidate starts, then the candidate
+	// fits if the remaining top contains it (or the lane is empty).
+	var lanes [][]interval
+	fits := func(lane int, iv interval) bool {
+		stack := lanes[lane]
+		for len(stack) > 0 && stack[len(stack)-1].end <= iv.start {
+			stack = stack[:len(stack)-1]
+		}
+		lanes[lane] = stack
+		if len(stack) == 0 {
+			return true
+		}
+		top := stack[len(stack)-1]
+		return iv.start >= top.start && iv.end <= top.end
+	}
+
+	laneOf := make(map[uint64]int, len(idx))
+	out := make([]int, len(idx))
+	for _, n := range order {
+		i := idx[n]
+		iv := ivs[i]
+		lane := -1
+		// Prefer the parent's lane so sequential children render nested
+		// directly under their parent.
+		if p, ok := laneOf[recs[i].Parent]; ok && fits(p, iv) {
+			lane = p
+		} else {
+			for l := range lanes {
+				if fits(l, iv) {
+					lane = l
+					break
+				}
+			}
+		}
+		if lane < 0 {
+			lanes = append(lanes, nil)
+			lane = len(lanes) - 1
+		}
+		lanes[lane] = append(lanes[lane], iv)
+		laneOf[recs[i].ID] = lane
+		out[n] = lane
+	}
+	return out
+}
+
+// WriteTrace encodes the trace file as JSON.
+func WriteTrace(w io.Writer, tf TraceFile) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// ValidateTrace checks a serialized Chrome trace against the schema subset
+// this package emits: a traceEvents array whose entries carry a name, a
+// known phase, non-negative timestamps/durations for "X" events, and —
+// decisive for timeline rendering — stack discipline per (pid, tid). It is
+// the round-trip gate `obsctl convert` output is held to in make check.
+func ValidateTrace(data []byte) error {
+	var tf TraceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("spantool: trace JSON: %w", err)
+	}
+	if tf.TraceEvents == nil {
+		return fmt.Errorf("spantool: traceEvents missing")
+	}
+	events := make([]TraceEvent, 0, len(tf.TraceEvents))
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("spantool: event %d: empty name", i)
+		}
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			return fmt.Errorf("spantool: event %d (%s): unexpected phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			return fmt.Errorf("spantool: event %d (%s): negative ts/dur", i, ev.Name)
+		}
+		events = append(events, ev)
+	}
+	// The format does not promise any event order (journals record spans in
+	// completion order, children before parents), so replay each lane's
+	// events start-first, parents before the children sharing their start.
+	sort.SliceStable(events, func(a, b int) bool {
+		ea, eb := events[a], events[b]
+		if ea.Pid != eb.Pid {
+			return ea.Pid < eb.Pid
+		}
+		if ea.Tid != eb.Tid {
+			return ea.Tid < eb.Tid
+		}
+		if ea.Ts != eb.Ts {
+			return ea.Ts < eb.Ts
+		}
+		return ea.Dur > eb.Dur
+	})
+	type lane struct{ pid, tid int }
+	open := map[lane][]TraceEvent{}
+	for i, ev := range events {
+		l := lane{ev.Pid, ev.Tid}
+		stack := open[l]
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if top.Ts+top.Dur <= ev.Ts+tsSlack {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			if ev.Ts+tsSlack < top.Ts || ev.Ts+ev.Dur > top.Ts+top.Dur+tsSlack {
+				return fmt.Errorf("spantool: event %d (%s) overlaps %s on pid %d tid %d without nesting",
+					i, ev.Name, top.Name, ev.Pid, ev.Tid)
+			}
+			break
+		}
+		open[l] = append(stack, ev)
+	}
+	return nil
+}
+
+// tsSlack absorbs the microsecond rounding Convert applies to nanosecond
+// spans when checking containment.
+const tsSlack = 0.002

@@ -1,0 +1,162 @@
+package spantool
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"crowdsense/internal/obs/span"
+)
+
+// NameStat aggregates latency for one span name (campaign, round,
+// phase.computing, wd.critical_bid, …).
+type NameStat struct {
+	Name  string
+	Count int
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Mean is Total / Count.
+func (s NameStat) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Summarize aggregates records per span name, sorted by total time descending
+// — the "where did the time go" view of a journal.
+func Summarize(records []span.Record) []NameStat {
+	byName := map[string]*NameStat{}
+	for _, r := range records {
+		d := r.Duration()
+		st, ok := byName[r.Name]
+		if !ok {
+			st = &NameStat{Name: r.Name, Min: d, Max: d}
+			byName[r.Name] = st
+		}
+		st.Count++
+		st.Total += d
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+	}
+	out := make([]NameStat, 0, len(byName))
+	for _, st := range byName {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Total != out[b].Total {
+			return out[a].Total > out[b].Total
+		}
+		return out[a].Name < out[b].Name
+	})
+	return out
+}
+
+// RoundStat describes one round span together with headline attributes.
+type RoundStat struct {
+	Campaign string
+	Round    int
+	Dur      time.Duration
+	Winners  int64
+	Bids     int64
+	Payment  float64
+}
+
+// SlowestRounds ranks round spans by duration, longest first, returning at
+// most k entries (k <= 0 means all).
+func SlowestRounds(records []span.Record, k int) []RoundStat {
+	var rounds []RoundStat
+	for _, r := range records {
+		if r.Name != span.NameRound {
+			continue
+		}
+		rs := RoundStat{Campaign: r.Campaign, Round: r.Round, Dur: r.Duration()}
+		rs.Winners, _ = r.Attrs.Int("winners")
+		rs.Bids, _ = r.Attrs.Int("bids")
+		if v, ok := r.Attrs.Get("payment").(float64); ok {
+			rs.Payment = v
+		}
+		rounds = append(rounds, rs)
+	}
+	sort.Slice(rounds, func(a, b int) bool {
+		if rounds[a].Dur != rounds[b].Dur {
+			return rounds[a].Dur > rounds[b].Dur
+		}
+		if rounds[a].Campaign != rounds[b].Campaign {
+			return rounds[a].Campaign < rounds[b].Campaign
+		}
+		return rounds[a].Round < rounds[b].Round
+	})
+	if k > 0 && len(rounds) > k {
+		rounds = rounds[:k]
+	}
+	return rounds
+}
+
+// Filter returns the records matching every non-zero criterion.
+func Filter(records []span.Record, campaign, name string, round int) []span.Record {
+	var out []span.Record
+	for _, r := range records {
+		if campaign != "" && r.Campaign != campaign {
+			continue
+		}
+		if name != "" && r.Name != name {
+			continue
+		}
+		if round != 0 && r.Round != round {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// WriteSummary renders the per-name breakdown and slowest rounds as the
+// fixed-width report obsctl prints.
+func WriteSummary(w io.Writer, records []span.Record, topK int) error {
+	stats := Summarize(records)
+	if _, err := fmt.Fprintf(w, "%d spans\n\n%-22s %8s %12s %12s %12s %12s\n",
+		len(records), "NAME", "COUNT", "TOTAL", "MEAN", "MIN", "MAX"); err != nil {
+		return err
+	}
+	for _, st := range stats {
+		if _, err := fmt.Fprintf(w, "%-22s %8d %12s %12s %12s %12s\n",
+			st.Name, st.Count, fmtDur(st.Total), fmtDur(st.Mean()), fmtDur(st.Min), fmtDur(st.Max)); err != nil {
+			return err
+		}
+	}
+	slow := SlowestRounds(records, topK)
+	if len(slow) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "\nslowest rounds (top %d)\n%-16s %8s %12s %8s %8s %12s\n",
+		len(slow), "CAMPAIGN", "ROUND", "DUR", "BIDS", "WINNERS", "PAYMENT"); err != nil {
+		return err
+	}
+	for _, rs := range slow {
+		if _, err := fmt.Fprintf(w, "%-16s %8d %12s %8d %8d %12.4f\n",
+			rs.Campaign, rs.Round, fmtDur(rs.Dur), rs.Bids, rs.Winners, rs.Payment); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtDur trims time.Duration's default formatting to three significant
+// decimals so report columns stay aligned.
+func fmtDur(d time.Duration) string {
+	s := d.Round(time.Microsecond).String()
+	if strings.Contains(s, ".") && len(s) > 10 {
+		s = d.Round(10 * time.Microsecond).String()
+	}
+	return s
+}

@@ -8,6 +8,7 @@ import (
 
 	"crowdsense/internal/engine"
 	"crowdsense/internal/mechanism"
+	"crowdsense/internal/obs/span"
 )
 
 // RoundsOptions configures RunRounds.
@@ -29,6 +30,10 @@ type RoundsOptions struct {
 	// tooling uses to attach metrics/ops endpoints (engine.MetricFamilies,
 	// engine.Health, engine.Trace) to the single-campaign façade.
 	OnEngine func(*engine.Engine)
+
+	// SpanSinks attaches span sinks (typically a durable span.Journal) to
+	// the engine's lifecycle tracer; see engine.Config.SpanSinks.
+	SpanSinks []span.Sink
 }
 
 // RunRounds operates the platform as a recurring service: one engine, one
@@ -52,6 +57,7 @@ func RunRounds(ctx context.Context, cfg Config, opts RoundsOptions) ([]RoundResu
 	)
 	var addr string
 	ecfg := engine.Config{
+		SpanSinks: opts.SpanSinks,
 		OnRoundOpen: func(string, int) {
 			if opts.OnReady != nil {
 				opts.OnReady(addr)

@@ -1,0 +1,25 @@
+package setcover
+
+import (
+	"crowdsense/internal/auction"
+	"crowdsense/internal/obs/span"
+)
+
+// GreedyTraced is Greedy wrapped in a setcover.greedy span under parent,
+// recording instance size going in and selection/evaluation counts coming
+// out. A nil parent degrades to the plain function.
+func GreedyTraced(a *auction.Auction, parent *span.Span) (Solution, error) {
+	sp := parent.Child(span.NameGreedyCover,
+		span.Int("bids", int64(len(a.Bids))), span.Int("tasks", int64(len(a.Tasks))))
+	sol, err := Greedy(a)
+	if err != nil {
+		sp.EndWith(span.Str("error", err.Error()))
+		return sol, err
+	}
+	sp.EndWith(
+		span.Int("selected", int64(len(sol.Selected))),
+		span.Int("iterations", int64(len(sol.Iterations))),
+		span.Int("evals", sol.Evals),
+	)
+	return sol, err
+}

@@ -17,8 +17,14 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/engine/... ./internal/obs/... ./internal/platform/... \
-	./internal/agent/... ./internal/wire/... ./internal/mechanism/... \
-	./internal/knapsack/... ./internal/setcover/...
+go test -race ./internal/engine/... ./internal/obs/... ./internal/obs/span \
+	./internal/platform/... ./internal/agent/... ./internal/wire/... \
+	./internal/mechanism/... ./internal/knapsack/... ./internal/setcover/...
 go test -run 'Fuzz.*' ./internal/wire
 go test -run '^$' -bench . -benchtime 1x ./internal/knapsack ./internal/setcover ./internal/mechanism
+# Lifecycle-tracing gates: the obsctl round-trip (record a live journal,
+# convert to Chrome trace JSON, validate) and a smoke run of the span
+# overhead benchmark (the ≤10% assertion engages at b.N >= 50; 3x here
+# just proves the harness runs).
+go test -run TestRoundTrip ./cmd/obsctl
+go test -run '^$' -bench BenchmarkSpanOverhead -benchtime 3x ./internal/engine
