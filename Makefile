@@ -10,6 +10,7 @@ GO ?= go
 # concurrency (mechanism fan-out) is race-covered via these packages.
 RACE_PKGS = ./internal/engine/... ./internal/obs/... ./internal/obs/span \
 	./internal/platform/... ./internal/agent/... ./internal/wire/... \
+	./internal/store/... \
 	./internal/mechanism/... ./internal/knapsack/... ./internal/setcover/...
 
 # Solver and mechanism hot-path benchmarks, including the *Reference
@@ -29,10 +30,10 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# Run every wire fuzz target over its checked-in seed corpus (no new
-# inputs are generated; this is the deterministic regression pass).
+# Run every wire and store fuzz target over its checked-in seed corpus (no
+# new inputs are generated; this is the deterministic regression pass).
 fuzz-seed:
-	$(GO) test -run 'Fuzz.*' ./internal/wire
+	$(GO) test -run 'Fuzz.*' ./internal/wire ./internal/store
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkEngineThroughput -benchtime 3x ./internal/engine
@@ -50,6 +51,15 @@ check:
 	$(MAKE) fuzz-seed
 	$(MAKE) obsctl-roundtrip
 	$(GO) test -run '^$$' -bench BenchmarkSpanOverhead -benchtime 3x ./internal/engine
+	$(MAKE) recovery-smoke
+
+# Crash-recovery differential plus a store-overhead benchmark smoke: kill a
+# WAL-backed engine mid-round, reopen the log, finish the campaign, and
+# require outcomes identical to an uninterrupted run.
+.PHONY: recovery-smoke
+recovery-smoke:
+	$(GO) test -run TestEngineCrashRecoveryDifferential ./internal/engine
+	$(GO) test -run '^$$' -bench BenchmarkEngineStoreOverhead -benchtime 3x ./internal/engine
 
 # Record a live journal, convert it to Chrome trace JSON, and validate the
 # result — the obsctl round-trip gate (TestRoundTrip drives a real engine).

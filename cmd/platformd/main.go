@@ -28,6 +28,14 @@
 //	platformd -bidders 3 -rounds 5 -span-journal spans.jsonl
 //	obsctl summary spans.jsonl
 //	obsctl convert spans.jsonl > trace.json   # open in ui.perfetto.dev
+//
+// Example (durable state: every campaign transition is written to a
+// write-ahead log; killing the process mid-campaign and restarting with the
+// same -state-dir replays the log and resumes at the last durable round
+// boundary — campaign flags are then ignored, the recovered specs govern):
+//
+//	platformd -bidders 3 -rounds 5 -state-dir ./state
+//	kill %1 && platformd -state-dir ./state
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -47,6 +56,7 @@ import (
 	"crowdsense/internal/obs"
 	"crowdsense/internal/obs/span"
 	"crowdsense/internal/platform"
+	"crowdsense/internal/store"
 )
 
 func main() {
@@ -70,6 +80,7 @@ func run() error {
 		workers     = flag.Int("workers", 0, "winner-determination worker pool size (0 = auto; -campaigns mode)")
 		journal     = flag.String("journal", "", "append one JSON line per round to this file")
 		spanJournal = flag.String("span-journal", "", "record lifecycle spans (campaign/round/phase/solver) to this JSONL file, rotated by size")
+		stateDir    = flag.String("state-dir", "", "durable state directory: campaign events are written to a WAL there, and on restart the log is replayed to resume campaigns at the last durable round boundary (empty = in-memory only)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/rounds, /debug/spans, and pprof on this address (empty = off)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
@@ -117,20 +128,75 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *campaigns > 0 {
+	// The ops endpoint comes up before recovery so /readyz can answer 503
+	// "recovering" while the WAL replays; the engine swaps in when ready.
+	ops := &opsState{}
+	if *metricsAddr != "" {
+		srv, err := serveOps(*metricsAddr, ops)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
+
+	// Recover durable state, if configured. The WAL is the first event
+	// store; a round journal rides the same stream through a JournalStore.
+	var rec *platform.Recovered
+	var eventStore store.Store
+	if *stateDir != "" {
+		ops.recovering.Store(true)
+		r, err := platform.Recover(*stateDir, spanSinks...)
+		if err != nil {
+			return err
+		}
+		rec = r
+		ops.wal.Store(r.WAL)
+		defer func() {
+			if err := r.WAL.Close(); err != nil {
+				slog.Warn("wal close", "err", err)
+			}
+		}()
+		slog.Info("durable state recovered", "dir", *stateDir,
+			"campaigns", len(r.State.Order),
+			"replayed_events", r.Info.ReplayedEvents,
+			"snapshot_seq", r.Info.SnapshotSeq,
+			"truncated_bytes", r.Info.TruncatedBytes,
+			"dropped_segments", r.Info.DroppedSegments)
+		eventStore = r.WAL
+	}
+	// In durable or engine mode the journal is derived from the event
+	// stream (one encoder, no drift); legacy single-campaign mode keeps the
+	// OnRound path below.
+	journalViaStore := journalFile != nil && (*stateDir != "" || *campaigns > 0)
+	if journalViaStore {
+		var seed *store.State
+		if rec != nil {
+			seed = rec.State
+		}
+		js, err := platform.NewJournalStore(journalFile, seed)
+		if err != nil {
+			return err
+		}
+		eventStore = store.Multi(eventStore, js)
+	}
+
+	if *campaigns > 0 || rec.HasCampaigns() && len(rec.State.Order) > 1 {
 		return runEngine(ctx, engineOptions{
-			addr:        *addr,
-			tasks:       specs,
-			bidders:     *bidders,
-			window:      *window,
-			rounds:      *rounds,
-			campaigns:   *campaigns,
-			workers:     *workers,
-			alpha:       *alpha,
-			epsilon:     *epsilon,
-			journal:     journalFile,
-			spanSinks:   spanSinks,
-			metricsAddr: *metricsAddr,
+			addr:            *addr,
+			tasks:           specs,
+			bidders:         *bidders,
+			window:          *window,
+			rounds:          *rounds,
+			campaigns:       *campaigns,
+			workers:         *workers,
+			alpha:           *alpha,
+			epsilon:         *epsilon,
+			journal:         journalFile,
+			spanSinks:       spanSinks,
+			store:           eventStore,
+			recovered:       rec,
+			ops:             ops,
+			journalViaStore: journalViaStore,
 		})
 	}
 
@@ -142,68 +208,119 @@ func run() error {
 		Epsilon:         *epsilon,
 	}
 	start := time.Now()
-	var ops *obs.OpsServer
-	defer func() {
-		if ops != nil {
-			ops.Close()
-		}
-	}()
-	_, err := platform.RunRounds(ctx, cfg, platform.RoundsOptions{
+	opts := platform.RoundsOptions{
 		Addr:      *addr,
 		Rounds:    *rounds,
 		SpanSinks: spanSinks,
+		Store:     eventStore,
 		OnReady: func(bound string) {
 			slog.Info("listening", "addr", bound, "tasks", *tasks,
 				"requirement", *requirement, "bidders", *bidders)
 		},
-		OnEngine: func(eng *engine.Engine) {
-			if *metricsAddr == "" {
-				return
-			}
-			srv, err := serveOps(*metricsAddr, eng)
-			if err != nil {
-				slog.Error("ops endpoint", "err", err)
-				return
-			}
-			ops = srv
-		},
+		OnEngine: func(eng *engine.Engine) { ops.setEngine(eng) },
 		OnRound: func(round int, result platform.RoundResult) {
 			logRound("", round, result, time.Since(start))
-			if journalFile != nil {
+			if journalFile != nil && !journalViaStore {
 				entry := platform.NewJournalEntry(round, specs, result)
 				if err := platform.WriteJournal(journalFile, entry); err != nil {
 					slog.Error("round journal write", "round", round, "err", err)
 				}
 			}
 		},
-	})
+	}
+	if rec.HasCampaigns() {
+		opts.Restore = rec.State
+		slog.Info("resuming recovered campaign; -tasks/-bidders/-rounds flags ignored")
+	}
+	_, err := platform.RunRounds(ctx, cfg, opts)
 	return err
 }
 
 type engineOptions struct {
-	addr        string
-	tasks       []auction.Task
-	bidders     int
-	window      time.Duration
-	rounds      int
-	campaigns   int
-	workers     int
-	alpha       float64
-	epsilon     float64
-	journal     *os.File
-	spanSinks   []span.Sink
-	metricsAddr string
+	addr            string
+	tasks           []auction.Task
+	bidders         int
+	window          time.Duration
+	rounds          int
+	campaigns       int
+	workers         int
+	alpha           float64
+	epsilon         float64
+	journal         *os.File
+	spanSinks       []span.Sink
+	store           store.Store
+	recovered       *platform.Recovered
+	ops             *opsState
+	journalViaStore bool
 }
 
-// serveOps attaches the observability endpoint to an engine and reports
-// where it landed.
-func serveOps(addr string, eng *engine.Engine) (*obs.OpsServer, error) {
+// opsState is the swap point between "recovering" and "serving" for the ops
+// endpoint: before an engine is installed, /readyz answers 503 recovering
+// (when a WAL replay is in progress) and /metrics serves WAL counters only;
+// once the engine takes over, its full surface is exposed.
+type opsState struct {
+	eng        atomic.Pointer[engine.Engine]
+	wal        atomic.Pointer[store.WAL]
+	recovering atomic.Bool
+}
+
+func (o *opsState) setEngine(e *engine.Engine) {
+	o.eng.Store(e)
+	o.recovering.Store(false)
+}
+
+func (o *opsState) gather() []obs.Family {
+	var fams []obs.Family
+	if e := o.eng.Load(); e != nil {
+		fams = e.MetricFamilies()
+	}
+	if w := o.wal.Load(); w != nil {
+		fams = append(fams, w.Families()...)
+	}
+	return fams
+}
+
+func (o *opsState) health() obs.Health {
+	if e := o.eng.Load(); e != nil {
+		return e.Health()
+	}
+	status := obs.StatusIdle
+	if o.recovering.Load() {
+		status = obs.StatusRecovering
+	}
+	return obs.Health{Status: status}
+}
+
+func (o *opsState) ready() obs.Readiness {
+	if e := o.eng.Load(); e != nil {
+		return e.Readiness()
+	}
+	return obs.Readiness{Health: o.health()}
+}
+
+func (o *opsState) rounds(n int) []obs.Event {
+	if e := o.eng.Load(); e != nil {
+		return e.Trace().RecentRounds(n)
+	}
+	return nil
+}
+
+func (o *opsState) spans(n int) []span.Record {
+	if e := o.eng.Load(); e != nil {
+		return e.SpanRecords(n)
+	}
+	return nil
+}
+
+// serveOps starts the observability endpoint over the swap point and
+// reports where it landed.
+func serveOps(addr string, ops *opsState) (*obs.OpsServer, error) {
 	srv, err := obs.Serve(addr, obs.Options{
-		Gather: eng.MetricFamilies,
-		Health: eng.Health,
-		Ready:  eng.Readiness,
-		Rounds: eng.Trace().RecentRounds,
-		Spans:  eng.SpanRecords,
+		Gather: ops.gather,
+		Health: ops.health,
+		Ready:  ops.ready,
+		Rounds: ops.rounds,
+		Spans:  ops.spans,
 	})
 	if err != nil {
 		return nil, err
@@ -222,6 +339,7 @@ func runEngine(ctx context.Context, opts engineOptions) error {
 	eng := engine.New(engine.Config{
 		Workers:   opts.workers,
 		SpanSinks: opts.spanSinks,
+		Store:     opts.store,
 		OnRound: func(r engine.RoundResult) {
 			logRound(r.Campaign, r.Round, platform.RoundResult{
 				Outcome:     r.Outcome,
@@ -229,7 +347,7 @@ func runEngine(ctx context.Context, opts engineOptions) error {
 				Settlements: r.Settlements,
 				Err:         r.Err,
 			}, time.Since(start))
-			if opts.journal != nil {
+			if opts.journal != nil && !opts.journalViaStore {
 				journalMu.Lock()
 				defer journalMu.Unlock()
 				journalSeq++
@@ -245,32 +363,36 @@ func runEngine(ctx context.Context, opts engineOptions) error {
 			}
 		},
 	})
-	for i := 0; i < opts.campaigns; i++ {
-		err := eng.AddCampaign(engine.CampaignConfig{
-			ID:              fmt.Sprintf("c%d", i+1),
-			Tasks:           opts.tasks,
-			ExpectedBidders: opts.bidders,
-			BidWindow:       opts.window,
-			Rounds:          opts.rounds,
-			Alpha:           opts.alpha,
-			Epsilon:         opts.epsilon,
-		})
-		if err != nil {
+	if opts.recovered.HasCampaigns() {
+		if err := eng.Restore(opts.recovered.State); err != nil {
 			return err
+		}
+		slog.Info("resuming recovered campaigns; campaign flags ignored",
+			"campaigns", len(opts.recovered.State.Order))
+	} else {
+		for i := 0; i < opts.campaigns; i++ {
+			err := eng.AddCampaign(engine.CampaignConfig{
+				ID:              fmt.Sprintf("c%d", i+1),
+				Tasks:           opts.tasks,
+				ExpectedBidders: opts.bidders,
+				BidWindow:       opts.window,
+				Rounds:          opts.rounds,
+				Alpha:           opts.alpha,
+				Epsilon:         opts.epsilon,
+			})
+			if err != nil {
+				return err
+			}
 		}
 	}
 	if err := eng.Listen(opts.addr); err != nil {
 		return err
 	}
 	slog.Info("engine listening", "addr", eng.Addr().String(),
-		"campaigns", opts.campaigns, "rounds", opts.rounds, "tasks", len(opts.tasks),
+		"campaigns", len(eng.Results()), "rounds", opts.rounds, "tasks", len(opts.tasks),
 		"requirement", opts.tasks[0].Requirement, "bidders", opts.bidders)
-	if opts.metricsAddr != "" {
-		ops, err := serveOps(opts.metricsAddr, eng)
-		if err != nil {
-			return err
-		}
-		defer ops.Close()
+	if opts.ops != nil {
+		opts.ops.setEngine(eng)
 	}
 
 	err := eng.Serve(ctx)

@@ -66,6 +66,12 @@ type Result struct {
 	Settle   wire.Settle
 	Attempt  map[auction.TaskID]bool // execution outcomes (winners only)
 
+	// Registered reports that the platform accepted this session's
+	// registration and published its tasks — evidence the platform is up
+	// even if the round later failed, which RunWithBackoff uses to reset
+	// its delay instead of compounding it.
+	Registered bool
+
 	// Redials counts the dial retries RunWithBackoff needed before this
 	// round's connection opened (0 = first dial worked; Run always leaves
 	// it 0).
@@ -119,6 +125,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("agent %d: tasks: %w", cfg.User, err)
 	}
+	res := Result{Registered: true}
 	published := make(map[auction.TaskID]bool, len(env.Tasks.Tasks))
 	for _, spec := range env.Tasks.Tasks {
 		published[auction.TaskID(spec.ID)] = true
@@ -142,7 +149,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		pos[int(id)] = p
 	}
 	if len(taskIDs) == 0 {
-		return Result{}, errors.New("agent: no published task intersects the user's task set")
+		return res, errors.New("agent: no published task intersects the user's task set")
 	}
 	setDeadline()
 	if err := codec.Write(&wire.Envelope{Type: wire.TypeBid, Campaign: cfg.Campaign, Bid: &wire.Bid{
@@ -151,7 +158,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		Cost:  cfg.TrueBid.Cost,
 		PoS:   pos,
 	}}); err != nil {
-		return Result{}, fmt.Errorf("agent %d: bid: %w", cfg.User, err)
+		return res, fmt.Errorf("agent %d: bid: %w", cfg.User, lostSession(err))
 	}
 
 	// Await the award. The platform may take a while to gather all bids,
@@ -159,9 +166,10 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	_ = conn.SetDeadline(time.Now().Add(10 * cfg.timeout()))
 	env, err = codec.Expect(wire.TypeAward)
 	if err != nil {
-		return Result{}, fmt.Errorf("agent %d: award: %w", cfg.User, err)
+		return res, fmt.Errorf("agent %d: award: %w", cfg.User, lostSession(err))
 	}
-	res := Result{Award: *env.Award, Selected: env.Award.Selected}
+	res.Award = *env.Award
+	res.Selected = env.Award.Selected
 	if !res.Selected {
 		return res, nil
 	}

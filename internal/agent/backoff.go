@@ -8,12 +8,32 @@ import (
 	"time"
 
 	"crowdsense/internal/stats"
+	"crowdsense/internal/wire"
 )
 
 // ErrDial marks a failure to reach the platform at all (refused, unreachable,
-// timed out before the connection opened). Only these failures are retried by
+// timed out before the connection opened). These failures are retried by
 // RunWithBackoff; protocol and application errors are not.
 var ErrDial = errors.New("dial failed")
+
+// ErrLostSession marks a session whose connection died after registration
+// but before an award arrived — the signature of a platform crash or
+// redeploy mid-round. A recovered platform reopens the round with an empty
+// bid set, so RunWithBackoff retries these like dial failures. (If the
+// platform never went down, the retry's bid is rejected as a duplicate —
+// a peer-spoken verdict, not retried.)
+var ErrLostSession = errors.New("session lost before award")
+
+// lostSession classifies a pre-award failure: an error the peer articulated
+// (rejection, protocol violation) stands as-is; anything else is the
+// connection dying under us.
+func lostSession(err error) error {
+	if errors.Is(err, wire.ErrPeer) || errors.Is(err, wire.ErrBadEnvelope) ||
+		errors.Is(err, wire.ErrMessageTooLarge) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrLostSession, err)
+}
 
 // Backoff is a bounded exponential backoff with jitter for connecting to a
 // platform that is not up yet (or is between rounds). The zero value uses
@@ -57,16 +77,20 @@ func (b Backoff) delay(n int, rng *rand.Rand) time.Duration {
 }
 
 // RunWithBackoff executes one auction round like Run, but retries dial
-// failures under the backoff policy instead of dying on the first refused
-// connection — agents started before the platform (or between rounds)
-// converge. Any non-dial error, and the last dial error once attempts are
-// exhausted, is returned unchanged.
+// failures and lost sessions under the backoff policy instead of dying on
+// the first refused connection — agents started before the platform, between
+// rounds, or across a platform crash-and-recover converge. The delay resets
+// after any attempt that got as far as registering: the platform was
+// demonstrably up, so the next retry starts from Base again rather than
+// resuming at max backoff. Any non-retryable error, and the last retryable
+// error once attempts are exhausted, is returned unchanged.
 func RunWithBackoff(ctx context.Context, cfg Config, b Backoff) (Result, error) {
 	rng := stats.NewRand(cfg.Seed ^ int64(cfg.User))
 	var lastErr error
+	streak := 0 // consecutive failures since the platform last answered
 	for attempt := 0; attempt < b.attempts(); attempt++ {
 		if attempt > 0 {
-			timer := time.NewTimer(b.delay(attempt-1, rng))
+			timer := time.NewTimer(b.delay(streak-1, rng))
 			select {
 			case <-ctx.Done():
 				timer.Stop()
@@ -75,9 +99,15 @@ func RunWithBackoff(ctx context.Context, cfg Config, b Backoff) (Result, error) 
 			}
 		}
 		res, err := Run(ctx, cfg)
-		if err == nil || !errors.Is(err, ErrDial) || ctx.Err() != nil {
+		retryable := errors.Is(err, ErrDial) || errors.Is(err, ErrLostSession)
+		if err == nil || !retryable || ctx.Err() != nil {
 			res.Redials = attempt
 			return res, err
+		}
+		if res.Registered {
+			streak = 1
+		} else {
+			streak++
 		}
 		lastErr = err
 	}

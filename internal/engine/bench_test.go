@@ -11,6 +11,7 @@ import (
 	"crowdsense/internal/agent"
 	"crowdsense/internal/auction"
 	"crowdsense/internal/obs/span"
+	"crowdsense/internal/store"
 )
 
 // BenchmarkEngineThroughput measures end-to-end auction throughput: M
@@ -111,6 +112,82 @@ func benchEngineThroughput(b *testing.B, campaigns, agentsPer int) {
 	if err := <-serveErr; err != nil {
 		b.Fatalf("serve: %v", err)
 	}
+}
+
+// BenchmarkEngineStoreOverhead is the durability budget gate, on
+// BenchmarkEngineThroughput's per-campaign shape (five agents per round over
+// loopback TCP): the WAL-backed engine must stay within 15% of the store-less
+// engine, and the in-memory store within 10% (noise) — group commit keeps
+// fsyncs off the round path, so the hot-path cost is one event encode per
+// transition. Floors compare against ceilings as in benchOverheadCompare, so
+// tripping the gate means systematic overhead, not scheduler jitter.
+func BenchmarkEngineStoreOverhead(b *testing.B) {
+	const passes = 3
+	dir := b.TempDir()
+	runs := 0
+	walRun := func() time.Duration {
+		runs++
+		w, _, err := store.OpenWAL(store.WALConfig{Dir: filepath.Join(dir, fmt.Sprintf("wal-%d", runs))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := benchObsRunN(b, Config{Store: w}, 5)
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+	var wal, mem, none []time.Duration
+	runSet := func() {
+		for i := 0; i < passes; i++ {
+			wal = append(wal, walRun())
+			mem = append(mem, benchObsRunN(b, Config{Store: store.NewMemStore()}, 5))
+			none = append(none, benchObsRunN(b, Config{}, 5))
+		}
+	}
+	b.ResetTimer()
+	runSet()
+	b.StopTimer()
+
+	floor := func(xs []time.Duration) time.Duration {
+		lo := xs[0]
+		for _, d := range xs[1:] {
+			if d < lo {
+				lo = d
+			}
+		}
+		return lo
+	}
+	ceil := func(xs []time.Duration) time.Duration {
+		hi := xs[0]
+		for _, d := range xs[1:] {
+			if d > hi {
+				hi = d
+			}
+		}
+		return hi
+	}
+	if floor(none) <= 0 {
+		return
+	}
+	walExceeds := func() bool { return floor(wal).Seconds() > ceil(none).Seconds()*1.15 }
+	memExceeds := func() bool { return floor(mem).Seconds() > ceil(none).Seconds()*1.10 }
+	if b.N >= 50 {
+		for retry := 0; retry < 2 && (walExceeds() || memExceeds()); retry++ {
+			runSet()
+		}
+		if walExceeds() {
+			b.Errorf("WAL overhead exceeds 15%%: fastest WAL run %v vs slowest store-less %v over %d rounds",
+				floor(wal), ceil(none), b.N)
+		}
+		if memExceeds() {
+			b.Errorf("MemStore overhead exceeds 10%%: fastest mem run %v vs slowest store-less %v over %d rounds",
+				floor(mem), ceil(none), b.N)
+		}
+	}
+	base := floor(none).Seconds()
+	b.ReportMetric((floor(wal).Seconds()-base)/base*100, "wal_overhead_%")
+	b.ReportMetric((floor(mem).Seconds()-base)/base*100, "mem_overhead_%")
 }
 
 // BenchmarkObsOverhead measures the cost of the live telemetry layer:

@@ -8,6 +8,7 @@ import (
 	"crowdsense/internal/auction"
 	"crowdsense/internal/mechanism"
 	"crowdsense/internal/obs/span"
+	"crowdsense/internal/store"
 	"crowdsense/internal/wire"
 )
 
@@ -161,6 +162,10 @@ func (c *campaign) openRoundLocked() {
 	c.cur.span = c.span.Child(span.NameRound).Tag(c.cfg.ID, c.cur.index+1)
 	c.cur.phase = c.cur.span.Child(span.NamePhaseCollecting)
 	c.eng.tracePhase(c, c.cur.index+1, stateCollecting.String())
+	// On recovery this reopens the in-flight round: the fresh round_opened
+	// event supersedes the torn round's partial bids in the log.
+	c.eng.emitLocked(store.Event{Type: store.EventRoundOpened, Campaign: c.cfg.ID,
+		Round: c.cur.index + 1})
 }
 
 // admitLocked records one bid into the current round, arming the bid-window
@@ -184,6 +189,9 @@ func (c *campaign) admitLocked(bid auction.Bid) (*round, error) {
 	rd.bidders[bid.User] = true
 	rd.order[bid.User] = len(rd.bids)
 	rd.bids = append(rd.bids, bid)
+	admitted := bid
+	c.eng.emitLocked(store.Event{Type: store.EventBidAdmitted, Campaign: c.cfg.ID,
+		Round: rd.index + 1, Bid: &admitted})
 	if len(rd.bids) == 1 {
 		rd.firstBid = time.Now()
 		if c.cfg.BidWindow > 0 {
@@ -253,6 +261,8 @@ func (c *campaign) runWinnerDetermination(rd *round) {
 	rd.phase.End()
 	rd.phase = rd.span.Child(span.NamePhaseSettling)
 	c.eng.tracePhase(c, rd.index+1, stateSettling.String())
+	c.eng.emitLocked(store.Event{Type: store.EventWinnersDetermined, Campaign: c.cfg.ID,
+		Round: rd.index + 1, Outcome: outcome, Err: errString(err)})
 	c.eng.mu.Unlock()
 	c.eng.recordCompute(c, outcome, elapsed)
 	close(rd.computed)
@@ -288,6 +298,9 @@ func (c *campaign) sessionDone(rd *round, user auction.UserID, settled *wire.Set
 	delete(rd.pending, user)
 	if settled != nil {
 		rd.settlements[user] = *settled
+		settle := *settled
+		c.eng.emitLocked(store.Event{Type: store.EventReportReceived, Campaign: c.cfg.ID,
+			Round: rd.index + 1, User: int(user), Settle: &settle})
 	}
 	if len(rd.pending) > 0 {
 		c.eng.mu.Unlock()
@@ -296,6 +309,7 @@ func (c *campaign) sessionDone(rd *round, user auction.UserID, settled *wire.Set
 	result, opened := c.finalizeLocked(rd)
 	c.eng.mu.Unlock()
 
+	c.eng.commitStore() // round boundary: kick group commit off the hot path
 	c.eng.recordRound(c, result)
 	if c.eng.cfg.OnRound != nil {
 		c.eng.cfg.OnRound(result)
@@ -344,6 +358,9 @@ func (c *campaign) finalizeLocked(rd *round) (RoundResult, bool) {
 	rd.span.EndWith(roundAttrs...)
 	c.results = append(c.results, result)
 	c.roundsLeft--
+	c.eng.emitLocked(store.Event{Type: store.EventRoundSettled, Campaign: c.cfg.ID,
+		Round: rd.index + 1, Err: errString(rd.err),
+		RoundNanos: int64(result.RoundLatency), ComputeNanos: int64(result.ComputeLatency)})
 	if c.roundsLeft > 0 {
 		c.openRoundLocked()
 		return result, true
@@ -352,6 +369,7 @@ func (c *campaign) finalizeLocked(rd *round) (RoundResult, bool) {
 	c.cur = nil
 	c.span.EndWith(span.Int("rounds_completed", int64(len(c.results))))
 	c.eng.tracePhase(c, result.Round, stateClosed.String())
+	c.eng.emitLocked(store.Event{Type: store.EventCampaignFinished, Campaign: c.cfg.ID})
 	return result, false
 }
 

@@ -33,6 +33,7 @@ import (
 	"crowdsense/internal/auction"
 	"crowdsense/internal/obs"
 	"crowdsense/internal/obs/span"
+	"crowdsense/internal/store"
 	"crowdsense/internal/wire"
 )
 
@@ -49,6 +50,13 @@ type Config struct {
 	// ConnTimeout bounds per-message I/O with one agent. Zero means
 	// 30 seconds.
 	ConnTimeout time.Duration
+
+	// Store, if set, receives every campaign state transition as a typed
+	// event (see internal/store). Append runs under the engine lock, so the
+	// store must be quick and must never call back into the engine; the
+	// engine calls Commit once per settled round, outside the lock. Nil
+	// keeps today's in-memory-only behaviour at zero cost.
+	Store store.Store
 
 	// OnRound, if set, observes every settled round. It may be called
 	// concurrently for different campaigns and must be quick.
@@ -143,9 +151,12 @@ type Engine struct {
 	open      int      // campaigns not yet closed
 	serving   bool
 
+	storeErr error // first error from cfg.Store; emission stops once set
+
 	ingest    chan ingestReq
 	compute   chan computeJob
 	allClosed chan struct{}
+	closeOnce sync.Once // guards close(allClosed): campaigns may all be closed before Serve
 
 	metrics  metrics
 	trace    *obs.Trace
@@ -211,6 +222,8 @@ func (e *Engine) AddCampaign(cc CampaignConfig) error {
 		span.Int("rounds", int64(cc.rounds())),
 		span.Int("expected_bidders", int64(cc.ExpectedBidders)),
 	).Tag(cc.ID, 0)
+	e.emitLocked(store.Event{Type: store.EventCampaignRegistered, Campaign: cc.ID,
+		Spec: specFromConfig(cc)})
 	c.openRoundLocked()
 	e.campaigns[cc.ID] = c
 	e.order = append(e.order, cc.ID)
@@ -254,16 +267,33 @@ func (e *Engine) Serve(ctx context.Context) error {
 	// handing a round to the pool never blocks (see startComputeLocked).
 	e.compute = make(chan computeJob, len(e.order))
 	e.ingest = make(chan ingestReq, e.cfg.queueDepth())
-	initial := append([]string(nil), e.order...)
+	// Report each campaign's actually-open round: 1 for fresh campaigns,
+	// later after Restore. Restored-finished campaigns have no open round.
+	type openRound struct {
+		id    string
+		round int
+	}
+	var initial []openRound
+	for _, id := range e.order {
+		if c := e.campaigns[id]; c.cur != nil {
+			initial = append(initial, openRound{id: id, round: c.cur.index + 1})
+		}
+	}
+	openCount := e.open
 	e.mu.Unlock()
 	defer e.listener.Close()
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	if openCount == 0 {
+		// Every restored campaign was already finished; nothing to serve.
+		e.closeOnce.Do(func() { close(e.allClosed) })
+	}
+
 	if e.cfg.OnRoundOpen != nil {
-		for _, id := range initial {
-			e.cfg.OnRoundOpen(id, 1)
+		for _, or := range initial {
+			e.cfg.OnRoundOpen(or.id, or.round)
 		}
 	}
 
@@ -316,6 +346,9 @@ func (e *Engine) Serve(ctx context.Context) error {
 	<-acceptErr
 	e.stopTimers()
 	e.wg.Wait()
+	if retErr == nil {
+		retErr = e.StoreErr() // a durable campaign that silently lost its log did not succeed
+	}
 	return retErr
 }
 
@@ -506,7 +539,7 @@ func (e *Engine) campaignFinished() {
 	defer e.mu.Unlock()
 	e.open--
 	if e.open == 0 {
-		close(e.allClosed)
+		e.closeOnce.Do(func() { close(e.allClosed) })
 	}
 }
 

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"errors"
+	"time"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/obs/span"
+	"crowdsense/internal/store"
+	"crowdsense/internal/wire"
+)
+
+// This file is the engine's event-sourcing seam: every durable state
+// transition flows through emitLocked as one typed store.Event, in the same
+// critical section that mutates the operational state, so the store's
+// reducer observes transitions in exactly the order the engine made them.
+// With no Store configured the seam is free (a nil check).
+
+// specFromConfig converts a campaign's runtime config to its durable spec.
+func specFromConfig(cc CampaignConfig) *store.CampaignSpec {
+	return &store.CampaignSpec{
+		ID:              cc.ID,
+		Tasks:           cc.Tasks,
+		ExpectedBidders: cc.ExpectedBidders,
+		BidWindowNanos:  int64(cc.BidWindow),
+		Rounds:          cc.rounds(),
+		Alpha:           cc.Alpha,
+		Epsilon:         cc.Epsilon,
+	}
+}
+
+// configFromSpec is specFromConfig's inverse, used on recovery.
+func configFromSpec(sp store.CampaignSpec) CampaignConfig {
+	return CampaignConfig{
+		ID:              sp.ID,
+		Tasks:           sp.Tasks,
+		ExpectedBidders: sp.ExpectedBidders,
+		BidWindow:       time.Duration(sp.BidWindowNanos),
+		Rounds:          sp.Rounds,
+		Alpha:           sp.Alpha,
+		Epsilon:         sp.Epsilon,
+	}
+}
+
+// emitLocked appends one event to the configured store. Caller holds e.mu.
+// A store error is sticky: emission stops and StoreErr (and Serve's return)
+// surface it — the engine keeps serving, but the operator learns durability
+// is gone.
+func (e *Engine) emitLocked(ev store.Event) {
+	if e.cfg.Store == nil || e.storeErr != nil {
+		return
+	}
+	if err := e.cfg.Store.Append(ev); err != nil {
+		e.storeErr = err
+	}
+}
+
+// commitStore marks a round boundary on the store. Called outside the
+// engine lock — Commit may kick background I/O.
+func (e *Engine) commitStore() {
+	if e.cfg.Store == nil {
+		return
+	}
+	if err := e.cfg.Store.Commit(); err != nil {
+		e.mu.Lock()
+		if e.storeErr == nil {
+			e.storeErr = err
+		}
+		e.mu.Unlock()
+	}
+}
+
+// StoreErr reports the first error the configured store returned, if any.
+func (e *Engine) StoreErr() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.storeErr
+}
+
+// errString renders an error for event payloads ("" = no error).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// Restore rebuilds the engine's campaigns from a recovered state, resuming
+// each unfinished campaign at its last durable round boundary: completed
+// rounds become results verbatim, and the next round reopens with an empty
+// bid set (a fresh round_opened event supersedes the torn round's partial
+// bids in the log). Call after New, before Serve, on an engine with no
+// campaigns; the configured store, if any, must already contain the state
+// being restored (the WAL that produced it does; a fresh store would reject
+// the reopen events).
+func (e *Engine) Restore(st *store.State) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.serving {
+		return errors.New("engine: Restore while serving")
+	}
+	if len(e.order) > 0 {
+		return errors.New("engine: Restore into an engine with campaigns")
+	}
+	if st == nil || len(st.Order) == 0 {
+		return errors.New("engine: Restore from empty state")
+	}
+	for _, id := range st.Order {
+		cs := st.Campaigns[id]
+		if cs == nil {
+			continue
+		}
+		cc := configFromSpec(cs.Spec)
+		done := len(cs.Completed)
+		finished := cs.Finished || done >= cc.rounds()
+		c := &campaign{cfg: cc, eng: e, roundsLeft: cc.rounds() - done}
+		c.span = e.spans.Start(span.NameCampaign,
+			span.Int("tasks", int64(len(cc.Tasks))),
+			span.Int("rounds", int64(cc.rounds())),
+			span.Int("expected_bidders", int64(cc.ExpectedBidders)),
+			span.Int("restored_rounds", int64(done)),
+		).Tag(cc.ID, 0)
+		for _, rec := range cs.Completed {
+			c.results = append(c.results, resultFromRecord(cc.ID, rec))
+		}
+		if finished {
+			c.state = stateClosed
+			c.roundsLeft = 0
+			c.span.EndWith(span.Int("rounds_completed", int64(len(c.results))))
+		} else {
+			c.openRoundLocked()
+			e.open++
+		}
+		e.campaigns[id] = c
+		e.order = append(e.order, id)
+	}
+	return e.storeErr
+}
+
+// resultFromRecord rebuilds a completed round's RoundResult from its
+// durable record.
+func resultFromRecord(campaign string, rec store.RoundRecord) RoundResult {
+	res := RoundResult{
+		Campaign:       campaign,
+		Round:          rec.Round,
+		Outcome:        rec.Outcome,
+		Bids:           rec.Bids,
+		Settlements:    rec.Settlements,
+		RoundLatency:   time.Duration(rec.RoundNanos),
+		ComputeLatency: time.Duration(rec.ComputeNanos),
+	}
+	if rec.Err != "" {
+		res.Err = errors.New(rec.Err)
+	}
+	if res.Settlements == nil {
+		res.Settlements = make(map[auction.UserID]wire.Settle)
+	}
+	return res
+}

@@ -1,0 +1,334 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/store"
+	"crowdsense/internal/wire"
+)
+
+// comparableRound is a RoundResult with everything auction-semantic and
+// nothing timing-dependent: the differential recovery test requires these to
+// be byte-identical between an uninterrupted run and a crash-recovered one.
+type comparableRound struct {
+	Campaign    string
+	Round       int
+	Bids        []auction.Bid
+	Outcome     any
+	Settlements map[auction.UserID]wire.Settle
+	Err         string
+}
+
+func normalizeRounds(t *testing.T, results []RoundResult) string {
+	t.Helper()
+	out := make([]comparableRound, 0, len(results))
+	for _, r := range results {
+		cr := comparableRound{
+			Campaign:    r.Campaign,
+			Round:       r.Round,
+			Bids:        r.Bids,
+			Settlements: r.Settlements,
+		}
+		if r.Outcome != nil {
+			// Solver work counters (DP cells, cache reuse, …) depend on
+			// process-global memo state, not on the auction; only the
+			// semantic stats must survive recovery.
+			o := *r.Outcome
+			o.Stats = mechanism.Stats{Winners: o.Stats.Winners, TotalPayment: o.Stats.TotalPayment}
+			cr.Outcome = &o
+		}
+		if r.Err != nil {
+			cr.Err = r.Err.Error()
+		}
+		out = append(out, cr)
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// waitBids polls until the engine has admitted want bids in total.
+func waitBids(t *testing.T, e *Engine, want uint64) {
+	t.Helper()
+	for start := time.Now(); ; {
+		if e.Snapshot().BidsAccepted >= want {
+			return
+		}
+		if time.Since(start) > 15*time.Second {
+			t.Fatalf("engine never reached %d admitted bids", want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// playRound submits the round's two bids in a fixed order (user 10·round+1
+// then 10·round+2, staggered on bid admission) so the engine's bid slice —
+// and with it the outcome's selected indices — is identical on every run.
+func playRound(t *testing.T, e *Engine, addr string, round int, bidsBefore uint64) {
+	t.Helper()
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		user := auction.UserID(10*round + i + 1)
+		cost, pos := float64(i+2), 0.6+0.1*float64(i)
+		go func() {
+			_, err := runAgent(t, addr, "main", user, cost, pos)
+			errs <- err
+		}()
+		waitBids(t, e, bidsBefore+uint64(i)+1)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("round %d agent: %v", round, err)
+		}
+	}
+}
+
+func openRoundSignal(cfg *Config) chan int {
+	ch := make(chan int, 16)
+	cfg.OnRoundOpen = func(campaign string, round int) {
+		if campaign == "main" {
+			ch <- round
+		}
+	}
+	return ch
+}
+
+func awaitRound(t *testing.T, ch chan int, want int) {
+	t.Helper()
+	select {
+	case n := <-ch:
+		if n != want {
+			t.Fatalf("round %d opened, want %d", n, want)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("round %d did not open", want)
+	}
+}
+
+// TestEngineCrashRecoveryDifferential is the acceptance test for durable
+// state: a campaign interrupted mid-round and resumed from snapshot+WAL must
+// produce byte-identical round results, payments, and settlements to the
+// same campaign run uninterrupted. The crash lands after round 2 opened and
+// admitted one bid, so recovery must also demonstrate the torn round
+// restarting with an empty bid set.
+func TestEngineCrashRecoveryDifferential(t *testing.T) {
+	const rounds = 3
+	cc := singleTaskCampaign("main", 2)
+	cc.Rounds = rounds
+
+	// --- Uninterrupted reference run ---
+	walA, _, err := store.OpenWAL(store.WALConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgA := Config{ConnTimeout: 10 * time.Second, Store: walA}
+	openA := openRoundSignal(&cfgA)
+	eA := New(cfgA)
+	if err := eA.AddCampaign(cc); err != nil {
+		t.Fatal(err)
+	}
+	addrA, doneA := startEngine(t, eA)
+	for round := 1; round <= rounds; round++ {
+		awaitRound(t, openA, round)
+		playRound(t, eA, addrA, round, uint64(2*(round-1)))
+	}
+	if err := <-doneA; err != nil {
+		t.Fatalf("reference engine: %v", err)
+	}
+	if err := walA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reference := normalizeRounds(t, eA.Results()["main"])
+
+	// --- Interrupted run: crash mid-round 2, after one bid ---
+	dirB := t.TempDir()
+	walB, _, err := store.OpenWAL(store.WALConfig{Dir: dirB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := Config{ConnTimeout: 10 * time.Second, Store: walB}
+	openB := openRoundSignal(&cfgB)
+	eB := New(cfgB)
+	if err := eB.AddCampaign(cc); err != nil {
+		t.Fatal(err)
+	}
+	if err := eB.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addrB := eB.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	doneB := make(chan error, 1)
+	go func() { doneB <- eB.Serve(ctx) }()
+
+	awaitRound(t, openB, 1)
+	playRound(t, eB, addrB, 1, 0)
+	awaitRound(t, openB, 2)
+
+	// One bid enters round 2 from a user who will NOT be in the replayed
+	// round: recovery must discard it with the torn round.
+	conn, err := net.Dial("tcp", addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	codec := wire.NewCodec(conn)
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeRegister, Campaign: "main",
+		Register: &wire.Register{User: 99}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.Expect(wire.TypeTasks); err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeBid, Campaign: "main",
+		Bid: &wire.Bid{User: 99, Tasks: []int{1}, Cost: 1, PoS: map[int]float64{1: 0.5}}}); err != nil {
+		t.Fatal(err)
+	}
+	waitBids(t, eB, 3)
+
+	cancel() // crash
+	<-doneB
+	if err := walB.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Recovery: reopen the log, restore, finish the campaign ---
+	walB2, recovered, err := store.OpenWAL(store.WALConfig{Dir: dirB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := recovered.Campaigns["main"]
+	if cs == nil || len(cs.Completed) != 1 {
+		t.Fatalf("recovered state: %+v, want 1 completed round", cs)
+	}
+	if cs.Current == nil || cs.Current.Round != 2 || len(cs.Current.Bids) != 1 {
+		t.Fatalf("recovered in-flight round = %+v, want round 2 with the torn bid", cs.Current)
+	}
+
+	cfgB2 := Config{ConnTimeout: 10 * time.Second, Store: walB2}
+	openB2 := openRoundSignal(&cfgB2)
+	eB2 := New(cfgB2)
+	if err := eB2.Restore(recovered); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	addrB2, doneB2 := startEngine(t, eB2)
+	for round := 2; round <= rounds; round++ {
+		awaitRound(t, openB2, round)
+		// The resumed engine's bid counter starts at zero: rounds 2..N
+		// contribute 2 bids each.
+		playRound(t, eB2, addrB2, round, uint64(2*(round-2)))
+	}
+	if err := <-doneB2; err != nil {
+		t.Fatalf("recovered engine: %v", err)
+	}
+	if err := walB2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	results := eB2.Results()["main"]
+	if len(results) != rounds {
+		t.Fatalf("recovered run completed %d rounds, want %d", len(results), rounds)
+	}
+	if got := normalizeRounds(t, results); got != reference {
+		t.Errorf("recovered results diverged from uninterrupted run:\nuninterrupted %s\nrecovered     %s",
+			reference, got)
+	}
+
+	// The torn bid must not appear anywhere in the final results.
+	for _, r := range results {
+		for _, b := range r.Bids {
+			if b.User == 99 {
+				t.Errorf("torn bid from user 99 survived into round %d", r.Round)
+			}
+		}
+	}
+
+	// A third open finds only settled rounds: the resumed rounds are durable.
+	walB3, final, err := store.OpenWAL(store.WALConfig{Dir: dirB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer walB3.Close()
+	fcs := final.Campaigns["main"]
+	if fcs == nil || !fcs.Finished || len(fcs.Completed) != rounds {
+		t.Errorf("final durable state: finished=%v completed=%d, want finished with %d rounds",
+			fcs != nil && fcs.Finished, len(fcs.Completed), rounds)
+	}
+}
+
+// TestEngineRestoreFinishedCampaign: restoring a state whose campaigns are
+// all finished must yield an engine whose Serve returns immediately with the
+// results intact — the "nothing to resume" path.
+func TestEngineRestoreFinishedCampaign(t *testing.T) {
+	dir := t.TempDir()
+	wal, _, err := store.OpenWAL(store.WALConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := singleTaskCampaign("main", 1)
+	e := New(Config{ConnTimeout: 10 * time.Second, Store: wal})
+	if err := e.AddCampaign(cc); err != nil {
+		t.Fatal(err)
+	}
+	addr, done := startEngine(t, e)
+	if _, err := runAgent(t, addr, "main", 1, 2, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wal2, recovered, err := store.OpenWAL(store.WALConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	e2 := New(Config{Store: wal2})
+	if err := e2.Restore(recovered); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e2.Serve(ctx); err != nil {
+		t.Fatalf("Serve over finished state: %v", err)
+	}
+	if got := len(e2.Results()["main"]); got != 1 {
+		t.Errorf("restored results = %d rounds, want 1", got)
+	}
+}
+
+// TestEngineRestoreValidation covers Restore's preconditions.
+func TestEngineRestoreValidation(t *testing.T) {
+	if err := New(Config{}).Restore(nil); err == nil {
+		t.Error("Restore(nil) should fail")
+	}
+	if err := New(Config{}).Restore(store.NewState()); err == nil {
+		t.Error("Restore of empty state should fail")
+	}
+	e := New(Config{})
+	if err := e.AddCampaign(singleTaskCampaign("c", 1)); err != nil {
+		t.Fatal(err)
+	}
+	st := store.NewState()
+	if err := store.Apply(st, store.Event{Type: store.EventCampaignRegistered,
+		Campaign: "x", Spec: &store.CampaignSpec{ID: "x",
+			Tasks: []auction.Task{{ID: 1, Requirement: 0.5}}, ExpectedBidders: 1, Rounds: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Restore(st); err == nil {
+		t.Error("Restore into an engine with campaigns should fail")
+	}
+}

@@ -20,9 +20,10 @@ import (
 
 // Metric families are typed the way the exposition format spells them.
 const (
-	TypeCounter = "counter"
-	TypeGauge   = "gauge"
-	TypeSummary = "summary"
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeSummary   = "summary"
+	TypeHistogram = "histogram"
 )
 
 // Label is one name="value" pair. Labels are kept as an ordered slice (not a

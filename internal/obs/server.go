@@ -23,6 +23,11 @@ const (
 	// /readyz answers 503 so orchestrators can shed load (/healthz stays
 	// 200 — a saturated process is overloaded, not dead).
 	StatusSaturated = "saturated"
+	// StatusRecovering: the process is replaying durable state (snapshot +
+	// WAL) and not yet accepting agents; /readyz answers 503 until the
+	// engine takes over (/healthz stays 200 — recovery is progress, not
+	// death).
+	StatusRecovering = "recovering"
 )
 
 // SaturationThreshold is the queue occupancy fraction at which a producer
@@ -40,7 +45,7 @@ type Health struct {
 }
 
 // OK reports whether the health status maps to HTTP 200.
-func (h Health) OK() bool { return h.Status != StatusSaturated }
+func (h Health) OK() bool { return h.Status != StatusSaturated && h.Status != StatusRecovering }
 
 // CampaignStatus is one campaign's lifecycle position in a readiness report.
 type CampaignStatus struct {

@@ -50,6 +50,9 @@ const (
 	// NameGreedyCover is one setcover.Greedy cover — the allocation or one
 	// critical-bid rerun.
 	NameGreedyCover = "setcover.greedy"
+	// NameRecovery covers one startup replay of durable state (snapshot +
+	// WAL) into a restored engine.
+	NameRecovery = "recovery"
 )
 
 // attrKind discriminates the typed attribute payloads.

@@ -4,14 +4,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"crowdsense/internal/auction"
+	"crowdsense/internal/store"
 )
 
 // JournalEntry is the durable record of one auction round, written as one
 // JSON line. It captures everything needed to audit the round offline:
 // tasks, every bid, the outcome with all EC contracts, and the settlements.
 type JournalEntry struct {
+	Campaign    string          `json:"campaign,omitempty"`
 	Round       int             `json:"round"`
 	Mechanism   string          `json:"mechanism,omitempty"`
 	Tasks       []journalTask   `json:"tasks"`
@@ -49,13 +52,33 @@ type journalSettle struct {
 	Utility float64 `json:"utility"`
 }
 
-// NewJournalEntry converts a completed round into its durable form.
+// NewJournalEntry converts a completed round into its durable form. It is a
+// thin wrapper over the event-stream path: the result is expressed as the
+// store.RoundRecord the reducer would have built, so live rounds and WAL
+// replays produce identical entries.
 func NewJournalEntry(round int, tasks []auction.Task, result RoundResult) JournalEntry {
-	entry := JournalEntry{Round: round}
+	rec := store.RoundRecord{
+		Round:       round,
+		Bids:        result.Bids,
+		Outcome:     result.Outcome,
+		Settlements: result.Settlements,
+	}
+	if result.Err != nil {
+		rec.Err = result.Err.Error()
+	}
+	return entryFromRecord("", tasks, rec)
+}
+
+// entryFromRecord converts one reduced round record into its journal form —
+// the single encoding shared by the live OnRound path and event-stream
+// consumers (JournalStore). Settlements are emitted in user order so entries
+// are byte-stable across runs and replays.
+func entryFromRecord(campaignID string, tasks []auction.Task, rec store.RoundRecord) JournalEntry {
+	entry := JournalEntry{Campaign: campaignID, Round: rec.Round}
 	for _, t := range tasks {
 		entry.Tasks = append(entry.Tasks, journalTask{ID: int(t.ID), Requirement: t.Requirement})
 	}
-	for _, b := range result.Bids {
+	for _, b := range rec.Bids {
 		jb := journalBid{User: int(b.User), Cost: b.Cost, PoS: make(map[int]float64, len(b.PoS))}
 		for _, id := range b.Tasks {
 			jb.Tasks = append(jb.Tasks, int(id))
@@ -63,11 +86,11 @@ func NewJournalEntry(round int, tasks []auction.Task, result RoundResult) Journa
 		}
 		entry.Bids = append(entry.Bids, jb)
 	}
-	if result.Err != nil {
-		entry.Error = result.Err.Error()
+	if rec.Err != "" {
+		entry.Error = rec.Err
 		return entry
 	}
-	if out := result.Outcome; out != nil {
+	if out := rec.Outcome; out != nil {
 		entry.Mechanism = out.Mechanism
 		entry.SocialCost = out.SocialCost
 		entry.Alpha = out.Alpha
@@ -80,11 +103,14 @@ func NewJournalEntry(round int, tasks []auction.Task, result RoundResult) Journa
 			})
 		}
 	}
-	for user, s := range result.Settlements {
+	for user, s := range rec.Settlements {
 		entry.Settlements = append(entry.Settlements, journalSettle{
 			User: int(user), Success: s.Success, Reward: s.Reward, Utility: s.Utility,
 		})
 	}
+	sort.Slice(entry.Settlements, func(i, j int) bool {
+		return entry.Settlements[i].User < entry.Settlements[j].User
+	})
 	return entry
 }
 

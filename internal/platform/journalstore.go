@@ -1,0 +1,75 @@
+package platform
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"crowdsense/internal/store"
+)
+
+// JournalStore derives the round journal from the engine's event stream: it
+// is a store.Store that folds every event through the shared reducer and
+// writes one JournalEntry line per settled round. This replaces the old
+// parallel encoding in OnRound callbacks — the journal and the durable state
+// are now two views of one stream and cannot drift apart.
+type JournalStore struct {
+	mu    sync.Mutex
+	w     io.Writer
+	state *store.State
+	err   error // sticky
+}
+
+// NewJournalStore writes journal lines to w. When resuming from a recovered
+// state, pass it so the reducer accepts the engine's reopen events; the
+// store keeps a private clone. Nil starts empty (a fresh engine).
+func NewJournalStore(w io.Writer, recovered *store.State) (*JournalStore, error) {
+	st := store.NewState()
+	if recovered != nil {
+		var err error
+		if st, err = recovered.Clone(); err != nil {
+			return nil, fmt.Errorf("platform: journal store: %w", err)
+		}
+	}
+	return &JournalStore{w: w, state: st}, nil
+}
+
+// Append folds the event; a round_settled event emits its journal line.
+func (j *JournalStore) Append(ev store.Event) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if err := store.Apply(j.state, ev); err != nil {
+		j.err = err
+		return err
+	}
+	if ev.Type != store.EventRoundSettled {
+		return nil
+	}
+	cs := j.state.Campaigns[ev.Campaign]
+	rec := cs.Completed[len(cs.Completed)-1] // Apply just archived it
+	entry := entryFromRecord(ev.Campaign, cs.Spec.Tasks, rec)
+	if err := WriteJournal(j.w, entry); err != nil {
+		j.err = err
+		return err
+	}
+	return nil
+}
+
+// Commit is a no-op: lines are written as rounds settle. (Durability of the
+// underlying file is its owner's concern.)
+func (j *JournalStore) Commit() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close reports the sticky error; the writer's lifetime belongs to the
+// caller.
+func (j *JournalStore) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

@@ -1,0 +1,46 @@
+package platform
+
+import (
+	"fmt"
+
+	"crowdsense/internal/obs/span"
+	"crowdsense/internal/store"
+)
+
+// Recovered is the product of replaying a state directory: the open WAL
+// (now positioned to append), the recovered state, and what the replay
+// found and repaired.
+type Recovered struct {
+	WAL   *store.WAL
+	State *store.State
+	Info  store.RecoveryInfo
+}
+
+// HasCampaigns reports whether the recovered state holds any campaigns —
+// the signal for resuming them (engine.Restore) instead of registering
+// fresh ones from flags.
+func (r *Recovered) HasCampaigns() bool {
+	return r != nil && r.State != nil && len(r.State.Order) > 0
+}
+
+// Recover opens (creating if empty) the durable state under dir, replaying
+// snapshot + WAL with torn-tail repair, and traces the replay as a
+// span.NameRecovery span on the given sinks.
+func Recover(dir string, sinks ...span.Sink) (*Recovered, error) {
+	sp := span.New(sinks...).Start(span.NameRecovery, span.Str("dir", dir))
+	wal, st, err := store.OpenWAL(store.WALConfig{Dir: dir})
+	if err != nil {
+		sp.EndWith(span.Str("error", err.Error()))
+		return nil, fmt.Errorf("platform: recover %s: %w", dir, err)
+	}
+	info := wal.Recovery()
+	sp.EndWith(
+		span.Int("replayed_events", int64(info.ReplayedEvents)),
+		span.Int("snapshot_seq", int64(info.SnapshotSeq)),
+		span.Int("segments", int64(info.Segments)),
+		span.Int("truncated_bytes", info.TruncatedBytes),
+		span.Int("dropped_segments", int64(info.DroppedSegments)),
+		span.Int("campaigns", int64(len(st.Order))),
+	)
+	return &Recovered{WAL: wal, State: st, Info: info}, nil
+}

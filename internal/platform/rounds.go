@@ -9,6 +9,7 @@ import (
 	"crowdsense/internal/engine"
 	"crowdsense/internal/mechanism"
 	"crowdsense/internal/obs/span"
+	"crowdsense/internal/store"
 )
 
 // RoundsOptions configures RunRounds.
@@ -34,6 +35,18 @@ type RoundsOptions struct {
 	// SpanSinks attaches span sinks (typically a durable span.Journal) to
 	// the engine's lifecycle tracer; see engine.Config.SpanSinks.
 	SpanSinks []span.Sink
+
+	// Store, if set, receives every campaign state transition as a typed
+	// event; see engine.Config.Store. Typically a WAL, a JournalStore, or
+	// store.Multi of both.
+	Store store.Store
+
+	// Restore, if set, resumes the campaigns recovered from a WAL instead
+	// of registering a fresh one: cfg's task/bidder fields and Rounds are
+	// ignored (the recovered specs govern), and each unfinished campaign
+	// reopens at its last durable round boundary. The configured Store must
+	// already contain this state (the WAL that produced it does).
+	Restore *store.State
 }
 
 // RunRounds operates the platform as a recurring service: one engine, one
@@ -43,7 +56,7 @@ type RoundsOptions struct {
 // service lives on. It returns the completed rounds' results — including
 // the rounds finished before a mid-run context cancellation.
 func RunRounds(ctx context.Context, cfg Config, opts RoundsOptions) ([]RoundResult, error) {
-	if opts.Rounds < 1 {
+	if opts.Restore == nil && opts.Rounds < 1 {
 		return nil, fmt.Errorf("platform: rounds %d must be positive", opts.Rounds)
 	}
 
@@ -57,6 +70,7 @@ func RunRounds(ctx context.Context, cfg Config, opts RoundsOptions) ([]RoundResu
 	)
 	var addr string
 	ecfg := engine.Config{
+		Store:     opts.Store,
 		SpanSinks: opts.SpanSinks,
 		OnRoundOpen: func(string, int) {
 			if opts.OnReady != nil {
@@ -82,9 +96,19 @@ func RunRounds(ctx context.Context, cfg Config, opts RoundsOptions) ([]RoundResu
 			}
 		},
 	}
-	eng, err := newEngine(cfg, opts.Rounds, ecfg)
-	if err != nil {
-		return nil, err
+	var eng *engine.Engine
+	if opts.Restore != nil {
+		ecfg.ConnTimeout = cfg.connTimeout()
+		eng = engine.New(ecfg)
+		if err := eng.Restore(opts.Restore); err != nil {
+			return nil, fmt.Errorf("platform: %w", err)
+		}
+	} else {
+		var err error
+		eng, err = newEngine(cfg, opts.Rounds, ecfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if err := eng.Listen(opts.Addr); err != nil {
 		return nil, fmt.Errorf("platform: %w", err)

@@ -1,0 +1,127 @@
+// Package store is the platform's durable-state layer: the campaign
+// lifecycle expressed as typed events, a pure reducer folding those events
+// into replayable state, and pluggable persistence behind one small Store
+// interface.
+//
+// The engine is the sole producer: every state transition it makes —
+// campaign registered, round opened, bid admitted, winners determined with
+// their EC contracts, report received, round settled, campaign finished —
+// is emitted as one Event. Consumers fold events with Apply: the write-ahead
+// log (WAL) keeps a live State for snapshots, MemStore keeps one for tests
+// and embedders, and internal/platform's round journal derives its entries
+// from the same stream instead of encoding rounds a second way.
+//
+// Durability is the WAL: segmented append-only files of CRC32-framed JSON
+// records with group-commit fsync batching off the hot path, automatic
+// snapshot + segment compaction on rotation, and torn-tail truncation on
+// open. Recovery replays snapshot + WAL into a State; the engine resumes
+// campaigns at the last durable round boundary (an in-flight round restarts
+// with an empty bid set — its partial bids are superseded by the re-emitted
+// round_opened event).
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/wire"
+)
+
+// EventType tags an event.
+type EventType string
+
+// Campaign lifecycle events, in the order a round produces them.
+const (
+	// EventCampaignRegistered records a campaign's full configuration.
+	EventCampaignRegistered EventType = "campaign_registered"
+	// EventRoundOpened starts (or, after a crash, restarts) one round.
+	// Reopening a round discards any bids admitted into its previous
+	// incarnation — this is what makes recovery a round-boundary operation.
+	EventRoundOpened EventType = "round_opened"
+	// EventBidAdmitted records one sealed bid entering the round.
+	EventBidAdmitted EventType = "bid_admitted"
+	// EventWinnersDetermined records the mechanism outcome: every EC reward
+	// contract, or the error that voided the allocation.
+	EventWinnersDetermined EventType = "winners_determined"
+	// EventReportReceived records one winner's execution report settling.
+	EventReportReceived EventType = "report_received"
+	// EventRoundSettled closes the round and archives it.
+	EventRoundSettled EventType = "round_settled"
+	// EventCampaignFinished closes the campaign.
+	EventCampaignFinished EventType = "campaign_finished"
+)
+
+// CampaignSpec is the durable form of a campaign's configuration — enough
+// to re-register the campaign identically on recovery.
+type CampaignSpec struct {
+	ID              string         `json:"id"`
+	Tasks           []auction.Task `json:"tasks"`
+	ExpectedBidders int            `json:"expected_bidders"`
+	BidWindowNanos  int64          `json:"bid_window_ns,omitempty"`
+	Rounds          int            `json:"rounds"`
+	Alpha           float64        `json:"alpha,omitempty"`
+	Epsilon         float64        `json:"epsilon,omitempty"`
+}
+
+// Event is one campaign state transition. Exactly the payload fields its
+// type requires are populated; Validate checks the pairing. Seq is assigned
+// by the WAL on append (0 until then) and is strictly increasing across the
+// whole log.
+type Event struct {
+	Seq      uint64    `json:"seq,omitempty"`
+	Type     EventType `json:"type"`
+	Campaign string    `json:"campaign"`
+	Round    int       `json:"round,omitempty"` // 1-based
+
+	Spec    *CampaignSpec      `json:"spec,omitempty"`    // campaign_registered
+	Bid     *auction.Bid       `json:"bid,omitempty"`     // bid_admitted
+	Outcome *mechanism.Outcome `json:"outcome,omitempty"` // winners_determined
+	User    int                `json:"user,omitempty"`    // report_received
+	Settle  *wire.Settle       `json:"settle,omitempty"`  // report_received
+	Err     string             `json:"err,omitempty"`     // winners_determined / round_settled
+
+	RoundNanos   int64 `json:"round_ns,omitempty"`   // round_settled
+	ComputeNanos int64 `json:"compute_ns,omitempty"` // round_settled
+}
+
+// ErrBadEvent marks an event whose payload does not match its type.
+var ErrBadEvent = errors.New("store: malformed event")
+
+// Validate checks the event's type/payload pairing and identity fields.
+func (ev *Event) Validate() error {
+	if ev.Campaign == "" {
+		return fmt.Errorf("%w: %q event without campaign", ErrBadEvent, ev.Type)
+	}
+	switch ev.Type {
+	case EventCampaignRegistered:
+		if ev.Spec == nil {
+			return fmt.Errorf("%w: %q event missing spec", ErrBadEvent, ev.Type)
+		}
+		if ev.Spec.ID != ev.Campaign {
+			return fmt.Errorf("%w: spec ID %q mismatches campaign %q", ErrBadEvent, ev.Spec.ID, ev.Campaign)
+		}
+	case EventRoundOpened, EventRoundSettled:
+		if ev.Round < 1 {
+			return fmt.Errorf("%w: %q event round %d", ErrBadEvent, ev.Type, ev.Round)
+		}
+	case EventBidAdmitted:
+		if ev.Bid == nil || ev.Round < 1 {
+			return fmt.Errorf("%w: %q event missing bid or round", ErrBadEvent, ev.Type)
+		}
+	case EventWinnersDetermined:
+		if ev.Round < 1 || (ev.Outcome == nil && ev.Err == "") {
+			return fmt.Errorf("%w: %q event missing outcome and error", ErrBadEvent, ev.Type)
+		}
+	case EventReportReceived:
+		if ev.Settle == nil || ev.Round < 1 {
+			return fmt.Errorf("%w: %q event missing settle or round", ErrBadEvent, ev.Type)
+		}
+	case EventCampaignFinished:
+		// Identity fields only.
+	default:
+		return fmt.Errorf("%w: unknown type %q", ErrBadEvent, ev.Type)
+	}
+	return nil
+}

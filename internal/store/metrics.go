@@ -1,0 +1,93 @@
+package store
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"crowdsense/internal/obs"
+)
+
+// fsyncBuckets are the upper bounds (seconds) of the fsync-latency
+// histogram, spanning NVMe (<1ms) through a struggling disk.
+var fsyncBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+
+// walStats are the WAL's monotonic counters. Updated lock-free off the
+// append and flush paths; read by Families.
+type walStats struct {
+	appends   atomic.Int64
+	bytes     atomic.Int64
+	snapshots atomic.Int64
+	replayed  atomic.Int64
+
+	fsyncs  atomic.Int64
+	fsyncNs atomic.Int64
+	fsyncLE [12]atomic.Int64 // per-bucket counts, last slot = +Inf
+}
+
+func (s *walStats) observeFsync(d time.Duration) {
+	s.fsyncs.Add(1)
+	s.fsyncNs.Add(int64(d))
+	sec := d.Seconds()
+	for i, bound := range fsyncBuckets {
+		if sec <= bound {
+			s.fsyncLE[i].Add(1)
+			return
+		}
+	}
+	s.fsyncLE[len(fsyncBuckets)].Add(1)
+}
+
+// Families renders the WAL's counters as metric families for the ops
+// endpoint, alongside the engine's own.
+func (w *WAL) Families() []obs.Family {
+	s := &w.stats
+	var bucketSamples []obs.Sample
+	var cum int64
+	for i, bound := range fsyncBuckets {
+		cum += s.fsyncLE[i].Load()
+		bucketSamples = append(bucketSamples, obs.Sample{
+			Suffix: "_bucket",
+			Labels: []obs.Label{{Name: "le", Value: strconv.FormatFloat(bound, 'g', -1, 64)}},
+			Value:  float64(cum),
+		})
+	}
+	cum += s.fsyncLE[len(fsyncBuckets)].Load()
+	bucketSamples = append(bucketSamples,
+		obs.Sample{Suffix: "_bucket", Labels: []obs.Label{{Name: "le", Value: "+Inf"}}, Value: float64(cum)},
+		obs.Sample{Suffix: "_sum", Value: time.Duration(s.fsyncNs.Load()).Seconds()},
+		obs.Sample{Suffix: "_count", Value: float64(s.fsyncs.Load())},
+	)
+	return []obs.Family{
+		{
+			Name:    "crowdsense_wal_appends_total",
+			Help:    "Events appended to the write-ahead log.",
+			Type:    obs.TypeCounter,
+			Samples: []obs.Sample{{Value: float64(s.appends.Load())}},
+		},
+		{
+			Name:    "crowdsense_wal_bytes_total",
+			Help:    "Framed record bytes appended to the write-ahead log.",
+			Type:    obs.TypeCounter,
+			Samples: []obs.Sample{{Value: float64(s.bytes.Load())}},
+		},
+		{
+			Name:    "crowdsense_wal_snapshots_total",
+			Help:    "State snapshots written at segment rotation.",
+			Type:    obs.TypeCounter,
+			Samples: []obs.Sample{{Value: float64(s.snapshots.Load())}},
+		},
+		{
+			Name:    "crowdsense_wal_fsync_seconds",
+			Help:    "Group-commit fsync latency.",
+			Type:    obs.TypeHistogram,
+			Samples: bucketSamples,
+		},
+		{
+			Name:    "crowdsense_recovery_replayed_events",
+			Help:    "Events replayed from the WAL at the last open.",
+			Type:    obs.TypeGauge,
+			Samples: []obs.Sample{{Value: float64(s.replayed.Load())}},
+		},
+	}
+}

@@ -1,0 +1,229 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/wire"
+)
+
+func testSpec(id string) *CampaignSpec {
+	return &CampaignSpec{
+		ID:              id,
+		Tasks:           []auction.Task{{ID: 1, Requirement: 0.9}},
+		ExpectedBidders: 2,
+		Rounds:          2,
+		Alpha:           1.5,
+	}
+}
+
+func testBid(user auction.UserID) *auction.Bid {
+	b := auction.NewBid(user, []auction.TaskID{1}, 5, map[auction.TaskID]float64{1: 0.8})
+	return &b
+}
+
+// lifecycle emits one full round of events for campaign id.
+func roundEvents(id string, round int) []Event {
+	return []Event{
+		{Type: EventRoundOpened, Campaign: id, Round: round},
+		{Type: EventBidAdmitted, Campaign: id, Round: round, Bid: testBid(1)},
+		{Type: EventBidAdmitted, Campaign: id, Round: round, Bid: testBid(2)},
+		{Type: EventWinnersDetermined, Campaign: id, Round: round,
+			Outcome: &mechanism.Outcome{Mechanism: "ec", Selected: []int{0}}},
+		{Type: EventReportReceived, Campaign: id, Round: round, User: 1,
+			Settle: &wire.Settle{Success: true, Reward: 7}},
+		{Type: EventRoundSettled, Campaign: id, Round: round, RoundNanos: 1000},
+	}
+}
+
+func TestApplyFullLifecycle(t *testing.T) {
+	s := NewState()
+	events := append([]Event{
+		{Type: EventCampaignRegistered, Campaign: "c", Spec: testSpec("c")},
+	}, roundEvents("c", 1)...)
+	events = append(events, roundEvents("c", 2)...)
+	events = append(events, Event{Type: EventCampaignFinished, Campaign: "c"})
+	for i, ev := range events {
+		ev.Seq = uint64(i + 1)
+		if err := Apply(s, ev); err != nil {
+			t.Fatalf("apply %s (#%d): %v", ev.Type, i, err)
+		}
+	}
+	cs := s.Campaigns["c"]
+	if cs == nil {
+		t.Fatal("campaign missing after registration")
+	}
+	if !cs.Finished || cs.Current != nil {
+		t.Errorf("finished=%v current=%v, want finished and nil", cs.Finished, cs.Current)
+	}
+	if len(cs.Completed) != 2 {
+		t.Fatalf("completed rounds = %d, want 2", len(cs.Completed))
+	}
+	rec := cs.Completed[0]
+	if len(rec.Bids) != 2 || rec.Outcome == nil || rec.Outcome.Mechanism != "ec" {
+		t.Errorf("round 1 record = %+v", rec)
+	}
+	if got := rec.Settlements[1]; !got.Success || got.Reward != 7 {
+		t.Errorf("settlement = %+v", got)
+	}
+	if rec.RoundNanos != 1000 {
+		t.Errorf("round nanos = %d", rec.RoundNanos)
+	}
+	if s.LastSeq != uint64(len(events)) {
+		t.Errorf("last seq = %d, want %d", s.LastSeq, len(events))
+	}
+	if len(s.Order) != 1 || s.Order[0] != "c" {
+		t.Errorf("order = %v", s.Order)
+	}
+}
+
+func TestApplyReopenDiscardsBids(t *testing.T) {
+	s := NewState()
+	evs := []Event{
+		{Type: EventCampaignRegistered, Campaign: "c", Spec: testSpec("c")},
+		{Type: EventRoundOpened, Campaign: "c", Round: 1},
+		{Type: EventBidAdmitted, Campaign: "c", Round: 1, Bid: testBid(1)},
+		// Crash here: recovery re-emits round_opened for round 1.
+		{Type: EventRoundOpened, Campaign: "c", Round: 1},
+	}
+	for _, ev := range evs {
+		if err := Apply(s, ev); err != nil {
+			t.Fatalf("apply %s: %v", ev.Type, err)
+		}
+	}
+	cur := s.Campaigns["c"].Current
+	if cur == nil || cur.Round != 1 {
+		t.Fatalf("current = %+v, want fresh round 1", cur)
+	}
+	if len(cur.Bids) != 0 {
+		t.Errorf("reopened round kept %d torn bids, want 0", len(cur.Bids))
+	}
+}
+
+func TestApplyRejectsBadEvents(t *testing.T) {
+	base := func() *State {
+		s := NewState()
+		if err := Apply(s, Event{Type: EventCampaignRegistered, Campaign: "c", Spec: testSpec("c")}); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		prep func(*State)
+		ev   Event
+	}{
+		{"duplicate registration", nil,
+			Event{Type: EventCampaignRegistered, Campaign: "c", Spec: testSpec("c")}},
+		{"unknown campaign", nil,
+			Event{Type: EventRoundOpened, Campaign: "ghost", Round: 1}},
+		{"wrong round opened", nil,
+			Event{Type: EventRoundOpened, Campaign: "c", Round: 3}},
+		{"bid with no round in flight", nil,
+			Event{Type: EventBidAdmitted, Campaign: "c", Round: 1, Bid: testBid(1)}},
+		{"settle on wrong round", func(s *State) {
+			_ = Apply(s, Event{Type: EventRoundOpened, Campaign: "c", Round: 1})
+		}, Event{Type: EventRoundSettled, Campaign: "c", Round: 2}},
+		{"round on finished campaign", func(s *State) {
+			_ = Apply(s, Event{Type: EventCampaignFinished, Campaign: "c"})
+		}, Event{Type: EventRoundOpened, Campaign: "c", Round: 1}},
+		{"missing campaign field", nil, Event{Type: EventRoundOpened, Round: 1}},
+		{"spec ID mismatch", nil,
+			Event{Type: EventCampaignRegistered, Campaign: "other", Spec: testSpec("c")}},
+		{"unknown type", nil, Event{Type: "bogus", Campaign: "c"}},
+	}
+	for _, tc := range cases {
+		s := base()
+		if tc.prep != nil {
+			tc.prep(s)
+		}
+		if err := Apply(s, tc.ev); !errors.Is(err, ErrBadEvent) {
+			t.Errorf("%s: err = %v, want ErrBadEvent", tc.name, err)
+		}
+	}
+}
+
+func TestApplyRejectionLeavesStateUnchanged(t *testing.T) {
+	s := NewState()
+	if err := Apply(s, Event{Type: EventCampaignRegistered, Campaign: "c", Spec: testSpec("c")}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = Apply(s, Event{Type: EventRoundOpened, Campaign: "c", Round: 9, Seq: 42})
+	after, err := s.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := mustJSON(t, before), mustJSON(t, after); a != b {
+		t.Errorf("rejected event mutated state:\nbefore %s\nafter  %s", a, b)
+	}
+}
+
+func TestMemStoreMatchesDirectFold(t *testing.T) {
+	m := NewMemStore()
+	direct := NewState()
+	events := append([]Event{
+		{Type: EventCampaignRegistered, Campaign: "c", Spec: testSpec("c")},
+	}, roundEvents("c", 1)...)
+	for _, ev := range events {
+		if err := m.Append(ev); err != nil {
+			t.Fatalf("mem append %s: %v", ev.Type, err)
+		}
+		if err := Apply(direct, ev); err != nil {
+			t.Fatalf("direct apply %s: %v", ev.Type, err)
+		}
+	}
+	if m.Events() != len(events) {
+		t.Errorf("events = %d, want %d", m.Events(), len(events))
+	}
+	m.View(func(s *State) {
+		if a, b := mustJSON(t, s), mustJSON(t, direct); a != b {
+			t.Errorf("MemStore state diverged from direct fold:\n%s\n%s", a, b)
+		}
+	})
+}
+
+func TestMultiFansOutAndSimplifies(t *testing.T) {
+	if Multi(nil, nil) != nil {
+		t.Error("Multi of nils should be nil")
+	}
+	solo := NewMemStore()
+	if Multi(nil, solo) != Store(solo) {
+		t.Error("Multi of one store should return it unwrapped")
+	}
+	a, b := NewMemStore(), NewMemStore()
+	multi := Multi(a, b)
+	ev := Event{Type: EventCampaignRegistered, Campaign: "c", Spec: testSpec("c")}
+	if err := multi.Append(ev); err != nil {
+		t.Fatal(err)
+	}
+	if a.Events() != 1 || b.Events() != 1 {
+		t.Errorf("fan-out reached (%d, %d) stores, want (1, 1)", a.Events(), b.Events())
+	}
+	if err := multi.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := multi.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextRound(t *testing.T) {
+	cs := &CampaignState{}
+	if got := cs.NextRound(); got != 1 {
+		t.Errorf("fresh campaign next round = %d, want 1", got)
+	}
+	cs.Completed = []RoundRecord{{Round: 1}}
+	if got := cs.NextRound(); got != 2 {
+		t.Errorf("after one round = %d, want 2", got)
+	}
+	cs.Current = &RoundRecord{Round: 2}
+	if got := cs.NextRound(); got != 2 {
+		t.Errorf("in-flight round = %d, want 2", got)
+	}
+}

@@ -1,0 +1,127 @@
+package store
+
+import (
+	"errors"
+	"sync"
+)
+
+// Store consumes the engine's campaign event stream. Append is called on
+// the engine's admitter and worker goroutines — often under the engine
+// lock — so implementations must be quick and must never call back into the
+// engine; durable stores buffer and defer I/O to Commit/background work.
+type Store interface {
+	// Append records one event. Implementations may buffer; an error is
+	// sticky (the store is broken and further appends may be dropped).
+	Append(ev Event) error
+
+	// Commit marks a consistency boundary (the engine calls it once per
+	// settled round). Durable stores use it to kick group-commit flushing;
+	// it must not block on I/O completion.
+	Commit() error
+
+	// Close flushes everything buffered, makes it durable, and releases
+	// resources. The first error encountered during the store's life is
+	// returned if no later error supersedes it.
+	Close() error
+}
+
+// MemStore folds events into an in-memory State — today's "engine memory
+// only" behaviour expressed through the same reducer the WAL uses. It is
+// the zero-cost default for tests and embedders that want a readable state
+// without durability.
+type MemStore struct {
+	mu    sync.Mutex
+	state *State
+	count int
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{state: NewState()}
+}
+
+// Append folds the event into the state.
+func (m *MemStore) Append(ev Event) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := Apply(m.state, ev); err != nil {
+		return err
+	}
+	m.count++
+	return nil
+}
+
+// Commit is a no-op: memory is always "durable" exactly as far as it goes.
+func (m *MemStore) Commit() error { return nil }
+
+// Close is a no-op.
+func (m *MemStore) Close() error { return nil }
+
+// Events reports how many events have been applied.
+func (m *MemStore) Events() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.count
+}
+
+// View runs fn with the store's state under the lock. The state must not be
+// retained or mutated past fn's return.
+func (m *MemStore) View(fn func(*State)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fn(m.state)
+}
+
+// multiStore fans every call out to several stores.
+type multiStore struct {
+	stores []Store
+}
+
+// Multi combines stores into one: every event and commit reaches each
+// store, errors are joined. Nil stores are dropped; zero remaining returns
+// nil and exactly one returns it unwrapped.
+func Multi(stores ...Store) Store {
+	kept := make([]Store, 0, len(stores))
+	for _, s := range stores {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return &multiStore{stores: kept}
+}
+
+func (m *multiStore) Append(ev Event) error {
+	var errs []error
+	for _, s := range m.stores {
+		if err := s.Append(ev); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (m *multiStore) Commit() error {
+	var errs []error
+	for _, s := range m.stores {
+		if err := s.Commit(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (m *multiStore) Close() error {
+	var errs []error
+	for _, s := range m.stores {
+		if err := s.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

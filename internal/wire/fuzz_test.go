@@ -23,6 +23,9 @@ func FuzzCodecRead(f *testing.F) {
 	f.Add([]byte("not json\n"))
 	f.Add([]byte(`{"type":"award"}` + "\n"))
 	f.Add([]byte{0xff, 0xfe, '\n'})
+	// An oversized frame: one line past MaxMessageBytes must be rejected
+	// with ErrMessageTooLarge, not buffered until the process OOMs.
+	f.Add(append(bytes.Repeat([]byte{'a'}, MaxMessageBytes+2), '\n'))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		codec := NewCodec(readerOnly{bytes.NewReader(data)})

@@ -43,6 +43,10 @@ const (
 var (
 	ErrMessageTooLarge = errors.New("wire: message exceeds size limit")
 	ErrBadEnvelope     = errors.New("wire: malformed envelope")
+	// ErrPeer marks an error envelope the peer sent: the connection worked
+	// and the peer answered — with a rejection. Callers use it to separate
+	// "the platform said no" from "the platform went away".
+	ErrPeer = errors.New("wire: peer error")
 )
 
 // Register announces an agent to the platform.
@@ -218,7 +222,7 @@ func (c *Codec) Expect(t MsgType) (*Envelope, error) {
 		return nil, err
 	}
 	if env.Type == TypeError {
-		return nil, fmt.Errorf("wire: peer error: %s", env.Error.Message)
+		return nil, fmt.Errorf("%w: %s", ErrPeer, env.Error.Message)
 	}
 	if env.Type != t {
 		return nil, fmt.Errorf("%w: got %q, want %q", ErrBadEnvelope, env.Type, t)

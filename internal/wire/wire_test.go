@@ -186,6 +186,14 @@ func TestExpect(t *testing.T) {
 		t.Errorf("error envelope not surfaced: %v", err)
 	}
 
+	// A peer rejection is typed so callers can tell "the peer said no" from
+	// "the peer went away".
+	buf.Reset()
+	codec.WriteError("nope")
+	if _, err := codec.Expect(TypeBid); !errors.Is(err, ErrPeer) {
+		t.Errorf("error envelope = %v, want ErrPeer", err)
+	}
+
 	buf.Reset()
 	if err := codec.Write(&Envelope{Type: TypeSettle, Settle: &Settle{Reward: 5}}); err != nil {
 		t.Fatal(err)

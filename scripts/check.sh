@@ -19,8 +19,9 @@ go build ./...
 go test ./...
 go test -race ./internal/engine/... ./internal/obs/... ./internal/obs/span \
 	./internal/platform/... ./internal/agent/... ./internal/wire/... \
+	./internal/store/... \
 	./internal/mechanism/... ./internal/knapsack/... ./internal/setcover/...
-go test -run 'Fuzz.*' ./internal/wire
+go test -run 'Fuzz.*' ./internal/wire ./internal/store
 go test -run '^$' -bench . -benchtime 1x ./internal/knapsack ./internal/setcover ./internal/mechanism
 # Lifecycle-tracing gates: the obsctl round-trip (record a live journal,
 # convert to Chrome trace JSON, validate) and a smoke run of the span
@@ -28,3 +29,10 @@ go test -run '^$' -bench . -benchtime 1x ./internal/knapsack ./internal/setcover
 # just proves the harness runs).
 go test -run TestRoundTrip ./cmd/obsctl
 go test -run '^$' -bench BenchmarkSpanOverhead -benchtime 3x ./internal/engine
+# Durability gates: the crash-recovery differential (kill a WAL-backed
+# engine mid-round, reopen, finish — outcomes must match an uninterrupted
+# run) and a smoke run of the store overhead benchmark (the ≤15% WAL /
+# ≤10% MemStore assertions engage at b.N >= 50; 3x just proves the
+# harness runs).
+go test -run TestEngineCrashRecoveryDifferential ./internal/engine
+go test -run '^$' -bench BenchmarkEngineStoreOverhead -benchtime 3x ./internal/engine
