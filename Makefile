@@ -10,7 +10,7 @@ GO ?= go
 # concurrency (mechanism fan-out) is race-covered via these packages.
 RACE_PKGS = ./internal/engine/... ./internal/obs/... ./internal/obs/span \
 	./internal/platform/... ./internal/agent/... ./internal/wire/... \
-	./internal/store/... \
+	./internal/store/... ./internal/cluster/... \
 	./internal/mechanism/... ./internal/knapsack/... ./internal/setcover/...
 
 # Solver and mechanism hot-path benchmarks, including the *Reference
@@ -30,10 +30,11 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# Run every wire and store fuzz target over its checked-in seed corpus (no
-# new inputs are generated; this is the deterministic regression pass).
+# Run every wire, store, and cluster fuzz target over its checked-in seed
+# corpus (no new inputs are generated; this is the deterministic regression
+# pass).
 fuzz-seed:
-	$(GO) test -run 'Fuzz.*' ./internal/wire ./internal/store
+	$(GO) test -run 'Fuzz.*' ./internal/wire ./internal/store ./internal/cluster
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkEngineThroughput -benchtime 3x ./internal/engine
@@ -52,6 +53,7 @@ check:
 	$(MAKE) obsctl-roundtrip
 	$(GO) test -run '^$$' -bench BenchmarkSpanOverhead -benchtime 3x ./internal/engine
 	$(MAKE) recovery-smoke
+	$(MAKE) cluster-smoke
 
 # Crash-recovery differential plus a store-overhead benchmark smoke: kill a
 # WAL-backed engine mid-round, reopen the log, finish the campaign, and
@@ -66,3 +68,11 @@ recovery-smoke:
 .PHONY: obsctl-roundtrip
 obsctl-roundtrip:
 	$(GO) test -run TestRoundTrip ./cmd/obsctl
+
+# Kill-the-leader differential under the race detector: a sharded cluster
+# loses its leader mid-campaign, the follower promotes from its replica, and
+# the promoted shard's settled rounds and journal bytes must be identical to
+# the dead leader's.
+.PHONY: cluster-smoke
+cluster-smoke:
+	$(GO) test -race -run TestClusterFailoverDifferential ./internal/cluster

@@ -34,7 +34,7 @@ const usage = `usage: obsctl <command> [flags] <journal.jsonl>...
 
 Commands:
   tail      print the most recent span records
-  summary   per-name latency breakdown and slowest rounds
+  summary   per-name latency breakdown, cluster events, slowest rounds
   convert   emit Chrome trace-event JSON (Perfetto / chrome://tracing)
   validate  check a converted trace file's invariants
 `

@@ -36,6 +36,18 @@
 //
 //	platformd -bidders 3 -rounds 5 -state-dir ./state
 //	kill %1 && platformd -state-dir ./state
+//
+// Example (cluster mode: campaigns c1..c4 sharded across two nodes behind a
+// router; node B replicates shard s1's WAL and promotes itself if node A
+// dies — agents keep dialing :7000 throughout):
+//
+//	platformd -cluster s1,s2 -shard s1 -addr :7001 -rep-addr :8001 \
+//	    -state-dir ./s1 -campaigns 4 -bidders 2 -rounds 3
+//	platformd -cluster s1,s2 -shard s2 -addr :7002 \
+//	    -state-dir ./s2 -campaigns 4 -bidders 2 -rounds 3 \
+//	    -follow s1@127.0.0.1:8001 -follow-dir ./s1-replica -follow-addr :7004
+//	platformd -cluster s1,s2 -addr :7000 \
+//	    -peers 's1=127.0.0.1:7001|127.0.0.1:7004,s2=127.0.0.1:7002'
 package main
 
 import (
@@ -45,6 +57,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -83,6 +96,16 @@ func run() error {
 		stateDir    = flag.String("state-dir", "", "durable state directory: campaign events are written to a WAL there, and on restart the log is replayed to resume campaigns at the last durable round boundary (empty = in-memory only)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/rounds, /debug/spans, and pprof on this address (empty = off)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+
+		// Cluster mode: shard the campaign universe across several platformd
+		// processes behind one router. See runCluster.
+		clusterArg = flag.String("cluster", "", "comma-separated shard names forming the cluster ring (enables cluster mode; identical on every member)")
+		shard      = flag.String("shard", "", "shard this node leads (cluster mode; empty with -peers runs the shard router)")
+		peers      = flag.String("peers", "", "router member map shard=addr[|standby],... — leader address first, standbys answer only after promotion")
+		repAddr    = flag.String("rep-addr", "", "replication listen address for this shard's followers (cluster node mode; empty = no followers)")
+		follow     = flag.String("follow", "", "stand by for another shard: shard@leaderRepAddr (cluster node mode)")
+		followDir  = flag.String("follow-dir", "", "replica WAL directory for -follow")
+		followAddr = flag.String("follow-addr", "", "standby agent address for -follow, bound only at promotion")
 	)
 	flag.Parse()
 
@@ -127,6 +150,30 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *clusterArg != "" {
+		return runCluster(ctx, clusterOptions{
+			shards:      strings.Split(*clusterArg, ","),
+			shard:       *shard,
+			peers:       *peers,
+			addr:        *addr,
+			repAddr:     *repAddr,
+			stateDir:    *stateDir,
+			follow:      *follow,
+			followDir:   *followDir,
+			followAdr:   *followAddr,
+			campaigns:   *campaigns,
+			tasks:       specs,
+			bidders:     *bidders,
+			rounds:      *rounds,
+			alpha:       *alpha,
+			epsilon:     *epsilon,
+			window:      *window,
+			workers:     *workers,
+			spanSinks:   spanSinks,
+			metricsAddr: *metricsAddr,
+		})
+	}
 
 	// The ops endpoint comes up before recovery so /readyz can answer 503
 	// "recovering" while the WAL replays; the engine swaps in when ready.

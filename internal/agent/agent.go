@@ -123,6 +123,9 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	setDeadline()
 	env, err := codec.Expect(wire.TypeTasks)
 	if err != nil {
+		if shardMoved(err) {
+			err = fmt.Errorf("%w: %w", ErrShardMoved, err)
+		}
 		return Result{}, fmt.Errorf("agent %d: tasks: %w", cfg.User, err)
 	}
 	res := Result{Registered: true}

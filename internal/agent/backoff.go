@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"crowdsense/internal/stats"
@@ -23,6 +24,19 @@ var ErrDial = errors.New("dial failed")
 // platform never went down, the retry's bid is rejected as a duplicate —
 // a peer-spoken verdict, not retried.)
 var ErrLostSession = errors.New("session lost before award")
+
+// ErrShardMoved marks a cluster-router rejection saying the campaign's
+// shard has no live member right now — the window between a shard leader
+// dying and its follower finishing promotion. RunWithBackoff retries these
+// with a reset delay, mirroring the lost-session path: the router answered,
+// so the platform is mid-failover, not gone.
+var ErrShardMoved = errors.New("shard moved, retry after failover")
+
+// shardMoved classifies a peer rejection carrying the shard-moved protocol
+// message (see wire.ShardMovedMessage).
+func shardMoved(err error) bool {
+	return errors.Is(err, wire.ErrPeer) && strings.Contains(err.Error(), wire.ShardMovedMessage)
+}
 
 // lostSession classifies a pre-award failure: an error the peer articulated
 // (rejection, protocol violation) stands as-is; anything else is the
@@ -99,12 +113,15 @@ func RunWithBackoff(ctx context.Context, cfg Config, b Backoff) (Result, error) 
 			}
 		}
 		res, err := Run(ctx, cfg)
-		retryable := errors.Is(err, ErrDial) || errors.Is(err, ErrLostSession)
+		retryable := errors.Is(err, ErrDial) || errors.Is(err, ErrLostSession) || errors.Is(err, ErrShardMoved)
 		if err == nil || !retryable || ctx.Err() != nil {
 			res.Redials = attempt
 			return res, err
 		}
-		if res.Registered {
+		// A shard-moved rejection resets the delay like a registration did:
+		// the router demonstrably answered, the shard is mid-failover, and
+		// the fresh session will re-register from scratch.
+		if res.Registered || errors.Is(err, ErrShardMoved) {
 			streak = 1
 		} else {
 			streak++

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"crowdsense/internal/agent"
+	"crowdsense/internal/engine"
+)
+
+// BenchmarkClusterFailover measures kill-to-promoted latency: a leader and a
+// quiesced follower; the timer covers Halt() → the follower reporting itself
+// leader (detection + replay + rebind).
+func BenchmarkClusterFailover(b *testing.B) {
+	ring := NewRing([]string{"s1"}, 0)
+	camp := pickCampaign(b, ring, "s1")
+
+	var totalNs int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n1, err := StartNode(NodeConfig{
+			Name: "n1", Shard: "s1", StateDir: b.TempDir(),
+			AgentAddr: "127.0.0.1:0", RepAddr: "127.0.0.1:0",
+			Campaigns: []engine.CampaignConfig{clusterCampaign(camp, 2)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n2, err := StartNode(NodeConfig{
+			Name: "n2", Shard: fmt.Sprintf("bench-idle-%d", i), StateDir: b.TempDir(),
+			AgentAddr: "127.0.0.1:0",
+			Follow: &FollowConfig{
+				Shard: "s1", LeaderRep: n1.RepAddr(),
+				StateDir: b.TempDir(), AgentAddr: reserveAddr(b),
+			},
+			FailoverAfter: 2, DialRetry: 5 * time.Millisecond,
+		})
+		if err != nil {
+			n1.Halt()
+			b.Fatal(err)
+		}
+		playBenchRound(b, n1.AgentAddr("s1"), camp, 1)
+		deadline := time.Now().Add(10 * time.Second)
+		for n2.AppliedSeq() != n1.WAL("s1").LastSeq() || n1.WAL("s1").LastSeq() == 0 {
+			if time.Now().After(deadline) {
+				b.Fatal("replica never quiesced")
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		b.StartTimer()
+		n1.Halt()
+		for n2.Roles()["s1"] != RoleLeader {
+			if time.Now().After(deadline) {
+				b.Fatal("follower never promoted")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		b.StopTimer()
+		totalNs += n2.stats.failoverNs.Load()
+		n2.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "failover_ms/op")
+	b.ReportMetric(float64(totalNs)/1e6/float64(b.N), "replay_ms/op")
+}
+
+// BenchmarkClusterRounds measures cross-node auction throughput on a 3-node
+// loopback cluster behind one router: each iteration settles one round on
+// every shard concurrently.
+func BenchmarkClusterRounds(b *testing.B) {
+	shards := []string{"s1", "s2", "s3"}
+	ring := NewRing(shards, 0)
+	members := make(map[string][]string, len(shards))
+	var nodes []*Node
+	var camps []string
+	for _, s := range shards {
+		camp := pickCampaign(b, ring, s)
+		n, err := StartNode(NodeConfig{
+			Name: "node-" + s, Shard: s, StateDir: b.TempDir(),
+			AgentAddr: "127.0.0.1:0",
+			Campaigns: []engine.CampaignConfig{clusterCampaign(camp, b.N+1)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+		camps = append(camps, camp)
+		members[s] = []string{n.AgentAddr(s)}
+	}
+	_ = nodes
+	router, err := StartRouter("127.0.0.1:0", RouterConfig{Ring: ring, Members: members})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer router.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := make(chan struct{}, len(camps))
+		for _, camp := range camps {
+			go func() {
+				playBenchRound(b, router.Addr(), camp, i+1)
+				done <- struct{}{}
+			}()
+		}
+		for range camps {
+			<-done
+		}
+	}
+	b.StopTimer()
+	rounds := float64(len(camps) * b.N)
+	b.ReportMetric(rounds/b.Elapsed().Seconds(), "rounds/s")
+}
+
+// playBenchRound is playClusterRound without testing.T error plumbing: agent
+// failures abort the benchmark.
+func playBenchRound(b *testing.B, addr, campaign string, round int) {
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		user := 100*round + i + 1
+		cost, pos := float64(i+2), 0.6+0.1*float64(i)
+		go func() {
+			errs <- runClusterAgent(addr, campaign, user, cost, pos,
+				agent.Backoff{Attempts: 10, Base: 25 * time.Millisecond, Max: time.Second})
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			b.Errorf("campaign %s round %d agent: %v", campaign, round, err)
+		}
+	}
+}

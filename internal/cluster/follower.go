@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"crowdsense/internal/store"
+)
+
+// runFollower replicates the followed shard's WAL until the node stops or
+// the leader dies and this node promotes itself. Dial failures before the
+// first successful session just retry forever — the leader may simply not be
+// up yet; only a leader that answered once and then stopped answering for
+// FailoverAfter consecutive redials is declared dead.
+func (n *Node) runFollower(f FollowConfig) {
+	wal, _, err := store.OpenWAL(store.WALConfig{Dir: f.StateDir})
+	if err != nil {
+		n.logf("node %s: follower of %s: open replica: %v", n.cfg.Name, f.Shard, err)
+		return
+	}
+	defer func() {
+		if wal != nil {
+			wal.Close()
+		}
+	}()
+
+	connectedOnce := false
+	failures := 0
+	for n.ctx.Err() == nil {
+		replaced, err := n.followOnce(f, &wal)
+		if n.ctx.Err() != nil {
+			return
+		}
+		if replaced {
+			continue // session ended to swap the replica WAL (snapshot bootstrap)
+		}
+		if err == nil {
+			connectedOnce = true
+			failures = 0
+			continue // session ran and ended (leader closed cleanly); redial
+		}
+		if errors.Is(err, errSessionRan) {
+			connectedOnce = true
+			failures = 1 // the leader answered, then the session died
+		} else {
+			failures++
+		}
+		if connectedOnce && failures >= n.cfg.failoverAfter() {
+			seq := wal.LastSeq()
+			if err := wal.Close(); err != nil {
+				n.logf("node %s: follower of %s: close replica before promote: %v", n.cfg.Name, f.Shard, err)
+			}
+			wal = nil
+			if err := n.promote(f, seq); err != nil {
+				n.logf("node %s: promote shard %s: %v", n.cfg.Name, f.Shard, err)
+			}
+			return
+		}
+		select {
+		case <-n.ctx.Done():
+			return
+		case <-time.After(n.cfg.dialRetry()):
+		}
+	}
+}
+
+// errSessionRan tags a session that connected and exchanged at least the
+// hello before dying — it counts as one failure toward failover, not a
+// never-connected dial miss.
+var errSessionRan = errors.New("cluster: replication session died")
+
+// followOnce runs one replication session. It returns replaced=true when the
+// session ended because the replica WAL was swapped for a snapshot
+// bootstrap (caller should reconnect immediately), nil error when the leader
+// closed the stream cleanly, or an error for dial/protocol failures.
+func (n *Node) followOnce(f FollowConfig, walp **store.WAL) (replaced bool, err error) {
+	conn, err := dialRep(n.ctx, f.LeaderRep)
+	if err != nil {
+		return false, err
+	}
+	defer conn.Close()
+
+	// Tear the connection down when the node stops, so a blocked read exits.
+	dialDone := make(chan struct{})
+	defer close(dialDone)
+	go func() {
+		select {
+		case <-n.ctx.Done():
+			conn.Close()
+		case <-dialDone:
+		}
+	}()
+
+	wal := *walp
+	rc := newRepConn(conn)
+	fromSeq := wal.LastSeq()
+	if err := rc.write(&RepMsg{Type: RepHello, Node: n.cfg.Name, Shard: f.Shard, FromSeq: fromSeq}); err != nil {
+		return false, err
+	}
+	expected := fromSeq
+	ran := false
+	for {
+		m, err := rc.read()
+		if err != nil {
+			if ran {
+				return false, fmt.Errorf("%w: %v", errSessionRan, err)
+			}
+			return false, err
+		}
+		ran = true
+		switch m.Type {
+		case RepSnapshot:
+			// Our position was compacted away on the leader: restart the
+			// replica from the shipped state.
+			fresh, err := n.bootstrapReplica(f, wal, m)
+			if err != nil {
+				return false, fmt.Errorf("%w: %v", errSessionRan, err)
+			}
+			*walp = fresh
+			n.stats.bootstraps.Add(1)
+			return true, nil
+		case RepEvents:
+			first := m.Events[0].Seq
+			if first != expected+1 {
+				// A gap means the replica and the stream disagree; tear down
+				// and re-hello from our durable position.
+				return false, fmt.Errorf("%w: gap: got seq %d, want %d", errSessionRan, first, expected+1)
+			}
+			for _, ev := range m.Events {
+				if err := wal.Append(ev); err != nil {
+					return false, fmt.Errorf("%w: apply seq %d: %v", errSessionRan, ev.Seq, err)
+				}
+			}
+			expected = m.Events[len(m.Events)-1].Seq
+			if err := wal.Sync(); err != nil {
+				return false, fmt.Errorf("%w: sync: %v", errSessionRan, err)
+			}
+			if got := wal.LastSeq(); got != expected {
+				return false, fmt.Errorf("%w: replica seq %d after sync, want %d", errSessionRan, got, expected)
+			}
+			n.stats.appliedSeq.Store(expected)
+			if err := rc.write(&RepMsg{Type: RepAck, Seq: expected}); err != nil {
+				return false, fmt.Errorf("%w: ack: %v", errSessionRan, err)
+			}
+		default:
+			return false, fmt.Errorf("%w: unexpected %s", errSessionRan, m.Type)
+		}
+	}
+}
+
+// bootstrapReplica replaces the replica WAL with the shipped snapshot: the
+// old log is torn down, the state directory re-seeded, and a fresh WAL
+// opened at the snapshot's seq.
+func (n *Node) bootstrapReplica(f FollowConfig, old *store.WAL, m *RepMsg) (*store.WAL, error) {
+	if err := old.Close(); err != nil {
+		n.logf("node %s: follower of %s: close replica for bootstrap: %v", n.cfg.Name, f.Shard, err)
+	}
+	entries, err := os.ReadDir(f.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if err := os.Remove(filepath.Join(f.StateDir, e.Name())); err != nil {
+			return nil, err
+		}
+	}
+	if err := store.InitSnapshot(f.StateDir, m.Snapshot, m.SnapshotSeq); err != nil {
+		return nil, err
+	}
+	wal, _, err := store.OpenWAL(store.WALConfig{Dir: f.StateDir})
+	if err != nil {
+		return nil, err
+	}
+	n.stats.appliedSeq.Store(m.SnapshotSeq)
+	n.logf("node %s: replica of %s bootstrapped from snapshot at seq %d", n.cfg.Name, f.Shard, m.SnapshotSeq)
+	return wal, nil
+}
+
+// AppliedSeq reports the follower's durable replica position (0 when this
+// node follows nothing or has received nothing).
+func (n *Node) AppliedSeq() uint64 { return n.stats.appliedSeq.Load() }

@@ -1,0 +1,423 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"crowdsense/internal/engine"
+	"crowdsense/internal/obs"
+	"crowdsense/internal/obs/span"
+	"crowdsense/internal/platform"
+	"crowdsense/internal/store"
+)
+
+// Shard roles reported through /readyz and metrics.
+const (
+	RoleLeader     = "leader"
+	RoleFollower   = "follower"
+	RoleRecovering = "recovering"
+)
+
+// FollowConfig makes a node the standby for another shard: it replicates
+// that shard's WAL into its own state directory and promotes itself to
+// leader when the current leader stops answering.
+type FollowConfig struct {
+	// Shard is the shard being followed.
+	Shard string
+	// LeaderRep is the current leader's replication listen address.
+	LeaderRep string
+	// StateDir holds the replica WAL.
+	StateDir string
+	// AgentAddr is the standby agent listen address: bound only at
+	// promotion, so the router can probe it cold until then.
+	AgentAddr string
+	// RepAddr, if non-empty, is where the promoted leader serves its own
+	// followers.
+	RepAddr string
+}
+
+// NodeConfig parameterizes one cluster node: the leader of exactly one
+// shard, optionally standing by for one other.
+type NodeConfig struct {
+	// Name identifies the node in logs, spans, and replication hellos.
+	Name string
+	// Shard is the shard this node leads.
+	Shard string
+	// StateDir holds the shard's WAL; recovered on start.
+	StateDir string
+	// AgentAddr is the agent listen address ("127.0.0.1:0" picks a port).
+	AgentAddr string
+	// RepAddr is the replication listen address for this shard's followers.
+	// Empty disables replication serving.
+	RepAddr string
+	// Campaigns are registered when the state directory starts empty;
+	// non-empty state is restored instead and Campaigns is ignored.
+	Campaigns []engine.CampaignConfig
+	// Engine tunes the embedded engine. Store, SpanSinks and OnRoundOpen are
+	// managed by the node; other fields pass through.
+	Engine engine.Config
+	// SpanSinks receive replication/failover/recovery spans (and are wired
+	// into the embedded engine).
+	SpanSinks []span.Sink
+	// FailoverAfter is how many consecutive failed redials (after at least
+	// one successful session) declare the followed leader dead. Zero means 3.
+	FailoverAfter int
+	// DialRetry is the wait between redials. Zero means 100 ms.
+	DialRetry time.Duration
+	// Follow, if set, makes this node the standby for another shard.
+	Follow *FollowConfig
+	// Logf, if set, receives one-line node lifecycle logs.
+	Logf func(format string, args ...any)
+}
+
+func (c NodeConfig) failoverAfter() int {
+	if c.FailoverAfter <= 0 {
+		return 3
+	}
+	return c.FailoverAfter
+}
+
+func (c NodeConfig) dialRetry() time.Duration {
+	if c.DialRetry <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.DialRetry
+}
+
+// shardState is one shard's presence on a node: the role, and — when
+// leading — the live engine and WAL.
+type shardState struct {
+	role string
+	eng  *engine.Engine
+	wal  *store.WAL
+}
+
+// Node is one platformd process's cluster presence: leader of cfg.Shard,
+// optional follower of cfg.Follow.Shard. Start brings up the leader side
+// (recover → engine → listeners) and, when configured, the follower loop;
+// Close tears everything down. Halt kills the node abruptly — listeners and
+// replication sessions die, the WAL is abandoned without a final flush —
+// which is how tests simulate a crash.
+type Node struct {
+	cfg    NodeConfig
+	spans  *span.Tracer
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	shards map[string]*shardState // by shard name
+	closed bool
+
+	rep   *repServer // leader-side replication for cfg.Shard (nil when RepAddr empty)
+	stats clusterStats
+}
+
+// StartNode recovers the node's shard state and brings up its listeners.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Shard == "" || cfg.StateDir == "" || cfg.AgentAddr == "" {
+		return nil, errors.New("cluster: node needs Shard, StateDir, AgentAddr")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := &Node{
+		cfg:    cfg,
+		spans:  span.New(cfg.SpanSinks...),
+		ctx:    ctx,
+		cancel: cancel,
+		shards: make(map[string]*shardState),
+	}
+	eng, wal, err := n.startLeader(cfg.Shard, cfg.StateDir, cfg.AgentAddr, cfg.Campaigns)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	n.mu.Lock()
+	n.shards[cfg.Shard] = &shardState{role: RoleLeader, eng: eng, wal: wal}
+	n.mu.Unlock()
+	if cfg.RepAddr != "" {
+		rep, err := newRepServer(n, cfg.Shard, cfg.RepAddr, wal)
+		if err != nil {
+			n.Close()
+			return nil, err
+		}
+		n.rep = rep
+	}
+	if f := cfg.Follow; f != nil {
+		if f.Shard == "" || f.LeaderRep == "" || f.StateDir == "" || f.AgentAddr == "" {
+			n.Close()
+			return nil, errors.New("cluster: follow needs Shard, LeaderRep, StateDir, AgentAddr")
+		}
+		n.mu.Lock()
+		n.shards[f.Shard] = &shardState{role: RoleFollower}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.runFollower(*f)
+		}()
+	}
+	return n, nil
+}
+
+// startLeader recovers dir, builds an engine serving the shard's campaigns
+// on addr, and runs it. Fresh state registers the configured campaigns;
+// recovered state resumes them.
+func (n *Node) startLeader(shard, dir, addr string, campaigns []engine.CampaignConfig) (*engine.Engine, *store.WAL, error) {
+	rec, err := platform.Recover(dir, n.sinks()...)
+	if err != nil {
+		return nil, nil, err
+	}
+	ecfg := n.cfg.Engine
+	ecfg.Store = store.Multi(rec.WAL, ecfg.Store)
+	ecfg.SpanSinks = append(ecfg.SpanSinks, n.cfg.SpanSinks...)
+	eng := engine.New(ecfg)
+	if rec.HasCampaigns() {
+		if err := eng.Restore(rec.State); err != nil {
+			rec.WAL.Close()
+			return nil, nil, fmt.Errorf("cluster: restore shard %s: %w", shard, err)
+		}
+		n.logf("node %s: shard %s restored (%d campaigns, %d events replayed)",
+			n.cfg.Name, shard, len(rec.State.Order), rec.Info.ReplayedEvents)
+	} else {
+		for _, cc := range campaigns {
+			if err := eng.AddCampaign(cc); err != nil {
+				rec.WAL.Close()
+				return nil, nil, fmt.Errorf("cluster: register %s on shard %s: %w", cc.ID, shard, err)
+			}
+		}
+	}
+	if err := eng.Listen(addr); err != nil {
+		rec.WAL.Close()
+		return nil, nil, fmt.Errorf("cluster: shard %s: %w", shard, err)
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		if err := eng.Serve(n.ctx); err != nil && n.ctx.Err() == nil {
+			n.logf("node %s: shard %s engine: %v", n.cfg.Name, shard, err)
+		}
+	}()
+	return eng, rec.WAL, nil
+}
+
+// AgentAddr returns the bound agent address for a shard this node currently
+// leads ("" otherwise) — tests and examples use it with ":0" listeners.
+func (n *Node) AgentAddr(shard string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s := n.shards[shard]; s != nil && s.role == RoleLeader && s.eng != nil {
+		if a := s.eng.Addr(); a != nil {
+			return a.String()
+		}
+	}
+	return ""
+}
+
+// RepAddr returns the bound replication address for the shard this node
+// leads ("" when replication serving is off).
+func (n *Node) RepAddr() string {
+	if n.rep == nil {
+		return ""
+	}
+	return n.rep.addr()
+}
+
+// Engine returns the live engine for a shard this node leads, nil otherwise.
+func (n *Node) Engine(shard string) *engine.Engine {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s := n.shards[shard]; s != nil && s.role == RoleLeader {
+		return s.eng
+	}
+	return nil
+}
+
+// WAL returns the live WAL for a shard this node leads, nil otherwise.
+func (n *Node) WAL(shard string) *store.WAL {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s := n.shards[shard]; s != nil && s.role == RoleLeader {
+		return s.wal
+	}
+	return nil
+}
+
+// Roles reports every shard this node participates in and its current role —
+// the payload behind /readyz's per-shard report.
+func (n *Node) Roles() map[string]string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]string, len(n.shards))
+	for shard, s := range n.shards {
+		out[shard] = s.role
+	}
+	return out
+}
+
+// Readiness merges the led shards' engine readiness with per-shard roles.
+func (n *Node) Readiness() obs.Readiness {
+	n.mu.Lock()
+	var leaders []*engine.Engine
+	roles := make(map[string]string, len(n.shards))
+	for shard, s := range n.shards {
+		roles[shard] = s.role
+		if s.role == RoleLeader && s.eng != nil {
+			leaders = append(leaders, s.eng)
+		}
+	}
+	n.mu.Unlock()
+
+	rep := obs.Readiness{Campaigns: map[string]obs.CampaignStatus{}, Shards: roles}
+	for _, eng := range leaders {
+		er := eng.Readiness()
+		if rep.Health.Status == "" || !er.Health.OK() {
+			rep.Health = er.Health
+		}
+		for id, st := range er.Campaigns {
+			rep.Campaigns[id] = st
+		}
+	}
+	for _, role := range roles {
+		if role == RoleRecovering {
+			rep.Health.Status = obs.StatusRecovering
+		}
+	}
+	if rep.Health.Status == "" {
+		rep.Health.Status = obs.StatusIdle
+	}
+	return rep
+}
+
+// setRole flips one shard's role (and engine/wal when becoming leader).
+func (n *Node) setRole(shard, role string, eng *engine.Engine, wal *store.WAL) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.shards[shard]
+	if s == nil {
+		s = &shardState{}
+		n.shards[shard] = s
+	}
+	s.role = role
+	if eng != nil {
+		s.eng = eng
+	}
+	if wal != nil {
+		s.wal = wal
+	}
+}
+
+// promote turns the follower of shard f into its leader: replay the replica,
+// restore an engine, bind the standby agent address, start serving — and
+// optionally start a replication server of our own.
+func (n *Node) promote(f FollowConfig, replicaSeq uint64) error {
+	started := time.Now()
+	n.stats.failovers.Add(1)
+	n.setRole(f.Shard, RoleRecovering, nil, nil)
+	sp := n.spans.Start(span.NameFailover,
+		span.Str("shard", f.Shard),
+		span.Str("node", n.cfg.Name),
+		span.Int("replica_seq", int64(replicaSeq)),
+	)
+	eng, wal, err := n.startLeader(f.Shard, f.StateDir, f.AgentAddr, nil)
+	if err != nil {
+		sp.EndWith(span.Str("error", err.Error()))
+		n.setRole(f.Shard, RoleFollower, nil, nil)
+		return err
+	}
+	n.setRole(f.Shard, RoleLeader, eng, wal)
+	if f.RepAddr != "" {
+		rep, err := newRepServer(n, f.Shard, f.RepAddr, wal)
+		if err != nil {
+			n.logf("node %s: promoted shard %s but replication listener failed: %v", n.cfg.Name, f.Shard, err)
+		} else {
+			n.mu.Lock()
+			if n.rep == nil {
+				n.rep = rep
+			} else {
+				n.mu.Unlock()
+				rep.close()
+				n.mu.Lock()
+			}
+			n.mu.Unlock()
+		}
+	}
+	elapsed := time.Since(started)
+	n.stats.failoverNs.Store(int64(elapsed))
+	sp.EndWith(span.Int("replayed_events", int64(replicaSeq)))
+	n.logf("node %s: promoted to leader of shard %s in %v (replica seq %d)",
+		n.cfg.Name, f.Shard, elapsed, replicaSeq)
+	return nil
+}
+
+// Close shuts the node down cleanly: listeners stop, the follower loop
+// exits, WALs flush and close.
+func (n *Node) Close() error {
+	return n.shutdown(true)
+}
+
+// Halt kills the node as a crash would: everything stops, but WAL contents
+// beyond the last group commit are abandoned with the process.
+func (n *Node) Halt() {
+	n.shutdown(false)
+}
+
+func (n *Node) shutdown(flush bool) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	rep := n.rep
+	var wals []*store.WAL
+	var engines []*engine.Engine
+	for _, s := range n.shards {
+		if s.wal != nil {
+			wals = append(wals, s.wal)
+		}
+		if s.eng != nil {
+			engines = append(engines, s.eng)
+		}
+	}
+	n.mu.Unlock()
+
+	n.cancel()
+	if rep != nil {
+		rep.close()
+	}
+	var errs []error
+	for _, w := range wals {
+		// Closing the WAL flushes; a crash simulation still closes (the
+		// test's quiesce step guarantees nothing unflushed matters), because
+		// leaking the flusher goroutine would trip the race detector's
+		// goroutine accounting across tests.
+		if err := w.Close(); err != nil && flush {
+			errs = append(errs, err)
+		}
+	}
+	_ = engines // engines stop via ctx cancellation
+	n.wg.Wait()
+	return errors.Join(errs...)
+}
+
+func (n *Node) sinks() []span.Sink {
+	return n.cfg.SpanSinks
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// dialTimeout bounds one replication dial.
+const dialTimeout = 2 * time.Second
+
+func dialRep(ctx context.Context, addr string) (net.Conn, error) {
+	d := net.Dialer{Timeout: dialTimeout}
+	return d.DialContext(ctx, "tcp", addr)
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/store"
+)
+
+func repEvents(from uint64, n int) []store.Event {
+	out := make([]store.Event, n)
+	for i := range out {
+		out[i] = store.Event{
+			Seq:      from + uint64(i),
+			Type:     store.EventRoundOpened,
+			Campaign: "c",
+			Round:    i + 1,
+		}
+	}
+	return out
+}
+
+func TestRepRoundTrip(t *testing.T) {
+	msgs := []*RepMsg{
+		{Type: RepHello, Node: "n2", Shard: "s1", FromSeq: 42},
+		{Type: RepEvents, Events: repEvents(43, 3)},
+		{Type: RepAck, Seq: 45},
+		{Type: RepSnapshot, Snapshot: store.NewState(), SnapshotSeq: 7},
+	}
+	var stream []byte
+	for _, m := range msgs {
+		data, err := EncodeRep(m)
+		if err != nil {
+			t.Fatalf("encode %s: %v", m.Type, err)
+		}
+		stream = append(stream, data...)
+	}
+	for i, want := range msgs {
+		got, n, err := DecodeRep(stream)
+		if err != nil {
+			t.Fatalf("decode message %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Seq != want.Seq || got.FromSeq != want.FromSeq || len(got.Events) != len(want.Events) {
+			t.Fatalf("message %d round-tripped as %+v, want %+v", i, got, want)
+		}
+		stream = stream[n:]
+	}
+	if len(stream) != 0 {
+		t.Fatalf("%d trailing bytes after all messages", len(stream))
+	}
+}
+
+func TestRepDecodePartialAndCorrupt(t *testing.T) {
+	data, err := EncodeRep(&RepMsg{Type: RepAck, Seq: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, _, err := DecodeRep(data[:cut]); err != io.ErrUnexpectedEOF {
+			t.Fatalf("decode of %d/%d bytes = %v, want ErrUnexpectedEOF", cut, len(data), err)
+		}
+	}
+	flipped := bytes.Clone(data)
+	flipped[repHeaderLen] ^= 0xff
+	if _, _, err := DecodeRep(flipped); !errors.Is(err, ErrRepCorrupt) {
+		t.Fatalf("decode of corrupt payload = %v, want ErrRepCorrupt", err)
+	}
+	absurd := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	if _, _, err := DecodeRep(absurd); !errors.Is(err, ErrRepFrameTooLarge) {
+		t.Fatalf("decode of absurd length = %v, want ErrRepFrameTooLarge", err)
+	}
+}
+
+func TestRepValidateRejectsGaps(t *testing.T) {
+	events := repEvents(10, 3)
+	events[2].Seq = 99 // gap
+	if err := (&RepMsg{Type: RepEvents, Events: events}).Validate(); !errors.Is(err, ErrRepBadMessage) {
+		t.Fatalf("gap validated as %v, want ErrRepBadMessage", err)
+	}
+	if err := (&RepMsg{Type: RepHello}).Validate(); !errors.Is(err, ErrRepBadMessage) {
+		t.Fatal("hello without shard validated")
+	}
+	if err := (&RepMsg{Type: "nonsense"}).Validate(); !errors.Is(err, ErrRepBadMessage) {
+		t.Fatal("unknown type validated")
+	}
+}
+
+func TestRepConnOverPipe(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca, cb := newRepConn(a), newRepConn(b)
+	go func() {
+		ca.write(&RepMsg{Type: RepHello, Node: "n2", Shard: "s1", FromSeq: 3})
+		ca.write(&RepMsg{Type: RepAck, Seq: 3})
+	}()
+	hello, err := cb.read()
+	if err != nil || hello.Type != RepHello || hello.FromSeq != 3 {
+		t.Fatalf("read hello = %+v, %v", hello, err)
+	}
+	ack, err := cb.read()
+	if err != nil || ack.Type != RepAck || ack.Seq != 3 {
+		t.Fatalf("read ack = %+v, %v", ack, err)
+	}
+}
+
+// FuzzRepDecode feeds arbitrary bytes to the replication frame decoder: it
+// must never panic, never allocate from an absurd length header, and any
+// message it accepts must re-encode and re-decode to the same frame.
+func FuzzRepDecode(f *testing.F) {
+	bid := auction.NewBid(1, []auction.TaskID{1}, 5, map[auction.TaskID]float64{1: 0.8})
+	seeds := []*RepMsg{
+		{Type: RepHello, Node: "n2", Shard: "s1", FromSeq: 42},
+		{Type: RepEvents, Events: repEvents(1, 2)},
+		{Type: RepEvents, Events: []store.Event{{Seq: 5, Type: store.EventBidAdmitted, Campaign: "c", Round: 1, Bid: &bid}}},
+		{Type: RepAck, Seq: 0},
+		{Type: RepSnapshot, Snapshot: store.NewState(), SnapshotSeq: 3},
+	}
+	for _, m := range seeds {
+		data, err := EncodeRep(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)-2]) // torn frame
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // absurd length header
+	f.Add([]byte{2, 0, 0, 0, 1, 2, 3, 4, '{', '}'})   // bad CRC
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := DecodeRep(data)
+		if err != nil {
+			if m != nil || n != 0 {
+				t.Fatalf("error %v returned message %+v consumed %d", err, m, n)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		again, err := EncodeRep(m)
+		if err != nil {
+			t.Fatalf("accepted message does not re-encode: %v", err)
+		}
+		m2, n2, err := DecodeRep(again)
+		if err != nil || n2 != len(again) {
+			t.Fatalf("re-encoded frame unstable: %v (consumed %d/%d)", err, n2, len(again))
+		}
+		if m2.Type != m.Type || m2.Seq != m.Seq || m2.FromSeq != m.FromSeq || len(m2.Events) != len(m.Events) {
+			t.Fatalf("frame drifted across re-encode: %+v vs %+v", m, m2)
+		}
+	})
+}

@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"crowdsense/internal/obs/span"
+	"crowdsense/internal/store"
+)
+
+// repBatchEvents caps how many events ride one replication frame; a slow
+// follower catches up in bounded frames instead of one giant one.
+const repBatchEvents = 512
+
+// followerSession is the leader's view of one connected follower.
+type followerSession struct {
+	node  string
+	acked atomic.Uint64
+}
+
+// repServer is the leader side of WAL replication for one shard: it accepts
+// follower connections, answers each hello with either a tail stream or a
+// snapshot bootstrap, and tracks per-follower ack positions for the lag
+// gauge.
+type repServer struct {
+	n     *Node
+	shard string
+	wal   *store.WAL
+	ln    net.Listener
+
+	mu       sync.Mutex
+	sessions map[*followerSession]struct{}
+	closed   bool
+}
+
+func newRepServer(n *Node, shard, addr string, wal *store.WAL) (*repServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: replication listen %s: %w", addr, err)
+	}
+	s := &repServer{
+		n:        n,
+		shard:    shard,
+		wal:      wal,
+		ln:       ln,
+		sessions: make(map[*followerSession]struct{}),
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		s.acceptLoop()
+	}()
+	return s, nil
+}
+
+func (s *repServer) addr() string { return s.ln.Addr().String() }
+
+func (s *repServer) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+}
+
+func (s *repServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.n.wg.Add(1)
+		go func() {
+			defer s.n.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+// serve handles one follower for the life of its connection.
+func (s *repServer) serve(conn net.Conn) {
+	rc := newRepConn(conn)
+	hello, err := rc.read()
+	if err != nil || hello.Type != RepHello {
+		return
+	}
+	if hello.Shard != s.shard {
+		rc.write(&RepMsg{Type: RepAck, Seq: 0}) // best-effort; follower will log the mismatch on its side
+		s.n.logf("node %s: follower %s asked for shard %s, this node replicates %s",
+			s.n.cfg.Name, hello.Node, hello.Shard, s.shard)
+		return
+	}
+
+	sess := &followerSession{node: hello.Node}
+	sess.acked.Store(hello.FromSeq)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.mu.Unlock()
+	}()
+
+	sp := s.n.spans.Start(span.NameReplication,
+		span.Str("shard", s.shard),
+		span.Str("follower", hello.Node),
+		span.Int("from_seq", int64(hello.FromSeq)),
+	)
+	sent, err := s.stream(rc, conn, hello.FromSeq, sess)
+	lag := int64(s.wal.LastSeq()) - int64(sess.acked.Load())
+	attrs := []span.Attr{
+		span.Int("events_sent", sent),
+		span.Int("final_lag", lag),
+	}
+	if err != nil && !errors.Is(err, store.ErrWALClosed) && !errors.Is(err, store.ErrStreamClosed) {
+		attrs = append(attrs, span.Str("error", err.Error()))
+	}
+	sp.EndWith(attrs...)
+}
+
+// stream ships durable events from fromSeq to the follower until the
+// connection or WAL dies. Returns how many events were sent.
+func (s *repServer) stream(rc *repConn, conn net.Conn, fromSeq uint64, sess *followerSession) (int64, error) {
+	tail, err := s.wal.Stream(fromSeq)
+	if errors.Is(err, store.ErrCompacted) {
+		// The follower's position predates retention: bootstrap it with a
+		// full state snapshot, then stream from the snapshot's seq.
+		st, seq, serr := s.wal.SnapshotNow()
+		if serr != nil {
+			return 0, serr
+		}
+		if werr := rc.write(&RepMsg{Type: RepSnapshot, Snapshot: st, SnapshotSeq: seq}); werr != nil {
+			return 0, werr
+		}
+		s.n.stats.snapshotsSent.Add(1)
+		sess.acked.Store(seq)
+		tail, err = s.wal.Stream(seq)
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer tail.Close()
+
+	// The ack reader runs beside the writer: it advances the lag gauge and,
+	// when the connection dies, closes the tail to unblock a pending Recv.
+	ackDone := make(chan struct{})
+	go func() {
+		defer close(ackDone)
+		defer tail.Close()
+		for {
+			m, err := rc.read()
+			if err != nil || m.Type != RepAck {
+				return
+			}
+			sess.acked.Store(m.Seq)
+			s.n.stats.acks.Add(1)
+		}
+	}()
+	defer func() { conn.Close(); <-ackDone }()
+
+	var sent int64
+	for {
+		events, err := tail.Recv()
+		if err != nil {
+			return sent, err
+		}
+		for len(events) > 0 {
+			batch := events
+			if len(batch) > repBatchEvents {
+				batch = batch[:repBatchEvents]
+			}
+			events = events[len(batch):]
+			data, err := EncodeRep(&RepMsg{Type: RepEvents, Events: batch})
+			if err != nil {
+				return sent, err
+			}
+			if _, err := conn.Write(data); err != nil {
+				return sent, err
+			}
+			sent += int64(len(batch))
+			s.n.stats.replicatedEvents.Add(int64(len(batch)))
+			s.n.stats.replicatedBytes.Add(int64(len(data)))
+		}
+	}
+}
+
+// lag reports the worst follower lag in events, and how many followers are
+// connected.
+func (s *repServer) lagInfo() (maxLag int64, followers int) {
+	durable := int64(s.wal.LastSeq())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for sess := range s.sessions {
+		if l := durable - int64(sess.acked.Load()); l > maxLag {
+			maxLag = l
+		}
+		followers++
+	}
+	return maxLag, followers
+}

@@ -1,0 +1,136 @@
+// Package cluster scales the crowdsensing platform past one process: a
+// consistent-hash ring shards campaigns across platformd nodes, a router
+// fronts the shards behind one dial address, and WAL streaming replication
+// with leader failover keeps a shard serving through node loss. The paper's
+// mechanism is untouched — the cluster moves whole campaigns, never splits
+// an auction.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes spreads each shard over this many ring points so that
+// load stays near-uniform and a node loss redistributes its arc in small
+// pieces rather than dumping it all on one successor.
+const DefaultVirtualNodes = 64
+
+// Ring consistent-hashes campaign IDs onto named shards. It is immutable
+// after construction — membership changes build a new Ring — so lookups are
+// safe from any goroutine without locking.
+type Ring struct {
+	shards []string // sorted member names
+	points []ringPoint
+	vnodes int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// NewRing builds a ring over the given shard names with vnodes virtual
+// points per shard (0 means DefaultVirtualNodes). Duplicate names collapse;
+// an empty membership is allowed and resolves nothing.
+func NewRing(shards []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]struct{}, len(shards))
+	var uniq []string
+	for _, s := range shards {
+		if _, dup := seen[s]; dup || s == "" {
+			continue
+		}
+		seen[s] = struct{}{}
+		uniq = append(uniq, s)
+	}
+	sort.Strings(uniq)
+	r := &Ring{shards: uniq, vnodes: vnodes}
+	for _, s := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", s, i)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Owner returns the shard owning the campaign: the first virtual point at or
+// clockwise past the campaign's hash. False when the ring is empty.
+func (r *Ring) Owner(campaignID string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := hashKey(campaignID)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the hash space
+	}
+	return r.points[i].shard, true
+}
+
+// Default returns the shard legacy traffic lands on: envelopes without a
+// campaign field have no key to hash, so they all go to the first member in
+// sorted order — stable across processes that agree on membership.
+func (r *Ring) Default() (string, bool) {
+	if len(r.shards) == 0 {
+		return "", false
+	}
+	return r.shards[0], true
+}
+
+// Shards lists the members in sorted order.
+func (r *Ring) Shards() []string {
+	out := make([]string, len(r.shards))
+	copy(out, r.shards)
+	return out
+}
+
+// Without builds the ring that remains after removing a shard — the router's
+// view once a shard is declared dead with no follower to promote.
+func (r *Ring) Without(shard string) *Ring {
+	var rest []string
+	for _, s := range r.shards {
+		if s != shard {
+			rest = append(rest, s)
+		}
+	}
+	return NewRing(rest, r.vnodes)
+}
+
+// hashKey is FNV-1a 64 run through a 64-bit bit-mixing finalizer. FNV alone
+// barely avalanches on short keys with shared prefixes ("s1#0", "s1#1", …),
+// leaving each shard's virtual nodes in one contiguous arc; the finalizer
+// spreads them. Both halves are frozen protocol: every node and the router
+// must agree on placement forever.
+func hashKey(key string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(key))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// AssignCampaigns groups campaign IDs by owning shard — how a cluster deploy
+// decides which node registers which campaign. Unplaceable IDs (empty ring)
+// return under the empty key.
+func AssignCampaigns(r *Ring, ids []string) map[string][]string {
+	out := make(map[string][]string)
+	for _, id := range ids {
+		shard, _ := r.Owner(id)
+		out[shard] = append(out[shard], id)
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingPlacementTable pins the exact placement of known campaign IDs on a
+// three-shard ring. FNV-1a and the vnode labelling are frozen protocol: if
+// this table changes, deployed routers and nodes would disagree on ownership
+// — treat a diff here as a wire-compatibility break, not a test to update.
+func TestRingPlacementTable(t *testing.T) {
+	r := NewRing([]string{"s1", "s2", "s3"}, 0)
+	want := map[string]string{}
+	for id, shard := range map[string]string{
+		"sensing":     "s1",
+		"air-quality": "s2",
+		"traffic":     "s1",
+		"noise":       "s3",
+		"parking":     "s2",
+		"campaign-1":  "s2",
+		"campaign-2":  "s2",
+		"campaign-3":  "s3",
+		"campaign-4":  "s2",
+		"":            "s3",
+	} {
+		want[id] = shard
+	}
+	for id, shard := range want {
+		got, ok := r.Owner(id)
+		if !ok {
+			t.Fatalf("Owner(%q) found no shard", id)
+		}
+		if got != shard {
+			t.Errorf("Owner(%q) = %s, want %s (placement table drifted — wire compatibility break)", id, got, shard)
+		}
+	}
+	if d, ok := r.Default(); !ok || d != "s1" {
+		t.Errorf("Default() = %s, want s1", d)
+	}
+}
+
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	a := NewRing([]string{"s3", "s1", "s2", "s1"}, 0) // order and dups must not matter
+	b := NewRing([]string{"s1", "s2", "s3"}, 0)
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("campaign-%d", i)
+		sa, _ := a.Owner(id)
+		sb, _ := b.Owner(id)
+		if sa != sb {
+			t.Fatalf("Owner(%q) differs by construction order: %s vs %s", id, sa, sb)
+		}
+	}
+}
+
+// TestRingRebalanceOnNodeLoss is the consistency property: removing one
+// shard must move only the campaigns that shard owned — every other
+// placement stays put — and the orphans must spread over the survivors
+// rather than pile onto one.
+func TestRingRebalanceOnNodeLoss(t *testing.T) {
+	shards := []string{"s1", "s2", "s3", "s4", "s5"}
+	r := NewRing(shards, 0)
+	const n = 2000
+	before := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("campaign-%d", i)
+		before[id], _ = r.Owner(id)
+	}
+
+	for _, lost := range shards {
+		lost := lost
+		t.Run("lose_"+lost, func(t *testing.T) {
+			smaller := r.Without(lost)
+			heirs := make(map[string]int)
+			for id, owner := range before {
+				got, ok := smaller.Owner(id)
+				if !ok {
+					t.Fatalf("Owner(%q) found no shard after loss", id)
+				}
+				if owner != lost {
+					if got != owner {
+						t.Fatalf("campaign %q moved %s → %s though %s was the lost shard", id, owner, got, lost)
+					}
+					continue
+				}
+				if got == lost {
+					t.Fatalf("campaign %q still assigned to lost shard", id)
+				}
+				heirs[got]++
+			}
+			// The lost shard's campaigns must spread: no single survivor may
+			// inherit nearly all of them. With 64 vnodes the split is close
+			// to uniform; 70% is a loose bound that only catches a broken
+			// ring (e.g. one arc per shard).
+			var orphans int
+			for _, c := range heirs {
+				orphans += c
+			}
+			if orphans == 0 {
+				t.Skip("lost shard owned no campaigns in sample")
+			}
+			for heir, c := range heirs {
+				if float64(c) > 0.7*float64(orphans) {
+					t.Errorf("survivor %s inherited %d/%d orphans — arc not spread", heir, c, orphans)
+				}
+			}
+		})
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if _, ok := empty.Owner("x"); ok {
+		t.Error("empty ring resolved an owner")
+	}
+	if _, ok := empty.Default(); ok {
+		t.Error("empty ring has a default")
+	}
+	one := NewRing([]string{"only"}, 0)
+	for i := 0; i < 50; i++ {
+		if got, _ := one.Owner(fmt.Sprintf("c%d", i)); got != "only" {
+			t.Fatalf("single-shard ring sent c%d to %q", i, got)
+		}
+	}
+}
+
+func TestAssignCampaigns(t *testing.T) {
+	r := NewRing([]string{"s1", "s2"}, 0)
+	ids := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	byShard := AssignCampaigns(r, ids)
+	var total int
+	for shard, got := range byShard {
+		for _, id := range got {
+			owner, _ := r.Owner(id)
+			if owner != shard {
+				t.Errorf("campaign %q grouped under %s but owned by %s", id, shard, owner)
+			}
+		}
+		total += len(got)
+	}
+	if total != len(ids) {
+		t.Errorf("assigned %d of %d campaigns", total, len(ids))
+	}
+}

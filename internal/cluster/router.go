@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"crowdsense/internal/wire"
+)
+
+// RouterConfig parameterizes a shard router.
+type RouterConfig struct {
+	// Ring decides campaign → shard placement; it must match the ring the
+	// nodes were deployed with.
+	Ring *Ring
+	// Members lists each shard's candidate agent addresses in preference
+	// order — the leader's address first, then standby addresses that only
+	// answer after a promotion.
+	Members map[string][]string
+	// DialTimeout bounds one backend dial. Zero means 2 s.
+	DialTimeout time.Duration
+	// Logf, if set, receives one-line routing logs.
+	Logf func(format string, args ...any)
+}
+
+func (c RouterConfig) dialTimeout() time.Duration {
+	if c.DialTimeout <= 0 {
+		return dialTimeout
+	}
+	return c.DialTimeout
+}
+
+// Router fronts a sharded cluster behind one dial address. Each agent
+// session's first envelope names (or omits) its campaign; the router
+// consistent-hashes that onto a shard, finds the shard's live member, and
+// splices the connection through. Agents never learn the topology — legacy
+// agents with no campaign field land on the default shard untouched.
+//
+// When a shard has no live member (the failover window), the session is
+// rejected with a wire.ShardMovedMessage error, which agents running under
+// RunWithBackoff treat as retryable.
+type Router struct {
+	cfg RouterConfig
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu       sync.Mutex
+	lastGood map[string]int // shard → member index that answered last
+	closed   bool
+
+	sessions sync.WaitGroup
+	conns    map[net.Conn]struct{}
+	connsMu  sync.Mutex
+	routed   map[string]int64 // shard → sessions spliced (metrics)
+	routedMu sync.Mutex
+	rejected int64
+	rerouted int64 // sessions that succeeded on a non-first member
+}
+
+// StartRouter binds addr and serves until Close.
+func StartRouter(addr string, cfg RouterConfig) (*Router, error) {
+	if cfg.Ring == nil {
+		return nil, fmt.Errorf("cluster: router needs a ring")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: router listen %s: %w", addr, err)
+	}
+	r := &Router{
+		cfg:      cfg,
+		ln:       ln,
+		lastGood: make(map[string]int),
+		conns:    make(map[net.Conn]struct{}),
+		routed:   make(map[string]int64),
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			r.track(conn, true)
+			r.sessions.Add(1)
+			go func() {
+				defer r.sessions.Done()
+				defer r.track(conn, false)
+				defer conn.Close()
+				r.serve(conn)
+			}()
+		}
+	}()
+	return r, nil
+}
+
+func (r *Router) track(c net.Conn, add bool) {
+	r.connsMu.Lock()
+	if add {
+		r.conns[c] = struct{}{}
+	} else {
+		delete(r.conns, c)
+	}
+	r.connsMu.Unlock()
+}
+
+// Addr returns the router's bound address — the cluster's one dial address.
+func (r *Router) Addr() string { return r.ln.Addr().String() }
+
+// Close stops accepting, severs live sessions, and waits for them to end.
+func (r *Router) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.ln.Close()
+	r.connsMu.Lock()
+	for c := range r.conns {
+		c.Close()
+	}
+	r.connsMu.Unlock()
+	r.wg.Wait()
+	r.sessions.Wait()
+}
+
+// serve routes one agent session: read the first envelope, resolve its
+// shard, find a live member, splice.
+func (r *Router) serve(client net.Conn) {
+	cr := bufio.NewReaderSize(client, 64<<10)
+	first, err := readEnvelopeLine(cr)
+	if err != nil {
+		return
+	}
+	var env wire.Envelope
+	if err := json.Unmarshal(first, &env); err != nil || env.Validate() != nil {
+		wire.NewCodec(client).WriteError("router: malformed first envelope")
+		return
+	}
+
+	shard, ok := r.resolveShard(env.Campaign)
+	if !ok {
+		wire.NewCodec(client).WriteError("router: empty cluster")
+		return
+	}
+	members := r.cfg.Members[shard]
+	if len(members) == 0 {
+		wire.NewCodec(client).WriteError(fmt.Sprintf("%s: shard %s has no members", wire.ShardMovedMessage, shard))
+		return
+	}
+
+	start := r.sticky(shard)
+	var lastErrLine []byte
+	for i := range members {
+		idx := (start + i) % len(members)
+		addr := members[idx]
+		backend, err := net.DialTimeout("tcp", addr, r.cfg.dialTimeout())
+		if err != nil {
+			continue // dead or not-yet-promoted member
+		}
+		line := append(append([]byte{}, first...), '\n')
+		if _, err := backend.Write(line); err != nil {
+			backend.Close()
+			continue
+		}
+		br := bufio.NewReaderSize(backend, 64<<10)
+		reply, err := readEnvelopeLine(br)
+		if err != nil {
+			backend.Close()
+			continue
+		}
+		if isErrorEnvelope(reply) {
+			// The member answered but rejected — e.g. a stale member that no
+			// longer owns the campaign. Remember the rejection and try the
+			// next member; if every member rejects, the last rejection is
+			// the truthful answer (e.g. a genuinely unknown campaign).
+			lastErrLine = reply
+			backend.Close()
+			continue
+		}
+		r.setSticky(shard, idx)
+		r.countRouted(shard, i > 0)
+		if _, err := client.Write(append(append([]byte{}, reply...), '\n')); err != nil {
+			backend.Close()
+			return
+		}
+		r.splice(client, cr, backend, br)
+		return
+	}
+	r.routedMu.Lock()
+	r.rejected++
+	r.routedMu.Unlock()
+	if lastErrLine != nil {
+		client.Write(append(append([]byte{}, lastErrLine...), '\n'))
+		return
+	}
+	wire.NewCodec(client).WriteError(fmt.Sprintf("%s: no live member for shard %s", wire.ShardMovedMessage, shard))
+	r.logf("router: shard %s: no live member among %v", shard, members)
+}
+
+// splice pumps bytes both ways until either side closes. The bufio readers
+// may hold bytes beyond the first envelope; copying from them first drains
+// that buffer.
+func (r *Router) splice(client net.Conn, cr *bufio.Reader, backend net.Conn, br *bufio.Reader) {
+	defer backend.Close()
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(backend, cr)
+		backend.Close() // client went away: unblock the backend read
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(client, br)
+		client.Close() // backend went away: unblock the client read
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+func (r *Router) resolveShard(campaign string) (string, bool) {
+	if campaign == "" {
+		return r.cfg.Ring.Default()
+	}
+	return r.cfg.Ring.Owner(campaign)
+}
+
+func (r *Router) sticky(shard string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastGood[shard]
+}
+
+func (r *Router) setSticky(shard string, idx int) {
+	r.mu.Lock()
+	r.lastGood[shard] = idx
+	r.mu.Unlock()
+}
+
+func (r *Router) countRouted(shard string, moved bool) {
+	r.routedMu.Lock()
+	r.routed[shard]++
+	if moved {
+		r.rerouted++
+	}
+	r.routedMu.Unlock()
+}
+
+// Stats reports per-shard routed session counts plus rejects and reroutes.
+func (r *Router) Stats() (routed map[string]int64, rejected, rerouted int64) {
+	r.routedMu.Lock()
+	defer r.routedMu.Unlock()
+	routed = make(map[string]int64, len(r.routed))
+	for k, v := range r.routed {
+		routed[k] = v
+	}
+	return routed, r.rejected, r.rerouted
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// readEnvelopeLine reads one newline-terminated envelope line, bounded by
+// the wire message limit.
+func readEnvelopeLine(br *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, isPrefix, err := br.ReadLine()
+		if err != nil {
+			return nil, err
+		}
+		line = append(line, chunk...)
+		if len(line) > wire.MaxMessageBytes {
+			return nil, wire.ErrMessageTooLarge
+		}
+		if !isPrefix {
+			return line, nil
+		}
+	}
+}
+
+// isErrorEnvelope reports whether the raw line is a type:"error" envelope.
+func isErrorEnvelope(line []byte) bool {
+	var env wire.Envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return false
+	}
+	return env.Type == wire.TypeError
+}

@@ -56,9 +56,14 @@ type CampaignStatus struct {
 // Readiness is the /readyz report: the health summary plus per-campaign
 // status. Unlike liveness, readiness maps saturation to HTTP 503 so load
 // balancers stop routing new agents while the bid queue drains.
+//
+// Shards appears only on cluster nodes: each shard the node participates in
+// mapped to its role (leader | follower | recovering). Single-process
+// deployments omit it, keeping the report backward compatible.
 type Readiness struct {
 	Health
 	Campaigns map[string]CampaignStatus `json:"campaigns"`
+	Shards    map[string]string         `json:"shards,omitempty"`
 }
 
 // Options wires the data sources behind the ops endpoints. A nil source

@@ -53,6 +53,12 @@ const (
 	// NameRecovery covers one startup replay of durable state (snapshot +
 	// WAL) into a restored engine.
 	NameRecovery = "recovery"
+	// NameReplication covers one leader→follower WAL replication session,
+	// connect → disconnect.
+	NameReplication = "replication"
+	// NameFailover covers one follower promotion: leader declared dead →
+	// replica replayed → serving agents.
+	NameFailover = "failover"
 )
 
 // attrKind discriminates the typed attribute payloads.

@@ -217,4 +217,56 @@ func TestWriteSummary(t *testing.T) {
 			t.Errorf("summary missing %q:\n%s", want, out)
 		}
 	}
+	if strings.Contains(out, "cluster events") {
+		t.Errorf("cluster section should be absent without replication/failover spans:\n%s", out)
+	}
+}
+
+// clusterRecords appends a replication session and a failover promotion —
+// the spans a cluster node journals — to the engine fixture.
+func clusterRecords() []span.Record {
+	base := time.Date(2026, 8, 5, 10, 1, 0, 0, time.UTC)
+	return append(fixtureRecords(),
+		span.Record{ID: 100, Name: span.NameReplication, Start: base,
+			DurNanos: (2 * time.Second).Nanoseconds(),
+			Attrs: span.Attrs{span.Str("shard", "s1"), span.Str("follower", "n2"),
+				span.Int("from_seq", 0), span.Int("events_sent", 14), span.Int("final_lag", 0)}},
+		span.Record{ID: 101, Name: span.NameFailover, Start: base.Add(2 * time.Second),
+			DurNanos: (4 * time.Millisecond).Nanoseconds(),
+			Attrs: span.Attrs{span.Str("shard", "s1"), span.Str("node", "n2"),
+				span.Int("replica_seq", 14)}},
+	)
+}
+
+func TestClusterEvents(t *testing.T) {
+	events := ClusterEvents(clusterRecords())
+	if len(events) != 2 {
+		t.Fatalf("ClusterEvents = %d entries, want 2", len(events))
+	}
+	rep, fo := events[0], events[1]
+	if rep.Name != span.NameReplication || rep.Shard != "s1" || rep.Peer != "n2" {
+		t.Errorf("replication event = %+v", rep)
+	}
+	if !strings.Contains(rep.Detail, "events_sent=14") || !strings.Contains(rep.Detail, "final_lag=0") {
+		t.Errorf("replication detail = %q", rep.Detail)
+	}
+	if fo.Name != span.NameFailover || fo.Peer != "n2" || fo.Dur != 4*time.Millisecond {
+		t.Errorf("failover event = %+v", fo)
+	}
+	if !strings.Contains(fo.Detail, "replica_seq=14") {
+		t.Errorf("failover detail = %q", fo.Detail)
+	}
+}
+
+func TestWriteSummaryClusterSection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, clusterRecords(), 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cluster events", span.NameReplication, span.NameFailover, "replica_seq=14", "events_sent=14"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
 }

@@ -102,6 +102,46 @@ func SlowestRounds(records []span.Record, k int) []RoundStat {
 	return rounds
 }
 
+// ClusterEvent is one replication session or failover promotion span,
+// surfaced individually in the summary: cluster events are rare and each one
+// is meaningful — a mean over three failovers hides the slow one.
+type ClusterEvent struct {
+	Name   string // span.NameReplication or span.NameFailover
+	Shard  string
+	Peer   string // the follower served (replication) or the promoted node (failover)
+	Dur    time.Duration
+	Detail string // headline attrs, e.g. "events_sent=14 final_lag=0"
+}
+
+// ClusterEvents extracts replication and failover spans in journal order.
+func ClusterEvents(records []span.Record) []ClusterEvent {
+	var out []ClusterEvent
+	for _, r := range records {
+		if r.Name != span.NameReplication && r.Name != span.NameFailover {
+			continue
+		}
+		ev := ClusterEvent{Name: r.Name, Dur: r.Duration()}
+		if v, ok := r.Attrs.Get("shard").(string); ok {
+			ev.Shard = v
+		}
+		for _, key := range []string{"follower", "node"} {
+			if v, ok := r.Attrs.Get(key).(string); ok {
+				ev.Peer = v
+				break
+			}
+		}
+		var details []string
+		for _, key := range []string{"from_seq", "replica_seq", "events_sent", "final_lag", "replayed_events", "error"} {
+			if v := r.Attrs.Get(key); v != nil {
+				details = append(details, fmt.Sprintf("%s=%v", key, v))
+			}
+		}
+		ev.Detail = strings.Join(details, " ")
+		out = append(out, ev)
+	}
+	return out
+}
+
 // Filter returns the records matching every non-zero criterion.
 func Filter(records []span.Record, campaign, name string, round int) []span.Record {
 	var out []span.Record
@@ -132,6 +172,18 @@ func WriteSummary(w io.Writer, records []span.Record, topK int) error {
 		if _, err := fmt.Fprintf(w, "%-22s %8d %12s %12s %12s %12s\n",
 			st.Name, st.Count, fmtDur(st.Total), fmtDur(st.Mean()), fmtDur(st.Min), fmtDur(st.Max)); err != nil {
 			return err
+		}
+	}
+	if events := ClusterEvents(records); len(events) > 0 {
+		if _, err := fmt.Fprintf(w, "\ncluster events\n%-14s %-8s %-10s %12s  %s\n",
+			"NAME", "SHARD", "PEER", "DUR", "DETAIL"); err != nil {
+			return err
+		}
+		for _, ev := range events {
+			if _, err := fmt.Fprintf(w, "%-14s %-8s %-10s %12s  %s\n",
+				ev.Name, ev.Shard, ev.Peer, fmtDur(ev.Dur), ev.Detail); err != nil {
+				return err
+			}
 		}
 	}
 	slow := SlowestRounds(records, topK)

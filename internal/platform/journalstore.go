@@ -73,3 +73,25 @@ func (j *JournalStore) Close() error {
 	defer j.mu.Unlock()
 	return j.err
 }
+
+// JournalFromState renders every settled round in the state as journal
+// entries, in campaign registration order then round order — byte-identical
+// to what a JournalStore following the same event stream would have written.
+// Cluster failover uses it to prove a promoted replica's journal matches the
+// dead leader's.
+func JournalFromState(st *store.State) []JournalEntry {
+	if st == nil {
+		return nil
+	}
+	var entries []JournalEntry
+	for _, id := range st.Order {
+		cs := st.Campaigns[id]
+		if cs == nil {
+			continue
+		}
+		for _, rec := range cs.Completed {
+			entries = append(entries, entryFromRecord(id, cs.Spec.Tasks, rec))
+		}
+	}
+	return entries
+}

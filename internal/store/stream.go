@@ -1,0 +1,257 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Streaming errors.
+var (
+	// ErrCompacted marks a Stream request for events that compaction has
+	// already deleted; the caller must bootstrap from a snapshot instead
+	// (see SnapshotNow and InitSnapshot).
+	ErrCompacted = errors.New("store: requested events compacted away")
+	// ErrStreamClosed marks a Recv on a closed stream.
+	ErrStreamClosed = errors.New("store: stream is closed")
+)
+
+// Stream is a tail reader over a WAL: it delivers durable events in sequence
+// order, blocking until more become durable. A live stream pins retention —
+// compaction never deletes a segment holding events the stream has not yet
+// delivered — so replication readers can trail arbitrarily far behind
+// without racing segment deletion. Streams are safe for one reader; Close
+// may be called from any goroutine to unblock a pending Recv.
+type Stream struct {
+	w   *WAL
+	pos uint64 // last seq delivered (guarded by w.mu)
+}
+
+// Stream opens a tail reader delivering durable events with Seq > fromSeq.
+// It fails with ErrCompacted when those events are no longer on disk, and
+// rejects a fromSeq beyond the log's end (the caller claims history this WAL
+// never wrote).
+func (w *WAL) Stream(fromSeq uint64) (*Stream, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, ErrWALClosed
+	}
+	if w.err != nil {
+		return nil, w.err
+	}
+	if fromSeq > w.seq {
+		return nil, fmt.Errorf("store: stream from seq %d beyond log end %d", fromSeq, w.seq)
+	}
+	if fromSeq < w.seq { // a pure tail (fromSeq == seq) needs no history on disk
+		segs, _, err := listLog(w.cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(segs) == 0 || fromSeq+1 < segs[0].firstSeq {
+			oldest := w.seq + 1
+			if len(segs) > 0 {
+				oldest = segs[0].firstSeq
+			}
+			return nil, fmt.Errorf("%w: want seq %d, oldest on disk %d", ErrCompacted, fromSeq+1, oldest)
+		}
+	}
+	s := &Stream{w: w, pos: fromSeq}
+	w.streams[s] = struct{}{}
+	return s, nil
+}
+
+// Recv blocks until at least one event past the stream's position is
+// durable, then returns the batch of durable events in sequence order. It
+// returns ErrStreamClosed after Close, ErrWALClosed once the WAL shuts down
+// with nothing left to deliver, or the WAL's sticky error.
+func (s *Stream) Recv() ([]Event, error) {
+	w := s.w
+	w.mu.Lock()
+	for {
+		if _, open := w.streams[s]; !open {
+			w.mu.Unlock()
+			return nil, ErrStreamClosed
+		}
+		if w.err != nil {
+			err := w.err
+			w.mu.Unlock()
+			return nil, err
+		}
+		if w.durable > s.pos {
+			break
+		}
+		if w.closed {
+			w.mu.Unlock()
+			return nil, ErrWALClosed
+		}
+		w.cond.Wait()
+	}
+	durable := w.durable
+	pos := s.pos
+	w.mu.Unlock()
+
+	events, err := readEventRange(w.cfg.Dir, pos, durable)
+	if err != nil {
+		return nil, err
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("store: stream gap: no events in (%d, %d] on disk", pos, durable)
+	}
+	w.mu.Lock()
+	s.pos = events[len(events)-1].Seq
+	w.mu.Unlock()
+	return events, nil
+}
+
+// Close detaches the stream from the WAL, releasing its retention pin and
+// waking any pending Recv with ErrStreamClosed. Idempotent.
+func (s *Stream) Close() {
+	w := s.w
+	w.mu.Lock()
+	delete(w.streams, s)
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// readEventRange reads the events with seq in (fromSeq, upto] from the
+// segments under dir. Only segments that can contain the range are decoded.
+// Retention pins guarantee those segments outlive the read (see compact).
+func readEventRange(dir string, fromSeq, upto uint64) ([]Event, error) {
+	segs, _, err := listLog(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Event
+	for i, seg := range segs {
+		// A segment's range ends where the next one begins; skip segments
+		// entirely at or before fromSeq.
+		if i+1 < len(segs) && segs[i+1].firstSeq <= fromSeq+1 {
+			continue
+		}
+		if seg.firstSeq > upto {
+			break
+		}
+		events, _, _, err := readSegmentFile(filepath.Join(dir, seg.name))
+		if err != nil {
+			return nil, err
+		}
+		for _, ev := range events {
+			if ev.Seq <= fromSeq {
+				continue
+			}
+			if ev.Seq > upto {
+				return out, nil
+			}
+			out = append(out, ev)
+		}
+	}
+	return out, nil
+}
+
+// minStreamPosLocked is the earliest position any live stream still needs;
+// compaction must retain every event past it. Caller holds w.mu.
+func (w *WAL) minStreamPosLocked() (uint64, bool) {
+	var minPos uint64
+	found := false
+	for s := range w.streams {
+		if !found || s.pos < minPos {
+			minPos = s.pos
+			found = true
+		}
+	}
+	return minPos, found
+}
+
+// SnapshotNow returns a consistent clone of the WAL's live state and the
+// sequence number it covers — the bootstrap payload for a replica too far
+// behind to stream (ErrCompacted). The seq may exceed the durable horizon:
+// the state reflects every append, flushed or not.
+func (w *WAL) SnapshotNow() (*State, uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, 0, ErrWALClosed
+	}
+	if w.err != nil {
+		return nil, 0, w.err
+	}
+	st, err := w.state.Clone()
+	if err != nil {
+		return nil, 0, err
+	}
+	return st, w.seq, nil
+}
+
+// LastSeq reports the highest durable (fsynced) sequence number — the
+// position a replica should resume streaming from.
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durable
+}
+
+// InitSnapshot seeds an empty state directory with a snapshot covering seq
+// and an empty segment positioned after it, so OpenWAL recovers straight to
+// the snapshot — how a replica bootstraps when the leader's log prefix was
+// compacted away. The directory must hold no log files yet.
+func InitSnapshot(dir string, st *State, seq uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	segs, snaps, err := listLog(dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) > 0 || len(snaps) > 0 {
+		return fmt.Errorf("store: init snapshot into non-empty log dir %s", dir)
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("store: marshal snapshot: %w", err)
+	}
+	framed, err := frame(data)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, snapshotName(seq))
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, framed); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	if err := writeFileSync(filepath.Join(dir, segmentName(seq+1)), nil); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: fsync dir: %w", err)
+	}
+	return nil
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if len(data) > 0 {
+		if _, err := f.Write(data); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	return f.Close()
+}

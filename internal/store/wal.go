@@ -114,6 +114,8 @@ type WAL struct {
 	closed   bool
 	flushed  time.Time // when the last flush completed
 
+	streams map[*Stream]struct{} // live tail readers pinning retention
+
 	kick chan struct{} // wakes the flusher
 	done chan struct{} // flusher exited
 
@@ -139,10 +141,11 @@ func OpenWAL(cfg WALConfig) (*WAL, *State, error) {
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
 	w := &WAL{
-		cfg:  cfg,
-		dir:  dir,
-		kick: make(chan struct{}, 1),
-		done: make(chan struct{}),
+		cfg:     cfg,
+		dir:     dir,
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		streams: make(map[*Stream]struct{}),
 	}
 	w.cond = sync.NewCond(&w.mu)
 	if err := w.recover(); err != nil {
@@ -384,6 +387,11 @@ func (w *WAL) rotate(upto uint64, snapJSON []byte) {
 	keepFrom := uint64(0) // delete segments fully covered by the older retained snapshot
 	if n := len(w.snapSeqs); n >= 2 {
 		keepFrom = w.snapSeqs[n-2]
+	}
+	// A live replication stream pins everything past its position: never
+	// delete a segment it has not finished reading.
+	if minPos, ok := w.minStreamPosLocked(); ok && minPos < keepFrom {
+		keepFrom = minPos
 	}
 	drop := w.snapSeqs[:max(0, len(w.snapSeqs)-2)]
 	w.snapSeqs = w.snapSeqs[max(0, len(w.snapSeqs)-2):]

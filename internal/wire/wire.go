@@ -39,6 +39,13 @@ const (
 	TypeError    MsgType = "error"
 )
 
+// ShardMovedMessage prefixes error envelopes meaning "the shard owning this
+// campaign has no live member right now" — typically the window between a
+// leader dying and its follower finishing promotion. It is shared protocol
+// vocabulary: the cluster router emits it and agents classify it as
+// retryable (the platform is mid-failover, not gone).
+const ShardMovedMessage = "shard moved"
+
 // Protocol errors.
 var (
 	ErrMessageTooLarge = errors.New("wire: message exceeds size limit")

@@ -5,12 +5,16 @@
 # benchmark plus the optimized-vs-reference speedup of every paired case.
 # The mechanism pass uses one iteration because the reference single-task
 # path at n=200 runs minutes per op; solver-level passes iterate more.
+# A second pass runs the cluster benchmarks (leader failover latency and
+# cross-node auction throughput on a 3-node loopback cluster) into
+# BENCH_cluster.json.
 set -eu
 
 cd "$(dirname "$0")/.."
 out=BENCH_solvers.json
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+ctmp=$(mktemp)
+trap 'rm -f "$tmp" "$ctmp"' EXIT
 
 go test -run '^$' -bench 'BenchmarkSolveFPTAS(Reference)?$' -benchtime 3x ./internal/knapsack | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkGreedy(Reference)?$' -benchtime 50x ./internal/setcover | tee -a "$tmp"
@@ -57,3 +61,36 @@ END {
 }' "$tmp" > "$out"
 
 echo "wrote $out"
+
+# Cluster trajectory: failover_ms/op is halt → follower serving as leader
+# (detection + replica replay + rebind); replay_ms/op isolates the promotion
+# itself; rounds/s is settled auction rounds per second across a 3-node
+# loopback cluster behind one router.
+cout=BENCH_cluster.json
+go test -run '^$' -bench 'BenchmarkCluster(Failover|Rounds)$' -benchtime 5x ./internal/cluster | tee "$ctmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version | awk '{print $3}')" '
+/^BenchmarkCluster.*ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns[name] = $3
+	for (i = 5; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/\//, "_per_", unit)
+		metrics[name] = metrics[name] sprintf(", \"%s\": %s", unit, $i)
+	}
+	order[n++] = name
+}
+END {
+	if (n == 0) { print "no cluster benchmarks parsed" > "/dev/stderr"; exit 1 }
+	printf "{\n  \"generated\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"5x\",\n", date, goversion
+	printf "  \"topology\": {\"failover\": \"leader + quiesced follower, FailoverAfter=2, DialRetry=5ms\", \"rounds\": \"3 nodes, 3 shards, 1 router, 2 bidders per round\"},\n"
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s%s}%s\n", name, ns[name], metrics[name], (i < n - 1 ? "," : "")
+	}
+	printf "  ]\n}\n"
+}' "$ctmp" > "$cout"
+
+echo "wrote $cout"

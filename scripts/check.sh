@@ -19,9 +19,9 @@ go build ./...
 go test ./...
 go test -race ./internal/engine/... ./internal/obs/... ./internal/obs/span \
 	./internal/platform/... ./internal/agent/... ./internal/wire/... \
-	./internal/store/... \
+	./internal/store/... ./internal/cluster/... \
 	./internal/mechanism/... ./internal/knapsack/... ./internal/setcover/...
-go test -run 'Fuzz.*' ./internal/wire ./internal/store
+go test -run 'Fuzz.*' ./internal/wire ./internal/store ./internal/cluster
 go test -run '^$' -bench . -benchtime 1x ./internal/knapsack ./internal/setcover ./internal/mechanism
 # Lifecycle-tracing gates: the obsctl round-trip (record a live journal,
 # convert to Chrome trace JSON, validate) and a smoke run of the span
@@ -36,3 +36,6 @@ go test -run '^$' -bench BenchmarkSpanOverhead -benchtime 3x ./internal/engine
 # harness runs).
 go test -run TestEngineCrashRecoveryDifferential ./internal/engine
 go test -run '^$' -bench BenchmarkEngineStoreOverhead -benchtime 3x ./internal/engine
+# Cluster gate: kill-the-leader differential under race — the promoted
+# follower's settled rounds and journal bytes must match the dead leader's.
+go test -race -run TestClusterFailoverDifferential ./internal/cluster
