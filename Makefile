@@ -53,6 +53,7 @@ check:
 	$(MAKE) obsctl-roundtrip
 	$(GO) test -run '^$$' -bench BenchmarkSpanOverhead -benchtime 3x ./internal/engine
 	$(MAKE) recovery-smoke
+	$(MAKE) audit-smoke
 	$(MAKE) cluster-smoke
 
 # Crash-recovery differential plus a store-overhead benchmark smoke: kill a
@@ -68,6 +69,15 @@ recovery-smoke:
 .PHONY: obsctl-roundtrip
 obsctl-roundtrip:
 	$(GO) test -run TestRoundTrip ./cmd/obsctl
+
+# Offline-audit gate: a live engine's event-derived journal must audit
+# clean and a tampered copy must be flagged, plus a smoke run of the live
+# auditor's overhead benchmark (the ≤10% assertion engages at b.N >= 50;
+# 3x just proves the harness runs).
+.PHONY: audit-smoke
+audit-smoke:
+	$(GO) test -run TestAuditSmoke ./cmd/audit
+	$(GO) test -run '^$$' -bench BenchmarkAuditOverhead -benchtime 3x ./internal/obs/audit
 
 # Kill-the-leader differential under the race detector: a sharded cluster
 # loses its leader mid-campaign, the follower promotes from its replica, and

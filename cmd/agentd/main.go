@@ -36,6 +36,7 @@ import (
 
 	"crowdsense/internal/agent"
 	"crowdsense/internal/auction"
+	"crowdsense/internal/buildinfo"
 	"crowdsense/internal/mobility"
 	"crowdsense/internal/stats"
 	"crowdsense/internal/wire"
@@ -62,8 +63,14 @@ func run() error {
 		campaign = flag.String("campaign", "", "target campaign ID (empty = platform's default campaign)")
 		retries  = flag.Int("retries", 5, "dial attempts before giving up (exponential backoff)")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("agentd " + buildinfo.String())
+		return nil
+	}
 
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {

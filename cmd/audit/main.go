@@ -8,15 +8,15 @@
 package main
 
 import (
-	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"crowdsense/internal/platform"
 )
 
 func main() {
-	code, err := run()
+	code, err := run(os.Args[1:], os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "audit:", err)
 		os.Exit(2)
@@ -24,12 +24,13 @@ func main() {
 	os.Exit(code)
 }
 
-func run() (int, error) {
-	flag.Parse()
-	if flag.NArg() != 1 {
+// run audits one journal file and reports the exit code: 0 clean, 1 when
+// inconsistencies were found. Split out of main for testing.
+func run(args []string, out io.Writer) (int, error) {
+	if len(args) != 1 {
 		return 0, fmt.Errorf("usage: audit <journal.jsonl>")
 	}
-	f, err := os.Open(flag.Arg(0))
+	f, err := os.Open(args[0])
 	if err != nil {
 		return 0, err
 	}
@@ -40,18 +41,18 @@ func run() (int, error) {
 	}
 
 	s := platform.Summarize(entries)
-	fmt.Printf("rounds: %d (%d void), bids: %d\n", s.Rounds, s.VoidRounds, s.TotalBids)
-	fmt.Printf("social cost: %.2f, total paid: %.2f, winner success rate: %.2f\n",
+	fmt.Fprintf(out, "rounds: %d (%d void), bids: %d\n", s.Rounds, s.VoidRounds, s.TotalBids)
+	fmt.Fprintf(out, "social cost: %.2f, total paid: %.2f, winner success rate: %.2f\n",
 		s.SocialCost, s.TotalPaid, s.SuccessRate)
 
 	findings := platform.Audit(entries)
 	if len(findings) == 0 {
-		fmt.Println("audit: clean")
+		fmt.Fprintln(out, "audit: clean")
 		return 0, nil
 	}
-	fmt.Printf("audit: %d inconsistencies\n", len(findings))
+	fmt.Fprintf(out, "audit: %d inconsistencies\n", len(findings))
 	for _, finding := range findings {
-		fmt.Println(" ", finding)
+		fmt.Fprintln(out, " ", finding)
 	}
 	return 1, nil
 }

@@ -8,6 +8,7 @@
 //	obsctl tail -n 20 spans.jsonl                 # last 20 records
 //	obsctl tail -name wd.critical_bid spans.jsonl # filter by span name
 //	obsctl summary -top 5 spans.jsonl             # latency breakdown + slowest rounds
+//	obsctl slo -targets round=250ms spans.jsonl   # p99 targets, burn rates, audit events
 //	obsctl convert spans.jsonl > trace.json       # open in ui.perfetto.dev
 //	obsctl validate trace.json                    # check trace-event invariants
 package main
@@ -19,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"crowdsense/internal/buildinfo"
 	"crowdsense/internal/obs/span"
 	"crowdsense/internal/obs/spantool"
 )
@@ -35,8 +37,10 @@ const usage = `usage: obsctl <command> [flags] <journal.jsonl>...
 Commands:
   tail      print the most recent span records
   summary   per-name latency breakdown, cluster events, slowest rounds
+  slo       per-name latency quantiles vs p99 targets, audit events
   convert   emit Chrome trace-event JSON (Perfetto / chrome://tracing)
   validate  check a converted trace file's invariants
+  version   print version and exit
 `
 
 // run dispatches one obsctl invocation; out receives the command's payload
@@ -50,10 +54,15 @@ func run(args []string, out *os.File) error {
 		return runTail(rest, out)
 	case "summary":
 		return runSummary(rest, out)
+	case "slo":
+		return runSLO(rest, out)
 	case "convert":
 		return runConvert(rest, out)
 	case "validate":
 		return runValidate(rest, out)
+	case "version", "-version", "--version":
+		fmt.Fprintln(out, "obsctl "+buildinfo.String())
+		return nil
 	case "-h", "-help", "--help", "help":
 		fmt.Fprint(out, usage)
 		return nil
@@ -132,6 +141,31 @@ func runSummary(args []string, out *os.File) error {
 	}
 	recs = spantool.Filter(recs, *campaign, "", 0)
 	return spantool.WriteSummary(out, recs, *top)
+}
+
+// runSLO evaluates latency SLOs offline over a journal: per-name quantiles
+// against p99 targets, plus the audit.violation / slo.breach events the live
+// auditor recorded. With no -targets it still reports quantiles, so the
+// command doubles as a latency profile.
+func runSLO(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("obsctl slo", flag.ContinueOnError)
+	targetsArg := fs.String("targets", "round=250ms,phase.computing=50ms",
+		"comma-separated span=duration p99 targets (empty = quantiles only)")
+	objective := fs.Float64("objective", 0.01, "allowed slow-event fraction (0.01 = a p99 target)")
+	campaign := fs.String("campaign", "", "only records from this campaign")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	targets, err := spantool.ParseSLOTargets(*targetsArg)
+	if err != nil {
+		return err
+	}
+	recs, err := load(fs.Args())
+	if err != nil {
+		return err
+	}
+	recs = spantool.Filter(recs, *campaign, "", 0)
+	return spantool.WriteSLO(out, recs, targets, *objective)
 }
 
 func runConvert(args []string, out *os.File) error {

@@ -171,6 +171,42 @@ func TestSummaryAndTail(t *testing.T) {
 	}
 }
 
+// TestSLOCommand evaluates a live journal against offline p99 targets: an
+// impossible 1ns round target must report as breaching, a generous one must
+// not, and the targeted row sorts first.
+func TestSLOCommand(t *testing.T) {
+	journal := recordJournal(t)
+
+	out, err := capture(t, "slo", "-targets", "round=1ns", journal)
+	if err != nil {
+		t.Fatalf("slo: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("slo output too short:\n%s", out)
+	}
+	first := lines[3] // spans count, blank, header, then the first stat row
+	if !strings.HasPrefix(first, span.NameRound) || !strings.Contains(first, "100.00!") {
+		t.Errorf("targeted round row should sort first and breach:\n%s", out)
+	}
+
+	out, err = capture(t, "slo", "-targets", "round=10m", journal)
+	if err != nil {
+		t.Fatalf("slo: %v", err)
+	}
+	if strings.Contains(out, "!") {
+		t.Errorf("generous target should not breach:\n%s", out)
+	}
+
+	out, err = capture(t, "version")
+	if err != nil {
+		t.Fatalf("version: %v", err)
+	}
+	if !strings.Contains(out, "obsctl devel") {
+		t.Errorf("version output %q, want obsctl devel", out)
+	}
+}
+
 func TestBadInvocations(t *testing.T) {
 	if err := run(nil, os.Stdout); err == nil {
 		t.Error("no command should fail")

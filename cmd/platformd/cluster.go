@@ -8,9 +8,11 @@ import (
 	"time"
 
 	"crowdsense/internal/auction"
+	"crowdsense/internal/buildinfo"
 	"crowdsense/internal/cluster"
 	"crowdsense/internal/engine"
 	"crowdsense/internal/obs"
+	"crowdsense/internal/obs/audit"
 	"crowdsense/internal/obs/span"
 )
 
@@ -36,6 +38,8 @@ type clusterOptions struct {
 	workers     int
 	spanSinks   []span.Sink
 	metricsAddr string
+	audit       bool
+	auditSLO    *audit.SLOConfig
 }
 
 // runCluster is platformd's sharded mode: with -shard it leads that shard
@@ -108,6 +112,8 @@ func runCluster(ctx context.Context, o clusterOptions) error {
 		Engine:    engine.Config{Workers: o.workers},
 		SpanSinks: o.spanSinks,
 		Logf:      logf,
+		Audit:     o.audit,
+		AuditSLO:  o.auditSLO,
 	}
 	if o.follow != "" {
 		shard, leaderRep, ok := strings.Cut(o.follow, "@")
@@ -138,10 +144,13 @@ func runCluster(ctx context.Context, o clusterOptions) error {
 				if eng := node.Engine(o.shard); eng != nil {
 					fams = append(fams, eng.MetricFamilies()...)
 				}
-				return fams
+				fams = append(fams, node.AuditFamilies()...)
+				fams = append(fams, obs.RuntimeFamilies()...)
+				return append(fams, buildinfo.Family())
 			},
 			Health: func() obs.Health { return node.Readiness().Health },
 			Ready:  node.Readiness,
+			Audit:  node.AuditReports,
 		})
 		if err != nil {
 			node.Close()
@@ -149,7 +158,7 @@ func runCluster(ctx context.Context, o clusterOptions) error {
 		}
 		defer srv.Close()
 		slog.Info("ops endpoint up", "url", "http://"+srv.Addr().String(),
-			"paths", "/metrics /healthz /readyz (per-shard roles in /readyz)")
+			"paths", "/metrics /healthz /readyz /debug/audit (per-shard roles and audit in /readyz)")
 	}
 
 	<-ctx.Done()

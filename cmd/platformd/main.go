@@ -64,9 +64,11 @@ import (
 	"time"
 
 	"crowdsense/internal/auction"
+	"crowdsense/internal/buildinfo"
 	"crowdsense/internal/engine"
 	"crowdsense/internal/mechanism"
 	"crowdsense/internal/obs"
+	"crowdsense/internal/obs/audit"
 	"crowdsense/internal/obs/span"
 	"crowdsense/internal/platform"
 	"crowdsense/internal/store"
@@ -94,8 +96,11 @@ func run() error {
 		journal     = flag.String("journal", "", "append one JSON line per round to this file")
 		spanJournal = flag.String("span-journal", "", "record lifecycle spans (campaign/round/phase/solver) to this JSONL file, rotated by size")
 		stateDir    = flag.String("state-dir", "", "durable state directory: campaign events are written to a WAL there, and on restart the log is replayed to resume campaigns at the last durable round boundary (empty = in-memory only)")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/rounds, /debug/spans, and pprof on this address (empty = off)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/rounds, /debug/spans, /debug/audit, and pprof on this address (empty = off)")
+		auditFlag   = flag.Bool("audit", false, "run the live mechanism auditor: every settled round is checked against the paper's economic invariants (IR, budget, α reward gap, settlement arithmetic); violations degrade /readyz and surface on /debug/audit")
+		sloP99      = flag.String("slo-p99", "", "comma-separated span=duration p99 latency targets for the live auditor, e.g. round=250ms,phase.computing=50ms (a bare duration targets the round span); implies -audit")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		version     = flag.Bool("version", false, "print version and exit")
 
 		// Cluster mode: shard the campaign universe across several platformd
 		// processes behind one router. See runCluster.
@@ -108,6 +113,17 @@ func run() error {
 		followAddr = flag.String("follow-addr", "", "standby agent address for -follow, bound only at promotion")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("platformd " + buildinfo.String())
+		return nil
+	}
+
+	sloCfg, err := parseSLOTargets(*sloP99)
+	if err != nil {
+		return err
+	}
+	auditOn := *auditFlag || sloCfg != nil
 
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -172,12 +188,27 @@ func run() error {
 			workers:     *workers,
 			spanSinks:   spanSinks,
 			metricsAddr: *metricsAddr,
+			audit:       auditOn,
+			auditSLO:    sloCfg,
 		})
 	}
 
 	// The ops endpoint comes up before recovery so /readyz can answer 503
 	// "recovering" while the WAL replays; the engine swaps in when ready.
 	ops := &opsState{}
+	var aud *audit.Auditor
+	if auditOn {
+		aud = audit.New(audit.Config{SLO: sloCfg})
+		// The auditor is also a span sink: span end events feed its SLO
+		// engine, alongside whatever journal -span-journal attached.
+		spanSinks = append(spanSinks, aud)
+		ops.aud.Store(aud)
+		sloCount := 0
+		if sloCfg != nil {
+			sloCount = len(sloCfg.Targets)
+		}
+		slog.Info("live auditor enabled", "slo_targets", sloCount)
+	}
 	if *metricsAddr != "" {
 		srv, err := serveOps(*metricsAddr, ops)
 		if err != nil {
@@ -227,6 +258,23 @@ func run() error {
 		eventStore = store.Multi(eventStore, js)
 	}
 
+	// Feed the auditor. With a WAL it tails the durable stream like a
+	// replica would — auditing what was actually persisted, off the emit
+	// path. Without one it rides the emit path via store.Multi.
+	if aud != nil {
+		if rec != nil {
+			wal := rec.WAL
+			go func() {
+				if err := aud.Tail(ctx, wal, wal.LastSeq()); err != nil {
+					slog.Warn("auditor tail", "err", err)
+				}
+			}()
+			slog.Info("live auditor tailing WAL", "from_seq", rec.WAL.LastSeq())
+		} else {
+			eventStore = store.Multi(eventStore, aud)
+		}
+	}
+
 	if *campaigns > 0 || rec.HasCampaigns() && len(rec.State.Order) > 1 {
 		return runEngine(ctx, engineOptions{
 			addr:            *addr,
@@ -244,6 +292,7 @@ func run() error {
 			recovered:       rec,
 			ops:             ops,
 			journalViaStore: journalViaStore,
+			aud:             aud,
 		})
 	}
 
@@ -264,7 +313,12 @@ func run() error {
 			slog.Info("listening", "addr", bound, "tasks", *tasks,
 				"requirement", *requirement, "bidders", *bidders)
 		},
-		OnEngine: func(eng *engine.Engine) { ops.setEngine(eng) },
+		OnEngine: func(eng *engine.Engine) {
+			ops.setEngine(eng)
+			if aud != nil {
+				aud.SetSpans(eng.SpanTracer())
+			}
+		},
 		OnRound: func(round int, result platform.RoundResult) {
 			logRound("", round, result, time.Since(start))
 			if journalFile != nil && !journalViaStore {
@@ -275,12 +329,49 @@ func run() error {
 			}
 		},
 	}
+	if aud != nil {
+		opts.AuditStatus = aud.Status
+	}
 	if rec.HasCampaigns() {
 		opts.Restore = rec.State
 		slog.Info("resuming recovered campaign; -tasks/-bidders/-rounds flags ignored")
 	}
-	_, err := platform.RunRounds(ctx, cfg, opts)
+	_, err = platform.RunRounds(ctx, cfg, opts)
 	return err
+}
+
+// parseSLOTargets decodes the -slo-p99 flag: comma-separated span=duration
+// pairs, or one bare duration applied to the round span. Empty input means
+// no SLO tracking (nil config).
+func parseSLOTargets(s string) (*audit.SLOConfig, error) {
+	if s == "" {
+		return nil, nil
+	}
+	targets := make(map[string]time.Duration)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			d, err := time.ParseDuration(part)
+			if err != nil {
+				return nil, fmt.Errorf("bad -slo-p99 entry %q: %w", part, err)
+			}
+			targets[span.NameRound] = d
+			continue
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || name == "" {
+			return nil, fmt.Errorf("bad -slo-p99 entry %q: want span=duration", part)
+		}
+		targets[name] = d
+	}
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	return &audit.SLOConfig{Targets: targets}, nil
 }
 
 type engineOptions struct {
@@ -299,6 +390,7 @@ type engineOptions struct {
 	recovered       *platform.Recovered
 	ops             *opsState
 	journalViaStore bool
+	aud             *audit.Auditor
 }
 
 // opsState is the swap point between "recovering" and "serving" for the ops
@@ -308,6 +400,7 @@ type engineOptions struct {
 type opsState struct {
 	eng        atomic.Pointer[engine.Engine]
 	wal        atomic.Pointer[store.WAL]
+	aud        atomic.Pointer[audit.Auditor]
 	recovering atomic.Bool
 }
 
@@ -324,7 +417,18 @@ func (o *opsState) gather() []obs.Family {
 	if w := o.wal.Load(); w != nil {
 		fams = append(fams, w.Families()...)
 	}
-	return fams
+	if a := o.aud.Load(); a != nil {
+		fams = append(fams, a.Families()...)
+	}
+	fams = append(fams, obs.RuntimeFamilies()...)
+	return append(fams, buildinfo.Family())
+}
+
+func (o *opsState) audit() []obs.AuditReport {
+	if a := o.aud.Load(); a != nil {
+		return []obs.AuditReport{a.Report()}
+	}
+	return nil
 }
 
 func (o *opsState) health() obs.Health {
@@ -368,12 +472,13 @@ func serveOps(addr string, ops *opsState) (*obs.OpsServer, error) {
 		Ready:  ops.ready,
 		Rounds: ops.rounds,
 		Spans:  ops.spans,
+		Audit:  ops.audit,
 	})
 	if err != nil {
 		return nil, err
 	}
 	slog.Info("ops endpoint up", "url", "http://"+srv.Addr().String(),
-		"paths", "/metrics /healthz /readyz /debug/rounds /debug/spans /debug/pprof/")
+		"paths", "/metrics /healthz /readyz /debug/rounds /debug/spans /debug/audit /debug/pprof/")
 	return srv, nil
 }
 
@@ -383,7 +488,7 @@ func runEngine(ctx context.Context, opts engineOptions) error {
 	start := time.Now()
 	var journalMu sync.Mutex
 	journalSeq := 0
-	eng := engine.New(engine.Config{
+	ecfg := engine.Config{
 		Workers:   opts.workers,
 		SpanSinks: opts.spanSinks,
 		Store:     opts.store,
@@ -409,7 +514,15 @@ func runEngine(ctx context.Context, opts engineOptions) error {
 				}
 			}
 		},
-	})
+	}
+	if opts.aud != nil {
+		ecfg.AuditStatus = opts.aud.Status
+	}
+	eng := engine.New(ecfg)
+	if opts.aud != nil {
+		// Audit spans land in the engine's own ring and journal.
+		opts.aud.SetSpans(eng.SpanTracer())
+	}
 	if opts.recovered.HasCampaigns() {
 		if err := eng.Restore(opts.recovered.State); err != nil {
 			return err

@@ -1,0 +1,37 @@
+// Package buildinfo carries the build's version string, injected at link
+// time, and renders it as the conventional build_info metric.
+package buildinfo
+
+import (
+	"runtime"
+
+	"crowdsense/internal/obs"
+)
+
+// Version identifies the build. Release builds override it with
+//
+//	go build -ldflags "-X crowdsense/internal/buildinfo.Version=v1.2.3"
+//
+// and development builds report "devel".
+var Version = "devel"
+
+// String renders the version plus toolchain for -version flags.
+func String() string { return Version + " (" + runtime.Version() + ")" }
+
+// Family is the crowdsense_build_info metric: constant 1, with the build
+// identity in labels — the standard trick for joining version metadata onto
+// any other series.
+func Family() obs.Family {
+	return obs.Family{
+		Name: "crowdsense_build_info",
+		Help: "Build identity; constant 1 with version labels.",
+		Type: obs.TypeGauge,
+		Samples: []obs.Sample{{
+			Labels: []obs.Label{
+				{Name: "version", Value: Version},
+				{Name: "goversion", Value: runtime.Version()},
+			},
+			Value: 1,
+		}},
+	}
+}

@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"sort"
 	"sync/atomic"
 	"time"
 
 	"crowdsense/internal/obs"
+	"crowdsense/internal/obs/audit"
 )
 
 // clusterStats are a node's monotonic replication/failover counters, updated
@@ -111,4 +113,36 @@ func (n *Node) MetricFamilies() []obs.Family {
 			Samples: []obs.Sample{{Value: time.Duration(s.failoverNs.Load()).Seconds()}},
 		},
 	}
+}
+
+// AuditFamilies renders every led shard's auditor metrics, merged so each
+// family name appears once with shard-labelled samples — a node that
+// promoted itself leads two shards, and duplicate family headers would
+// break the exposition format. Empty when auditing is off.
+func (n *Node) AuditFamilies() []obs.Family {
+	n.mu.Lock()
+	var shards []string
+	byShard := make(map[string]*audit.Auditor)
+	for shard, s := range n.shards {
+		if s.role == RoleLeader && s.aud != nil {
+			shards = append(shards, shard)
+			byShard[shard] = s.aud
+		}
+	}
+	n.mu.Unlock()
+	sort.Strings(shards)
+
+	var merged []obs.Family
+	index := make(map[string]int) // family name → merged position
+	for _, shard := range shards {
+		for _, f := range byShard[shard].Families() {
+			if at, ok := index[f.Name]; ok {
+				merged[at].Samples = append(merged[at].Samples, f.Samples...)
+				continue
+			}
+			index[f.Name] = len(merged)
+			merged = append(merged, f)
+		}
+	}
+	return merged
 }

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"crowdsense/internal/engine"
 	"crowdsense/internal/obs"
+	"crowdsense/internal/obs/audit"
 	"crowdsense/internal/obs/span"
 	"crowdsense/internal/platform"
 	"crowdsense/internal/store"
@@ -70,6 +72,14 @@ type NodeConfig struct {
 	DialRetry time.Duration
 	// Follow, if set, makes this node the standby for another shard.
 	Follow *FollowConfig
+	// Audit, when true, runs a live mechanism auditor per led shard: it
+	// tails the shard's WAL like a replica, re-checks every settled round's
+	// invariants, and feeds the shard-labelled audit status into Readiness
+	// and MetricFamilies. A shard gained by promotion gets its own auditor.
+	Audit bool
+	// AuditSLO passes latency-SLO targets to each shard auditor (nil means
+	// invariant checking only).
+	AuditSLO *audit.SLOConfig
 	// Logf, if set, receives one-line node lifecycle logs.
 	Logf func(format string, args ...any)
 }
@@ -89,11 +99,12 @@ func (c NodeConfig) dialRetry() time.Duration {
 }
 
 // shardState is one shard's presence on a node: the role, and — when
-// leading — the live engine and WAL.
+// leading — the live engine, WAL, and (when enabled) auditor.
 type shardState struct {
 	role string
 	eng  *engine.Engine
 	wal  *store.WAL
+	aud  *audit.Auditor
 }
 
 // Node is one platformd process's cluster presence: leader of cfg.Shard,
@@ -130,13 +141,13 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		cancel: cancel,
 		shards: make(map[string]*shardState),
 	}
-	eng, wal, err := n.startLeader(cfg.Shard, cfg.StateDir, cfg.AgentAddr, cfg.Campaigns)
+	eng, wal, aud, err := n.startLeader(cfg.Shard, cfg.StateDir, cfg.AgentAddr, cfg.Campaigns)
 	if err != nil {
 		cancel()
 		return nil, err
 	}
 	n.mu.Lock()
-	n.shards[cfg.Shard] = &shardState{role: RoleLeader, eng: eng, wal: wal}
+	n.shards[cfg.Shard] = &shardState{role: RoleLeader, eng: eng, wal: wal, aud: aud}
 	n.mu.Unlock()
 	if cfg.RepAddr != "" {
 		rep, err := newRepServer(n, cfg.Shard, cfg.RepAddr, wal)
@@ -165,20 +176,37 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 
 // startLeader recovers dir, builds an engine serving the shard's campaigns
 // on addr, and runs it. Fresh state registers the configured campaigns;
-// recovered state resumes them.
-func (n *Node) startLeader(shard, dir, addr string, campaigns []engine.CampaignConfig) (*engine.Engine, *store.WAL, error) {
+// recovered state resumes them. With NodeConfig.Audit set, a per-shard
+// auditor tails the WAL's durable stream and its status gates readiness.
+func (n *Node) startLeader(shard, dir, addr string, campaigns []engine.CampaignConfig) (*engine.Engine, *store.WAL, *audit.Auditor, error) {
 	rec, err := platform.Recover(dir, n.sinks()...)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	ecfg := n.cfg.Engine
 	ecfg.Store = store.Multi(rec.WAL, ecfg.Store)
 	ecfg.SpanSinks = append(ecfg.SpanSinks, n.cfg.SpanSinks...)
+	var aud *audit.Auditor
+	if n.cfg.Audit {
+		acfg := audit.Config{Shard: shard}
+		if n.cfg.AuditSLO != nil {
+			slo := *n.cfg.AuditSLO
+			acfg.SLO = &slo
+		}
+		aud = audit.New(acfg)
+		// The auditor is a span sink (SLO feed) and the readiness gate; its
+		// event feed is the WAL tail below, the same stream a replica reads.
+		ecfg.SpanSinks = append(ecfg.SpanSinks, aud)
+		ecfg.AuditStatus = aud.Status
+	}
 	eng := engine.New(ecfg)
+	if aud != nil {
+		aud.SetSpans(eng.SpanTracer())
+	}
 	if rec.HasCampaigns() {
 		if err := eng.Restore(rec.State); err != nil {
 			rec.WAL.Close()
-			return nil, nil, fmt.Errorf("cluster: restore shard %s: %w", shard, err)
+			return nil, nil, nil, fmt.Errorf("cluster: restore shard %s: %w", shard, err)
 		}
 		n.logf("node %s: shard %s restored (%d campaigns, %d events replayed)",
 			n.cfg.Name, shard, len(rec.State.Order), rec.Info.ReplayedEvents)
@@ -186,13 +214,23 @@ func (n *Node) startLeader(shard, dir, addr string, campaigns []engine.CampaignC
 		for _, cc := range campaigns {
 			if err := eng.AddCampaign(cc); err != nil {
 				rec.WAL.Close()
-				return nil, nil, fmt.Errorf("cluster: register %s on shard %s: %w", cc.ID, shard, err)
+				return nil, nil, nil, fmt.Errorf("cluster: register %s on shard %s: %w", cc.ID, shard, err)
 			}
 		}
 	}
 	if err := eng.Listen(addr); err != nil {
 		rec.WAL.Close()
-		return nil, nil, fmt.Errorf("cluster: shard %s: %w", shard, err)
+		return nil, nil, nil, fmt.Errorf("cluster: shard %s: %w", shard, err)
+	}
+	if aud != nil {
+		from := rec.WAL.LastSeq()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			if err := aud.Tail(n.ctx, rec.WAL, from); err != nil && n.ctx.Err() == nil {
+				n.logf("node %s: shard %s auditor: %v", n.cfg.Name, shard, err)
+			}
+		}()
 	}
 	n.wg.Add(1)
 	go func() {
@@ -201,7 +239,7 @@ func (n *Node) startLeader(shard, dir, addr string, campaigns []engine.CampaignC
 			n.logf("node %s: shard %s engine: %v", n.cfg.Name, shard, err)
 		}
 	}()
-	return eng, rec.WAL, nil
+	return eng, rec.WAL, aud, nil
 }
 
 // AgentAddr returns the bound agent address for a shard this node currently
@@ -258,15 +296,21 @@ func (n *Node) Roles() map[string]string {
 	return out
 }
 
-// Readiness merges the led shards' engine readiness with per-shard roles.
+// Readiness merges the led shards' engine readiness with per-shard roles
+// and, when auditing is on, each led shard's audit status — one degraded
+// shard answers 503 for the whole node (obs.Readiness.OK).
 func (n *Node) Readiness() obs.Readiness {
 	n.mu.Lock()
 	var leaders []*engine.Engine
 	roles := make(map[string]string, len(n.shards))
+	audits := make(map[string]*audit.Auditor)
 	for shard, s := range n.shards {
 		roles[shard] = s.role
 		if s.role == RoleLeader && s.eng != nil {
 			leaders = append(leaders, s.eng)
+			if s.aud != nil {
+				audits[shard] = s.aud
+			}
 		}
 	}
 	n.mu.Unlock()
@@ -281,6 +325,12 @@ func (n *Node) Readiness() obs.Readiness {
 			rep.Campaigns[id] = st
 		}
 	}
+	for shard, aud := range audits {
+		if rep.ShardAudit == nil {
+			rep.ShardAudit = make(map[string]*obs.AuditStatus, len(audits))
+		}
+		rep.ShardAudit[shard] = aud.Status()
+	}
 	for _, role := range roles {
 		if role == RoleRecovering {
 			rep.Health.Status = obs.StatusRecovering
@@ -292,8 +342,28 @@ func (n *Node) Readiness() obs.Readiness {
 	return rep
 }
 
-// setRole flips one shard's role (and engine/wal when becoming leader).
-func (n *Node) setRole(shard, role string, eng *engine.Engine, wal *store.WAL) {
+// AuditReports collects the led shards' /debug/audit payloads, sorted by
+// shard. Empty (not nil) when auditing is off.
+func (n *Node) AuditReports() []obs.AuditReport {
+	n.mu.Lock()
+	var audits []*audit.Auditor
+	for _, s := range n.shards {
+		if s.role == RoleLeader && s.aud != nil {
+			audits = append(audits, s.aud)
+		}
+	}
+	n.mu.Unlock()
+	reports := make([]obs.AuditReport, 0, len(audits))
+	for _, a := range audits {
+		reports = append(reports, a.Report())
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Shard < reports[j].Shard })
+	return reports
+}
+
+// setRole flips one shard's role (and engine/wal/auditor when becoming
+// leader).
+func (n *Node) setRole(shard, role string, eng *engine.Engine, wal *store.WAL, aud *audit.Auditor) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	s := n.shards[shard]
@@ -308,6 +378,9 @@ func (n *Node) setRole(shard, role string, eng *engine.Engine, wal *store.WAL) {
 	if wal != nil {
 		s.wal = wal
 	}
+	if aud != nil {
+		s.aud = aud
+	}
 }
 
 // promote turns the follower of shard f into its leader: replay the replica,
@@ -316,19 +389,19 @@ func (n *Node) setRole(shard, role string, eng *engine.Engine, wal *store.WAL) {
 func (n *Node) promote(f FollowConfig, replicaSeq uint64) error {
 	started := time.Now()
 	n.stats.failovers.Add(1)
-	n.setRole(f.Shard, RoleRecovering, nil, nil)
+	n.setRole(f.Shard, RoleRecovering, nil, nil, nil)
 	sp := n.spans.Start(span.NameFailover,
 		span.Str("shard", f.Shard),
 		span.Str("node", n.cfg.Name),
 		span.Int("replica_seq", int64(replicaSeq)),
 	)
-	eng, wal, err := n.startLeader(f.Shard, f.StateDir, f.AgentAddr, nil)
+	eng, wal, aud, err := n.startLeader(f.Shard, f.StateDir, f.AgentAddr, nil)
 	if err != nil {
 		sp.EndWith(span.Str("error", err.Error()))
-		n.setRole(f.Shard, RoleFollower, nil, nil)
+		n.setRole(f.Shard, RoleFollower, nil, nil, nil)
 		return err
 	}
-	n.setRole(f.Shard, RoleLeader, eng, wal)
+	n.setRole(f.Shard, RoleLeader, eng, wal, aud)
 	if f.RepAddr != "" {
 		rep, err := newRepServer(n, f.Shard, f.RepAddr, wal)
 		if err != nil {

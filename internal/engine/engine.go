@@ -87,6 +87,15 @@ type Config struct {
 	// so the overhead of the instrumented path can be benchmarked against a
 	// true baseline; production engines should leave it false.
 	DisableObservability bool
+
+	// AuditStatus, if set, supplies the live auditor's summary for the
+	// engine's Readiness report: degraded campaigns are flagged and the
+	// status rides along so /readyz can answer 503 on a violated invariant
+	// or breaching SLO. The engine deliberately takes a closure, not an
+	// auditor — the auditor lives above the engine in the import graph
+	// (it replays platform rules) and is wired in by platformd or a
+	// cluster node. Must be quick and safe to call concurrently.
+	AuditStatus func() *obs.AuditStatus
 }
 
 func (c Config) workers() int {

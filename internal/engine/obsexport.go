@@ -204,9 +204,17 @@ func (e *Engine) Health() obs.Health {
 
 // Readiness reports the /readyz view: the health summary plus each
 // campaign's lifecycle position. Saturation maps to 503 on readiness only —
-// Health alone stays a liveness signal.
+// Health alone stays a liveness signal. When Config.AuditStatus is wired,
+// the live auditor's summary rides along: campaigns it degraded are
+// flagged, the report's status reads "degraded" (the Health() liveness
+// view is untouched), and Readiness.OK answers false (503) while any
+// violation or SLO breach stands.
 func (e *Engine) Readiness() obs.Readiness {
 	h := e.Health()
+	var audit *obs.AuditStatus
+	if e.cfg.AuditStatus != nil {
+		audit = e.cfg.AuditStatus()
+	}
 	e.mu.Lock()
 	campaigns := make(map[string]obs.CampaignStatus, len(e.campaigns))
 	for id, c := range e.campaigns {
@@ -217,8 +225,25 @@ func (e *Engine) Readiness() obs.Readiness {
 		campaigns[id] = obs.CampaignStatus{State: c.state.String(), Round: round}
 	}
 	e.mu.Unlock()
-	return obs.Readiness{Health: h, Campaigns: campaigns}
+	if audit != nil {
+		for _, id := range audit.DegradedCampaigns {
+			if cs, ok := campaigns[id]; ok {
+				cs.Degraded = true
+				campaigns[id] = cs
+			}
+		}
+		if audit.Degraded() && h.OK() {
+			h.Status = obs.StatusDegraded
+		}
+	}
+	return obs.Readiness{Health: h, Campaigns: campaigns, Audit: audit}
 }
+
+// SpanTracer exposes the engine's lifecycle tracer so companions (the live
+// auditor) can emit spans into the same ring and journal. Nil when
+// observability is disabled — span.Tracer is nil-safe, so callers can use
+// it unconditionally.
+func (e *Engine) SpanTracer() *span.Tracer { return e.spans }
 
 // summaryQuantiles are the quantile labels /metrics exposes per latency
 // summary.

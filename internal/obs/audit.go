@@ -1,0 +1,57 @@
+package obs
+
+import "time"
+
+// AuditStatus summarizes one live auditor for readiness reports. The zero
+// value (and a nil pointer) mean "no auditor / nothing wrong".
+type AuditStatus struct {
+	Enabled       bool   `json:"enabled"`
+	RoundsChecked uint64 `json:"rounds_checked"`
+	Violations    uint64 `json:"violations"`
+	// DegradedCampaigns lists campaigns with at least one invariant
+	// violation, sorted.
+	DegradedCampaigns []string `json:"degraded_campaigns,omitempty"`
+	// SLOBreaching lists span names whose latency SLO is currently burning
+	// error budget past both window thresholds, sorted.
+	SLOBreaching  []string `json:"slo_breaching,omitempty"`
+	LastViolation string   `json:"last_violation,omitempty"`
+}
+
+// Degraded reports whether the auditor demands a readiness 503: any
+// campaign with an invariant violation or any breaching SLO. Nil-safe so
+// readiness merging never needs an auditor to exist.
+func (a *AuditStatus) Degraded() bool {
+	return a != nil && (len(a.DegradedCampaigns) > 0 || len(a.SLOBreaching) > 0)
+}
+
+// AuditViolation is one mechanism-invariant violation in an audit report.
+type AuditViolation struct {
+	Campaign string    `json:"campaign"`
+	Round    int       `json:"round"`
+	User     int       `json:"user,omitempty"`
+	Rule     string    `json:"rule"`
+	Problem  string    `json:"problem"`
+	Time     time.Time `json:"time"`
+}
+
+// SLOStatus is one latency target's live burn-rate state.
+type SLOStatus struct {
+	Name          string  `json:"name"` // span name the target covers
+	TargetSeconds float64 `json:"target_seconds"`
+	Objective     float64 `json:"objective"` // allowed slow-event fraction
+	Events        uint64  `json:"events"`
+	SlowEvents    uint64  `json:"slow_events"`
+	FastBurn      float64 `json:"fast_burn"` // burn rate over the fast window
+	SlowBurn      float64 `json:"slow_burn"` // burn rate over the slow window
+	Breaching     bool    `json:"breaching"`
+	Breaches      uint64  `json:"breaches"` // rising edges since start
+}
+
+// AuditReport is the full /debug/audit payload for one auditor: the
+// readiness summary plus the recent violations and every SLO's state.
+type AuditReport struct {
+	AuditStatus
+	Shard            string           `json:"shard,omitempty"` // set on cluster nodes
+	RecentViolations []AuditViolation `json:"recent_violations"`
+	SLOs             []SLOStatus      `json:"slos"`
+}

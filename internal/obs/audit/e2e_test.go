@@ -1,0 +1,258 @@
+package audit
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdsense/internal/agent"
+	"crowdsense/internal/auction"
+	"crowdsense/internal/engine"
+	"crowdsense/internal/obs"
+	"crowdsense/internal/obs/span"
+	"crowdsense/internal/store"
+)
+
+// corruptingStore lowers every settlement's payment far below any declared
+// cost before the auditor sees the event — fault injection proving the live
+// auditor catches a settlement that contradicts its EC contract.
+type corruptingStore struct {
+	inner store.Store
+}
+
+func (c corruptingStore) Append(ev store.Event) error {
+	if ev.Type == store.EventReportReceived && ev.Settle != nil {
+		s := *ev.Settle
+		s.Reward = -100
+		ev.Settle = &s
+	}
+	return c.inner.Append(ev)
+}
+
+func (c corruptingStore) Commit() error { return c.inner.Commit() }
+func (c corruptingStore) Close() error  { return c.inner.Close() }
+
+// runAuditedEngine drives campaigns×rounds real auction rounds with
+// agentsPer bidders each over loopback TCP, the auditor wired exactly as
+// platformd wires it: event store (possibly wrapped), span sink, and
+// readiness closure.
+func runAuditedEngine(t *testing.T, aud *Auditor, eventStore store.Store, campaigns, rounds, agentsPer int) *engine.Engine {
+	t.Helper()
+	roundDone := make(map[string]chan struct{}, campaigns)
+	eng := engine.New(engine.Config{
+		ConnTimeout: 30 * time.Second,
+		Store:       eventStore,
+		SpanSinks:   []span.Sink{aud},
+		AuditStatus: aud.Status,
+		OnRound: func(r engine.RoundResult) {
+			if r.Err != nil {
+				t.Errorf("campaign %s round %d: %v", r.Campaign, r.Round, r.Err)
+			}
+			roundDone[r.Campaign] <- struct{}{}
+		},
+	})
+	aud.SetSpans(eng.SpanTracer())
+	for i := 0; i < campaigns; i++ {
+		id := fmt.Sprintf("c%d", i+1)
+		roundDone[id] = make(chan struct{}, 1)
+		err := eng.AddCampaign(engine.CampaignConfig{
+			ID:              id,
+			Tasks:           []auction.Task{{ID: 1, Requirement: 0.5}},
+			ExpectedBidders: agentsPer,
+			Rounds:          rounds,
+			Alpha:           10,
+			Epsilon:         0.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := eng.Addr().String()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- eng.Serve(context.Background()) }()
+
+	var drivers sync.WaitGroup
+	for i := 0; i < campaigns; i++ {
+		drivers.Add(1)
+		go func(ci int) {
+			defer drivers.Done()
+			id := fmt.Sprintf("c%d", ci+1)
+			for round := 0; round < rounds; round++ {
+				var agents sync.WaitGroup
+				for a := 0; a < agentsPer; a++ {
+					agents.Add(1)
+					go func(a int) {
+						defer agents.Done()
+						user := auction.UserID(1000*ci + a + 1)
+						bid := auction.NewBid(user, []auction.TaskID{1},
+							float64(a)+1, map[auction.TaskID]float64{1: 0.9})
+						_, err := agent.Run(context.Background(), agent.Config{
+							Addr:     addr,
+							Campaign: id,
+							User:     user,
+							TrueBid:  bid,
+							Seed:     int64(ci*100 + a),
+							Timeout:  30 * time.Second,
+						})
+						if err != nil {
+							t.Errorf("campaign %s agent %d: %v", id, user, err)
+						}
+					}(a)
+				}
+				agents.Wait()
+				<-roundDone[id]
+			}
+		}(i)
+	}
+	drivers.Wait()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	return eng
+}
+
+// TestLiveAuditorDetectsFaults is the acceptance fault-injection run: one
+// real round whose settlement events are corrupted (payment far below the
+// declared cost) and whose computing phase trips an unmeetable 1ns SLO
+// target. Both must flip /debug/audit, show up in the metric families, and
+// degrade /readyz to 503 — within the one round the test runs.
+func TestLiveAuditorDetectsFaults(t *testing.T) {
+	aud := New(Config{SLO: &SLOConfig{
+		Targets: map[string]time.Duration{span.NamePhaseComputing: time.Nanosecond},
+	}})
+	eng := runAuditedEngine(t, aud, corruptingStore{inner: aud}, 1, 1, 3)
+
+	st := aud.Status()
+	if st.Violations == 0 {
+		t.Fatal("corrupted settlements produced no violations")
+	}
+	if len(st.DegradedCampaigns) != 1 || st.DegradedCampaigns[0] != "c1" {
+		t.Errorf("DegradedCampaigns = %v, want [c1]", st.DegradedCampaigns)
+	}
+	if len(st.SLOBreaching) != 1 || st.SLOBreaching[0] != span.NamePhaseComputing {
+		t.Errorf("SLOBreaching = %v, want [%s]", st.SLOBreaching, span.NamePhaseComputing)
+	}
+
+	ready := eng.Readiness()
+	if ready.OK() {
+		t.Error("Readiness.OK() = true with standing violations")
+	}
+	if ready.Status != obs.StatusDegraded {
+		t.Errorf("readiness status = %q, want %q", ready.Status, obs.StatusDegraded)
+	}
+	if eng.Health().Status == obs.StatusDegraded {
+		t.Error("liveness Health() caught the degraded status; audit must gate readiness only")
+	}
+	if cs, ok := ready.Campaigns["c1"]; !ok || !cs.Degraded {
+		t.Errorf("campaign c1 not flagged degraded: %+v", ready.Campaigns)
+	}
+
+	// The full ops surface, wired like platformd: /readyz must answer 503
+	// and /debug/audit must carry the violations and the breaching SLO.
+	srv, err := obs.Serve("127.0.0.1:0", obs.Options{
+		Gather: func() []obs.Family { return append(eng.MetricFamilies(), aud.Families()...) },
+		Health: eng.Health,
+		Ready:  eng.Readiness,
+		Audit:  func() []obs.AuditReport { return []obs.AuditReport{aud.Report()} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr().String()
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz status = %d, want 503; body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"degraded":true`) {
+		t.Errorf("/readyz body missing degraded campaign flag: %s", body)
+	}
+
+	resp, err = http.Get(base + "/debug/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []obs.AuditReport
+	if err := json.NewDecoder(resp.Body).Decode(&reports); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(reports) != 1 {
+		t.Fatalf("/debug/audit reports = %d, want 1", len(reports))
+	}
+	rep := reports[0]
+	if rep.Violations == 0 || len(rep.RecentViolations) == 0 {
+		t.Errorf("/debug/audit carries no violations: %+v", rep)
+	}
+	seenContract := false
+	for _, v := range rep.RecentViolations {
+		if v.Rule == "settlement_contract" {
+			seenContract = true
+		}
+	}
+	if !seenContract {
+		t.Errorf("no settlement_contract violation in %+v", rep.RecentViolations)
+	}
+	if len(rep.SLOs) != 1 || !rep.SLOs[0].Breaching {
+		t.Errorf("/debug/audit SLOs = %+v, want one breaching target", rep.SLOs)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"crowdsense_audit_violations_total{campaign=\"c1\",rule=\"settlement_contract\"}",
+		"crowdsense_audit_degraded{campaign=\"c1\"} 1",
+		"crowdsense_slo_breach_active{slo=\"phase.computing\"} 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestLiveAuditorCleanRun is the other half of the acceptance criteria: a
+// multi-campaign run with the auditor attached end to end reports zero
+// violations and no SLO breach (scripts/check.sh runs this package under
+// -race, covering the concurrent emit/observe/scrape paths).
+func TestLiveAuditorCleanRun(t *testing.T) {
+	aud := New(Config{SLO: &SLOConfig{
+		Targets: map[string]time.Duration{
+			span.NameRound:          time.Minute,
+			span.NamePhaseComputing: time.Minute,
+		},
+	}})
+	eng := runAuditedEngine(t, aud, aud, 2, 2, 3)
+
+	st := aud.Status()
+	if st.Violations != 0 {
+		t.Errorf("clean run produced %d violations; last: %s", st.Violations, st.LastViolation)
+	}
+	if st.RoundsChecked != 4 {
+		t.Errorf("RoundsChecked = %d, want 4 (2 campaigns × 2 rounds)", st.RoundsChecked)
+	}
+	if len(st.SLOBreaching) != 0 {
+		t.Errorf("SLOBreaching = %v, want none", st.SLOBreaching)
+	}
+	if ready := eng.Readiness(); !ready.OK() {
+		t.Errorf("Readiness.OK() = false on a clean run: %+v", ready)
+	}
+}

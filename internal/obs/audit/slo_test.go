@@ -1,0 +1,218 @@
+package audit
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdsense/internal/obs"
+	"crowdsense/internal/obs/span"
+)
+
+// fakeClock is an injectable clock for deterministic window arithmetic.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// sloAuditor builds an auditor tracking one 10ms phase.computing target on
+// the fake clock.
+func sloAuditor(clock *fakeClock, sinks ...span.Sink) *Auditor {
+	return New(Config{
+		Spans: span.New(sinks...),
+		SLO: &SLOConfig{
+			Targets: map[string]time.Duration{span.NamePhaseComputing: 10 * time.Millisecond},
+			Now:     clock.now,
+		},
+	})
+}
+
+func emitPhase(a *Auditor, d time.Duration) {
+	a.Emit(&span.Record{Name: span.NamePhaseComputing, DurNanos: int64(d)})
+}
+
+func TestSLOBreachRisingEdge(t *testing.T) {
+	clock := newFakeClock()
+	a := sloAuditor(clock)
+
+	// A slow event makes the slow fraction 1.0 in both windows: burn =
+	// 1/0.01 = 100, past both thresholds — breach on the first event.
+	emitPhase(a, 20*time.Millisecond)
+	st := a.Status()
+	if len(st.SLOBreaching) != 1 || st.SLOBreaching[0] != span.NamePhaseComputing {
+		t.Fatalf("SLOBreaching = %v, want [%s]", st.SLOBreaching, span.NamePhaseComputing)
+	}
+	if !st.Degraded() {
+		t.Error("Degraded() = false during SLO breach")
+	}
+
+	// More slow events while already breaching: no new rising edge.
+	emitPhase(a, 20*time.Millisecond)
+	emitPhase(a, 20*time.Millisecond)
+	sts := a.Report().SLOs
+	if len(sts) != 1 {
+		t.Fatalf("SLO statuses = %d, want 1", len(sts))
+	}
+	if sts[0].Breaches != 1 {
+		t.Errorf("Breaches = %d, want 1 (rising edges only)", sts[0].Breaches)
+	}
+	if sts[0].Events != 3 || sts[0].SlowEvents != 3 {
+		t.Errorf("Events/SlowEvents = %d/%d, want 3/3", sts[0].Events, sts[0].SlowEvents)
+	}
+
+	// Flood with fast events: slow fraction drops to 3/303 ≈ 0.0099, burn
+	// ≈ 0.99 < 14.4 — the breach clears.
+	for i := 0; i < 300; i++ {
+		emitPhase(a, time.Millisecond)
+	}
+	if br := a.Status().SLOBreaching; len(br) != 0 {
+		t.Fatalf("breach did not clear after fast events: %v", br)
+	}
+
+	// Let both windows empty out, then breach again: a second rising edge.
+	clock.advance(2 * time.Hour)
+	emitPhase(a, 20*time.Millisecond)
+	sts = a.Report().SLOs
+	if sts[0].Breaches != 2 {
+		t.Errorf("Breaches = %d, want 2 after a second rising edge", sts[0].Breaches)
+	}
+}
+
+func TestSLOWindowEviction(t *testing.T) {
+	clock := newFakeClock()
+	a := sloAuditor(clock)
+
+	emitPhase(a, 20*time.Millisecond) // slow at t0
+	clock.advance(2 * time.Hour)      // past the slow window
+	emitPhase(a, time.Millisecond)    // fast now
+
+	sts := a.Report().SLOs
+	if len(sts) != 1 {
+		t.Fatalf("SLO statuses = %d, want 1", len(sts))
+	}
+	st := sts[0]
+	if st.FastBurn != 0 || st.SlowBurn != 0 {
+		t.Errorf("burns = %g/%g after eviction, want 0/0", st.FastBurn, st.SlowBurn)
+	}
+	if st.Breaching {
+		t.Error("still breaching after the slow event left both windows")
+	}
+	if st.Events != 2 || st.SlowEvents != 1 {
+		t.Errorf("lifetime Events/SlowEvents = %d/%d, want 2/1", st.Events, st.SlowEvents)
+	}
+}
+
+func TestSLOFastWindowNarrowerThanSlow(t *testing.T) {
+	clock := newFakeClock()
+	a := sloAuditor(clock)
+
+	// A slow event, then 10 minutes: it leaves the 5m fast window but stays
+	// in the 1h slow window. Fast burn 0 blocks the breach (multi-window
+	// alerting: the fast window must confirm the slow one).
+	emitPhase(a, 20*time.Millisecond)
+	clock.advance(10 * time.Minute)
+	emitPhase(a, time.Millisecond)
+
+	st := a.Report().SLOs[0]
+	if st.FastBurn != 0 {
+		t.Errorf("FastBurn = %g, want 0 (slow event aged out of fast window)", st.FastBurn)
+	}
+	if st.SlowBurn != 50 { // 1 slow / 2 total / 0.01 objective
+		t.Errorf("SlowBurn = %g, want 50", st.SlowBurn)
+	}
+	if st.Breaching {
+		t.Error("breaching on slow-window burn alone")
+	}
+}
+
+func TestSLOIgnoresUntrackedSpans(t *testing.T) {
+	clock := newFakeClock()
+	a := sloAuditor(clock)
+	a.Emit(&span.Record{Name: span.NameRound, DurNanos: int64(time.Hour)})
+	if sts := a.Report().SLOs; sts[0].Events != 0 {
+		t.Errorf("untracked span counted: Events = %d", sts[0].Events)
+	}
+}
+
+func TestSLOBreachEmitsSpan(t *testing.T) {
+	clock := newFakeClock()
+	sink := &captureSink{}
+	a := sloAuditor(clock, sink)
+
+	emitPhase(a, 20*time.Millisecond)
+	recs := sink.named(span.NameSLOBreach)
+	if len(recs) != 1 {
+		t.Fatalf("slo.breach spans = %d, want 1", len(recs))
+	}
+	r := recs[0]
+	if name, _ := r.Attrs.Get("slo").(string); name != span.NamePhaseComputing {
+		t.Errorf("slo attr = %q, want %s", name, span.NamePhaseComputing)
+	}
+	if burn, _ := r.Attrs.Get("fast_burn").(float64); burn < DefaultFastBurn {
+		t.Errorf("fast_burn attr = %g, want ≥ %g", burn, DefaultFastBurn)
+	}
+}
+
+func TestSLOFamilies(t *testing.T) {
+	clock := newFakeClock()
+	a := sloAuditor(clock)
+	emitPhase(a, 20*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := obs.RenderMetrics(&buf, a.Families()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`crowdsense_slo_target_seconds{slo="phase.computing"} 0.01`,
+		`crowdsense_slo_events_total{slo="phase.computing"} 1`,
+		`crowdsense_slo_slow_events_total{slo="phase.computing"} 1`,
+		`crowdsense_slo_burn_rate{slo="phase.computing",window="fast"} 100`,
+		`crowdsense_slo_burn_rate{slo="phase.computing",window="slow"} 100`,
+		`crowdsense_slo_breach_active{slo="phase.computing"} 1`,
+		`crowdsense_slo_breaches_total{slo="phase.computing"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestSLOForceEviction(t *testing.T) {
+	clock := newFakeClock()
+	a := sloAuditor(clock)
+	// All events share one timestamp, so time-based eviction never fires;
+	// the buffer cap must bound memory anyway.
+	for i := 0; i < maxSLOEvents+500; i++ {
+		emitPhase(a, time.Millisecond)
+	}
+	tgt := a.slo.targets[span.NamePhaseComputing]
+	tgt.mu.Lock()
+	live := len(tgt.events) - tgt.slowHead
+	total := tgt.slowTotal
+	tgt.mu.Unlock()
+	if live > maxSLOEvents {
+		t.Errorf("live events = %d, want ≤ %d", live, maxSLOEvents)
+	}
+	if total != uint64(live) {
+		t.Errorf("slowTotal = %d, want %d (counter/window drift)", total, live)
+	}
+}

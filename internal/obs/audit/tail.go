@@ -1,0 +1,52 @@
+package audit
+
+import (
+	"context"
+	"errors"
+
+	"crowdsense/internal/store"
+)
+
+// Tail follows a WAL's durable event stream from fromSeq, folding every
+// batch into the auditor — the same consumer position a replica would hold,
+// so the auditor checks exactly what recovery would replay. When fromSeq
+// has been compacted away it resumes from the durable horizon instead:
+// history the log no longer holds cannot be audited, but every round from
+// here on can (the fold skips rounds whose opening it missed).
+//
+// Tail blocks until ctx is cancelled or the WAL closes, returning nil on
+// either; any other stream error is returned. Run it in a goroutine.
+func (a *Auditor) Tail(ctx context.Context, w *store.WAL, fromSeq uint64) error {
+	s, err := w.Stream(fromSeq)
+	if errors.Is(err, store.ErrCompacted) {
+		s, err = w.Stream(w.LastSeq())
+	}
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	// Recv blocks on the WAL's condition variable; unblock it on cancel.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.Close()
+		case <-done:
+		}
+	}()
+
+	for {
+		events, err := s.Recv()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, store.ErrStreamClosed) || errors.Is(err, store.ErrWALClosed) {
+				return nil
+			}
+			return err
+		}
+		for _, ev := range events {
+			a.Observe(ev)
+		}
+	}
+}

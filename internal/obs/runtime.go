@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+)
+
+// RuntimeFamilies snapshots the Go runtime into metric families: goroutine
+// count, heap occupancy, cumulative GC count, and the p99 GC pause over the
+// runtime's recent-pause ring. Cheap enough to call per scrape —
+// runtime.ReadMemStats stops the world only briefly and scrapes are rare
+// next to bid traffic.
+func RuntimeFamilies() []Family {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return []Family{
+		{
+			Name: "crowdsense_go_goroutines", Help: "Live goroutines.", Type: TypeGauge,
+			Samples: []Sample{{Value: float64(runtime.NumGoroutine())}},
+		},
+		{
+			Name: "crowdsense_go_heap_alloc_bytes", Help: "Heap bytes allocated and still in use.", Type: TypeGauge,
+			Samples: []Sample{{Value: float64(ms.HeapAlloc)}},
+		},
+		{
+			Name: "crowdsense_go_heap_objects", Help: "Live heap objects.", Type: TypeGauge,
+			Samples: []Sample{{Value: float64(ms.HeapObjects)}},
+		},
+		{
+			Name: "crowdsense_go_gc_total", Help: "Completed GC cycles.", Type: TypeCounter,
+			Samples: []Sample{{Value: float64(ms.NumGC)}},
+		},
+		{
+			Name: "crowdsense_go_gc_pause_p99_seconds", Help: "p99 GC pause over the runtime's recent-pause ring.", Type: TypeGauge,
+			Samples: []Sample{{Value: gcPauseP99(&ms)}},
+		},
+	}
+}
+
+// gcPauseP99 computes the p99 pause from MemStats.PauseNs, the runtime's
+// ring of the last (up to) 256 GC pause durations.
+func gcPauseP99(ms *runtime.MemStats) float64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, n)
+	copy(pauses, ms.PauseNs[:n])
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := (n*99 + 99) / 100 // ceil(0.99·n), 1-based rank
+	if idx > n {
+		idx = n
+	}
+	return float64(pauses[idx-1]) / 1e9
+}

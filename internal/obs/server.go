@@ -28,6 +28,12 @@ const (
 	// engine takes over (/healthz stays 200 — recovery is progress, not
 	// death).
 	StatusRecovering = "recovering"
+	// StatusDegraded: the live auditor found a mechanism-invariant violation
+	// or a breaching latency SLO. The process keeps serving (/healthz stays
+	// 200 — restarting would destroy the evidence and fix nothing), but
+	// /readyz answers 503 so orchestrators route new campaigns elsewhere
+	// while operators investigate.
+	StatusDegraded = "degraded"
 )
 
 // SaturationThreshold is the queue occupancy fraction at which a producer
@@ -45,12 +51,18 @@ type Health struct {
 }
 
 // OK reports whether the health status maps to HTTP 200.
-func (h Health) OK() bool { return h.Status != StatusSaturated && h.Status != StatusRecovering }
+func (h Health) OK() bool {
+	return h.Status != StatusSaturated && h.Status != StatusRecovering && h.Status != StatusDegraded
+}
 
 // CampaignStatus is one campaign's lifecycle position in a readiness report.
 type CampaignStatus struct {
 	State string `json:"state"` // collecting | computing | settling | closed
 	Round int    `json:"round"` // 1-based current (or final) round
+	// Degraded marks a campaign with at least one live-audit invariant
+	// violation. The campaign keeps running — degrading routes traffic away
+	// and pages an operator; killing it would erase the evidence.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Readiness is the /readyz report: the health summary plus per-campaign
@@ -59,11 +71,32 @@ type CampaignStatus struct {
 //
 // Shards appears only on cluster nodes: each shard the node participates in
 // mapped to its role (leader | follower | recovering). Single-process
-// deployments omit it, keeping the report backward compatible.
+// deployments omit it, keeping the report backward compatible. ShardAudit
+// likewise appears only on cluster nodes running per-shard auditors.
 type Readiness struct {
 	Health
-	Campaigns map[string]CampaignStatus `json:"campaigns"`
-	Shards    map[string]string         `json:"shards,omitempty"`
+	Campaigns  map[string]CampaignStatus `json:"campaigns"`
+	Shards     map[string]string         `json:"shards,omitempty"`
+	Audit      *AuditStatus              `json:"audit,omitempty"`
+	ShardAudit map[string]*AuditStatus   `json:"shard_audit,omitempty"`
+}
+
+// OK reports whether the readiness report maps to HTTP 200: the health
+// summary must be OK and no auditor — process-wide or per-shard — may be
+// degraded.
+func (r Readiness) OK() bool {
+	if !r.Health.OK() {
+		return false
+	}
+	if r.Audit.Degraded() {
+		return false
+	}
+	for _, a := range r.ShardAudit {
+		if a.Degraded() {
+			return false
+		}
+	}
+	return true
 }
 
 // Options wires the data sources behind the ops endpoints. A nil source
@@ -81,6 +114,10 @@ type Options struct {
 	// Spans supplies up to n recent lifecycle spans for /debug/spans,
 	// oldest first (typically Engine.SpanRecords).
 	Spans func(n int) []span.Record
+	// Audit supplies the live-audit reports for /debug/audit — one per
+	// auditor (single-process deployments have exactly one; cluster nodes
+	// one per led shard).
+	Audit func() []AuditReport
 }
 
 // NewMux assembles the ops endpoints on a fresh ServeMux:
@@ -90,6 +127,7 @@ type Options struct {
 //	/readyz        JSON readiness with per-campaign status, 503 when saturated
 //	/debug/rounds  JSON of the recent round trace (?n= bounds the count)
 //	/debug/spans   JSON of the recent lifecycle spans (?n= bounds the count)
+//	/debug/audit   JSON live-audit reports (invariants + SLO burn rates)
 //	/debug/pprof/  the standard net/http/pprof handlers
 //
 // Liveness and readiness are deliberately split: a saturated bid queue means
@@ -160,6 +198,16 @@ func NewMux(opts Options) *http.ServeMux {
 			}
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(events)
+		})
+	}
+	if opts.Audit != nil {
+		mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, r *http.Request) {
+			reports := opts.Audit()
+			if reports == nil {
+				reports = []AuditReport{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(reports)
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

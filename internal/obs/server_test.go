@@ -107,6 +107,63 @@ func TestMuxReadyz(t *testing.T) {
 	}
 }
 
+// TestMuxReadyzGoldenBody pins the full /readyz wire format — per-shard
+// roles, the per-shard audit summary, and campaign degraded flags — so
+// orchestrator probes and dashboards parsing the body never break silently.
+func TestMuxReadyzGoldenBody(t *testing.T) {
+	ready := Readiness{
+		Health: Health{Status: StatusDegraded, Serving: true, OpenCampaigns: 2,
+			QueueLen: 3, QueueCap: 64, Saturation: 0.5},
+		Campaigns: map[string]CampaignStatus{
+			"c1": {State: "collecting", Round: 4},
+			"c2": {State: "settling", Round: 2, Degraded: true},
+		},
+		Shards: map[string]string{"s1": "leader", "s2": "follower"},
+		ShardAudit: map[string]*AuditStatus{
+			"s1": {Enabled: true, RoundsChecked: 6, Violations: 1,
+				DegradedCampaigns: []string{"c2"},
+				SLOBreaching:      []string{"phase.computing"},
+				LastViolation:     "c2 r2: settlement_contract"},
+		},
+	}
+	mux := NewMux(Options{Ready: func() Readiness { return ready }})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("degraded /readyz code %d, want 503", rec.Code)
+	}
+	want := `{"status":"degraded","serving":true,"open_campaigns":2,"queue_len":3,"queue_cap":64,` +
+		`"queue_saturation":0.5,` +
+		`"campaigns":{"c1":{"state":"collecting","round":4},"c2":{"state":"settling","round":2,"degraded":true}},` +
+		`"shards":{"s1":"leader","s2":"follower"},` +
+		`"shard_audit":{"s1":{"enabled":true,"rounds_checked":6,"violations":1,` +
+		`"degraded_campaigns":["c2"],"slo_breaching":["phase.computing"],` +
+		`"last_violation":"c2 r2: settlement_contract"}}}`
+	if got := strings.TrimSpace(rec.Body.String()); got != want {
+		t.Errorf("/readyz body drifted:\n got %s\nwant %s", got, want)
+	}
+
+	// The single-process shape: one clean auditor inline, no shard keys —
+	// a clean audit keeps /readyz at 200.
+	ready = Readiness{
+		Health:    Health{Status: StatusOK, Serving: true, OpenCampaigns: 1, QueueCap: 64},
+		Campaigns: map[string]CampaignStatus{"c1": {State: "collecting", Round: 1}},
+		Audit:     &AuditStatus{Enabled: true, RoundsChecked: 9},
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("clean-audit /readyz code %d, want 200", rec.Code)
+	}
+	want = `{"status":"ok","serving":true,"open_campaigns":1,"queue_len":0,"queue_cap":64,` +
+		`"queue_saturation":0,` +
+		`"campaigns":{"c1":{"state":"collecting","round":1}},` +
+		`"audit":{"enabled":true,"rounds_checked":9,"violations":0}}`
+	if got := strings.TrimSpace(rec.Body.String()); got != want {
+		t.Errorf("single-process /readyz body drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
 func TestMuxDebugRounds(t *testing.T) {
 	tr := NewTrace(8)
 	for i := 0; i < 6; i++ {

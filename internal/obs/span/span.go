@@ -56,6 +56,12 @@ const (
 	// NameReplication covers one leader→follower WAL replication session,
 	// connect → disconnect.
 	NameReplication = "replication"
+	// NameAuditViolation marks one mechanism-invariant violation found by
+	// the live auditor (zero-duration event span).
+	NameAuditViolation = "audit.violation"
+	// NameSLOBreach marks one latency-SLO burn-rate breach rising edge
+	// (zero-duration event span).
+	NameSLOBreach = "slo.breach"
 	// NameFailover covers one follower promotion: leader declared dead →
 	// replica replayed → serving agents.
 	NameFailover = "failover"

@@ -66,14 +66,14 @@ func NewJournalEntry(round int, tasks []auction.Task, result RoundResult) Journa
 	if result.Err != nil {
 		rec.Err = result.Err.Error()
 	}
-	return entryFromRecord("", tasks, rec)
+	return EntryFromRecord("", tasks, rec)
 }
 
-// entryFromRecord converts one reduced round record into its journal form —
-// the single encoding shared by the live OnRound path and event-stream
-// consumers (JournalStore). Settlements are emitted in user order so entries
-// are byte-stable across runs and replays.
-func entryFromRecord(campaignID string, tasks []auction.Task, rec store.RoundRecord) JournalEntry {
+// EntryFromRecord converts one reduced round record into its journal form —
+// the single encoding shared by the live OnRound path, event-stream
+// consumers (JournalStore), and the live auditor. Settlements are emitted in
+// user order so entries are byte-stable across runs and replays.
+func EntryFromRecord(campaignID string, tasks []auction.Task, rec store.RoundRecord) JournalEntry {
 	entry := JournalEntry{Campaign: campaignID, Round: rec.Round}
 	for _, t := range tasks {
 		entry.Tasks = append(entry.Tasks, journalTask{ID: int(t.ID), Requirement: t.Requirement})
@@ -140,10 +140,24 @@ func ReadJournal(r io.Reader) ([]JournalEntry, error) {
 	}
 }
 
-// AuditFinding is one inconsistency discovered while replaying a journal.
+// Audit rule identifiers. Each AuditFinding names the rule that produced it
+// so consumers (metrics labels, the live auditor) can aggregate by failure
+// class without parsing the human-readable Problem text.
+const (
+	RuleRewardGap  = "reward_gap"             // EC success/failure gap must equal α
+	RuleSocialCost = "social_cost"            // recorded social cost vs winners' bid costs
+	RuleContract   = "settlement_contract"    // paid amount vs the recorded EC contract
+	RuleNonWinner  = "non_winner_settlement"  // settlement for a user who won nothing
+	RuleUtility    = "utility"                // utility vs reward − declared cost
+	RuleIR         = "individual_rationality" // successful winners paid ≥ declared cost
+	RuleBudget     = "budget"                 // rewards inside the α band around cost
+)
+
+// AuditFinding is one inconsistency discovered while checking a round.
 type AuditFinding struct {
 	Round   int
 	User    int
+	Rule    string
 	Problem string
 }
 
@@ -151,71 +165,124 @@ func (f AuditFinding) String() string {
 	return fmt.Sprintf("round %d user %d: %s", f.Round, f.User, f.Problem)
 }
 
-// Audit replays journal entries and cross-checks the platform's own
-// arithmetic: every settlement must match the winner's recorded EC
-// contract, social cost must equal the winners' bid costs, and — for EC
-// outcomes — the success/failure reward gap must equal α. It returns the
-// inconsistencies found (none for a healthy journal).
-func Audit(entries []JournalEntry) []AuditFinding {
+// auditTol absorbs float drift from the mechanism's payment arithmetic; the
+// invariants below are exact in exact arithmetic.
+const auditTol = 1e-6
+
+// CheckRound evaluates every mechanism invariant against one journal entry:
+// settlements must match the recorded EC contracts, social cost must equal
+// the winners' bid costs, the success/failure reward gap must equal α,
+// successful winners must be individually rational (paid at least their
+// declared cost), and every reward must sit inside the α band around the
+// declared cost that budget feasibility implies (reward-on-success ≤ c+α,
+// reward-on-failure ≥ c−α, total paid ≤ social cost + winners·α). Void
+// rounds (entry.Error set) check clean by definition. This is the shared
+// rule set behind the offline cmd/audit replay and the live auditor.
+func CheckRound(e JournalEntry) []AuditFinding {
+	if e.Error != "" {
+		return nil // void round: nothing to check
+	}
 	var findings []AuditFinding
-	const tol = 1e-6
-	for _, e := range entries {
-		if e.Error != "" {
-			continue // void round: nothing to check
-		}
-		costs := make(map[int]float64, len(e.Bids))
-		for _, b := range e.Bids {
-			costs[b.User] = b.Cost
-		}
-		awards := make(map[int]journalAward, len(e.Winners))
-		totalCost := 0.0
-		for _, w := range e.Winners {
-			awards[w.User] = w
-			totalCost += costs[w.User]
-			if e.Alpha > 0 {
-				gap := w.RewardOnSuccess - w.RewardOnFailure
-				if abs(gap-e.Alpha) > tol {
-					findings = append(findings, AuditFinding{
-						Round: e.Round, User: w.User,
-						Problem: fmt.Sprintf("EC reward gap %g mismatches α %g", gap, e.Alpha),
-					})
-				}
+	costs := make(map[int]float64, len(e.Bids))
+	for _, b := range e.Bids {
+		costs[b.User] = b.Cost
+	}
+	awards := make(map[int]journalAward, len(e.Winners))
+	totalCost := 0.0
+	for _, w := range e.Winners {
+		awards[w.User] = w
+		totalCost += costs[w.User]
+		if e.Alpha > 0 {
+			gap := w.RewardOnSuccess - w.RewardOnFailure
+			if abs(gap-e.Alpha) > auditTol {
+				findings = append(findings, AuditFinding{
+					Round: e.Round, User: w.User, Rule: RuleRewardGap,
+					Problem: fmt.Sprintf("EC reward gap %g mismatches α %g", gap, e.Alpha),
+				})
+			}
+			if w.RewardOnSuccess > costs[w.User]+e.Alpha+auditTol {
+				findings = append(findings, AuditFinding{
+					Round: e.Round, User: w.User, Rule: RuleBudget,
+					Problem: fmt.Sprintf("success reward %g exceeds cost %g + α %g budget band",
+						w.RewardOnSuccess, costs[w.User], e.Alpha),
+				})
+			}
+			if w.RewardOnFailure < costs[w.User]-e.Alpha-auditTol {
+				findings = append(findings, AuditFinding{
+					Round: e.Round, User: w.User, Rule: RuleBudget,
+					Problem: fmt.Sprintf("failure reward %g below cost %g − α %g budget band",
+						w.RewardOnFailure, costs[w.User], e.Alpha),
+				})
 			}
 		}
-		if abs(totalCost-e.SocialCost) > tol {
+		if w.RewardOnSuccess < costs[w.User]-auditTol {
 			findings = append(findings, AuditFinding{
-				Round: e.Round,
-				Problem: fmt.Sprintf("social cost %g mismatches winners' bid costs %g",
-					e.SocialCost, totalCost),
+				Round: e.Round, User: w.User, Rule: RuleIR,
+				Problem: fmt.Sprintf("success reward %g below declared cost %g (not individually rational)",
+					w.RewardOnSuccess, costs[w.User]),
 			})
 		}
-		for _, s := range e.Settlements {
-			aw, ok := awards[s.User]
-			if !ok {
-				findings = append(findings, AuditFinding{
-					Round: e.Round, User: s.User,
-					Problem: "settlement for a non-winner",
-				})
-				continue
-			}
-			want := aw.RewardOnFailure
-			if s.Success {
-				want = aw.RewardOnSuccess
-			}
-			if abs(s.Reward-want) > tol {
-				findings = append(findings, AuditFinding{
-					Round: e.Round, User: s.User,
-					Problem: fmt.Sprintf("paid %g, contract says %g", s.Reward, want),
-				})
-			}
-			if abs(s.Utility-(s.Reward-costs[s.User])) > tol {
-				findings = append(findings, AuditFinding{
-					Round: e.Round, User: s.User,
-					Problem: fmt.Sprintf("utility %g mismatches reward %g − cost %g",
-						s.Utility, s.Reward, costs[s.User]),
-				})
-			}
+	}
+	if abs(totalCost-e.SocialCost) > auditTol {
+		findings = append(findings, AuditFinding{
+			Round: e.Round, Rule: RuleSocialCost,
+			Problem: fmt.Sprintf("social cost %g mismatches winners' bid costs %g",
+				e.SocialCost, totalCost),
+		})
+	}
+	totalPaid := 0.0
+	for _, s := range e.Settlements {
+		aw, ok := awards[s.User]
+		if !ok {
+			findings = append(findings, AuditFinding{
+				Round: e.Round, User: s.User, Rule: RuleNonWinner,
+				Problem: "settlement for a non-winner",
+			})
+			continue
 		}
+		totalPaid += s.Reward
+		want := aw.RewardOnFailure
+		if s.Success {
+			want = aw.RewardOnSuccess
+		}
+		if abs(s.Reward-want) > auditTol {
+			findings = append(findings, AuditFinding{
+				Round: e.Round, User: s.User, Rule: RuleContract,
+				Problem: fmt.Sprintf("paid %g, contract says %g", s.Reward, want),
+			})
+		}
+		if s.Success && s.Reward < costs[s.User]-auditTol {
+			findings = append(findings, AuditFinding{
+				Round: e.Round, User: s.User, Rule: RuleIR,
+				Problem: fmt.Sprintf("successful winner paid %g below declared cost %g (not individually rational)",
+					s.Reward, costs[s.User]),
+			})
+		}
+		if abs(s.Utility-(s.Reward-costs[s.User])) > auditTol {
+			findings = append(findings, AuditFinding{
+				Round: e.Round, User: s.User, Rule: RuleUtility,
+				Problem: fmt.Sprintf("utility %g mismatches reward %g − cost %g",
+					s.Utility, s.Reward, costs[s.User]),
+			})
+		}
+	}
+	if e.Alpha > 0 && totalPaid > e.SocialCost+float64(len(e.Winners))*e.Alpha+auditTol {
+		findings = append(findings, AuditFinding{
+			Round: e.Round, Rule: RuleBudget,
+			Problem: fmt.Sprintf("total paid %g exceeds budget bound social cost %g + %d winners × α %g",
+				totalPaid, e.SocialCost, len(e.Winners), e.Alpha),
+		})
+	}
+	return findings
+}
+
+// Audit replays journal entries and cross-checks the platform's own
+// arithmetic with CheckRound, returning every inconsistency found (none for
+// a healthy journal).
+func Audit(entries []JournalEntry) []AuditFinding {
+	var findings []AuditFinding
+	for _, e := range entries {
+		findings = append(findings, CheckRound(e)...)
 	}
 	return findings
 }

@@ -111,15 +111,31 @@ func TestAuditDetectsTampering(t *testing.T) {
 	badGap.Winners = append([]journalAward(nil), base.Winners...)
 	badGap.Winners[0].RewardOnFailure = badGap.Winners[0].RewardOnSuccess // gap 0 ≠ α
 
+	// Pay a successful winner below their declared cost: violates both the
+	// recorded contract and individual rationality.
+	underpaid := base
+	underpaid.Settlements = append([]journalSettle(nil), base.Settlements...)
+	underpaid.Settlements[0].Reward = -1
+	underpaid.Settlements[0].Utility = underpaid.Settlements[0].Reward - costOf(base, underpaid.Settlements[0].User)
+
+	// Contract promising more than cost + α on success breaks the budget band.
+	lavish := base
+	lavish.Winners = append([]journalAward(nil), base.Winners...)
+	lavish.Winners[0].RewardOnSuccess = costOf(base, lavish.Winners[0].User) + base.Alpha + 1
+	lavish.Winners[0].RewardOnFailure = lavish.Winners[0].RewardOnSuccess - base.Alpha // keep the gap clean
+
 	cases := []struct {
 		name  string
 		entry JournalEntry
+		rule  string
 		want  string
 	}{
-		{"overpaid", overpaid, "paid"},
-		{"wrong social cost", wrongCost, "social cost"},
-		{"ghost settlement", ghost, "non-winner"},
-		{"bad EC gap", badGap, "reward gap"},
+		{"overpaid", overpaid, RuleContract, "paid"},
+		{"wrong social cost", wrongCost, RuleSocialCost, "social cost"},
+		{"ghost settlement", ghost, RuleNonWinner, "non-winner"},
+		{"bad EC gap", badGap, RuleRewardGap, "reward gap"},
+		{"underpaid winner", underpaid, RuleIR, "individually rational"},
+		{"budget band", lavish, RuleBudget, "budget band"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -131,6 +147,9 @@ func TestAuditDetectsTampering(t *testing.T) {
 			for _, f := range findings {
 				if strings.Contains(f.String(), c.want) {
 					found = true
+					if f.Rule != c.rule {
+						t.Errorf("finding %q has rule %q, want %q", f.Problem, f.Rule, c.rule)
+					}
 				}
 			}
 			if !found {
@@ -138,6 +157,16 @@ func TestAuditDetectsTampering(t *testing.T) {
 			}
 		})
 	}
+}
+
+// costOf returns the declared cost of user's bid in the entry.
+func costOf(e JournalEntry, user int) float64 {
+	for _, b := range e.Bids {
+		if b.User == user {
+			return b.Cost
+		}
+	}
+	return 0
 }
 
 func TestSummarize(t *testing.T) {

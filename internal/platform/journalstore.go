@@ -50,7 +50,7 @@ func (j *JournalStore) Append(ev store.Event) error {
 	}
 	cs := j.state.Campaigns[ev.Campaign]
 	rec := cs.Completed[len(cs.Completed)-1] // Apply just archived it
-	entry := entryFromRecord(ev.Campaign, cs.Spec.Tasks, rec)
+	entry := EntryFromRecord(ev.Campaign, cs.Spec.Tasks, rec)
 	if err := WriteJournal(j.w, entry); err != nil {
 		j.err = err
 		return err
@@ -90,7 +90,7 @@ func JournalFromState(st *store.State) []JournalEntry {
 			continue
 		}
 		for _, rec := range cs.Completed {
-			entries = append(entries, entryFromRecord(id, cs.Spec.Tasks, rec))
+			entries = append(entries, EntryFromRecord(id, cs.Spec.Tasks, rec))
 		}
 	}
 	return entries

@@ -8,6 +8,7 @@ import (
 
 	"crowdsense/internal/engine"
 	"crowdsense/internal/mechanism"
+	"crowdsense/internal/obs"
 	"crowdsense/internal/obs/span"
 	"crowdsense/internal/store"
 )
@@ -41,6 +42,10 @@ type RoundsOptions struct {
 	// store.Multi of both.
 	Store store.Store
 
+	// AuditStatus, if set, merges a live auditor's summary into the
+	// engine's readiness report; see engine.Config.AuditStatus.
+	AuditStatus func() *obs.AuditStatus
+
 	// Restore, if set, resumes the campaigns recovered from a WAL instead
 	// of registering a fresh one: cfg's task/bidder fields and Rounds are
 	// ignored (the recovered specs govern), and each unfinished campaign
@@ -70,8 +75,9 @@ func RunRounds(ctx context.Context, cfg Config, opts RoundsOptions) ([]RoundResu
 	)
 	var addr string
 	ecfg := engine.Config{
-		Store:     opts.Store,
-		SpanSinks: opts.SpanSinks,
+		Store:       opts.Store,
+		SpanSinks:   opts.SpanSinks,
+		AuditStatus: opts.AuditStatus,
 		OnRoundOpen: func(string, int) {
 			if opts.OnReady != nil {
 				opts.OnReady(addr)

@@ -84,10 +84,28 @@ func (w *WAL) Families() []obs.Family {
 			Samples: bucketSamples,
 		},
 		{
+			Name:    "crowdsense_wal_open_segments",
+			Help:    "Log segments currently on disk (compaction keeps this bounded).",
+			Type:    obs.TypeGauge,
+			Samples: []obs.Sample{{Value: float64(w.OpenSegments())}},
+		},
+		{
 			Name:    "crowdsense_recovery_replayed_events",
 			Help:    "Events replayed from the WAL at the last open.",
 			Type:    obs.TypeGauge,
 			Samples: []obs.Sample{{Value: float64(s.replayed.Load())}},
 		},
 	}
+}
+
+// OpenSegments counts the log segments currently on disk. It lists the
+// directory rather than tracking a counter: compaction deletes are
+// best-effort, so the directory is the only truthful source. Scrape-path
+// only — one ReadDir per call.
+func (w *WAL) OpenSegments() int {
+	segs, _, err := listLog(w.cfg.Dir)
+	if err != nil {
+		return 0
+	}
+	return len(segs)
 }

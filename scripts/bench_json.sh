@@ -7,14 +7,17 @@
 # path at n=200 runs minutes per op; solver-level passes iterate more.
 # A second pass runs the cluster benchmarks (leader failover latency and
 # cross-node auction throughput on a 3-node loopback cluster) into
-# BENCH_cluster.json.
+# BENCH_cluster.json, and a third runs the observability benchmarks (live
+# auditor overhead on a real engine, SLO evaluation throughput) into
+# BENCH_obs.json.
 set -eu
 
 cd "$(dirname "$0")/.."
 out=BENCH_solvers.json
 tmp=$(mktemp)
 ctmp=$(mktemp)
-trap 'rm -f "$tmp" "$ctmp"' EXIT
+otmp=$(mktemp)
+trap 'rm -f "$tmp" "$ctmp" "$otmp"' EXIT
 
 go test -run '^$' -bench 'BenchmarkSolveFPTAS(Reference)?$' -benchtime 3x ./internal/knapsack | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkGreedy(Reference)?$' -benchtime 50x ./internal/setcover | tee -a "$tmp"
@@ -94,3 +97,38 @@ END {
 }' "$ctmp" > "$cout"
 
 echo "wrote $cout"
+
+# Observability trajectory: overhead_% is the wall-clock cost of running the
+# live auditor (event folding + span SLO tracking + metrics) against an
+# otherwise-identical uninstrumented engine over real loopback rounds;
+# evals/s is single-threaded SLO burn-rate evaluation throughput.
+oout=BENCH_obs.json
+go test -run '^$' -bench 'BenchmarkAuditOverhead$' -benchtime 10x ./internal/obs/audit | tee "$otmp"
+go test -run '^$' -bench 'BenchmarkSLOEval$' -benchtime 200000x ./internal/obs/audit | tee -a "$otmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version | awk '{print $3}')" '
+/^Benchmark.*ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns[name] = $3
+	for (i = 5; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/\//, "_per_", unit)
+		metrics[name] = metrics[name] sprintf(", \"%s\": %s", unit, $i)
+	}
+	order[n++] = name
+}
+END {
+	if (n == 0) { print "no obs benchmarks parsed" > "/dev/stderr"; exit 1 }
+	printf "{\n  \"generated\": \"%s\",\n  \"go\": \"%s\",\n", date, goversion
+	printf "  \"benchtime\": {\"audit_overhead\": \"10x\", \"slo_eval\": \"200000x\"},\n"
+	printf "  \"workload\": {\"audit_overhead\": \"loopback rounds with 5 agents each, auditor on store + span + readiness paths vs none\", \"slo_eval\": \"one tracked span per op against a 10ms target\"},\n"
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s%s}%s\n", name, ns[name], metrics[name], (i < n - 1 ? "," : "")
+	}
+	printf "  ]\n}\n"
+}' "$otmp" > "$oout"
+
+echo "wrote $oout"

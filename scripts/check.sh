@@ -36,6 +36,12 @@ go test -run '^$' -bench BenchmarkSpanOverhead -benchtime 3x ./internal/engine
 # harness runs).
 go test -run TestEngineCrashRecoveryDifferential ./internal/engine
 go test -run '^$' -bench BenchmarkEngineStoreOverhead -benchtime 3x ./internal/engine
+# Audit gates: the offline-audit smoke (a live engine's event-derived
+# journal audits clean, a tampered copy is flagged with exit 1) and a smoke
+# run of the live auditor's overhead benchmark (the ≤10% assertion engages
+# at b.N >= 50; 3x just proves the harness runs).
+go test -run TestAuditSmoke ./cmd/audit
+go test -run '^$' -bench BenchmarkAuditOverhead -benchtime 3x ./internal/obs/audit
 # Cluster gate: kill-the-leader differential under race — the promoted
 # follower's settled rounds and journal bytes must match the dead leader's.
 go test -race -run TestClusterFailoverDifferential ./internal/cluster
