@@ -11,7 +11,8 @@ GO ?= go
 RACE_PKGS = ./internal/engine/... ./internal/obs/... ./internal/obs/span \
 	./internal/platform/... ./internal/agent/... ./internal/wire/... \
 	./internal/store/... ./internal/cluster/... \
-	./internal/mechanism/... ./internal/knapsack/... ./internal/setcover/...
+	./internal/mechanism/... ./internal/knapsack/... ./internal/setcover/... \
+	./cmd/crowdsim
 
 # Solver and mechanism hot-path benchmarks, including the *Reference
 # baselines the optimized paths are compared against.
@@ -55,6 +56,7 @@ check:
 	$(MAKE) recovery-smoke
 	$(MAKE) audit-smoke
 	$(MAKE) cluster-smoke
+	$(MAKE) swarm-smoke
 
 # Crash-recovery differential plus a store-overhead benchmark smoke: kill a
 # WAL-backed engine mid-round, reopen the log, finish the campaign, and
@@ -86,3 +88,11 @@ audit-smoke:
 .PHONY: cluster-smoke
 cluster-smoke:
 	$(GO) test -race -run TestClusterFailoverDifferential ./internal/cluster
+
+# Million-agent fan-in gate, scaled to CI: 100k agents across 100 campaigns
+# through the in-process swarm path under the race detector, asserting every
+# round settles and the admit queue sheds nothing.
+.PHONY: swarm-smoke
+swarm-smoke:
+	SWARM_AGENTS=100000 SWARM_CAMPAIGNS=100 SWARM_ROUNDS=1 \
+		$(GO) test -race -run TestSwarmSmoke -v ./cmd/crowdsim

@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -61,6 +62,8 @@ func run() error {
 		horizon  = flag.Int("horizon", 12, "campaign horizon for -model mode")
 		setSize  = flag.Int("taskset", 15, "task-set size for -model mode")
 		campaign = flag.String("campaign", "", "target campaign ID (empty = platform's default campaign)")
+		codec    = flag.String("codec", "json", "wire codec: json or binary (the platform auto-negotiates)")
+		aggr     = flag.Bool("aggregate", false, "fleet mode: coalesce the fleet's bids into one batched session")
 		retries  = flag.Int("retries", 5, "dial attempts before giving up (exponential backoff)")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		version  = flag.Bool("version", false, "print version and exit")
@@ -78,12 +81,22 @@ func run() error {
 	}
 	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stdout, &slog.HandlerOptions{Level: level})))
 
+	if *codec != "json" && *codec != "binary" {
+		return fmt.Errorf("bad -codec %q (want json or binary)", *codec)
+	}
 	opts := agentOptions{
 		addr:     *addr,
 		campaign: *campaign,
+		binary:   *codec == "binary",
 		backoff:  agent.Backoff{Attempts: *retries},
 	}
+	if *aggr && *fleet <= 0 {
+		return fmt.Errorf("-aggregate requires -fleet")
+	}
 	if *fleet > 0 {
+		if *aggr {
+			return runAggregated(opts, *user, *fleet, *seed)
+		}
 		return runFleet(opts, *user, *fleet, *seed)
 	}
 	if *model != "" {
@@ -102,6 +115,7 @@ func run() error {
 		User:     auction.UserID(*user),
 		TrueBid:  auction.NewBid(auction.UserID(*user), tasks, *cost, posMap),
 		Seed:     *seed,
+		Binary:   opts.binary,
 	}, opts.backoff)
 	if err != nil {
 		return err
@@ -115,6 +129,7 @@ func run() error {
 type agentOptions struct {
 	addr     string
 	campaign string
+	binary   bool
 	backoff  agent.Backoff
 }
 
@@ -159,6 +174,7 @@ func runFromModel(opts agentOptions, user int, path string, cost float64, horizo
 		User:     auction.UserID(user),
 		TrueBid:  bid,
 		Seed:     seed,
+		Binary:   opts.binary,
 	}, opts.backoff)
 	if err != nil {
 		return err
@@ -166,6 +182,27 @@ func runFromModel(opts agentOptions, user int, path string, cost float64, horizo
 	logResult(opts.campaign, user, res)
 	logSummary(opts.campaign, user, res)
 	return nil
+}
+
+// sampleType draws one fleet agent's true type over the published tasks: bid
+// on each task with probability 0.7, PoS ~ Uniform(0.1, 0.6), cost ~
+// NormalPositive(15, 2.2). Both -fleet and -aggregate sample through this, so
+// the two fan-in modes present identical workloads given the same seed.
+func sampleType(rng *rand.Rand, id auction.UserID, tasks []wire.TaskSpec) auction.Bid {
+	ids := make([]auction.TaskID, 0, len(tasks))
+	posMap := make(map[auction.TaskID]float64, len(tasks))
+	for _, spec := range tasks {
+		if rng.Float64() > 0.7 && len(tasks) > 1 {
+			continue
+		}
+		ids = append(ids, auction.TaskID(spec.ID))
+		posMap[auction.TaskID(spec.ID)] = stats.Uniform(rng, 0.1, 0.6)
+	}
+	if len(ids) == 0 {
+		ids = append(ids, auction.TaskID(tasks[0].ID))
+		posMap[auction.TaskID(tasks[0].ID)] = stats.Uniform(rng, 0.1, 0.6)
+	}
+	return auction.NewBid(id, ids, stats.NormalPositive(rng, 15, 2.2, 1), posMap)
 }
 
 func runFleet(opts agentOptions, firstUser, n int, seed int64) error {
@@ -183,23 +220,10 @@ func runFleet(opts agentOptions, firstUser, n int, seed int64) error {
 				Campaign: opts.campaign,
 				User:     id,
 				AutoType: func(tasks []wire.TaskSpec) auction.Bid {
-					ids := make([]auction.TaskID, 0, len(tasks))
-					posMap := make(map[auction.TaskID]float64, len(tasks))
-					for _, spec := range tasks {
-						// Bid on each published task with probability 0.7.
-						if rng.Float64() > 0.7 && len(tasks) > 1 {
-							continue
-						}
-						ids = append(ids, auction.TaskID(spec.ID))
-						posMap[auction.TaskID(spec.ID)] = stats.Uniform(rng, 0.1, 0.6)
-					}
-					if len(ids) == 0 {
-						ids = append(ids, auction.TaskID(tasks[0].ID))
-						posMap[auction.TaskID(tasks[0].ID)] = stats.Uniform(rng, 0.1, 0.6)
-					}
-					return auction.NewBid(id, ids, stats.NormalPositive(rng, 15, 2.2, 1), posMap)
+					return sampleType(rng, id, tasks)
 				},
-				Seed: seed + int64(i),
+				Seed:   seed + int64(i),
+				Binary: opts.binary,
 			}, opts.backoff)
 			if err != nil {
 				errs[i] = err
@@ -219,6 +243,38 @@ func runFleet(opts agentOptions, firstUser, n int, seed int64) error {
 	// are debuggable from the client side too.
 	for i, res := range results {
 		logSummary(opts.campaign, firstUser+i, res)
+	}
+	return nil
+}
+
+// runAggregated coalesces the fleet into a single batched session: one
+// connection, one bid_batch frame, the same sampled types as -fleet mode.
+// The aggregator registers under an identity just past the fleet's ID range.
+func runAggregated(opts agentOptions, firstUser, n int, seed int64) error {
+	res, err := agent.RunBatchWithBackoff(context.Background(), agent.BatchConfig{
+		Addr:       opts.addr,
+		Campaign:   opts.campaign,
+		Aggregator: auction.UserID(firstUser + n),
+		Binary:     opts.binary,
+		Seed:       seed,
+		AutoTypes: func(tasks []wire.TaskSpec) []auction.Bid {
+			bids := make([]auction.Bid, 0, n)
+			for i := 0; i < n; i++ {
+				rng := stats.NewRand(seed + int64(i))
+				bids = append(bids, sampleType(rng, auction.UserID(firstUser+i), tasks))
+			}
+			return bids
+		},
+	}, opts.backoff)
+	if err != nil {
+		return err
+	}
+	slog.Info("aggregated round complete",
+		"agents", n, "admitted", res.Admitted, "rejected", res.Rejected)
+	for i := 0; i < n; i++ {
+		r := res.Results[auction.UserID(firstUser+i)]
+		logResult(opts.campaign, firstUser+i, r)
+		logSummary(opts.campaign, firstUser+i, r)
 	}
 	return nil
 }

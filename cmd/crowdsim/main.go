@@ -8,6 +8,11 @@
 //
 //	crowdsim -mode single -users 60
 //	crowdsim -mode multi -users 80 -tasks 15 -requirement 0.8 -seed 7
+//
+// Swarm mode skips the trace pipeline and drives the auction engine
+// in-process (no TCP) to demonstrate million-agent fan-in:
+//
+//	crowdsim -mode swarm -agents 1000000 -campaigns 1000
 package main
 
 import (
@@ -32,7 +37,7 @@ func main() {
 
 func run() error {
 	var (
-		mode        = flag.String("mode", "single", "auction mode: single or multi")
+		mode        = flag.String("mode", "single", "auction mode: single, multi, or swarm")
 		users       = flag.Int("users", 60, "number of users to recruit from")
 		tasks       = flag.Int("tasks", 15, "number of tasks (multi mode)")
 		requirement = flag.Float64("requirement", 0.8, "PoS requirement per task")
@@ -42,8 +47,27 @@ func run() error {
 		seed        = flag.Int64("seed", 1, "random seed")
 		taxis       = flag.Int("taxis", 220, "taxi population of the synthetic city")
 		days        = flag.Int("days", 14, "days of synthetic traces")
+		agents      = flag.Int("agents", 100000, "swarm mode: total agents across all campaigns")
+		campaigns   = flag.Int("campaigns", 100, "swarm mode: concurrent campaigns")
+		rounds      = flag.Int("rounds", 1, "swarm mode: auction rounds per campaign")
+		swarmTasks  = flag.Int("swarm-tasks", 8, "swarm mode: tasks per campaign")
+		batch       = flag.Int("batch", 4096, "swarm mode: bids per in-process batch")
 	)
 	flag.Parse()
+
+	if *mode == "swarm" {
+		_, err := runSwarm(swarmConfig{
+			agents:      *agents,
+			campaigns:   *campaigns,
+			rounds:      *rounds,
+			tasksPer:    *swarmTasks,
+			batch:       *batch,
+			requirement: *requirement,
+			alpha:       *alpha,
+			seed:        *seed,
+		})
+		return err
+	}
 
 	// 1. Synthetic city traces.
 	cfg := trace.DefaultConfig()

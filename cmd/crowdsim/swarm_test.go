@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// TestSwarmSmoke runs a scaled-down swarm end to end and asserts every round
+// settled with zero admit-queue rejects. `make swarm-smoke` re-runs it
+// race-enabled at 100k agents via SWARM_AGENTS/SWARM_CAMPAIGNS.
+func TestSwarmSmoke(t *testing.T) {
+	cfg := swarmConfig{
+		agents:      envInt("SWARM_AGENTS", 10000),
+		campaigns:   envInt("SWARM_CAMPAIGNS", 10),
+		rounds:      envInt("SWARM_ROUNDS", 2),
+		tasksPer:    8,
+		batch:       4096,
+		requirement: 0.8,
+		alpha:       10,
+		seed:        1,
+		quiet:       true,
+	}
+	tally, err := runSwarm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRounds := int64(cfg.campaigns) * int64(cfg.rounds)
+	if tally.settledRounds != wantRounds || tally.failedRounds != 0 {
+		t.Errorf("settled %d rounds (%d failed), want %d settled",
+			tally.settledRounds, tally.failedRounds, wantRounds)
+	}
+	if tally.rejected != 0 {
+		t.Errorf("swarm rejected %d bids, want 0 (in-process submission must backpressure, not shed)",
+			tally.rejected)
+	}
+	perRound := int64(cfg.agents/cfg.campaigns) * int64(cfg.campaigns)
+	if want := perRound * int64(cfg.rounds); tally.admitted != want {
+		t.Errorf("admitted %d bids, want %d", tally.admitted, want)
+	}
+	if tally.winners == 0 {
+		t.Error("no winners across the whole swarm")
+	}
+	t.Logf("swarm: %d bids in %v (%.0f bids/s), %d rounds, %d winners",
+		tally.admitted, tally.elapsed, tally.bidsPerSec(), tally.settledRounds, tally.winners)
+}
+
+// BenchmarkSwarmFanIn measures in-process fan-in throughput: one full swarm
+// (16 campaigns × 1024 agents) per iteration, reported in bids/s.
+func BenchmarkSwarmFanIn(b *testing.B) {
+	cfg := swarmConfig{
+		agents:      16384,
+		campaigns:   16,
+		rounds:      1,
+		tasksPer:    8,
+		batch:       4096,
+		requirement: 0.8,
+		alpha:       10,
+		seed:        1,
+		quiet:       true,
+	}
+	b.ReportAllocs()
+	var bids, nsSum int64
+	for i := 0; i < b.N; i++ {
+		tally, err := runSwarm(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bids += tally.admitted
+		nsSum += tally.elapsed.Nanoseconds()
+	}
+	if nsSum > 0 {
+		b.ReportMetric(float64(bids)/(float64(nsSum)/1e9), "bids/s")
+	}
+}

@@ -50,6 +50,12 @@ type Config struct {
 
 	// Timeout bounds each I/O step; zero means 30 seconds.
 	Timeout time.Duration
+
+	// Binary selects the length-prefixed binary wire codec instead of the
+	// legacy JSON lines. The platform auto-negotiates from the first byte,
+	// so a binary agent works against any binary-capable platform; leave
+	// false for JSON-only peers.
+	Binary bool
 }
 
 func (c Config) timeout() time.Duration {
@@ -112,6 +118,9 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	defer stop()
 
 	codec := wire.NewCodec(conn)
+	if cfg.Binary {
+		codec = wire.NewBinaryCodec(conn)
+	}
 	setDeadline := func() { _ = conn.SetDeadline(time.Now().Add(cfg.timeout())) }
 
 	setDeadline()

@@ -1,0 +1,247 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/stats"
+	"crowdsense/internal/wire"
+)
+
+// BatchConfig parameterizes an aggregator session: one connection carrying
+// many simulated agents' bids in a single bid_batch frame. This is the
+// fan-in coalescing mode — a fleet host speaks for N agents at wire cost
+// O(frames), not O(agents).
+type BatchConfig struct {
+	Addr string
+
+	// Campaign targets one campaign; empty means the platform's default.
+	Campaign string
+
+	// Aggregator is the session's registration identity. It does not bid
+	// itself; each carried bid names its own agent.
+	Aggregator auction.UserID
+
+	// Bids are the carried agents' true types, one per agent. The aggregator
+	// bids each agent's intersection with the published tasks and simulates
+	// execution with the TRUE PoS, exactly as agent.Run does.
+	Bids []auction.Bid
+
+	// AutoTypes, when set, derives the carried agents' true types from the
+	// published tasks instead of Bids — the batch analogue of
+	// Config.AutoType, used by fleet tooling.
+	AutoTypes func(tasks []wire.TaskSpec) []auction.Bid
+
+	// Seed drives the execution simulation.
+	Seed int64
+
+	// Timeout bounds each I/O step; zero means 30 seconds.
+	Timeout time.Duration
+
+	// Binary selects the binary wire codec (see Config.Binary). Aggregation
+	// and codec are orthogonal: a JSON aggregator batches fine, just slower.
+	Binary bool
+}
+
+func (c BatchConfig) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.Timeout
+}
+
+// BatchResult is the aggregator's view of a completed round: one Result per
+// carried agent, keyed by user, plus admission tallies.
+type BatchResult struct {
+	Results  map[auction.UserID]Result
+	Admitted int // bids the platform admitted into the round
+	Rejected int // bids rejected inline (duplicate, invalid, busy)
+}
+
+// RunBatch executes one auction round for every carried agent over a single
+// connection: register → tasks → bid_batch → award_batch → report_batch
+// (winners only) → settle_batch.
+func RunBatch(ctx context.Context, cfg BatchConfig) (BatchResult, error) {
+	res := BatchResult{Results: make(map[auction.UserID]Result, len(cfg.Bids))}
+	if len(cfg.Bids) == 0 && cfg.AutoTypes == nil {
+		return res, fmt.Errorf("aggregator %d: empty batch", cfg.Aggregator)
+	}
+	dialer := net.Dialer{Timeout: cfg.timeout()}
+	conn, err := dialer.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return res, fmt.Errorf("aggregator %d: %w: %w", cfg.Aggregator, ErrDial, err)
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	codec := wire.NewCodec(conn)
+	if cfg.Binary {
+		codec = wire.NewBinaryCodec(conn)
+	}
+	setDeadline := func() { _ = conn.SetDeadline(time.Now().Add(cfg.timeout())) }
+
+	setDeadline()
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeRegister, Campaign: cfg.Campaign,
+		Register: &wire.Register{User: int(cfg.Aggregator)}}); err != nil {
+		return res, fmt.Errorf("aggregator %d: register: %w", cfg.Aggregator, err)
+	}
+	setDeadline()
+	env, err := codec.Expect(wire.TypeTasks)
+	if err != nil {
+		if shardMoved(err) {
+			err = fmt.Errorf("%w: %w", ErrShardMoved, err)
+		}
+		return res, fmt.Errorf("aggregator %d: tasks: %w", cfg.Aggregator, err)
+	}
+	published := make(map[auction.TaskID]bool, len(env.Tasks.Tasks))
+	for _, spec := range env.Tasks.Tasks {
+		published[auction.TaskID(spec.ID)] = true
+	}
+	if cfg.AutoTypes != nil {
+		cfg.Bids = cfg.AutoTypes(env.Tasks.Tasks)
+	}
+
+	// Compose every agent's sealed bid on its intersection with the
+	// published tasks; agents with no overlap are reported locally and
+	// excluded from the frame.
+	type carried struct {
+		bid   auction.Bid
+		tasks []int
+	}
+	frame := make([]wire.Bid, 0, len(cfg.Bids))
+	byUser := make(map[auction.UserID]carried, len(cfg.Bids))
+	for _, bid := range cfg.Bids {
+		res.Results[bid.User] = Result{Registered: true}
+		var taskIDs []int
+		pos := make(map[int]float64, len(bid.Tasks))
+		for _, id := range bid.Tasks {
+			if !published[id] {
+				continue
+			}
+			taskIDs = append(taskIDs, int(id))
+			pos[int(id)] = bid.PoS[id]
+		}
+		if len(taskIDs) == 0 {
+			res.Rejected++
+			continue
+		}
+		frame = append(frame, wire.Bid{User: int(bid.User), Tasks: taskIDs,
+			Cost: bid.Cost, PoS: pos})
+		byUser[bid.User] = carried{bid: bid, tasks: taskIDs}
+	}
+	if len(frame) == 0 {
+		return res, fmt.Errorf("aggregator %d: no carried bid intersects the published tasks", cfg.Aggregator)
+	}
+	setDeadline()
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeBidBatch, Campaign: cfg.Campaign,
+		BidBatch: &wire.BidBatch{Bids: frame}}); err != nil {
+		return res, fmt.Errorf("aggregator %d: bid batch: %w", cfg.Aggregator, lostSession(err))
+	}
+
+	// Await the awards; like Run, give the round time to gather bids.
+	_ = conn.SetDeadline(time.Now().Add(10 * cfg.timeout()))
+	env, err = codec.Expect(wire.TypeAwardBatch)
+	if err != nil {
+		return res, fmt.Errorf("aggregator %d: award batch: %w", cfg.Aggregator, lostSession(err))
+	}
+	if got, want := len(env.AwardBatch.Awards), len(frame); got != want {
+		return res, fmt.Errorf("aggregator %d: award batch has %d entries, want %d",
+			cfg.Aggregator, got, want)
+	}
+
+	// Simulate execution for the winners with their TRUE PoS and report in
+	// one frame.
+	rng := stats.NewRand(cfg.Seed)
+	reports := make([]wire.Report, 0, len(env.AwardBatch.Awards))
+	for _, ua := range env.AwardBatch.Awards {
+		user := auction.UserID(ua.User)
+		c, ok := byUser[user]
+		if !ok {
+			return res, fmt.Errorf("aggregator %d: award for unknown user %d", cfg.Aggregator, ua.User)
+		}
+		r := res.Results[user]
+		if ua.Error != "" {
+			res.Rejected++
+			res.Results[user] = r
+			continue
+		}
+		res.Admitted++
+		r.Award = ua.Award
+		r.Selected = ua.Selected
+		if ua.Selected {
+			attempt := make(map[auction.TaskID]bool, len(c.tasks))
+			succeeded := make(map[int]bool, len(c.tasks))
+			for _, id := range c.tasks {
+				ok := stats.Bernoulli(rng, c.bid.PoS[auction.TaskID(id)])
+				attempt[auction.TaskID(id)] = ok
+				succeeded[id] = ok
+			}
+			r.Attempt = attempt
+			reports = append(reports, wire.Report{User: ua.User, Succeeded: succeeded})
+		}
+		res.Results[user] = r
+	}
+	if len(reports) == 0 {
+		return res, nil // no winners carried: the session is complete
+	}
+	setDeadline()
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeReportBatch, Campaign: cfg.Campaign,
+		ReportBatch: &wire.ReportBatch{Reports: reports}}); err != nil {
+		return res, fmt.Errorf("aggregator %d: report batch: %w", cfg.Aggregator, err)
+	}
+	setDeadline()
+	env, err = codec.Expect(wire.TypeSettleBatch)
+	if err != nil {
+		return res, fmt.Errorf("aggregator %d: settle batch: %w", cfg.Aggregator, err)
+	}
+	for _, us := range env.SettleBatch.Settles {
+		user := auction.UserID(us.User)
+		r, ok := res.Results[user]
+		if !ok {
+			return res, fmt.Errorf("aggregator %d: settlement for unknown user %d", cfg.Aggregator, us.User)
+		}
+		r.Settle = us.Settle
+		res.Results[user] = r
+	}
+	return res, nil
+}
+
+// RunBatchWithBackoff executes RunBatch under the same retry policy as
+// RunWithBackoff: dial failures, lost sessions, and shard moves are retried
+// with bounded exponential backoff; errors the peer articulated are not. A
+// session that got as far as the task publication resets the delay.
+func RunBatchWithBackoff(ctx context.Context, cfg BatchConfig, b Backoff) (BatchResult, error) {
+	rng := stats.NewRand(cfg.Seed ^ int64(cfg.Aggregator))
+	var lastErr error
+	streak := 0
+	for attempt := 0; attempt < b.attempts(); attempt++ {
+		if attempt > 0 {
+			timer := time.NewTimer(b.delay(streak-1, rng))
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return BatchResult{}, ctx.Err()
+			case <-timer.C:
+			}
+		}
+		res, err := RunBatch(ctx, cfg)
+		retryable := errors.Is(err, ErrDial) || errors.Is(err, ErrLostSession) || errors.Is(err, ErrShardMoved)
+		if err == nil || !retryable || ctx.Err() != nil {
+			return res, err
+		}
+		// Results are populated once tasks arrived: the platform was up.
+		if len(res.Results) > 0 || errors.Is(err, ErrShardMoved) {
+			streak = 1
+		} else {
+			streak++
+		}
+		lastErr = err
+	}
+	return BatchResult{}, fmt.Errorf("aggregator %d: %d attempts exhausted: %w",
+		cfg.Aggregator, b.attempts(), lastErr)
+}

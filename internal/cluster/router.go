@@ -3,6 +3,7 @@ package cluster
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -126,21 +127,100 @@ func (r *Router) Close() {
 	r.sessions.Wait()
 }
 
-// serve routes one agent session: read the first envelope, resolve its
-// shard, find a live member, splice.
-func (r *Router) serve(client net.Conn) {
-	cr := bufio.NewReaderSize(client, 64<<10)
+// routedSession is the negotiated first exchange of one client session: the
+// campaign it targets and the exact bytes to replay to the chosen backend.
+// For a binary session, forward carries the version byte plus the raw first
+// frame, so the backend negotiates the same codec the client did.
+type routedSession struct {
+	campaign string
+	forward  []byte
+	binary   bool
+}
+
+var errMalformed = fmt.Errorf("router: malformed first envelope")
+
+// readFirst negotiates the session codec from the client's first byte the
+// same way the engine does — wire.BinaryVersion selects the length-prefixed
+// binary framing, anything else is a legacy JSON line — and reads the first
+// envelope without re-encoding it. Parse-level failures wrap errMalformed;
+// everything else is a connection-level error the caller drops silently.
+func (r *Router) readFirst(cr *bufio.Reader) (*routedSession, error) {
+	peek, err := cr.Peek(1)
+	if err != nil {
+		return nil, err
+	}
+	if peek[0] == wire.BinaryVersion {
+		_, _ = cr.ReadByte()
+		frame, err := wire.ReadRawBinaryFrame(cr)
+		if err != nil {
+			return nil, err
+		}
+		env, err := wire.DecodeBinaryFrame(frame)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errMalformed, err)
+		}
+		return &routedSession{campaign: env.Campaign,
+			forward: append([]byte{wire.BinaryVersion}, frame...), binary: true}, nil
+	}
 	first, err := readEnvelopeLine(cr)
 	if err != nil {
-		return
+		return nil, err
 	}
 	var env wire.Envelope
-	if err := json.Unmarshal(first, &env); err != nil || env.Validate() != nil {
-		wire.NewCodec(client).WriteError("router: malformed first envelope")
+	if err := json.Unmarshal(first, &env); err != nil {
+		return nil, fmt.Errorf("%w: %v", errMalformed, err)
+	}
+	if err := env.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", errMalformed, err)
+	}
+	return &routedSession{campaign: env.Campaign, forward: append(first, '\n')}, nil
+}
+
+// readReplyFrame reads the backend's first reply in relay-ready form: a raw
+// binary frame for binary sessions, a newline-terminated JSON line otherwise.
+// A JSON-only backend answering a binary session with an error line is
+// relayed as-is — the binary client codec falls back to JSON on '{'.
+func readReplyFrame(br *bufio.Reader, binarySession bool) ([]byte, error) {
+	if binarySession {
+		peek, err := br.Peek(1)
+		if err != nil {
+			return nil, err
+		}
+		if peek[0] != '{' {
+			return wire.ReadRawBinaryFrame(br)
+		}
+	}
+	line, err := readEnvelopeLine(br)
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
+}
+
+// isErrorReply reports whether a relay-ready reply is a type:"error"
+// envelope, in either framing.
+func isErrorReply(reply []byte, binarySession bool) bool {
+	if binarySession && len(reply) > 0 && reply[0] != '{' {
+		env, err := wire.DecodeBinaryFrame(reply)
+		return err == nil && env.Type == wire.TypeError
+	}
+	return isErrorEnvelope(reply)
+}
+
+// serve routes one agent session: negotiate the codec, read the first
+// envelope, resolve its shard, find a live member, splice. Error envelopes
+// the router originates are always JSON lines — both codecs surface those.
+func (r *Router) serve(client net.Conn) {
+	cr := bufio.NewReaderSize(client, 64<<10)
+	sess, err := r.readFirst(cr)
+	if err != nil {
+		if errors.Is(err, errMalformed) {
+			wire.NewCodec(client).WriteError("router: malformed first envelope")
+		}
 		return
 	}
 
-	shard, ok := r.resolveShard(env.Campaign)
+	shard, ok := r.resolveShard(sess.campaign)
 	if !ok {
 		wire.NewCodec(client).WriteError("router: empty cluster")
 		return
@@ -152,7 +232,7 @@ func (r *Router) serve(client net.Conn) {
 	}
 
 	start := r.sticky(shard)
-	var lastErrLine []byte
+	var lastErrReply []byte
 	for i := range members {
 		idx := (start + i) % len(members)
 		addr := members[idx]
@@ -160,29 +240,28 @@ func (r *Router) serve(client net.Conn) {
 		if err != nil {
 			continue // dead or not-yet-promoted member
 		}
-		line := append(append([]byte{}, first...), '\n')
-		if _, err := backend.Write(line); err != nil {
+		if _, err := backend.Write(sess.forward); err != nil {
 			backend.Close()
 			continue
 		}
 		br := bufio.NewReaderSize(backend, 64<<10)
-		reply, err := readEnvelopeLine(br)
+		reply, err := readReplyFrame(br, sess.binary)
 		if err != nil {
 			backend.Close()
 			continue
 		}
-		if isErrorEnvelope(reply) {
+		if isErrorReply(reply, sess.binary) {
 			// The member answered but rejected — e.g. a stale member that no
 			// longer owns the campaign. Remember the rejection and try the
 			// next member; if every member rejects, the last rejection is
 			// the truthful answer (e.g. a genuinely unknown campaign).
-			lastErrLine = reply
+			lastErrReply = reply
 			backend.Close()
 			continue
 		}
 		r.setSticky(shard, idx)
 		r.countRouted(shard, i > 0)
-		if _, err := client.Write(append(append([]byte{}, reply...), '\n')); err != nil {
+		if _, err := client.Write(reply); err != nil {
 			backend.Close()
 			return
 		}
@@ -192,8 +271,8 @@ func (r *Router) serve(client net.Conn) {
 	r.routedMu.Lock()
 	r.rejected++
 	r.routedMu.Unlock()
-	if lastErrLine != nil {
-		client.Write(append(append([]byte{}, lastErrLine...), '\n'))
+	if lastErrReply != nil {
+		client.Write(lastErrReply)
 		return
 	}
 	wire.NewCodec(client).WriteError(fmt.Sprintf("%s: no live member for shard %s", wire.ShardMovedMessage, shard))

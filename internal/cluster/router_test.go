@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"crowdsense/internal/agent"
+	"crowdsense/internal/auction"
+	"crowdsense/internal/engine"
+)
+
+// runClusterAgentBinary is runClusterAgent over the binary codec.
+func runClusterAgentBinary(addr, campaign string, user int, cost, pos float64, b agent.Backoff) error {
+	_, err := agent.RunWithBackoff(context.Background(), agent.Config{
+		Addr:     addr,
+		Campaign: campaign,
+		User:     auction.UserID(user),
+		TrueBid: auction.NewBid(auction.UserID(user), []auction.TaskID{1}, cost,
+			map[auction.TaskID]float64{1: pos}),
+		Seed:    int64(user),
+		Timeout: 10 * time.Second,
+		Binary:  true,
+	}, b)
+	return err
+}
+
+// TestRouterBinarySplice proves the router negotiates per session: a binary
+// agent and a legacy JSON agent share round 1 through the same router, and a
+// binary aggregator batch carries round 2 — all spliced to the same backend.
+func TestRouterBinarySplice(t *testing.T) {
+	ring := NewRing([]string{"s1"}, 0)
+	camp := pickCampaign(t, ring, "s1")
+
+	n, err := StartNode(NodeConfig{
+		Name:      "n1",
+		Shard:     "s1",
+		StateDir:  t.TempDir(),
+		AgentAddr: "127.0.0.1:0",
+		Campaigns: []engine.CampaignConfig{clusterCampaign(camp, 2)},
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Halt()
+
+	router, err := StartRouter("127.0.0.1:0", RouterConfig{
+		Ring:    ring,
+		Members: map[string][]string{"s1": {n.AgentAddr("s1")}},
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	b := agent.Backoff{Attempts: 10, Base: 50 * time.Millisecond, Max: time.Second}
+
+	// Round 1: one binary and one JSON session, same round.
+	errs := make(chan error, 2)
+	go func() { errs <- runClusterAgentBinary(router.Addr(), camp, 1, 2, 0.7, b) }()
+	go func() { errs <- runClusterAgent(router.Addr(), camp, 2, 3, 0.8, b) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("round 1 agent: %v", err)
+		}
+	}
+
+	// Round 2: a binary aggregator batch through the router.
+	batch, err := agent.RunBatchWithBackoff(context.Background(), agent.BatchConfig{
+		Addr:       router.Addr(),
+		Campaign:   camp,
+		Aggregator: 1000,
+		Binary:     true,
+		Seed:       7,
+		Timeout:    10 * time.Second,
+		Bids: []auction.Bid{
+			auction.NewBid(11, []auction.TaskID{1}, 2, map[auction.TaskID]float64{1: 0.7}),
+			auction.NewBid(12, []auction.TaskID{1}, 3, map[auction.TaskID]float64{1: 0.8}),
+		},
+	}, b)
+	if err != nil {
+		t.Fatalf("aggregator through router: %v", err)
+	}
+	if batch.Admitted != 2 {
+		t.Errorf("aggregator admitted %d bids, want 2; results %+v", batch.Admitted, batch.Results)
+	}
+
+	routed, rejected, _ := router.Stats()
+	if routed["s1"] != 3 {
+		t.Errorf("routed sessions = %v, want 3 on s1", routed)
+	}
+	if rejected != 0 {
+		t.Errorf("rejected sessions = %d, want 0", rejected)
+	}
+}
+
+// TestRouterBinaryClientShardMoved: router-originated errors are JSON lines;
+// a binary client must still surface them as retryable shard-moved errors.
+func TestRouterBinaryClientShardMoved(t *testing.T) {
+	ring := NewRing([]string{"s1"}, 0)
+	camp := pickCampaign(t, ring, "s1")
+
+	router, err := StartRouter("127.0.0.1:0", RouterConfig{
+		Ring:    ring,
+		Members: map[string][]string{"s1": {reserveAddr(t)}}, // nobody home
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	_, err = agent.Run(context.Background(), agent.Config{
+		Addr:     router.Addr(),
+		Campaign: camp,
+		User:     1,
+		TrueBid: auction.NewBid(1, []auction.TaskID{1}, 2,
+			map[auction.TaskID]float64{1: 0.7}),
+		Timeout: 5 * time.Second,
+		Binary:  true,
+	})
+	if !errors.Is(err, agent.ErrShardMoved) {
+		t.Fatalf("binary agent error = %v, want ErrShardMoved", err)
+	}
+}

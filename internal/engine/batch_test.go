@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"crowdsense/internal/agent"
+	"crowdsense/internal/auction"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/wire"
+)
+
+// TestEngineBidBatchSession drives one aggregator session over the binary
+// codec: a single bid_batch frame carrying a whole round's bids (plus one
+// inline-rejected duplicate), award_batch back in submission order,
+// report_batch for the winners, settle_batch to finish.
+func TestEngineBidBatchSession(t *testing.T) {
+	e := New(Config{ConnTimeout: 10 * time.Second})
+	if err := e.AddCampaign(singleTaskCampaign("main", 4)); err != nil {
+		t.Fatal(err)
+	}
+	addr, done := startEngine(t, e)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	codec := wire.NewBinaryCodec(conn)
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeRegister, Campaign: "main",
+		Register: &wire.Register{User: 1000}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.Expect(wire.TypeTasks); err != nil {
+		t.Fatal(err)
+	}
+
+	// Five entries: index 1 duplicates index 0's user and must be rejected
+	// inline without poisoning the rest of the batch.
+	batch := []wire.Bid{
+		{User: 1, Tasks: []int{1}, Cost: 1, PoS: map[int]float64{1: 0.9}},
+		{User: 1, Tasks: []int{1}, Cost: 2, PoS: map[int]float64{1: 0.8}},
+		{User: 2, Tasks: []int{1}, Cost: 2, PoS: map[int]float64{1: 0.8}},
+		{User: 3, Tasks: []int{1}, Cost: 3, PoS: map[int]float64{1: 0.7}},
+		{User: 4, Tasks: []int{1}, Cost: 9, PoS: map[int]float64{1: 0.65}},
+	}
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeBidBatch, Campaign: "main",
+		BidBatch: &wire.BidBatch{Bids: batch}}); err != nil {
+		t.Fatal(err)
+	}
+
+	env, err := codec.Expect(wire.TypeAwardBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	awards := env.AwardBatch.Awards
+	if len(awards) != len(batch) {
+		t.Fatalf("award batch has %d entries, want %d", len(awards), len(batch))
+	}
+	for i, ua := range awards {
+		if ua.User != batch[i].User {
+			t.Errorf("award %d is for user %d, want %d (submission order)", i, ua.User, batch[i].User)
+		}
+	}
+	if awards[1].Error == "" || awards[1].Selected {
+		t.Errorf("duplicate bid verdict = %+v, want inline rejection", awards[1])
+	}
+
+	reports := make([]wire.Report, 0, len(awards))
+	winners := 0
+	for _, ua := range awards {
+		if !ua.Selected {
+			continue
+		}
+		winners++
+		reports = append(reports, wire.Report{User: ua.User, Succeeded: map[int]bool{1: true}})
+	}
+	if winners == 0 {
+		t.Fatal("no winners in a feasible round")
+	}
+	if err := codec.Write(&wire.Envelope{Type: wire.TypeReportBatch, Campaign: "main",
+		ReportBatch: &wire.ReportBatch{Reports: reports}}); err != nil {
+		t.Fatal(err)
+	}
+	env, err = codec.Expect(wire.TypeSettleBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.SettleBatch.Settles) != winners {
+		t.Fatalf("settle batch has %d entries, want %d", len(env.SettleBatch.Settles), winners)
+	}
+	for _, us := range env.SettleBatch.Settles {
+		if !us.Success || us.Reward <= 0 {
+			t.Errorf("settlement %+v, want successful with positive reward", us)
+		}
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	results := e.Results()["main"]
+	if len(results) != 1 || results[0].Err != nil {
+		t.Fatalf("results = %+v, want one settled round", results)
+	}
+	if len(results[0].Settlements) != winners {
+		t.Errorf("round recorded %d settlements, want %d", len(results[0].Settlements), winners)
+	}
+
+	snap := e.Snapshot()
+	if snap.WireSessionsBinary != 1 {
+		t.Errorf("binary sessions = %d, want 1", snap.WireSessionsBinary)
+	}
+	if snap.BidBatches != 1 || snap.BatchedBids != uint64(len(batch)) {
+		t.Errorf("batch counters = %d/%d, want 1/%d", snap.BidBatches, snap.BatchedBids, len(batch))
+	}
+}
+
+// TestEngineSubmitBidsDirect exercises the no-TCP fan-in path end to end:
+// ServeLocal, SubmitBids, Await, Settle.
+func TestEngineSubmitBidsDirect(t *testing.T) {
+	e := New(Config{})
+	if err := e.AddCampaign(singleTaskCampaign("main", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SubmitBids(context.Background(), "main", nil); !errors.Is(err, ErrNotServing) {
+		t.Fatalf("SubmitBids before serving = %v, want ErrNotServing", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- e.ServeLocal(ctx) }()
+	for !serving(e) {
+		time.Sleep(time.Millisecond)
+	}
+
+	bids := []auction.Bid{
+		auction.NewBid(1, []auction.TaskID{1}, 1, map[auction.TaskID]float64{1: 0.9}),
+		auction.NewBid(2, []auction.TaskID{1}, 2, map[auction.TaskID]float64{1: 0.8}),
+		auction.NewBid(3, []auction.TaskID{1}, 8, map[auction.TaskID]float64{1: 0.7}),
+	}
+	d, err := e.SubmitBids(ctx, "main", bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Admitted() != len(bids) {
+		t.Fatalf("admitted %d of %d; verdicts = %v", d.Admitted(), len(bids), d.Verdicts)
+	}
+	if err := d.Await(ctx); err != nil {
+		t.Fatalf("await: %v", err)
+	}
+	if d.Outcome() == nil || len(d.Outcome().Selected) == 0 {
+		t.Fatal("no outcome after Await")
+	}
+	settled := d.Settle(func(bid auction.Bid, award mechanism.Award) bool {
+		return true // every winner succeeds
+	})
+	if len(settled) != len(d.Outcome().Selected) {
+		t.Errorf("settled %d users, want %d winners", len(settled), len(d.Outcome().Selected))
+	}
+	for user, s := range settled {
+		if !s.Success || s.Reward <= 0 {
+			t.Errorf("user %d settlement %+v", user, s)
+		}
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("ServeLocal: %v", err)
+	}
+	results := e.Results()["main"]
+	if len(results) != 1 || results[0].Err != nil {
+		t.Fatalf("results = %+v, want one settled round", results)
+	}
+}
+
+func serving(e *Engine) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ingest != nil
+}
+
+// TestEngineAggregatorAndLegacyAgentShareRound mixes the two fan-in paths in
+// one round: a binary aggregator carrying three agents and a legacy JSON
+// agent (no flags, no version byte) complete the same auction.
+func TestEngineAggregatorAndLegacyAgentShareRound(t *testing.T) {
+	e := New(Config{ConnTimeout: 10 * time.Second})
+	if err := e.AddCampaign(singleTaskCampaign("main", 4)); err != nil {
+		t.Fatal(err)
+	}
+	addr, done := startEngine(t, e)
+
+	legacy := make(chan error, 1)
+	go func() {
+		_, err := runAgent(t, addr, "main", 99, 2.5, 0.75)
+		legacy <- err
+	}()
+
+	batch, err := agent.RunBatch(context.Background(), agent.BatchConfig{
+		Addr:       addr,
+		Campaign:   "main",
+		Aggregator: 1000,
+		Binary:     true,
+		Seed:       7,
+		Timeout:    10 * time.Second,
+		Bids: []auction.Bid{
+			auction.NewBid(1, []auction.TaskID{1}, 1, map[auction.TaskID]float64{1: 0.9}),
+			auction.NewBid(2, []auction.TaskID{1}, 2, map[auction.TaskID]float64{1: 0.8}),
+			auction.NewBid(3, []auction.TaskID{1}, 7, map[auction.TaskID]float64{1: 0.7}),
+		},
+	})
+	if err != nil {
+		t.Fatalf("aggregator: %v", err)
+	}
+	if batch.Admitted != 3 || batch.Rejected != 0 {
+		t.Fatalf("admitted/rejected = %d/%d, want 3/0", batch.Admitted, batch.Rejected)
+	}
+	if err := <-legacy; err != nil {
+		t.Fatalf("legacy agent: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+
+	results := e.Results()["main"]
+	if len(results) != 1 || results[0].Err != nil {
+		t.Fatalf("results = %+v, want one settled round", results)
+	}
+	if got := len(results[0].Bids); got != 4 {
+		t.Errorf("round collected %d bids, want 4", got)
+	}
+	winners := 0
+	for _, r := range batch.Results {
+		if r.Selected {
+			winners++
+			if r.Settle.Reward == 0 && r.Settle.Success {
+				t.Errorf("winner settled with zero reward: %+v", r)
+			}
+		}
+	}
+	if winners == 0 {
+		t.Error("aggregator carried no winner in a round it dominated")
+	}
+	snap := e.Snapshot()
+	if snap.WireSessionsBinary != 1 || snap.WireSessionsJSON != 1 {
+		t.Errorf("sessions json/binary = %d/%d, want 1/1", snap.WireSessionsJSON, snap.WireSessionsBinary)
+	}
+}

@@ -204,6 +204,25 @@ func (c *campaign) admitLocked(bid auction.Bid) (*round, error) {
 	return rd, nil
 }
 
+// admitBatchLocked records a batch of bids under the single lock acquisition
+// the admitter already holds — the batched fan-in path's whole point: one
+// lock round trip amortized over the frame. Verdicts are per bid; all
+// admitted bids join the same round. If the batch itself fills the round
+// mid-way (ExpectedBidders reached), the remainder is rejected busy, exactly
+// as late single bids would be.
+func (c *campaign) admitBatchLocked(bids []auction.Bid) (*round, []error) {
+	verdicts := make([]error, len(bids))
+	var rd *round
+	for i := range bids {
+		r, err := c.admitLocked(bids[i])
+		verdicts[i] = err
+		if err == nil && rd == nil {
+			rd = r
+		}
+	}
+	return rd, verdicts
+}
+
 // windowExpired fires when a round's bid window elapses: the auction runs
 // with the bids at hand.
 func (c *campaign) windowExpired(rd *round) {

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/wire"
+)
+
+// This file is the in-process fan-in path: SubmitBids drives the same
+// admitter, compute pool, and settlement machinery as a TCP session, with no
+// codec or connection in between. cmd/crowdsim's swarm mode uses it to push
+// million-agent bid storms through the engine on one machine.
+
+// ErrNotServing is returned by SubmitBids before Serve/ServeLocal has
+// started the admitter.
+var ErrNotServing = errors.New("engine: not serving; call Serve or ServeLocal first")
+
+// DirectBatch is one in-process bid batch's handle on its round: the per-bid
+// admission verdicts immediately, the outcome after Await, and Settle to
+// complete every admitted session.
+type DirectBatch struct {
+	camp *campaign
+	rd   *round
+	bids []auction.Bid
+
+	// Verdicts are the per-bid admission results, aligned with the submitted
+	// batch; nil means admitted.
+	Verdicts []error
+}
+
+// SubmitBids admits a batch of bids into a campaign directly, bypassing the
+// wire. Unlike a TCP session — which is rejected when the ingest queue is
+// full, turning backpressure into an error the remote agent can act on — an
+// in-process caller blocks until the admitter drains a slot (or ctx ends):
+// the caller IS the load generator, so slowing it down is the backpressure.
+func (e *Engine) SubmitBids(ctx context.Context, campaignID string, bids []auction.Bid) (*DirectBatch, error) {
+	e.mu.Lock()
+	ingest := e.ingest
+	e.mu.Unlock()
+	if ingest == nil {
+		return nil, ErrNotServing
+	}
+	camp := e.lookup(campaignID)
+	if camp == nil {
+		return nil, fmt.Errorf("engine: unknown campaign %q", campaignID)
+	}
+	e.recordBidBatch(len(bids))
+	req := ingestReq{camp: camp, bids: bids, reply: make(chan admitReply, 1)}
+	select {
+	case ingest <- req:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	var rep admitReply
+	select {
+	case rep = <-req.reply:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	for i, verdict := range rep.verdicts {
+		if verdict != nil {
+			e.recordBidRejected(camp, bids[i].User, verdict.Error())
+			continue
+		}
+		e.recordBidAccepted(camp, rep.rd, bids[i].User)
+	}
+	return &DirectBatch{camp: camp, rd: rep.rd, bids: bids, Verdicts: rep.verdicts}, nil
+}
+
+// Admitted reports how many of the batch's bids were admitted.
+func (d *DirectBatch) Admitted() int {
+	n := 0
+	for _, v := range d.Verdicts {
+		if v == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Await blocks until the batch's round has run winner determination and
+// returns the round error, if any. A batch with no admitted bids has no
+// round to wait for and returns immediately.
+func (d *DirectBatch) Await(ctx context.Context) error {
+	if d.rd == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-d.rd.computed:
+		return d.rd.err
+	}
+}
+
+// Outcome returns the round's mechanism outcome; valid only after Await
+// returned nil.
+func (d *DirectBatch) Outcome() *mechanism.Outcome {
+	if d.rd == nil {
+		return nil
+	}
+	return d.rd.outcome
+}
+
+// Settle completes every admitted session of the batch, the in-process
+// equivalent of the award → report → settle exchange. For each admitted
+// winner, report is called with the bid and its award and returns whether
+// execution succeeded (paper step 5); the resulting settlement is recorded.
+// Losers — and every admitted bid on a failed round — are completed without
+// one. Call exactly once, after Await; the returned settlements are keyed by
+// user.
+func (d *DirectBatch) Settle(report func(bid auction.Bid, award mechanism.Award) bool) map[auction.UserID]wire.Settle {
+	if d.rd == nil {
+		return nil
+	}
+	settled := make(map[auction.UserID]wire.Settle)
+	for i := range d.bids {
+		if d.Verdicts[i] != nil {
+			continue
+		}
+		user := d.bids[i].User
+		if d.rd.err != nil || d.rd.outcome == nil {
+			d.camp.sessionDone(d.rd, user, nil)
+			continue
+		}
+		award, won := d.rd.outcome.AwardFor(d.rd.order[user])
+		if !won {
+			d.camp.sessionDone(d.rd, user, nil)
+			continue
+		}
+		reward := award.RewardOnFailure
+		success := report != nil && report(d.bids[i], award)
+		if success {
+			reward = award.RewardOnSuccess
+		}
+		settle := wire.Settle{Success: success, Reward: reward, Utility: reward - d.bids[i].Cost}
+		d.camp.sessionDone(d.rd, user, &settle)
+		settled[user] = settle
+	}
+	return settled
+}

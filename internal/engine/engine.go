@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"crowdsense/internal/auction"
+	"crowdsense/internal/mechanism"
 	"crowdsense/internal/obs"
 	"crowdsense/internal/obs/span"
 	"crowdsense/internal/store"
@@ -126,18 +127,19 @@ func (c Config) connTimeout() time.Duration {
 	return c.ConnTimeout
 }
 
-// ingestReq asks the admitter to record one bid into a campaign's current
-// round; the verdict comes back on reply (buffered, never blocks the
-// admitter).
+// ingestReq asks the admitter to record a batch of bids into a campaign's
+// current round under one lock acquisition; the per-bid verdicts come back
+// on reply (buffered, never blocks the admitter). Single-bid sessions send
+// a one-element batch.
 type ingestReq struct {
 	camp  *campaign
-	bid   auction.Bid
+	bids  []auction.Bid
 	reply chan admitReply
 }
 
 type admitReply struct {
-	rd  *round
-	err error
+	rd       *round  // round the admitted bids joined; nil if none were
+	verdicts []error // per bid, aligned with ingestReq.bids; nil is admitted
 }
 
 // computeJob hands one full round to the winner-determination pool.
@@ -262,6 +264,17 @@ func (e *Engine) Serve(ctx context.Context) error {
 	if e.listener == nil {
 		return errors.New("engine: Serve before Listen")
 	}
+	return e.run(ctx, true)
+}
+
+// ServeLocal runs the engine without a listener: the admitter and the
+// compute pool start, but bids arrive only through SubmitBids (in-process
+// fan-in, no TCP). Same completion semantics as Serve.
+func (e *Engine) ServeLocal(ctx context.Context) error {
+	return e.run(ctx, false)
+}
+
+func (e *Engine) run(ctx context.Context, accept bool) error {
 	e.mu.Lock()
 	if e.serving {
 		e.mu.Unlock()
@@ -290,7 +303,9 @@ func (e *Engine) Serve(ctx context.Context) error {
 	}
 	openCount := e.open
 	e.mu.Unlock()
-	defer e.listener.Close()
+	if accept {
+		defer e.listener.Close()
+	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -321,29 +336,31 @@ func (e *Engine) Serve(ctx context.Context) error {
 		}()
 	}
 
-	go func() {
-		select {
-		case <-ctx.Done():
-		case <-e.allClosed:
-		}
-		e.listener.Close() // unblock Accept
-	}()
-
 	acceptErr := make(chan error, 1)
-	go func() {
-		for {
-			conn, err := e.listener.Accept()
-			if err != nil {
-				acceptErr <- err
-				return
+	if accept {
+		go func() {
+			select {
+			case <-ctx.Done():
+			case <-e.allClosed:
 			}
-			e.wg.Add(1)
-			go func() {
-				defer e.wg.Done()
-				e.handle(ctx, conn)
-			}()
-		}
-	}()
+			e.listener.Close() // unblock Accept
+		}()
+
+		go func() {
+			for {
+				conn, err := e.listener.Accept()
+				if err != nil {
+					acceptErr <- err
+					return
+				}
+				e.wg.Add(1)
+				go func() {
+					defer e.wg.Done()
+					e.handle(ctx, conn)
+				}()
+			}
+		}()
+	}
 
 	var retErr error
 	select {
@@ -352,7 +369,9 @@ func (e *Engine) Serve(ctx context.Context) error {
 	case <-e.allClosed:
 	}
 	cancel()
-	<-acceptErr
+	if accept {
+		<-acceptErr
+	}
 	e.stopTimers()
 	e.wg.Wait()
 	if retErr == nil {
@@ -368,9 +387,9 @@ func (e *Engine) admitLoop(ctx context.Context) {
 			return
 		case req := <-e.ingest:
 			e.mu.Lock()
-			rd, err := req.camp.admitLocked(req.bid)
+			rd, verdicts := req.camp.admitBatchLocked(req.bids)
 			e.mu.Unlock()
-			req.reply <- admitReply{rd: rd, err: err}
+			req.reply <- admitReply{rd: rd, verdicts: verdicts}
 		}
 	}
 }
@@ -386,20 +405,26 @@ func (e *Engine) computeLoop(ctx context.Context) {
 	}
 }
 
-// handle serves one agent session: register (resolving the campaign),
-// publish tasks, ingest the bid through the queue, await the round outcome,
-// then award/report/settle.
+// handle serves one agent session: negotiate the codec from the first byte
+// (binary version byte or legacy JSON '{'), register (resolving the
+// campaign), publish tasks, ingest the bid — or bid batch — through the
+// queue, await the round outcome, then award/report/settle.
 func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
 	// Honour engine shutdown by closing the connection under the session.
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
-	codec := wire.NewCodec(conn)
 	timeout := e.cfg.connTimeout()
 	setDeadline := func() { _ = conn.SetDeadline(time.Now().Add(timeout)) }
 
 	setDeadline()
+	codec, err := wire.NewServerCodec(conn)
+	if err != nil {
+		return // connection died before the first byte
+	}
+	e.recordWireSession(codec.Binary())
+
 	env, err := codec.Expect(wire.TypeRegister)
 	if err != nil {
 		codec.WriteError(fmt.Sprintf("expected register: %v", err))
@@ -424,9 +449,9 @@ func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 		return
 	}
 
-	// Collect the sealed bid.
+	// Collect the sealed bid — or a whole batch from an aggregator.
 	setDeadline()
-	env, err = codec.Expect(wire.TypeBid)
+	env, err = codec.Read()
 	if err != nil {
 		codec.WriteError(fmt.Sprintf("expected bid: %v", err))
 		return
@@ -434,6 +459,14 @@ func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 	if env.Campaign != "" && env.Campaign != campID {
 		codec.WriteError(fmt.Sprintf("bid campaign %q mismatches session campaign %q",
 			env.Campaign, campID))
+		return
+	}
+	if env.Type == wire.TypeBidBatch {
+		e.handleBatch(ctx, codec, camp, env.BidBatch, setDeadline)
+		return
+	}
+	if env.Type != wire.TypeBid {
+		codec.WriteError(fmt.Sprintf("expected bid, got %q", env.Type))
 		return
 	}
 	bid, err := bidFromWire(env.Bid)
@@ -448,7 +481,7 @@ func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 
 	// Ingest through the bounded queue; a full queue is backpressure, not a
 	// wait.
-	req := ingestReq{camp: camp, bid: bid, reply: make(chan admitReply, 1)}
+	req := ingestReq{camp: camp, bids: []auction.Bid{bid}, reply: make(chan admitReply, 1)}
 	select {
 	case e.ingest <- req:
 	case <-ctx.Done():
@@ -464,9 +497,9 @@ func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 	case <-ctx.Done():
 		return
 	}
-	if rep.err != nil {
-		e.recordBidRejected(camp, user, rep.err.Error())
-		codec.WriteError(fmt.Sprintf("bid rejected: %v", rep.err))
+	if admitErr := rep.verdicts[0]; admitErr != nil {
+		e.recordBidRejected(camp, user, admitErr.Error())
+		codec.WriteError(fmt.Sprintf("bid rejected: %v", admitErr))
 		return
 	}
 	e.recordBidAccepted(camp, rep.rd, user)
@@ -487,8 +520,11 @@ func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 	award, won := rd.outcome.AwardFor(rd.order[user])
 	setDeadline()
 	if !won {
-		_ = codec.Write(&wire.Envelope{Type: wire.TypeAward, Campaign: campID,
-			Award: &wire.Award{Selected: false}})
+		// Terminal write for this session: flush it past the write buffer.
+		if codec.Write(&wire.Envelope{Type: wire.TypeAward, Campaign: campID,
+			Award: &wire.Award{Selected: false}}) == nil {
+			_ = codec.Flush()
+		}
 		camp.sessionDone(rd, user, nil)
 		return
 	}
@@ -523,8 +559,160 @@ func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 	}
 	settle := wire.Settle{Success: success, Reward: reward, Utility: reward - bid.Cost}
 	setDeadline()
-	_ = codec.Write(&wire.Envelope{Type: wire.TypeSettle, Campaign: campID, Settle: &settle})
+	if codec.Write(&wire.Envelope{Type: wire.TypeSettle, Campaign: campID, Settle: &settle}) == nil {
+		_ = codec.Flush()
+	}
 	camp.sessionDone(rd, user, &settle)
+}
+
+// handleBatch serves an aggregator session carrying many agents' bids in one
+// frame: admit the whole batch through one queue slot (one engine-lock
+// acquisition), answer with per-user awards in submission order, collect the
+// winners' reports in one batch, and settle them in one batch. The
+// registered user is the aggregator itself; each bid names its own agent.
+func (e *Engine) handleBatch(ctx context.Context, codec *wire.Codec, camp *campaign,
+	batch *wire.BidBatch, setDeadline func()) {
+	campID := camp.cfg.ID
+	bids := make([]auction.Bid, len(batch.Bids))
+	for i := range batch.Bids {
+		var err error
+		if bids[i], err = bidFromWire(&batch.Bids[i]); err != nil {
+			codec.WriteError(fmt.Sprintf("bid %d: %v", i, err))
+			return
+		}
+	}
+	e.recordBidBatch(len(bids))
+
+	req := ingestReq{camp: camp, bids: bids, reply: make(chan admitReply, 1)}
+	select {
+	case e.ingest <- req:
+	case <-ctx.Done():
+		return
+	default:
+		for i := range bids {
+			e.recordBidRejected(camp, bids[i].User, "engine overloaded: bid queue full")
+		}
+		codec.WriteError("engine overloaded: bid queue full")
+		return
+	}
+	var rep admitReply
+	select {
+	case rep = <-req.reply:
+	case <-ctx.Done():
+		return
+	}
+	admitted := make([]auction.UserID, 0, len(bids))
+	for i, verdict := range rep.verdicts {
+		if verdict != nil {
+			e.recordBidRejected(camp, bids[i].User, verdict.Error())
+			continue
+		}
+		e.recordBidAccepted(camp, rep.rd, bids[i].User)
+		admitted = append(admitted, bids[i].User)
+	}
+	rd := rep.rd
+	if rd == nil {
+		// Nothing was admitted; report the verdicts so the aggregator can
+		// tell its agents apart, and end the session.
+		awards := make([]wire.UserAward, len(bids))
+		for i := range bids {
+			awards[i] = wire.UserAward{User: int(bids[i].User),
+				Error: "bid rejected: " + rep.verdicts[i].Error()}
+		}
+		setDeadline()
+		if codec.Write(&wire.Envelope{Type: wire.TypeAwardBatch, Campaign: campID,
+			AwardBatch: &wire.AwardBatch{Awards: awards}}) == nil {
+			_ = codec.Flush()
+		}
+		return
+	}
+
+	// Await the round outcome.
+	select {
+	case <-ctx.Done():
+		return
+	case <-rd.computed:
+	}
+	// Every admitted user owes the round a terminal action; sessionDone is
+	// idempotent, so completing already-settled users again is a no-op.
+	defer func() {
+		for _, u := range admitted {
+			camp.sessionDone(rd, u, nil)
+		}
+	}()
+	if rd.err != nil {
+		codec.WriteError(fmt.Sprintf("auction failed: %v", rd.err))
+		return
+	}
+
+	// Awards in submission order; admission errors ride along inline.
+	awards := make([]wire.UserAward, len(bids))
+	winners := make(map[auction.UserID]mechanism.Award, len(admitted))
+	costs := make(map[auction.UserID]float64, len(admitted))
+	for i := range bids {
+		user := bids[i].User
+		ua := wire.UserAward{User: int(user)}
+		if verdict := rep.verdicts[i]; verdict != nil {
+			ua.Error = "bid rejected: " + verdict.Error()
+		} else if award, won := rd.outcome.AwardFor(rd.order[user]); won {
+			ua.Award = wire.Award{
+				Selected:        true,
+				CriticalPoS:     award.CriticalPoS,
+				RewardOnSuccess: award.RewardOnSuccess,
+				RewardOnFailure: award.RewardOnFailure,
+			}
+			winners[user] = award
+			costs[user] = bids[i].Cost
+		}
+		awards[i] = ua
+	}
+	setDeadline()
+	if codec.Write(&wire.Envelope{Type: wire.TypeAwardBatch, Campaign: campID,
+		AwardBatch: &wire.AwardBatch{Awards: awards}}) != nil {
+		return
+	}
+	if codec.Flush() != nil {
+		return
+	}
+	if len(winners) == 0 {
+		return // no reports owed; the deferred cleanup completes the losers
+	}
+
+	// Winners' execution reports, one frame; losers do not report.
+	setDeadline()
+	env, err := codec.Expect(wire.TypeReportBatch)
+	if err != nil {
+		return
+	}
+	settles := make([]wire.UserSettle, 0, len(winners))
+	for i := range env.ReportBatch.Reports {
+		report := &env.ReportBatch.Reports[i]
+		user := auction.UserID(report.User)
+		award, ok := winners[user]
+		if !ok {
+			continue // not a winner (or a duplicate report): nothing owed
+		}
+		delete(winners, user)
+		success := false
+		for _, ok := range report.Succeeded {
+			if ok {
+				success = true
+				break
+			}
+		}
+		reward := award.RewardOnFailure
+		if success {
+			reward = award.RewardOnSuccess
+		}
+		settle := wire.Settle{Success: success, Reward: reward, Utility: reward - costs[user]}
+		settles = append(settles, wire.UserSettle{User: int(user), Settle: settle})
+		camp.sessionDone(rd, user, &settle)
+	}
+	setDeadline()
+	if codec.Write(&wire.Envelope{Type: wire.TypeSettleBatch, Campaign: campID,
+		SettleBatch: &wire.SettleBatch{Settles: settles}}) == nil {
+		_ = codec.Flush()
+	}
 }
 
 // lookup resolves a campaign ID; the empty ID (legacy agents) resolves to
@@ -597,13 +785,18 @@ func (e *Engine) Snapshot() Snapshot {
 		BidsRejected:    m.bidsRejected.Load(),
 		RoundsCompleted: m.roundsCompleted.Load(),
 		RoundsFailed:    m.roundsFailed.Load(),
-		CampaignsOpen:   openCount,
-		CampaignsClosed: total - openCount,
-		QueueLen:        queueLen,
-		QueueCap:        queueCap,
-		RoundLatency:    m.roundLatency.snapshot(),
-		ComputeLatency:  m.computeLatency.snapshot(),
-		Campaigns:       campaigns,
+
+		WireSessionsJSON:   m.wireSessionsJSON.Load(),
+		WireSessionsBinary: m.wireSessionsBinary.Load(),
+		BidBatches:         m.bidBatches.Load(),
+		BatchedBids:        m.batchedBids.Load(),
+		CampaignsOpen:      openCount,
+		CampaignsClosed:    total - openCount,
+		QueueLen:           queueLen,
+		QueueCap:           queueCap,
+		RoundLatency:       m.roundLatency.snapshot(),
+		ComputeLatency:     m.computeLatency.snapshot(),
+		Campaigns:          campaigns,
 	}
 }
 

@@ -209,6 +209,13 @@ type metrics struct {
 	roundsCompleted atomic.Uint64
 	roundsFailed    atomic.Uint64
 
+	// Wire fan-in: sessions by negotiated codec, and the batched-bid path
+	// (frames carrying many bids, from aggregators or SubmitBids).
+	wireSessionsJSON   atomic.Uint64
+	wireSessionsBinary atomic.Uint64
+	bidBatches         atomic.Uint64
+	batchedBids        atomic.Uint64
+
 	roundLatency   histogram // first bid → settled
 	computeLatency histogram // winner determination wall time
 }
@@ -301,6 +308,11 @@ type Snapshot struct {
 	RoundsCompleted uint64 `json:"rounds_completed"`
 	RoundsFailed    uint64 `json:"rounds_failed"`
 
+	WireSessionsJSON   uint64 `json:"wire_sessions_json"`
+	WireSessionsBinary uint64 `json:"wire_sessions_binary"`
+	BidBatches         uint64 `json:"bid_batches"`
+	BatchedBids        uint64 `json:"batched_bids"`
+
 	CampaignsOpen   int `json:"campaigns_open"`
 	CampaignsClosed int `json:"campaigns_closed"`
 	QueueLen        int `json:"queue_len"`
@@ -326,6 +338,8 @@ func (s Snapshot) CampaignIDs() []string {
 func (s Snapshot) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "bids: accepted=%d rejected=%d\n", s.BidsAccepted, s.BidsRejected)
+	fmt.Fprintf(&b, "wire: sessions json=%d binary=%d batches=%d batched_bids=%d\n",
+		s.WireSessionsJSON, s.WireSessionsBinary, s.BidBatches, s.BatchedBids)
 	fmt.Fprintf(&b, "rounds: completed=%d failed=%d\n", s.RoundsCompleted, s.RoundsFailed)
 	fmt.Fprintf(&b, "campaigns: open=%d closed=%d\n", s.CampaignsOpen, s.CampaignsClosed)
 	fmt.Fprintf(&b, "bid queue: %d/%d\n", s.QueueLen, s.QueueCap)

@@ -45,6 +45,28 @@ func (e *Engine) recordBidAccepted(c *campaign, rd *round, user auction.UserID) 
 	})
 }
 
+// recordWireSession counts one negotiated agent session by codec.
+func (e *Engine) recordWireSession(binary bool) {
+	if e.obsOff() {
+		return
+	}
+	if binary {
+		e.metrics.wireSessionsBinary.Add(1)
+	} else {
+		e.metrics.wireSessionsJSON.Add(1)
+	}
+}
+
+// recordBidBatch counts one batched-bid submission (a TypeBidBatch frame or
+// a SubmitBids call) and the bids it carried.
+func (e *Engine) recordBidBatch(n int) {
+	if e.obsOff() {
+		return
+	}
+	e.metrics.bidBatches.Add(1)
+	e.metrics.batchedBids.Add(uint64(n))
+}
+
 // recordBidRejected counts one rejected bid with the reason the agent saw.
 func (e *Engine) recordBidRejected(c *campaign, user auction.UserID, reason string) {
 	if e.obsOff() {
@@ -335,6 +357,15 @@ func (e *Engine) MetricFamilies() []obs.Family {
 			func(c CampaignSnapshot) HistogramSnapshot { return c.RoundLatency }),
 		summary("crowdsense_wd_duration_seconds", "Winner-determination wall time.",
 			func(c CampaignSnapshot) HistogramSnapshot { return c.ComputeLatency }),
+		{Name: "crowdsense_wire_sessions_total", Help: "Agent sessions by negotiated wire codec.",
+			Type: obs.TypeCounter, Samples: []obs.Sample{
+				{Labels: []obs.Label{{Name: "codec", Value: "json"}}, Value: float64(s.WireSessionsJSON)},
+				{Labels: []obs.Label{{Name: "codec", Value: "binary"}}, Value: float64(s.WireSessionsBinary)},
+			}},
+		{Name: "crowdsense_wire_bid_batches_total", Help: "Batched-bid submissions (bid_batch frames and direct batches).",
+			Type: obs.TypeCounter, Samples: []obs.Sample{{Value: float64(s.BidBatches)}}},
+		{Name: "crowdsense_wire_batched_bids_total", Help: "Bids carried inside batched submissions.",
+			Type: obs.TypeCounter, Samples: []obs.Sample{{Value: float64(s.BatchedBids)}}},
 		gauge("crowdsense_queue_len", "Bid-ingestion queue occupancy.", float64(s.QueueLen)),
 		gauge("crowdsense_queue_capacity", "Bid-ingestion queue capacity.", float64(s.QueueCap)),
 		gauge("crowdsense_campaigns_open", "Campaigns not yet closed.", float64(s.CampaignsOpen)),

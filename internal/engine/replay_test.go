@@ -191,6 +191,11 @@ func TestEngineCrashRecoveryDifferential(t *testing.T) {
 		Bid: &wire.Bid{User: 99, Tasks: []int{1}, Cost: 1, PoS: map[int]float64{1: 0.5}}}); err != nil {
 		t.Fatal(err)
 	}
+	// This session never reads (it is about to be torn down), so the
+	// buffered bid must be flushed explicitly.
+	if err := codec.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	waitBids(t, eB, 3)
 
 	cancel() // crash

@@ -51,3 +51,59 @@ func FuzzCodecRead(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBinaryCodecRead feeds arbitrary bytes into the negotiated binary
+// read path: it must never panic or over-allocate, and any frame it
+// accepts must re-encode to the exact same bytes (the byte-stability
+// invariant the differential tests rely on).
+func FuzzBinaryCodecRead(f *testing.F) {
+	for _, env := range testEnvelopes() {
+		var buf bytes.Buffer
+		c := NewBinaryCodec(&buf)
+		if err := c.Write(env); err != nil {
+			f.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes()[1:]) // frame without the version byte
+	}
+	f.Add([]byte{0x00})                                                   // zero-length frame
+	f.Add([]byte{0xff, 0xff, 0xff})                                       // unterminated uvarint
+	f.Add([]byte(`{"type":"error","error":{"message":"legacy"}}` + "\n")) // JSON fallback
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		stream := append([]byte{BinaryVersion}, data...)
+		codec, err := NewServerCodec(bytes.NewBuffer(stream))
+		if err != nil {
+			return
+		}
+		env, err := codec.Read()
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := env.Validate(); err != nil {
+			t.Fatalf("Read returned invalid envelope: %v", err)
+		}
+		// Accepted envelopes must re-encode deterministically and decode
+		// back to the same struct.
+		var first, second bytes.Buffer
+		c1 := NewBinaryCodec(&first)
+		if err := c1.Write(env); err != nil {
+			t.Fatal(err)
+		}
+		if err := c1.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		c2 := NewBinaryCodec(&second)
+		if err := c2.Write(env); err != nil {
+			t.Fatal(err)
+		}
+		if err := c2.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("binary encoding not byte-stable:\n %x\n %x", first.Bytes(), second.Bytes())
+		}
+	})
+}

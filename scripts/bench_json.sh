@@ -7,9 +7,12 @@
 # path at n=200 runs minutes per op; solver-level passes iterate more.
 # A second pass runs the cluster benchmarks (leader failover latency and
 # cross-node auction throughput on a 3-node loopback cluster) into
-# BENCH_cluster.json, and a third runs the observability benchmarks (live
+# BENCH_cluster.json, a third runs the observability benchmarks (live
 # auditor overhead on a real engine, SLO evaluation throughput) into
-# BENCH_obs.json.
+# BENCH_obs.json, and a fourth runs the wire/fan-in benchmarks (JSON vs
+# binary codec round trips, batched frames, in-process swarm fan-in) into
+# BENCH_wire.json with the binary-over-JSON speedup and alloc reduction of
+# every paired case.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,7 +20,8 @@ out=BENCH_solvers.json
 tmp=$(mktemp)
 ctmp=$(mktemp)
 otmp=$(mktemp)
-trap 'rm -f "$tmp" "$ctmp" "$otmp"' EXIT
+wtmp=$(mktemp)
+trap 'rm -f "$tmp" "$ctmp" "$otmp" "$wtmp"' EXIT
 
 go test -run '^$' -bench 'BenchmarkSolveFPTAS(Reference)?$' -benchtime 3x ./internal/knapsack | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkGreedy(Reference)?$' -benchtime 50x ./internal/setcover | tee -a "$tmp"
@@ -132,3 +136,61 @@ END {
 }' "$otmp" > "$oout"
 
 echo "wrote $oout"
+
+# Wire/fan-in trajectory: the JSON/Binary sub-benchmark pairs measure one
+# envelope round trip (encode, frame, decode) per op on the same shapes, so
+# their ratio is the codec overhaul's speedup; bids_per_s is end-to-end
+# in-process swarm fan-in (16 campaigns × 1024 agents per op).
+wout=BENCH_wire.json
+go test -run '^$' -bench 'BenchmarkWireCodec(Batch)?$' -benchtime 1000x ./internal/wire | tee "$wtmp"
+go test -run '^$' -bench 'BenchmarkSwarmFanIn$' -benchtime 3x ./cmd/crowdsim | tee -a "$wtmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version | awk '{print $3}')" '
+/^Benchmark.*ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns[name] = $3
+	for (i = 5; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		if (unit == "B/op") { bytes[name] = $i; continue }
+		if (unit == "allocs/op") { allocs[name] = $i; continue }
+		gsub(/\//, "_per_", unit)
+		metrics[name] = metrics[name] sprintf(", \"%s\": %s", unit, $i)
+	}
+	order[n++] = name
+}
+END {
+	if (n == 0) { print "no wire benchmarks parsed" > "/dev/stderr"; exit 1 }
+	printf "{\n  \"generated\": \"%s\",\n  \"go\": \"%s\",\n", date, goversion
+	printf "  \"benchtime\": {\"codec\": \"1000x\", \"swarm\": \"3x\"},\n"
+	printf "  \"workload\": {\"codec\": \"16-task bid envelope; Batch = one frame of 256 such bids\", \"swarm\": \"16 campaigns x 1024 agents, in-process SubmitBids, multi-task WD\"},\n"
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns[name]
+		if (name in bytes) printf ", \"bytes_per_op\": %s", bytes[name]
+		if (name in allocs) printf ", \"allocs_per_op\": %s", allocs[name]
+		printf "%s}%s\n", metrics[name], (i < n - 1 ? "," : "")
+	}
+	printf "  ],\n  \"speedups\": [\n"
+	m = 0
+	for (i = 0; i < n; i++) {
+		bin = order[i]
+		if (bin !~ /\/Binary$/) continue
+		json = bin
+		sub(/\/Binary$/, "/JSON", json)
+		if (!(json in ns)) continue
+		pairs[m++] = bin "|" json
+	}
+	for (i = 0; i < m; i++) {
+		split(pairs[i], p, "|")
+		printf "    {\"case\": \"%s\", \"binary_ns\": %s, \"json_ns\": %s, \"speedup\": %.2f", \
+			p[1], ns[p[1]], ns[p[2]], ns[p[2]] / ns[p[1]]
+		if ((p[1] in allocs) && (p[2] in allocs) && allocs[p[1]] > 0)
+			printf ", \"alloc_reduction\": %.2f", allocs[p[2]] / allocs[p[1]]
+		printf "}%s\n", (i < m - 1 ? "," : "")
+	}
+	printf "  ]\n}\n"
+}' "$wtmp" > "$wout"
+
+echo "wrote $wout"

@@ -20,7 +20,8 @@ go test ./...
 go test -race ./internal/engine/... ./internal/obs/... ./internal/obs/span \
 	./internal/platform/... ./internal/agent/... ./internal/wire/... \
 	./internal/store/... ./internal/cluster/... \
-	./internal/mechanism/... ./internal/knapsack/... ./internal/setcover/...
+	./internal/mechanism/... ./internal/knapsack/... ./internal/setcover/... \
+	./cmd/crowdsim
 go test -run 'Fuzz.*' ./internal/wire ./internal/store ./internal/cluster
 go test -run '^$' -bench . -benchtime 1x ./internal/knapsack ./internal/setcover ./internal/mechanism
 # Lifecycle-tracing gates: the obsctl round-trip (record a live journal,
@@ -45,3 +46,8 @@ go test -run '^$' -bench BenchmarkAuditOverhead -benchtime 3x ./internal/obs/aud
 # Cluster gate: kill-the-leader differential under race — the promoted
 # follower's settled rounds and journal bytes must match the dead leader's.
 go test -race -run TestClusterFailoverDifferential ./internal/cluster
+# Fan-in gate: 100k agents across 100 campaigns through the in-process
+# swarm path under race, asserting every round settles with zero
+# admit-queue rejects.
+SWARM_AGENTS=100000 SWARM_CAMPAIGNS=100 SWARM_ROUNDS=1 \
+	go test -race -run TestSwarmSmoke ./cmd/crowdsim
