@@ -57,6 +57,7 @@ check:
 	$(MAKE) audit-smoke
 	$(MAKE) cluster-smoke
 	$(MAKE) swarm-smoke
+	$(MAKE) trace-smoke
 
 # Crash-recovery differential plus a store-overhead benchmark smoke: kill a
 # WAL-backed engine mid-round, reopen the log, finish the campaign, and
@@ -88,6 +89,14 @@ audit-smoke:
 .PHONY: cluster-smoke
 cluster-smoke:
 	$(GO) test -race -run TestClusterFailoverDifferential ./internal/cluster
+
+# Distributed-tracing gate: a three-node cluster (leader, replicating
+# follower, router) plus traced agents journal to node-identified files; the
+# journals are stitched with obsctl and every settled round must form one
+# connected trace tree spanning at least three distinct node IDs.
+.PHONY: trace-smoke
+trace-smoke:
+	$(GO) test -run TestTraceSmoke ./cmd/obsctl
 
 # Million-agent fan-in gate, scaled to CI: 100k agents across 100 campaigns
 # through the in-process swarm path under the race detector, asserting every

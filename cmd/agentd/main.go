@@ -39,6 +39,7 @@ import (
 	"crowdsense/internal/auction"
 	"crowdsense/internal/buildinfo"
 	"crowdsense/internal/mobility"
+	"crowdsense/internal/obs/span"
 	"crowdsense/internal/stats"
 	"crowdsense/internal/wire"
 )
@@ -65,6 +66,8 @@ func run() error {
 		codec    = flag.String("codec", "json", "wire codec: json or binary (the platform auto-negotiates)")
 		aggr     = flag.Bool("aggregate", false, "fleet mode: coalesce the fleet's bids into one batched session")
 		retries  = flag.Int("retries", 5, "dial attempts before giving up (exponential backoff)")
+		spanJrnl = flag.String("span-journal", "", "record client-side spans (dial, submit, award wait, settle, redials) to this JSONL file; stitch it with the platform's via obsctl stitch")
+		nodeFlag = flag.String("node", "", "node identity stamped into span records (default agent@<first user ID>)")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		version  = flag.Bool("version", false, "print version and exit")
 	)
@@ -89,6 +92,26 @@ func run() error {
 		campaign: *campaign,
 		binary:   *codec == "binary",
 		backoff:  agent.Backoff{Attempts: *retries},
+	}
+	if *spanJrnl != "" {
+		node := *nodeFlag
+		if node == "" {
+			node = fmt.Sprintf("agent@%d", *user)
+		}
+		sj, err := span.OpenJournal(span.JournalConfig{Path: *spanJrnl, Node: node})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := sj.Close(); err != nil {
+				slog.Warn("span journal close", "err", err)
+			}
+			if n := sj.Dropped(); n > 0 {
+				slog.Warn("span journal dropped records", "dropped", n)
+			}
+		}()
+		opts.spans = span.New(sj).SetNode(node)
+		slog.Info("span journal attached", "path", *spanJrnl, "node", node)
 	}
 	if *aggr && *fleet <= 0 {
 		return fmt.Errorf("-aggregate requires -fleet")
@@ -116,6 +139,7 @@ func run() error {
 		TrueBid:  auction.NewBid(auction.UserID(*user), tasks, *cost, posMap),
 		Seed:     *seed,
 		Binary:   opts.binary,
+		Spans:    opts.spans,
 	}, opts.backoff)
 	if err != nil {
 		return err
@@ -131,6 +155,7 @@ type agentOptions struct {
 	campaign string
 	binary   bool
 	backoff  agent.Backoff
+	spans    *span.Tracer // nil = no client-side tracing
 }
 
 func parsePoS(s string) (map[auction.TaskID]float64, []auction.TaskID, error) {
@@ -175,6 +200,7 @@ func runFromModel(opts agentOptions, user int, path string, cost float64, horizo
 		TrueBid:  bid,
 		Seed:     seed,
 		Binary:   opts.binary,
+		Spans:    opts.spans,
 	}, opts.backoff)
 	if err != nil {
 		return err
@@ -224,6 +250,7 @@ func runFleet(opts agentOptions, firstUser, n int, seed int64) error {
 				},
 				Seed:   seed + int64(i),
 				Binary: opts.binary,
+				Spans:  opts.spans,
 			}, opts.backoff)
 			if err != nil {
 				errs[i] = err
@@ -257,6 +284,7 @@ func runAggregated(opts agentOptions, firstUser, n int, seed int64) error {
 		Aggregator: auction.UserID(firstUser + n),
 		Binary:     opts.binary,
 		Seed:       seed,
+		Spans:      opts.spans,
 		AutoTypes: func(tasks []wire.TaskSpec) []auction.Bid {
 			bids := make([]auction.Bid, 0, n)
 			for i := 0; i < n; i++ {

@@ -52,6 +52,7 @@ func run() error {
 		rounds      = flag.Int("rounds", 1, "swarm mode: auction rounds per campaign")
 		swarmTasks  = flag.Int("swarm-tasks", 8, "swarm mode: tasks per campaign")
 		batch       = flag.Int("batch", 4096, "swarm mode: bids per in-process batch")
+		metricsAddr = flag.String("metrics-addr", "", "swarm mode: serve /metrics, /healthz, /readyz, /debug/rounds, /debug/spans, and pprof on this address during the run (empty = off)")
 	)
 	flag.Parse()
 
@@ -65,6 +66,7 @@ func run() error {
 			requirement: *requirement,
 			alpha:       *alpha,
 			seed:        *seed,
+			metricsAddr: *metricsAddr,
 		})
 		return err
 	}

@@ -10,8 +10,10 @@ import (
 	"time"
 
 	"crowdsense/internal/auction"
+	"crowdsense/internal/buildinfo"
 	"crowdsense/internal/engine"
 	"crowdsense/internal/mechanism"
+	"crowdsense/internal/obs"
 	"crowdsense/internal/stats"
 )
 
@@ -36,7 +38,8 @@ type swarmConfig struct {
 	requirement float64
 	alpha       float64
 	seed        int64
-	quiet       bool // suppress the per-run report (benchmarks)
+	quiet       bool   // suppress the per-run report (benchmarks)
+	metricsAddr string // serve /metrics, /debug/spans, … during the run (empty = off)
 }
 
 // swarmTally is what a swarm run proved: settled rounds, admission verdicts,
@@ -175,6 +178,29 @@ func runSwarm(cfg swarmConfig) (swarmTally, error) {
 			Alpha:           cfg.alpha,
 		}); err != nil {
 			return tally, err
+		}
+	}
+
+	// The ops endpoint watches the fan-in live: engine metrics (admission,
+	// RPC latency, solver histograms) plus the span ring on /debug/spans.
+	if cfg.metricsAddr != "" {
+		srv, err := obs.Serve(cfg.metricsAddr, obs.Options{
+			Gather: func() []obs.Family {
+				fams := e.MetricFamilies()
+				fams = append(fams, obs.RuntimeFamilies()...)
+				return append(fams, buildinfo.Family())
+			},
+			Health: e.Health,
+			Ready:  e.Readiness,
+			Rounds: func(n int) []obs.Event { return e.Trace().RecentRounds(n) },
+			Spans:  e.SpanRecords,
+		})
+		if err != nil {
+			return tally, err
+		}
+		defer srv.Close()
+		if !cfg.quiet {
+			fmt.Printf("swarm: ops endpoint up at http://%s (/metrics /debug/spans)\n", srv.Addr())
 		}
 	}
 

@@ -10,6 +10,7 @@
 //	obsctl summary -top 5 spans.jsonl             # latency breakdown + slowest rounds
 //	obsctl slo -targets round=250ms spans.jsonl   # p99 targets, burn rates, audit events
 //	obsctl convert spans.jsonl > trace.json       # open in ui.perfetto.dev
+//	obsctl stitch a.jsonl b.jsonl > trace.json    # merge node journals, one lane group per node
 //	obsctl validate trace.json                    # check trace-event invariants
 package main
 
@@ -39,6 +40,7 @@ Commands:
   summary   per-name latency breakdown, cluster events, slowest rounds
   slo       per-name latency quantiles vs p99 targets, audit events
   convert   emit Chrome trace-event JSON (Perfetto / chrome://tracing)
+  stitch    merge several nodes' journals into one cross-node trace timeline
   validate  check a converted trace file's invariants
   version   print version and exit
 `
@@ -58,6 +60,8 @@ func run(args []string, out *os.File) error {
 		return runSLO(rest, out)
 	case "convert":
 		return runConvert(rest, out)
+	case "stitch":
+		return runStitch(rest, out)
 	case "validate":
 		return runValidate(rest, out)
 	case "version", "-version", "--version":
@@ -188,6 +192,39 @@ func runConvert(args []string, out *os.File) error {
 		w = f
 	}
 	return spantool.WriteTrace(w, spantool.Convert(recs))
+}
+
+// runStitch merges N node journals into one Perfetto timeline: one lane
+// group per node, clocks aligned from trace-context send/receive pairs, flow
+// arrows across node boundaries. Each file is loaded separately so rotated
+// segments of one node regroup by the node name stamped in the records.
+func runStitch(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("obsctl stitch", flag.ContinueOnError)
+	outPath := fs.String("o", "", "write the trace here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no journal files given")
+	}
+	inputs := make([][]span.Record, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		recs, err := span.ReadJournalFile(path)
+		if err != nil {
+			return err
+		}
+		inputs = append(inputs, recs)
+	}
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return spantool.WriteTrace(w, spantool.Stitch(inputs))
 }
 
 func runValidate(args []string, out *os.File) error {

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"crowdsense/internal/agent"
+	"crowdsense/internal/auction"
+	"crowdsense/internal/engine"
+	"crowdsense/internal/obs/span"
+	"crowdsense/internal/obs/spantool"
+)
+
+// recordBatchJournals drives a batch-era session — one aggregator carrying
+// three agents' bids in a bid_batch frame — with node-identified journals on
+// both sides, and returns the engine's and the aggregator's journal paths.
+func recordBatchJournals(t *testing.T) (engineJournal, agentJournal string) {
+	t.Helper()
+	dir := t.TempDir()
+	engineJournal = filepath.Join(dir, "engine.jsonl")
+	agentJournal = filepath.Join(dir, "agent.jsonl")
+
+	ej, err := span.OpenJournal(span.JournalConfig{Path: engineJournal, Node: "engine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := span.OpenJournal(span.JournalConfig{Path: agentJournal, Node: "aggregator"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := engine.New(engine.Config{NodeID: "engine", SpanSinks: []span.Sink{ej}})
+	err = e.AddCampaign(engine.CampaignConfig{
+		ID:              "bt",
+		Tasks:           []auction.Task{{ID: 1, Requirement: 0.6}},
+		ExpectedBidders: 3,
+		Rounds:          1,
+		Alpha:           10,
+		Epsilon:         0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		done <- e.Serve(ctx)
+	}()
+
+	bids := make([]auction.Bid, 0, 3)
+	for i := 1; i <= 3; i++ {
+		bids = append(bids, auction.NewBid(auction.UserID(i), []auction.TaskID{1},
+			float64(i+1), map[auction.TaskID]float64{1: 0.8}))
+	}
+	_, err = agent.RunBatch(context.Background(), agent.BatchConfig{
+		Addr:       e.Addr().String(),
+		Campaign:   "bt",
+		Aggregator: 100,
+		Bids:       bids,
+		Seed:       1,
+		Timeout:    10 * time.Second,
+		Spans:      span.New(aj).SetNode("aggregator"),
+	})
+	if err != nil {
+		t.Fatalf("batch session: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := ej.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := aj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return engineJournal, agentJournal
+}
+
+// TestConvertBatchJournal converts a batch-era journal pair and pins the
+// structural golden: the Perfetto output must contain the batched client
+// spans (session with its batch size, submit, settle) alongside the engine's
+// round pipeline, and must pass validation.
+func TestConvertBatchJournal(t *testing.T) {
+	engineJournal, agentJournal := recordBatchJournals(t)
+	trace := filepath.Join(t.TempDir(), "trace.json")
+
+	if _, err := capture(t, "convert", "-o", trace, engineJournal, agentJournal); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	if _, err := capture(t, "validate", trace); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf spantool.TraceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatal(err)
+	}
+	events := map[string]spantool.TraceEvent{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" {
+			events[ev.Name] = ev
+		}
+	}
+	for _, want := range []string{span.NameAgentSession, span.NameAgentSubmit,
+		span.NameAgentSettle, span.NameRound, span.NameWD} {
+		if _, ok := events[want]; !ok {
+			t.Errorf("batch-era trace has no %q events", want)
+		}
+	}
+	if sess, ok := events[span.NameAgentSession]; ok {
+		if batch, _ := sess.Args["batch"].(float64); batch != 3 {
+			t.Errorf("session batch arg %v, want 3", sess.Args["batch"])
+		}
+	}
+	if sub, ok := events[span.NameAgentSubmit]; ok {
+		if bids, _ := sub.Args["bids"].(float64); bids != 3 {
+			t.Errorf("submit bids arg %v, want 3", sub.Args["bids"])
+		}
+	}
+}
+
+// TestStitchTwoNodes stitches the engine and aggregator journals and runs the
+// schema validator over the result: two lane groups, a flow arrow across the
+// node boundary, one connected round tree spanning both nodes.
+func TestStitchTwoNodes(t *testing.T) {
+	engineJournal, agentJournal := recordBatchJournals(t)
+	trace := filepath.Join(t.TempDir(), "stitched.json")
+
+	if _, err := capture(t, "stitch", "-o", trace, engineJournal, agentJournal); err != nil {
+		t.Fatalf("stitch: %v", err)
+	}
+	out, err := capture(t, "validate", trace)
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Errorf("validate output %q", out)
+	}
+
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf spantool.TraceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatal(err)
+	}
+	lanes := map[string]bool{}
+	flows := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			lanes[ev.Args["name"].(string)] = true
+		}
+		if ev.Ph == "s" {
+			flows++
+		}
+	}
+	if !lanes["node engine"] || !lanes["node aggregator"] {
+		t.Errorf("lane groups %v, want node engine + node aggregator", lanes)
+	}
+	if flows == 0 {
+		t.Error("no flow arrows across the node boundary")
+	}
+
+	recs, err := span.ReadJournalFile(engineJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arecs, err := span.ReadJournalFile(agentJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := spantool.RoundTraces(append(recs, arecs...))
+	if len(rts) != 1 {
+		t.Fatalf("%d round traces, want 1: %+v", len(rts), rts)
+	}
+	if len(rts[0].Nodes) != 2 {
+		t.Errorf("round tree spans nodes %v, want both engine and aggregator", rts[0].Nodes)
+	}
+
+	// Multi-journal summary must surface the per-hop breakdown.
+	sum, err := capture(t, "summary", engineJournal, agentJournal)
+	if err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	for _, want := range []string{"per-hop breakdown", "agent-queue", "admit"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("multi-journal summary missing %q:\n%s", want, sum)
+		}
+	}
+}

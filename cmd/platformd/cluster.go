@@ -18,15 +18,17 @@ import (
 
 // clusterOptions carries the -cluster flag family into runCluster.
 type clusterOptions struct {
-	shards    []string // the ring, identical on every member
-	shard     string   // shard this node leads; empty runs the router
-	peers     string   // router member map: shard=addr[|standby],...
-	addr      string   // agent listen address (node) or dial address (router)
-	repAddr   string   // replication listen address (node; empty = no followers)
-	stateDir  string   // shard WAL directory (node; required)
-	follow    string   // standby spec: shard@leaderRepAddr
-	followDir string   // replica WAL directory (required with -follow)
-	followAdr string   // standby agent address bound at promotion (required with -follow)
+	node      string        // node identity for span records and trace context
+	journal   *span.Journal // span journal backing spanSinks, for health metrics (may be nil)
+	shards    []string      // the ring, identical on every member
+	shard     string        // shard this node leads; empty runs the router
+	peers     string        // router member map: shard=addr[|standby],...
+	addr      string        // agent listen address (node) or dial address (router)
+	repAddr   string        // replication listen address (node; empty = no followers)
+	stateDir  string        // shard WAL directory (node; required)
+	follow    string        // standby spec: shard@leaderRepAddr
+	followDir string        // replica WAL directory (required with -follow)
+	followAdr string        // standby agent address bound at promotion (required with -follow)
 
 	campaigns   int
 	tasks       []auction.Task
@@ -60,7 +62,10 @@ func runCluster(ctx context.Context, o clusterOptions) error {
 		if len(members) == 0 {
 			return fmt.Errorf("router mode needs -peers (shard=addr[|standby],...)")
 		}
-		r, err := cluster.StartRouter(o.addr, cluster.RouterConfig{Ring: ring, Members: members, Logf: logf})
+		r, err := cluster.StartRouter(o.addr, cluster.RouterConfig{
+			Ring: ring, Members: members, Logf: logf,
+			SpanSinks: o.spanSinks, Node: o.node,
+		})
 		if err != nil {
 			return err
 		}
@@ -103,7 +108,7 @@ func runCluster(ctx context.Context, o clusterOptions) error {
 	}
 
 	cfg := cluster.NodeConfig{
-		Name:      o.shard + "@" + o.addr,
+		Name:      o.node,
 		Shard:     o.shard,
 		StateDir:  o.stateDir,
 		AgentAddr: o.addr,
@@ -145,6 +150,7 @@ func runCluster(ctx context.Context, o clusterOptions) error {
 					fams = append(fams, eng.MetricFamilies()...)
 				}
 				fams = append(fams, node.AuditFamilies()...)
+				fams = append(fams, obs.JournalFamilies(o.journal)...)
 				fams = append(fams, obs.RuntimeFamilies()...)
 				return append(fams, buildinfo.Family())
 			},

@@ -95,6 +95,7 @@ func run() error {
 		workers     = flag.Int("workers", 0, "winner-determination worker pool size (0 = auto; -campaigns mode)")
 		journal     = flag.String("journal", "", "append one JSON line per round to this file")
 		spanJournal = flag.String("span-journal", "", "record lifecycle spans (campaign/round/phase/solver) to this JSONL file, rotated by size")
+		nodeFlag    = flag.String("node", "", "node identity stamped into span records and cross-process trace context, so obsctl stitch can merge this journal with other nodes' (default: shard@addr in cluster node mode, \"router\" for the router, else \"platform\")")
 		stateDir    = flag.String("state-dir", "", "durable state directory: campaign events are written to a WAL there, and on restart the log is replayed to resume campaigns at the last durable round boundary (empty = in-memory only)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/rounds, /debug/spans, /debug/audit, and pprof on this address (empty = off)")
 		auditFlag   = flag.Bool("audit", false, "run the live mechanism auditor: every settled round is checked against the paper's economic invariants (IR, budget, α reward gap, settlement arithmetic); violations degrade /readyz and surface on /debug/audit")
@@ -146,12 +147,26 @@ func run() error {
 		journalFile = f
 	}
 
+	nodeName := *nodeFlag
+	if nodeName == "" {
+		switch {
+		case *clusterArg != "" && *shard != "":
+			nodeName = *shard + "@" + *addr
+		case *clusterArg != "":
+			nodeName = "router"
+		default:
+			nodeName = "platform"
+		}
+	}
+
 	var spanSinks []span.Sink
+	var spanJ *span.Journal
 	if *spanJournal != "" {
-		sj, err := span.OpenJournal(span.JournalConfig{Path: *spanJournal})
+		sj, err := span.OpenJournal(span.JournalConfig{Path: *spanJournal, Node: nodeName})
 		if err != nil {
 			return err
 		}
+		spanJ = sj
 		defer func() {
 			if err := sj.Close(); err != nil {
 				slog.Warn("span journal close", "err", err)
@@ -161,7 +176,7 @@ func run() error {
 			}
 		}()
 		spanSinks = append(spanSinks, sj)
-		slog.Info("span journal attached", "path", *spanJournal)
+		slog.Info("span journal attached", "path", *spanJournal, "node", nodeName)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -169,6 +184,8 @@ func run() error {
 
 	if *clusterArg != "" {
 		return runCluster(ctx, clusterOptions{
+			node:        nodeName,
+			journal:     spanJ,
 			shards:      strings.Split(*clusterArg, ","),
 			shard:       *shard,
 			peers:       *peers,
@@ -196,6 +213,7 @@ func run() error {
 	// The ops endpoint comes up before recovery so /readyz can answer 503
 	// "recovering" while the WAL replays; the engine swaps in when ready.
 	ops := &opsState{}
+	ops.journal.Store(spanJ)
 	var aud *audit.Auditor
 	if auditOn {
 		aud = audit.New(audit.Config{SLO: sloCfg})
@@ -278,6 +296,7 @@ func run() error {
 	if *campaigns > 0 || rec.HasCampaigns() && len(rec.State.Order) > 1 {
 		return runEngine(ctx, engineOptions{
 			addr:            *addr,
+			node:            nodeName,
 			tasks:           specs,
 			bidders:         *bidders,
 			window:          *window,
@@ -376,6 +395,7 @@ func parseSLOTargets(s string) (*audit.SLOConfig, error) {
 
 type engineOptions struct {
 	addr            string
+	node            string
 	tasks           []auction.Task
 	bidders         int
 	window          time.Duration
@@ -401,6 +421,7 @@ type opsState struct {
 	eng        atomic.Pointer[engine.Engine]
 	wal        atomic.Pointer[store.WAL]
 	aud        atomic.Pointer[audit.Auditor]
+	journal    atomic.Pointer[span.Journal]
 	recovering atomic.Bool
 }
 
@@ -420,6 +441,7 @@ func (o *opsState) gather() []obs.Family {
 	if a := o.aud.Load(); a != nil {
 		fams = append(fams, a.Families()...)
 	}
+	fams = append(fams, obs.JournalFamilies(o.journal.Load())...)
 	fams = append(fams, obs.RuntimeFamilies()...)
 	return append(fams, buildinfo.Family())
 }
@@ -490,6 +512,7 @@ func runEngine(ctx context.Context, opts engineOptions) error {
 	journalSeq := 0
 	ecfg := engine.Config{
 		Workers:   opts.workers,
+		NodeID:    opts.node,
 		SpanSinks: opts.spanSinks,
 		Store:     opts.store,
 		OnRound: func(r engine.RoundResult) {

@@ -16,6 +16,7 @@ import (
 
 	"crowdsense/internal/auction"
 	"crowdsense/internal/mobility"
+	"crowdsense/internal/obs/span"
 	"crowdsense/internal/stats"
 	"crowdsense/internal/wire"
 )
@@ -56,6 +57,13 @@ type Config struct {
 	// so a binary agent works against any binary-capable platform; leave
 	// false for JSON-only peers.
 	Binary bool
+
+	// Spans, when non-nil, records client-side spans for the session: an
+	// agent.session root with dial / submit / award_wait / settle children.
+	// The root adopts the engine's round trace context from the tasks
+	// envelope, so client spans parent under the server's round span in a
+	// stitched timeline. Nil disables tracing at zero cost.
+	Spans *span.Tracer
 }
 
 func (c Config) timeout() time.Duration {
@@ -105,13 +113,40 @@ func BidFromModel(rng *rand.Rand, user auction.UserID, m *mobility.Model, taskSe
 	return auction.NewBid(user, tasks, cost, pos)
 }
 
+// adoptTrace parents a client-side root span under the engine's round span
+// using the trace context a server envelope carried, and records the
+// send/receive wall-clock pair that obsctl stitch uses for pairwise
+// clock-offset estimation. Nil-safe on both sides; a legacy envelope with no
+// context leaves the span a fresh local trace root.
+func adoptTrace(s *span.Span, tc *wire.TraceContext) {
+	if s == nil || tc == nil {
+		return
+	}
+	s.Adopt(span.TraceContext{TraceID: tc.TraceID, SpanID: tc.SpanID, Node: tc.Node})
+	if tc.SentUnixNanos != 0 {
+		s.Set(span.Int("peer_send_unix_ns", tc.SentUnixNanos),
+			span.Int("recv_unix_ns", time.Now().UnixNano()))
+	}
+}
+
 // Run executes one auction round against the platform.
 func Run(ctx context.Context, cfg Config) (Result, error) {
+	sess := cfg.Spans.Start(span.NameAgentSession, span.Int("user", int64(cfg.User)))
+	sess.Tag(cfg.Campaign, 0)
+	defer sess.End()
+
+	// The dial and submit phases complete before the server's trace context
+	// arrives on the tasks envelope, so their spans are recorded backdated
+	// (ChildSpanning) once the session span has adopted the round's trace.
+	dialStart := time.Now()
 	dialer := net.Dialer{Timeout: cfg.timeout()}
 	conn, err := dialer.DialContext(ctx, "tcp", cfg.Addr)
 	if err != nil {
+		sess.ChildSpanning(dialStart, time.Since(dialStart), span.NameAgentDial,
+			span.Str("error", "dial"))
 		return Result{}, fmt.Errorf("agent %d: %w: %w", cfg.User, ErrDial, err)
 	}
+	dialDur := time.Since(dialStart)
 	defer conn.Close()
 	// Honour context cancellation by closing the connection.
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
@@ -123,20 +158,29 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 	setDeadline := func() { _ = conn.SetDeadline(time.Now().Add(cfg.timeout())) }
 
+	submitStart := time.Now()
 	setDeadline()
 	if err := codec.Write(&wire.Envelope{Type: wire.TypeRegister, Campaign: cfg.Campaign,
 		Register: &wire.Register{User: int(cfg.User)}}); err != nil {
+		sess.ChildSpanning(dialStart, dialDur, span.NameAgentDial)
+		sess.ChildSpanning(submitStart, time.Since(submitStart), span.NameAgentSubmit,
+			span.Str("error", "register"))
 		return Result{}, fmt.Errorf("agent %d: register: %w", cfg.User, err)
 	}
 
 	setDeadline()
 	env, err := codec.Expect(wire.TypeTasks)
 	if err != nil {
+		sess.ChildSpanning(dialStart, dialDur, span.NameAgentDial)
+		sess.ChildSpanning(submitStart, time.Since(submitStart), span.NameAgentSubmit,
+			span.Str("error", "tasks"))
 		if shardMoved(err) {
 			err = fmt.Errorf("%w: %w", ErrShardMoved, err)
 		}
 		return Result{}, fmt.Errorf("agent %d: tasks: %w", cfg.User, err)
 	}
+	adoptTrace(sess, env.Trace)
+	sess.ChildSpanning(dialStart, dialDur, span.NameAgentDial)
 	res := Result{Registered: true}
 	published := make(map[auction.TaskID]bool, len(env.Tasks.Tasks))
 	for _, spec := range env.Tasks.Tasks {
@@ -161,6 +205,8 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		pos[int(id)] = p
 	}
 	if len(taskIDs) == 0 {
+		sess.ChildSpanning(submitStart, time.Since(submitStart), span.NameAgentSubmit,
+			span.Str("error", "no_overlap"))
 		return res, errors.New("agent: no published task intersects the user's task set")
 	}
 	setDeadline()
@@ -170,18 +216,29 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		Cost:  cfg.TrueBid.Cost,
 		PoS:   pos,
 	}}); err != nil {
+		sess.ChildSpanning(submitStart, time.Since(submitStart), span.NameAgentSubmit,
+			span.Str("error", "bid"))
 		return res, fmt.Errorf("agent %d: bid: %w", cfg.User, lostSession(err))
 	}
+	sess.ChildSpanning(submitStart, time.Since(submitStart), span.NameAgentSubmit,
+		span.Int("tasks", int64(len(taskIDs))))
 
 	// Await the award. The platform may take a while to gather all bids,
 	// so this step uses a generous deadline.
+	awaitSpan := sess.Child(span.NameAgentAward)
 	_ = conn.SetDeadline(time.Now().Add(10 * cfg.timeout()))
 	env, err = codec.Expect(wire.TypeAward)
 	if err != nil {
+		awaitSpan.EndWith(span.Str("error", "award"))
 		return res, fmt.Errorf("agent %d: award: %w", cfg.User, lostSession(err))
 	}
 	res.Award = *env.Award
 	res.Selected = env.Award.Selected
+	selected := int64(0)
+	if res.Selected {
+		selected = 1
+	}
+	awaitSpan.EndWith(span.Int("selected", selected))
 	if !res.Selected {
 		return res, nil
 	}
@@ -197,19 +254,23 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		succeeded[id] = ok
 	}
 	res.Attempt = attempt
+	settleSpan := sess.Child(span.NameAgentSettle)
 	setDeadline()
 	if err := codec.Write(&wire.Envelope{Type: wire.TypeReport, Report: &wire.Report{
 		User:      int(cfg.User),
 		Succeeded: succeeded,
 	}}); err != nil {
+		settleSpan.EndWith(span.Str("error", "report"))
 		return res, fmt.Errorf("agent %d: report: %w", cfg.User, err)
 	}
 
 	setDeadline()
 	env, err = codec.Expect(wire.TypeSettle)
 	if err != nil {
+		settleSpan.EndWith(span.Str("error", "settle"))
 		return res, fmt.Errorf("agent %d: settle: %w", cfg.User, err)
 	}
+	settleSpan.End()
 	res.Settle = *env.Settle
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"crowdsense/internal/auction"
+	"crowdsense/internal/obs/span"
 	"crowdsense/internal/stats"
 	"crowdsense/internal/wire"
 )
@@ -45,6 +46,11 @@ type BatchConfig struct {
 	// Binary selects the binary wire codec (see Config.Binary). Aggregation
 	// and codec are orthogonal: a JSON aggregator batches fine, just slower.
 	Binary bool
+
+	// Spans, when non-nil, records client-side spans for the session, same
+	// shape as Config.Spans: an agent.session root adopting the round's
+	// trace context, with dial / submit / award_wait / settle children.
+	Spans *span.Tracer
 }
 
 func (c BatchConfig) timeout() time.Duration {
@@ -70,11 +76,22 @@ func RunBatch(ctx context.Context, cfg BatchConfig) (BatchResult, error) {
 	if len(cfg.Bids) == 0 && cfg.AutoTypes == nil {
 		return res, fmt.Errorf("aggregator %d: empty batch", cfg.Aggregator)
 	}
+	sess := cfg.Spans.Start(span.NameAgentSession,
+		span.Int("user", int64(cfg.Aggregator)), span.Int("batch", int64(len(cfg.Bids))))
+	sess.Tag(cfg.Campaign, 0)
+	defer sess.End()
+
+	// As in Run, the dial and submit phases finish before the tasks envelope
+	// delivers the round's trace context, so their spans are backdated.
+	dialStart := time.Now()
 	dialer := net.Dialer{Timeout: cfg.timeout()}
 	conn, err := dialer.DialContext(ctx, "tcp", cfg.Addr)
 	if err != nil {
+		sess.ChildSpanning(dialStart, time.Since(dialStart), span.NameAgentDial,
+			span.Str("error", "dial"))
 		return res, fmt.Errorf("aggregator %d: %w: %w", cfg.Aggregator, ErrDial, err)
 	}
+	dialDur := time.Since(dialStart)
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
@@ -85,19 +102,28 @@ func RunBatch(ctx context.Context, cfg BatchConfig) (BatchResult, error) {
 	}
 	setDeadline := func() { _ = conn.SetDeadline(time.Now().Add(cfg.timeout())) }
 
+	submitStart := time.Now()
 	setDeadline()
 	if err := codec.Write(&wire.Envelope{Type: wire.TypeRegister, Campaign: cfg.Campaign,
 		Register: &wire.Register{User: int(cfg.Aggregator)}}); err != nil {
+		sess.ChildSpanning(dialStart, dialDur, span.NameAgentDial)
+		sess.ChildSpanning(submitStart, time.Since(submitStart), span.NameAgentSubmit,
+			span.Str("error", "register"))
 		return res, fmt.Errorf("aggregator %d: register: %w", cfg.Aggregator, err)
 	}
 	setDeadline()
 	env, err := codec.Expect(wire.TypeTasks)
 	if err != nil {
+		sess.ChildSpanning(dialStart, dialDur, span.NameAgentDial)
+		sess.ChildSpanning(submitStart, time.Since(submitStart), span.NameAgentSubmit,
+			span.Str("error", "tasks"))
 		if shardMoved(err) {
 			err = fmt.Errorf("%w: %w", ErrShardMoved, err)
 		}
 		return res, fmt.Errorf("aggregator %d: tasks: %w", cfg.Aggregator, err)
 	}
+	adoptTrace(sess, env.Trace)
+	sess.ChildSpanning(dialStart, dialDur, span.NameAgentDial)
 	published := make(map[auction.TaskID]bool, len(env.Tasks.Tasks))
 	for _, spec := range env.Tasks.Tasks {
 		published[auction.TaskID(spec.ID)] = true
@@ -135,24 +161,34 @@ func RunBatch(ctx context.Context, cfg BatchConfig) (BatchResult, error) {
 		byUser[bid.User] = carried{bid: bid, tasks: taskIDs}
 	}
 	if len(frame) == 0 {
+		sess.ChildSpanning(submitStart, time.Since(submitStart), span.NameAgentSubmit,
+			span.Str("error", "no_overlap"))
 		return res, fmt.Errorf("aggregator %d: no carried bid intersects the published tasks", cfg.Aggregator)
 	}
 	setDeadline()
 	if err := codec.Write(&wire.Envelope{Type: wire.TypeBidBatch, Campaign: cfg.Campaign,
 		BidBatch: &wire.BidBatch{Bids: frame}}); err != nil {
+		sess.ChildSpanning(submitStart, time.Since(submitStart), span.NameAgentSubmit,
+			span.Str("error", "bid_batch"))
 		return res, fmt.Errorf("aggregator %d: bid batch: %w", cfg.Aggregator, lostSession(err))
 	}
+	sess.ChildSpanning(submitStart, time.Since(submitStart), span.NameAgentSubmit,
+		span.Int("bids", int64(len(frame))))
 
 	// Await the awards; like Run, give the round time to gather bids.
+	awaitSpan := sess.Child(span.NameAgentAward)
 	_ = conn.SetDeadline(time.Now().Add(10 * cfg.timeout()))
 	env, err = codec.Expect(wire.TypeAwardBatch)
 	if err != nil {
+		awaitSpan.EndWith(span.Str("error", "award_batch"))
 		return res, fmt.Errorf("aggregator %d: award batch: %w", cfg.Aggregator, lostSession(err))
 	}
 	if got, want := len(env.AwardBatch.Awards), len(frame); got != want {
+		awaitSpan.EndWith(span.Str("error", "award_batch_size"))
 		return res, fmt.Errorf("aggregator %d: award batch has %d entries, want %d",
 			cfg.Aggregator, got, want)
 	}
+	awaitSpan.End()
 
 	// Simulate execution for the winners with their TRUE PoS and report in
 	// one frame.
@@ -189,16 +225,20 @@ func RunBatch(ctx context.Context, cfg BatchConfig) (BatchResult, error) {
 	if len(reports) == 0 {
 		return res, nil // no winners carried: the session is complete
 	}
+	settleSpan := sess.Child(span.NameAgentSettle, span.Int("reports", int64(len(reports))))
 	setDeadline()
 	if err := codec.Write(&wire.Envelope{Type: wire.TypeReportBatch, Campaign: cfg.Campaign,
 		ReportBatch: &wire.ReportBatch{Reports: reports}}); err != nil {
+		settleSpan.EndWith(span.Str("error", "report_batch"))
 		return res, fmt.Errorf("aggregator %d: report batch: %w", cfg.Aggregator, err)
 	}
 	setDeadline()
 	env, err = codec.Expect(wire.TypeSettleBatch)
 	if err != nil {
+		settleSpan.EndWith(span.Str("error", "settle_batch"))
 		return res, fmt.Errorf("aggregator %d: settle batch: %w", cfg.Aggregator, err)
 	}
+	settleSpan.End()
 	for _, us := range env.SettleBatch.Settles {
 		user := auction.UserID(us.User)
 		r, ok := res.Results[user]
@@ -221,13 +261,22 @@ func RunBatchWithBackoff(ctx context.Context, cfg BatchConfig, b Backoff) (Batch
 	streak := 0
 	for attempt := 0; attempt < b.attempts(); attempt++ {
 		if attempt > 0 {
-			timer := time.NewTimer(b.delay(streak-1, rng))
+			d := b.delay(streak-1, rng)
+			redial := cfg.Spans.Start(span.NameAgentRedial,
+				span.Int("user", int64(cfg.Aggregator)),
+				span.Int("attempt", int64(attempt)),
+				span.Str("error", errClass(lastErr)),
+				span.Int("delay_ns", int64(d)))
+			redial.Tag(cfg.Campaign, 0)
+			timer := time.NewTimer(d)
 			select {
 			case <-ctx.Done():
 				timer.Stop()
+				redial.End()
 				return BatchResult{}, ctx.Err()
 			case <-timer.C:
 			}
+			redial.End()
 		}
 		res, err := RunBatch(ctx, cfg)
 		retryable := errors.Is(err, ErrDial) || errors.Is(err, ErrLostSession) || errors.Is(err, ErrShardMoved)

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"crowdsense/internal/obs/span"
 	"crowdsense/internal/stats"
 	"crowdsense/internal/wire"
 )
@@ -36,6 +37,26 @@ var ErrShardMoved = errors.New("shard moved, retry after failover")
 // message (see wire.ShardMovedMessage).
 func shardMoved(err error) bool {
 	return errors.Is(err, wire.ErrPeer) && strings.Contains(err.Error(), wire.ShardMovedMessage)
+}
+
+// errClass buckets a session error into the coarse classes the redial spans
+// record: dial, shard_moved, lost_session, peer (a rejection the platform
+// articulated), or other.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrDial):
+		return "dial"
+	case errors.Is(err, ErrShardMoved):
+		return "shard_moved"
+	case errors.Is(err, ErrLostSession):
+		return "lost_session"
+	case errors.Is(err, wire.ErrPeer):
+		return "peer"
+	default:
+		return "other"
+	}
 }
 
 // lostSession classifies a pre-award failure: an error the peer articulated
@@ -104,13 +125,24 @@ func RunWithBackoff(ctx context.Context, cfg Config, b Backoff) (Result, error) 
 	streak := 0 // consecutive failures since the platform last answered
 	for attempt := 0; attempt < b.attempts(); attempt++ {
 		if attempt > 0 {
-			timer := time.NewTimer(b.delay(streak-1, rng))
+			d := b.delay(streak-1, rng)
+			// The redial span covers the backoff wait, carrying why the
+			// previous attempt failed and how long the retry was delayed.
+			redial := cfg.Spans.Start(span.NameAgentRedial,
+				span.Int("user", int64(cfg.User)),
+				span.Int("attempt", int64(attempt)),
+				span.Str("error", errClass(lastErr)),
+				span.Int("delay_ns", int64(d)))
+			redial.Tag(cfg.Campaign, 0)
+			timer := time.NewTimer(d)
 			select {
 			case <-ctx.Done():
 				timer.Stop()
+				redial.End()
 				return Result{}, ctx.Err()
 			case <-timer.C:
 			}
+			redial.End()
 		}
 		res, err := Run(ctx, cfg)
 		retryable := errors.Is(err, ErrDial) || errors.Is(err, ErrLostSession) || errors.Is(err, ErrShardMoved)

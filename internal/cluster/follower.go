@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"crowdsense/internal/obs/span"
 	"crowdsense/internal/store"
 )
 
@@ -129,22 +130,40 @@ func (n *Node) followOnce(f FollowConfig, walp **store.WAL) (replaced bool, err 
 				// and re-hello from our durable position.
 				return false, fmt.Errorf("%w: gap: got seq %d, want %d", errSessionRan, first, expected+1)
 			}
+			// The apply span covers receive → fsync → ack for this frame. A
+			// leader-annotated frame joins the round's distributed trace;
+			// legacy frames degrade to a fresh local trace.
+			sp := n.spans.StartRemote(
+				span.TraceContext{TraceID: m.TraceID, SpanID: m.SpanID, Node: m.TraceNode},
+				span.NameRepApply,
+				span.Str("shard", f.Shard),
+				span.Int("events", int64(len(m.Events))),
+				span.Int("first_seq", int64(first)))
+			if m.SentUnixNanos != 0 {
+				sp.Set(span.Int("peer_send_unix_ns", m.SentUnixNanos),
+					span.Int("recv_unix_ns", time.Now().UnixNano()))
+			}
 			for _, ev := range m.Events {
 				if err := wal.Append(ev); err != nil {
+					sp.EndWith(span.Str("error", "append"))
 					return false, fmt.Errorf("%w: apply seq %d: %v", errSessionRan, ev.Seq, err)
 				}
 			}
 			expected = m.Events[len(m.Events)-1].Seq
 			if err := wal.Sync(); err != nil {
+				sp.EndWith(span.Str("error", "sync"))
 				return false, fmt.Errorf("%w: sync: %v", errSessionRan, err)
 			}
 			if got := wal.LastSeq(); got != expected {
+				sp.EndWith(span.Str("error", "seq_mismatch"))
 				return false, fmt.Errorf("%w: replica seq %d after sync, want %d", errSessionRan, got, expected)
 			}
 			n.stats.appliedSeq.Store(expected)
 			if err := rc.write(&RepMsg{Type: RepAck, Seq: expected}); err != nil {
+				sp.EndWith(span.Str("error", "ack"))
 				return false, fmt.Errorf("%w: ack: %v", errSessionRan, err)
 			}
+			sp.EndWith(span.Int("seq", int64(expected)))
 		default:
 			return false, fmt.Errorf("%w: unexpected %s", errSessionRan, m.Type)
 		}

@@ -19,6 +19,7 @@ type clusterStats struct {
 	bootstraps       atomic.Int64
 	failovers        atomic.Int64
 	failoverNs       atomic.Int64  // duration of the last failover
+	repLagNs         atomic.Int64  // send→durable-ack lag of the newest replicated frame
 	appliedSeq       atomic.Uint64 // follower's durable replica position
 }
 
@@ -87,6 +88,12 @@ func (n *Node) MetricFamilies() []obs.Family {
 			Help:    "Worst connected-follower lag behind this leader's durable seq.",
 			Type:    obs.TypeGauge,
 			Samples: []obs.Sample{{Value: float64(lag)}},
+		},
+		{
+			Name:    "crowdsense_replication_lag_seconds",
+			Help:    "Send→durable-ack lag of the newest frame replicated to a follower.",
+			Type:    obs.TypeGauge,
+			Samples: []obs.Sample{{Value: time.Duration(s.repLagNs.Load()).Seconds()}},
 		},
 		{
 			Name:    "crowdsense_cluster_followers_connected",

@@ -136,7 +136,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	n := &Node{
 		cfg:    cfg,
-		spans:  span.New(cfg.SpanSinks...),
+		spans:  span.New(cfg.SpanSinks...).SetNode(cfg.Name),
 		ctx:    ctx,
 		cancel: cancel,
 		shards: make(map[string]*shardState),
@@ -184,6 +184,7 @@ func (n *Node) startLeader(shard, dir, addr string, campaigns []engine.CampaignC
 		return nil, nil, nil, err
 	}
 	ecfg := n.cfg.Engine
+	ecfg.NodeID = n.cfg.Name
 	ecfg.Store = store.Multi(rec.WAL, ecfg.Store)
 	ecfg.SpanSinks = append(ecfg.SpanSinks, n.cfg.SpanSinks...)
 	var aud *audit.Auditor

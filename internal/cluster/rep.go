@@ -68,6 +68,15 @@ type RepMsg struct {
 	// events
 	Events []store.Event `json:"events,omitempty"`
 
+	// events trace annotation (optional; absent from legacy leaders): the
+	// round trace context of the frame's newest event plus the leader's send
+	// time, so the follower's apply span joins the round's distributed trace
+	// and stitching can estimate the leader↔follower clock offset.
+	TraceID       uint64 `json:"trace_id,omitempty"`
+	SpanID        uint64 `json:"span_id,omitempty"`
+	TraceNode     string `json:"trace_node,omitempty"`
+	SentUnixNanos int64  `json:"sent_unix_ns,omitempty"`
+
 	// ack
 	Seq uint64 `json:"seq,omitempty"` // highest seq durable on the replica
 }

@@ -6,7 +6,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"crowdsense/internal/engine"
 	"crowdsense/internal/obs/span"
 	"crowdsense/internal/store"
 )
@@ -19,6 +21,12 @@ const repBatchEvents = 512
 type followerSession struct {
 	node  string
 	acked atomic.Uint64
+
+	// sentSeq/sentAt record the newest frame shipped (last event seq and
+	// send time); the ack reader turns them into the send→durable-ack lag
+	// gauge without a per-frame map.
+	sentSeq atomic.Uint64
+	sentAt  atomic.Int64
 }
 
 // repServer is the leader side of WAL replication for one shard: it accepts
@@ -162,11 +170,19 @@ func (s *repServer) stream(rc *repConn, conn net.Conn, fromSeq uint64, sess *fol
 			}
 			sess.acked.Store(m.Seq)
 			s.n.stats.acks.Add(1)
+			// When the ack covers the newest frame shipped, the gap between
+			// its send and this durable ack is the replication lag.
+			if m.Seq >= sess.sentSeq.Load() {
+				if at := sess.sentAt.Load(); at != 0 {
+					s.n.stats.repLagNs.Store(time.Now().UnixNano() - at)
+				}
+			}
 		}
 	}()
 	defer func() { conn.Close(); <-ackDone }()
 
 	var sent int64
+	eng := s.n.Engine(s.shard)
 	for {
 		events, err := tail.Recv()
 		if err != nil {
@@ -178,17 +194,46 @@ func (s *repServer) stream(rc *repConn, conn net.Conn, fromSeq uint64, sess *fol
 				batch = batch[:repBatchEvents]
 			}
 			events = events[len(batch):]
-			data, err := EncodeRep(&RepMsg{Type: RepEvents, Events: batch})
+			msg := &RepMsg{Type: RepEvents, Events: batch}
+			s.annotateTrace(eng, msg)
+			data, err := EncodeRep(msg)
 			if err != nil {
 				return sent, err
 			}
 			if _, err := conn.Write(data); err != nil {
 				return sent, err
 			}
+			sess.sentSeq.Store(batch[len(batch)-1].Seq)
+			sess.sentAt.Store(time.Now().UnixNano())
 			sent += int64(len(batch))
 			s.n.stats.replicatedEvents.Add(int64(len(batch)))
 			s.n.stats.replicatedBytes.Add(int64(len(data)))
 		}
+	}
+}
+
+// annotateTrace stamps an events frame with the round trace context of its
+// newest round-scoped event, looked up from the live engine, plus the send
+// time. Legacy followers ignore the extra JSON keys; a nil engine (shard no
+// longer led) or an unknown round leaves the frame bare.
+func (s *repServer) annotateTrace(eng *engine.Engine, m *RepMsg) {
+	if eng == nil {
+		return
+	}
+	for i := len(m.Events) - 1; i >= 0; i-- {
+		ev := m.Events[i]
+		if ev.Round == 0 {
+			continue
+		}
+		ctx, ok := eng.RoundTrace(ev.Campaign, ev.Round)
+		if !ok {
+			return
+		}
+		m.TraceID = ctx.TraceID
+		m.SpanID = ctx.SpanID
+		m.TraceNode = ctx.Node
+		m.SentUnixNanos = time.Now().UnixNano()
+		return
 	}
 }
 

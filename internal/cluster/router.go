@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"crowdsense/internal/obs/span"
 	"crowdsense/internal/wire"
 )
 
@@ -24,6 +25,13 @@ type RouterConfig struct {
 	Members map[string][]string
 	// DialTimeout bounds one backend dial. Zero means 2 s.
 	DialTimeout time.Duration
+	// SpanSinks, when non-empty, receive one router.hop span per routed
+	// session (codec, shard, backend member). Each hop adopts the round's
+	// trace context from the backend's first reply, so the router lane
+	// parents under the engine's round span in a stitched timeline.
+	SpanSinks []span.Sink
+	// Node names this router in spans; defaults to "router".
+	Node string
 	// Logf, if set, receives one-line routing logs.
 	Logf func(format string, args ...any)
 }
@@ -45,9 +53,10 @@ func (c RouterConfig) dialTimeout() time.Duration {
 // rejected with a wire.ShardMovedMessage error, which agents running under
 // RunWithBackoff treat as retryable.
 type Router struct {
-	cfg RouterConfig
-	ln  net.Listener
-	wg  sync.WaitGroup
+	cfg   RouterConfig
+	spans *span.Tracer
+	ln    net.Listener
+	wg    sync.WaitGroup
 
 	mu       sync.Mutex
 	lastGood map[string]int // shard → member index that answered last
@@ -71,8 +80,13 @@ func StartRouter(addr string, cfg RouterConfig) (*Router, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: router listen %s: %w", addr, err)
 	}
+	node := cfg.Node
+	if node == "" {
+		node = "router"
+	}
 	r := &Router{
 		cfg:      cfg,
+		spans:    span.New(cfg.SpanSinks...).SetNode(node),
 		ln:       ln,
 		lastGood: make(map[string]int),
 		conns:    make(map[net.Conn]struct{}),
@@ -207,6 +221,24 @@ func isErrorReply(reply []byte, binarySession bool) bool {
 	return isErrorEnvelope(reply)
 }
 
+// replyTrace extracts the trace context a relay-ready backend reply carries,
+// nil for legacy backends (or undecodable replies — the relay itself does not
+// care what the bytes say).
+func replyTrace(reply []byte, binarySession bool) *wire.TraceContext {
+	if binarySession && len(reply) > 0 && reply[0] != '{' {
+		env, err := wire.DecodeBinaryFrame(reply)
+		if err != nil {
+			return nil
+		}
+		return env.Trace
+	}
+	var env wire.Envelope
+	if err := json.Unmarshal(reply, &env); err != nil {
+		return nil
+	}
+	return env.Trace
+}
+
 // serve routes one agent session: negotiate the codec, read the first
 // envelope, resolve its shard, find a live member, splice. Error envelopes
 // the router originates are always JSON lines — both codecs surface those.
@@ -225,8 +257,19 @@ func (r *Router) serve(client net.Conn) {
 		wire.NewCodec(client).WriteError("router: empty cluster")
 		return
 	}
+	codecName := "json"
+	if sess.binary {
+		codecName = "binary"
+	}
+	// The hop span covers the session's whole residence at the router,
+	// member search through splice end. It adopts the round's trace context
+	// from the backend's first reply, the frame the router already parses.
+	hop := r.spans.Start(span.NameRouterHop,
+		span.Str("codec", codecName), span.Str("shard", shard))
+	hop.Tag(sess.campaign, 0)
 	members := r.cfg.Members[shard]
 	if len(members) == 0 {
+		hop.EndWith(span.Str("error", "no_members"))
 		wire.NewCodec(client).WriteError(fmt.Sprintf("%s: shard %s has no members", wire.ShardMovedMessage, shard))
 		return
 	}
@@ -259,18 +302,28 @@ func (r *Router) serve(client net.Conn) {
 			backend.Close()
 			continue
 		}
+		if tc := replyTrace(reply, sess.binary); tc != nil {
+			hop.Adopt(span.TraceContext{TraceID: tc.TraceID, SpanID: tc.SpanID, Node: tc.Node})
+			if tc.SentUnixNanos != 0 {
+				hop.Set(span.Int("peer_send_unix_ns", tc.SentUnixNanos),
+					span.Int("recv_unix_ns", time.Now().UnixNano()))
+			}
+		}
 		r.setSticky(shard, idx)
 		r.countRouted(shard, i > 0)
 		if _, err := client.Write(reply); err != nil {
 			backend.Close()
+			hop.EndWith(span.Str("member", addr), span.Str("error", "client_write"))
 			return
 		}
 		r.splice(client, cr, backend, br)
+		hop.EndWith(span.Str("member", addr))
 		return
 	}
 	r.routedMu.Lock()
 	r.rejected++
 	r.routedMu.Unlock()
+	hop.EndWith(span.Str("error", "no_live_member"))
 	if lastErrReply != nil {
 		client.Write(lastErrReply)
 		return

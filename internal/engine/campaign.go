@@ -131,6 +131,12 @@ type campaign struct {
 	// ended when the campaign closes; nil when observability is disabled.
 	span *span.Span
 
+	// roundCtx archives each round's trace context (1-based round → context)
+	// so replication frames shipped after the round settled can still join
+	// its trace. Bounded by the campaign's configured round count. Guarded
+	// by the engine lock; nil when observability is disabled.
+	roundCtx map[int]span.TraceContext
+
 	// The engine's mutex guards everything below (campaign state is small
 	// and rounds are coarse-grained; a shared lock keeps the registry and
 	// state machine consistent without lock-ordering hazards).
@@ -161,6 +167,12 @@ func (c *campaign) openRoundLocked() {
 	c.state = stateCollecting
 	c.cur.span = c.span.Child(span.NameRound).Tag(c.cfg.ID, c.cur.index+1)
 	c.cur.phase = c.cur.span.Child(span.NamePhaseCollecting)
+	if ctx := c.cur.span.Context(); ctx.Valid() {
+		if c.roundCtx == nil {
+			c.roundCtx = make(map[int]span.TraceContext, c.cfg.rounds())
+		}
+		c.roundCtx[c.cur.index+1] = ctx
+	}
 	c.eng.tracePhase(c, c.cur.index+1, stateCollecting.String())
 	// On recovery this reopens the in-flight round: the fresh round_opened
 	// event supersedes the torn round's partial bids in the log.

@@ -40,6 +40,13 @@ import (
 
 // Config parameterizes an engine.
 type Config struct {
+	// NodeID names this engine's node in distributed traces: it is stamped
+	// into every lifecycle span and rides outgoing wire envelopes as the
+	// trace context's node, so obsctl stitch can join this engine's journal
+	// with agent, router, and follower journals. Empty means anonymous
+	// (single-node deployments keep their old journals byte-for-byte).
+	NodeID string
+
 	// Workers sizes the winner-determination pool. Zero means
 	// min(GOMAXPROCS, 8).
 	Workers int
@@ -190,7 +197,7 @@ func New(cfg Config) *Engine {
 			e.spanRing = span.NewRing(cfg.SpanRingCapacity)
 			sinks = append([]span.Sink{e.spanRing}, sinks...)
 		}
-		e.spans = span.New(sinks...)
+		e.spans = span.New(sinks...).SetNode(cfg.NodeID)
 	}
 	return e
 }
@@ -430,6 +437,7 @@ func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 		codec.WriteError(fmt.Sprintf("expected register: %v", err))
 		return
 	}
+	rpcStart := time.Now()
 	user := auction.UserID(env.Register.User)
 	camp := e.lookup(env.Campaign)
 	if camp == nil {
@@ -438,16 +446,19 @@ func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 	}
 	campID := camp.cfg.ID
 
-	// Publish the campaign's tasks.
+	// Publish the campaign's tasks, carrying the open round's trace context
+	// so the agent's client-side session span parents under the round.
 	specs := make([]wire.TaskSpec, len(camp.cfg.Tasks))
 	for i, task := range camp.cfg.Tasks {
 		specs[i] = wire.TaskSpec{ID: int(task.ID), Requirement: task.Requirement}
 	}
 	setDeadline()
 	if err := codec.Write(&wire.Envelope{Type: wire.TypeTasks, Campaign: campID,
+		Trace: e.curRoundWireTrace(camp),
 		Tasks: &wire.Tasks{Tasks: specs}}); err != nil {
 		return
 	}
+	e.recordRPC(&e.metrics.rpcRegister, rpcStart)
 
 	// Collect the sealed bid — or a whole batch from an aggregator.
 	setDeadline()
@@ -481,6 +492,7 @@ func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 
 	// Ingest through the bounded queue; a full queue is backpressure, not a
 	// wait.
+	rpcStart = time.Now()
 	req := ingestReq{camp: camp, bids: []auction.Bid{bid}, reply: make(chan admitReply, 1)}
 	select {
 	case e.ingest <- req:
@@ -497,6 +509,7 @@ func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 	case <-ctx.Done():
 		return
 	}
+	e.recordRPC(&e.metrics.rpcBid, rpcStart)
 	if admitErr := rep.verdicts[0]; admitErr != nil {
 		e.recordBidRejected(camp, user, admitErr.Error())
 		codec.WriteError(fmt.Sprintf("bid rejected: %v", admitErr))
@@ -517,11 +530,13 @@ func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 		return
 	}
 
+	roundTrace := func() *wire.TraceContext { return wireTrace(rd.span.Context()) }
 	award, won := rd.outcome.AwardFor(rd.order[user])
 	setDeadline()
 	if !won {
 		// Terminal write for this session: flush it past the write buffer.
 		if codec.Write(&wire.Envelope{Type: wire.TypeAward, Campaign: campID,
+			Trace: roundTrace(),
 			Award: &wire.Award{Selected: false}}) == nil {
 			_ = codec.Flush()
 		}
@@ -529,6 +544,7 @@ func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 		return
 	}
 	if err := codec.Write(&wire.Envelope{Type: wire.TypeAward, Campaign: campID,
+		Trace: roundTrace(),
 		Award: &wire.Award{
 			Selected:        true,
 			CriticalPoS:     award.CriticalPoS,
@@ -546,6 +562,7 @@ func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 		camp.sessionDone(rd, user, nil)
 		return
 	}
+	rpcStart = time.Now()
 	success := false
 	for _, ok := range env.Report.Succeeded {
 		if ok {
@@ -559,9 +576,11 @@ func (e *Engine) handle(ctx context.Context, conn net.Conn) {
 	}
 	settle := wire.Settle{Success: success, Reward: reward, Utility: reward - bid.Cost}
 	setDeadline()
-	if codec.Write(&wire.Envelope{Type: wire.TypeSettle, Campaign: campID, Settle: &settle}) == nil {
+	if codec.Write(&wire.Envelope{Type: wire.TypeSettle, Campaign: campID,
+		Trace: roundTrace(), Settle: &settle}) == nil {
 		_ = codec.Flush()
 	}
+	e.recordRPC(&e.metrics.rpcReport, rpcStart)
 	camp.sessionDone(rd, user, &settle)
 }
 
@@ -583,6 +602,7 @@ func (e *Engine) handleBatch(ctx context.Context, codec *wire.Codec, camp *campa
 	}
 	e.recordBidBatch(len(bids))
 
+	rpcStart := time.Now()
 	req := ingestReq{camp: camp, bids: bids, reply: make(chan admitReply, 1)}
 	select {
 	case e.ingest <- req:
@@ -601,6 +621,7 @@ func (e *Engine) handleBatch(ctx context.Context, codec *wire.Codec, camp *campa
 	case <-ctx.Done():
 		return
 	}
+	e.recordRPC(&e.metrics.rpcBidBatch, rpcStart)
 	admitted := make([]auction.UserID, 0, len(bids))
 	for i, verdict := range rep.verdicts {
 		if verdict != nil {
@@ -645,6 +666,7 @@ func (e *Engine) handleBatch(ctx context.Context, codec *wire.Codec, camp *campa
 		return
 	}
 
+	roundTrace := func() *wire.TraceContext { return wireTrace(rd.span.Context()) }
 	// Awards in submission order; admission errors ride along inline.
 	awards := make([]wire.UserAward, len(bids))
 	winners := make(map[auction.UserID]mechanism.Award, len(admitted))
@@ -668,6 +690,7 @@ func (e *Engine) handleBatch(ctx context.Context, codec *wire.Codec, camp *campa
 	}
 	setDeadline()
 	if codec.Write(&wire.Envelope{Type: wire.TypeAwardBatch, Campaign: campID,
+		Trace:      roundTrace(),
 		AwardBatch: &wire.AwardBatch{Awards: awards}}) != nil {
 		return
 	}
@@ -684,6 +707,7 @@ func (e *Engine) handleBatch(ctx context.Context, codec *wire.Codec, camp *campa
 	if err != nil {
 		return
 	}
+	rpcStart = time.Now()
 	settles := make([]wire.UserSettle, 0, len(winners))
 	for i := range env.ReportBatch.Reports {
 		report := &env.ReportBatch.Reports[i]
@@ -710,9 +734,56 @@ func (e *Engine) handleBatch(ctx context.Context, codec *wire.Codec, camp *campa
 	}
 	setDeadline()
 	if codec.Write(&wire.Envelope{Type: wire.TypeSettleBatch, Campaign: campID,
+		Trace:       roundTrace(),
 		SettleBatch: &wire.SettleBatch{Settles: settles}}) == nil {
 		_ = codec.Flush()
 	}
+	e.recordRPC(&e.metrics.rpcReportBatch, rpcStart)
+}
+
+// wireTrace converts a span's trace context for the wire, stamping the send
+// time for cross-node clock-offset estimation. Invalid contexts (tracing
+// disabled) become nil, so the envelope encodes exactly as before.
+func wireTrace(ctx span.TraceContext) *wire.TraceContext {
+	if !ctx.Valid() {
+		return nil
+	}
+	return &wire.TraceContext{
+		TraceID:       ctx.TraceID,
+		SpanID:        ctx.SpanID,
+		Node:          ctx.Node,
+		SentUnixNanos: time.Now().UnixNano(),
+	}
+}
+
+// curRoundWireTrace snapshots the campaign's open round's trace context for
+// an outgoing envelope; nil when tracing is off or no round is open.
+func (e *Engine) curRoundWireTrace(c *campaign) *wire.TraceContext {
+	if e.spans == nil {
+		return nil
+	}
+	e.mu.Lock()
+	var ctx span.TraceContext
+	if c.cur != nil {
+		ctx = c.cur.span.Context()
+	}
+	e.mu.Unlock()
+	return wireTrace(ctx)
+}
+
+// RoundTrace resolves a round's trace context — what the replication layer
+// stamps onto event frames so a follower's apply spans join the round's
+// trace. Contexts stay resolvable after the round settles; ok is false for
+// unknown campaigns/rounds or when tracing is disabled.
+func (e *Engine) RoundTrace(campaign string, round int) (span.TraceContext, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.campaigns[campaign]
+	if c == nil {
+		return span.TraceContext{}, false
+	}
+	ctx, ok := c.roundCtx[round]
+	return ctx, ok
 }
 
 // lookup resolves a campaign ID; the empty ID (legacy agents) resolves to

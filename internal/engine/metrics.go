@@ -218,6 +218,15 @@ type metrics struct {
 
 	roundLatency   histogram // first bid → settled
 	computeLatency histogram // winner determination wall time
+
+	// Server-side per-envelope-type handling latency (crowdsense_rpc_*):
+	// what the engine spent answering each inbound rpc leg, excluding waits
+	// on the agent itself.
+	rpcRegister    histogram // register received → tasks staged
+	rpcBid         histogram // bid received → admission verdict
+	rpcBidBatch    histogram // bid_batch received → admission verdicts
+	rpcReport      histogram // report received → settle staged
+	rpcReportBatch histogram // report_batch received → settle_batch staged
 }
 
 // campaignMetrics aggregates one campaign's counters, latency histograms,

@@ -45,6 +45,15 @@ func (e *Engine) recordBidAccepted(c *campaign, rd *round, user auction.UserID) 
 	})
 }
 
+// recordRPC folds one server-side envelope handling latency into its rpc
+// histogram.
+func (e *Engine) recordRPC(h *histogram, start time.Time) {
+	if e.obsOff() {
+		return
+	}
+	h.observe(time.Since(start))
+}
+
 // recordWireSession counts one negotiated agent session by codec.
 func (e *Engine) recordWireSession(binary bool) {
 	if e.obsOff() {
@@ -316,6 +325,31 @@ func (e *Engine) MetricFamilies() []obs.Family {
 		return obs.Family{Name: name, Help: help, Type: obs.TypeGauge, Samples: []obs.Sample{{Value: v}}}
 	}
 
+	rpcFamily := obs.Family{Name: "crowdsense_rpc_duration_seconds",
+		Help: "Server-side envelope handling latency by rpc leg.", Type: obs.TypeSummary}
+	for _, leg := range []struct {
+		name string
+		h    *histogram
+	}{
+		{"register", &e.metrics.rpcRegister},
+		{"bid", &e.metrics.rpcBid},
+		{"bid_batch", &e.metrics.rpcBidBatch},
+		{"report", &e.metrics.rpcReport},
+		{"report_batch", &e.metrics.rpcReportBatch},
+	} {
+		h := leg.h.snapshot()
+		legLabel := []obs.Label{{Name: "rpc", Value: leg.name}}
+		for _, q := range summaryQuantiles {
+			rpcFamily.Samples = append(rpcFamily.Samples, obs.Sample{
+				Labels: append([]obs.Label{{Name: "rpc", Value: leg.name}}, obs.Label{Name: "quantile", Value: q.label}),
+				Value:  h.Quantile(q.q).Seconds(),
+			})
+		}
+		rpcFamily.Samples = append(rpcFamily.Samples,
+			obs.Sample{Suffix: "_sum", Labels: legLabel, Value: h.Sum.Seconds()},
+			obs.Sample{Suffix: "_count", Labels: legLabel, Value: float64(h.Count)})
+	}
+
 	return []obs.Family{
 		perCampaign("crowdsense_bids_accepted_total", "Bids admitted into a round.",
 			obs.TypeCounter, func(c CampaignSnapshot) float64 { return float64(c.BidsAccepted) }),
@@ -362,6 +396,7 @@ func (e *Engine) MetricFamilies() []obs.Family {
 				{Labels: []obs.Label{{Name: "codec", Value: "json"}}, Value: float64(s.WireSessionsJSON)},
 				{Labels: []obs.Label{{Name: "codec", Value: "binary"}}, Value: float64(s.WireSessionsBinary)},
 			}},
+		rpcFamily,
 		{Name: "crowdsense_wire_bid_batches_total", Help: "Batched-bid submissions (bid_batch frames and direct batches).",
 			Type: obs.TypeCounter, Samples: []obs.Sample{{Value: float64(s.BidBatches)}}},
 		{Name: "crowdsense_wire_batched_bids_total", Help: "Bids carried inside batched submissions.",

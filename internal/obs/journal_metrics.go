@@ -1,0 +1,33 @@
+package obs
+
+import "crowdsense/internal/obs/span"
+
+// JournalFamilies renders a span journal writer's health as metric families,
+// so a scrape shows whether the trace record is complete: dropped spans mean
+// holes in the journal, rotations and bytes written size the on-disk record.
+// A nil journal (tracing off) renders nothing.
+func JournalFamilies(j *span.Journal) []Family {
+	if j == nil {
+		return nil
+	}
+	return []Family{
+		{
+			Name:    "crowdsense_span_dropped_total",
+			Help:    "Span records the journal writer dropped (queue full or write error); nonzero means the trace has holes.",
+			Type:    TypeCounter,
+			Samples: []Sample{{Value: float64(j.Dropped())}},
+		},
+		{
+			Name:    "crowdsense_span_rotations_total",
+			Help:    "Size-based journal file rotations performed by the span journal writer.",
+			Type:    TypeCounter,
+			Samples: []Sample{{Value: float64(j.Rotations())}},
+		},
+		{
+			Name:    "crowdsense_span_journal_bytes_written_total",
+			Help:    "Bytes the span journal writer has appended across all files, headers included.",
+			Type:    TypeCounter,
+			Samples: []Sample{{Value: float64(j.BytesWritten())}},
+		},
+	}
+}

@@ -22,6 +22,18 @@ func appendRecord(b []byte, r *Record) []byte {
 		b = append(b, `,"parent":`...)
 		b = strconv.AppendUint(b, r.Parent, 10)
 	}
+	if r.TraceID != 0 {
+		b = append(b, `,"trace_id":`...)
+		b = strconv.AppendUint(b, r.TraceID, 10)
+	}
+	if r.Node != "" {
+		b = append(b, `,"node":`...)
+		b = appendString(b, r.Node)
+	}
+	if r.ParentNode != "" {
+		b = append(b, `,"parent_node":`...)
+		b = appendString(b, r.ParentNode)
+	}
 	b = append(b, `,"name":`...)
 	b = appendString(b, r.Name)
 	if r.Campaign != "" {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Journal rotation defaults.
@@ -36,6 +37,11 @@ type JournalConfig struct {
 	// MaxFiles bounds how many rotated generations are kept; older ones are
 	// deleted. Non-positive means DefaultJournalMaxFiles.
 	MaxFiles int
+	// Node names the process writing this journal. When set, it is stamped
+	// into records that carry no node of their own and written as a header
+	// line at the top of every fresh journal file, so obsctl stitch can
+	// identify a journal's node even before its first span.
+	Node string
 }
 
 func (c JournalConfig) maxBytes() int64 {
@@ -78,6 +84,10 @@ type Journal struct {
 	err     error
 	dropped atomic.Uint64
 
+	// Writer health, exported as metric families by internal/obs.
+	rotations    atomic.Uint64
+	bytesWritten atomic.Uint64
+
 	// Writer-goroutine state; untouched elsewhere after OpenJournal.
 	f    *os.File
 	w    *bufio.Writer
@@ -116,8 +126,32 @@ func OpenJournal(cfg JournalConfig) (*Journal, error) {
 		w:    bufio.NewWriterSize(f, journalBufferSize),
 		size: st.Size(),
 	}
+	if j.size == 0 {
+		j.writeHeader() // before writeLoop starts; the writer state is still ours
+	}
 	go j.writeLoop()
 	return j, nil
+}
+
+// writeHeader stamps a fresh journal file with the writing node's identity:
+// a record-shaped line with an empty name, which ReadJournal skips and
+// stitch reads for the file's node. Runs on the writer goroutine (or before
+// it starts). No header is written for an anonymous journal, keeping
+// single-node journals byte-compatible with earlier releases.
+func (j *Journal) writeHeader() {
+	if j.cfg.Node == "" || j.f == nil {
+		return
+	}
+	rec := Record{Node: j.cfg.Node, Start: time.Now()}
+	// A fresh buffer, not j.buf: writeRecord calls in here mid-rotation with
+	// its own encoded line still aliasing j.buf.
+	line := append(appendRecord(nil, &rec), '\n')
+	n, err := j.w.Write(line)
+	j.size += int64(n)
+	j.bytesWritten.Add(uint64(n))
+	if err != nil {
+		j.recordErr(err)
+	}
 }
 
 // Emit implements Sink: enqueue one record for the writer goroutine. The
@@ -170,6 +204,14 @@ func (j *Journal) writeRecord(rec *Record) {
 		j.dropped.Add(1)
 		return // a rotation failed earlier; the stream is gone
 	}
+	if j.cfg.Node != "" && rec.Node == "" {
+		// Stamp anonymous records with the journal's node. The record is
+		// shared with other sinks (the ring retains the same pointer), so
+		// stamp a copy rather than mutating it.
+		stamped := *rec
+		stamped.Node = j.cfg.Node
+		rec = &stamped
+	}
 	j.buf = appendRecord(j.buf[:0], rec)
 	line := append(j.buf, '\n')
 	if j.size+int64(len(line)) > j.cfg.maxBytes() && j.size > 0 {
@@ -177,9 +219,11 @@ func (j *Journal) writeRecord(rec *Record) {
 			j.recordErr(err)
 			return
 		}
+		j.writeHeader()
 	}
 	n, err := j.w.Write(line)
 	j.size += int64(n)
+	j.bytesWritten.Add(uint64(n))
 	if err != nil {
 		j.recordErr(err)
 	}
@@ -223,6 +267,7 @@ func (j *Journal) rotate() error {
 	j.f = f
 	j.w = bufio.NewWriterSize(f, journalBufferSize)
 	j.size = 0
+	j.rotations.Add(1)
 	return nil
 }
 
@@ -252,6 +297,16 @@ func (j *Journal) Flush() error {
 // Dropped reports how many records failed to reach the journal.
 func (j *Journal) Dropped() uint64 { return j.dropped.Load() }
 
+// Rotations reports how many times the active file has rotated.
+func (j *Journal) Rotations() uint64 { return j.rotations.Load() }
+
+// BytesWritten reports how many journal bytes have been handed to the bufio
+// layer (headers included) since the journal opened.
+func (j *Journal) BytesWritten() uint64 { return j.bytesWritten.Load() }
+
+// Node returns the node identity this journal stamps, "" when anonymous.
+func (j *Journal) Node() string { return j.cfg.Node }
+
 // Err returns the first write/rotation error, if any.
 func (j *Journal) Err() error {
 	j.errMu.Lock()
@@ -274,7 +329,9 @@ func (j *Journal) Close() error {
 	return j.Err()
 }
 
-// ReadJournal decodes every record from one JSONL stream.
+// ReadJournal decodes every record from one JSONL stream. Header lines —
+// node-identity records with an empty name — are skipped; JournalNode
+// recovers them.
 func ReadJournal(r io.Reader) ([]Record, error) {
 	dec := json.NewDecoder(r)
 	dec.UseNumber()
@@ -286,8 +343,29 @@ func ReadJournal(r io.Reader) ([]Record, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("span: read journal record %d: %w", len(recs), err)
 		}
+		if rec.Name == "" {
+			continue // file header
+		}
 		recs = append(recs, rec)
 	}
+}
+
+// JournalNode reads the node identity a journal stream's header declares,
+// "" when the stream is anonymous (pre-header journals, or a writer with no
+// node configured).
+func JournalNode(r io.Reader) (string, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var rec Record
+	if err := dec.Decode(&rec); err == io.EOF {
+		return "", nil
+	} else if err != nil {
+		return "", fmt.Errorf("span: read journal header: %w", err)
+	}
+	if rec.Name != "" {
+		return "", nil // first line is a real span: no header
+	}
+	return rec.Node, nil
 }
 
 // ReadJournalFile reads one journal file.

@@ -17,6 +17,8 @@
 package span
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -65,6 +67,28 @@ const (
 	// NameFailover covers one follower promotion: leader declared dead →
 	// replica replayed → serving agents.
 	NameFailover = "failover"
+	// NameAgentSession is the client-side root of one agent wire session,
+	// dial → settle. It adopts the engine's round trace context from the
+	// tasks envelope, so it parents under the server's round span.
+	NameAgentSession = "agent.session"
+	// NameAgentDial / NameAgentSubmit / NameAgentAward / NameAgentSettle are
+	// the session's client-side phases: TCP dial, register→tasks→bid write,
+	// award wait, and report→settle.
+	NameAgentDial   = "agent.dial"
+	NameAgentSubmit = "agent.submit"
+	NameAgentAward  = "agent.award_wait"
+	NameAgentSettle = "agent.settle"
+	// NameAgentRedial marks one retryable session failure inside
+	// RunWithBackoff (attrs: attempt, error class, backoff delay).
+	NameAgentRedial = "agent.redial"
+	// NameRouterHop covers one routed agent session at the shard router,
+	// first envelope → splice end. It adopts the round trace context from
+	// the backend's first reply.
+	NameRouterHop = "router.hop"
+	// NameRepApply covers one replicated event frame applied by a follower,
+	// receive → fsync → ack. It adopts the round trace context the leader
+	// annotated the frame with.
+	NameRepApply = "replication.apply"
 )
 
 // attrKind discriminates the typed attribute payloads.
@@ -217,19 +241,58 @@ func (as *Attrs) UnmarshalJSON(data []byte) error {
 // Record is one completed span, the unit every sink consumes and every
 // journal line carries. Start is wall-clock; DurNanos is derived from the
 // monotonic clock, so durations stay exact across wall-clock adjustments.
+//
+// Span IDs are per-process counters, so cross-node parent edges cannot be
+// resolved by ID alone: a record is globally identified by (TraceID, Node,
+// ID), and Parent names a span on ParentNode when set, on Node otherwise.
 type Record struct {
-	ID       uint64    `json:"id"`
-	Parent   uint64    `json:"parent,omitempty"`
-	Name     string    `json:"name"`
-	Campaign string    `json:"campaign,omitempty"`
-	Round    int       `json:"round,omitempty"` // 1-based
-	Start    time.Time `json:"start"`
-	DurNanos int64     `json:"dur_ns"`
-	Attrs    Attrs     `json:"attrs,omitempty"`
+	ID         uint64    `json:"id"`
+	Parent     uint64    `json:"parent,omitempty"`
+	TraceID    uint64    `json:"trace_id,omitempty"`
+	Node       string    `json:"node,omitempty"`
+	ParentNode string    `json:"parent_node,omitempty"` // empty: parent lives on Node
+	Name       string    `json:"name"`
+	Campaign   string    `json:"campaign,omitempty"`
+	Round      int       `json:"round,omitempty"` // 1-based
+	Start      time.Time `json:"start"`
+	DurNanos   int64     `json:"dur_ns"`
+	Attrs      Attrs     `json:"attrs,omitempty"`
 }
 
 // Duration returns the span's length.
 func (r Record) Duration() time.Duration { return time.Duration(r.DurNanos) }
+
+// TraceContext is the compact trace identity one process hands another: the
+// trace a span belongs to, the span itself, and the node it lives on. It is
+// what travels inside wire envelopes and replication frames; a received
+// context is attached to a local span with Adopt (or StartRemote).
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Node    string
+}
+
+// Valid reports whether the context identifies a real remote span. The zero
+// value — what a disabled tracer or a legacy peer produces — is invalid and
+// is never propagated.
+func (c TraceContext) Valid() bool { return c.TraceID != 0 && c.SpanID != 0 }
+
+// newTraceID mints a random 64-bit trace identity. Roots are rare (one per
+// campaign, replication session, or failover), so the crypto/rand read is
+// never on a hot path. Zero is reserved for "no trace".
+func newTraceID() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Fall back to the wall clock; uniqueness only has to hold across
+		// the handful of journals one stitch call merges.
+		return uint64(time.Now().UnixNano()) | 1
+	}
+	id := binary.LittleEndian.Uint64(b[:])
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
 
 // Sink consumes completed spans. Emit runs on the producer's goroutine —
 // often inside the engine's hot path — so implementations must be fast and
@@ -244,6 +307,7 @@ type Sink interface {
 type Tracer struct {
 	sinks []Sink
 	next  atomic.Uint64
+	node  string
 }
 
 // New builds a tracer over the given sinks; nil sinks are dropped. With no
@@ -262,14 +326,36 @@ func New(sinks ...Sink) *Tracer {
 	return &Tracer{sinks: kept}
 }
 
-// Start opens a root span. Nil-safe: a nil tracer returns a nil span.
+// SetNode names the node whose spans this tracer records; the name is
+// stamped into every subsequent span. Call it once at process start, before
+// spans are handed out — it is not synchronized against concurrent Start.
+// Returns the tracer for chaining; nil-safe.
+func (t *Tracer) SetNode(node string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	t.node = node
+	return t
+}
+
+// Start opens a root span with a fresh trace identity. Nil-safe: a nil
+// tracer returns a nil span.
 func (t *Tracer) Start(name string, attrs ...Attr) *Span {
 	if t == nil {
 		return nil
 	}
 	s := &Span{tr: t}
-	s.rec = Record{ID: t.next.Add(1), Name: name, Start: time.Now()}
+	s.rec = Record{ID: t.next.Add(1), TraceID: newTraceID(), Node: t.node, Name: name, Start: time.Now()}
 	s.setAttrs(attrs)
+	return s
+}
+
+// StartRemote opens a root span parented under a span on another node — the
+// receive side of trace-context propagation. An invalid context degrades to
+// a plain Start, beginning a fresh trace. Nil-safe.
+func (t *Tracer) StartRemote(ctx TraceContext, name string, attrs ...Attr) *Span {
+	s := t.Start(name, attrs...)
+	s.Adopt(ctx)
 	return s
 }
 
@@ -306,7 +392,10 @@ func (s *Span) setAttrs(attrs []Attr) {
 	}
 }
 
-// Child opens a sub-span inheriting the campaign/round tag. Nil-safe.
+// Child opens a sub-span inheriting the campaign/round tag and the trace
+// identity. The child lives on the local node even when its parent adopted a
+// remote context — only the adopting span carries a cross-node parent edge.
+// Nil-safe.
 func (s *Span) Child(name string, attrs ...Attr) *Span {
 	if s == nil {
 		return nil
@@ -315,6 +404,8 @@ func (s *Span) Child(name string, attrs ...Attr) *Span {
 	c.rec = Record{
 		ID:       s.tr.next.Add(1),
 		Parent:   s.rec.ID,
+		TraceID:  s.rec.TraceID,
+		Node:     s.rec.Node,
 		Name:     name,
 		Campaign: s.rec.Campaign,
 		Round:    s.rec.Round,
@@ -322,6 +413,50 @@ func (s *Span) Child(name string, attrs ...Attr) *Span {
 	}
 	c.setAttrs(attrs)
 	return c
+}
+
+// ChildSpanning emits an already-completed sub-span covering [start,
+// start+dur]. Clients use it for phases that finish before the span's trace
+// identity is settled — an agent's dial completes before the server's trace
+// context arrives on the tasks envelope, so the child must be recorded after
+// the parent adopts to inherit the right trace. Nil-safe.
+func (s *Span) ChildSpanning(start time.Time, dur time.Duration, name string, attrs ...Attr) {
+	c := s.Child(name, attrs...)
+	if c == nil {
+		return
+	}
+	c.rec.Start = start
+	c.ended = true
+	c.rec.DurNanos = int64(dur)
+	for _, sink := range c.tr.sinks {
+		sink.Emit(&c.rec)
+	}
+}
+
+// Adopt reparents an open span under a remote context: the span joins the
+// remote trace and its parent edge points at ctx's span on ctx's node.
+// Children opened afterwards inherit the adopted trace. An invalid context
+// is ignored. Nil-safe.
+func (s *Span) Adopt(ctx TraceContext) {
+	if s == nil || !ctx.Valid() {
+		return
+	}
+	s.rec.TraceID = ctx.TraceID
+	s.rec.Parent = ctx.SpanID
+	if ctx.Node != s.rec.Node {
+		s.rec.ParentNode = ctx.Node
+	} else {
+		s.rec.ParentNode = ""
+	}
+}
+
+// Context returns the span's trace identity, ready to hand to another
+// process. A nil span returns the zero (invalid) context.
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.rec.TraceID, SpanID: s.rec.ID, Node: s.rec.Node}
 }
 
 // Tag sets the span's campaign/round locus (inherited by later children) and

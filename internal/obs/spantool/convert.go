@@ -25,6 +25,8 @@ type TraceEvent struct {
 	Dur  float64        `json:"dur,omitempty"` // microseconds
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"` // flow-event binding id ("s"/"f" phases)
+	Bp   string         `json:"bp,omitempty"` // flow binding point ("e" = enclosing slice)
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -275,6 +277,13 @@ func ValidateTrace(data []byte) error {
 		}
 		switch ev.Ph {
 		case "M":
+			continue
+		case "s", "f":
+			// Flow arrows (stitched traces): no interval of their own, so no
+			// lane discipline to check beyond a sane timestamp.
+			if ev.Ts < 0 {
+				return fmt.Errorf("spantool: event %d (%s): negative ts", i, ev.Name)
+			}
 			continue
 		case "X":
 		default:

@@ -1,0 +1,332 @@
+package spantool
+
+import (
+	"fmt"
+	"sort"
+
+	"crowdsense/internal/obs/span"
+)
+
+// spanKey globally identifies one span across stitched journals: span IDs are
+// per-process counters, so only (trace, node, id) is unique cluster-wide.
+type spanKey struct {
+	trace uint64
+	node  string
+	id    uint64
+}
+
+// parentKey resolves a record's parent edge to its global key (ParentNode
+// empty means the parent lives on the record's own node).
+func parentKey(r *span.Record) spanKey {
+	node := r.Node
+	if r.ParentNode != "" {
+		node = r.ParentNode
+	}
+	return spanKey{r.TraceID, node, r.Parent}
+}
+
+// Stitch merges several nodes' span journals into one Chrome trace timeline:
+// one process per node (so each node renders as its own lane group), spans
+// packed onto stack-disciplined lanes exactly as Convert does, per-node clock
+// offsets estimated from trace-context send/receive pairs so the lanes line
+// up on one clock, and flow arrows connecting every cross-node parent edge.
+// Rotated segments of one node's journal can be passed as separate inputs;
+// records regroup by the node name stamped in each record.
+func Stitch(inputs [][]span.Record) TraceFile {
+	byNode := map[string][]span.Record{}
+	var nodes []string
+	for _, recs := range inputs {
+		for _, r := range recs {
+			node := r.Node
+			if node == "" {
+				node = "(unknown)"
+			}
+			if _, ok := byNode[node]; !ok {
+				nodes = append(nodes, node)
+			}
+			byNode[node] = append(byNode[node], r)
+		}
+	}
+	sort.Strings(nodes)
+	if len(nodes) == 0 {
+		return TraceFile{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ms"}
+	}
+
+	offsets := estimateOffsets(byNode, nodes)
+
+	// Shift every node's intervals onto the reference clock, then rebase so
+	// timestamps are small positive microseconds.
+	shifted := make(map[string][]interval, len(nodes))
+	var base int64
+	first := true
+	for _, node := range nodes {
+		ivs := spanIntervals(byNode[node])
+		off := offsets[node]
+		for i := range ivs {
+			ivs[i].start -= off
+			ivs[i].end -= off
+		}
+		shifted[node] = ivs
+		for _, iv := range ivs {
+			if first || iv.start < base {
+				base = iv.start
+				first = false
+			}
+		}
+	}
+
+	type located struct {
+		pid, tid int
+		ts, dur  float64
+	}
+	locate := make(map[spanKey]located)
+	var events []TraceEvent
+	for pid, node := range nodes {
+		recs := byNode[node]
+		ivs := shifted[node]
+		events = append(events, TraceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": "node " + node},
+		})
+		idx := make([]int, len(recs))
+		for i := range idx {
+			idx[i] = i
+		}
+		lanes := assignLanes(recs, ivs, idx)
+		maxLane := 0
+		for i := range recs {
+			r, iv, tid := &recs[i], ivs[i], lanes[i]
+			if tid > maxLane {
+				maxLane = tid
+			}
+			args := map[string]any{"id": r.ID}
+			if r.Parent != 0 {
+				args["parent"] = r.Parent
+			}
+			if r.TraceID != 0 {
+				args["trace_id"] = fmt.Sprintf("%016x", r.TraceID)
+			}
+			if r.ParentNode != "" {
+				args["parent_node"] = r.ParentNode
+			}
+			if r.Campaign != "" {
+				args["campaign"] = r.Campaign
+			}
+			if r.Round != 0 {
+				args["round"] = r.Round
+			}
+			for _, a := range r.Attrs {
+				args[a.Key] = a.Value()
+			}
+			ev := TraceEvent{
+				Name: r.Name,
+				Cat:  category(r.Name),
+				Ph:   "X",
+				Ts:   float64(iv.start-base) / 1e3,
+				Dur:  float64(iv.end-iv.start) / 1e3,
+				Pid:  pid,
+				Tid:  tid,
+				Args: args,
+			}
+			events = append(events, ev)
+			locate[spanKey{r.TraceID, node, r.ID}] = located{pid, tid, ev.Ts, ev.Dur}
+		}
+		for lane := 0; lane <= maxLane; lane++ {
+			events = append(events, TraceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: lane,
+				Args: map[string]any{"name": fmt.Sprintf("%s/%d", node, lane)},
+			})
+		}
+	}
+
+	// Flow arrows: one per cross-node parent edge, drawn from the parent's
+	// slice to the child's start. The start binds inside the parent's
+	// interval (clamped — clock-offset estimation is a bound, not exact).
+	flowID := 0
+	for _, node := range nodes {
+		recs := byNode[node]
+		for i := range recs {
+			r := &recs[i]
+			if r.ParentNode == "" || r.ParentNode == r.Node {
+				continue
+			}
+			parent, ok := locate[parentKey(r)]
+			if !ok {
+				continue // parent's journal not among the inputs
+			}
+			child := locate[spanKey{r.TraceID, node, r.ID}]
+			ts := child.ts
+			if ts < parent.ts {
+				ts = parent.ts
+			}
+			if ts > parent.ts+parent.dur {
+				ts = parent.ts + parent.dur
+			}
+			flowID++
+			events = append(events,
+				TraceEvent{Name: "trace", Cat: "flow", Ph: "s", ID: flowID,
+					Pid: parent.pid, Tid: parent.tid, Ts: ts},
+				TraceEvent{Name: "trace", Cat: "flow", Ph: "f", Bp: "e", ID: flowID,
+					Pid: child.pid, Tid: child.tid, Ts: child.ts})
+		}
+	}
+	return TraceFile{TraceEvents: events, DisplayTimeUnit: "ms"}
+}
+
+// estimateOffsets returns each node's clock offset in nanoseconds relative to
+// its component's reference node (first in sorted order). Every adopted span
+// carrying a peer_send_unix_ns/recv_unix_ns attribute pair is one sample:
+// recv − send equals the receiver-minus-sender clock offset plus the network
+// delay, and delay is non-negative, so the per-ordered-pair minimum is an
+// NTP-style one-sided bound on the offset. A BFS over the pair graph chains
+// pairwise bounds to the reference; subtracting offsets[node] from that
+// node's timestamps maps them onto the reference clock. Nodes with no samples
+// keep offset 0 (their wall clocks are trusted as-is).
+func estimateOffsets(byNode map[string][]span.Record, nodes []string) map[string]int64 {
+	type pair struct{ from, to string }
+	best := map[pair]int64{}
+	for _, recs := range byNode {
+		for i := range recs {
+			r := &recs[i]
+			if r.ParentNode == "" || r.ParentNode == r.Node {
+				continue
+			}
+			send, ok1 := r.Attrs.Int("peer_send_unix_ns")
+			recv, ok2 := r.Attrs.Int("recv_unix_ns")
+			if !ok1 || !ok2 {
+				continue
+			}
+			p := pair{r.ParentNode, r.Node}
+			d := recv - send
+			if cur, ok := best[p]; !ok || d < cur {
+				best[p] = d
+			}
+		}
+	}
+	adj := map[string]map[string]int64{}
+	addEdge := func(a, b string, off int64) {
+		if adj[a] == nil {
+			adj[a] = map[string]int64{}
+		}
+		cur, ok := adj[a][b]
+		if !ok || absInt64(off) < absInt64(cur) {
+			adj[a][b] = off
+		}
+	}
+	for p, d := range best {
+		// The reverse edge is the negated bound: with samples in both
+		// directions the smaller-magnitude one wins (its path had the
+		// smaller delay inflating the bound).
+		addEdge(p.from, p.to, d)
+		addEdge(p.to, p.from, -d)
+	}
+
+	offsets := make(map[string]int64, len(nodes))
+	for _, root := range nodes {
+		if _, done := offsets[root]; done {
+			continue
+		}
+		offsets[root] = 0
+		queue := []string{root}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			nbrs := make([]string, 0, len(adj[cur]))
+			for n := range adj[cur] {
+				nbrs = append(nbrs, n)
+			}
+			sort.Strings(nbrs)
+			for _, n := range nbrs {
+				if _, done := offsets[n]; done {
+					continue
+				}
+				offsets[n] = offsets[cur] + adj[cur][n]
+				queue = append(queue, n)
+			}
+		}
+	}
+	return offsets
+}
+
+func absInt64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// RoundTrace describes one round span's distributed subtree across stitched
+// records: every span whose parent chain reaches the round span, counted with
+// the distinct nodes they ran on. It is the unit the trace-smoke gate checks
+// ("every settled round forms one connected tree spanning ≥ N nodes").
+type RoundTrace struct {
+	Campaign string
+	Round    int
+	Spans    int      // spans in the round's subtree, the round span included
+	Nodes    []string // distinct node IDs in the subtree, sorted
+}
+
+// RoundTraces groups stitched records by the round span their parent chain
+// reaches, in (campaign, round) order. Spans whose chain never reaches a
+// round span — campaign roots, fresh client traces from legacy sessions,
+// spans whose parent journal is missing — are simply not counted, so a
+// disconnected round shows up as a subtree missing its remote spans.
+func RoundTraces(records []span.Record) []RoundTrace {
+	recs := make(map[spanKey]*span.Record, len(records))
+	for i := range records {
+		r := &records[i]
+		recs[spanKey{r.TraceID, r.Node, r.ID}] = r
+	}
+	var zero spanKey
+	memo := make(map[spanKey]spanKey, len(records))
+	var rootOf func(k spanKey, depth int) spanKey
+	rootOf = func(k spanKey, depth int) spanKey {
+		if res, ok := memo[k]; ok {
+			return res
+		}
+		res := zero
+		if r, ok := recs[k]; ok && depth < 256 {
+			if r.Name == span.NameRound {
+				res = k
+			} else if r.Parent != 0 {
+				res = rootOf(parentKey(r), depth+1)
+			}
+		}
+		memo[k] = res
+		return res
+	}
+
+	agg := map[spanKey]*RoundTrace{}
+	nodeSets := map[spanKey]map[string]bool{}
+	for i := range records {
+		r := &records[i]
+		root := rootOf(spanKey{r.TraceID, r.Node, r.ID}, 0)
+		if root == zero {
+			continue
+		}
+		rt, ok := agg[root]
+		if !ok {
+			rr := recs[root]
+			rt = &RoundTrace{Campaign: rr.Campaign, Round: rr.Round}
+			agg[root] = rt
+			nodeSets[root] = map[string]bool{}
+		}
+		rt.Spans++
+		nodeSets[root][r.Node] = true
+	}
+	out := make([]RoundTrace, 0, len(agg))
+	for root, rt := range agg {
+		for node := range nodeSets[root] {
+			rt.Nodes = append(rt.Nodes, node)
+		}
+		sort.Strings(rt.Nodes)
+		out = append(out, *rt)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Campaign != out[b].Campaign {
+			return out[a].Campaign < out[b].Campaign
+		}
+		return out[a].Round < out[b].Round
+	})
+	return out
+}

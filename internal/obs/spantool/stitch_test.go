@@ -1,0 +1,239 @@
+package spantool
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"crowdsense/internal/obs/span"
+)
+
+// distributedFixture builds three nodes' journals for one settled round, with
+// the agent node's clock skewed far ahead: the engine runs the round, an
+// agent session adopts the round's trace context over the wire (carrying the
+// send/receive clock pair stitching uses), and a follower applies the round's
+// replication frame. Returns the per-node record sets and the skew.
+func distributedFixture() (engineRecs, agentRecs, followerRecs []span.Record, skew time.Duration) {
+	base := time.Date(2026, 8, 6, 9, 0, 0, 0, time.UTC)
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	const trace = uint64(0xfeed)
+	skew = 5 * time.Second // agent clock runs 5s ahead of the engine's
+
+	engineRecs = []span.Record{
+		{ID: 1, TraceID: trace, Node: "engine", Name: span.NameCampaign, Campaign: "c1",
+			Start: base, DurNanos: ms(100).Nanoseconds()},
+		{ID: 2, Parent: 1, TraceID: trace, Node: "engine", Name: span.NameRound, Campaign: "c1", Round: 1,
+			Start: base.Add(ms(5)), DurNanos: ms(90).Nanoseconds(),
+			Attrs: span.Attrs{span.Int("winners", 1)}},
+		{ID: 3, Parent: 2, TraceID: trace, Node: "engine", Name: span.NamePhaseCollecting, Campaign: "c1", Round: 1,
+			Start: base.Add(ms(6)), DurNanos: ms(40).Nanoseconds()},
+		{ID: 4, Parent: 2, TraceID: trace, Node: "engine", Name: span.NameWD, Campaign: "c1", Round: 1,
+			Start: base.Add(ms(50)), DurNanos: ms(20).Nanoseconds()},
+	}
+
+	// The agent's wall clock reads base+skew while the engine's reads base.
+	// The trace context was sent at engine time base+10ms and received at
+	// agent time base+skew+11ms (1ms of real network delay).
+	sent := base.Add(ms(10))
+	agentStart := base.Add(skew + ms(8))
+	agentRecs = []span.Record{
+		{ID: 1, Parent: 2, ParentNode: "engine", TraceID: trace, Node: "agent-1",
+			Name: span.NameAgentSession, Campaign: "c1",
+			Start: agentStart, DurNanos: ms(80).Nanoseconds(),
+			Attrs: span.Attrs{
+				span.Int("user", 7),
+				span.Int("peer_send_unix_ns", sent.UnixNano()),
+				span.Int("recv_unix_ns", base.Add(skew+ms(11)).UnixNano()),
+			}},
+		{ID: 2, Parent: 1, TraceID: trace, Node: "agent-1", Name: span.NameAgentDial, Campaign: "c1",
+			Start: agentStart, DurNanos: ms(2).Nanoseconds()},
+		{ID: 3, Parent: 1, TraceID: trace, Node: "agent-1", Name: span.NameAgentAward, Campaign: "c1",
+			Start: agentStart.Add(ms(4)), DurNanos: ms(50).Nanoseconds(),
+			Attrs: span.Attrs{span.Int("selected", 1)}},
+	}
+
+	followerRecs = []span.Record{
+		{ID: 1, Parent: 2, ParentNode: "engine", TraceID: trace, Node: "follower",
+			Name:  span.NameRepApply,
+			Start: base.Add(ms(96)), DurNanos: ms(3).Nanoseconds(),
+			Attrs: span.Attrs{
+				span.Str("shard", "s1"),
+				span.Int("events", 4),
+				span.Int("peer_send_unix_ns", base.Add(ms(95)).UnixNano()),
+				span.Int("recv_unix_ns", base.Add(ms(96)).UnixNano()),
+			}},
+	}
+	return engineRecs, agentRecs, followerRecs, skew
+}
+
+func TestStitchLaneGroupsAndFlows(t *testing.T) {
+	eng, ag, fo, _ := distributedFixture()
+	tf := Stitch([][]span.Record{eng, ag, fo})
+
+	pids := map[int]string{}
+	var flowS, flowF int
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				pids[ev.Pid] = ev.Args["name"].(string)
+			}
+		case "s":
+			flowS++
+		case "f":
+			flowF++
+			if ev.Bp != "e" {
+				t.Errorf("flow finish should bind to the enclosing slice, got bp=%q", ev.Bp)
+			}
+		}
+	}
+	if len(pids) != 3 {
+		t.Fatalf("%d lane groups, want 3 (one per node): %v", len(pids), pids)
+	}
+	for _, want := range []string{"node agent-1", "node engine", "node follower"} {
+		found := false
+		for _, name := range pids {
+			if name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no lane group named %q in %v", want, pids)
+		}
+	}
+	// Two cross-node parent edges (agent session, follower apply) → two arrows.
+	if flowS != 2 || flowF != 2 {
+		t.Errorf("flow events s=%d f=%d, want 2/2", flowS, flowF)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("stitched trace fails validation: %v", err)
+	}
+}
+
+// TestStitchAlignsClocks checks the offset estimation end to end: the agent's
+// journal timestamps are 5s ahead, but after stitching its session span must
+// land inside the engine round's interval, not 5s to the right of it.
+func TestStitchAlignsClocks(t *testing.T) {
+	eng, ag, fo, skew := distributedFixture()
+	tf := Stitch([][]span.Record{eng, ag, fo})
+
+	find := func(name string) TraceEvent {
+		for _, ev := range tf.TraceEvents {
+			if ev.Ph == "X" && ev.Name == name {
+				return ev
+			}
+		}
+		t.Fatalf("no %q event in stitched trace", name)
+		return TraceEvent{}
+	}
+	round := find(span.NameRound)
+	sess := find(span.NameAgentSession)
+	// Uncorrected, the session would start skew−(a few ms) ≈ 5s after the
+	// round. Corrected, it must start within the round's 90ms window.
+	if sess.Ts < round.Ts || sess.Ts > round.Ts+round.Dur {
+		t.Errorf("agent session at ts=%.0fµs outside round [%.0f, %.0f]µs — clock offset not applied",
+			sess.Ts, round.Ts, round.Ts+round.Dur)
+	}
+	if limit := float64(skew/time.Microsecond) / 2; sess.Ts-round.Ts > limit {
+		t.Errorf("agent session %.0fµs after round start; skew correction missed", sess.Ts-round.Ts)
+	}
+}
+
+func TestStitchEmptyAndSingleNode(t *testing.T) {
+	tf := Stitch(nil)
+	if len(tf.TraceEvents) != 0 || tf.TraceEvents == nil {
+		t.Errorf("empty stitch: %+v", tf.TraceEvents)
+	}
+	eng, _, _, _ := distributedFixture()
+	tf = Stitch([][]span.Record{eng})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Errorf("single-node stitch fails validation: %v", err)
+	}
+}
+
+func TestRoundTraces(t *testing.T) {
+	eng, ag, fo, _ := distributedFixture()
+	all := append(append(append([]span.Record{}, eng...), ag...), fo...)
+	// An unrelated fresh-trace span (legacy agent) must not join any round.
+	all = append(all, span.Record{ID: 9, TraceID: 0xdead, Node: "agent-2",
+		Name: span.NameAgentSession, Campaign: "c1",
+		Start: time.Date(2026, 8, 6, 9, 0, 1, 0, time.UTC), DurNanos: 1000})
+
+	rts := RoundTraces(all)
+	if len(rts) != 1 {
+		t.Fatalf("%d round traces, want 1: %+v", len(rts), rts)
+	}
+	rt := rts[0]
+	if rt.Campaign != "c1" || rt.Round != 1 {
+		t.Errorf("round trace identity %+v", rt)
+	}
+	// round + 2 engine phases + 3 agent spans + 1 follower apply = 7; the
+	// campaign root is above the round and the legacy session is orphaned.
+	if rt.Spans != 7 {
+		t.Errorf("round subtree has %d spans, want 7", rt.Spans)
+	}
+	wantNodes := []string{"agent-1", "engine", "follower"}
+	if len(rt.Nodes) != len(wantNodes) {
+		t.Fatalf("round nodes %v, want %v", rt.Nodes, wantNodes)
+	}
+	for i, n := range wantNodes {
+		if rt.Nodes[i] != n {
+			t.Errorf("round nodes %v, want %v", rt.Nodes, wantNodes)
+		}
+	}
+}
+
+func TestHopsBreakdown(t *testing.T) {
+	// Engine-only records: no distributed spans, no hop section.
+	if hops := Hops(fixtureRecords()); hops != nil {
+		t.Errorf("engine-only journal should have no hop breakdown: %+v", hops)
+	}
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, fixtureRecords(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "per-hop breakdown") {
+		t.Errorf("hop section should be absent for engine-only journals:\n%s", buf.String())
+	}
+
+	eng, ag, fo, _ := distributedFixture()
+	all := append(append(append([]span.Record{}, eng...), ag...), fo...)
+	hops := Hops(all)
+	if len(hops) == 0 {
+		t.Fatal("no hops over a distributed record set")
+	}
+	byHop := map[string]HopStat{}
+	for _, h := range hops {
+		byHop[h.Hop] = h
+	}
+	if h, ok := byHop["agent-queue"]; !ok || h.Stat.Name != span.NameAgentAward || h.Stat.Count != 1 {
+		t.Errorf("agent-queue hop %+v", byHop["agent-queue"])
+	}
+	if h, ok := byHop["replication-lag"]; !ok || h.Stat.Name != span.NameRepApply {
+		t.Errorf("replication-lag hop %+v", byHop["replication-lag"])
+	}
+	if h, ok := byHop["admit"]; !ok || h.Stat.Mean() != 40*time.Millisecond {
+		t.Errorf("admit hop %+v", h)
+	}
+
+	buf.Reset()
+	if err := WriteSummary(&buf, all, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"per-hop breakdown", "agent-queue", "admit", "wd", "replication-lag"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -142,6 +142,60 @@ func ClusterEvents(records []span.Record) []ClusterEvent {
 	return out
 }
 
+// HopStat is one leg of the distributed round pipeline, labelled by what the
+// leg means end to end rather than by the raw span name.
+type HopStat struct {
+	Hop  string
+	Stat NameStat
+}
+
+// hopLegs maps pipeline legs to the span names that measure them. Order is
+// the path a bid travels: client dial/submit, router splice, the server-side
+// admit window the client waits through, winner determination, settlement,
+// and finally replication of the round's events to followers.
+var hopLegs = []struct{ hop, name string }{
+	{"agent-dial", span.NameAgentDial},
+	{"agent-submit", span.NameAgentSubmit},
+	{"router-splice", span.NameRouterHop},
+	{"admit", span.NamePhaseCollecting},
+	{"agent-queue", span.NameAgentAward},
+	{"wd", span.NameWD},
+	{"settle", span.NamePhaseSettling},
+	{"replication-lag", span.NameRepApply},
+}
+
+// Hops aggregates the distributed pipeline legs present in the records. Nil
+// unless at least one span from outside the engine (agent, router, follower)
+// is present — a single-node engine journal has no hops to break down.
+func Hops(records []span.Record) []HopStat {
+	distributed := false
+	for _, r := range records {
+		switch r.Name {
+		case span.NameAgentSession, span.NameAgentDial, span.NameAgentSubmit,
+			span.NameAgentAward, span.NameAgentSettle, span.NameAgentRedial,
+			span.NameRouterHop, span.NameRepApply:
+			distributed = true
+		}
+		if distributed {
+			break
+		}
+	}
+	if !distributed {
+		return nil
+	}
+	byName := map[string]NameStat{}
+	for _, st := range Summarize(records) {
+		byName[st.Name] = st
+	}
+	var out []HopStat
+	for _, leg := range hopLegs {
+		if st, ok := byName[leg.name]; ok {
+			out = append(out, HopStat{Hop: leg.hop, Stat: st})
+		}
+	}
+	return out
+}
+
 // Filter returns the records matching every non-zero criterion.
 func Filter(records []span.Record, campaign, name string, round int) []span.Record {
 	var out []span.Record
@@ -172,6 +226,18 @@ func WriteSummary(w io.Writer, records []span.Record, topK int) error {
 		if _, err := fmt.Fprintf(w, "%-22s %8d %12s %12s %12s %12s\n",
 			st.Name, st.Count, fmtDur(st.Total), fmtDur(st.Mean()), fmtDur(st.Min), fmtDur(st.Max)); err != nil {
 			return err
+		}
+	}
+	if hops := Hops(records); len(hops) > 0 {
+		if _, err := fmt.Fprintf(w, "\nper-hop breakdown\n%-16s %-22s %8s %12s %12s %12s\n",
+			"HOP", "SPAN", "COUNT", "MEAN", "MIN", "MAX"); err != nil {
+			return err
+		}
+		for _, h := range hops {
+			if _, err := fmt.Fprintf(w, "%-16s %-22s %8d %12s %12s %12s\n",
+				h.Hop, h.Stat.Name, h.Stat.Count, fmtDur(h.Stat.Mean()), fmtDur(h.Stat.Min), fmtDur(h.Stat.Max)); err != nil {
+				return err
+			}
 		}
 	}
 	if events := ClusterEvents(records); len(events) > 0 {

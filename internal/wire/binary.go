@@ -357,6 +357,17 @@ func appendEnvelope(b []byte, env *Envelope) ([]byte, error) {
 			b = appendSettle(b, &us.Settle)
 		}
 	}
+	if env.Trace != nil {
+		// Optional trace context rides after the typed payload. Decoders that
+		// predate it would report trailing bytes, but context is only sent to
+		// peers that opened this codec version; a frame without context is
+		// byte-identical to the pre-context encoding, so tracing never
+		// perturbs the differential gates.
+		b = appendUvarint(b, env.Trace.TraceID)
+		b = appendUvarint(b, env.Trace.SpanID)
+		b = appendString(b, env.Trace.Node)
+		b = binary.AppendVarint(b, env.Trace.SentUnixNanos)
+	}
 	return b, nil
 }
 
@@ -476,6 +487,22 @@ func decodeEnvelope(payload []byte) (*Envelope, error) {
 			batch.Settles = append(batch.Settles, us)
 		}
 		env.SettleBatch = &batch
+	}
+	if r.err == nil && r.off < len(payload) {
+		// Bytes past the typed payload are the optional trace context.
+		tc := TraceContext{TraceID: r.uvarint(), SpanID: r.uvarint(), Node: r.string()}
+		if r.err == nil {
+			v, n := binary.Varint(r.buf[r.off:])
+			if n <= 0 {
+				r.fail()
+			} else {
+				r.off += n
+				tc.SentUnixNanos = v
+			}
+		}
+		if r.err == nil {
+			env.Trace = &tc
+		}
 	}
 	if r.err != nil {
 		return nil, r.err

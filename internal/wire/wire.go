@@ -134,6 +134,24 @@ type ErrorMsg struct {
 	Message string `json:"message"`
 }
 
+// TraceContext is the distributed-tracing context an envelope may carry: the
+// identity of the sender-side span the receiver should parent its own spans
+// under, plus the sender's wall clock at send time (for clock-offset
+// estimation across nodes). The engine is the trace authority — its round
+// span's context rides the server→agent envelopes (tasks, award, settle and
+// their batch forms) — so a legacy agent that never sends context still
+// lands inside the server's trace.
+//
+// The field is optional in both codecs: JSON peers that predate it ignore
+// the extra key, and the binary codec appends it after the typed payload,
+// where old-format frames simply end (see binary.go).
+type TraceContext struct {
+	TraceID       uint64 `json:"trace_id"`
+	SpanID        uint64 `json:"span_id"`
+	Node          string `json:"node,omitempty"`
+	SentUnixNanos int64  `json:"sent_unix_ns,omitempty"`
+}
+
 // BidBatch carries many agents' sealed bids in one frame — the aggregator
 // fan-in path. Bids are independent; the platform admits each on its own
 // and reports per-user verdicts in the answering AwardBatch.
@@ -181,19 +199,20 @@ type SettleBatch struct {
 // receiver routes the session to its default campaign, so agents predating
 // the field keep working unchanged.
 type Envelope struct {
-	Type        MsgType      `json:"type"`
-	Campaign    string       `json:"campaign,omitempty"`
-	Register    *Register    `json:"register,omitempty"`
-	Tasks       *Tasks       `json:"tasks,omitempty"`
-	Bid         *Bid         `json:"bid,omitempty"`
-	Award       *Award       `json:"award,omitempty"`
-	Report      *Report      `json:"report,omitempty"`
-	Settle      *Settle      `json:"settle,omitempty"`
-	Error       *ErrorMsg    `json:"error,omitempty"`
-	BidBatch    *BidBatch    `json:"bid_batch,omitempty"`
-	AwardBatch  *AwardBatch  `json:"award_batch,omitempty"`
-	ReportBatch *ReportBatch `json:"report_batch,omitempty"`
-	SettleBatch *SettleBatch `json:"settle_batch,omitempty"`
+	Type        MsgType       `json:"type"`
+	Campaign    string        `json:"campaign,omitempty"`
+	Trace       *TraceContext `json:"trace,omitempty"`
+	Register    *Register     `json:"register,omitempty"`
+	Tasks       *Tasks        `json:"tasks,omitempty"`
+	Bid         *Bid          `json:"bid,omitempty"`
+	Award       *Award        `json:"award,omitempty"`
+	Report      *Report       `json:"report,omitempty"`
+	Settle      *Settle       `json:"settle,omitempty"`
+	Error       *ErrorMsg     `json:"error,omitempty"`
+	BidBatch    *BidBatch     `json:"bid_batch,omitempty"`
+	AwardBatch  *AwardBatch   `json:"award_batch,omitempty"`
+	ReportBatch *ReportBatch  `json:"report_batch,omitempty"`
+	SettleBatch *SettleBatch  `json:"settle_batch,omitempty"`
 }
 
 // Validate checks that the envelope's tag matches its populated payload.

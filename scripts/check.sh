@@ -46,6 +46,10 @@ go test -run '^$' -bench BenchmarkAuditOverhead -benchtime 3x ./internal/obs/aud
 # Cluster gate: kill-the-leader differential under race — the promoted
 # follower's settled rounds and journal bytes must match the dead leader's.
 go test -race -run TestClusterFailoverDifferential ./internal/cluster
+# Tracing gate: stitch a three-node cluster's journals (leader, follower,
+# router, agents) and require every settled round to form one connected
+# trace tree spanning at least three distinct node IDs.
+go test -run TestTraceSmoke ./cmd/obsctl
 # Fan-in gate: 100k agents across 100 campaigns through the in-process
 # swarm path under race, asserting every round settles with zero
 # admit-queue rejects.
