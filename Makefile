@@ -11,6 +11,7 @@ GO ?= go
 RACE_PKGS = ./internal/engine/... ./internal/obs/... ./internal/obs/span \
 	./internal/platform/... ./internal/agent/... ./internal/wire/... \
 	./internal/store/... ./internal/cluster/... \
+	./internal/reputation/... ./internal/execution/... \
 	./internal/mechanism/... ./internal/knapsack/... ./internal/setcover/... \
 	./cmd/crowdsim
 
@@ -58,6 +59,7 @@ check:
 	$(MAKE) cluster-smoke
 	$(MAKE) swarm-smoke
 	$(MAKE) trace-smoke
+	$(MAKE) reputation-smoke
 
 # Crash-recovery differential plus a store-overhead benchmark smoke: kill a
 # WAL-backed engine mid-round, reopen the log, finish the campaign, and
@@ -97,6 +99,14 @@ cluster-smoke:
 .PHONY: trace-smoke
 trace-smoke:
 	$(GO) test -run TestTraceSmoke ./cmd/obsctl
+
+# Closed-loop reputation gate under the race detector: an over-claiming user
+# dominates the first campaigns of the liar scenario, the learned reliability
+# discounts her declared PoS below the coverage requirement, and her share of
+# wins must collapse while truthful users keep winning.
+.PHONY: reputation-smoke
+reputation-smoke:
+	$(GO) test -race -run TestReputationSmoke ./cmd/crowdsim
 
 # Million-agent fan-in gate, scaled to CI: 100k agents across 100 campaigns
 # through the in-process swarm path under the race detector, asserting every

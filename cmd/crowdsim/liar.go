@@ -1,0 +1,218 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/engine"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/reputation"
+	"crowdsense/internal/stats"
+)
+
+// Liar mode is the closed-loop demonstration: one over-claimer declares PoS
+// 0.9 while truly succeeding half the time, amid a truthful population. With
+// the reputation store wired into the engine, every settled round updates the
+// liar's reliability r̂ and the next winner determination runs on the
+// discounted PoS r̂·p̂ — so the liar starts out winning every round (a 0.9
+// declaration covers the requirement alone) and is priced out as the learned
+// estimate converges on the truth. The run prints the pricing-out curve:
+// r̂(liar), the discounted PoS the solver actually saw, and per-campaign
+// allocation shares.
+
+const (
+	liarDeclaredPoS = 0.9 // what the liar tells the platform
+	liarTruePoS     = 0.5 // what the liar actually achieves
+)
+
+// liarConfig parameterizes the scenario. Campaigns run sequentially so the
+// reliability learned in campaign k is what discounts campaign k+1.
+type liarConfig struct {
+	truthful  int // truthful bidders alongside the one liar
+	campaigns int
+	rounds    int // auction rounds per campaign
+
+	requirement float64
+	alpha       float64
+	epsilon     float64
+	prior       float64 // reputation prior strength (0 = default)
+	seed        int64
+	quiet       bool
+}
+
+// liarPoint is one campaign's slice of the pricing-out curve.
+type liarPoint struct {
+	campaign     int
+	liarWins     int // rounds of this campaign where the liar was selected
+	truthfulWins int // truthful winner slots across the campaign's rounds
+	rounds       int
+	reliability  float64 // r̂(liar) after the campaign settled
+	discounted   float64 // the PoS winner determination will see next
+}
+
+func (p liarPoint) liarShare() float64 {
+	if p.rounds == 0 {
+		return 0
+	}
+	return float64(p.liarWins) / float64(p.rounds)
+}
+
+// liarTally is the whole run: the curve plus the headline shares the
+// acceptance gate compares.
+type liarTally struct {
+	points     []liarPoint
+	earlyShare float64 // liar's allocation share over the first quarter
+	lateShare  float64 // … and over the last quarter
+}
+
+// shareOver averages the liar's per-round allocation share over a window of
+// campaigns [from, to).
+func shareOver(points []liarPoint, from, to int) float64 {
+	wins, rounds := 0, 0
+	for _, p := range points[from:to] {
+		wins += p.liarWins
+		rounds += p.rounds
+	}
+	if rounds == 0 {
+		return 0
+	}
+	return float64(wins) / float64(rounds)
+}
+
+func liarCampaignID(idx int) string { return fmt.Sprintf("liar-%04d", idx) }
+
+// runLiar builds an engine with the reputation loop closed, plays the
+// campaigns sequentially, and reports the pricing-out curve.
+func runLiar(cfg liarConfig) (liarTally, error) {
+	var tally liarTally
+	if cfg.truthful < 2 {
+		return tally, fmt.Errorf("liar: need at least 2 truthful bidders, got %d", cfg.truthful)
+	}
+	if cfg.campaigns <= 0 {
+		cfg.campaigns = 20
+	}
+	if cfg.rounds <= 0 {
+		cfg.rounds = 1
+	}
+	if cfg.prior <= 0 {
+		// The store's default prior prices a 0.9-declaration out after a
+		// single failed round — correct, but a one-round cliff makes a poor
+		// curve. A heavier prior stretches the pricing-out over ~5 campaigns
+		// so the demonstration shows convergence, not a step.
+		cfg.prior = 30
+	}
+
+	rep, err := reputation.NewStore(reputation.StoreConfig{PriorStrength: cfg.prior})
+	if err != nil {
+		return tally, err
+	}
+	e := engine.New(engine.Config{Reputation: rep})
+	task := auction.Task{ID: 1, Requirement: cfg.requirement}
+	for c := 0; c < cfg.campaigns; c++ {
+		if err := e.AddCampaign(engine.CampaignConfig{
+			ID:              liarCampaignID(c),
+			Tasks:           []auction.Task{task},
+			ExpectedBidders: cfg.truthful + 1,
+			Rounds:          cfg.rounds,
+			Alpha:           cfg.alpha,
+			Epsilon:         cfg.epsilon,
+		}); err != nil {
+			return tally, err
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- e.ServeLocal(ctx) }()
+
+	// The population's types are fixed across campaigns: reputation is only
+	// meaningful when user 1 in campaign 9 is the same worker as user 1 in
+	// campaign 0. The liar is user 1; truthful users declare their true PoS.
+	// Costs are drawn from one distribution for everyone: the liar's early
+	// dominance must come from the over-claim alone (only a 0.9 declaration
+	// covers the requirement single-handedly), not from underbidding.
+	rng := stats.NewRand(cfg.seed)
+	const liar = auction.UserID(1)
+	truePoS := map[auction.UserID]float64{liar: liarTruePoS}
+	cost := map[auction.UserID]float64{liar: stats.Uniform(rng, 9, 12)}
+	for i := 0; i < cfg.truthful; i++ {
+		u := auction.UserID(2 + i)
+		truePoS[u] = stats.Uniform(rng, 0.45, 0.7)
+		cost[u] = stats.Uniform(rng, 9, 12)
+	}
+	bids := make([]auction.Bid, 0, cfg.truthful+1)
+	declared := func(u auction.UserID) float64 {
+		if u == liar {
+			return liarDeclaredPoS
+		}
+		return truePoS[u]
+	}
+	for u := auction.UserID(1); int(u) <= cfg.truthful+1; u++ {
+		bids = append(bids, auction.NewBid(u, []auction.TaskID{task.ID}, cost[u],
+			map[auction.TaskID]float64{task.ID: declared(u)}))
+	}
+
+	if !cfg.quiet {
+		fmt.Printf("liar scenario: user %d declares PoS %.2f, truly succeeds at %.2f; %d truthful bidders, requirement %.2f\n",
+			liar, liarDeclaredPoS, liarTruePoS, cfg.truthful, cfg.requirement)
+		fmt.Printf("%-10s %8s %10s %10s %10s\n", "CAMPAIGN", "r̂(liar)", "discounted", "liar-share", "truthful/rd")
+	}
+	for c := 0; c < cfg.campaigns; c++ {
+		point := liarPoint{campaign: c, rounds: cfg.rounds}
+		id := liarCampaignID(c)
+		for round := 0; round < cfg.rounds; round++ {
+			d, err := e.SubmitBids(ctx, id, bids)
+			for errors.Is(err, engine.ErrNotServing) {
+				time.Sleep(time.Millisecond)
+				d, err = e.SubmitBids(ctx, id, bids)
+			}
+			if err != nil {
+				cancel()
+				return tally, fmt.Errorf("campaign %s round %d: %w", id, round+1, err)
+			}
+			if err := d.Await(ctx); err != nil {
+				cancel()
+				return tally, fmt.Errorf("campaign %s round %d: %w", id, round+1, err)
+			}
+			settled := d.Settle(func(bid auction.Bid, _ mechanism.Award) bool {
+				// Execution runs on the TRUE PoS — the gap between this and
+				// the declaration is exactly what the reputation loop learns.
+				return stats.Bernoulli(rng, truePoS[bid.User])
+			})
+			for u := range settled {
+				if u == liar {
+					point.liarWins++
+				} else {
+					point.truthfulWins++
+				}
+			}
+		}
+		point.reliability = rep.Reliability(liar)
+		point.discounted = rep.AdjustPoS(liar, task.ID, liarDeclaredPoS)
+		tally.points = append(tally.points, point)
+		if !cfg.quiet {
+			fmt.Printf("%-10s %8.3f %10.3f %10.2f %10.2f\n", id, point.reliability,
+				point.discounted, point.liarShare(),
+				float64(point.truthfulWins)/float64(point.rounds))
+		}
+	}
+	cancel()
+	<-served
+
+	quarter := cfg.campaigns / 4
+	if quarter < 1 {
+		quarter = 1
+	}
+	tally.earlyShare = shareOver(tally.points, 0, quarter)
+	tally.lateShare = shareOver(tally.points, cfg.campaigns-quarter, cfg.campaigns)
+	if !cfg.quiet {
+		fmt.Printf("\nliar allocation share: %.2f over the first %d campaign(s), %.2f over the last %d\n",
+			tally.earlyShare, quarter, tally.lateShare, quarter)
+		fmt.Printf("final r̂(liar) %.3f — solver sees PoS %.3f instead of the declared %.2f\n",
+			rep.Reliability(liar), rep.AdjustPoS(liar, task.ID, liarDeclaredPoS), liarDeclaredPoS)
+	}
+	return tally, nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+// TestReputationSmoke is the closed-loop acceptance gate in miniature: a
+// strategic agent declaring PoS 0.9 with a true PoS of 0.5 must lose at least
+// half its allocation share within 20 campaigns, while truthful agents keep
+// winning. Run under -race via `make reputation-smoke`.
+func TestReputationSmoke(t *testing.T) {
+	cfg := liarConfig{
+		truthful:    8,
+		campaigns:   20,
+		rounds:      2,
+		requirement: 0.8,
+		alpha:       10,
+		epsilon:     0.5,
+		seed:        1,
+		quiet:       true,
+	}
+	tally, err := runLiar(cfg)
+	if err != nil {
+		t.Fatalf("runLiar: %v", err)
+	}
+	if len(tally.points) != cfg.campaigns {
+		t.Fatalf("got %d campaign points, want %d", len(tally.points), cfg.campaigns)
+	}
+
+	// The liar's 0.9 declaration covers the 0.8 requirement alone, so it
+	// must dominate the early allocation before the loop learns better.
+	if tally.earlyShare < 0.5 {
+		t.Fatalf("liar early share %.2f — the over-claim never paid off, scenario is vacuous", tally.earlyShare)
+	}
+	if tally.lateShare > tally.earlyShare/2 {
+		t.Errorf("liar late share %.2f > half of early share %.2f — not priced out", tally.lateShare, tally.earlyShare)
+	}
+
+	// Reliability must have fallen far enough that the discounted PoS the
+	// solver sees no longer covers the requirement single-handedly — the
+	// point where it stops winning, stops accruing evidence, and r̂ freezes.
+	last := tally.points[len(tally.points)-1]
+	if last.reliability >= 1 {
+		t.Errorf("final r̂(liar) = %.3f, want < 1 after %d campaigns", last.reliability, cfg.campaigns)
+	}
+	if last.discounted >= cfg.requirement {
+		t.Errorf("discounted PoS %.3f still covers the requirement %.2f alone", last.discounted, cfg.requirement)
+	}
+
+	// Truthful agents stay in the game: once the liar is priced out, every
+	// round still settles with truthful winners covering the requirement.
+	for _, p := range tally.points[len(tally.points)-5:] {
+		if p.truthfulWins == 0 {
+			t.Errorf("campaign %d settled %d rounds with no truthful winners", p.campaign, p.rounds)
+		}
+	}
+}

@@ -13,6 +13,13 @@
 // in-process (no TCP) to demonstrate million-agent fan-in:
 //
 //	crowdsim -mode swarm -agents 1000000 -campaigns 1000
+//
+// Liar mode closes the reputation loop: one over-claimer (declared PoS 0.9,
+// true PoS 0.5) bids against a truthful population across sequential
+// campaigns, and the engine's learned reliability prices it out of the
+// allocation:
+//
+//	crowdsim -mode liar -users 8 -campaigns 20 -rounds 2
 package main
 
 import (
@@ -37,7 +44,7 @@ func main() {
 
 func run() error {
 	var (
-		mode        = flag.String("mode", "single", "auction mode: single, multi, or swarm")
+		mode        = flag.String("mode", "single", "auction mode: single, multi, swarm, or liar")
 		users       = flag.Int("users", 60, "number of users to recruit from")
 		tasks       = flag.Int("tasks", 15, "number of tasks (multi mode)")
 		requirement = flag.Float64("requirement", 0.8, "PoS requirement per task")
@@ -53,8 +60,23 @@ func run() error {
 		swarmTasks  = flag.Int("swarm-tasks", 8, "swarm mode: tasks per campaign")
 		batch       = flag.Int("batch", 4096, "swarm mode: bids per in-process batch")
 		metricsAddr = flag.String("metrics-addr", "", "swarm mode: serve /metrics, /healthz, /readyz, /debug/rounds, /debug/spans, and pprof on this address during the run (empty = off)")
+		repPrior    = flag.Float64("reputation-prior", 0, "liar mode: reputation prior strength (0 = default)")
 	)
 	flag.Parse()
+
+	if *mode == "liar" {
+		_, err := runLiar(liarConfig{
+			truthful:    *users,
+			campaigns:   *campaigns,
+			rounds:      *rounds,
+			requirement: *requirement,
+			alpha:       *alpha,
+			epsilon:     *epsilon,
+			prior:       *repPrior,
+			seed:        *seed,
+		})
+		return err
+	}
 
 	if *mode == "swarm" {
 		_, err := runSwarm(swarmConfig{
@@ -107,7 +129,7 @@ func run() error {
 	case "multi":
 		a, err = pop.SampleMultiTask(rng, params, *users, *tasks)
 	default:
-		return fmt.Errorf("unknown mode %q (want single or multi)", *mode)
+		return fmt.Errorf("unknown mode %q (want single, multi, swarm, or liar)", *mode)
 	}
 	if err != nil {
 		return err

@@ -42,6 +42,8 @@ type clusterOptions struct {
 	metricsAddr string
 	audit       bool
 	auditSLO    *audit.SLOConfig
+	reputation  bool
+	repPrior    float64
 }
 
 // runCluster is platformd's sharded mode: with -shard it leads that shard
@@ -119,6 +121,9 @@ func runCluster(ctx context.Context, o clusterOptions) error {
 		Logf:      logf,
 		Audit:     o.audit,
 		AuditSLO:  o.auditSLO,
+
+		Reputation:      o.reputation,
+		ReputationPrior: o.repPrior,
 	}
 	if o.follow != "" {
 		shard, leaderRep, ok := strings.Cut(o.follow, "@")
@@ -150,13 +155,15 @@ func runCluster(ctx context.Context, o clusterOptions) error {
 					fams = append(fams, eng.MetricFamilies()...)
 				}
 				fams = append(fams, node.AuditFamilies()...)
+				fams = append(fams, node.ReputationFamilies()...)
 				fams = append(fams, obs.JournalFamilies(o.journal)...)
 				fams = append(fams, obs.RuntimeFamilies()...)
 				return append(fams, buildinfo.Family())
 			},
-			Health: func() obs.Health { return node.Readiness().Health },
-			Ready:  node.Readiness,
-			Audit:  node.AuditReports,
+			Health:     func() obs.Health { return node.Readiness().Health },
+			Ready:      node.Readiness,
+			Audit:      node.AuditReports,
+			Reputation: node.ReputationReports,
 		})
 		if err != nil {
 			node.Close()
@@ -164,7 +171,7 @@ func runCluster(ctx context.Context, o clusterOptions) error {
 		}
 		defer srv.Close()
 		slog.Info("ops endpoint up", "url", "http://"+srv.Addr().String(),
-			"paths", "/metrics /healthz /readyz /debug/audit (per-shard roles and audit in /readyz)")
+			"paths", "/metrics /healthz /readyz /debug/audit /debug/reputation (per-shard roles and audit in /readyz)")
 	}
 
 	<-ctx.Done()

@@ -71,6 +71,7 @@ import (
 	"crowdsense/internal/obs/audit"
 	"crowdsense/internal/obs/span"
 	"crowdsense/internal/platform"
+	"crowdsense/internal/reputation"
 	"crowdsense/internal/store"
 )
 
@@ -100,6 +101,8 @@ func run() error {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/rounds, /debug/spans, /debug/audit, and pprof on this address (empty = off)")
 		auditFlag   = flag.Bool("audit", false, "run the live mechanism auditor: every settled round is checked against the paper's economic invariants (IR, budget, α reward gap, settlement arithmetic); violations degrade /readyz and surface on /debug/audit")
 		sloP99      = flag.String("slo-p99", "", "comma-separated span=duration p99 latency targets for the live auditor, e.g. round=250ms,phase.computing=50ms (a bare duration targets the round span); implies -audit")
+		repFlag     = flag.Bool("reputation", false, "close the learning loop: learn per-user reliability from execution outcomes, discount declared PoS at winner determination (payments stay on the declared contract), checkpoint the learned state into the WAL, and surface it on /metrics and /debug/reputation")
+		repPrior    = flag.Float64("reputation-prior", 0, "reputation prior pseudo-strength pulling unknown users toward reliability 1 (0 = default)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		version     = flag.Bool("version", false, "print version and exit")
 
@@ -207,6 +210,8 @@ func run() error {
 			metricsAddr: *metricsAddr,
 			audit:       auditOn,
 			auditSLO:    sloCfg,
+			reputation:  *repFlag,
+			repPrior:    *repPrior,
 		})
 	}
 
@@ -226,6 +231,15 @@ func run() error {
 			sloCount = len(sloCfg.Targets)
 		}
 		slog.Info("live auditor enabled", "slo_targets", sloCount)
+	}
+	var rep *reputation.Store
+	if *repFlag {
+		rep, err = reputation.NewStore(reputation.StoreConfig{PriorStrength: *repPrior})
+		if err != nil {
+			return err
+		}
+		ops.rep.Store(rep)
+		slog.Info("reputation loop enabled", "prior", *repPrior)
 	}
 	if *metricsAddr != "" {
 		srv, err := serveOps(*metricsAddr, ops)
@@ -312,6 +326,7 @@ func run() error {
 			ops:             ops,
 			journalViaStore: journalViaStore,
 			aud:             aud,
+			rep:             rep,
 		})
 	}
 
@@ -351,6 +366,7 @@ func run() error {
 	if aud != nil {
 		opts.AuditStatus = aud.Status
 	}
+	opts.Reputation = rep
 	if rec.HasCampaigns() {
 		opts.Restore = rec.State
 		slog.Info("resuming recovered campaign; -tasks/-bidders/-rounds flags ignored")
@@ -411,6 +427,7 @@ type engineOptions struct {
 	ops             *opsState
 	journalViaStore bool
 	aud             *audit.Auditor
+	rep             *reputation.Store
 }
 
 // opsState is the swap point between "recovering" and "serving" for the ops
@@ -421,6 +438,7 @@ type opsState struct {
 	eng        atomic.Pointer[engine.Engine]
 	wal        atomic.Pointer[store.WAL]
 	aud        atomic.Pointer[audit.Auditor]
+	rep        atomic.Pointer[reputation.Store]
 	journal    atomic.Pointer[span.Journal]
 	recovering atomic.Bool
 }
@@ -441,6 +459,9 @@ func (o *opsState) gather() []obs.Family {
 	if a := o.aud.Load(); a != nil {
 		fams = append(fams, a.Families()...)
 	}
+	if r := o.rep.Load(); r != nil {
+		fams = append(fams, r.Families()...)
+	}
 	fams = append(fams, obs.JournalFamilies(o.journal.Load())...)
 	fams = append(fams, obs.RuntimeFamilies()...)
 	return append(fams, buildinfo.Family())
@@ -449,6 +470,13 @@ func (o *opsState) gather() []obs.Family {
 func (o *opsState) audit() []obs.AuditReport {
 	if a := o.aud.Load(); a != nil {
 		return []obs.AuditReport{a.Report()}
+	}
+	return nil
+}
+
+func (o *opsState) reputation() []obs.ReputationReport {
+	if r := o.rep.Load(); r != nil {
+		return []obs.ReputationReport{r.Report()}
 	}
 	return nil
 }
@@ -489,18 +517,19 @@ func (o *opsState) spans(n int) []span.Record {
 // reports where it landed.
 func serveOps(addr string, ops *opsState) (*obs.OpsServer, error) {
 	srv, err := obs.Serve(addr, obs.Options{
-		Gather: ops.gather,
-		Health: ops.health,
-		Ready:  ops.ready,
-		Rounds: ops.rounds,
-		Spans:  ops.spans,
-		Audit:  ops.audit,
+		Gather:     ops.gather,
+		Health:     ops.health,
+		Ready:      ops.ready,
+		Rounds:     ops.rounds,
+		Spans:      ops.spans,
+		Audit:      ops.audit,
+		Reputation: ops.reputation,
 	})
 	if err != nil {
 		return nil, err
 	}
 	slog.Info("ops endpoint up", "url", "http://"+srv.Addr().String(),
-		"paths", "/metrics /healthz /readyz /debug/rounds /debug/spans /debug/audit /debug/pprof/")
+		"paths", "/metrics /healthz /readyz /debug/rounds /debug/spans /debug/audit /debug/reputation /debug/pprof/")
 	return srv, nil
 }
 
@@ -511,10 +540,11 @@ func runEngine(ctx context.Context, opts engineOptions) error {
 	var journalMu sync.Mutex
 	journalSeq := 0
 	ecfg := engine.Config{
-		Workers:   opts.workers,
-		NodeID:    opts.node,
-		SpanSinks: opts.spanSinks,
-		Store:     opts.store,
+		Workers:    opts.workers,
+		NodeID:     opts.node,
+		SpanSinks:  opts.spanSinks,
+		Store:      opts.store,
+		Reputation: opts.rep,
 		OnRound: func(r engine.RoundResult) {
 			logRound(r.Campaign, r.Round, platform.RoundResult{
 				Outcome:     r.Outcome,

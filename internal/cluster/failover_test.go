@@ -109,13 +109,14 @@ func TestClusterFailoverDifferential(t *testing.T) {
 	campB := pickCampaign(t, ring, "s2")
 
 	n1, err := StartNode(NodeConfig{
-		Name:      "n1",
-		Shard:     "s1",
-		StateDir:  t.TempDir(),
-		AgentAddr: "127.0.0.1:0",
-		RepAddr:   "127.0.0.1:0",
-		Campaigns: []engine.CampaignConfig{clusterCampaign(campA, 4)},
-		Logf:      t.Logf,
+		Name:       "n1",
+		Shard:      "s1",
+		StateDir:   t.TempDir(),
+		AgentAddr:  "127.0.0.1:0",
+		RepAddr:    "127.0.0.1:0",
+		Campaigns:  []engine.CampaignConfig{clusterCampaign(campA, 4)},
+		Reputation: true,
+		Logf:       t.Logf,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -124,11 +125,12 @@ func TestClusterFailoverDifferential(t *testing.T) {
 
 	standby := reserveAddr(t)
 	n2, err := StartNode(NodeConfig{
-		Name:      "n2",
-		Shard:     "s2",
-		StateDir:  t.TempDir(),
-		AgentAddr: "127.0.0.1:0",
-		Campaigns: []engine.CampaignConfig{clusterCampaign(campB, 2)},
+		Name:       "n2",
+		Shard:      "s2",
+		StateDir:   t.TempDir(),
+		AgentAddr:  "127.0.0.1:0",
+		Campaigns:  []engine.CampaignConfig{clusterCampaign(campB, 2)},
+		Reputation: true,
 		Follow: &FollowConfig{
 			Shard:     "s1",
 			LeaderRep: n1.RepAddr(),
@@ -195,6 +197,25 @@ func TestClusterFailoverDifferential(t *testing.T) {
 	}
 	preJournal := journalBytes(t, platform.JournalFromState(preState))
 
+	// The leader's learned reliability state must be durable in the WAL —
+	// and therefore already replicated to the quiesced follower — before the
+	// kill: the live store and the last checkpoint event must agree exactly.
+	if preState.Reputation == nil {
+		t.Fatal("pre-kill leader WAL has no reputation checkpoint")
+	}
+	preRep, err := json.Marshal(*preState.Reputation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRep, err := json.Marshal(n1.Reputation("s1").Checkpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(preRep, liveRep) {
+		t.Fatalf("leader live reputation state diverged from its durable checkpoint:\nlive    %s\ndurable %s",
+			liveRep, preRep)
+	}
+
 	n1.Halt()
 
 	// Agents for round 3 ride the failover: the router answers shard-moved
@@ -258,6 +279,42 @@ func TestClusterFailoverDifferential(t *testing.T) {
 	if !bytes.Equal(preJournal, postJournal) {
 		t.Errorf("journal bytes diverged across failover:\n--- leader ---\n%s--- promoted ---\n%s",
 			preJournal, postJournal)
+	}
+
+	// Reputation continuity across promotion: the promoted engine was seeded
+	// from the replicated checkpoint, so every user the dead leader had
+	// evidence on must carry identical state on the promoted node (rounds 3–4
+	// use fresh users and cannot have touched them), and the promoted live
+	// store must agree byte-for-byte with its own durable checkpoint.
+	if postState.Reputation == nil {
+		t.Fatal("promoted WAL has no reputation checkpoint")
+	}
+	postRep, err := json.Marshal(*postState.Reputation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promotedLive, err := json.Marshal(n2.Reputation("s1").Checkpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(postRep, promotedLive) {
+		t.Errorf("promoted live reputation state diverged from its durable checkpoint:\nlive    %s\ndurable %s",
+			promotedLive, postRep)
+	}
+	postByUser := map[int]int{}
+	for i, u := range postState.Reputation.Users {
+		postByUser[u.User] = i
+	}
+	for _, pre := range preState.Reputation.Users {
+		i, ok := postByUser[pre.User]
+		if !ok {
+			t.Errorf("user %d's reliability evidence lost across failover", pre.User)
+			continue
+		}
+		if got := postState.Reputation.Users[i]; got != pre {
+			t.Errorf("user %d's reliability evidence changed across failover: pre %+v post %+v",
+				pre.User, pre, got)
+		}
 	}
 
 	// The replica applied at least everything the leader had settled.

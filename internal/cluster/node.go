@@ -14,6 +14,7 @@ import (
 	"crowdsense/internal/obs/audit"
 	"crowdsense/internal/obs/span"
 	"crowdsense/internal/platform"
+	"crowdsense/internal/reputation"
 	"crowdsense/internal/store"
 )
 
@@ -80,6 +81,16 @@ type NodeConfig struct {
 	// AuditSLO passes latency-SLO targets to each shard auditor (nil means
 	// invariant checking only).
 	AuditSLO *audit.SLOConfig
+	// Reputation, when true, runs a reputation store per led shard: the
+	// shard's engine feeds it every event, discounts declared PoS by learned
+	// reliability at winner determination, and checkpoints the state into
+	// the shard WAL — so a promoted follower resumes with the exact r̂ state
+	// the dead leader had at its last settled round. A shard gained by
+	// promotion gets its own store, seeded from the replicated checkpoint.
+	Reputation bool
+	// ReputationPrior is the prior pseudo-strength for each shard store
+	// (0 = reputation.DefaultPriorStrength).
+	ReputationPrior float64
 	// Logf, if set, receives one-line node lifecycle logs.
 	Logf func(format string, args ...any)
 }
@@ -105,6 +116,7 @@ type shardState struct {
 	eng  *engine.Engine
 	wal  *store.WAL
 	aud  *audit.Auditor
+	rep  *reputation.Store
 }
 
 // Node is one platformd process's cluster presence: leader of cfg.Shard,
@@ -141,13 +153,13 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		cancel: cancel,
 		shards: make(map[string]*shardState),
 	}
-	eng, wal, aud, err := n.startLeader(cfg.Shard, cfg.StateDir, cfg.AgentAddr, cfg.Campaigns)
+	eng, wal, aud, rep, err := n.startLeader(cfg.Shard, cfg.StateDir, cfg.AgentAddr, cfg.Campaigns)
 	if err != nil {
 		cancel()
 		return nil, err
 	}
 	n.mu.Lock()
-	n.shards[cfg.Shard] = &shardState{role: RoleLeader, eng: eng, wal: wal, aud: aud}
+	n.shards[cfg.Shard] = &shardState{role: RoleLeader, eng: eng, wal: wal, aud: aud, rep: rep}
 	n.mu.Unlock()
 	if cfg.RepAddr != "" {
 		rep, err := newRepServer(n, cfg.Shard, cfg.RepAddr, wal)
@@ -178,10 +190,13 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 // on addr, and runs it. Fresh state registers the configured campaigns;
 // recovered state resumes them. With NodeConfig.Audit set, a per-shard
 // auditor tails the WAL's durable stream and its status gates readiness.
-func (n *Node) startLeader(shard, dir, addr string, campaigns []engine.CampaignConfig) (*engine.Engine, *store.WAL, *audit.Auditor, error) {
+// With NodeConfig.Reputation set, a per-shard reputation store rides the
+// engine's emit path and is seeded from the recovered state's last durable
+// checkpoint.
+func (n *Node) startLeader(shard, dir, addr string, campaigns []engine.CampaignConfig) (*engine.Engine, *store.WAL, *audit.Auditor, *reputation.Store, error) {
 	rec, err := platform.Recover(dir, n.sinks()...)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	ecfg := n.cfg.Engine
 	ecfg.NodeID = n.cfg.Name
@@ -200,6 +215,19 @@ func (n *Node) startLeader(shard, dir, addr string, campaigns []engine.CampaignC
 		ecfg.SpanSinks = append(ecfg.SpanSinks, aud)
 		ecfg.AuditStatus = aud.Status
 	}
+	var rep *reputation.Store
+	if n.cfg.Reputation {
+		rep, err = reputation.NewStore(reputation.StoreConfig{
+			PriorStrength: n.cfg.ReputationPrior, Shard: shard})
+		if err != nil {
+			rec.WAL.Close()
+			return nil, nil, nil, nil, fmt.Errorf("cluster: shard %s reputation: %w", shard, err)
+		}
+		// The engine feeds the store on the emit path and seeds it from
+		// rec.State.Reputation inside Restore, so a promoted follower picks
+		// up the replicated checkpoint.
+		ecfg.Reputation = rep
+	}
 	eng := engine.New(ecfg)
 	if aud != nil {
 		aud.SetSpans(eng.SpanTracer())
@@ -207,7 +235,7 @@ func (n *Node) startLeader(shard, dir, addr string, campaigns []engine.CampaignC
 	if rec.HasCampaigns() {
 		if err := eng.Restore(rec.State); err != nil {
 			rec.WAL.Close()
-			return nil, nil, nil, fmt.Errorf("cluster: restore shard %s: %w", shard, err)
+			return nil, nil, nil, nil, fmt.Errorf("cluster: restore shard %s: %w", shard, err)
 		}
 		n.logf("node %s: shard %s restored (%d campaigns, %d events replayed)",
 			n.cfg.Name, shard, len(rec.State.Order), rec.Info.ReplayedEvents)
@@ -215,13 +243,13 @@ func (n *Node) startLeader(shard, dir, addr string, campaigns []engine.CampaignC
 		for _, cc := range campaigns {
 			if err := eng.AddCampaign(cc); err != nil {
 				rec.WAL.Close()
-				return nil, nil, nil, fmt.Errorf("cluster: register %s on shard %s: %w", cc.ID, shard, err)
+				return nil, nil, nil, nil, fmt.Errorf("cluster: register %s on shard %s: %w", cc.ID, shard, err)
 			}
 		}
 	}
 	if err := eng.Listen(addr); err != nil {
 		rec.WAL.Close()
-		return nil, nil, nil, fmt.Errorf("cluster: shard %s: %w", shard, err)
+		return nil, nil, nil, nil, fmt.Errorf("cluster: shard %s: %w", shard, err)
 	}
 	if aud != nil {
 		from := rec.WAL.LastSeq()
@@ -240,7 +268,7 @@ func (n *Node) startLeader(shard, dir, addr string, campaigns []engine.CampaignC
 			n.logf("node %s: shard %s engine: %v", n.cfg.Name, shard, err)
 		}
 	}()
-	return eng, rec.WAL, aud, nil
+	return eng, rec.WAL, aud, rep, nil
 }
 
 // AgentAddr returns the bound agent address for a shard this node currently
@@ -362,9 +390,58 @@ func (n *Node) AuditReports() []obs.AuditReport {
 	return reports
 }
 
-// setRole flips one shard's role (and engine/wal/auditor when becoming
-// leader).
-func (n *Node) setRole(shard, role string, eng *engine.Engine, wal *store.WAL, aud *audit.Auditor) {
+// Reputation returns the live reputation store for a shard this node leads,
+// nil otherwise (or when the loop is disabled).
+func (n *Node) Reputation(shard string) *reputation.Store {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s := n.shards[shard]; s != nil && s.role == RoleLeader {
+		return s.rep
+	}
+	return nil
+}
+
+// ReputationReports collects the led shards' /debug/reputation payloads,
+// sorted by shard. Empty (not nil) when the loop is off.
+func (n *Node) ReputationReports() []obs.ReputationReport {
+	n.mu.Lock()
+	var reps []*reputation.Store
+	for _, s := range n.shards {
+		if s.role == RoleLeader && s.rep != nil {
+			reps = append(reps, s.rep)
+		}
+	}
+	n.mu.Unlock()
+	reports := make([]obs.ReputationReport, 0, len(reps))
+	for _, r := range reps {
+		reports = append(reports, r.Report())
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Shard < reports[j].Shard })
+	return reports
+}
+
+// ReputationFamilies renders every led shard's reputation store as
+// shard-labelled metric families.
+func (n *Node) ReputationFamilies() []obs.Family {
+	n.mu.Lock()
+	var reps []*reputation.Store
+	for _, s := range n.shards {
+		if s.role == RoleLeader && s.rep != nil {
+			reps = append(reps, s.rep)
+		}
+	}
+	n.mu.Unlock()
+	var fams []obs.Family
+	for _, r := range reps {
+		fams = append(fams, r.Families()...)
+	}
+	return fams
+}
+
+// setRole flips one shard's role (and engine/wal/auditor/reputation when
+// becoming leader).
+func (n *Node) setRole(shard, role string, eng *engine.Engine, wal *store.WAL,
+	aud *audit.Auditor, rep *reputation.Store) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	s := n.shards[shard]
@@ -382,6 +459,9 @@ func (n *Node) setRole(shard, role string, eng *engine.Engine, wal *store.WAL, a
 	if aud != nil {
 		s.aud = aud
 	}
+	if rep != nil {
+		s.rep = rep
+	}
 }
 
 // promote turns the follower of shard f into its leader: replay the replica,
@@ -390,19 +470,19 @@ func (n *Node) setRole(shard, role string, eng *engine.Engine, wal *store.WAL, a
 func (n *Node) promote(f FollowConfig, replicaSeq uint64) error {
 	started := time.Now()
 	n.stats.failovers.Add(1)
-	n.setRole(f.Shard, RoleRecovering, nil, nil, nil)
+	n.setRole(f.Shard, RoleRecovering, nil, nil, nil, nil)
 	sp := n.spans.Start(span.NameFailover,
 		span.Str("shard", f.Shard),
 		span.Str("node", n.cfg.Name),
 		span.Int("replica_seq", int64(replicaSeq)),
 	)
-	eng, wal, aud, err := n.startLeader(f.Shard, f.StateDir, f.AgentAddr, nil)
+	eng, wal, aud, rep, err := n.startLeader(f.Shard, f.StateDir, f.AgentAddr, nil)
 	if err != nil {
 		sp.EndWith(span.Str("error", err.Error()))
-		n.setRole(f.Shard, RoleFollower, nil, nil, nil)
+		n.setRole(f.Shard, RoleFollower, nil, nil, nil, nil)
 		return err
 	}
-	n.setRole(f.Shard, RoleLeader, eng, wal, aud)
+	n.setRole(f.Shard, RoleLeader, eng, wal, aud, rep)
 	if f.RepAddr != "" {
 		rep, err := newRepServer(n, f.Shard, f.RepAddr, wal)
 		if err != nil {

@@ -268,7 +268,7 @@ func (c *campaign) startComputeLocked(rd *round) {
 func (c *campaign) runWinnerDetermination(rd *round) {
 	wd := rd.phase.Child(span.NameWD, span.Int("bids", int64(len(rd.bids))))
 	start := time.Now()
-	outcome, err := computeOutcome(c.cfg, rd.bids, wd)
+	outcome, err := computeOutcome(c.cfg, rd.bids, wd, c.eng.cfg.adjuster())
 	elapsed := time.Since(start)
 	switch {
 	case err != nil:
@@ -301,17 +301,19 @@ func (c *campaign) runWinnerDetermination(rd *round) {
 
 // computeOutcome runs the paper's mechanism on the collected bids. The
 // mechanism emits its allocation and critical-bid spans under wd (a nil wd
-// disables them).
-func computeOutcome(cc CampaignConfig, bids []auction.Bid, wd *span.Span) (*mechanism.Outcome, error) {
+// disables them). A non-nil adj discounts declared PoS for winner
+// determination only; payments stay on the declared contract.
+func computeOutcome(cc CampaignConfig, bids []auction.Bid, wd *span.Span,
+	adj mechanism.PoSAdjuster) (*mechanism.Outcome, error) {
 	a, err := auction.New(cc.Tasks, bids)
 	if err != nil {
 		return nil, err
 	}
 	var m mechanism.Mechanism
 	if a.SingleTask() {
-		m = &mechanism.SingleTask{Epsilon: cc.Epsilon, Alpha: cc.Alpha, Trace: wd}
+		m = &mechanism.SingleTask{Epsilon: cc.Epsilon, Alpha: cc.Alpha, Trace: wd, Adjuster: adj}
 	} else {
-		m = &mechanism.MultiTask{Alpha: cc.Alpha, Trace: wd}
+		m = &mechanism.MultiTask{Alpha: cc.Alpha, Trace: wd, Adjuster: adj}
 	}
 	return m.Run(a)
 }
@@ -392,6 +394,7 @@ func (c *campaign) finalizeLocked(rd *round) (RoundResult, bool) {
 	c.eng.emitLocked(store.Event{Type: store.EventRoundSettled, Campaign: c.cfg.ID,
 		Round: rd.index + 1, Err: errString(rd.err),
 		RoundNanos: int64(result.RoundLatency), ComputeNanos: int64(result.ComputeLatency)})
+	c.eng.checkpointReputationLocked(c, rd)
 	if c.roundsLeft > 0 {
 		c.openRoundLocked()
 		return result, true

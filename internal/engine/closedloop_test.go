@@ -1,0 +1,197 @@
+package engine_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/engine"
+	"crowdsense/internal/mechanism"
+	"crowdsense/internal/obs/audit"
+	"crowdsense/internal/reputation"
+	"crowdsense/internal/stats"
+	"crowdsense/internal/store"
+)
+
+// mustReputation builds a reputation store or fails the test.
+func mustReputation(t *testing.T, prior float64) *reputation.Store {
+	t.Helper()
+	rep, err := reputation.NewStore(reputation.StoreConfig{PriorStrength: prior})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// checkpointJSON renders a store's reputation checkpoint as canonical bytes
+// for byte-identity assertions (Checkpoint sorts users by ID).
+func checkpointJSON(t *testing.T, rep *reputation.Store) string {
+	t.Helper()
+	data, err := json.Marshal(rep.Checkpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestClosedLoopPricesOutOverClaimer is the PR's end-to-end acceptance test:
+// a strategic agent declaring PoS 0.9 with a true PoS of 0.5 must lose at
+// least half its allocation share within 20 campaigns while truthful agents
+// keep winning, the live auditor must observe zero invariant violations (the
+// discounted winner determination never touches the declared contract), and
+// the learned reliability state must survive a WAL close → recover → Restore
+// cycle byte-identically.
+func TestClosedLoopPricesOutOverClaimer(t *testing.T) {
+	const (
+		campaigns = 20
+		rounds    = 2
+		truthful  = 8
+		liar      = auction.UserID(1)
+		declared  = 0.9
+		truePoS   = 0.5
+	)
+	task := auction.Task{ID: 1, Requirement: 0.8}
+
+	dir := t.TempDir()
+	wal, _, err := store.OpenWAL(store.WALConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud := audit.New(audit.Config{})
+	// PriorStrength 30 stretches the pricing-out over several campaigns so
+	// the early window genuinely shows the over-claim paying off first.
+	rep := mustReputation(t, 30)
+	e := engine.New(engine.Config{Store: store.Multi(wal, aud), Reputation: rep})
+
+	campaignID := func(c int) string { return "cl-" + string(rune('a'+c/10)) + string(rune('0'+c%10)) }
+	for c := 0; c < campaigns; c++ {
+		if err := e.AddCampaign(engine.CampaignConfig{
+			ID:              campaignID(c),
+			Tasks:           []auction.Task{task},
+			ExpectedBidders: truthful + 1,
+			Rounds:          rounds,
+			Alpha:           10,
+			Epsilon:         0.5,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The population mirrors crowdsim's liar mode: everyone's cost is drawn
+	// from one distribution (the liar's edge is the over-claim, not
+	// underbidding) and truthful users declare their true PoS with enough
+	// spread that truthful-only covers have slack over the requirement.
+	rng := stats.NewRand(1)
+	truth := map[auction.UserID]float64{liar: truePoS}
+	bids := []auction.Bid{auction.NewBid(liar, []auction.TaskID{task.ID},
+		stats.Uniform(rng, 9, 12), map[auction.TaskID]float64{task.ID: declared})}
+	for i := 0; i < truthful; i++ {
+		u := auction.UserID(2 + i)
+		p := stats.Uniform(rng, 0.45, 0.7)
+		truth[u] = p
+		bids = append(bids, auction.NewBid(u, []auction.TaskID{task.ID},
+			stats.Uniform(rng, 9, 12), map[auction.TaskID]float64{task.ID: p}))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- e.ServeLocal(ctx) }()
+	liarWins := make([]int, campaigns)
+	truthfulWins := make([]int, campaigns)
+	for c := 0; c < campaigns; c++ {
+		for round := 0; round < rounds; round++ {
+			var d *engine.DirectBatch
+			for {
+				d, err = e.SubmitBids(ctx, campaignID(c), bids)
+				if err != engine.ErrNotServing {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if err != nil {
+				t.Fatalf("campaign %d round %d: %v", c, round+1, err)
+			}
+			if err := d.Await(ctx); err != nil {
+				t.Fatalf("campaign %d round %d: %v", c, round+1, err)
+			}
+			settled := d.Settle(func(bid auction.Bid, _ mechanism.Award) bool {
+				return stats.Bernoulli(rng, truth[bid.User])
+			})
+			for u := range settled {
+				if u == liar {
+					liarWins[c]++
+				} else {
+					truthfulWins[c]++
+				}
+			}
+		}
+		t.Logf("campaign %d: r̂(liar)=%.3f adjusted=%.3f liarWins=%d truthfulWins=%d",
+			c, rep.Reliability(liar), rep.AdjustPoS(liar, task.ID, declared), liarWins[c], truthfulWins[c])
+	}
+	cancel()
+	<-served
+
+	// Allocation share: the over-claim must pay off early and be priced out
+	// by the end — late share at most half the early share.
+	window := campaigns / 4
+	share := func(wins []int, from, to int) float64 {
+		n := 0
+		for _, w := range wins[from:to] {
+			n += w
+		}
+		return float64(n) / float64((to-from)*rounds)
+	}
+	early := share(liarWins, 0, window)
+	late := share(liarWins, campaigns-window, campaigns)
+	if early < 0.5 {
+		t.Fatalf("liar early share %.2f — the over-claim never paid off, scenario is vacuous", early)
+	}
+	if late > early/2 {
+		t.Errorf("liar late share %.2f > half of early share %.2f — not priced out", late, early)
+	}
+	// Truthful agents stay stable: once the liar is out, they win the rounds.
+	for c := campaigns - window; c < campaigns; c++ {
+		if truthfulWins[c] == 0 {
+			t.Errorf("campaign %d had no truthful winners", c)
+		}
+	}
+
+	// The auditor watched every settled round on the same event stream the
+	// reputation store learned from: discounting winner determination must
+	// never have bent the declared contract's invariants.
+	status := aud.Status()
+	if want := uint64(campaigns * rounds); status.RoundsChecked != want {
+		t.Errorf("auditor checked %d rounds, want %d", status.RoundsChecked, want)
+	}
+	if status.Violations != 0 {
+		t.Errorf("auditor found %d invariant violations (last: %s), want 0",
+			status.Violations, status.LastViolation)
+	}
+
+	// Reliability state survives recovery byte-identically: reopen the WAL,
+	// restore into a fresh engine with a fresh store, compare checkpoints.
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal2, recovered, err := store.OpenWAL(store.WALConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	if recovered.Reputation == nil {
+		t.Fatal("recovered state has no reputation checkpoint")
+	}
+	rep2 := mustReputation(t, 30)
+	e2 := engine.New(engine.Config{Store: wal2, Reputation: rep2})
+	if err := e2.Restore(recovered); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got, want := checkpointJSON(t, rep2), checkpointJSON(t, rep); got != want {
+		t.Errorf("restored reputation state diverged:\nlive     %s\nrestored %s", want, got)
+	}
+	if got, want := rep2.Reliability(liar), rep.Reliability(liar); got != want {
+		t.Errorf("restored r̂(liar) = %v, want %v", got, want)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"crowdsense/internal/mechanism"
 	"crowdsense/internal/obs"
 	"crowdsense/internal/obs/span"
+	"crowdsense/internal/reputation"
 	"crowdsense/internal/store"
 	"crowdsense/internal/wire"
 )
@@ -96,6 +97,20 @@ type Config struct {
 	// true baseline; production engines should leave it false.
 	DisableObservability bool
 
+	// Reputation, if set, closes the learning loop: the engine feeds it
+	// every emitted event (before the durable store, so in-memory engines
+	// learn too), uses it as the winner-determination PoS adjuster when
+	// Adjuster is nil, and emits a durable reputation_checkpoint event after
+	// every settled round so recovery and failover resume with identical
+	// learned state. Observe runs under the engine lock; the store's own
+	// RWMutex is a leaf, so the ordering is safe.
+	Reputation *reputation.Store
+
+	// Adjuster, if set, overrides the PoS adjuster handed to each round's
+	// mechanism (see mechanism.PoSAdjuster). Nil falls back to Reputation;
+	// both nil runs winner determination on declared PoS unchanged.
+	Adjuster mechanism.PoSAdjuster
+
 	// AuditStatus, if set, supplies the live auditor's summary for the
 	// engine's Readiness report: degraded campaigns are flagged and the
 	// status rides along so /readyz can answer 503 on a violated invariant
@@ -125,6 +140,18 @@ func (c Config) queueDepth() int {
 		return c.QueueDepth
 	}
 	return 256
+}
+
+// adjuster resolves the PoS adjuster for winner determination: an explicit
+// Adjuster wins, else the reputation store, else none.
+func (c Config) adjuster() mechanism.PoSAdjuster {
+	if c.Adjuster != nil {
+		return c.Adjuster
+	}
+	if c.Reputation != nil {
+		return c.Reputation
+	}
+	return nil
 }
 
 func (c Config) connTimeout() time.Duration {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"crowdsense/internal/auction"
@@ -47,12 +48,42 @@ func configFromSpec(sp store.CampaignSpec) CampaignConfig {
 // surface it — the engine keeps serving, but the operator learns durability
 // is gone.
 func (e *Engine) emitLocked(ev store.Event) {
+	// The reputation store learns from the live event flow regardless of
+	// durability: it folds the same transitions the reducer would, so
+	// in-memory engines close the loop too. It ignores checkpoint events
+	// (it IS the checkpoint source) and never fails.
+	if e.cfg.Reputation != nil {
+		e.cfg.Reputation.Observe(ev)
+	}
 	if e.cfg.Store == nil || e.storeErr != nil {
 		return
 	}
 	if err := e.cfg.Store.Append(ev); err != nil {
 		e.storeErr = err
 	}
+}
+
+// checkpointReputationLocked snapshots the reputation store's learned state
+// into a durable reputation_checkpoint event right after a round settles —
+// the store has already folded the round's report_received/round_settled
+// events synchronously, so the checkpoint carries exactly the evidence the
+// next round's winner determination will discount with. Caller holds e.mu.
+func (e *Engine) checkpointReputationLocked(c *campaign, rd *round) {
+	if e.cfg.Reputation == nil {
+		return
+	}
+	sp := c.span.Child(span.NameReputationUpdate).Tag(c.cfg.ID, rd.index+1)
+	cp := e.cfg.Reputation.Checkpoint()
+	e.emitLocked(store.Event{Type: store.EventReputationCheckpoint, Campaign: c.cfg.ID,
+		Round: rd.index + 1, Reputation: &cp})
+	var observations int64
+	for _, u := range cp.Users {
+		observations += int64(u.Observations)
+	}
+	sp.EndWith(
+		span.Int("tracked_users", int64(len(cp.Users))),
+		span.Int("observations", observations),
+	)
 }
 
 // commitStore marks a round boundary on the store. Called outside the
@@ -104,6 +135,15 @@ func (e *Engine) Restore(st *store.State) error {
 	}
 	if st == nil || len(st.Order) == 0 {
 		return errors.New("engine: Restore from empty state")
+	}
+	if e.cfg.Reputation != nil && st.Reputation != nil {
+		// Resume the learning loop exactly where the log left it: the last
+		// durable checkpoint carries every user's evidence, so the restored
+		// engine's first winner determination discounts with the same r̂ the
+		// crashed engine would have used.
+		if err := e.cfg.Reputation.Restore(st.Reputation); err != nil {
+			return fmt.Errorf("engine: restore reputation: %w", err)
+		}
 	}
 	for _, id := range st.Order {
 		cs := st.Campaigns[id]

@@ -9,9 +9,31 @@ import (
 
 	"crowdsense/internal/auction"
 	"crowdsense/internal/mechanism"
+	"crowdsense/internal/reputation"
 	"crowdsense/internal/store"
 	"crowdsense/internal/wire"
 )
+
+// newRepStore builds a reputation store with default config or fails.
+func newRepStore(t *testing.T) *reputation.Store {
+	t.Helper()
+	rep, err := reputation.NewStore(reputation.StoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// repJSON is a store's learned state as canonical bytes: Checkpoint sorts
+// users by ID, so equal state always renders to equal bytes.
+func repJSON(t *testing.T, rep *reputation.Store) string {
+	t.Helper()
+	data, err := json.Marshal(rep.Checkpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
 
 // comparableRound is a RoundResult with everything auction-semantic and
 // nothing timing-dependent: the differential recovery test requires these to
@@ -129,7 +151,8 @@ func TestEngineCrashRecoveryDifferential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfgA := Config{ConnTimeout: 10 * time.Second, Store: walA}
+	repA := newRepStore(t)
+	cfgA := Config{ConnTimeout: 10 * time.Second, Store: walA, Reputation: repA}
 	openA := openRoundSignal(&cfgA)
 	eA := New(cfgA)
 	if err := eA.AddCampaign(cc); err != nil {
@@ -154,7 +177,7 @@ func TestEngineCrashRecoveryDifferential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfgB := Config{ConnTimeout: 10 * time.Second, Store: walB}
+	cfgB := Config{ConnTimeout: 10 * time.Second, Store: walB, Reputation: newRepStore(t)}
 	openB := openRoundSignal(&cfgB)
 	eB := New(cfgB)
 	if err := eB.AddCampaign(cc); err != nil {
@@ -216,8 +239,19 @@ func TestEngineCrashRecoveryDifferential(t *testing.T) {
 	if cs.Current == nil || cs.Current.Round != 2 || len(cs.Current.Bids) != 1 {
 		t.Fatalf("recovered in-flight round = %+v, want round 2 with the torn bid", cs.Current)
 	}
+	// The WAL checkpointed the learned reliability at the round-1 boundary;
+	// the torn round 2 (and its bid from user 99) contributed nothing.
+	if recovered.Reputation == nil {
+		t.Fatal("recovered state has no reputation checkpoint")
+	}
+	for _, u := range recovered.Reputation.Users {
+		if u.User == 99 {
+			t.Errorf("torn bid from user 99 leaked into the reputation checkpoint: %+v", u)
+		}
+	}
 
-	cfgB2 := Config{ConnTimeout: 10 * time.Second, Store: walB2}
+	repB2 := newRepStore(t)
+	cfgB2 := Config{ConnTimeout: 10 * time.Second, Store: walB2, Reputation: repB2}
 	openB2 := openRoundSignal(&cfgB2)
 	eB2 := New(cfgB2)
 	if err := eB2.Restore(recovered); err != nil {
@@ -244,6 +278,14 @@ func TestEngineCrashRecoveryDifferential(t *testing.T) {
 	if got := normalizeRounds(t, results); got != reference {
 		t.Errorf("recovered results diverged from uninterrupted run:\nuninterrupted %s\nrecovered     %s",
 			reference, got)
+	}
+
+	// The learned reliability state must match the uninterrupted run's byte
+	// for byte: the recovered store was seeded from the round-1 checkpoint
+	// and then folded rounds 2–3 exactly as the reference run did.
+	if got, want := repJSON(t, repB2), repJSON(t, repA); got != want {
+		t.Errorf("recovered reputation state diverged from uninterrupted run:\nuninterrupted %s\nrecovered     %s",
+			want, got)
 	}
 
 	// The torn bid must not appear anywhere in the final results.

@@ -31,7 +31,10 @@ func (e *Env) RunReputation() (*Result, error) {
 		taskID      = auction.TaskID(1)
 	)
 	rng := e.rng(108)
-	tracker := reputation.NewTracker(0)
+	tracker, err := reputation.NewTracker(0)
+	if err != nil {
+		return nil, err
+	}
 	m := &mechanism.SingleTask{Epsilon: 0.5, Alpha: mechanism.DefaultAlpha}
 
 	overClaimer := make([]bool, cohort)

@@ -42,6 +42,51 @@ var (
 // DefaultAlpha is the paper's default reward scaling factor (Table II).
 const DefaultAlpha = 10.0
 
+// PoSAdjuster rewrites declared per-task PoS values immediately before
+// winner determination — the hook the platform's reputation layer uses to
+// run the allocation on reliability-discounted declarations (r̂·p̂, capped)
+// while every payment still honors the declared contract: bid costs and
+// task sets pass through untouched, so social cost, the α reward gap,
+// individual rationality, and the budget bands platform.CheckRound audits
+// are all computed against the same declared costs as before.
+//
+// Implementations must return a probability; values that are NaN or outside
+// [0, 1) are clamped into range. Mechanisms run on a worker pool, so
+// AdjustPoS must be safe for concurrent use.
+type PoSAdjuster interface {
+	AdjustPoS(user auction.UserID, task auction.TaskID, declared float64) float64
+}
+
+// adjustAuction rebuilds the auction with every bid's PoS map passed
+// through adj. A nil adjuster returns the auction unchanged. Costs, task
+// sets, and bid order are preserved, so Outcome.Selected / Award.BidIndex
+// keep indexing the caller's bid slice.
+func adjustAuction(a *auction.Auction, adj PoSAdjuster) (*auction.Auction, error) {
+	if adj == nil {
+		return a, nil
+	}
+	bids := make([]auction.Bid, len(a.Bids))
+	for i, bid := range a.Bids {
+		pos := make(map[auction.TaskID]float64, len(bid.PoS))
+		for id, p := range bid.PoS {
+			q := adj.AdjustPoS(bid.User, id, p)
+			switch {
+			case q != q || q < 0: // NaN or negative: no usable adjustment
+				q = 0
+			case q >= 1:
+				q = 1 - 1e-12
+			}
+			pos[id] = q
+		}
+		bids[i] = auction.NewBid(bid.User, bid.Tasks, bid.Cost, pos)
+	}
+	adjusted, err := auction.New(a.Tasks, bids)
+	if err != nil {
+		return nil, fmt.Errorf("mechanism: adjusted auction invalid: %w", err)
+	}
+	return adjusted, nil
+}
+
 // Award is a winner's reward contract under the execution-contingent
 // scheme.
 type Award struct {

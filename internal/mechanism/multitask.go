@@ -53,6 +53,10 @@ type MultiTask struct {
 	// wd.allocate, wd.critical_bid, and per-rerun setcover.greedy spans. Nil
 	// disables tracing at zero cost.
 	Trace *span.Span
+	// Adjuster, when non-nil, rewrites declared PoS before winner
+	// determination (see PoSAdjuster); costs and payments stay on the
+	// declared contract.
+	Adjuster PoSAdjuster
 
 	// useReference routes every cover through the retained seed
 	// implementation (setcover.GreedyReference). Differential tests and
@@ -87,6 +91,9 @@ func (m *MultiTask) solveCover(sp *span.Span, a *auction.Auction) (setcover.Solu
 func (m *MultiTask) Run(a *auction.Auction) (*Outcome, error) {
 	alpha, err := requireAlpha(m.Alpha)
 	if err != nil {
+		return nil, err
+	}
+	if a, err = adjustAuction(a, m.Adjuster); err != nil {
 		return nil, err
 	}
 	allocSpan := m.Trace.Child(span.NameAllocate,

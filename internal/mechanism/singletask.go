@@ -39,6 +39,10 @@ type SingleTask struct {
 	// wd.critical_bid, and per-probe knapsack.solve spans. Nil disables
 	// tracing at zero cost.
 	Trace *span.Span
+	// Adjuster, when non-nil, rewrites declared PoS before winner
+	// determination (see PoSAdjuster); costs and payments stay on the
+	// declared contract.
+	Adjuster PoSAdjuster
 
 	// useReference routes every solve through the retained seed
 	// implementation (knapsack.SolveFPTASReference, with per-probe instance
@@ -73,6 +77,9 @@ func (m *SingleTask) parallelism() int {
 func (m *SingleTask) Run(a *auction.Auction) (*Outcome, error) {
 	alpha, err := requireAlpha(m.Alpha)
 	if err != nil {
+		return nil, err
+	}
+	if a, err = adjustAuction(a, m.Adjuster); err != nil {
 		return nil, err
 	}
 	in, taskID, err := singleTaskInstance(a)

@@ -1,0 +1,25 @@
+package obs
+
+// ReputationUserStatus is one user's learned-reliability line in the
+// /debug/reputation report.
+type ReputationUserStatus struct {
+	User         int     `json:"user"`
+	Reliability  float64 `json:"reliability"`
+	Observations int     `json:"observations"`
+	Successes    float64 `json:"successes"`
+	DeclaredMass float64 `json:"declared_mass"`
+}
+
+// ReputationReport is the /debug/reputation payload: the closed reputation
+// loop's learned state. Users are listed least reliable first (the
+// operator's watch list) and may be bounded by the producer; TrackedUsers is
+// the unbounded count. Shard appears only on cluster nodes.
+type ReputationReport struct {
+	Shard           string                 `json:"shard,omitempty"`
+	Prior           float64                `json:"prior"`
+	TrackedUsers    int                    `json:"tracked_users"`
+	Observations    uint64                 `json:"observations"`
+	RoundsCommitted uint64                 `json:"rounds_committed"`
+	SuspectUsers    int                    `json:"suspect_users"`
+	Users           []ReputationUserStatus `json:"users"`
+}

@@ -118,6 +118,10 @@ type Options struct {
 	// auditor (single-process deployments have exactly one; cluster nodes
 	// one per led shard).
 	Audit func() []AuditReport
+	// Reputation supplies the learned-reliability reports for
+	// /debug/reputation — one per reputation store (single-process
+	// deployments have exactly one; cluster nodes one per led shard).
+	Reputation func() []ReputationReport
 }
 
 // NewMux assembles the ops endpoints on a fresh ServeMux:
@@ -128,6 +132,7 @@ type Options struct {
 //	/debug/rounds  JSON of the recent round trace (?n= bounds the count)
 //	/debug/spans   JSON of the recent lifecycle spans (?n= bounds the count)
 //	/debug/audit   JSON live-audit reports (invariants + SLO burn rates)
+//	/debug/reputation  JSON learned-reliability reports (the closed loop's state)
 //	/debug/pprof/  the standard net/http/pprof handlers
 //
 // Liveness and readiness are deliberately split: a saturated bid queue means
@@ -205,6 +210,16 @@ func NewMux(opts Options) *http.ServeMux {
 			reports := opts.Audit()
 			if reports == nil {
 				reports = []AuditReport{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(reports)
+		})
+	}
+	if opts.Reputation != nil {
+		mux.HandleFunc("/debug/reputation", func(w http.ResponseWriter, r *http.Request) {
+			reports := opts.Reputation()
+			if reports == nil {
+				reports = []ReputationReport{}
 			}
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(reports)

@@ -61,6 +61,10 @@ const (
 	// NameAuditViolation marks one mechanism-invariant violation found by
 	// the live auditor (zero-duration event span).
 	NameAuditViolation = "audit.violation"
+	// NameReputationUpdate covers one post-settlement reputation commit +
+	// checkpoint: the round's execution reports folded into learned
+	// reliability and snapshotted into the log.
+	NameReputationUpdate = "reputation.update"
 	// NameSLOBreach marks one latency-SLO burn-rate breach rising edge
 	// (zero-duration event span).
 	NameSLOBreach = "slo.breach"

@@ -152,7 +152,8 @@ type HopStat struct {
 // hopLegs maps pipeline legs to the span names that measure them. Order is
 // the path a bid travels: client dial/submit, router splice, the server-side
 // admit window the client waits through, winner determination, settlement,
-// and finally replication of the round's events to followers.
+// the post-settlement reputation commit + checkpoint, and finally
+// replication of the round's events to followers.
 var hopLegs = []struct{ hop, name string }{
 	{"agent-dial", span.NameAgentDial},
 	{"agent-submit", span.NameAgentSubmit},
@@ -161,6 +162,7 @@ var hopLegs = []struct{ hop, name string }{
 	{"agent-queue", span.NameAgentAward},
 	{"wd", span.NameWD},
 	{"settle", span.NamePhaseSettling},
+	{"reputation-update", span.NameReputationUpdate},
 	{"replication-lag", span.NameRepApply},
 }
 

@@ -10,6 +10,7 @@ import (
 	"crowdsense/internal/mechanism"
 	"crowdsense/internal/obs"
 	"crowdsense/internal/obs/span"
+	"crowdsense/internal/reputation"
 	"crowdsense/internal/store"
 )
 
@@ -46,6 +47,12 @@ type RoundsOptions struct {
 	// engine's readiness report; see engine.Config.AuditStatus.
 	AuditStatus func() *obs.AuditStatus
 
+	// Reputation, if set, closes the learning loop: the engine feeds the
+	// store every event, discounts declared PoS by learned reliability at
+	// winner determination, and checkpoints the state into the event log;
+	// see engine.Config.Reputation.
+	Reputation *reputation.Store
+
 	// Restore, if set, resumes the campaigns recovered from a WAL instead
 	// of registering a fresh one: cfg's task/bidder fields and Rounds are
 	// ignored (the recovered specs govern), and each unfinished campaign
@@ -78,6 +85,7 @@ func RunRounds(ctx context.Context, cfg Config, opts RoundsOptions) ([]RoundResu
 		Store:       opts.Store,
 		SpanSinks:   opts.SpanSinks,
 		AuditStatus: opts.AuditStatus,
+		Reputation:  opts.Reputation,
 		OnRoundOpen: func(string, int) {
 			if opts.OnReady != nil {
 				opts.OnReady(addr)

@@ -12,10 +12,18 @@
 // (declarations trusted until evidence says otherwise). The platform can
 // then discount future declarations by r̂ before running the auction,
 // restoring coverage against systematic over-claimers.
+//
+// Two consumers exist: Tracker is the original single-goroutine estimator
+// used by the offline experiment harnesses, and Store (store.go) is the
+// live, concurrency-safe subsystem that folds the engine's event stream,
+// checkpoints itself into the WAL, and discounts declarations at winner
+// determination through the mechanism.PoSAdjuster hook.
 package reputation
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"crowdsense/internal/auction"
@@ -29,9 +37,40 @@ const DefaultPriorStrength = 3.0
 // discounted PoS above the declaration by more than 20%.
 const maxReliability = 1.2
 
+// Typed validation errors, so callers can distinguish bad evidence from bad
+// configuration without string matching.
+var (
+	// ErrBadPoS rejects a declared PoS that is NaN or outside (0, 1): a
+	// 0-probability declaration carries no evidence and a certain one is
+	// outside the paper's model (auction bids already exclude PoS = 1).
+	ErrBadPoS = errors.New("reputation: declared PoS outside (0, 1)")
+	// ErrBadPrior rejects a NaN or negative prior pseudo-strength.
+	ErrBadPrior = errors.New("reputation: prior strength must be non-negative")
+)
+
+// checkPrior validates a prior pseudo-strength, resolving 0 to the default.
+func checkPrior(priorStrength float64) (float64, error) {
+	if math.IsNaN(priorStrength) || priorStrength < 0 {
+		return 0, fmt.Errorf("%w: got %g", ErrBadPrior, priorStrength)
+	}
+	if priorStrength == 0 {
+		return DefaultPriorStrength, nil
+	}
+	return priorStrength, nil
+}
+
+// checkDeclared validates one declared EC-trigger PoS observation.
+func checkDeclared(declaredPoS float64) error {
+	if math.IsNaN(declaredPoS) || declaredPoS <= 0 || declaredPoS >= 1 {
+		return fmt.Errorf("%w: got %g", ErrBadPoS, declaredPoS)
+	}
+	return nil
+}
+
 // Tracker accumulates execution evidence per user. The zero value is not
 // usable; construct with NewTracker. Tracker is not safe for concurrent
-// use; callers serialize (the platform observes outcomes between rounds).
+// use; callers serialize (the experiment harnesses observe outcomes between
+// rounds). The live platform uses Store instead.
 type Tracker struct {
 	prior float64
 	users map[auction.UserID]*evidence
@@ -43,48 +82,59 @@ type evidence struct {
 	observations int
 }
 
-// NewTracker creates a tracker; a non-positive priorStrength uses the
-// default.
-func NewTracker(priorStrength float64) *Tracker {
-	if priorStrength <= 0 {
-		priorStrength = DefaultPriorStrength
+// NewTracker creates a tracker; a zero priorStrength uses the default, a
+// negative or NaN one is rejected with ErrBadPrior.
+func NewTracker(priorStrength float64) (*Tracker, error) {
+	prior, err := checkPrior(priorStrength)
+	if err != nil {
+		return nil, err
 	}
-	return &Tracker{prior: priorStrength, users: make(map[auction.UserID]*evidence)}
+	return &Tracker{prior: prior, users: make(map[auction.UserID]*evidence)}, nil
 }
 
 // Observe records one round's outcome for a user: her declared success
 // probability for the EC trigger (the task's PoS in the single-task
 // setting; the combined any-task PoS in the multi-task setting) and whether
-// the trigger fired. Declarations outside (0, 1) are rejected.
+// the trigger fired. Declarations that are NaN or outside (0, 1) are
+// rejected with ErrBadPoS.
 func (t *Tracker) Observe(user auction.UserID, declaredPoS float64, success bool) error {
-	if declaredPoS <= 0 || declaredPoS >= 1 {
-		return fmt.Errorf("reputation: declared PoS %g outside (0, 1)", declaredPoS)
+	if err := checkDeclared(declaredPoS); err != nil {
+		return err
 	}
 	ev := t.users[user]
 	if ev == nil {
 		ev = &evidence{}
 		t.users[user] = ev
 	}
+	ev.observe(declaredPoS, success)
+	return nil
+}
+
+func (ev *evidence) observe(declaredPoS float64, success bool) {
 	if success {
 		ev.successes++
 	}
 	ev.declaredMass += declaredPoS
 	ev.observations++
-	return nil
+}
+
+// reliability is the shared estimator: (successes + prior)/(mass + prior),
+// capped at maxReliability.
+func (ev *evidence) reliability(prior float64) float64 {
+	if ev == nil {
+		return 1
+	}
+	r := (ev.successes + prior) / (ev.declaredMass + prior)
+	if r > maxReliability {
+		return maxReliability
+	}
+	return r
 }
 
 // Reliability returns the smoothed estimate r̂ for the user, capped at
 // maxReliability. Unknown users get exactly 1 (declarations trusted).
 func (t *Tracker) Reliability(user auction.UserID) float64 {
-	ev := t.users[user]
-	if ev == nil {
-		return 1
-	}
-	r := (ev.successes + t.prior) / (ev.declaredMass + t.prior)
-	if r > maxReliability {
-		return maxReliability
-	}
-	return r
+	return t.users[user].reliability(t.prior)
 }
 
 // Observations reports how many outcomes have been recorded for the user.
@@ -95,18 +145,23 @@ func (t *Tracker) Observations(user auction.UserID) int {
 	return 0
 }
 
+// discount clamps declaredPoS·r into the valid allocation range [0, 1).
+func discount(declaredPoS, r float64) float64 {
+	p := declaredPoS * r
+	switch {
+	case math.IsNaN(p) || p < 0:
+		return 0
+	case p >= 1:
+		return 1 - 1e-12
+	}
+	return p
+}
+
 // Discount scales a declared PoS by the user's estimated reliability,
 // clamped into [0, 1): the value the platform should feed the allocation
 // instead of the raw declaration.
 func (t *Tracker) Discount(user auction.UserID, declaredPoS float64) float64 {
-	p := declaredPoS * t.Reliability(user)
-	if p < 0 {
-		return 0
-	}
-	if p >= 1 {
-		return 1 - 1e-12
-	}
-	return p
+	return discount(declaredPoS, t.Reliability(user))
 }
 
 // DiscountBid rewrites a bid's PoS map through Discount, producing the
@@ -119,16 +174,21 @@ func (t *Tracker) DiscountBid(bid auction.Bid) auction.Bid {
 	return auction.NewBid(bid.User, bid.Tasks, bid.Cost, pos)
 }
 
-// Snapshot lists every tracked user with her estimate, sorted by
-// reliability ascending (worst offenders first) — the operator's watch
-// list.
+// AdjustPoS implements the mechanism.PoSAdjuster hook: winner determination
+// sees declared PoS discounted by r̂.
+func (t *Tracker) AdjustPoS(user auction.UserID, _ auction.TaskID, declared float64) float64 {
+	return t.Discount(user, declared)
+}
+
+// UserReliability is one tracked user's estimate in a Snapshot.
 type UserReliability struct {
 	User         auction.UserID
 	Reliability  float64
 	Observations int
 }
 
-// Snapshot returns the tracked users, least reliable first.
+// Snapshot returns the tracked users, least reliable first (the operator's
+// watch list), ties broken by user ID.
 func (t *Tracker) Snapshot() []UserReliability {
 	out := make([]UserReliability, 0, len(t.users))
 	for user := range t.users {
@@ -138,11 +198,15 @@ func (t *Tracker) Snapshot() []UserReliability {
 			Observations: t.Observations(user),
 		})
 	}
+	sortWorstFirst(out)
+	return out
+}
+
+func sortWorstFirst(out []UserReliability) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Reliability != out[j].Reliability {
 			return out[i].Reliability < out[j].Reliability
 		}
 		return out[i].User < out[j].User
 	})
-	return out
 }

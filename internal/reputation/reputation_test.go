@@ -1,6 +1,7 @@
 package reputation
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -8,12 +9,40 @@ import (
 	"crowdsense/internal/stats"
 )
 
+// mustTracker builds a tracker or fails the test.
+func mustTracker(t *testing.T, priorStrength float64) *Tracker {
+	t.Helper()
+	tr, err := NewTracker(priorStrength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
 func TestObserveValidation(t *testing.T) {
-	tr := NewTracker(0)
-	for _, p := range []float64{0, 1, -0.2, 1.4} {
-		if err := tr.Observe(1, p, true); err == nil {
-			t.Errorf("declared PoS %g should be rejected", p)
-		}
+	tr := mustTracker(t, 0)
+	cases := []struct {
+		name string
+		pos  float64
+	}{
+		{"zero", 0},
+		{"one", 1},
+		{"negative", -0.2},
+		{"above one", 1.4},
+		{"NaN", math.NaN()},
+		{"+Inf", math.Inf(1)},
+		{"-Inf", math.Inf(-1)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := tr.Observe(1, c.pos, true)
+			if err == nil {
+				t.Fatalf("declared PoS %g should be rejected", c.pos)
+			}
+			if !errors.Is(err, ErrBadPoS) {
+				t.Errorf("error %v is not ErrBadPoS", err)
+			}
+		})
 	}
 	if err := tr.Observe(1, 0.5, true); err != nil {
 		t.Fatal(err)
@@ -23,8 +52,45 @@ func TestObserveValidation(t *testing.T) {
 	}
 }
 
+func TestNewTrackerValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		prior float64
+		bad   bool
+	}{
+		{"default", 0, false},
+		{"weak", 0.5, false},
+		{"strong", 50, false},
+		{"negative", -1, true},
+		{"NaN", math.NaN(), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr, err := NewTracker(c.prior)
+			if c.bad {
+				if err == nil {
+					t.Fatalf("prior %g should be rejected", c.prior)
+				}
+				if !errors.Is(err, ErrBadPrior) {
+					t.Errorf("error %v is not ErrBadPrior", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.prior <= 0 {
+				t.Errorf("resolved prior = %g, want positive", tr.prior)
+			}
+		})
+	}
+	if tr := mustTracker(t, 0); tr.prior != DefaultPriorStrength {
+		t.Errorf("zero prior resolved to %g, want default %g", tr.prior, DefaultPriorStrength)
+	}
+}
+
 func TestUnknownUserTrusted(t *testing.T) {
-	tr := NewTracker(0)
+	tr := mustTracker(t, 0)
 	if r := tr.Reliability(42); r != 1 {
 		t.Errorf("unknown reliability = %g, want 1", r)
 	}
@@ -48,7 +114,7 @@ func TestEstimatorConverges(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			tr := NewTracker(0)
+			tr := mustTracker(t, 0)
 			const rounds = 3000
 			for i := 0; i < rounds; i++ {
 				declared := stats.Uniform(rng, 0.2, 0.9)
@@ -65,7 +131,7 @@ func TestEstimatorConverges(t *testing.T) {
 }
 
 func TestReliabilityCapped(t *testing.T) {
-	tr := NewTracker(1)
+	tr := mustTracker(t, 1)
 	// A user who always succeeds despite declaring 0.1: raw estimate would
 	// blow past the cap.
 	for i := 0; i < 500; i++ {
@@ -79,7 +145,7 @@ func TestReliabilityCapped(t *testing.T) {
 }
 
 func TestDiscountClamps(t *testing.T) {
-	tr := NewTracker(1)
+	tr := mustTracker(t, 1)
 	for i := 0; i < 500; i++ {
 		if err := tr.Observe(1, 0.9, true); err != nil {
 			t.Fatal(err)
@@ -92,7 +158,7 @@ func TestDiscountClamps(t *testing.T) {
 }
 
 func TestDiscountBid(t *testing.T) {
-	tr := NewTracker(1)
+	tr := mustTracker(t, 1)
 	// Over-claimer: successes far below declarations.
 	for i := 0; i < 400; i++ {
 		if err := tr.Observe(5, 0.8, i%4 == 0); err != nil { // ~25% success on 0.8 claims
@@ -117,7 +183,7 @@ func TestDiscountBid(t *testing.T) {
 }
 
 func TestSnapshotOrdersWorstFirst(t *testing.T) {
-	tr := NewTracker(1)
+	tr := mustTracker(t, 1)
 	for i := 0; i < 200; i++ {
 		_ = tr.Observe(1, 0.8, true)     // reliable
 		_ = tr.Observe(2, 0.8, i%5 == 0) // unreliable
@@ -138,8 +204,8 @@ func TestSnapshotOrdersWorstFirst(t *testing.T) {
 }
 
 func TestPriorPullsTowardOne(t *testing.T) {
-	weak := NewTracker(0.5)
-	strong := NewTracker(50)
+	weak := mustTracker(t, 0.5)
+	strong := mustTracker(t, 50)
 	for i := 0; i < 10; i++ {
 		_ = weak.Observe(1, 0.8, false)
 		_ = strong.Observe(1, 0.8, false)

@@ -1,0 +1,436 @@
+package reputation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"crowdsense/internal/auction"
+	"crowdsense/internal/obs"
+	"crowdsense/internal/store"
+)
+
+// SuspectThreshold is the reliability below which a user counts as suspect
+// in metrics and reports: her declarations are being discounted by more
+// than 10%.
+const SuspectThreshold = 0.9
+
+// DefaultReportUsers bounds the per-user detail in Report; the full
+// population is still counted in TrackedUsers. /debug/reputation must stay
+// cheap at millions of tracked users.
+const DefaultReportUsers = 100
+
+// StoreConfig parameterizes a Store.
+type StoreConfig struct {
+	// PriorStrength is the pseudo-evidence pulling unknown users toward
+	// reliability 1. Zero means DefaultPriorStrength; negative or NaN is
+	// rejected with ErrBadPrior.
+	PriorStrength float64
+	// Shard labels every metric sample and the /debug/reputation report, so
+	// per-shard stores on a cluster node stay distinguishable.
+	Shard string
+	// ReportUsers bounds Report's per-user detail (0 means
+	// DefaultReportUsers; negative means unbounded).
+	ReportUsers int
+}
+
+// roundFold is one campaign's in-flight round as the reputation fold sees
+// it: the declared EC-trigger PoS per admitted bid, plus the settlement
+// observations staged until the round settles. Staging is what gives the
+// fold round-boundary semantics: a torn round that is reopened after a
+// crash simply discards its stage, so the committed evidence only ever
+// advances at durable round boundaries — the same granularity checkpoints
+// are emitted at.
+type roundFold struct {
+	round    int
+	declared map[auction.UserID]float64
+	staged   []observation // settlement order — the event log's order
+}
+
+type observation struct {
+	user     auction.UserID
+	declared float64
+	success  bool
+}
+
+// Store is the live learning layer: a concurrency-safe reliability
+// estimator that folds the engine's event stream — report_received carries
+// the realized EC-trigger outcome, round_settled commits the round's
+// evidence — and serves reliability-discounted PoS to winner determination
+// through the mechanism.PoSAdjuster hook.
+//
+// Like the live auditor, it consumes events from either side of the
+// durability boundary: feed it synchronously on the emit path (engine
+// Config.Reputation, or store.Multi), or run Tail against a WAL to follow
+// the durable stream like a replica would. Both drive the same fold, and
+// because per-user evidence accrues in log order, a Store fed the same
+// event sequence always reaches the same state — Checkpoint is
+// byte-deterministic, which is what lets recovery and failover resume with
+// identical r̂.
+type Store struct {
+	shard       string
+	reportUsers int
+
+	mu     sync.RWMutex
+	prior  float64
+	users  map[auction.UserID]*evidence
+	rounds map[string]*roundFold // campaign → in-flight round
+
+	observations uint64 // settlement outcomes committed
+	committed    uint64 // rounds whose evidence has been committed
+}
+
+// NewStore builds an empty Store.
+func NewStore(cfg StoreConfig) (*Store, error) {
+	prior, err := checkPrior(cfg.PriorStrength)
+	if err != nil {
+		return nil, err
+	}
+	reportUsers := cfg.ReportUsers
+	if reportUsers == 0 {
+		reportUsers = DefaultReportUsers
+	}
+	return &Store{
+		shard:       cfg.Shard,
+		reportUsers: reportUsers,
+		prior:       prior,
+		users:       make(map[auction.UserID]*evidence),
+		rounds:      make(map[string]*roundFold),
+	}, nil
+}
+
+// Observe folds one event. Rounds whose opening the store did not witness
+// are skipped — joining a stream mid-round must not commit partial
+// evidence. reputation_checkpoint events are ignored on purpose: a store
+// following the primitive event stream derives the same state the
+// checkpoint serialized, and double-applying would double-count.
+func (s *Store) Observe(ev store.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.rounds[ev.Campaign]
+	switch ev.Type {
+	case store.EventRoundOpened:
+		// A reopen after a crash replaces the torn round's fold: its staged
+		// observations die with it, exactly like the reducer discards the
+		// torn round's bids.
+		s.rounds[ev.Campaign] = &roundFold{
+			round:    ev.Round,
+			declared: make(map[auction.UserID]float64),
+		}
+	case store.EventBidAdmitted:
+		if f == nil || f.round != ev.Round || ev.Bid == nil {
+			return
+		}
+		// The EC trigger's declared probability: the task's PoS in the
+		// single-task setting is exactly the one-task CombinedPoS, so one
+		// formula covers both settings.
+		f.declared[ev.Bid.User] = ev.Bid.CombinedPoS()
+	case store.EventReportReceived:
+		if f == nil || f.round != ev.Round || ev.Settle == nil {
+			return
+		}
+		user := auction.UserID(ev.User)
+		declared, ok := f.declared[user]
+		if !ok || checkDeclared(declared) != nil {
+			return // no usable declaration to hold the user against
+		}
+		f.staged = append(f.staged, observation{user: user, declared: declared, success: ev.Settle.Success})
+	case store.EventRoundSettled:
+		if f == nil || f.round != ev.Round {
+			return
+		}
+		for _, ob := range f.staged {
+			e := s.users[ob.user]
+			if e == nil {
+				e = &evidence{}
+				s.users[ob.user] = e
+			}
+			e.observe(ob.declared, ob.success)
+			s.observations++
+		}
+		s.committed++
+		delete(s.rounds, ev.Campaign)
+	case store.EventCampaignFinished:
+		delete(s.rounds, ev.Campaign)
+	}
+}
+
+// Append implements store.Store: the reputation store can sit inside a
+// store.Multi fan-out and see every event synchronously on the emit path.
+// It never fails — learning must not be able to void a round.
+func (s *Store) Append(ev store.Event) error {
+	s.Observe(ev)
+	return nil
+}
+
+// Commit implements store.Store (no durability to flush; checkpoints ride
+// the engine's event stream instead).
+func (s *Store) Commit() error { return nil }
+
+// Close implements store.Store.
+func (s *Store) Close() error { return nil }
+
+// Tail follows a WAL's durable event stream from fromSeq, folding every
+// batch — the same consumer position a replica would hold. When fromSeq has
+// been compacted away it resumes from the durable horizon: evidence the log
+// no longer holds is exactly what checkpoints exist for. Tail blocks until
+// ctx is cancelled or the WAL closes, returning nil on either; any other
+// stream error is returned. Run it in a goroutine.
+func (s *Store) Tail(ctx context.Context, w *store.WAL, fromSeq uint64) error {
+	str, err := w.Stream(fromSeq)
+	if errors.Is(err, store.ErrCompacted) {
+		str, err = w.Stream(w.LastSeq())
+	}
+	if err != nil {
+		return err
+	}
+	defer str.Close()
+
+	// Recv blocks on the WAL's condition variable; unblock it on cancel.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			str.Close()
+		case <-done:
+		}
+	}()
+
+	for {
+		events, err := str.Recv()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, store.ErrStreamClosed) || errors.Is(err, store.ErrWALClosed) {
+				return nil
+			}
+			return err
+		}
+		for _, ev := range events {
+			s.Observe(ev)
+		}
+	}
+}
+
+// Reliability returns the smoothed estimate r̂ for the user, capped;
+// unknown users get exactly 1.
+func (s *Store) Reliability(user auction.UserID) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.users[user].reliability(s.prior)
+}
+
+// Observations reports how many committed outcomes the user has.
+func (s *Store) Observations(user auction.UserID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if ev := s.users[user]; ev != nil {
+		return ev.observations
+	}
+	return 0
+}
+
+// AdjustPoS implements mechanism.PoSAdjuster: winner determination runs on
+// r̂·p̂, clamped into [0, 1), while the declared bid — and with it every
+// payment — is untouched. Safe for concurrent use with the event fold.
+func (s *Store) AdjustPoS(user auction.UserID, _ auction.TaskID, declared float64) float64 {
+	return discount(declared, s.Reliability(user))
+}
+
+// Checkpoint serializes the committed evidence. Users are sorted by ID, so
+// two stores with equal learned state produce byte-identical checkpoints —
+// the engine emits one as a reputation_checkpoint event after every settled
+// round, and recovery asserts byte-equality across kill/restore.
+func (s *Store) Checkpoint() store.ReputationCheckpoint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cp := store.ReputationCheckpoint{Prior: s.prior}
+	ids := make([]auction.UserID, 0, len(s.users))
+	for user := range s.users {
+		ids = append(ids, user)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, user := range ids {
+		ev := s.users[user]
+		cp.Users = append(cp.Users, store.ReputationUser{
+			User:         int(user),
+			Successes:    ev.successes,
+			DeclaredMass: ev.declaredMass,
+			Observations: ev.observations,
+		})
+	}
+	return cp
+}
+
+// Restore replaces the committed evidence with a checkpoint's — the
+// recovery path: engine.Restore (and cluster promotion through it) seeds
+// the store from the last durable reputation_checkpoint so the loop resumes
+// with exactly the r̂ state the dead process had at its last settled round.
+// In-flight staging is cleared; the reopened round re-stages from the log.
+func (s *Store) Restore(cp *store.ReputationCheckpoint) error {
+	if cp == nil {
+		return nil
+	}
+	prior, err := checkPrior(cp.Prior)
+	if err != nil {
+		return fmt.Errorf("reputation: restore checkpoint: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prior = prior
+	s.users = make(map[auction.UserID]*evidence, len(cp.Users))
+	total := uint64(0)
+	for _, u := range cp.Users {
+		s.users[auction.UserID(u.User)] = &evidence{
+			successes:    u.Successes,
+			declaredMass: u.DeclaredMass,
+			observations: u.Observations,
+		}
+		total += uint64(u.Observations)
+	}
+	s.rounds = make(map[string]*roundFold)
+	s.observations = total
+	return nil
+}
+
+// Snapshot returns the tracked users, least reliable first.
+func (s *Store) Snapshot() []UserReliability {
+	s.mu.RLock()
+	out := make([]UserReliability, 0, len(s.users))
+	for user, ev := range s.users {
+		out = append(out, UserReliability{
+			User:         user,
+			Reliability:  ev.reliability(s.prior),
+			Observations: ev.observations,
+		})
+	}
+	s.mu.RUnlock()
+	sortWorstFirst(out)
+	return out
+}
+
+// Report builds the /debug/reputation payload: headline counters plus the
+// worst offenders, bounded by ReportUsers.
+func (s *Store) Report() obs.ReputationReport {
+	s.mu.RLock()
+	rep := obs.ReputationReport{
+		Shard:           s.shard,
+		Prior:           s.prior,
+		TrackedUsers:    len(s.users),
+		Observations:    s.observations,
+		RoundsCommitted: s.committed,
+		Users:           []obs.ReputationUserStatus{},
+	}
+	users := make([]obs.ReputationUserStatus, 0, len(s.users))
+	for user, ev := range s.users {
+		r := ev.reliability(s.prior)
+		if r < SuspectThreshold {
+			rep.SuspectUsers++
+		}
+		users = append(users, obs.ReputationUserStatus{
+			User:         int(user),
+			Reliability:  r,
+			Observations: ev.observations,
+			Successes:    ev.successes,
+			DeclaredMass: ev.declaredMass,
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(users, func(i, j int) bool {
+		if users[i].Reliability != users[j].Reliability {
+			return users[i].Reliability < users[j].Reliability
+		}
+		return users[i].User < users[j].User
+	})
+	if s.reportUsers > 0 && len(users) > s.reportUsers {
+		users = users[:s.reportUsers]
+	}
+	rep.Users = append(rep.Users, users...)
+	return rep
+}
+
+// Families renders the store as crowdsense_reputation_* metric families.
+// Per-user series are deliberately absent — cardinality must stay bounded
+// at millions of tracked users; /debug/reputation carries the watch list.
+func (s *Store) Families() []obs.Family {
+	s.mu.RLock()
+	tracked := len(s.users)
+	observations := s.observations
+	committed := s.committed
+	suspects := 0
+	min, sum := 1.0, 0.0
+	for _, ev := range s.users {
+		r := ev.reliability(s.prior)
+		if r < SuspectThreshold {
+			suspects++
+		}
+		if r < min {
+			min = r
+		}
+		sum += r
+	}
+	s.mu.RUnlock()
+	mean := 1.0
+	if tracked > 0 {
+		mean = sum / float64(tracked)
+	}
+	return []obs.Family{
+		{
+			Name: "crowdsense_reputation_tracked_users",
+			Help: "Users with committed execution evidence in the reputation store.",
+			Type: obs.TypeGauge,
+			Samples: []obs.Sample{
+				{Labels: s.labels(), Value: float64(tracked)},
+			},
+		},
+		{
+			Name: "crowdsense_reputation_observations_total",
+			Help: "EC-trigger execution outcomes committed into the reputation store.",
+			Type: obs.TypeCounter,
+			Samples: []obs.Sample{
+				{Labels: s.labels(), Value: float64(observations)},
+			},
+		},
+		{
+			Name: "crowdsense_reputation_rounds_committed_total",
+			Help: "Settled rounds whose evidence the reputation store has committed.",
+			Type: obs.TypeCounter,
+			Samples: []obs.Sample{
+				{Labels: s.labels(), Value: float64(committed)},
+			},
+		},
+		{
+			Name: "crowdsense_reputation_suspect_users",
+			Help: "Tracked users whose reliability estimate is below the suspect threshold (0.9).",
+			Type: obs.TypeGauge,
+			Samples: []obs.Sample{
+				{Labels: s.labels(), Value: float64(suspects)},
+			},
+		},
+		{
+			Name: "crowdsense_reputation_reliability_min",
+			Help: "Lowest reliability estimate across tracked users (1 when none).",
+			Type: obs.TypeGauge,
+			Samples: []obs.Sample{
+				{Labels: s.labels(), Value: min},
+			},
+		},
+		{
+			Name: "crowdsense_reputation_reliability_mean",
+			Help: "Mean reliability estimate across tracked users (1 when none).",
+			Type: obs.TypeGauge,
+			Samples: []obs.Sample{
+				{Labels: s.labels(), Value: mean},
+			},
+		},
+	}
+}
+
+// labels prepends the shard label when configured.
+func (s *Store) labels() []obs.Label {
+	if s.shard == "" {
+		return nil
+	}
+	return []obs.Label{{Name: "shard", Value: s.shard}}
+}

@@ -51,7 +51,32 @@ const (
 	EventRoundSettled EventType = "round_settled"
 	// EventCampaignFinished closes the campaign.
 	EventCampaignFinished EventType = "campaign_finished"
+	// EventReputationCheckpoint snapshots the platform's learned per-user
+	// reliability right after a round settles. It is emitted by an engine
+	// running the closed reputation loop, rides replication to followers like
+	// any other event, and is what Restore and promotion seed the live
+	// reputation store from — so r̂ state survives a crash byte-identically.
+	// Campaign/Round identify the settled round that triggered it.
+	EventReputationCheckpoint EventType = "reputation_checkpoint"
 )
+
+// ReputationUser is one user's accumulated execution evidence inside a
+// reputation checkpoint: EC-trigger successes against the declared success
+// mass (Σ p̂) those outcomes were promised at.
+type ReputationUser struct {
+	User         int     `json:"user"`
+	Successes    float64 `json:"successes"`
+	DeclaredMass float64 `json:"declared_mass"`
+	Observations int     `json:"observations"`
+}
+
+// ReputationCheckpoint is the full serialized reliability state at a round
+// boundary. Users are sorted by ID so equal learned state always serializes
+// to equal bytes — the property the recovery differentials assert.
+type ReputationCheckpoint struct {
+	Prior float64          `json:"prior"`
+	Users []ReputationUser `json:"users,omitempty"`
+}
 
 // CampaignSpec is the durable form of a campaign's configuration — enough
 // to re-register the campaign identically on recovery.
@@ -84,6 +109,8 @@ type Event struct {
 
 	RoundNanos   int64 `json:"round_ns,omitempty"`   // round_settled
 	ComputeNanos int64 `json:"compute_ns,omitempty"` // round_settled
+
+	Reputation *ReputationCheckpoint `json:"reputation,omitempty"` // reputation_checkpoint
 }
 
 // ErrBadEvent marks an event whose payload does not match its type.
@@ -120,6 +147,10 @@ func (ev *Event) Validate() error {
 		}
 	case EventCampaignFinished:
 		// Identity fields only.
+	case EventReputationCheckpoint:
+		if ev.Reputation == nil || ev.Round < 1 {
+			return fmt.Errorf("%w: %q event missing checkpoint or round", ErrBadEvent, ev.Type)
+		}
 	default:
 		return fmt.Errorf("%w: unknown type %q", ErrBadEvent, ev.Type)
 	}

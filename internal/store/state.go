@@ -44,6 +44,11 @@ type State struct {
 	Campaigns map[string]*CampaignState `json:"campaigns"`
 	Order     []string                  `json:"order,omitempty"` // registration order
 	LastSeq   uint64                    `json:"last_seq,omitempty"`
+
+	// Reputation is the latest learned-reliability checkpoint (nil until an
+	// engine running the closed reputation loop settles its first round).
+	// Recovery and promotion seed the live reputation store from it.
+	Reputation *ReputationCheckpoint `json:"reputation,omitempty"`
 }
 
 // NewState returns an empty state.
@@ -137,6 +142,13 @@ func Apply(s *State, ev Event) error {
 		}
 		cs.Finished = true
 		cs.Current = nil
+	case EventReputationCheckpoint:
+		if cs == nil {
+			return unknownCampaign(ev)
+		}
+		cp := *ev.Reputation
+		cp.Users = append([]ReputationUser(nil), ev.Reputation.Users...)
+		s.Reputation = &cp
 	}
 	if ev.Seq > 0 {
 		s.LastSeq = ev.Seq

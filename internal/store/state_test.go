@@ -145,6 +145,59 @@ func TestApplyRejectsBadEvents(t *testing.T) {
 	}
 }
 
+func TestApplyReputationCheckpoint(t *testing.T) {
+	s := NewState()
+	if err := Apply(s, Event{Type: EventCampaignRegistered, Campaign: "c", Spec: testSpec("c")}); err != nil {
+		t.Fatal(err)
+	}
+
+	cp := &ReputationCheckpoint{Prior: 3, Users: []ReputationUser{
+		{User: 1, Successes: 2, DeclaredMass: 2.4, Observations: 3},
+		{User: 2, Successes: 1, DeclaredMass: 1.6, Observations: 2},
+	}}
+	if err := Apply(s, Event{Type: EventReputationCheckpoint, Campaign: "c", Round: 1,
+		Reputation: cp}); err != nil {
+		t.Fatalf("apply checkpoint: %v", err)
+	}
+	if s.Reputation == nil || len(s.Reputation.Users) != 2 || s.Reputation.Prior != 3 {
+		t.Fatalf("state reputation = %+v, want the applied checkpoint", s.Reputation)
+	}
+	// The reducer must deep-copy: mutating the event's slice afterwards (a
+	// WAL batch buffer being reused, say) must not reach the state.
+	cp.Users[0].Successes = 99
+	if s.Reputation.Users[0].Successes != 2 {
+		t.Error("reducer aliased the event's user slice instead of copying")
+	}
+
+	// A later checkpoint replaces the earlier one wholesale.
+	if err := Apply(s, Event{Type: EventReputationCheckpoint, Campaign: "c", Round: 2,
+		Reputation: &ReputationCheckpoint{Prior: 3, Users: []ReputationUser{
+			{User: 1, Successes: 3, DeclaredMass: 3.2, Observations: 4},
+		}}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Reputation.Users) != 1 || s.Reputation.Users[0].Observations != 4 {
+		t.Errorf("state reputation after second checkpoint = %+v, want latest only", s.Reputation)
+	}
+
+	// Validation: missing payload, bad round, unknown campaign.
+	bad := []struct {
+		name string
+		ev   Event
+	}{
+		{"missing checkpoint", Event{Type: EventReputationCheckpoint, Campaign: "c", Round: 1}},
+		{"bad round", Event{Type: EventReputationCheckpoint, Campaign: "c",
+			Reputation: &ReputationCheckpoint{}}},
+		{"unknown campaign", Event{Type: EventReputationCheckpoint, Campaign: "ghost", Round: 1,
+			Reputation: &ReputationCheckpoint{}}},
+	}
+	for _, tc := range bad {
+		if err := Apply(s, tc.ev); !errors.Is(err, ErrBadEvent) {
+			t.Errorf("%s: err = %v, want ErrBadEvent", tc.name, err)
+		}
+	}
+}
+
 func TestApplyRejectionLeavesStateUnchanged(t *testing.T) {
 	s := NewState()
 	if err := Apply(s, Event{Type: EventCampaignRegistered, Campaign: "c", Spec: testSpec("c")}); err != nil {

@@ -20,6 +20,7 @@ go test ./...
 go test -race ./internal/engine/... ./internal/obs/... ./internal/obs/span \
 	./internal/platform/... ./internal/agent/... ./internal/wire/... \
 	./internal/store/... ./internal/cluster/... \
+	./internal/reputation/... ./internal/execution/... \
 	./internal/mechanism/... ./internal/knapsack/... ./internal/setcover/... \
 	./cmd/crowdsim
 go test -run 'Fuzz.*' ./internal/wire ./internal/store ./internal/cluster
@@ -55,3 +56,7 @@ go test -run TestTraceSmoke ./cmd/obsctl
 # admit-queue rejects.
 SWARM_AGENTS=100000 SWARM_CAMPAIGNS=100 SWARM_ROUNDS=1 \
 	go test -race -run TestSwarmSmoke ./cmd/crowdsim
+# Closed-loop reputation gate: the liar scenario's over-claimer must be
+# priced out — learned reliability discounts her declared PoS below the
+# requirement and her win share collapses while truthful users keep winning.
+go test -race -run TestReputationSmoke ./cmd/crowdsim
